@@ -1,0 +1,375 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (run `go test -bench=. -benchmem`), plus the ablation benches DESIGN.md
+// calls out.  The experiment harness prints full paper-style rows via
+// `go run ./cmd/experiments -exp all`; these benches wrap the same code so
+// `go test -bench` exercises each experiment and reports its cost.
+package utcq_test
+
+import (
+	"io"
+	"testing"
+
+	"utcq"
+	"utcq/internal/core"
+	"utcq/internal/exp"
+	"utcq/internal/gen"
+	"utcq/internal/query"
+	"utcq/internal/stiu"
+	"utcq/internal/ted"
+)
+
+// benchCfg keeps the bench datasets small enough for -bench=. sweeps.
+var benchCfg = exp.Config{Scale: 0.25, Seed: 42}
+
+func benchBundles(b *testing.B) []*exp.Bundle {
+	b.Helper()
+	bundles, err := exp.Datasets(benchCfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return bundles
+}
+
+func bundleByName(b *testing.B, name string) *exp.Bundle {
+	for _, bu := range benchBundles(b) {
+		if bu.Profile.Name == name {
+			return bu
+		}
+	}
+	b.Fatalf("no bundle %s", name)
+	return nil
+}
+
+// --- Table 8: compression --------------------------------------------------
+
+func benchCompressUTCQ(b *testing.B, name string) {
+	bu := bundleByName(b, name)
+	c, err := core.NewCompressor(bu.DS.Graph, bu.Opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a, err := c.Compress(bu.DS.Trajectories)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(a.Stats.TotalRatio(), "ratio")
+	}
+}
+
+func benchCompressTED(b *testing.B, name string) {
+	bu := bundleByName(b, name)
+	c, err := ted.NewCompressor(bu.DS.Graph, exp.TEDOptionsFor(bu.Profile, bu.Opts))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a, err := c.Compress(bu.DS.Trajectories)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(a.Stats.TotalRatio(), "ratio")
+	}
+}
+
+func BenchmarkCompressUTCQ_DK(b *testing.B) { benchCompressUTCQ(b, "DK") }
+func BenchmarkCompressUTCQ_CD(b *testing.B) { benchCompressUTCQ(b, "CD") }
+func BenchmarkCompressUTCQ_HZ(b *testing.B) { benchCompressUTCQ(b, "HZ") }
+func BenchmarkCompressTED_DK(b *testing.B)  { benchCompressTED(b, "DK") }
+func BenchmarkCompressTED_CD(b *testing.B)  { benchCompressTED(b, "CD") }
+func BenchmarkCompressTED_HZ(b *testing.B)  { benchCompressTED(b, "HZ") }
+
+// BenchmarkDecompress measures full decompression (the inverse path).
+func BenchmarkDecompress(b *testing.B) {
+	bu := bundleByName(b, "CD")
+	arch, err := utcq.Compress(bu.DS.Graph, bu.DS.Trajectories, bu.Opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := arch.DecodeAll(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Figures 6-8, 12: parameter sweeps --------------------------------------
+
+func BenchmarkFig6Instances(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.Fig6(io.Discard, benchCfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig7Length(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.Fig7(io.Discard, benchCfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig8Pivots(b *testing.B) {
+	bundles := benchBundles(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		exp.Fig8(io.Discard, bundles)
+	}
+}
+
+func BenchmarkFig12Scalability(b *testing.B) {
+	bundles := benchBundles(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		exp.Fig12Compression(io.Discard, bundles)
+	}
+}
+
+// --- Figures 9-10: queries ---------------------------------------------------
+
+func queryEngine(b *testing.B, name string) (*exp.Bundle, *query.Engine, *query.TEDEngine) {
+	bu := bundleByName(b, name)
+	arch, err := utcq.Compress(bu.DS.Graph, bu.DS.Trajectories, bu.Opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ix, err := stiu.Build(arch, stiu.DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng := query.NewEngine(arch, ix)
+	eng.DisableCache = true
+
+	tc, err := ted.NewCompressor(bu.DS.Graph, exp.TEDOptionsFor(bu.Profile, bu.Opts))
+	if err != nil {
+		b.Fatal(err)
+	}
+	ta, err := tc.Compress(bu.DS.Trajectories)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tix, err := query.BuildTEDIndex(ta, stiu.DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	teng := query.NewTEDEngine(ta, tix)
+	teng.DisableCache = true
+	return bu, eng, teng
+}
+
+func BenchmarkWhereQueryUTCQ(b *testing.B) {
+	bu, eng, _ := queryEngine(b, "HZ")
+	u := bu.DS.Trajectories[0]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tq := u.T[0] + int64(i)%(u.T[len(u.T)-1]-u.T[0])
+		if _, err := eng.Where(0, tq, 0.25); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWhereQueryTED(b *testing.B) {
+	bu, _, teng := queryEngine(b, "HZ")
+	u := bu.DS.Trajectories[0]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tq := u.T[0] + int64(i)%(u.T[len(u.T)-1]-u.T[0])
+		if _, err := teng.Where(0, tq, 0.25); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWhenQueryUTCQ(b *testing.B) {
+	bu, eng, _ := queryEngine(b, "HZ")
+	path, err := bu.DS.Trajectories[0].Instances[0].PathEdges(bu.DS.Graph)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		loc := bu.DS.Graph.PositionAtRD(path[i%len(path)], 0.5)
+		if _, err := eng.When(0, loc, 0.25); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWhenQueryTED(b *testing.B) {
+	bu, _, teng := queryEngine(b, "HZ")
+	path, err := bu.DS.Trajectories[0].Instances[0].PathEdges(bu.DS.Graph)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		loc := bu.DS.Graph.PositionAtRD(path[i%len(path)], 0.5)
+		if _, err := teng.When(0, loc, 0.25); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func rangeRect(bu *exp.Bundle, i int) utcq.Rect {
+	bounds := bu.DS.Graph.Bounds()
+	w := (bounds.MaxX - bounds.MinX) * 0.08
+	x := bounds.MinX + float64(i%13)/13*(bounds.MaxX-bounds.MinX-w)
+	y := bounds.MinY + float64(i%7)/7*(bounds.MaxY-bounds.MinY-w)
+	return utcq.Rect{MinX: x, MinY: y, MaxX: x + w, MaxY: y + w}
+}
+
+func BenchmarkRangeQueryUTCQ(b *testing.B) {
+	bu, eng, _ := queryEngine(b, "CD")
+	u := bu.DS.Trajectories[0]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tq := u.T[0] + int64(i)%(u.T[len(u.T)-1]-u.T[0])
+		if _, err := eng.Range(rangeRect(bu, i), tq, 0.5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRangeQueryTED(b *testing.B) {
+	bu, _, teng := queryEngine(b, "CD")
+	u := bu.DS.Trajectories[0]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tq := u.T[0] + int64(i)%(u.T[len(u.T)-1]-u.T[0])
+		if _, err := teng.Range(rangeRect(bu, i), tq, 0.5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Ablations ----------------------------------------------------------------
+
+// BenchmarkAblationNoReferential isolates the gain of the referential
+// representation: every instance stored as a standalone reference.
+func BenchmarkAblationNoReferential(b *testing.B) {
+	bu := bundleByName(b, "HZ")
+	opts := bu.Opts
+	opts.DisableReferential = true
+	c, err := core.NewCompressor(bu.DS.Graph, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a, err := c.Compress(bu.DS.Trajectories)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(a.Stats.TotalRatio(), "ratio")
+	}
+}
+
+// BenchmarkAblationJaccard replaces FJD with the plain Jaccard similarity.
+func BenchmarkAblationJaccard(b *testing.B) {
+	bu := bundleByName(b, "HZ")
+	opts := bu.Opts
+	opts.PlainJaccard = true
+	c, err := core.NewCompressor(bu.DS.Graph, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a, err := c.Compress(bu.DS.Trajectories)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(a.Stats.TotalRatio(), "ratio")
+	}
+}
+
+// BenchmarkAblationNoPruning runs range queries with Lemmas 1-4 disabled.
+func BenchmarkAblationNoPruning(b *testing.B) {
+	bu, eng, _ := queryEngine(b, "CD")
+	eng.DisablePruning = true
+	u := bu.DS.Trajectories[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tq := u.T[0] + int64(i)%(u.T[len(u.T)-1]-u.T[0])
+		if _, err := eng.Range(rangeRect(bu, i), tq, 0.5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTimeEncoding compares SIAR + improved Exp-Golomb against TED's
+// pair scheme on the time component alone (the Section 4.1 motivation).
+func BenchmarkTimeEncoding(b *testing.B) {
+	bu := bundleByName(b, "HZ")
+	b.Run("SIAR", func(b *testing.B) {
+		c, err := core.NewCompressor(bu.DS.Graph, bu.Opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < b.N; i++ {
+			a, err := c.Compress(bu.DS.Trajectories)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(a.Stats.RatioT(), "T-ratio")
+		}
+	})
+	b.Run("TEDPairs", func(b *testing.B) {
+		c, err := ted.NewCompressor(bu.DS.Graph, exp.TEDOptionsFor(bu.Profile, bu.Opts))
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < b.N; i++ {
+			a, err := c.Compress(bu.DS.Trajectories)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(a.Stats.RatioT(), "T-ratio")
+		}
+	})
+}
+
+// --- Dataset generation -------------------------------------------------------
+
+func BenchmarkDatasetGeneration(b *testing.B) {
+	p := gen.CD()
+	p.Network.Cols, p.Network.Rows = 32, 32
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := gen.Build(p, 50, int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStIUBuild measures index construction.
+func BenchmarkStIUBuild(b *testing.B) {
+	bu := bundleByName(b, "CD")
+	arch, err := utcq.Compress(bu.DS.Graph, bu.DS.Trajectories, bu.Opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := stiu.Build(arch, stiu.DefaultOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,33 @@
+// Command experiments regenerates the paper's tables and figures on the
+// synthetic DK/CD/HZ datasets.
+//
+// Usage:
+//
+//	experiments -exp table8            # one experiment
+//	experiments -exp all -scale 0.5    # everything, half-size datasets
+//
+// Experiment names: table5 table6 fig4a fig4b table8 fig6 fig7 fig8 fig9
+// fig10 fig11 fig12.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"utcq/internal/exp"
+)
+
+func main() {
+	name := flag.String("exp", "all", "experiment to run: "+strings.Join(exp.Experiments, ", ")+" or all")
+	scale := flag.Float64("scale", 1.0, "dataset scale factor (1.0 = defaults)")
+	seed := flag.Int64("seed", 42, "generation seed")
+	flag.Parse()
+
+	cfg := exp.Config{Scale: *scale, Seed: *seed}
+	if err := exp.Run(os.Stdout, *name, cfg); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}

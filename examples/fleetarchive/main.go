@@ -1,0 +1,79 @@
+// Fleet archive: the paper's motivating workload — a day of taxi traces is
+// map-matched into uncertain trajectories and archived with UTCQ, which is
+// compared against the TED baseline on the same data (the Table 8
+// scenario as a library user would run it).
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"utcq"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// A Chengdu-like fleet: 10 s GPS sampling, ~3 plausible routes per
+	// ambiguous trace.
+	profile := utcq.ProfileCD()
+	ds, err := utcq.BuildDataset(profile, 600, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	s := ds.Stats()
+	fmt.Printf("fleet dataset: %d uncertain trajectories, %.1f instances avg, %.2f MB raw\n",
+		s.NumTrajectories, s.InstAvg, float64(s.RawBits.Total())/8/1e6)
+
+	// Archive with UTCQ.
+	opts := utcq.DefaultOptions(profile.Ts)
+	start := time.Now()
+	arch, err := utcq.Compress(ds.Graph, ds.Trajectories, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	utcqTime := time.Since(start)
+
+	// And with the TED baseline for comparison.
+	start = time.Now()
+	tarch, err := utcq.CompressTED(ds.Graph, ds.Trajectories, utcq.DefaultTEDOptions(profile.Ts))
+	if err != nil {
+		log.Fatal(err)
+	}
+	tedTime := time.Since(start)
+
+	u, t := arch.Stats, tarch.Stats
+	fmt.Printf("\n%-5s %9s %9s %8s %8s %8s %8s %8s\n", "algo", "size MB", "ratio", "T", "E", "D", "T'", "p")
+	fmt.Printf("%-5s %9.3f %9.2f %8.2f %8.2f %8.2f %8.2f %8.2f   (%v)\n",
+		"UTCQ", float64(u.CompTotal())/8/1e6, u.TotalRatio(),
+		u.RatioT(), u.RatioE(), u.RatioD(), u.RatioTF(), u.RatioP(), utcqTime.Round(time.Millisecond))
+	fmt.Printf("%-5s %9.3f %9.2f %8.2f %8.2f %8.2f %8.2f %8.2f   (%v)\n",
+		"TED", float64(t.CompTotal())/8/1e6, t.TotalRatio(),
+		t.RatioT(), t.RatioE(), t.RatioD(), t.RatioTF(), t.RatioP(), tedTime.Round(time.Millisecond))
+
+	fmt.Printf("\nUTCQ selected %d references for %d instances (%.0f%% stored referentially)\n",
+		u.NumReferences, u.NumInstances,
+		100*float64(u.NumInstances-u.NumReferences)/float64(u.NumInstances))
+
+	// Verify the archive round-trips before shipping it.
+	back, err := utcq.Decompress(arch)
+	if err != nil {
+		log.Fatal(err)
+	}
+	exact := 0
+	for j, got := range back {
+		want := ds.Trajectories[j]
+		ok := len(got.Instances) == len(want.Instances)
+		for i := 0; ok && i < len(got.Instances); i++ {
+			g, w := &got.Instances[i], &want.Instances[i]
+			if g.SV != w.SV || len(g.E) != len(w.E) {
+				ok = false
+			}
+		}
+		if ok {
+			exact++
+		}
+	}
+	fmt.Printf("verified %d/%d trajectories decode with matching paths\n", exact, len(back))
+}

@@ -1,0 +1,81 @@
+// Probe when/where: an investigator's workload over an archived fleet —
+// "when did vehicle X probably pass this road segment?" and "where was it
+// at time t?", answered on compressed data with partial decompression
+// (the Section 5.3 probabilistic when/where queries).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"utcq"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	profile := utcq.ProfileHZ() // 20 s sampling, many instances per trace
+	ds, err := utcq.BuildDataset(profile, 250, 11)
+	if err != nil {
+		log.Fatal(err)
+	}
+	arch, err := utcq.Compress(ds.Graph, ds.Trajectories, utcq.DefaultOptions(profile.Ts))
+	if err != nil {
+		log.Fatal(err)
+	}
+	idx, err := utcq.BuildIndex(arch, utcq.DefaultIndexOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	eng := utcq.NewEngine(arch, idx)
+
+	// Pick a vehicle and a segment its most likely route uses.
+	vehicle := 3
+	u := ds.Trajectories[vehicle]
+	best := 0
+	for i := range u.Instances {
+		if u.Instances[i].P > u.Instances[best].P {
+			best = i
+		}
+	}
+	path, err := u.Instances[best].PathEdges(ds.Graph)
+	if err != nil {
+		log.Fatal(err)
+	}
+	segment := path[len(path)/2]
+	loc := ds.Graph.PositionAtRD(segment, 0.4)
+
+	fmt.Printf("vehicle %d has %d plausible routes; probing edge %d at rd=0.4\n",
+		vehicle, len(u.Instances), segment)
+
+	// When did it pass, for increasingly strict probability thresholds?
+	for _, alpha := range []float64{0.05, 0.25, 0.5} {
+		res, err := eng.When(vehicle, loc, alpha)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  when(alpha=%.2f): %d passages", alpha, len(res))
+		for _, r := range res {
+			fmt.Printf("  [inst %d p=%.2f t=%d]", r.Inst, r.P, r.T)
+		}
+		fmt.Println()
+	}
+
+	// Where was it midway through its trip?
+	tq := (u.T[0] + u.T[len(u.T)-1]) / 2
+	res, err := eng.Where(vehicle, tq, 0.1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nwhere(t=%d, alpha=0.1): %d candidate locations\n", tq, len(res))
+	for _, r := range res {
+		x, y := ds.Graph.Coords(r.Loc)
+		fmt.Printf("  instance %d (p=%.2f): edge %d, %.0fm in (%.0f, %.0f)\n",
+			r.Inst, r.P, r.Loc.Edge, r.Loc.NDist, x, y)
+	}
+
+	// The pruning lemmas at work: Lemma 1 skips reconstructing whole
+	// reference groups whose pmax is below alpha.
+	fmt.Printf("\nengine work: %d paths decoded, %d instances skipped by filters\n",
+		eng.Stats.PathsDecoded, eng.Stats.InstancesSkipped)
+}

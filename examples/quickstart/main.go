@@ -1,0 +1,88 @@
+// Quickstart: build a tiny road network by hand, map-match a noisy GPS
+// trace into an uncertain trajectory, compress it, and query it — the
+// whole UTCQ pipeline in one file.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"utcq"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// A small network: a 1 km main street with a parallel detour, all
+	// edges bidirectional.
+	b := utcq.NewGraphBuilder()
+	var street []utcq.VertexID
+	for i := 0; i <= 5; i++ {
+		street = append(street, b.AddVertex(float64(i)*200, 0))
+	}
+	detour := b.AddVertex(500, 80)
+	for i := 0; i < 5; i++ {
+		b.AddEdge(street[i], street[i+1])
+		b.AddEdge(street[i+1], street[i])
+	}
+	b.AddEdge(street[2], detour)
+	b.AddEdge(detour, street[4])
+	b.AddEdge(street[4], detour)
+	b.AddEdge(detour, street[2])
+	g := b.Build()
+
+	// A noisy trace driving down the street.  The middle fix lies between
+	// the street and the detour, so probabilistic map matching produces
+	// several instances.
+	trace := utcq.RawTrajectory{Points: []utcq.RawPoint{
+		{X: 90, Y: 4, T: 36000},
+		{X: 310, Y: -6, T: 36010},
+		{X: 505, Y: 38, T: 36021},
+		{X: 700, Y: 5, T: 36030},
+		{X: 905, Y: -3, T: 36040},
+	}}
+	matcher := utcq.NewMatcher(g, utcq.DefaultMatchConfig())
+	u, err := matcher.Match(trace)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("map matching produced %d instances:\n", len(u.Instances))
+	for i := range u.Instances {
+		ins := &u.Instances[i]
+		fmt.Printf("  instance %d: p=%.3f, E=%v\n", i, ins.P, ins.E)
+	}
+
+	// Compress with the paper's defaults (Ts = 10 s for this trace).
+	arch, err := utcq.Compress(g, []*utcq.Uncertain{u}, utcq.DefaultOptions(10))
+	if err != nil {
+		log.Fatal(err)
+	}
+	s := arch.Stats
+	fmt.Printf("\ncompressed %d -> %d bits (ratio %.2f; %d reference(s))\n",
+		s.Raw.Total(), s.CompTotal(), s.TotalRatio(), s.NumReferences)
+
+	// Index and query without full decompression.
+	idx, err := utcq.BuildIndex(arch, utcq.DefaultIndexOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	eng := utcq.NewEngine(arch, idx)
+
+	res, err := eng.Where(0, 36015, 0.05)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nwhere was the vehicle at t=36015 (alpha=0.05)?\n")
+	for _, r := range res {
+		x, y := g.Coords(r.Loc)
+		fmt.Printf("  instance %d (p=%.3f): (%.0f, %.0f)\n", r.Inst, r.P, x, y)
+	}
+
+	// Round trip sanity: decompression reproduces the instances.
+	back, err := utcq.Decompress(arch)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ndecompressed %d trajectories, %d instances — lossless paths, bounded-error distances\n",
+		len(back), len(back[0].Instances))
+}

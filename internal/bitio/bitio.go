@@ -1,0 +1,247 @@
+// Package bitio provides bit-level writers and readers used by every
+// compression scheme in this repository.
+//
+// All multi-bit fields are written most-significant-bit first, which makes
+// the streams match the worked examples in the UTCQ paper (e.g. the
+// improved Exp-Golomb codeword "1000" for Δ=+1).
+//
+// Both Writer and Reader track their absolute bit position.  The StIU index
+// stores such positions (t.pos, d.pos, ma.pos) so that query processing can
+// resume decoding mid-stream (partial decompression).
+package bitio
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrUnexpectedEOF is returned when a read runs past the end of the stream.
+var ErrUnexpectedEOF = errors.New("bitio: unexpected end of bit stream")
+
+// Writer accumulates bits into a byte slice.  The zero value is ready to use.
+type Writer struct {
+	buf  []byte
+	nbit int // total number of bits written
+}
+
+// NewWriter returns a Writer with capacity for sizeHint bits.
+func NewWriter(sizeHint int) *Writer {
+	if sizeHint < 0 {
+		sizeHint = 0
+	}
+	return &Writer{buf: make([]byte, 0, (sizeHint+7)/8)}
+}
+
+// Len returns the number of bits written so far.  It is also the bit
+// position at which the next write will land.
+func (w *Writer) Len() int { return w.nbit }
+
+// Bytes returns the written bits packed into bytes.  The final byte is
+// zero-padded.  The returned slice aliases the writer's buffer.
+func (w *Writer) Bytes() []byte { return w.buf }
+
+// WriteBit appends a single bit (any non-zero b writes a 1).
+func (w *Writer) WriteBit(b uint) {
+	idx := w.nbit >> 3
+	if idx == len(w.buf) {
+		w.buf = append(w.buf, 0)
+	}
+	if b != 0 {
+		w.buf[idx] |= 0x80 >> uint(w.nbit&7)
+	}
+	w.nbit++
+}
+
+// WriteBool appends a single bit from a bool.
+func (w *Writer) WriteBool(b bool) {
+	if b {
+		w.WriteBit(1)
+	} else {
+		w.WriteBit(0)
+	}
+}
+
+// WriteBits appends the width least-significant bits of v, MSB first.
+// width must be in [0, 64].
+func (w *Writer) WriteBits(v uint64, width int) {
+	if width < 0 || width > 64 {
+		panic(fmt.Sprintf("bitio: invalid width %d", width))
+	}
+	for i := width - 1; i >= 0; i-- {
+		w.WriteBit(uint(v>>uint(i)) & 1)
+	}
+}
+
+// WriteUnary appends n 1-bits followed by a terminating 0-bit.
+func (w *Writer) WriteUnary(n int) {
+	for i := 0; i < n; i++ {
+		w.WriteBit(1)
+	}
+	w.WriteBit(0)
+}
+
+// WriteEliasGamma appends the Elias-gamma code of v (v >= 1): the bit length
+// of v in unary-minus-one zeros, then v itself in binary.
+func (w *Writer) WriteEliasGamma(v uint64) {
+	if v == 0 {
+		panic("bitio: Elias gamma undefined for 0")
+	}
+	n := bitLen(v)
+	for i := 0; i < n-1; i++ {
+		w.WriteBit(0)
+	}
+	w.WriteBits(v, n)
+}
+
+// WriteCount appends a non-negative counter using Elias gamma of v+1.
+func (w *Writer) WriteCount(v int) {
+	if v < 0 {
+		panic("bitio: negative count")
+	}
+	w.WriteEliasGamma(uint64(v) + 1)
+}
+
+// AlignByte pads with 0-bits to the next byte boundary and reports how many
+// padding bits were added.
+func (w *Writer) AlignByte() int {
+	pad := 0
+	for w.nbit&7 != 0 {
+		w.WriteBit(0)
+		pad++
+	}
+	return pad
+}
+
+// Reader consumes bits from a byte slice.
+type Reader struct {
+	buf  []byte
+	pos  int // next bit to read
+	nbit int // total available bits
+}
+
+// NewReader returns a Reader over buf exposing len(buf)*8 bits.
+func NewReader(buf []byte) *Reader {
+	return &Reader{buf: buf, nbit: len(buf) * 8}
+}
+
+// NewReaderBits returns a Reader over buf exposing exactly nbits bits.
+func NewReaderBits(buf []byte, nbits int) *Reader {
+	if nbits > len(buf)*8 {
+		panic("bitio: nbits exceeds buffer")
+	}
+	return &Reader{buf: buf, nbit: nbits}
+}
+
+// Pos returns the absolute bit position of the next read.
+func (r *Reader) Pos() int { return r.pos }
+
+// Seek positions the reader at absolute bit position pos.
+func (r *Reader) Seek(pos int) error {
+	if pos < 0 || pos > r.nbit {
+		return fmt.Errorf("bitio: seek to %d outside stream of %d bits", pos, r.nbit)
+	}
+	r.pos = pos
+	return nil
+}
+
+// Remaining returns the number of unread bits.
+func (r *Reader) Remaining() int { return r.nbit - r.pos }
+
+// ReadBit reads a single bit.
+func (r *Reader) ReadBit() (uint, error) {
+	if r.pos >= r.nbit {
+		return 0, ErrUnexpectedEOF
+	}
+	b := (r.buf[r.pos>>3] >> uint(7-r.pos&7)) & 1
+	r.pos++
+	return uint(b), nil
+}
+
+// ReadBool reads a single bit as a bool.
+func (r *Reader) ReadBool() (bool, error) {
+	b, err := r.ReadBit()
+	return b == 1, err
+}
+
+// ReadBits reads width bits, MSB first.
+func (r *Reader) ReadBits(width int) (uint64, error) {
+	if width < 0 || width > 64 {
+		return 0, fmt.Errorf("bitio: invalid width %d", width)
+	}
+	if r.pos+width > r.nbit {
+		return 0, ErrUnexpectedEOF
+	}
+	var v uint64
+	for i := 0; i < width; i++ {
+		b := (r.buf[r.pos>>3] >> uint(7-r.pos&7)) & 1
+		v = v<<1 | uint64(b)
+		r.pos++
+	}
+	return v, nil
+}
+
+// ReadUnary reads 1-bits until a 0-bit and returns the count of 1-bits.
+func (r *Reader) ReadUnary() (int, error) {
+	n := 0
+	for {
+		b, err := r.ReadBit()
+		if err != nil {
+			return 0, err
+		}
+		if b == 0 {
+			return n, nil
+		}
+		n++
+	}
+}
+
+// ReadEliasGamma reads an Elias-gamma coded value (>= 1).
+func (r *Reader) ReadEliasGamma() (uint64, error) {
+	zeros := 0
+	for {
+		b, err := r.ReadBit()
+		if err != nil {
+			return 0, err
+		}
+		if b == 1 {
+			break
+		}
+		zeros++
+		if zeros > 64 {
+			return 0, errors.New("bitio: malformed Elias gamma code")
+		}
+	}
+	rest, err := r.ReadBits(zeros)
+	if err != nil {
+		return 0, err
+	}
+	return 1<<uint(zeros) | rest, nil
+}
+
+// ReadCount reads a counter written by WriteCount.
+func (r *Reader) ReadCount() (int, error) {
+	v, err := r.ReadEliasGamma()
+	if err != nil {
+		return 0, err
+	}
+	return int(v - 1), nil
+}
+
+// bitLen returns the number of bits needed to represent v (bitLen(1)==1).
+func bitLen(v uint64) int {
+	n := 0
+	for v > 0 {
+		n++
+		v >>= 1
+	}
+	return n
+}
+
+// WidthFor returns the number of bits needed to store values in [0, maxVal].
+// WidthFor(0) == 0: a field whose only possible value is zero needs no bits.
+func WidthFor(maxVal int) int {
+	if maxVal <= 0 {
+		return 0
+	}
+	return bitLen(uint64(maxVal))
+}

@@ -1,0 +1,193 @@
+package bitio
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestWriteReadBits(t *testing.T) {
+	w := NewWriter(64)
+	w.WriteBits(0b101, 3)
+	w.WriteBits(0xFF, 8)
+	w.WriteBits(0, 5)
+	w.WriteBit(1)
+	if w.Len() != 17 {
+		t.Fatalf("Len = %d, want 17", w.Len())
+	}
+	r := NewReaderBits(w.Bytes(), w.Len())
+	if v, _ := r.ReadBits(3); v != 0b101 {
+		t.Errorf("first field = %b, want 101", v)
+	}
+	if v, _ := r.ReadBits(8); v != 0xFF {
+		t.Errorf("second field = %x, want ff", v)
+	}
+	if v, _ := r.ReadBits(5); v != 0 {
+		t.Errorf("third field = %d, want 0", v)
+	}
+	if v, _ := r.ReadBit(); v != 1 {
+		t.Errorf("final bit = %d, want 1", v)
+	}
+	if _, err := r.ReadBit(); err != ErrUnexpectedEOF {
+		t.Errorf("read past end: err = %v, want ErrUnexpectedEOF", err)
+	}
+}
+
+func TestMSBFirstLayout(t *testing.T) {
+	// "1000" must land as the top nibble of the first byte.
+	w := NewWriter(8)
+	w.WriteBits(0b1000, 4)
+	if got := w.Bytes()[0]; got != 0x80 {
+		t.Fatalf("byte layout = %08b, want 10000000", got)
+	}
+}
+
+func TestUnaryRoundTrip(t *testing.T) {
+	w := NewWriter(0)
+	for n := 0; n < 20; n++ {
+		w.WriteUnary(n)
+	}
+	r := NewReaderBits(w.Bytes(), w.Len())
+	for n := 0; n < 20; n++ {
+		got, err := r.ReadUnary()
+		if err != nil || got != n {
+			t.Fatalf("ReadUnary = %d, %v; want %d", got, err, n)
+		}
+	}
+}
+
+func TestEliasGammaKnownCodes(t *testing.T) {
+	// Classic gamma codes: 1->1, 2->010, 3->011, 4->00100.
+	cases := []struct {
+		v    uint64
+		bits string
+	}{
+		{1, "1"},
+		{2, "010"},
+		{3, "011"},
+		{4, "00100"},
+		{9, "0001001"},
+	}
+	for _, c := range cases {
+		w := NewWriter(0)
+		w.WriteEliasGamma(c.v)
+		if got := bitString(w); got != c.bits {
+			t.Errorf("gamma(%d) = %s, want %s", c.v, got, c.bits)
+		}
+	}
+}
+
+func TestCountRoundTrip(t *testing.T) {
+	w := NewWriter(0)
+	vals := []int{0, 1, 2, 3, 100, 12345}
+	for _, v := range vals {
+		w.WriteCount(v)
+	}
+	r := NewReaderBits(w.Bytes(), w.Len())
+	for _, v := range vals {
+		got, err := r.ReadCount()
+		if err != nil || got != v {
+			t.Fatalf("ReadCount = %d, %v; want %d", got, err, v)
+		}
+	}
+}
+
+func TestSeekAndPos(t *testing.T) {
+	w := NewWriter(0)
+	w.WriteBits(0xAB, 8)
+	mark := w.Len()
+	w.WriteBits(0xCD, 8)
+	r := NewReaderBits(w.Bytes(), w.Len())
+	if err := r.Seek(mark); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := r.ReadBits(8); v != 0xCD {
+		t.Errorf("after seek: %x, want cd", v)
+	}
+	if err := r.Seek(w.Len() + 1); err == nil {
+		t.Error("seek past end did not fail")
+	}
+}
+
+func TestAlignByte(t *testing.T) {
+	w := NewWriter(0)
+	w.WriteBits(0b101, 3)
+	pad := w.AlignByte()
+	if pad != 5 || w.Len() != 8 {
+		t.Fatalf("pad=%d len=%d, want 5, 8", pad, w.Len())
+	}
+	if w.AlignByte() != 0 {
+		t.Error("aligning an aligned writer added bits")
+	}
+}
+
+func TestWidthFor(t *testing.T) {
+	cases := []struct{ max, want int }{
+		{0, 0}, {1, 1}, {2, 2}, {3, 2}, {4, 3}, {7, 3}, {8, 4}, {255, 8}, {256, 9},
+	}
+	for _, c := range cases {
+		if got := WidthFor(c.max); got != c.want {
+			t.Errorf("WidthFor(%d) = %d, want %d", c.max, got, c.want)
+		}
+	}
+}
+
+func TestQuickMixedRoundTrip(t *testing.T) {
+	// Property: any sequence of (value, width) writes reads back identically.
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		type field struct {
+			v     uint64
+			width int
+		}
+		fields := make([]field, int(n)+1)
+		w := NewWriter(0)
+		for i := range fields {
+			width := rng.Intn(64) + 1
+			v := rng.Uint64() & (^uint64(0) >> uint(64-width))
+			fields[i] = field{v, width}
+			w.WriteBits(v, width)
+		}
+		r := NewReaderBits(w.Bytes(), w.Len())
+		for _, f := range fields {
+			got, err := r.ReadBits(f.width)
+			if err != nil || got != f.v {
+				return false
+			}
+		}
+		return r.Remaining() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickGammaRoundTrip(t *testing.T) {
+	f := func(vs []uint32) bool {
+		w := NewWriter(0)
+		for _, v := range vs {
+			w.WriteEliasGamma(uint64(v) + 1)
+		}
+		r := NewReaderBits(w.Bytes(), w.Len())
+		for _, v := range vs {
+			got, err := r.ReadEliasGamma()
+			if err != nil || got != uint64(v)+1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func bitString(w *Writer) string {
+	r := NewReaderBits(w.Bytes(), w.Len())
+	s := make([]byte, 0, w.Len())
+	for r.Remaining() > 0 {
+		b, _ := r.ReadBit()
+		s = append(s, byte('0'+b))
+	}
+	return string(s)
+}

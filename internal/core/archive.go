@@ -1,0 +1,193 @@
+package core
+
+import (
+	"fmt"
+
+	"utcq/internal/bitio"
+	"utcq/internal/pddp"
+	"utcq/internal/roadnet"
+	"utcq/internal/traj"
+)
+
+// Options are the compression parameters of Table 7.
+type Options struct {
+	// NumPivots is the number of pivots used by reference selection
+	// (paper default: 2 for DK, 1 for CD and HZ).
+	NumPivots int
+	// EtaD is the error bound for relative distances (default 1/128).
+	EtaD float64
+	// EtaP is the error bound for probabilities (default 1/512; 1/2048 for HZ).
+	EtaP float64
+	// Ts is the dataset's default sample interval in seconds.
+	Ts int64
+
+	// DisableReferential stores every instance as a reference (ablation:
+	// isolates the gain of referential representation).
+	DisableReferential bool
+
+	// PlainJaccard replaces the Fine-grained Jaccard Distance with the
+	// plain Jaccard similarity over factor sets (ablation: the measure the
+	// paper improves upon, Section 4.3).
+	PlainJaccard bool
+}
+
+// DefaultOptions returns the paper's default parameters for a dataset with
+// the given sample interval.
+func DefaultOptions(ts int64) Options {
+	return Options{NumPivots: 1, EtaD: 1.0 / 128, EtaP: 1.0 / 512, Ts: ts}
+}
+
+// CompStats aggregates raw and compressed sizes per component, in bits.
+// Hdr holds structural bits (record markers, counts) not attributable to a
+// single component; it is part of the total but not of per-component ratios.
+type CompStats struct {
+	Raw  traj.ComponentBits
+	Comp traj.ComponentBits
+	Hdr  int64
+
+	NumTrajectories int
+	NumInstances    int
+	NumReferences   int
+}
+
+// Add accumulates another stats value.
+func (s *CompStats) Add(o CompStats) {
+	s.Raw.Add(o.Raw)
+	s.Comp.Add(o.Comp)
+	s.Hdr += o.Hdr
+	s.NumTrajectories += o.NumTrajectories
+	s.NumInstances += o.NumInstances
+	s.NumReferences += o.NumReferences
+}
+
+// CompTotal returns the total compressed size in bits.
+func (s CompStats) CompTotal() int64 { return s.Comp.Total() + s.Hdr }
+
+// TotalRatio returns the overall compression ratio.
+func (s CompStats) TotalRatio() float64 { return ratio(s.Raw.Total(), s.CompTotal()) }
+
+// RatioT returns the compression ratio of the time component; similarly for
+// the other components.
+func (s CompStats) RatioT() float64  { return ratio(s.Raw.T, s.Comp.T) }
+func (s CompStats) RatioE() float64  { return ratio(s.Raw.E, s.Comp.E) }
+func (s CompStats) RatioD() float64  { return ratio(s.Raw.D, s.Comp.D) }
+func (s CompStats) RatioTF() float64 { return ratio(s.Raw.TF, s.Comp.TF) }
+func (s CompStats) RatioP() float64  { return ratio(s.Raw.P, s.Comp.P) }
+
+func ratio(raw, comp int64) float64 {
+	if comp == 0 {
+		return 0
+	}
+	return float64(raw) / float64(comp)
+}
+
+// InstMeta is the per-instance directory entry: the record's bit offset and
+// cached navigation fields (all reproducible from the stream).
+type InstMeta struct {
+	IsRef   bool
+	RefOrig int // original index of this non-reference's reference; -1 for refs
+	Start   int // absolute bit offset of the record
+	P       float64
+	SV      roadnet.VertexID
+}
+
+// TrajRecord is one compressed uncertain trajectory: a single bit stream
+// (time section followed by instance records, references first) plus the
+// directory needed for partial decompression.
+type TrajRecord struct {
+	Bits      []byte
+	BitLen    int
+	NumPoints int
+	T0        int64
+
+	// TDeltaPos[i] is the bit position of the code of deviation i (i.e. of
+	// timestamp i+1) — the temporal index stores these as t.pos.
+	TDeltaPos []int
+
+	// Insts is indexed by original instance position.
+	Insts []InstMeta
+
+	// RefOrigByWrite maps reference write order to original indices.
+	RefOrigByWrite []int
+}
+
+// NumInstances returns the instance count.
+func (tr *TrajRecord) NumInstances() int { return len(tr.Insts) }
+
+// Reader returns a bit reader over the record positioned at pos.
+func (tr *TrajRecord) Reader(pos int) (*bitio.Reader, error) {
+	r := bitio.NewReaderBits(tr.Bits, tr.BitLen)
+	if err := r.Seek(pos); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// TimeCursorAt resumes timestamp decoding at a temporal-index entry:
+// startT is the timestamp with index startIdx, and pos is the bit position
+// of the next deviation code (t.pos).
+func (tr *TrajRecord) TimeCursorAt(ts int64, pos int, startT int64, startIdx int) (*TimeCursor, error) {
+	r, err := tr.Reader(pos)
+	if err != nil {
+		return nil, err
+	}
+	return &TimeCursor{r: r, t: startT, idx: startIdx, n: tr.NumPoints, ts: ts}, nil
+}
+
+// TimeCursorStart iterates timestamps from the beginning.
+func (tr *TrajRecord) TimeCursorStart(ts int64) (*TimeCursor, error) {
+	if len(tr.TDeltaPos) == 0 {
+		// Single-point stream: cursor that cannot advance.
+		return &TimeCursor{t: tr.T0, idx: 0, n: 1, ts: ts}, nil
+	}
+	return tr.TimeCursorAt(ts, tr.TDeltaPos[0], tr.T0, 0)
+}
+
+// Archive is a compressed collection of uncertain trajectories over one
+// road network.
+type Archive struct {
+	Opts       Options
+	Graph      *roadnet.Graph
+	VertexBits int
+	EdgeBits   int
+	DCodec     *pddp.Codec
+	PCodec     *pddp.Codec
+	Trajs      []*TrajRecord
+	Stats      CompStats
+}
+
+// Compressor holds per-network encoding state.
+type Compressor struct {
+	g          *roadnet.Graph
+	opts       Options
+	vertexBits int
+	edgeBits   int
+	dCodec     *pddp.Codec
+	pCodec     *pddp.Codec
+}
+
+// NewCompressor validates options against the network.
+func NewCompressor(g *roadnet.Graph, opts Options) (*Compressor, error) {
+	if opts.NumPivots < 1 {
+		return nil, fmt.Errorf("core: NumPivots %d < 1", opts.NumPivots)
+	}
+	if opts.Ts < 1 {
+		return nil, fmt.Errorf("core: default sample interval %d < 1", opts.Ts)
+	}
+	dc, err := pddp.NewCodec(opts.EtaD)
+	if err != nil {
+		return nil, fmt.Errorf("core: EtaD: %w", err)
+	}
+	pc, err := pddp.NewCodec(opts.EtaP)
+	if err != nil {
+		return nil, fmt.Errorf("core: EtaP: %w", err)
+	}
+	return &Compressor{
+		g:          g,
+		opts:       opts,
+		vertexBits: bitio.WidthFor(g.NumVertices() - 1),
+		edgeBits:   bitio.WidthFor(g.MaxOutDegree()),
+		dCodec:     dc,
+		pCodec:     pc,
+	}, nil
+}

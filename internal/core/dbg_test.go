@@ -1,0 +1,28 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"utcq/internal/gen"
+)
+
+func TestDebugDError(t *testing.T) {
+	p := gen.DK()
+	p.Network.Cols, p.Network.Rows = 20, 20
+	ds, _ := gen.Build(p, 25, 99)
+	opts := DefaultOptions(p.Ts)
+	c, _ := NewCompressor(ds.Graph, opts)
+	a, _ := c.Compress(ds.Trajectories)
+	got, _ := a.DecodeAll()
+	u := ds.Trajectories[0]
+	g := got[0]
+	w := &u.Instances[0]
+	gi := &g.Instances[0]
+	fmt.Println("isRef:", a.Trajs[0].Insts[0].IsRef, "refOrig:", a.Trajs[0].Insts[0].RefOrig)
+	fmt.Println("want D[27]:", w.D[27], "got:", gi.D[27], "quant:", a.DCodec.Quantize(w.D[27]))
+	if !a.Trajs[0].Insts[0].IsRef {
+		ref := &u.Instances[a.Trajs[0].Insts[0].RefOrig]
+		fmt.Println("ref D[27]:", ref.D[27], "quant:", a.DCodec.Quantize(ref.D[27]))
+	}
+}

@@ -1,0 +1,72 @@
+package core
+
+import (
+	"fmt"
+
+	"utcq/internal/traj"
+)
+
+// DecodeAll fully decompresses the archive.  D values and probabilities
+// are quantized within their error bounds; everything else is lossless.
+func (a *Archive) DecodeAll() ([]*traj.Uncertain, error) {
+	out := make([]*traj.Uncertain, len(a.Trajs))
+	for j := range a.Trajs {
+		u, err := a.DecodeTrajectory(j)
+		if err != nil {
+			return nil, fmt.Errorf("core: trajectory %d: %w", j, err)
+		}
+		out[j] = u
+	}
+	return out, nil
+}
+
+// DecodeTrajectory fully decompresses one trajectory.
+func (a *Archive) DecodeTrajectory(j int) (*traj.Uncertain, error) {
+	rec := a.Trajs[j]
+	r, err := rec.Reader(0)
+	if err != nil {
+		return nil, err
+	}
+	T, err := decodeT(r, a.Opts.Ts)
+	if err != nil {
+		return nil, err
+	}
+	u := &traj.Uncertain{T: T, Instances: make([]traj.Instance, len(rec.Insts))}
+
+	// Pass 1: references (written first, so this is a sequential scan).
+	refs := make([]*traj.Instance, 0, len(rec.RefOrigByWrite))
+	for _, orig := range rec.RefOrigByWrite {
+		rv, err := a.RefView(j, orig)
+		if err != nil {
+			return nil, err
+		}
+		ins, err := rv.Instance(len(T))
+		if err != nil {
+			return nil, err
+		}
+		u.Instances[orig] = *ins
+		refs = append(refs, &u.Instances[orig])
+	}
+	// Pass 2: non-references.
+	for orig := range rec.Insts {
+		meta := rec.Insts[orig]
+		if meta.IsRef {
+			continue
+		}
+		rv, err := a.RefView(j, meta.RefOrig)
+		if err != nil {
+			return nil, err
+		}
+		nv, err := a.NonRefView(j, orig, rv)
+		if err != nil {
+			return nil, err
+		}
+		ins, err := nv.Instance(rv, len(T))
+		if err != nil {
+			return nil, err
+		}
+		u.Instances[orig] = *ins
+	}
+	_ = refs
+	return u, nil
+}

@@ -1,0 +1,358 @@
+package core
+
+import (
+	"fmt"
+
+	"utcq/internal/bitio"
+	"utcq/internal/traj"
+)
+
+// Compress encodes a dataset trajectory by trajectory (UTCQ never holds
+// more than one uncompressed trajectory at a time, unlike TED's global
+// matrix grouping — this is the memory-shape result of Fig 6).
+func (c *Compressor) Compress(tus []*traj.Uncertain) (*Archive, error) {
+	a := &Archive{
+		Opts:       c.opts,
+		Graph:      c.g,
+		VertexBits: c.vertexBits,
+		EdgeBits:   c.edgeBits,
+		DCodec:     c.dCodec,
+		PCodec:     c.pCodec,
+	}
+	for j, u := range tus {
+		rec, stats, err := c.CompressOne(u)
+		if err != nil {
+			return nil, fmt.Errorf("core: trajectory %d: %w", j, err)
+		}
+		a.Trajs = append(a.Trajs, rec)
+		a.Stats.Add(stats)
+	}
+	return a, nil
+}
+
+// CompressOne encodes a single uncertain trajectory.
+func (c *Compressor) CompressOne(u *traj.Uncertain) (*TrajRecord, CompStats, error) {
+	var stats CompStats
+	stats.Raw = u.RawBits()
+	stats.NumTrajectories = 1
+	stats.NumInstances = len(u.Instances)
+
+	w := bitio.NewWriter(256)
+	rec := &TrajRecord{
+		NumPoints: len(u.T),
+		T0:        u.T[0],
+		Insts:     make([]InstMeta, len(u.Instances)),
+	}
+
+	// Time section (shared by all instances).
+	mark := w.Len()
+	rec.TDeltaPos = encodeT(w, u.T, c.opts.Ts)
+	stats.Comp.T += int64(w.Len() - mark)
+
+	// Reference selection.
+	var sel Selection
+	switch {
+	case c.opts.DisableReferential:
+		sel = Selection{IsRef: make([]bool, len(u.Instances)), RefOf: make([]int, len(u.Instances))}
+		for i := range sel.IsRef {
+			sel.IsRef[i] = true
+			sel.RefOf[i] = -1
+		}
+	case c.opts.PlainJaccard:
+		sel = selectReferencesWith(u, c.opts.NumPivots, plainJaccard)
+	default:
+		sel = SelectReferences(u, c.opts.NumPivots)
+	}
+	stats.NumReferences = sel.NumRefs()
+
+	// References first, then non-references.
+	refWritePos := make(map[int]int) // orig index -> write order
+	for orig := range u.Instances {
+		if !sel.IsRef[orig] {
+			continue
+		}
+		refWritePos[orig] = len(rec.RefOrigByWrite)
+		rec.RefOrigByWrite = append(rec.RefOrigByWrite, orig)
+		rec.Insts[orig] = InstMeta{
+			IsRef:   true,
+			RefOrig: -1,
+			Start:   w.Len(),
+			P:       c.pCodec.Quantize(u.Instances[orig].P),
+			SV:      u.Instances[orig].SV,
+		}
+		c.encodeRef(w, &u.Instances[orig], len(u.T), orig, &stats)
+	}
+	for orig := range u.Instances {
+		if sel.IsRef[orig] {
+			continue
+		}
+		refOrig := sel.RefOf[orig]
+		rec.Insts[orig] = InstMeta{
+			IsRef:   false,
+			RefOrig: refOrig,
+			Start:   w.Len(),
+			P:       c.pCodec.Quantize(u.Instances[orig].P),
+			SV:      u.Instances[orig].SV,
+		}
+		if err := c.encodeNonRef(w, u, orig, refOrig, refWritePos[refOrig], &stats); err != nil {
+			return nil, stats, err
+		}
+	}
+
+	rec.Bits = w.Bytes()
+	rec.BitLen = w.Len()
+	return rec, stats, nil
+}
+
+// encodeRef writes a reference record:
+//
+//	[origIdx γ][isRef=1][p PDDP][SV][|E| γ][E entries][stored T' bits][D codes]
+func (c *Compressor) encodeRef(w *bitio.Writer, ins *traj.Instance, numPoints, orig int, stats *CompStats) {
+	mark := w.Len()
+	w.WriteCount(orig)
+	w.WriteBit(1)
+	stats.Hdr += int64(w.Len() - mark)
+
+	mark = w.Len()
+	c.pCodec.Encode(w, ins.P)
+	stats.Comp.P += int64(w.Len() - mark)
+
+	mark = w.Len()
+	w.WriteBits(uint64(ins.SV), c.vertexBits)
+	w.WriteCount(len(ins.E))
+	for _, no := range ins.E {
+		w.WriteBits(uint64(no), c.edgeBits)
+	}
+	stats.Comp.E += int64(w.Len() - mark)
+
+	mark = w.Len()
+	for _, b := range StoredTF(ins.TF) {
+		w.WriteBool(b)
+	}
+	stats.Comp.TF += int64(w.Len() - mark)
+
+	mark = w.Len()
+	for _, rd := range ins.D {
+		c.dCodec.Encode(w, rd)
+	}
+	stats.Comp.D += int64(w.Len() - mark)
+	_ = numPoints
+}
+
+// encodeNonRef writes a non-reference record:
+//
+//	[origIdx γ][isRef=0][p PDDP][refPos γ]
+//	[H γ][lastHasM][E factors]
+//	[tfSame][H' γ][lastHasM][T' factors]
+//	[numD γ][D factors]
+func (c *Compressor) encodeNonRef(w *bitio.Writer, u *traj.Uncertain, orig, refOrig, refPos int, stats *CompStats) error {
+	ins := &u.Instances[orig]
+	ref := &u.Instances[refOrig]
+
+	mark := w.Len()
+	w.WriteCount(orig)
+	w.WriteBit(0)
+	stats.Hdr += int64(w.Len() - mark)
+
+	mark = w.Len()
+	c.pCodec.Encode(w, ins.P)
+	stats.Comp.P += int64(w.Len() - mark)
+
+	mark = w.Len()
+	w.WriteCount(refPos)
+	stats.Hdr += int64(w.Len() - mark)
+
+	// E factors.
+	mark = w.Len()
+	eFactors := FactorsSLM(ins.E, ref.E)
+	if err := writeEFactors(w, eFactors, len(ref.E), c.edgeBits); err != nil {
+		return err
+	}
+	stats.Comp.E += int64(w.Len() - mark)
+
+	// T' factors over the stored (first/last-stripped) bit-strings.
+	// Mode 1: identical to the reference (Com = ∅, the paper's special
+	// case).  Mode 00: factor list.  Mode 01: verbatim bits — for very
+	// short strings a single factor can exceed the raw form, so the
+	// encoder keeps whichever is smaller.
+	mark = w.Len()
+	refStored := StoredTF(ref.TF)
+	insStored := StoredTF(ins.TF)
+	switch {
+	case boolsEqual(insStored, refStored):
+		w.WriteBit(1)
+	default:
+		w.WriteBit(0)
+		factors := FactorsTF(insStored, refStored)
+		probe := bitio.NewWriter(64)
+		writeTFFactors(probe, factors, len(refStored))
+		if probe.Len() < len(insStored) {
+			w.WriteBit(0)
+			writeTFFactors(w, factors, len(refStored))
+		} else {
+			w.WriteBit(1)
+			for _, b := range insStored {
+				w.WriteBool(b)
+			}
+		}
+	}
+	stats.Comp.TF += int64(w.Len() - mark)
+
+	// D factors.
+	mark = w.Len()
+	dFactors := DiffD(ins.D, ref.D, c.dCodec)
+	w.WriteCount(len(dFactors))
+	posBits := bitio.WidthFor(len(u.T) - 1)
+	for _, f := range dFactors {
+		w.WriteBits(uint64(f.Pos), posBits)
+		c.dCodec.Encode(w, f.RD)
+	}
+	stats.Comp.D += int64(w.Len() - mark)
+	return nil
+}
+
+// writeEFactors encodes an E factor list.  S takes ⌈log2(|E(Ref)|+1)⌉ bits
+// (the value |E(Ref)| is the case-B sentinel), L-1 takes ⌈log2 |E(Ref)|⌉
+// bits and M takes ⌈log2(o+1)⌉ bits (Section 4.4).
+func writeEFactors(w *bitio.Writer, factors []EFactor, refLen, edgeBits int) error {
+	sBits := bitio.WidthFor(refLen)
+	lBits := bitio.WidthFor(refLen - 1)
+	w.WriteCount(len(factors))
+	lastHasM := len(factors) > 0 && factors[len(factors)-1].HasM
+	w.WriteBool(lastHasM)
+	for _, f := range factors {
+		if f.NotInRef {
+			w.WriteBits(uint64(refLen), sBits)
+			w.WriteBits(uint64(f.M), edgeBits)
+			continue
+		}
+		if f.L < 1 || f.L > refLen {
+			return fmt.Errorf("core: E factor length %d outside [1, %d]", f.L, refLen)
+		}
+		w.WriteBits(uint64(f.S), sBits)
+		w.WriteBits(uint64(f.L-1), lBits)
+		if f.HasM {
+			w.WriteBits(uint64(f.M), edgeBits)
+		}
+	}
+	return nil
+}
+
+// readEFactors decodes an E factor list and returns the factors along with
+// the bit position of each factor (ma.pos for the StIU index).
+func readEFactors(r *bitio.Reader, refLen, edgeBits int) ([]EFactor, []int, error) {
+	sBits := bitio.WidthFor(refLen)
+	lBits := bitio.WidthFor(refLen - 1)
+	h, err := r.ReadCount()
+	if err != nil {
+		return nil, nil, err
+	}
+	lastHasM, err := r.ReadBool()
+	if err != nil {
+		return nil, nil, err
+	}
+	factors := make([]EFactor, h)
+	pos := make([]int, h)
+	for i := 0; i < h; i++ {
+		pos[i] = r.Pos()
+		s, err := r.ReadBits(sBits)
+		if err != nil {
+			return nil, nil, err
+		}
+		if int(s) == refLen {
+			m, err := r.ReadBits(edgeBits)
+			if err != nil {
+				return nil, nil, err
+			}
+			factors[i] = EFactor{S: refLen, M: uint16(m), HasM: true, NotInRef: true}
+			continue
+		}
+		lm1, err := r.ReadBits(lBits)
+		if err != nil {
+			return nil, nil, err
+		}
+		f := EFactor{S: int(s), L: int(lm1) + 1}
+		if i != h-1 || lastHasM {
+			m, err := r.ReadBits(edgeBits)
+			if err != nil {
+				return nil, nil, err
+			}
+			f.M = uint16(m)
+			f.HasM = true
+		}
+		factors[i] = f
+	}
+	return factors, pos, nil
+}
+
+// writeTFFactors encodes a T' factor list: S and L in ⌈log2 |T'(Ref)|⌉-ish
+// bits, M in 1 bit (per the paper's cost model).
+func writeTFFactors(w *bitio.Writer, factors []TFFactor, refLen int) {
+	sBits := bitio.WidthFor(maxInt(refLen-1, 0))
+	lBits := bitio.WidthFor(refLen)
+	w.WriteCount(len(factors))
+	lastHasM := len(factors) > 0 && factors[len(factors)-1].HasM
+	w.WriteBool(lastHasM)
+	for _, f := range factors {
+		w.WriteBits(uint64(f.S), sBits)
+		w.WriteBits(uint64(f.L), lBits)
+		if f.HasM {
+			w.WriteBool(f.M)
+		}
+	}
+}
+
+// readTFFactors decodes a T' factor list.
+func readTFFactors(r *bitio.Reader, refLen int) ([]TFFactor, error) {
+	sBits := bitio.WidthFor(maxInt(refLen-1, 0))
+	lBits := bitio.WidthFor(refLen)
+	h, err := r.ReadCount()
+	if err != nil {
+		return nil, err
+	}
+	lastHasM, err := r.ReadBool()
+	if err != nil {
+		return nil, err
+	}
+	factors := make([]TFFactor, h)
+	for i := 0; i < h; i++ {
+		s, err := r.ReadBits(sBits)
+		if err != nil {
+			return nil, err
+		}
+		l, err := r.ReadBits(lBits)
+		if err != nil {
+			return nil, err
+		}
+		f := TFFactor{S: int(s), L: int(l)}
+		if i != h-1 || lastHasM {
+			m, err := r.ReadBool()
+			if err != nil {
+				return nil, err
+			}
+			f.M = m
+			f.HasM = true
+		}
+		factors[i] = f
+	}
+	return factors, nil
+}
+
+func boolsEqual(a, b []bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

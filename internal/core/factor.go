@@ -1,0 +1,222 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"utcq/internal/pddp"
+)
+
+// EFactor is one factor of the referential representation of an edge
+// sequence (Section 4.2).  Three forms exist:
+//
+//	(S, L, M) — copy ref[S:S+L], then append M (HasM true)
+//	(S, L)    — copy ref[S:S+L]; final factor only (HasM false)
+//	(S=|ref|, M) — the symbol M does not occur in the reference
+//	               (NotInRef true; L is implicitly 1: just M)
+type EFactor struct {
+	S, L     int
+	M        uint16
+	HasM     bool
+	NotInRef bool
+}
+
+// longestMatch returns the leftmost longest match of a prefix of needle
+// inside ref: start S and length L (L == 0 when needle[0] is absent).
+func longestMatch(needle, ref []uint16) (int, int) {
+	bestS, bestL := 0, 0
+	for s := 0; s < len(ref); s++ {
+		l := 0
+		for l < len(needle) && s+l < len(ref) && ref[s+l] == needle[l] {
+			l++
+		}
+		if l > bestL {
+			bestS, bestL = s, l
+		}
+	}
+	return bestS, bestL
+}
+
+// FactorsSLM computes the (S, L, M) referential representation of input
+// against ref with greedy leftmost-longest matching.  It reproduces the
+// paper's Table 4 examples.
+func FactorsSLM(input, ref []uint16) []EFactor {
+	var out []EFactor
+	i := 0
+	for i < len(input) {
+		s, l := longestMatch(input[i:], ref)
+		if l == 0 {
+			// Case B: symbol absent from the reference.
+			out = append(out, EFactor{S: len(ref), M: input[i], HasM: true, NotInRef: true})
+			i++
+			continue
+		}
+		i += l
+		if i < len(input) {
+			out = append(out, EFactor{S: s, L: l, M: input[i], HasM: true})
+			i++
+		} else {
+			out = append(out, EFactor{S: s, L: l})
+		}
+	}
+	return out
+}
+
+// ExpandE inverts FactorsSLM.
+func ExpandE(factors []EFactor, ref []uint16) ([]uint16, error) {
+	var out []uint16
+	for i, f := range factors {
+		if f.NotInRef {
+			out = append(out, f.M)
+			continue
+		}
+		if f.S < 0 || f.L < 0 || f.S+f.L > len(ref) {
+			return nil, fmt.Errorf("core: factor %d (%d,%d) outside reference of length %d", i, f.S, f.L, len(ref))
+		}
+		out = append(out, ref[f.S:f.S+f.L]...)
+		if f.HasM {
+			out = append(out, f.M)
+		} else if i != len(factors)-1 {
+			return nil, errors.New("core: (S,L) factor before the end")
+		}
+	}
+	return out, nil
+}
+
+// PivotFactor is one factor of the lighter (S, L) representation used for
+// pivot-based similarity estimation (Section 4.3).  Omitted marks symbols
+// absent from the pivot: the factor is not stored, but the count increases.
+type PivotFactor struct {
+	S, L    int
+	Omitted bool
+}
+
+// FactorsSL computes the pivot representation of input against ref.
+func FactorsSL(input, ref []uint16) []PivotFactor {
+	var out []PivotFactor
+	i := 0
+	for i < len(input) {
+		s, l := longestMatch(input[i:], ref)
+		if l == 0 {
+			out = append(out, PivotFactor{Omitted: true})
+			i++
+			continue
+		}
+		out = append(out, PivotFactor{S: s, L: l})
+		i += l
+	}
+	return out
+}
+
+// TFFactor is one factor of the time-flag bit-string representation: copy
+// ref[S:S+L], then append M when HasM (the final factor may lack M).  The
+// binary encoding spends 1 bit on M per the paper's cost model.
+type TFFactor struct {
+	S, L int
+	M    bool
+	HasM bool
+}
+
+// FactorsTF computes the referential representation of a stored time-flag
+// bit-string against the reference's stored bit-string.
+func FactorsTF(input, ref []bool) []TFFactor {
+	var out []TFFactor
+	i := 0
+	for i < len(input) {
+		s, l := longestMatchTF(input[i:], ref)
+		i += l
+		if i < len(input) {
+			out = append(out, TFFactor{S: s, L: l, M: input[i], HasM: true})
+			i++
+		} else {
+			out = append(out, TFFactor{S: s, L: l})
+		}
+	}
+	return out
+}
+
+func longestMatchTF(needle, ref []bool) (int, int) {
+	bestS, bestL := 0, 0
+	for s := 0; s < len(ref); s++ {
+		l := 0
+		for l < len(needle) && s+l < len(ref) && ref[s+l] == needle[l] {
+			l++
+		}
+		if l > bestL {
+			bestS, bestL = s, l
+		}
+	}
+	return bestS, bestL
+}
+
+// ExpandTF inverts FactorsTF.
+func ExpandTF(factors []TFFactor, ref []bool) ([]bool, error) {
+	var out []bool
+	for i, f := range factors {
+		if f.S < 0 || f.L < 0 || f.S+f.L > len(ref) {
+			return nil, fmt.Errorf("core: TF factor %d (%d,%d) outside reference of length %d", i, f.S, f.L, len(ref))
+		}
+		out = append(out, ref[f.S:f.S+f.L]...)
+		if f.HasM {
+			out = append(out, f.M)
+		} else if i != len(factors)-1 {
+			return nil, errors.New("core: TF factor without M before the end")
+		}
+	}
+	return out, nil
+}
+
+// DFactor is one (pos, rd) factor of the relative-distance representation:
+// positions where the non-reference differs from its reference.
+type DFactor struct {
+	Pos int
+	RD  float64
+}
+
+// DiffD computes the D factors of input against ref.  Values are compared
+// after PDDP quantization so that positions whose codes coincide are
+// shared, preserving the error bound.
+func DiffD(input, ref []float64, codec *pddp.Codec) []DFactor {
+	var out []DFactor
+	for i := range input {
+		if codec.Quantize(input[i]) != codec.Quantize(ref[i]) {
+			out = append(out, DFactor{Pos: i, RD: input[i]})
+		}
+	}
+	return out
+}
+
+// ExpandD inverts DiffD given the reference's decoded distances.  Factor
+// values are used verbatim: on the decode path they are already quantized
+// (re-quantizing is not idempotent — a decoded value may admit an even
+// shorter code within eta of itself, drifting past the error bound).
+func ExpandD(factors []DFactor, refDecoded []float64) ([]float64, error) {
+	out := make([]float64, len(refDecoded))
+	copy(out, refDecoded)
+	for _, f := range factors {
+		if f.Pos < 0 || f.Pos >= len(out) {
+			return nil, fmt.Errorf("core: D factor position %d outside %d points", f.Pos, len(out))
+		}
+		out[f.Pos] = f.RD
+	}
+	return out, nil
+}
+
+// StoredTF strips the first and last bits of a full time-flag bit-string
+// (both always 1; Section 4.1 omits them).
+func StoredTF(full []bool) []bool {
+	if len(full) <= 2 {
+		return nil
+	}
+	return full[1 : len(full)-1]
+}
+
+// FullTF restores a full bit-string from its stored form and the original
+// length.
+func FullTF(stored []bool, fullLen int) []bool {
+	out := make([]bool, fullLen)
+	out[0] = true
+	out[fullLen-1] = true
+	copy(out[1:], stored)
+	return out
+}

@@ -1,0 +1,176 @@
+package core
+
+import "utcq/internal/traj"
+
+// FJD computes the Fine-grained Jaccard Distance of Formula (1): the
+// similarity of representing instance v by instance w, both factored
+// against the same pivot.  Despite the name it grows with similarity
+// (identical representations yield 1).
+func FJD(comW, comV []PivotFactor) float64 {
+	h, h2 := len(comW), len(comV)
+	if h == 0 || h2 == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, fv := range comV {
+		sum += simFactor(fv, comW)
+	}
+	den := h
+	if h2 > den {
+		den = h2
+	}
+	return sum / float64(den)
+}
+
+// simFactor implements Formula (2): the best interval overlap between one
+// factor of v and all factors of w, normalized by the larger of the two
+// factor lengths.  Ties on the overlap choose the smallest w-factor length.
+func simFactor(fv PivotFactor, comW []PivotFactor) float64 {
+	if fv.Omitted {
+		return 0
+	}
+	bestOv, bestL := 0, 0
+	for _, fw := range comW {
+		if fw.Omitted {
+			continue
+		}
+		ov := intervalOverlap(fw.S, fw.L, fv.S, fv.L)
+		if ov > bestOv || (ov == bestOv && ov > 0 && fw.L < bestL) {
+			bestOv, bestL = ov, fw.L
+		}
+	}
+	if bestOv == 0 {
+		return 0
+	}
+	den := bestL
+	if fv.L > den {
+		den = fv.L
+	}
+	return float64(bestOv) / float64(den)
+}
+
+// intervalOverlap is Ejiw(Mah) ∩ Ejiv(Mah′):
+// max{min{S1+L1, S2+L2} − max{S1, S2}, 0}.
+func intervalOverlap(s1, l1, s2, l2 int) int {
+	lo := s1
+	if s2 > lo {
+		lo = s2
+	}
+	hi := s1 + l1
+	if s2+l2 < hi {
+		hi = s2 + l2
+	}
+	if hi <= lo {
+		return 0
+	}
+	return hi - lo
+}
+
+// PivotSet carries the selected pivots and every instance's representation
+// against each of them.
+type PivotSet struct {
+	Pivots []int             // instance indices chosen as pivots
+	Coms   [][][]PivotFactor // Coms[p][w]: representation of instance w against pivot p
+}
+
+// SelectPivots implements the pivot-selection procedure of Section 4.3:
+// start from an arbitrary instance, repeatedly represent all instances
+// against the latest pivot and promote the instance with the most factors
+// (the farthest one).  Only E(·) is represented.
+func SelectPivots(tu *traj.Uncertain, numPivots int) PivotSet {
+	n := len(tu.Instances)
+	if numPivots < 1 {
+		numPivots = 1
+	}
+	if numPivots > n {
+		numPivots = n
+	}
+	ps := PivotSet{}
+	isPivot := make([]bool, n)
+
+	represent := func(base int) [][]PivotFactor {
+		coms := make([][]PivotFactor, n)
+		for w := 0; w < n; w++ {
+			coms[w] = FactorsSL(tu.Instances[w].E, tu.Instances[base].E)
+		}
+		return coms
+	}
+	// Step i: the seed instance is instance 0; its representation is only
+	// used to pick the first pivot.
+	coms := represent(0)
+	for len(ps.Pivots) < numPivots {
+		best, bestFactors := -1, -1
+		for w := 0; w < n; w++ {
+			if isPivot[w] {
+				continue
+			}
+			if len(coms[w]) > bestFactors {
+				best, bestFactors = w, len(coms[w])
+			}
+		}
+		if best < 0 {
+			break
+		}
+		isPivot[best] = true
+		ps.Pivots = append(ps.Pivots, best)
+		// Step iii: represent all instances against the new pivot.
+		coms = represent(best)
+		ps.Coms = append(ps.Coms, coms)
+	}
+	return ps
+}
+
+// Score computes SF(w, v) of Section 4.3: the score of representing v by w,
+// i.e. w's probability times the maximum FJD over all pivots.  It is 0 when
+// w == v or the start vertices differ.
+func (ps *PivotSet) Score(tu *traj.Uncertain, w, v int) float64 {
+	return ps.score(tu, w, v, FJD)
+}
+
+func (ps *PivotSet) score(tu *traj.Uncertain, w, v int, sim func(a, b []PivotFactor) float64) float64 {
+	if w == v {
+		return 0
+	}
+	if tu.Instances[w].SV != tu.Instances[v].SV {
+		return 0
+	}
+	best := 0.0
+	for p := range ps.Pivots {
+		if f := sim(ps.Coms[p][w], ps.Coms[p][v]); f > best {
+			best = f
+		}
+	}
+	return tu.Instances[w].P * best
+}
+
+// plainJaccard is the similarity the paper improves upon: the Jaccard
+// similarity of the two factor multisets (Section 4.3 shows it misjudges
+// near-identical representations such as ⟨(0,8),(5,1)⟩ vs ⟨(0,7)⟩).
+func plainJaccard(comW, comV []PivotFactor) float64 {
+	if len(comW) == 0 || len(comV) == 0 {
+		return 0
+	}
+	type key struct{ s, l int }
+	wSet := make(map[key]int)
+	for _, f := range comW {
+		if !f.Omitted {
+			wSet[key{f.S, f.L}]++
+		}
+	}
+	inter := 0
+	for _, f := range comV {
+		if f.Omitted {
+			continue
+		}
+		k := key{f.S, f.L}
+		if wSet[k] > 0 {
+			wSet[k]--
+			inter++
+		}
+	}
+	union := len(comW) + len(comV) - inter
+	if union == 0 {
+		return 0
+	}
+	return float64(inter) / float64(union)
+}

@@ -1,0 +1,124 @@
+package core
+
+import (
+	"sort"
+
+	"utcq/internal/traj"
+)
+
+// Selection is the output of reference selection for one uncertain
+// trajectory: which instances are references, and each non-reference's
+// reference.  The two constraints of Section 4.3 hold by construction:
+// every non-reference has exactly one reference, and references are never
+// themselves represented (single-order compression).
+type Selection struct {
+	IsRef []bool
+	RefOf []int // RefOf[v] = reference instance index; -1 for references
+}
+
+// NumRefs counts the references.
+func (s Selection) NumRefs() int {
+	n := 0
+	for _, r := range s.IsRef {
+		if r {
+			n++
+		}
+	}
+	return n
+}
+
+// Rrs returns the referential representation set of reference w: the
+// non-references it represents.
+func (s Selection) Rrs(w int) []int {
+	var out []int
+	for v, r := range s.RefOf {
+		if r == w {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Validate checks the selection's structural constraints.
+func (s Selection) Validate() bool {
+	for v := range s.IsRef {
+		if s.IsRef[v] != (s.RefOf[v] == -1) {
+			return false
+		}
+		if !s.IsRef[v] {
+			w := s.RefOf[v]
+			if w < 0 || w >= len(s.IsRef) || !s.IsRef[w] || w == v {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// SelectReferences runs pivot selection and the greedy Algorithm 1 on one
+// uncertain trajectory.  It uses the pre-sorted variant the paper suggests:
+// all positive scores are sorted once and consumed with validity checks,
+// which is equivalent to repeatedly extracting the maximum of SM.
+func SelectReferences(tu *traj.Uncertain, numPivots int) Selection {
+	return selectReferencesWith(tu, numPivots, FJD)
+}
+
+// selectReferencesWith runs Algorithm 1 with a custom similarity between
+// pivot representations (used by the plain-Jaccard ablation).
+func selectReferencesWith(tu *traj.Uncertain, numPivots int, sim func(a, b []PivotFactor) float64) Selection {
+	n := len(tu.Instances)
+	sel := Selection{IsRef: make([]bool, n), RefOf: make([]int, n)}
+	for i := range sel.RefOf {
+		sel.RefOf[i] = -1
+	}
+	if n <= 1 {
+		for i := range sel.IsRef {
+			sel.IsRef[i] = true
+		}
+		return sel
+	}
+
+	ps := SelectPivots(tu, numPivots)
+
+	type entry struct {
+		score float64
+		w, v  int
+	}
+	var entries []entry
+	for w := 0; w < n; w++ {
+		for v := 0; v < n; v++ {
+			if s := ps.score(tu, w, v, sim); s > 0 {
+				entries = append(entries, entry{s, w, v})
+			}
+		}
+	}
+	sort.Slice(entries, func(a, b int) bool {
+		if entries[a].score != entries[b].score {
+			return entries[a].score > entries[b].score
+		}
+		if entries[a].w != entries[b].w {
+			return entries[a].w < entries[b].w
+		}
+		return entries[a].v < entries[b].v
+	})
+
+	isNonRef := make([]bool, n)
+	for _, e := range entries {
+		// SM[w][v] is still live iff: w has not become a non-reference
+		// (row w not removed), v has not been represented or promoted
+		// (column/row v not removed).
+		if isNonRef[e.w] || isNonRef[e.v] || sel.IsRef[e.v] {
+			continue
+		}
+		sel.IsRef[e.w] = true
+		isNonRef[e.v] = true
+		sel.RefOf[e.v] = e.w
+	}
+	// Lines 11-13: untouched instances become standalone references.
+	for i := 0; i < n; i++ {
+		if !sel.IsRef[i] && !isNonRef[i] {
+			sel.IsRef[i] = true
+		}
+	}
+	return sel
+}

@@ -1,0 +1,305 @@
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"utcq/internal/pddp"
+	"utcq/internal/roadnet"
+)
+
+// Archive serialization: a compact binary container so archives can be
+// written to disk and reopened later.  The payload is the per-trajectory
+// bit streams; the directory (record offsets, instance metadata, delta
+// positions) is persisted too so partial decompression works immediately
+// after loading without a rebuild scan.
+//
+// Layout (little endian):
+//
+//	magic "UTCQ" | version u16
+//	options: pivots u16, etaD f64, etaP f64, ts i64, flags u8
+//	vertexBits u16 | edgeBits u16 | numTrajs u32
+//	per trajectory:
+//	  bitLen u32, numPoints u32, t0 i64
+//	  numDeltaPos u32, deltaPos u32...
+//	  numInsts u32, per instance: flags u8, refOrig i32, start u32, p f64, sv i32
+//	  numRefsByWrite u32, refOrigByWrite u32...
+//	  payload bytes
+const (
+	archiveMagic   = "UTCQ"
+	archiveVersion = 1
+)
+
+// flag bits of the options byte.
+const (
+	flagDisableReferential = 1 << 0
+	flagPlainJaccard       = 1 << 1
+)
+
+// Save writes the archive to w.  The road network is not serialized: an
+// archive is only meaningful against the network it was compressed with,
+// and the caller re-attaches it on Load.
+func (a *Archive) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(archiveMagic); err != nil {
+		return err
+	}
+	le := binary.LittleEndian
+	writeU16 := func(v uint16) error { return binary.Write(bw, le, v) }
+	writeU32 := func(v uint32) error { return binary.Write(bw, le, v) }
+	writeI64 := func(v int64) error { return binary.Write(bw, le, v) }
+	writeF64 := func(v float64) error { return binary.Write(bw, le, math.Float64bits(v)) }
+
+	if err := writeU16(archiveVersion); err != nil {
+		return err
+	}
+	if err := writeU16(uint16(a.Opts.NumPivots)); err != nil {
+		return err
+	}
+	if err := writeF64(a.Opts.EtaD); err != nil {
+		return err
+	}
+	if err := writeF64(a.Opts.EtaP); err != nil {
+		return err
+	}
+	if err := writeI64(a.Opts.Ts); err != nil {
+		return err
+	}
+	flags := byte(0)
+	if a.Opts.DisableReferential {
+		flags |= flagDisableReferential
+	}
+	if a.Opts.PlainJaccard {
+		flags |= flagPlainJaccard
+	}
+	if err := bw.WriteByte(flags); err != nil {
+		return err
+	}
+	if err := writeU16(uint16(a.VertexBits)); err != nil {
+		return err
+	}
+	if err := writeU16(uint16(a.EdgeBits)); err != nil {
+		return err
+	}
+	if err := writeU32(uint32(len(a.Trajs))); err != nil {
+		return err
+	}
+	for _, tr := range a.Trajs {
+		if err := writeU32(uint32(tr.BitLen)); err != nil {
+			return err
+		}
+		if err := writeU32(uint32(tr.NumPoints)); err != nil {
+			return err
+		}
+		if err := writeI64(tr.T0); err != nil {
+			return err
+		}
+		if err := writeU32(uint32(len(tr.TDeltaPos))); err != nil {
+			return err
+		}
+		for _, p := range tr.TDeltaPos {
+			if err := writeU32(uint32(p)); err != nil {
+				return err
+			}
+		}
+		if err := writeU32(uint32(len(tr.Insts))); err != nil {
+			return err
+		}
+		for _, m := range tr.Insts {
+			fl := byte(0)
+			if m.IsRef {
+				fl = 1
+			}
+			if err := bw.WriteByte(fl); err != nil {
+				return err
+			}
+			if err := binary.Write(bw, le, int32(m.RefOrig)); err != nil {
+				return err
+			}
+			if err := writeU32(uint32(m.Start)); err != nil {
+				return err
+			}
+			if err := writeF64(m.P); err != nil {
+				return err
+			}
+			if err := binary.Write(bw, le, int32(m.SV)); err != nil {
+				return err
+			}
+		}
+		if err := writeU32(uint32(len(tr.RefOrigByWrite))); err != nil {
+			return err
+		}
+		for _, o := range tr.RefOrigByWrite {
+			if err := writeU32(uint32(o)); err != nil {
+				return err
+			}
+		}
+		nbytes := (tr.BitLen + 7) / 8
+		if nbytes > len(tr.Bits) {
+			return fmt.Errorf("core: trajectory payload shorter than its bit length")
+		}
+		if _, err := bw.Write(tr.Bits[:nbytes]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Load reads an archive written by Save and attaches the road network.
+func Load(r io.Reader, g *roadnet.Graph) (*Archive, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(archiveMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, err
+	}
+	if string(magic) != archiveMagic {
+		return nil, errors.New("core: not a UTCQ archive")
+	}
+	le := binary.LittleEndian
+	readU16 := func() (uint16, error) { var v uint16; err := binary.Read(br, le, &v); return v, err }
+	readU32 := func() (uint32, error) { var v uint32; err := binary.Read(br, le, &v); return v, err }
+	readI32 := func() (int32, error) { var v int32; err := binary.Read(br, le, &v); return v, err }
+	readI64 := func() (int64, error) { var v int64; err := binary.Read(br, le, &v); return v, err }
+	readF64 := func() (float64, error) {
+		var v uint64
+		err := binary.Read(br, le, &v)
+		return math.Float64frombits(v), err
+	}
+
+	version, err := readU16()
+	if err != nil {
+		return nil, err
+	}
+	if version != archiveVersion {
+		return nil, fmt.Errorf("core: unsupported archive version %d", version)
+	}
+	var opts Options
+	pv, err := readU16()
+	if err != nil {
+		return nil, err
+	}
+	opts.NumPivots = int(pv)
+	if opts.EtaD, err = readF64(); err != nil {
+		return nil, err
+	}
+	if opts.EtaP, err = readF64(); err != nil {
+		return nil, err
+	}
+	if opts.Ts, err = readI64(); err != nil {
+		return nil, err
+	}
+	flags, err := br.ReadByte()
+	if err != nil {
+		return nil, err
+	}
+	opts.DisableReferential = flags&flagDisableReferential != 0
+	opts.PlainJaccard = flags&flagPlainJaccard != 0
+
+	a := &Archive{Opts: opts, Graph: g}
+	vb, err := readU16()
+	if err != nil {
+		return nil, err
+	}
+	eb, err := readU16()
+	if err != nil {
+		return nil, err
+	}
+	a.VertexBits, a.EdgeBits = int(vb), int(eb)
+	if a.DCodec, err = pddp.NewCodec(opts.EtaD); err != nil {
+		return nil, err
+	}
+	if a.PCodec, err = pddp.NewCodec(opts.EtaP); err != nil {
+		return nil, err
+	}
+
+	nt, err := readU32()
+	if err != nil {
+		return nil, err
+	}
+	a.Trajs = make([]*TrajRecord, nt)
+	for j := range a.Trajs {
+		tr := &TrajRecord{}
+		bl, err := readU32()
+		if err != nil {
+			return nil, err
+		}
+		tr.BitLen = int(bl)
+		np, err := readU32()
+		if err != nil {
+			return nil, err
+		}
+		tr.NumPoints = int(np)
+		if tr.T0, err = readI64(); err != nil {
+			return nil, err
+		}
+		nd, err := readU32()
+		if err != nil {
+			return nil, err
+		}
+		tr.TDeltaPos = make([]int, nd)
+		for i := range tr.TDeltaPos {
+			p, err := readU32()
+			if err != nil {
+				return nil, err
+			}
+			tr.TDeltaPos[i] = int(p)
+		}
+		ni, err := readU32()
+		if err != nil {
+			return nil, err
+		}
+		tr.Insts = make([]InstMeta, ni)
+		for i := range tr.Insts {
+			fl, err := br.ReadByte()
+			if err != nil {
+				return nil, err
+			}
+			refOrig, err := readI32()
+			if err != nil {
+				return nil, err
+			}
+			start, err := readU32()
+			if err != nil {
+				return nil, err
+			}
+			p, err := readF64()
+			if err != nil {
+				return nil, err
+			}
+			sv, err := readI32()
+			if err != nil {
+				return nil, err
+			}
+			tr.Insts[i] = InstMeta{
+				IsRef:   fl&1 == 1,
+				RefOrig: int(refOrig),
+				Start:   int(start),
+				P:       p,
+				SV:      roadnet.VertexID(sv),
+			}
+		}
+		nr, err := readU32()
+		if err != nil {
+			return nil, err
+		}
+		tr.RefOrigByWrite = make([]int, nr)
+		for i := range tr.RefOrigByWrite {
+			o, err := readU32()
+			if err != nil {
+				return nil, err
+			}
+			tr.RefOrigByWrite[i] = int(o)
+		}
+		nbytes := (tr.BitLen + 7) / 8
+		tr.Bits = make([]byte, nbytes)
+		if _, err := io.ReadFull(br, tr.Bits); err != nil {
+			return nil, err
+		}
+		a.Trajs[j] = tr
+	}
+	return a, nil
+}

@@ -1,0 +1,150 @@
+package core
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"utcq/internal/gen"
+	"utcq/internal/paperfix"
+	"utcq/internal/traj"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	fx := paperfix.MustNew()
+	c, err := NewCompressor(fx.Graph, DefaultOptions(paperfix.Ts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := c.Compress([]*traj.Uncertain{fx.Tu1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := a.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(&buf, fx.Graph)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Opts != a.Opts {
+		t.Errorf("options: %+v vs %+v", back.Opts, a.Opts)
+	}
+	if back.VertexBits != a.VertexBits || back.EdgeBits != a.EdgeBits {
+		t.Error("bit widths differ")
+	}
+	want, err := a.DecodeAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := back.DecodeAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Error("loaded archive decodes differently")
+	}
+	// Partial decompression must also work on the loaded archive.
+	rv, err := back.RefView(0, back.Trajs[0].RefOrigByWrite[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rv.E, fx.Tu1.Instances[0].E) {
+		t.Errorf("loaded RefView E = %v", rv.E)
+	}
+}
+
+func TestSaveLoadGeneratedDataset(t *testing.T) {
+	p := gen.CD()
+	p.Network.Cols, p.Network.Rows = 16, 16
+	ds, err := gen.Build(p, 20, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewCompressor(ds.Graph, DefaultOptions(p.Ts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := c.Compress(ds.Trajectories)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := a.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(bytes.NewReader(buf.Bytes()), ds.Graph)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := a.DecodeAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := back.DecodeAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Error("loaded archive decodes differently")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	fx := paperfix.MustNew()
+	if _, err := Load(bytes.NewReader([]byte("not an archive at all")), fx.Graph); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := Load(bytes.NewReader(nil), fx.Graph); err == nil {
+		t.Error("empty input accepted")
+	}
+	// Truncated archive: valid prefix, cut payload.
+	c, err := NewCompressor(fx.Graph, DefaultOptions(paperfix.Ts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := c.Compress([]*traj.Uncertain{fx.Tu1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := a.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	cut := buf.Bytes()[:buf.Len()/2]
+	if _, err := Load(bytes.NewReader(cut), fx.Graph); err == nil {
+		t.Error("truncated archive accepted")
+	}
+}
+
+// TestDecodeCorruptedStream flips payload bits and expects errors, not
+// panics, from full decompression.
+func TestDecodeCorruptedStream(t *testing.T) {
+	fx := paperfix.MustNew()
+	c, err := NewCompressor(fx.Graph, DefaultOptions(paperfix.Ts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for bit := 0; bit < 64; bit += 3 {
+		a, err := c.Compress([]*traj.Uncertain{fx.Tu1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr := a.Trajs[0]
+		if bit >= tr.BitLen {
+			break
+		}
+		tr.Bits[bit/8] ^= 0x80 >> uint(bit%8)
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("bit %d: decode panicked: %v", bit, r)
+				}
+			}()
+			// Either an error or a (differently) decoded result is fine;
+			// crashes are not.
+			_, _ = a.DecodeAll()
+		}()
+	}
+}

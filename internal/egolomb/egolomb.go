@@ -1,0 +1,116 @@
+// Package egolomb implements the improved signed Exp-Golomb code of
+// UTCQ (Section 4.4) used to compress SIAR sample-interval deviations.
+//
+// A deviation Δ is assigned to group j such that |Δ| ∈ [2^j − 1, 2^{j+1} − 2]
+// (group 0 contains only Δ = 0).  The codeword is
+//
+//	<j one-bits> <0> [sign bit] [offset in j bits]
+//
+// where sign and offset are omitted for group 0, sign is 1 for negative Δ,
+// and offset = |Δ| − (2^j − 1).  This reproduces the paper's example:
+// the SIAR sequence ⟨0, 1, 0, −1, 0, 0⟩ encodes as ⟨0, 1000, 0, 1010, 0, 0⟩
+// (12 bits total).
+package egolomb
+
+import (
+	"errors"
+
+	"utcq/internal/bitio"
+)
+
+// maxGroup bounds the unary prefix so corrupted streams fail fast instead of
+// consuming the remaining input.  Group 62 covers |Δ| up to 2^63−2, far more
+// than any sample-interval deviation.
+const maxGroup = 62
+
+// ErrMalformed is returned when a codeword's unary prefix is implausibly long.
+var ErrMalformed = errors.New("egolomb: malformed codeword")
+
+// Group returns the group index j of deviation delta, i.e. the j with
+// |delta| ∈ [2^j − 1, 2^{j+1} − 2].
+func Group(delta int64) int {
+	m := delta
+	if m < 0 {
+		m = -m
+	}
+	// Find smallest j with m <= 2^{j+1} - 2.
+	j := 0
+	for int64(1)<<uint(j+1)-2 < m {
+		j++
+	}
+	return j
+}
+
+// EncodedBits returns the codeword length in bits for delta.
+func EncodedBits(delta int64) int {
+	j := Group(delta)
+	if j == 0 {
+		return 1
+	}
+	return (j + 1) + 1 + j
+}
+
+// Encode appends the codeword of delta to w.
+func Encode(w *bitio.Writer, delta int64) {
+	j := Group(delta)
+	w.WriteUnary(j)
+	if j == 0 {
+		return
+	}
+	m := delta
+	neg := uint(0)
+	if m < 0 {
+		m = -m
+		neg = 1
+	}
+	w.WriteBit(neg)
+	offset := uint64(m - (int64(1)<<uint(j) - 1))
+	w.WriteBits(offset, j)
+}
+
+// Decode reads one codeword from r.
+func Decode(r *bitio.Reader) (int64, error) {
+	j, err := r.ReadUnary()
+	if err != nil {
+		return 0, err
+	}
+	if j > maxGroup {
+		return 0, ErrMalformed
+	}
+	if j == 0 {
+		return 0, nil
+	}
+	neg, err := r.ReadBit()
+	if err != nil {
+		return 0, err
+	}
+	offset, err := r.ReadBits(j)
+	if err != nil {
+		return 0, err
+	}
+	m := int64(1)<<uint(j) - 1 + int64(offset)
+	if neg == 1 {
+		return -m, nil
+	}
+	return m, nil
+}
+
+// EncodeAll encodes a slice of deviations back to back.
+func EncodeAll(w *bitio.Writer, deltas []int64) {
+	for _, d := range deltas {
+		Encode(w, d)
+	}
+}
+
+// DecodeAll reads n codewords from r.
+func DecodeAll(r *bitio.Reader, n int) ([]int64, error) {
+	out := make([]int64, n)
+	for i := range out {
+		v, err := Decode(r)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}

@@ -1,0 +1,165 @@
+package egolomb
+
+import (
+	"testing"
+	"testing/quick"
+
+	"utcq/internal/bitio"
+)
+
+func codeword(delta int64) string {
+	w := bitio.NewWriter(0)
+	Encode(w, delta)
+	r := bitio.NewReaderBits(w.Bytes(), w.Len())
+	s := make([]byte, 0, w.Len())
+	for r.Remaining() > 0 {
+		b, _ := r.ReadBit()
+		s = append(s, byte('0'+b))
+	}
+	return string(s)
+}
+
+// TestPaperExample reproduces Section 4.4: ⟨0, 1, 0, −1, 0, 0⟩ encodes as
+// ⟨0, 1000, 0, 1010, 0, 0⟩, 12 bits in total.
+func TestPaperExample(t *testing.T) {
+	cases := []struct {
+		delta int64
+		want  string
+	}{
+		{0, "0"},
+		{1, "1000"},
+		{-1, "1010"},
+	}
+	for _, c := range cases {
+		if got := codeword(c.delta); got != c.want {
+			t.Errorf("codeword(%d) = %s, want %s", c.delta, got, c.want)
+		}
+	}
+	w := bitio.NewWriter(0)
+	EncodeAll(w, []int64{0, 1, 0, -1, 0, 0})
+	if w.Len() != 12 {
+		t.Errorf("paper sequence = %d bits, want 12", w.Len())
+	}
+}
+
+func TestGroups(t *testing.T) {
+	cases := []struct {
+		delta int64
+		group int
+	}{
+		{0, 0}, {1, 1}, {2, 1}, {-2, 1}, {3, 2}, {6, 2}, {-6, 2},
+		{7, 3}, {14, 3}, {15, 4}, {30, 4}, {31, 5}, {-100, 6},
+	}
+	for _, c := range cases {
+		if got := Group(c.delta); got != c.group {
+			t.Errorf("Group(%d) = %d, want %d", c.delta, got, c.group)
+		}
+	}
+}
+
+// TestGroupRangesPartition checks that the group ranges [2^j−1, 2^{j+1}−2]
+// partition the non-negative integers (the paper's coverage claim).
+func TestGroupRangesPartition(t *testing.T) {
+	prevEnd := int64(-1)
+	for j := 0; j < 12; j++ {
+		start := int64(1)<<uint(j) - 1
+		end := int64(1)<<uint(j+1) - 2
+		if start != prevEnd+1 {
+			t.Errorf("group %d starts at %d, want %d", j, start, prevEnd+1)
+		}
+		prevEnd = end
+	}
+}
+
+func TestEncodedBits(t *testing.T) {
+	for _, d := range []int64{0, 1, -1, 2, 3, -6, 7, 100, -12345, 1 << 40} {
+		w := bitio.NewWriter(0)
+		Encode(w, d)
+		if got := EncodedBits(d); got != w.Len() {
+			t.Errorf("EncodedBits(%d) = %d, actual %d", d, got, w.Len())
+		}
+	}
+}
+
+func TestRoundTripExhaustiveSmall(t *testing.T) {
+	w := bitio.NewWriter(0)
+	var vals []int64
+	for d := int64(-300); d <= 300; d++ {
+		vals = append(vals, d)
+		Encode(w, d)
+	}
+	r := bitio.NewReaderBits(w.Bytes(), w.Len())
+	got, err := DecodeAll(r, len(vals))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range vals {
+		if got[i] != v {
+			t.Fatalf("round trip of %d gave %d", v, got[i])
+		}
+	}
+	if r.Remaining() != 0 {
+		t.Errorf("%d bits left over", r.Remaining())
+	}
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(deltas []int32) bool {
+		ds := make([]int64, len(deltas))
+		for i, d := range deltas {
+			ds[i] = int64(d)
+		}
+		w := bitio.NewWriter(0)
+		EncodeAll(w, ds)
+		r := bitio.NewReaderBits(w.Bytes(), w.Len())
+		got, err := DecodeAll(r, len(ds))
+		if err != nil {
+			return false
+		}
+		for i := range ds {
+			if got[i] != ds[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSmallDeviationsShort verifies the motivating property: small
+// deviations get short codes (the common case in Fig 4a).
+func TestSmallDeviationsShort(t *testing.T) {
+	if EncodedBits(0) != 1 {
+		t.Error("Δ=0 should take 1 bit")
+	}
+	if EncodedBits(1) != 4 || EncodedBits(-1) != 4 {
+		t.Error("|Δ|=1 should take 4 bits")
+	}
+	if EncodedBits(100) <= EncodedBits(1) {
+		t.Error("large deviations should take more bits than small ones")
+	}
+}
+
+func TestDecodeMalformed(t *testing.T) {
+	// 70 one-bits: unary prefix longer than any legal group.
+	w := bitio.NewWriter(0)
+	for i := 0; i < 70; i++ {
+		w.WriteBit(1)
+	}
+	w.WriteBit(0)
+	r := bitio.NewReaderBits(w.Bytes(), w.Len())
+	if _, err := Decode(r); err != ErrMalformed {
+		t.Errorf("err = %v, want ErrMalformed", err)
+	}
+}
+
+func BenchmarkEncode(b *testing.B) {
+	deltas := []int64{0, 0, 1, 0, -1, 0, 0, 3, 0, 0, -2, 0, 120, 0, 0}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		w := bitio.NewWriter(len(deltas) * 4)
+		EncodeAll(w, deltas)
+	}
+}

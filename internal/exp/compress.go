@@ -1,0 +1,321 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"utcq/internal/core"
+	"utcq/internal/gen"
+	"utcq/internal/ted"
+	"utcq/internal/traj"
+)
+
+// Table8Row compares UTCQ and TED on one dataset.
+type Table8Row struct {
+	Name         string
+	U            core.CompStats
+	T            core.CompStats
+	UTime, TTime Measured
+}
+
+// Table8 regenerates the headline comparison: per-component compression
+// ratios and compression time on all three datasets.
+func Table8(w io.Writer, bundles []*Bundle) []Table8Row {
+	fprintf(w, "Table 8: Comparison on three datasets (compression ratios and time)\n")
+	fprintf(w, "%-4s %-5s %7s %7s %7s %7s %7s %7s %10s %9s\n",
+		"Set", "Algo", "Total", "T", "E", "D", "T'", "p", "time", "peak MB")
+	var rows []Table8Row
+	for _, b := range bundles {
+		row := Table8Row{Name: b.Profile.Name}
+		c, err := core.NewCompressor(b.DS.Graph, b.Opts)
+		if err != nil {
+			panic(err)
+		}
+		var ua *core.Archive
+		row.UTime = measure(func() {
+			ua, err = c.Compress(b.DS.Trajectories)
+		})
+		if err != nil {
+			panic(err)
+		}
+		row.U = ua.Stats
+
+		tc, err := ted.NewCompressor(b.DS.Graph, TEDOptionsFor(b.Profile, b.Opts))
+		if err != nil {
+			panic(err)
+		}
+		var ta *ted.Archive
+		row.TTime = measure(func() {
+			ta, err = tc.Compress(b.DS.Trajectories)
+		})
+		if err != nil {
+			panic(err)
+		}
+		row.T = ta.Stats
+		rows = append(rows, row)
+		printCompRow(w, row.Name, "UTCQ", row.U, row.UTime)
+		printCompRow(w, row.Name, "TED", row.T, row.TTime)
+	}
+	return rows
+}
+
+func printCompRow(w io.Writer, name, algo string, s core.CompStats, m Measured) {
+	fprintf(w, "%-4s %-5s %7.3f %7.3f %7.3f %7.3f %7.3f %7.3f %10s %9.1f\n",
+		name, algo, s.TotalRatio(), s.RatioT(), s.RatioE(), s.RatioD(), s.RatioTF(), s.RatioP(),
+		m.Elapsed.Round(100*time.Microsecond), float64(m.PeakMem)/1e6)
+}
+
+// SweepPoint is one x-position of a parameter sweep.
+type SweepPoint struct {
+	X      float64
+	URatio float64
+	TRatio float64
+	UTime  Measured
+	TTime  Measured
+}
+
+// Fig6 varies the number of instances (60%..100%) over trajectories with
+// at least 20 instances.
+func Fig6(w io.Writer, cfg Config) (map[string][]SweepPoint, error) {
+	fprintf(w, "Fig 6: Effect of the number of instances (trajectories with >= 20 instances)\n")
+	out := make(map[string][]SweepPoint)
+	for _, p := range gen.Profiles() {
+		// Boost instance ambiguity so enough trajectories clear 20.
+		bp := p
+		bp.AvgInstances = 26
+		bp.MaxInstances = 48
+		bp.Match.MinProb = 0.0002
+		n := int(float64(p.DefaultTrajectories) * cfg.Scale / 3)
+		if n < 10 {
+			n = 10
+		}
+		ds, err := gen.Build(bp, n, cfg.Seed+1)
+		if err != nil {
+			return nil, err
+		}
+		var big []*traj.Uncertain
+		for _, u := range ds.Trajectories {
+			if len(u.Instances) >= 20 {
+				big = append(big, u)
+			}
+		}
+		if len(big) == 0 {
+			return nil, fmt.Errorf("exp: no >=20-instance trajectories for %s", p.Name)
+		}
+		opts := CoreOptionsFor(p)
+		for _, frac := range []float64{0.6, 0.7, 0.8, 0.9, 1.0} {
+			trimmed := make([]*traj.Uncertain, len(big))
+			for i, u := range big {
+				trimmed[i] = trimInstances(u, frac)
+			}
+			pt, err := comparePoint(ds, opts, p, trimmed, frac*100)
+			if err != nil {
+				return nil, err
+			}
+			out[p.Name] = append(out[p.Name], pt)
+			printSweepRow(w, p.Name, "instances%", pt)
+		}
+	}
+	return out, nil
+}
+
+// Fig7 varies trajectory length (20%..100%) over long trajectories.
+func Fig7(w io.Writer, cfg Config) (map[string][]SweepPoint, error) {
+	fprintf(w, "Fig 7: Effect of the trajectory length (trajectories with >= 20 edges)\n")
+	out := make(map[string][]SweepPoint)
+	for _, p := range gen.Profiles() {
+		bp := p
+		bp.AvgEdges = 40
+		bp.MaxPoints = p.MaxPoints * 3
+		n := int(float64(p.DefaultTrajectories) * cfg.Scale / 4)
+		if n < 10 {
+			n = 10
+		}
+		ds, err := gen.Build(bp, n, cfg.Seed+2)
+		if err != nil {
+			return nil, err
+		}
+		var long []*traj.Uncertain
+		for _, u := range ds.Trajectories {
+			minEdges := math.MaxInt32
+			for i := range u.Instances {
+				if ec := u.Instances[i].EdgeCount(); ec < minEdges {
+					minEdges = ec
+				}
+			}
+			if minEdges >= 20 {
+				long = append(long, u)
+			}
+		}
+		if len(long) == 0 {
+			return nil, fmt.Errorf("exp: no >=20-edge trajectories for %s", p.Name)
+		}
+		opts := CoreOptionsFor(p)
+		for _, frac := range []float64{0.2, 0.4, 0.6, 0.8, 1.0} {
+			trimmed := make([]*traj.Uncertain, len(long))
+			for i, u := range long {
+				trimmed[i] = trimLength(u, frac)
+			}
+			pt, err := comparePoint(ds, opts, p, trimmed, frac*100)
+			if err != nil {
+				return nil, err
+			}
+			out[p.Name] = append(out[p.Name], pt)
+			printSweepRow(w, p.Name, "length%", pt)
+		}
+	}
+	return out, nil
+}
+
+// Fig8Point is one pivot-count measurement.
+type Fig8Point struct {
+	Pivots int
+	Ratio  float64
+	Time   Measured
+}
+
+// Fig8 varies the number of pivots (1..5).
+func Fig8(w io.Writer, bundles []*Bundle) map[string][]Fig8Point {
+	fprintf(w, "Fig 8: Effect of the number of pivots\n")
+	out := make(map[string][]Fig8Point)
+	for _, b := range bundles {
+		for np := 1; np <= 5; np++ {
+			opts := b.Opts
+			opts.NumPivots = np
+			c, err := core.NewCompressor(b.DS.Graph, opts)
+			if err != nil {
+				panic(err)
+			}
+			var a *core.Archive
+			m := measure(func() {
+				a, err = c.Compress(b.DS.Trajectories)
+			})
+			if err != nil {
+				panic(err)
+			}
+			pt := Fig8Point{Pivots: np, Ratio: a.Stats.TotalRatio(), Time: m}
+			out[b.Profile.Name] = append(out[b.Profile.Name], pt)
+			fprintf(w, "%-4s pivots=%d  CR=%7.3f  time=%10s  peak=%6.1fMB\n",
+				b.Profile.Name, np, pt.Ratio, pt.Time.Elapsed.Round(100*time.Microsecond), float64(pt.Time.PeakMem)/1e6)
+		}
+	}
+	return out
+}
+
+// Fig12Compression varies the data size (20%..100%): compression ratio and
+// time for UTCQ and TED.
+func Fig12Compression(w io.Writer, bundles []*Bundle) map[string][]SweepPoint {
+	fprintf(w, "Fig 12a/b: Scalability of compression (data size 20%%..100%%)\n")
+	out := make(map[string][]SweepPoint)
+	for _, b := range bundles {
+		if b.Profile.Name == "DK" {
+			continue // the paper shows CD and HZ
+		}
+		for _, frac := range []float64{0.2, 0.4, 0.6, 0.8, 1.0} {
+			n := int(float64(len(b.DS.Trajectories)) * frac)
+			if n < 1 {
+				n = 1
+			}
+			subset := copyTrajs(b.DS.Trajectories[:n])
+			pt, err := comparePoint(b.DS, b.Opts, b.Profile, subset, frac*100)
+			if err != nil {
+				panic(err)
+			}
+			out[b.Profile.Name] = append(out[b.Profile.Name], pt)
+			printSweepRow(w, b.Profile.Name, "datasize%", pt)
+		}
+	}
+	return out
+}
+
+// comparePoint compresses one trajectory set with both systems.
+func comparePoint(ds *gen.Dataset, opts core.Options, p gen.Profile, tus []*traj.Uncertain, x float64) (SweepPoint, error) {
+	pt := SweepPoint{X: x}
+	c, err := core.NewCompressor(ds.Graph, opts)
+	if err != nil {
+		return pt, err
+	}
+	var ua *core.Archive
+	pt.UTime = measure(func() { ua, err = c.Compress(tus) })
+	if err != nil {
+		return pt, err
+	}
+	pt.URatio = ua.Stats.TotalRatio()
+
+	tc, err := ted.NewCompressor(ds.Graph, TEDOptionsFor(p, opts))
+	if err != nil {
+		return pt, err
+	}
+	var ta *ted.Archive
+	pt.TTime = measure(func() { ta, err = tc.Compress(tus) })
+	if err != nil {
+		return pt, err
+	}
+	pt.TRatio = ta.Stats.TotalRatio()
+	return pt, nil
+}
+
+func printSweepRow(w io.Writer, name, xlabel string, pt SweepPoint) {
+	fprintf(w, "%-4s %s=%5.0f  UTCQ CR=%7.3f time=%10s peak=%6.1fMB | TED CR=%7.3f time=%10s peak=%6.1fMB\n",
+		name, xlabel, pt.X, pt.URatio, pt.UTime.Elapsed.Round(100*time.Microsecond), float64(pt.UTime.PeakMem)/1e6,
+		pt.TRatio, pt.TTime.Elapsed.Round(100*time.Microsecond), float64(pt.TTime.PeakMem)/1e6)
+}
+
+// trimInstances keeps the first frac of instances and renormalizes.
+func trimInstances(u *traj.Uncertain, frac float64) *traj.Uncertain {
+	k := int(math.Ceil(float64(len(u.Instances)) * frac))
+	if k < 2 {
+		k = 2
+	}
+	if k > len(u.Instances) {
+		k = len(u.Instances)
+	}
+	out := &traj.Uncertain{T: u.T, Instances: make([]traj.Instance, k)}
+	copy(out.Instances, u.Instances[:k])
+	total := 0.0
+	for i := range out.Instances {
+		total += out.Instances[i].P
+	}
+	for i := range out.Instances {
+		out.Instances[i].P /= total
+	}
+	return out
+}
+
+// trimLength keeps the first frac of each trajectory's points (and the
+// matching E/TF/D prefixes), preserving the shared time sequence.
+func trimLength(u *traj.Uncertain, frac float64) *traj.Uncertain {
+	k := int(math.Ceil(float64(len(u.T)) * frac))
+	if k < 2 {
+		k = 2
+	}
+	if k > len(u.T) {
+		k = len(u.T)
+	}
+	out := &traj.Uncertain{T: u.T[:k], Instances: make([]traj.Instance, len(u.Instances))}
+	for i := range u.Instances {
+		ins := &u.Instances[i]
+		// Position of point k-1 in the bit-string.
+		seen := 0
+		cut := len(ins.E) - 1
+		for g, b := range ins.TF {
+			if b {
+				seen++
+				if seen == k {
+					cut = g
+					break
+				}
+			}
+		}
+		out.Instances[i] = traj.Instance{
+			SV: ins.SV,
+			E:  ins.E[:cut+1],
+			TF: ins.TF[:cut+1],
+			D:  ins.D[:k],
+			P:  ins.P,
+		}
+	}
+	return out
+}

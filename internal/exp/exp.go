@@ -1,0 +1,148 @@
+// Package exp is the benchmark harness: it regenerates every table and
+// figure of the paper's evaluation (Section 6) on the synthetic DK/CD/HZ
+// datasets.  Each experiment prints paper-style rows and returns its
+// numbers for tests and benches.  See DESIGN.md for the experiment index.
+package exp
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"time"
+
+	"utcq/internal/core"
+	"utcq/internal/gen"
+	"utcq/internal/ted"
+	"utcq/internal/traj"
+)
+
+// Config selects the dataset scale for a harness run.
+type Config struct {
+	// Scale multiplies the per-profile default trajectory counts.
+	Scale float64
+	// Seed drives all dataset generation and workloads.
+	Seed int64
+}
+
+// DefaultConfig is laptop-scale.
+func DefaultConfig() Config { return Config{Scale: 1.0, Seed: 42} }
+
+// Bundle is one profile's dataset plus its paper-default parameters.
+type Bundle struct {
+	Profile gen.Profile
+	DS      *gen.Dataset
+	Opts    core.Options
+}
+
+// CoreOptionsFor returns the paper's per-dataset defaults: 2 pivots for DK
+// (Fig 8 discussion), 1 otherwise; ηp = 1/2048 for HZ, 1/512 otherwise;
+// ηD = 1/128 everywhere.
+func CoreOptionsFor(p gen.Profile) core.Options {
+	o := core.DefaultOptions(p.Ts)
+	switch p.Name {
+	case "DK":
+		o.NumPivots = 2
+	case "HZ":
+		o.EtaP = 1.0 / 2048
+	}
+	return o
+}
+
+// TEDOptionsFor mirrors CoreOptionsFor for the baseline.
+func TEDOptionsFor(p gen.Profile, o core.Options) ted.Options {
+	return ted.Options{EtaD: o.EtaD, EtaP: o.EtaP, Ts: p.Ts}
+}
+
+var (
+	cacheMu sync.Mutex
+	cache   = map[string][]*Bundle{}
+)
+
+// Datasets builds (and caches per process) the three profile datasets.
+func Datasets(cfg Config) ([]*Bundle, error) {
+	key := fmt.Sprintf("%g/%d", cfg.Scale, cfg.Seed)
+	cacheMu.Lock()
+	defer cacheMu.Unlock()
+	if b, ok := cache[key]; ok {
+		return b, nil
+	}
+	var bundles []*Bundle
+	for _, p := range gen.Profiles() {
+		n := int(float64(p.DefaultTrajectories) * cfg.Scale)
+		if n < 10 {
+			n = 10
+		}
+		ds, err := gen.Build(p, n, cfg.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("exp: build %s: %w", p.Name, err)
+		}
+		bundles = append(bundles, &Bundle{Profile: p, DS: ds, Opts: CoreOptionsFor(p)})
+	}
+	cache[key] = bundles
+	return bundles, nil
+}
+
+// Measured couples a duration with the peak heap growth during the run.
+type Measured struct {
+	Elapsed time.Duration
+	PeakMem uint64 // bytes of heap growth at peak
+}
+
+// measure runs f while sampling heap usage.
+func measure(f func()) Measured {
+	runtime.GC()
+	var base runtime.MemStats
+	runtime.ReadMemStats(&base)
+	stop := make(chan struct{})
+	peak := base.HeapAlloc
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		ticker := time.NewTicker(2 * time.Millisecond)
+		defer ticker.Stop()
+		var ms runtime.MemStats
+		for {
+			select {
+			case <-stop:
+				return
+			case <-ticker.C:
+				runtime.ReadMemStats(&ms)
+				if ms.HeapAlloc > peak {
+					peak = ms.HeapAlloc
+				}
+			}
+		}
+	}()
+	start := time.Now()
+	f()
+	elapsed := time.Since(start)
+	var after runtime.MemStats
+	runtime.ReadMemStats(&after)
+	close(stop)
+	<-done
+	if after.HeapAlloc > peak {
+		peak = after.HeapAlloc
+	}
+	growth := uint64(0)
+	if peak > base.HeapAlloc {
+		growth = peak - base.HeapAlloc
+	}
+	return Measured{Elapsed: elapsed, PeakMem: growth}
+}
+
+// copyTrajs clones trajectory slices so experiments can mutate them.
+func copyTrajs(tus []*traj.Uncertain) []*traj.Uncertain {
+	out := make([]*traj.Uncertain, len(tus))
+	copy(out, tus)
+	return out
+}
+
+// mb formats bits as megabytes.
+func mb(bits int64) float64 { return float64(bits) / 8 / 1e6 }
+
+func fprintf(w io.Writer, format string, args ...interface{}) {
+	if w != nil {
+		fmt.Fprintf(w, format, args...)
+	}
+}

@@ -1,0 +1,175 @@
+package exp
+
+import (
+	"io"
+	"strings"
+	"testing"
+)
+
+// tinyCfg keeps harness tests fast.
+var tinyCfg = Config{Scale: 0.05, Seed: 3}
+
+func TestDatasetsCached(t *testing.T) {
+	a, err := Datasets(tinyCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != 3 {
+		t.Fatalf("got %d bundles", len(a))
+	}
+	b, err := Datasets(tinyCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Error("datasets not cached per config")
+		}
+	}
+	names := []string{"DK", "CD", "HZ"}
+	for i, bundle := range a {
+		if bundle.Profile.Name != names[i] {
+			t.Errorf("bundle %d is %s", i, bundle.Profile.Name)
+		}
+	}
+}
+
+func TestCoreOptionsFor(t *testing.T) {
+	bundles, err := Datasets(tinyCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range bundles {
+		switch b.Profile.Name {
+		case "DK":
+			if b.Opts.NumPivots != 2 {
+				t.Errorf("DK pivots = %d, want 2", b.Opts.NumPivots)
+			}
+		case "HZ":
+			if b.Opts.EtaP != 1.0/2048 {
+				t.Errorf("HZ etaP = %g, want 1/2048", b.Opts.EtaP)
+			}
+		default:
+			if b.Opts.NumPivots != 1 || b.Opts.EtaP != 1.0/512 {
+				t.Errorf("%s options %+v", b.Profile.Name, b.Opts)
+			}
+		}
+	}
+}
+
+func TestTable8Shape(t *testing.T) {
+	bundles, err := Datasets(tinyCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := Table8(io.Discard, bundles)
+	if len(rows) != 3 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		// The headline claims: UTCQ compresses better and faster than TED.
+		if r.U.TotalRatio() <= r.T.TotalRatio() {
+			t.Errorf("%s: UTCQ ratio %.2f <= TED %.2f", r.Name, r.U.TotalRatio(), r.T.TotalRatio())
+		}
+		if r.UTime.Elapsed >= r.TTime.Elapsed {
+			t.Errorf("%s: UTCQ time %v >= TED %v", r.Name, r.UTime.Elapsed, r.TTime.Elapsed)
+		}
+		if r.T.RatioTF() < 0.999 || r.T.RatioTF() > 1.001 {
+			t.Errorf("%s: TED T' ratio %.3f != 1", r.Name, r.T.RatioTF())
+		}
+	}
+}
+
+func TestStatsExperiments(t *testing.T) {
+	bundles, err := Datasets(tinyCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows := Table5(io.Discard, bundles); len(rows) != 3 {
+		t.Error("table5 rows")
+	}
+	if rows := Table6(io.Discard, bundles); len(rows) != 3 {
+		t.Error("table6 rows")
+	}
+	f4a := Fig4a(io.Discard, bundles)
+	if len(f4a) != 3 {
+		t.Fatal("fig4a rows")
+	}
+	// DK must have the most stable intervals.
+	if f4a[0].Frac[0]+f4a[0].Frac[1] <= f4a[2].Frac[0]+f4a[2].Frac[1] {
+		t.Error("DK not more stable than HZ")
+	}
+	f4b := Fig4b(io.Discard, bundles)
+	for _, r := range f4b {
+		if r.Within[0]+r.Within[1] <= r.Between[0]+r.Between[1] {
+			t.Errorf("%s: within similarity not higher than between", r.Name)
+		}
+	}
+}
+
+func TestFig9And10Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("harness smoke test")
+	}
+	bundles, err := Datasets(tinyCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid, dur, err := Fig9(io.Discard, bundles[:1], tinyCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(grid["DK"]) != 5 || len(dur["DK"]) != 6 {
+		t.Errorf("fig9 points: %d grid, %d duration", len(grid["DK"]), len(dur["DK"]))
+	}
+	rows, err := Fig10(io.Discard, bundles[:1], tinyCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0].UWhere <= 0 {
+		t.Errorf("fig10 rows: %+v", rows)
+	}
+}
+
+func TestRunDispatch(t *testing.T) {
+	var sb strings.Builder
+	if err := Run(&sb, "table6", tinyCfg); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "Road networks") {
+		t.Error("table6 output missing header")
+	}
+	if err := Run(io.Discard, "nope", tinyCfg); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestTrimHelpers(t *testing.T) {
+	bundles, err := Datasets(tinyCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, u := range bundles[1].DS.Trajectories[:5] {
+		for _, frac := range []float64{0.3, 0.6, 1.0} {
+			tr := trimInstances(u, frac)
+			if len(tr.Instances) < 2 || len(tr.Instances) > len(u.Instances) {
+				t.Fatalf("trimInstances(%g): %d instances", frac, len(tr.Instances))
+			}
+			sum := 0.0
+			for i := range tr.Instances {
+				sum += tr.Instances[i].P
+			}
+			if sum < 0.999 || sum > 1.001 {
+				t.Errorf("trimInstances: probabilities sum to %g", sum)
+			}
+
+			tl := trimLength(u, frac)
+			if err := tl.Validate(); err != nil {
+				t.Fatalf("trimLength(%g): %v", frac, err)
+			}
+			if len(tl.T) > len(u.T) {
+				t.Error("trimLength grew the trajectory")
+			}
+		}
+	}
+}

@@ -1,0 +1,64 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+)
+
+// Experiments lists the runnable experiment names.
+var Experiments = []string{
+	"table5", "table6", "fig4a", "fig4b", "table8",
+	"fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
+}
+
+// Run executes one named experiment (or "all") and prints its rows.
+func Run(w io.Writer, name string, cfg Config) error {
+	if name == "all" {
+		for _, n := range Experiments {
+			if err := Run(w, n, cfg); err != nil {
+				return err
+			}
+			fprintf(w, "\n")
+		}
+		return nil
+	}
+	needBundles := name != "fig6" && name != "fig7"
+	var bundles []*Bundle
+	var err error
+	if needBundles {
+		bundles, err = Datasets(cfg)
+		if err != nil {
+			return err
+		}
+	}
+	switch name {
+	case "table5":
+		Table5(w, bundles)
+	case "table6":
+		Table6(w, bundles)
+	case "fig4a":
+		Fig4a(w, bundles)
+	case "fig4b":
+		Fig4b(w, bundles)
+	case "table8":
+		Table8(w, bundles)
+	case "fig6":
+		_, err = Fig6(w, cfg)
+	case "fig7":
+		_, err = Fig7(w, cfg)
+	case "fig8":
+		Fig8(w, bundles)
+	case "fig9":
+		_, _, err = Fig9(w, bundles, cfg)
+	case "fig10":
+		_, err = Fig10(w, bundles, cfg)
+	case "fig11":
+		_, _, err = Fig11(w, bundles, cfg)
+	case "fig12":
+		Fig12Compression(w, bundles)
+		_, err = Fig12Query(w, bundles, cfg)
+	default:
+		return fmt.Errorf("exp: unknown experiment %q (want one of %v or all)", name, Experiments)
+	}
+	return err
+}

@@ -1,0 +1,107 @@
+package exp
+
+import "io"
+
+// Table5Row is one dataset-statistics row.
+type Table5Row struct {
+	Name      string
+	StorageMB float64
+	NumTrajs  int
+	InstAvg   float64
+	InstMin   int
+	InstMax   int
+	EdgesAvg  float64
+	EdgesMin  int
+	EdgesMax  int
+	Ts        int64
+}
+
+// Table5 regenerates the trajectory dataset statistics.
+func Table5(w io.Writer, bundles []*Bundle) []Table5Row {
+	fprintf(w, "Table 5: Trajectory datasets\n")
+	fprintf(w, "%-8s %10s %8s %22s %22s %8s\n", "Dataset", "NCUT MB", "#trajs", "#instances (min-max)", "#edges/traj (min-max)", "Ts")
+	var rows []Table5Row
+	for _, b := range bundles {
+		s := b.DS.Stats()
+		row := Table5Row{
+			Name: s.Name, StorageMB: mb(s.RawBits.Total()), NumTrajs: s.NumTrajectories,
+			InstAvg: s.InstAvg, InstMin: s.InstMin, InstMax: s.InstMax,
+			EdgesAvg: s.EdgesAvg, EdgesMin: s.EdgesMin, EdgesMax: s.EdgesMax, Ts: s.Ts,
+		}
+		rows = append(rows, row)
+		fprintf(w, "%-8s %10.2f %8d %11.1f (%d-%d) %13.1f (%d-%d) %6ds\n",
+			row.Name, row.StorageMB, row.NumTrajs,
+			row.InstAvg, row.InstMin, row.InstMax,
+			row.EdgesAvg, row.EdgesMin, row.EdgesMax, row.Ts)
+	}
+	return rows
+}
+
+// Table6Row is one road-network row.
+type Table6Row struct {
+	Name         string
+	Segments     int
+	Vertices     int
+	AvgOutDegree float64
+}
+
+// Table6 regenerates the road-network statistics.
+func Table6(w io.Writer, bundles []*Bundle) []Table6Row {
+	fprintf(w, "Table 6: Road networks\n")
+	fprintf(w, "%-8s %10s %10s %12s\n", "Network", "#edges", "#vertices", "out degree")
+	var rows []Table6Row
+	for _, b := range bundles {
+		n := b.DS.NetStats()
+		row := Table6Row{Name: n.Name, Segments: n.Segments, Vertices: n.Vertices, AvgOutDegree: n.AvgOutDegree}
+		rows = append(rows, row)
+		fprintf(w, "%-8s %10d %10d %12.3f\n", row.Name, row.Segments, row.Vertices, row.AvgOutDegree)
+	}
+	return rows
+}
+
+// Fig4aRow is one sample-interval histogram.
+type Fig4aRow struct {
+	Name string
+	Frac [5]float64 // |dev| in {0, 1, (1,50], (50,100], >100} seconds
+	Runs float64    // samples between interval changes
+}
+
+// Fig4a regenerates the sample-interval deviation statistics.
+func Fig4a(w io.Writer, bundles []*Bundle) []Fig4aRow {
+	fprintf(w, "Fig 4a: Sample-interval deviations (fractions)\n")
+	fprintf(w, "%-8s %6s %6s %8s %9s %6s %10s\n", "Dataset", "0", "1", "(1,50]", "(50,100]", ">100", "change-run")
+	var rows []Fig4aRow
+	for _, b := range bundles {
+		h := b.DS.IntervalDeviationHistogram()
+		row := Fig4aRow{Name: b.Profile.Name, Frac: h, Runs: b.DS.IntervalChangeRate()}
+		rows = append(rows, row)
+		fprintf(w, "%-8s %6.2f %6.2f %8.2f %9.2f %6.2f %10.2f\n",
+			row.Name, h[0], h[1], h[2], h[3], h[4], row.Runs)
+	}
+	return rows
+}
+
+// Fig4bRow is one similarity distribution pair.
+type Fig4bRow struct {
+	Name    string
+	Within  [4]float64 // edit distance in [0,2], [3,5], [6,8], >=9
+	Between [4]float64
+}
+
+// Fig4b regenerates the instance-similarity statistics.
+func Fig4b(w io.Writer, bundles []*Bundle) []Fig4bRow {
+	fprintf(w, "Fig 4b: Edit distance within / between uncertain trajectories (fractions)\n")
+	fprintf(w, "%-8s %28s %28s\n", "Dataset", "within [0,2] [3,5] [6,8] >=9", "between [0,2] [3,5] [6,8] >=9")
+	var rows []Fig4bRow
+	for _, b := range bundles {
+		within, between := b.DS.SimilarityStats(1, 20000)
+		row := Fig4bRow{Name: b.Profile.Name}
+		copy(row.Within[:], within[:])
+		copy(row.Between[:], between[:])
+		rows = append(rows, row)
+		fprintf(w, "%-8s   %6.2f %5.2f %5.2f %5.2f     %6.2f %5.2f %5.2f %5.2f\n",
+			row.Name, within[0], within[1], within[2], within[3],
+			between[0], between[1], between[2], between[3])
+	}
+	return rows
+}

@@ -1,0 +1,201 @@
+package gen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"utcq/internal/mapmatch"
+	"utcq/internal/roadnet"
+	"utcq/internal/traj"
+)
+
+// Dataset is a generated collection of uncertain trajectories over one road
+// network — the input Tu of the UTCQ framework.
+type Dataset struct {
+	Profile      Profile
+	Graph        *roadnet.Graph
+	EdgeIndex    *roadnet.EdgeIndex
+	Trajectories []*traj.Uncertain
+
+	// SkippedTrajectories counts raw trajectories the matcher rejected.
+	SkippedTrajectories int
+}
+
+// Build generates a dataset with numTraj uncertain trajectories (0 means
+// the profile default), deterministically from the seed.
+func Build(p Profile, numTraj int, seed int64) (*Dataset, error) {
+	if numTraj <= 0 {
+		numTraj = p.DefaultTrajectories
+	}
+	g := roadnet.Generate(p.Network)
+	ix := roadnet.NewEdgeIndex(g, 4*p.Network.Spacing)
+	ds := &Dataset{Profile: p, Graph: g, EdgeIndex: ix}
+	rng := rand.New(rand.NewSource(seed))
+
+	attempts := 0
+	for len(ds.Trajectories) < numTraj {
+		attempts++
+		if attempts > numTraj*10 {
+			return nil, fmt.Errorf("gen: too many failed attempts (%d trajectories built)", len(ds.Trajectories))
+		}
+		raw := synthesizeRaw(p, g, rng)
+		if raw == nil {
+			continue
+		}
+		cfg := p.Match
+		cfg.MaxInstances = sampleInstanceTarget(p, rng)
+		m := mapmatch.New(g, ix, cfg)
+		u, err := m.Match(*raw)
+		if err != nil || len(u.Instances) < 2 {
+			// Table 5's instance ranges start at 2: unambiguous matches do
+			// not form uncertain trajectories.
+			ds.SkippedTrajectories++
+			continue
+		}
+		ds.Trajectories = append(ds.Trajectories, u)
+	}
+	return ds, nil
+}
+
+// sampleInstanceTarget draws the per-trajectory k around the profile's
+// average instance count (clamped to [2, MaxInstances]).
+func sampleInstanceTarget(p Profile, rng *rand.Rand) int {
+	k := int(math.Round(float64(p.AvgInstances) * math.Exp(rng.NormFloat64()*0.45)))
+	if k < 2 {
+		k = 2
+	}
+	if k > p.MaxInstances {
+		k = p.MaxInstances
+	}
+	return k
+}
+
+// synthesizeRaw simulates one vehicle trip: a route on the network, motion
+// along it, and noisy GPS fixes with the profile's interval jitter.
+func synthesizeRaw(p Profile, g *roadnet.Graph, rng *rand.Rand) *traj.RawTrajectory {
+	route := randomRoute(g, rng, sampleRouteLen(p, rng))
+	if len(route) < p.MinEdges {
+		return nil
+	}
+	routeLen := g.PathLength(route)
+	speed := p.SpeedMean + rng.NormFloat64()*p.SpeedStd
+	if speed < 3 {
+		speed = 3
+	}
+
+	// Start somewhere in the first half of the day so trips end before
+	// midnight (the encoder stores t0 as seconds of day).
+	t := int64(1800 + rng.Intn(60000))
+	dist := 0.0
+	var pts []traj.RawPoint
+	prevJitter := int64(0)
+	havePrev := false
+	for dist < routeLen && len(pts) < p.MaxPoints {
+		pos, ok := positionAt(g, route, dist)
+		if !ok {
+			break
+		}
+		x, y := g.Coords(pos)
+		pts = append(pts, traj.RawPoint{
+			X: x + rng.NormFloat64()*p.GPSNoise,
+			Y: y + rng.NormFloat64()*p.GPSNoise,
+			T: t,
+		})
+		// Sticky jitter: repeating the previous deviation keeps the
+		// marginal Fig 4a distribution but lengthens interval runs.
+		var j int64
+		if havePrev && rng.Float64() < p.JitterSticky {
+			j = prevJitter
+		} else {
+			j = sampleJitter(p, rng)
+		}
+		prevJitter, havePrev = j, true
+		iv := p.Ts + j
+		if iv < 1 {
+			iv = 1
+		}
+		t += iv
+		dist += speed * float64(iv)
+	}
+	if len(pts) < 2 {
+		return nil
+	}
+	return &traj.RawTrajectory{Points: pts}
+}
+
+// sampleJitter draws a sample-interval deviation according to the profile's
+// Fig 4a distribution.  Deviations below -(Ts-1) are clamped so intervals
+// stay positive.
+func sampleJitter(p Profile, rng *rand.Rand) int64 {
+	u := rng.Float64()
+	var mag int64
+	switch {
+	case u < p.JitterFracs[0]:
+		return 0
+	case u < p.JitterFracs[0]+p.JitterFracs[1]:
+		mag = 1
+	case u < p.JitterFracs[0]+p.JitterFracs[1]+p.JitterFracs[2]:
+		mag = 2 + int64(rng.Intn(49)) // (1, 50]
+	case u < p.JitterFracs[0]+p.JitterFracs[1]+p.JitterFracs[2]+p.JitterFracs[3]:
+		mag = 51 + int64(rng.Intn(50)) // (50, 100]
+	default:
+		mag = 101 + int64(rng.Intn(200)) // > 100
+	}
+	if rng.Intn(2) == 0 && mag < p.Ts {
+		return -mag
+	}
+	return mag
+}
+
+func sampleRouteLen(p Profile, rng *rand.Rand) int {
+	n := int(math.Round(float64(p.AvgEdges) * math.Exp(rng.NormFloat64()*0.5)))
+	if n < p.MinEdges {
+		n = p.MinEdges
+	}
+	if n > p.MaxEdges {
+		n = p.MaxEdges
+	}
+	return n
+}
+
+// randomRoute walks up to n edges from a random vertex, avoiding immediate
+// u-turns when possible.
+func randomRoute(g *roadnet.Graph, rng *rand.Rand, n int) []roadnet.EdgeID {
+	v := roadnet.VertexID(rng.Intn(g.NumVertices()))
+	var route []roadnet.EdgeID
+	var prevFrom roadnet.VertexID = roadnet.NoVertex
+	for len(route) < n {
+		outs := g.OutEdges(v)
+		if len(outs) == 0 {
+			break
+		}
+		// Collect non-u-turn options.
+		var opts []roadnet.EdgeID
+		for _, e := range outs {
+			if g.Edge(e).To != prevFrom {
+				opts = append(opts, e)
+			}
+		}
+		if len(opts) == 0 {
+			opts = outs
+		}
+		e := opts[rng.Intn(len(opts))]
+		route = append(route, e)
+		prevFrom = v
+		v = g.Edge(e).To
+	}
+	return route
+}
+
+// positionAt returns the network position dist meters along the route.
+func positionAt(g *roadnet.Graph, route []roadnet.EdgeID, dist float64) (roadnet.Position, bool) {
+	for _, e := range route {
+		l := g.Edge(e).Length
+		if dist < l {
+			return roadnet.Position{Edge: e, NDist: dist}, true
+		}
+		dist -= l
+	}
+	return roadnet.Position{}, false
+}

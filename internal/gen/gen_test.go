@@ -1,0 +1,181 @@
+package gen
+
+import (
+	"testing"
+)
+
+// smallProfile shrinks a profile for fast tests.
+func smallProfile(p Profile) Profile {
+	p.Network.Cols, p.Network.Rows = 24, 24
+	p.DefaultTrajectories = 40
+	return p
+}
+
+func TestBuildDatasets(t *testing.T) {
+	for _, base := range Profiles() {
+		p := smallProfile(base)
+		t.Run(p.Name, func(t *testing.T) {
+			ds, err := Build(p, 40, 7)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(ds.Trajectories) != 40 {
+				t.Fatalf("built %d trajectories", len(ds.Trajectories))
+			}
+			for i, u := range ds.Trajectories {
+				if err := u.Validate(); err != nil {
+					t.Fatalf("trajectory %d invalid: %v", i, err)
+				}
+				// Instances must decode against the network.
+				for j := range u.Instances {
+					if _, err := u.Instances[j].Locations(ds.Graph, u.T); err != nil {
+						t.Fatalf("trajectory %d instance %d: %v", i, j, err)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestDatasetDeterministic(t *testing.T) {
+	p := smallProfile(DK())
+	a, err := Build(p, 15, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Build(p, 15, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Trajectories) != len(b.Trajectories) {
+		t.Fatal("different sizes for same seed")
+	}
+	for i := range a.Trajectories {
+		ua, ub := a.Trajectories[i], b.Trajectories[i]
+		if len(ua.T) != len(ub.T) || len(ua.Instances) != len(ub.Instances) {
+			t.Fatalf("trajectory %d differs", i)
+		}
+		for k := range ua.T {
+			if ua.T[k] != ub.T[k] {
+				t.Fatalf("trajectory %d timestamp %d differs", i, k)
+			}
+		}
+	}
+}
+
+func TestIntervalDeviationHistogram(t *testing.T) {
+	p := smallProfile(DK())
+	ds, err := Build(p, 60, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := ds.IntervalDeviationHistogram()
+	sum := 0.0
+	for _, f := range h {
+		sum += f
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Fatalf("histogram sums to %g", sum)
+	}
+	// DK: most intervals deviate at most 1 s (paper: 93%).
+	if h[0]+h[1] < 0.75 {
+		t.Errorf("DK small-deviation fraction = %g, want > 0.75", h[0]+h[1])
+	}
+}
+
+func TestProfileJitterOrdering(t *testing.T) {
+	// DK must have the most stable intervals, HZ the least (Fig 4a).
+	build := func(p Profile) float64 {
+		ds, err := Build(smallProfile(p), 50, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h := ds.IntervalDeviationHistogram()
+		return h[0] + h[1]
+	}
+	dk, cd, hz := build(DK()), build(CD()), build(HZ())
+	if !(dk > cd && cd > hz) {
+		t.Errorf("small-deviation fractions: DK=%.2f CD=%.2f HZ=%.2f, want DK > CD > HZ", dk, cd, hz)
+	}
+}
+
+func TestSimilarityStats(t *testing.T) {
+	ds, err := Build(smallProfile(HZ()), 50, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	within, between := ds.SimilarityStats(1, 2000)
+	wSum, bSum := 0.0, 0.0
+	for i := 0; i < 4; i++ {
+		wSum += within[i]
+		bSum += between[i]
+	}
+	if wSum < 0.999 || wSum > 1.001 || bSum < 0.999 || bSum > 1.001 {
+		t.Fatalf("bucket sums: within=%g between=%g", wSum, bSum)
+	}
+	// The paper's key observation: instances of one uncertain trajectory
+	// are much more similar than instances across trajectories.
+	if within[0]+within[1] < 0.6 {
+		t.Errorf("within-trajectory similar fraction = %g, want > 0.6", within[0]+within[1])
+	}
+	if between[3] < within[3] {
+		t.Errorf("across-trajectory distances should skew larger: between>=9 %g, within>=9 %g",
+			between[3], within[3])
+	}
+}
+
+func TestStatsShape(t *testing.T) {
+	ds, err := Build(smallProfile(CD()), 50, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := ds.Stats()
+	if s.NumTrajectories != 50 {
+		t.Errorf("NumTrajectories = %d", s.NumTrajectories)
+	}
+	if s.InstAvg < 2 || s.InstAvg > 8 {
+		t.Errorf("CD instance average = %g, want near 3", s.InstAvg)
+	}
+	if s.EdgesAvg < 3 || s.EdgesAvg > 40 {
+		t.Errorf("edges average = %g", s.EdgesAvg)
+	}
+	if s.RawBits.Total() == 0 {
+		t.Error("raw size is zero")
+	}
+	ns := ds.NetStats()
+	if ns.Vertices != 24*24 {
+		t.Errorf("vertices = %d", ns.Vertices)
+	}
+	if ns.AvgOutDegree < 2 || ns.AvgOutDegree > 3.2 {
+		t.Errorf("avg out degree = %g", ns.AvgOutDegree)
+	}
+}
+
+func TestProfileByName(t *testing.T) {
+	for _, n := range []string{"DK", "CD", "HZ"} {
+		p, err := ProfileByName(n)
+		if err != nil || p.Name != n {
+			t.Errorf("ProfileByName(%s) = %v, %v", n, p.Name, err)
+		}
+	}
+	if _, err := ProfileByName("XX"); err == nil {
+		t.Error("unknown profile accepted")
+	}
+}
+
+func TestIntervalChangeRate(t *testing.T) {
+	dk, err := Build(smallProfile(DK()), 40, 23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hz, err := Build(smallProfile(HZ()), 40, 23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// DK intervals are stable: longer runs between changes than HZ
+	// (paper: 6.80 vs 1.97).
+	if dk.IntervalChangeRate() <= hz.IntervalChangeRate() {
+		t.Errorf("change run length DK=%g should exceed HZ=%g",
+			dk.IntervalChangeRate(), hz.IntervalChangeRate())
+	}
+}

@@ -1,0 +1,135 @@
+// Package gen synthesizes datasets whose statistics mirror the paper's
+// three real-life datasets (Denmark, Chengdu, Hangzhou; Tables 5-6, Fig 4):
+// road networks with matching degree statistics, routes with matching edge
+// counts, GPS sampling with matching default intervals and interval-jitter
+// distributions, and probabilistic map matching producing instance counts
+// in the reported ranges.  See DESIGN.md for the substitution rationale.
+package gen
+
+import (
+	"fmt"
+
+	"utcq/internal/mapmatch"
+	"utcq/internal/roadnet"
+)
+
+// Profile describes one synthetic dataset family.
+type Profile struct {
+	Name string
+
+	// Network generation.
+	Network roadnet.GenConfig
+
+	// Ts is the default sample interval in seconds (Table 5).
+	Ts int64
+
+	// JitterFracs gives the probability that a sample interval deviates
+	// from Ts by 0, 1, (1,50], (50,100], and >100 seconds (Fig 4a).
+	JitterFracs [5]float64
+
+	// JitterSticky is the probability that an interval repeats the previous
+	// deviation verbatim; it controls the run length between interval
+	// changes (paper: 6.80 / 2.32 / 1.97 samples for DK / CD / HZ) without
+	// altering the marginal deviation distribution.
+	JitterSticky float64
+
+	// Route geometry.
+	AvgEdges           int     // mean route length in edges
+	MinEdges, MaxEdges int     // clamp for route length
+	SpeedMean          float64 // m/s
+	SpeedStd           float64
+	GPSNoise           float64 // meters (std dev)
+	MaxPoints          int     // cap on points per trajectory
+
+	// Instance counts: MaxInstances is sampled per trajectory around
+	// AvgInstances (Table 5: DK 9, CD 3, HZ 13).
+	AvgInstances int
+	MaxInstances int
+
+	Match mapmatch.Config
+
+	// DefaultTrajectories is the laptop-scale default dataset size.
+	DefaultTrajectories int
+}
+
+// DK returns the Denmark-like profile: 1 s sampling, very stable intervals
+// (93% deviate at most 1 s), ~9 instances per trajectory.
+func DK() Profile {
+	m := mapmatch.DefaultConfig()
+	m.Slack = 250
+	m.MinProb = 0.001
+	return Profile{
+		Name: "DK",
+		Network: roadnet.GenConfig{
+			Seed: 101, Cols: 96, Rows: 96, Spacing: 130, Jitter: 0.22,
+			SegmentsPerVertex: 1.22, OneWayProb: 0.12, DiagProb: 0.10,
+		},
+		Ts:           1,
+		JitterFracs:  [5]float64{0.72, 0.21, 0.05, 0.013, 0.007},
+		JitterSticky: 0.57,
+		AvgEdges:     14, MinEdges: 2, MaxEdges: 139,
+		SpeedMean: 20, SpeedStd: 4, GPSNoise: 9, MaxPoints: 70,
+		AvgInstances: 9, MaxInstances: 30,
+		Match:               m,
+		DefaultTrajectories: 900,
+	}
+}
+
+// CD returns the Chengdu-like profile: 10 s sampling, moderately stable
+// intervals (62% within 1 s), ~3 instances per trajectory.
+func CD() Profile {
+	m := mapmatch.DefaultConfig()
+	m.Slack = 400
+	m.MinProb = 0.002
+	return Profile{
+		Name: "CD",
+		Network: roadnet.GenConfig{
+			Seed: 202, Cols: 72, Rows: 72, Spacing: 190, Jitter: 0.25,
+			SegmentsPerVertex: 1.42, OneWayProb: 0.15, DiagProb: 0.22,
+		},
+		Ts:           10,
+		JitterFracs:  [5]float64{0.30, 0.24, 0.34, 0.07, 0.05},
+		JitterSticky: 0.45,
+		AvgEdges:     11, MinEdges: 2, MaxEdges: 148,
+		SpeedMean: 12, SpeedStd: 3, GPSNoise: 13, MaxPoints: 40,
+		AvgInstances: 3, MaxInstances: 12,
+		Match:               m,
+		DefaultTrajectories: 1600,
+	}
+}
+
+// HZ returns the Hangzhou-like profile: 20 s sampling, the least stable
+// intervals (54% within 1 s), ~13 instances per trajectory.
+func HZ() Profile {
+	m := mapmatch.DefaultConfig()
+	m.Slack = 500
+	m.MinProb = 0.0005
+	return Profile{
+		Name: "HZ",
+		Network: roadnet.GenConfig{
+			Seed: 303, Cols: 64, Rows: 64, Spacing: 180, Jitter: 0.25,
+			SegmentsPerVertex: 1.40, OneWayProb: 0.15, DiagProb: 0.20,
+		},
+		Ts:           20,
+		JitterFracs:  [5]float64{0.26, 0.22, 0.36, 0.09, 0.07},
+		JitterSticky: 0.38,
+		AvgEdges:     13, MinEdges: 2, MaxEdges: 189,
+		SpeedMean: 10, SpeedStd: 2.5, GPSNoise: 14, MaxPoints: 32,
+		AvgInstances: 16, MaxInstances: 40,
+		Match:               m,
+		DefaultTrajectories: 1200,
+	}
+}
+
+// Profiles returns the three paper profiles in presentation order.
+func Profiles() []Profile { return []Profile{DK(), CD(), HZ()} }
+
+// ProfileByName resolves "DK", "CD" or "HZ".
+func ProfileByName(name string) (Profile, error) {
+	for _, p := range Profiles() {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return Profile{}, fmt.Errorf("gen: unknown profile %q (want DK, CD or HZ)", name)
+}

@@ -1,0 +1,203 @@
+package gen
+
+import (
+	"math/rand"
+
+	"utcq/internal/traj"
+)
+
+// DatasetStats mirrors Table 5: size, trajectory counts, instance counts,
+// edge counts and the default sample interval.
+type DatasetStats struct {
+	Name            string
+	RawBits         traj.ComponentBits
+	NumTrajectories int
+	InstAvg         float64
+	InstMin         int
+	InstMax         int
+	EdgesAvg        float64
+	EdgesMin        int
+	EdgesMax        int
+	PointsAvg       float64
+	Ts              int64
+}
+
+// NetworkStats mirrors Table 6: edge/vertex counts and average out-degree.
+type NetworkStats struct {
+	Name         string
+	Segments     int // undirected road segments, as counted by the paper
+	Vertices     int
+	AvgOutDegree float64
+	MaxOutDegree int
+}
+
+// Stats computes the Table 5 statistics of the dataset.
+func (d *Dataset) Stats() DatasetStats {
+	s := DatasetStats{
+		Name:            d.Profile.Name,
+		NumTrajectories: len(d.Trajectories),
+		InstMin:         1 << 30,
+		EdgesMin:        1 << 30,
+		Ts:              d.Profile.Ts,
+	}
+	totalInst, totalEdges, totalPoints, instTraj := 0, 0, 0, 0
+	for _, u := range d.Trajectories {
+		s.RawBits.Add(u.RawBits())
+		ni := len(u.Instances)
+		totalInst += ni
+		instTraj++
+		if ni < s.InstMin {
+			s.InstMin = ni
+		}
+		if ni > s.InstMax {
+			s.InstMax = ni
+		}
+		totalPoints += len(u.T)
+		for i := range u.Instances {
+			ne := u.Instances[i].EdgeCount()
+			totalEdges += ne
+			if ne < s.EdgesMin {
+				s.EdgesMin = ne
+			}
+			if ne > s.EdgesMax {
+				s.EdgesMax = ne
+			}
+		}
+	}
+	if instTraj > 0 {
+		s.InstAvg = float64(totalInst) / float64(instTraj)
+		s.PointsAvg = float64(totalPoints) / float64(instTraj)
+	}
+	if totalInst > 0 {
+		s.EdgesAvg = float64(totalEdges) / float64(totalInst)
+	}
+	return s
+}
+
+// NetStats computes the Table 6 statistics of the dataset's road network.
+func (d *Dataset) NetStats() NetworkStats {
+	return NetworkStats{
+		Name:         d.Profile.Name,
+		Segments:     d.Graph.UndirectedEdgeCount(),
+		Vertices:     d.Graph.NumVertices(),
+		AvgOutDegree: d.Graph.AvgOutDegree(),
+		MaxOutDegree: d.Graph.MaxOutDegree(),
+	}
+}
+
+// IntervalDeviationHistogram buckets |actual interval − Ts| into the Fig 4a
+// classes {0, 1, (1,50], (50,100], >100} and returns fractions.
+func (d *Dataset) IntervalDeviationHistogram() [5]float64 {
+	var counts [5]int
+	total := 0
+	for _, u := range d.Trajectories {
+		for i := 1; i < len(u.T); i++ {
+			dev := u.T[i] - u.T[i-1] - d.Profile.Ts
+			if dev < 0 {
+				dev = -dev
+			}
+			switch {
+			case dev == 0:
+				counts[0]++
+			case dev == 1:
+				counts[1]++
+			case dev <= 50:
+				counts[2]++
+			case dev <= 100:
+				counts[3]++
+			default:
+				counts[4]++
+			}
+			total++
+		}
+	}
+	var out [5]float64
+	if total == 0 {
+		return out
+	}
+	for i, c := range counts {
+		out[i] = float64(c) / float64(total)
+	}
+	return out
+}
+
+// IntervalChangeRate returns the average run length between sample-interval
+// changes (the paper reports 6.80 / 2.32 / 1.97 for DK / CD / HZ); TED's
+// time scheme degrades as this number shrinks.
+func (d *Dataset) IntervalChangeRate() float64 {
+	changes, intervals := 0, 0
+	for _, u := range d.Trajectories {
+		if len(u.T) < 3 {
+			continue
+		}
+		prev := u.T[1] - u.T[0]
+		for i := 2; i < len(u.T); i++ {
+			iv := u.T[i] - u.T[i-1]
+			intervals++
+			if iv != prev {
+				changes++
+			}
+			prev = iv
+		}
+	}
+	if changes == 0 {
+		return float64(intervals)
+	}
+	return float64(intervals) / float64(changes)
+}
+
+// SimilarityBuckets holds Fig 4b fractions for edit-distance classes
+// [0,2], [3,5], [6,8], >=9.
+type SimilarityBuckets [4]float64
+
+func bucketOf(d int) int {
+	switch {
+	case d <= 2:
+		return 0
+	case d <= 5:
+		return 1
+	case d <= 8:
+		return 2
+	default:
+		return 3
+	}
+}
+
+// SimilarityStats computes Fig 4b: the edit-distance distribution between
+// instances of the same uncertain trajectory (within) and between instances
+// of different trajectories (between, sampled with maxSamples pairs).
+func (d *Dataset) SimilarityStats(seed int64, maxSamples int) (within, between SimilarityBuckets) {
+	rng := rand.New(rand.NewSource(seed))
+	var wc, bc [4]int
+	wn, bn := 0, 0
+	for _, u := range d.Trajectories {
+		for i := 0; i < len(u.Instances) && wn < maxSamples; i++ {
+			for j := i + 1; j < len(u.Instances) && wn < maxSamples; j++ {
+				dist := traj.EditDistance(u.Instances[i].E, u.Instances[j].E)
+				wc[bucketOf(dist)]++
+				wn++
+			}
+		}
+	}
+	n := len(d.Trajectories)
+	for bn < maxSamples && n > 1 {
+		a, b := rng.Intn(n), rng.Intn(n)
+		if a == b {
+			continue
+		}
+		ua, ub := d.Trajectories[a], d.Trajectories[b]
+		ia, ib := rng.Intn(len(ua.Instances)), rng.Intn(len(ub.Instances))
+		dist := traj.EditDistance(ua.Instances[ia].E, ub.Instances[ib].E)
+		bc[bucketOf(dist)]++
+		bn++
+	}
+	for i := 0; i < 4; i++ {
+		if wn > 0 {
+			within[i] = float64(wc[i]) / float64(wn)
+		}
+		if bn > 0 {
+			between[i] = float64(bc[i]) / float64(bn)
+		}
+	}
+	return within, between
+}

@@ -1,0 +1,292 @@
+// Package mapmatch implements probabilistic map matching: it transforms a
+// raw GPS trajectory into a network-constrained uncertain trajectory — a
+// set of trajectory instances with probabilities (Definition 5).
+//
+// The matcher is an HMM in the style of the probabilistic map-matching
+// literature the paper builds on: candidate mapped locations per raw point
+// (emission likelihood decays with GPS distance), transitions scored by the
+// agreement between network and straight-line distance, and a k-best
+// Viterbi pass that yields the top-k joint assignments.  Their normalized
+// scores become the instance probabilities.
+package mapmatch
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"utcq/internal/roadnet"
+	"utcq/internal/traj"
+)
+
+// Config controls the matcher.
+type Config struct {
+	// CandidateRadius is the search radius (meters) for candidate edges.
+	CandidateRadius float64
+	// MaxCandidates bounds candidates per raw point.
+	MaxCandidates int
+	// SigmaGPS is the emission standard deviation (meters).
+	SigmaGPS float64
+	// Beta is the transition scale: log p = -|networkDist - euclidDist| / Beta.
+	Beta float64
+	// MaxInstances is k: the maximum number of instances produced.
+	MaxInstances int
+	// MaxDetour bounds the Dijkstra search: maxDist = MaxDetour*euclid + Slack.
+	MaxDetour float64
+	// Slack is the additive Dijkstra bound (meters).
+	Slack float64
+	// MinProb drops instances whose normalized probability is below it.
+	MinProb float64
+}
+
+// DefaultConfig returns sensible laptop-scale parameters.
+func DefaultConfig() Config {
+	return Config{
+		CandidateRadius: 60,
+		MaxCandidates:   3,
+		SigmaGPS:        15,
+		Beta:            40,
+		MaxInstances:    8,
+		MaxDetour:       3,
+		Slack:           400,
+		MinProb:         0.01,
+	}
+}
+
+// Matcher matches raw trajectories against one road network.
+type Matcher struct {
+	g   *roadnet.Graph
+	ix  *roadnet.EdgeIndex
+	cfg Config
+}
+
+// New returns a Matcher.  The edge index must be built over g.
+func New(g *roadnet.Graph, ix *roadnet.EdgeIndex, cfg Config) *Matcher {
+	return &Matcher{g: g, ix: ix, cfg: cfg}
+}
+
+// hypothesis is one partial joint assignment ending in a given candidate.
+type hypothesis struct {
+	logp      float64
+	prevCand  int // candidate index at previous point
+	prevHyp   int // hypothesis index within that candidate
+	transPath []roadnet.EdgeID
+}
+
+// ErrNoMatch is returned when no joint assignment survives.
+var ErrNoMatch = errors.New("mapmatch: no feasible matching")
+
+// Match converts a raw trajectory into an uncertain trajectory.
+func (m *Matcher) Match(raw traj.RawTrajectory) (*traj.Uncertain, error) {
+	n := len(raw.Points)
+	if n < 2 {
+		return nil, fmt.Errorf("mapmatch: need >= 2 points, got %d", n)
+	}
+	cands := make([][]roadnet.Position, n)
+	for i, p := range raw.Points {
+		k := m.cfg.MaxCandidates
+		if i == 0 {
+			// Anchor the start: the first fix maps to its single best
+			// candidate, so all instances share the start vertex — the
+			// property Definition 5's datasets exhibit and reference
+			// selection exploits (SF pairs same-SV instances only).
+			k = 1
+		}
+		cs := m.ix.NearestEdges(p.X, p.Y, m.cfg.CandidateRadius, k)
+		if len(cs) == 0 {
+			cs = m.ix.NearestEdges(p.X, p.Y, 2*m.cfg.CandidateRadius, k)
+		}
+		if len(cs) == 0 {
+			return nil, fmt.Errorf("mapmatch: point %d has no candidates", i)
+		}
+		cands[i] = cs
+	}
+
+	k := m.cfg.MaxInstances
+	if k < 1 {
+		k = 1
+	}
+	// hyps[i][c] holds up to k best hypotheses ending at candidate c of point i.
+	hyps := make([][][]hypothesis, n)
+	hyps[0] = make([][]hypothesis, len(cands[0]))
+	for c, pos := range cands[0] {
+		hyps[0][c] = []hypothesis{{logp: m.emission(raw.Points[0], pos), prevCand: -1, prevHyp: -1}}
+	}
+
+	for i := 1; i < n; i++ {
+		hyps[i] = make([][]hypothesis, len(cands[i]))
+		euclid := math.Hypot(raw.Points[i].X-raw.Points[i-1].X, raw.Points[i].Y-raw.Points[i-1].Y)
+		bound := m.cfg.MaxDetour*euclid + m.cfg.Slack
+		for pc := range cands[i-1] {
+			if len(hyps[i-1][pc]) == 0 {
+				continue
+			}
+			results := m.g.ShortestPaths(cands[i-1][pc], cands[i], bound)
+			for c := range cands[i] {
+				res := results[c]
+				if !res.OK {
+					continue
+				}
+				trans := -math.Abs(res.Dist-euclid) / m.cfg.Beta
+				emit := m.emission(raw.Points[i], cands[i][c])
+				for ph, h := range hyps[i-1][pc] {
+					hyps[i][c] = insertTopK(hyps[i][c], hypothesis{
+						logp:      h.logp + trans + emit,
+						prevCand:  pc,
+						prevHyp:   ph,
+						transPath: res.Path,
+					}, k)
+				}
+			}
+		}
+		alive := false
+		for c := range hyps[i] {
+			if len(hyps[i][c]) > 0 {
+				alive = true
+				break
+			}
+		}
+		if !alive {
+			return nil, ErrNoMatch
+		}
+	}
+
+	// Collect the global top-k complete hypotheses.
+	type final struct {
+		cand, hyp int
+		logp      float64
+	}
+	var finals []final
+	for c := range hyps[n-1] {
+		for h, hy := range hyps[n-1][c] {
+			finals = append(finals, final{c, h, hy.logp})
+		}
+	}
+	sort.Slice(finals, func(a, b int) bool { return finals[a].logp > finals[b].logp })
+	if len(finals) > k {
+		finals = finals[:k]
+	}
+	if len(finals) == 0 {
+		return nil, ErrNoMatch
+	}
+
+	u := &traj.Uncertain{T: make([]int64, n)}
+	for i, p := range raw.Points {
+		u.T[i] = p.T
+	}
+	maxLogp := finals[0].logp
+	type built struct {
+		ins  traj.Instance
+		logp float64
+	}
+	var builtInstances []built
+	for _, f := range finals {
+		ins, err := m.assemble(cands, hyps, n, f.cand, f.hyp)
+		if err != nil {
+			continue // infeasible assembly (e.g. single-edge degenerate path)
+		}
+		builtInstances = append(builtInstances, built{ins, f.logp})
+	}
+	if len(builtInstances) == 0 {
+		return nil, ErrNoMatch
+	}
+	// De-duplicate identical instances, keeping the best score.
+	var dedup []built
+	for _, b := range builtInstances {
+		found := false
+		for i := range dedup {
+			if traj.Equal(&dedup[i].ins, &b.ins) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			dedup = append(dedup, b)
+		}
+	}
+	// Normalize scores into probabilities.
+	sum := 0.0
+	for _, b := range dedup {
+		sum += math.Exp(b.logp - maxLogp)
+	}
+	for _, b := range dedup {
+		p := math.Exp(b.logp-maxLogp) / sum
+		if p < m.cfg.MinProb && len(u.Instances) > 0 {
+			continue
+		}
+		b.ins.P = p
+		u.Instances = append(u.Instances, b.ins)
+	}
+	// Renormalize after MinProb filtering.
+	total := 0.0
+	for i := range u.Instances {
+		total += u.Instances[i].P
+	}
+	for i := range u.Instances {
+		u.Instances[i].P /= total
+	}
+	if err := u.Validate(); err != nil {
+		return nil, fmt.Errorf("mapmatch: produced invalid trajectory: %w", err)
+	}
+	return u, nil
+}
+
+// assemble backtracks one complete hypothesis into an Instance.
+func (m *Matcher) assemble(cands [][]roadnet.Position, hyps [][][]hypothesis, n, lastCand, lastHyp int) (traj.Instance, error) {
+	locs := make([]roadnet.Position, n)
+	paths := make([][]roadnet.EdgeID, n-1)
+	c, h := lastCand, lastHyp
+	for i := n - 1; i >= 0; i-- {
+		hy := hyps[i][c][h]
+		locs[i] = cands[i][c]
+		if i > 0 {
+			paths[i-1] = hy.transPath
+		}
+		c, h = hy.prevCand, hy.prevHyp
+	}
+	// Concatenate transition paths; each starts with the edge that ends the
+	// previous one.
+	var path []roadnet.EdgeID
+	locIdx := make([]int, n)
+	locIdx[0] = 0
+	path = append(path, paths[0]...)
+	locIdx[1] = len(path) - 1
+	for i := 1; i < n-1; i++ {
+		seg := paths[i]
+		if len(seg) == 0 {
+			return traj.Instance{}, errors.New("mapmatch: empty transition path")
+		}
+		if len(path) > 0 && seg[0] == path[len(path)-1] {
+			path = append(path, seg[1:]...)
+		} else {
+			path = append(path, seg...)
+		}
+		locIdx[i+1] = len(path) - 1
+	}
+	return traj.NewInstanceAssigned(m.g, path, locs, locIdx, 0)
+}
+
+func (m *Matcher) emission(p traj.RawPoint, pos roadnet.Position) float64 {
+	x, y := m.g.Coords(pos)
+	d := math.Hypot(p.X-x, p.Y-y)
+	return -d * d / (2 * m.cfg.SigmaGPS * m.cfg.SigmaGPS)
+}
+
+// insertTopK inserts h into list (descending by logp), keeping at most k.
+func insertTopK(list []hypothesis, h hypothesis, k int) []hypothesis {
+	pos := len(list)
+	for pos > 0 && list[pos-1].logp < h.logp {
+		pos--
+	}
+	if pos >= k {
+		return list
+	}
+	list = append(list, hypothesis{})
+	copy(list[pos+1:], list[pos:])
+	list[pos] = h
+	if len(list) > k {
+		list = list[:k]
+	}
+	return list
+}

@@ -1,0 +1,205 @@
+package mapmatch
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"utcq/internal/roadnet"
+	"utcq/internal/traj"
+)
+
+// corridorNet builds a corridor v0..v5 with a parallel detour between v1 and
+// v3, so points near the detour are ambiguous and k-best matching produces
+// several instances.
+func corridorNet(t testing.TB) (*roadnet.Graph, *roadnet.EdgeIndex) {
+	t.Helper()
+	b := roadnet.NewBuilder()
+	var main []roadnet.VertexID
+	for i := 0; i <= 5; i++ {
+		main = append(main, b.AddVertex(float64(i)*200, 0))
+	}
+	det1 := b.AddVertex(300, 60) // parallel route v1 -> det1 -> v3
+	for i := 0; i < 5; i++ {
+		b.AddEdge(main[i], main[i+1])
+		b.AddEdge(main[i+1], main[i])
+	}
+	b.AddEdge(main[1], det1)
+	b.AddEdge(det1, main[3])
+	b.AddEdge(main[3], det1)
+	b.AddEdge(det1, main[1])
+	g := b.Build()
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return g, roadnet.NewEdgeIndex(g, 150)
+}
+
+func TestMatchCleanTrace(t *testing.T) {
+	g, ix := corridorNet(t)
+	m := New(g, ix, DefaultConfig())
+	// Points exactly on the main corridor, 10 s apart.
+	raw := traj.RawTrajectory{Points: []traj.RawPoint{
+		{X: 50, Y: 0, T: 0},
+		{X: 250, Y: 0, T: 10},
+		{X: 450, Y: 0, T: 20},
+		{X: 650, Y: 0, T: 30},
+	}}
+	u, err := m.Match(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := u.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(u.T) != 4 {
+		t.Fatalf("T len = %d", len(u.T))
+	}
+	// Best instance must follow the main corridor.
+	best := u.Instances[0]
+	for i := range u.Instances {
+		if u.Instances[i].P > best.P {
+			best = u.Instances[i]
+		}
+	}
+	path, err := best.PathEdges(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(path) != 4 {
+		t.Errorf("best path has %d edges, want 4 (v0..v4)", len(path))
+	}
+	locs, err := best.Locations(g, u.T)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, l := range locs {
+		x, y := g.Coords(l.Pos)
+		wx := float64(50 + 200*i)
+		if math.Abs(x-wx) > 1 || math.Abs(y) > 1 {
+			t.Errorf("point %d matched to (%g, %g), want (%g, 0)", i, x, y, wx)
+		}
+	}
+}
+
+func TestMatchAmbiguousProducesInstances(t *testing.T) {
+	g, ix := corridorNet(t)
+	cfg := DefaultConfig()
+	cfg.MaxInstances = 6
+	m := New(g, ix, cfg)
+	// The middle point sits between the corridor (y=0) and the detour
+	// (y=60), so both routes are plausible.
+	raw := traj.RawTrajectory{Points: []traj.RawPoint{
+		{X: 150, Y: 5, T: 0},
+		{X: 300, Y: 28, T: 10},
+		{X: 620, Y: 5, T: 20},
+	}}
+	u, err := m.Match(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(u.Instances) < 2 {
+		t.Fatalf("expected multiple instances for ambiguous trace, got %d", len(u.Instances))
+	}
+	sum := 0.0
+	for i := range u.Instances {
+		sum += u.Instances[i].P
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("probabilities sum to %g", sum)
+	}
+	// Probabilities must be sorted by construction quality: no instance may
+	// exceed the first one's probability.
+	for i := 1; i < len(u.Instances); i++ {
+		if u.Instances[i].P > u.Instances[0].P+1e-12 {
+			t.Errorf("instance %d has higher probability than the first", i)
+		}
+	}
+	// All instances distinct.
+	for i := range u.Instances {
+		for j := i + 1; j < len(u.Instances); j++ {
+			if traj.Equal(&u.Instances[i], &u.Instances[j]) {
+				t.Errorf("instances %d and %d identical", i, j)
+			}
+		}
+	}
+}
+
+func TestMatchErrors(t *testing.T) {
+	g, ix := corridorNet(t)
+	m := New(g, ix, DefaultConfig())
+	if _, err := m.Match(traj.RawTrajectory{Points: []traj.RawPoint{{X: 0, Y: 0, T: 0}}}); err == nil {
+		t.Error("single-point trajectory accepted")
+	}
+	// A point very far from any edge.
+	raw := traj.RawTrajectory{Points: []traj.RawPoint{
+		{X: 0, Y: 0, T: 0},
+		{X: 0, Y: 99999, T: 10},
+	}}
+	if _, err := m.Match(raw); err == nil {
+		t.Error("unmatched point accepted")
+	}
+}
+
+func TestMatchOnGeneratedNetwork(t *testing.T) {
+	cfg := roadnet.DefaultGenConfig()
+	cfg.Cols, cfg.Rows = 16, 16
+	g := roadnet.Generate(cfg)
+	ix := roadnet.NewEdgeIndex(g, 300)
+	m := New(g, ix, DefaultConfig())
+	rng := rand.New(rand.NewSource(42))
+
+	// Walk a random route and sample noisy points along it.
+	matched := 0
+	for trial := 0; trial < 20; trial++ {
+		pts := syntheticWalk(g, rng, 10)
+		if pts == nil {
+			continue
+		}
+		u, err := m.Match(traj.RawTrajectory{Points: pts})
+		if err != nil {
+			continue
+		}
+		if err := u.Validate(); err != nil {
+			t.Fatalf("trial %d: invalid output: %v", trial, err)
+		}
+		matched++
+	}
+	if matched < 10 {
+		t.Errorf("only %d/20 synthetic walks matched", matched)
+	}
+}
+
+// syntheticWalk walks ~steps edges from a random vertex and returns noisy
+// GPS points sampled at edge midpoints.
+func syntheticWalk(g *roadnet.Graph, rng *rand.Rand, steps int) []traj.RawPoint {
+	v := roadnet.VertexID(rng.Intn(g.NumVertices()))
+	var pts []traj.RawPoint
+	tsec := int64(0)
+	var prev roadnet.EdgeID = roadnet.NoEdge
+	for i := 0; i < steps; i++ {
+		outs := g.OutEdges(v)
+		if len(outs) == 0 {
+			break
+		}
+		e := outs[rng.Intn(len(outs))]
+		// Avoid immediate u-turns to keep walks realistic.
+		if prev != roadnet.NoEdge && g.Edge(e).To == g.Edge(prev).From && len(outs) > 1 {
+			e = outs[(rng.Intn(len(outs)-1)+1)%len(outs)]
+		}
+		mid := roadnet.Position{Edge: e, NDist: g.Edge(e).Length / 2}
+		x, y := g.Coords(mid)
+		pts = append(pts, traj.RawPoint{
+			X: x + rng.NormFloat64()*10,
+			Y: y + rng.NormFloat64()*10,
+			T: tsec,
+		})
+		tsec += 10
+		v = g.Edge(e).To
+		prev = e
+	}
+	if len(pts) < 2 {
+		return nil
+	}
+	return pts
+}

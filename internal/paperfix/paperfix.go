@@ -1,0 +1,140 @@
+// Package paperfix builds the running example of the paper (Fig 2,
+// Tables 2-4): the ten-vertex road network and the uncertain trajectory
+// Tu1 with instances Tu11 (p=0.75), Tu12 (p=0.2) and Tu13 (p=0.05).  Tests
+// across the repository check algorithm outputs against the paper's worked
+// numbers through this fixture.
+package paperfix
+
+import (
+	"fmt"
+
+	"utcq/internal/roadnet"
+	"utcq/internal/traj"
+)
+
+// Fixture bundles the example network and trajectory.
+type Fixture struct {
+	Graph *roadnet.Graph
+	IDs   map[string]roadnet.VertexID
+	Tu1   *traj.Uncertain
+}
+
+// Ts is the example's default sample interval (240 s; Section 4.1).
+const Ts int64 = 240
+
+// New constructs the fixture.  Outgoing edge numbers are arranged so the
+// example's E sequences match Tables 2-3 exactly:
+// E(Tu11) = ⟨1,2,1,2,2,0,4,1,0⟩, E(Tu12) = ⟨1,1,1,2,2,0,4,1,0⟩,
+// E(Tu13) = ⟨1,2,1,2,2,0,4,1,2⟩.
+func New() (*Fixture, error) {
+	b := roadnet.NewBuilder()
+	ids := make(map[string]roadnet.VertexID)
+	coords := map[string][2]float64{
+		"v1": {0, 0}, "v2": {800, 0}, "v3": {1600, 0}, "v4": {2400, 0},
+		"v5": {3200, 0}, "v6": {4000, 0}, "v7": {5600, 0}, "v8": {6400, 0},
+		"v9": {6400, -800}, "v10": {1600, 800},
+	}
+	for _, n := range []string{"v1", "v2", "v3", "v4", "v5", "v6", "v7", "v8", "v9", "v10"} {
+		c := coords[n]
+		ids[n] = b.AddVertex(c[0], c[1])
+	}
+	add := func(a, c string) { b.AddEdge(ids[a], ids[c]) }
+	add("v1", "v2")  // v1 no1
+	add("v2", "v10") // v2 no1
+	add("v2", "v3")  // v2 no2
+	add("v3", "v4")  // v3 no1
+	add("v4", "v3")  // v4 no1 (filler)
+	add("v4", "v5")  // v4 no2
+	add("v5", "v4")  // v5 no1 (filler)
+	add("v5", "v6")  // v5 no2
+	add("v6", "v5")  // v6 no1 (filler)
+	add("v6", "v10") // v6 no2 (filler)
+	add("v6", "v9")  // v6 no3 (filler)
+	add("v6", "v7")  // v6 no4
+	add("v7", "v8")  // v7 no1
+	add("v8", "v7")  // v8 no1 (filler)
+	add("v8", "v9")  // v8 no2
+	add("v10", "v4") // v10 no1
+	g := b.Build()
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+
+	f := &Fixture{Graph: g, IDs: ids}
+	edge := func(a, c string) roadnet.EdgeID {
+		e, ok := g.EdgeBetween(ids[a], ids[c])
+		if !ok {
+			panic(fmt.Sprintf("paperfix: edge %s->%s missing", a, c))
+		}
+		return e
+	}
+	at := func(a, c string, rd float64) roadnet.Position {
+		return g.PositionAtRD(edge(a, c), rd)
+	}
+
+	T := []int64{
+		5*3600 + 3*60 + 25, 5*3600 + 7*60 + 25, 5*3600 + 11*60 + 26,
+		5*3600 + 15*60 + 26, 5*3600 + 19*60 + 25, 5*3600 + 23*60 + 25,
+		5*3600 + 27*60 + 25,
+	}
+
+	ins1, err := traj.NewInstance(g, []roadnet.EdgeID{
+		edge("v1", "v2"), edge("v2", "v3"), edge("v3", "v4"), edge("v4", "v5"),
+		edge("v5", "v6"), edge("v6", "v7"), edge("v7", "v8"),
+	}, []roadnet.Position{
+		at("v1", "v2", 0.875), at("v3", "v4", 0.25), at("v5", "v6", 0.5),
+		at("v5", "v6", 0.875), at("v6", "v7", 0.5), at("v7", "v8", 0),
+		at("v7", "v8", 0.875),
+	}, 0.75)
+	if err != nil {
+		return nil, err
+	}
+
+	ins2, err := traj.NewInstance(g, []roadnet.EdgeID{
+		edge("v1", "v2"), edge("v2", "v10"), edge("v10", "v4"), edge("v4", "v5"),
+		edge("v5", "v6"), edge("v6", "v7"), edge("v7", "v8"),
+	}, []roadnet.Position{
+		at("v1", "v2", 0.875), at("v2", "v10", 0.25), at("v5", "v6", 0.5),
+		at("v5", "v6", 0.875), at("v6", "v7", 0.5), at("v7", "v8", 0),
+		at("v7", "v8", 0.875),
+	}, 0.2)
+	if err != nil {
+		return nil, err
+	}
+
+	ins3, err := traj.NewInstance(g, []roadnet.EdgeID{
+		edge("v1", "v2"), edge("v2", "v3"), edge("v3", "v4"), edge("v4", "v5"),
+		edge("v5", "v6"), edge("v6", "v7"), edge("v7", "v8"), edge("v8", "v9"),
+	}, []roadnet.Position{
+		at("v1", "v2", 0.875), at("v3", "v4", 0.25), at("v5", "v6", 0.5),
+		at("v5", "v6", 0.875), at("v6", "v7", 0.5), at("v7", "v8", 0),
+		at("v8", "v9", 0.5),
+	}, 0.05)
+	if err != nil {
+		return nil, err
+	}
+
+	f.Tu1 = &traj.Uncertain{T: T, Instances: []traj.Instance{ins1, ins2, ins3}}
+	if err := f.Tu1.Validate(); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// MustNew panics on error; for tests.
+func MustNew() *Fixture {
+	f, err := New()
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// Edge returns the edge between two named vertices.
+func (f *Fixture) Edge(a, b string) roadnet.EdgeID {
+	e, ok := f.Graph.EdgeBetween(f.IDs[a], f.IDs[b])
+	if !ok {
+		panic(fmt.Sprintf("paperfix: edge %s->%s missing", a, b))
+	}
+	return e
+}

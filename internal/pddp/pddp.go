@@ -1,0 +1,174 @@
+// Package pddp implements the error-bounded encoding of relative distances
+// and probabilities that UTCQ inherits from TED (the "PDDP-tree", the only
+// lossy component of the framework).
+//
+// A value v ∈ [0,1) is encoded as the shortest binary fraction
+// C(v) = Σ_{i=1..I} b_i · 2^{-i} with v − C(v) ≤ η, where η is the
+// pre-set error bound (ηD for relative distances, ηp for probabilities).
+// The wire format is a ⌈log2(Imax+1)⌉-bit length prefix followed by the I
+// fraction bits; Tree provides the prefix-sharing structure used for
+// distinct-code accounting (see DESIGN.md for the substitution note).
+package pddp
+
+import (
+	"fmt"
+	"math"
+
+	"utcq/internal/bitio"
+)
+
+// Codec encodes values of [0,1] with a fixed error bound.
+type Codec struct {
+	eta     float64
+	imax    int // maximum fraction length; 2^-imax <= eta
+	lenBits int // width of the length prefix
+}
+
+// NewCodec returns a codec with error bound eta ∈ (0, 0.5].
+func NewCodec(eta float64) (*Codec, error) {
+	if !(eta > 0 && eta <= 0.5) {
+		return nil, fmt.Errorf("pddp: error bound %g outside (0, 0.5]", eta)
+	}
+	imax := 1
+	for math.Pow(2, -float64(imax)) > eta {
+		imax++
+		if imax > 52 {
+			return nil, fmt.Errorf("pddp: error bound %g too small", eta)
+		}
+	}
+	return &Codec{eta: eta, imax: imax, lenBits: bitio.WidthFor(imax)}, nil
+}
+
+// MustCodec is NewCodec that panics on error; for tests and constants.
+func MustCodec(eta float64) *Codec {
+	c, err := NewCodec(eta)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Eta returns the codec's error bound.
+func (c *Codec) Eta() float64 { return c.eta }
+
+// MaxLen returns the maximum fraction length Imax.
+func (c *Codec) MaxLen() int { return c.imax }
+
+// code returns the fraction bits and length for v: the shortest truncated
+// binary fraction C with 0 <= v - C <= eta.
+func (c *Codec) code(v float64) (bits uint64, length int) {
+	if v < 0 {
+		v = 0
+	}
+	if v >= 1 {
+		// All-ones code of maximal length: 1 - 2^-Imax, within eta of 1.
+		return (1 << uint(c.imax)) - 1, c.imax
+	}
+	full := uint64(v * math.Pow(2, float64(c.imax))) // floor(v * 2^Imax)
+	for length := 0; length < c.imax; length++ {
+		cand := full >> uint(c.imax-length)
+		cv := float64(cand) * math.Pow(2, -float64(length))
+		if v-cv <= c.eta {
+			return cand, length
+		}
+	}
+	return full, c.imax
+}
+
+// BitsFor returns the total encoded size of v in bits (prefix + fraction).
+func (c *Codec) BitsFor(v float64) int {
+	_, length := c.code(v)
+	return c.lenBits + length
+}
+
+// Encode appends the code of v to w.
+func (c *Codec) Encode(w *bitio.Writer, v float64) {
+	bits, length := c.code(v)
+	w.WriteBits(uint64(length), c.lenBits)
+	w.WriteBits(bits, length)
+}
+
+// Decode reads one code from r.
+func (c *Codec) Decode(r *bitio.Reader) (float64, error) {
+	length, err := r.ReadBits(c.lenBits)
+	if err != nil {
+		return 0, err
+	}
+	if int(length) > c.imax {
+		return 0, fmt.Errorf("pddp: code length %d exceeds Imax %d", length, c.imax)
+	}
+	bits, err := r.ReadBits(int(length))
+	if err != nil {
+		return 0, err
+	}
+	return float64(bits) * math.Pow(2, -float64(length)), nil
+}
+
+// Quantize returns the value a round trip through the codec produces.
+func (c *Codec) Quantize(v float64) float64 {
+	bits, length := c.code(v)
+	return float64(bits) * math.Pow(2, -float64(length))
+}
+
+// Tree is the prefix-sharing structure over emitted codes (the "PDDP-tree").
+// Each distinct code is a root-to-node path; shared prefixes share nodes.
+type Tree struct {
+	root     *treeNode
+	inserted int
+}
+
+type treeNode struct {
+	child [2]*treeNode
+	leaf  bool
+}
+
+// NewTree returns an empty tree.
+func NewTree() *Tree { return &Tree{root: &treeNode{}} }
+
+// Insert records one code of the given bit length.
+func (t *Tree) Insert(code uint64, length int) {
+	n := t.root
+	for i := length - 1; i >= 0; i-- {
+		b := (code >> uint(i)) & 1
+		if n.child[b] == nil {
+			n.child[b] = &treeNode{}
+		}
+		n = n.child[b]
+	}
+	n.leaf = true
+	t.inserted++
+}
+
+// InsertValue quantizes v with codec c and records its code.
+func (t *Tree) InsertValue(c *Codec, v float64) {
+	bits, length := c.code(v)
+	t.Insert(bits, length)
+}
+
+// Inserted returns the total number of Insert calls.
+func (t *Tree) Inserted() int { return t.inserted }
+
+// DistinctCodes returns the number of distinct codes inserted.
+func (t *Tree) DistinctCodes() int { return countLeaves(t.root) }
+
+// Nodes returns the number of trie nodes (excluding the root), a measure of
+// the prefix sharing achieved.
+func (t *Tree) Nodes() int { return countNodes(t.root) - 1 }
+
+func countLeaves(n *treeNode) int {
+	if n == nil {
+		return 0
+	}
+	c := 0
+	if n.leaf {
+		c = 1
+	}
+	return c + countLeaves(n.child[0]) + countLeaves(n.child[1])
+}
+
+func countNodes(n *treeNode) int {
+	if n == nil {
+		return 0
+	}
+	return 1 + countNodes(n.child[0]) + countNodes(n.child[1])
+}

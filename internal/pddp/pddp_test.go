@@ -1,0 +1,175 @@
+package pddp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"utcq/internal/bitio"
+)
+
+func TestNewCodecBounds(t *testing.T) {
+	for _, eta := range []float64{0, -1, 0.6, 1} {
+		if _, err := NewCodec(eta); err == nil {
+			t.Errorf("NewCodec(%g) accepted invalid bound", eta)
+		}
+	}
+	c := MustCodec(1.0 / 128)
+	if c.MaxLen() != 7 {
+		t.Errorf("Imax for 1/128 = %d, want 7", c.MaxLen())
+	}
+	c = MustCodec(1.0 / 2048)
+	if c.MaxLen() != 11 {
+		t.Errorf("Imax for 1/2048 = %d, want 11", c.MaxLen())
+	}
+}
+
+// TestExactValuesShortCodes verifies dyadic rationals encode exactly and
+// with their natural lengths (the paper's running example uses 0.875, 0.5,
+// 0.25, 0: all exact).
+func TestExactValuesShortCodes(t *testing.T) {
+	c := MustCodec(1.0 / 128)
+	cases := []struct {
+		v      float64
+		length int
+	}{
+		{0, 0},
+		{0.5, 1},
+		{0.25, 2},
+		{0.75, 2},
+		{0.875, 3},
+	}
+	for _, tc := range cases {
+		bits, length := c.code(tc.v)
+		if length != tc.length {
+			t.Errorf("code(%g) length = %d, want %d", tc.v, length, tc.length)
+		}
+		got := float64(bits) * math.Pow(2, -float64(length))
+		if got != tc.v {
+			t.Errorf("code(%g) decodes to %g", tc.v, got)
+		}
+	}
+}
+
+func TestErrorBound(t *testing.T) {
+	for _, eta := range []float64{1.0 / 8, 1.0 / 32, 1.0 / 128, 1.0 / 2048} {
+		c := MustCodec(eta)
+		rng := rand.New(rand.NewSource(7))
+		for i := 0; i < 2000; i++ {
+			v := rng.Float64()
+			q := c.Quantize(v)
+			if diff := v - q; diff < 0 || diff > eta {
+				t.Fatalf("eta=%g: |%g - %g| = %g out of bound", eta, v, q, diff)
+			}
+		}
+		// Boundary values.
+		for _, v := range []float64{0, 1, 0.999999, eta, 1 - eta} {
+			q := c.Quantize(v)
+			if math.Abs(v-q) > eta {
+				t.Errorf("eta=%g: quantize(%g) = %g exceeds bound", eta, v, q)
+			}
+		}
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	c := MustCodec(1.0 / 512)
+	vals := []float64{0, 0.875, 0.3, 0.5, 0.1234, 0.9999, 1.0}
+	w := bitio.NewWriter(0)
+	for _, v := range vals {
+		c.Encode(w, v)
+	}
+	r := bitio.NewReaderBits(w.Bytes(), w.Len())
+	for _, v := range vals {
+		got, err := c.Decode(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := c.Quantize(v); got != want {
+			t.Errorf("decode(%g) = %g, want quantized %g", v, got, want)
+		}
+	}
+	if r.Remaining() != 0 {
+		t.Errorf("%d bits left over", r.Remaining())
+	}
+}
+
+func TestBitsForMatchesEncode(t *testing.T) {
+	c := MustCodec(1.0 / 128)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 500; i++ {
+		v := rng.Float64()
+		w := bitio.NewWriter(0)
+		c.Encode(w, v)
+		if got := c.BitsFor(v); got != w.Len() {
+			t.Fatalf("BitsFor(%g) = %d, encoded %d", v, got, w.Len())
+		}
+	}
+}
+
+func TestQuickDecodeMatchesQuantize(t *testing.T) {
+	c := MustCodec(1.0 / 1024)
+	f := func(u uint32) bool {
+		v := float64(u) / float64(math.MaxUint32)
+		w := bitio.NewWriter(0)
+		c.Encode(w, v)
+		r := bitio.NewReaderBits(w.Bytes(), w.Len())
+		got, err := c.Decode(r)
+		return err == nil && got == c.Quantize(v) && v-got >= 0 && v-got <= c.Eta()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMinimality checks the paper's rule: I is the SMALLEST number of bits
+// within the bound, so halving the bound can only lengthen codes.
+func TestMinimality(t *testing.T) {
+	loose := MustCodec(1.0 / 16)
+	tight := MustCodec(1.0 / 256)
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 500; i++ {
+		v := rng.Float64()
+		_, ll := loose.code(v)
+		_, lt := tight.code(v)
+		if ll > lt {
+			t.Fatalf("loose code longer than tight for %g: %d > %d", v, ll, lt)
+		}
+	}
+}
+
+func TestTree(t *testing.T) {
+	c := MustCodec(1.0 / 128)
+	tree := NewTree()
+	// The running example's distances: many repeats -> few distinct codes.
+	for _, v := range []float64{0.875, 0.25, 0.5, 0.875, 0.5, 0, 0.875, 0.5, 0.25} {
+		tree.InsertValue(c, v)
+	}
+	if tree.Inserted() != 9 {
+		t.Errorf("Inserted = %d, want 9", tree.Inserted())
+	}
+	if got := tree.DistinctCodes(); got != 4 {
+		t.Errorf("DistinctCodes = %d, want 4 (0.875, 0.25, 0.5, 0)", got)
+	}
+	// 0.875=111, 0.25=01, 0.5=1, 0=ε share prefixes: nodes for 1,11,111,0,01.
+	if got := tree.Nodes(); got != 5 {
+		t.Errorf("Nodes = %d, want 5", got)
+	}
+}
+
+func BenchmarkEncode(b *testing.B) {
+	c := MustCodec(1.0 / 128)
+	rng := rand.New(rand.NewSource(1))
+	vals := make([]float64, 1024)
+	for i := range vals {
+		vals[i] = rng.Float64()
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		w := bitio.NewWriter(len(vals) * 10)
+		for _, v := range vals {
+			c.Encode(w, v)
+		}
+	}
+}

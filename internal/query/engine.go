@@ -1,0 +1,458 @@
+package query
+
+import (
+	"fmt"
+	"sort"
+
+	"utcq/internal/core"
+	"utcq/internal/roadnet"
+	"utcq/internal/stiu"
+)
+
+// Engine answers probabilistic queries over a UTCQ archive via the StIU
+// index.  Decoded references and paths are cached; partial decompression
+// and Lemmas 1-4 avoid touching instances that cannot contribute.
+type Engine struct {
+	Arch *core.Archive
+	Ix   *stiu.Index
+
+	// DisablePruning turns off Lemmas 1-4 (ablation benchmarks).
+	DisablePruning bool
+
+	// DisableCache makes every query pay its own decompression cost (the
+	// paper's measurement model); by default decoded views are reused.
+	DisableCache bool
+
+	refViews map[[2]int]*core.RefView
+	paths    map[[2]int]*lazyPath
+
+	// Stats counts work performed, demonstrating the pruning lemmas.
+	Stats EngineStats
+}
+
+// EngineStats counts the work the engine performed.
+type EngineStats struct {
+	PathsDecoded     int
+	InstancesSkipped int
+	TrajsPruned      int // range queries: Lemma 4 rejections
+	TrajsAccepted    int // range queries: Lemma 3 early accepts
+}
+
+// NewEngine returns an engine over an archive and its index.
+func NewEngine(a *core.Archive, ix *stiu.Index) *Engine {
+	return &Engine{
+		Arch:     a,
+		Ix:       ix,
+		refViews: make(map[[2]int]*core.RefView),
+		paths:    make(map[[2]int]*lazyPath),
+	}
+}
+
+func (e *Engine) refView(j, orig int) (*core.RefView, error) {
+	k := [2]int{j, orig}
+	if v, ok := e.refViews[k]; ok {
+		return v, nil
+	}
+	v, err := e.Arch.RefView(j, orig)
+	if err != nil {
+		return nil, err
+	}
+	if !e.DisableCache {
+		e.refViews[k] = v
+	}
+	return v, nil
+}
+
+// path builds (and caches) the partially decompressed traversal of
+// instance orig of trajectory j: the edge skeleton is materialized,
+// relative distances stay compressed until a point is touched.
+func (e *Engine) path(j, orig int) (*lazyPath, error) {
+	k := [2]int{j, orig}
+	if p, ok := e.paths[k]; ok {
+		return p, nil
+	}
+	meta := e.Arch.Trajs[j].Insts[orig]
+	numPoints := e.Arch.Trajs[j].NumPoints
+	var pi *lazyPath
+	if meta.IsRef {
+		rv, err := e.refView(j, orig)
+		if err != nil {
+			return nil, err
+		}
+		pi, err = newLazyPath(e.Arch.Graph, rv.SV, rv.E, rv.FullTF(), numPoints, meta.P, rv.DecodeD)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		rv, err := e.refView(j, meta.RefOrig)
+		if err != nil {
+			return nil, err
+		}
+		nv, err := e.Arch.NonRefView(j, orig, rv)
+		if err != nil {
+			return nil, err
+		}
+		eSeq, err := nv.ExpandE(rv)
+		if err != nil {
+			return nil, err
+		}
+		tf, err := nv.FullTF(rv)
+		if err != nil {
+			return nil, err
+		}
+		dFetch := func(k int) (float64, error) {
+			for _, f := range nv.DFactors {
+				if f.Pos == k {
+					return f.RD, nil
+				}
+			}
+			return rv.DecodeD(k)
+		}
+		pi, err = newLazyPath(e.Arch.Graph, rv.SV, eSeq, tf, numPoints, meta.P, dFetch)
+		if err != nil {
+			return nil, err
+		}
+	}
+	e.Stats.PathsDecoded++
+	if !e.DisableCache {
+		e.paths[k] = pi
+	}
+	return pi, nil
+}
+
+// bracket finds i with T[i] <= t <= T[i+1] using the temporal index and a
+// partial decode from t.pos; ok is false when t is outside the trajectory.
+func (e *Engine) bracket(j int, t int64) (i int, ti, ti1 int64, ok bool) {
+	entry, found := e.Ix.FindTemporal(j, t)
+	if !found {
+		return 0, 0, 0, false
+	}
+	rec := e.Arch.Trajs[j]
+	if entry.Pos < 0 {
+		// The entry is the final timestamp.
+		if entry.Start == t {
+			return int(entry.No), t, t, true
+		}
+		return 0, 0, 0, false
+	}
+	cur, err := rec.TimeCursorAt(e.Arch.Opts.Ts, int(entry.Pos), entry.Start, int(entry.No))
+	if err != nil {
+		return 0, 0, 0, false
+	}
+	prevT := cur.T()
+	prevI := cur.Index()
+	for cur.Next() {
+		if cur.T() >= t {
+			return prevI, prevT, cur.T(), true
+		}
+		prevT = cur.T()
+		prevI = cur.Index()
+	}
+	if prevT == t {
+		return prevI, prevT, prevT, true
+	}
+	return 0, 0, 0, false
+}
+
+// timeAt partially decodes T[k] (and T[k+1] when wantNext) by resuming at
+// the nearest temporal entry.
+func (e *Engine) timeAt(j, k int, wantNext bool) (tk, tk1 int64, err error) {
+	entry, found := e.Ix.FindTemporalByNo(j, k)
+	if !found {
+		return 0, 0, fmt.Errorf("query: no temporal entry for point %d", k)
+	}
+	rec := e.Arch.Trajs[j]
+	if int(entry.No) == k && !wantNext {
+		return entry.Start, 0, nil
+	}
+	if entry.Pos < 0 {
+		if int(entry.No) == k {
+			return entry.Start, entry.Start, nil
+		}
+		return 0, 0, fmt.Errorf("query: point %d beyond time stream", k)
+	}
+	cur, err := rec.TimeCursorAt(e.Arch.Opts.Ts, int(entry.Pos), entry.Start, int(entry.No))
+	if err != nil {
+		return 0, 0, err
+	}
+	for cur.Index() < k {
+		if !cur.Next() {
+			return 0, 0, fmt.Errorf("query: point %d beyond time stream", k)
+		}
+	}
+	tk = cur.T()
+	tk1 = tk
+	if wantNext && cur.Next() {
+		tk1 = cur.T()
+	}
+	return tk, tk1, nil
+}
+
+// Where implements the probabilistic where query (Definition 10): the
+// locations at time t of the instances with probability >= alpha.
+func (e *Engine) Where(j int, t int64, alpha float64) ([]WhereResult, error) {
+	i, ti, ti1, ok := e.bracket(j, t)
+	if !ok {
+		return nil, nil
+	}
+	rec := e.Arch.Trajs[j]
+	var out []WhereResult
+	for orig := range rec.Insts {
+		p := rec.Insts[orig].P
+		if p < alpha {
+			e.Stats.InstancesSkipped++
+			continue
+		}
+		pi, err := e.path(j, orig)
+		if err != nil {
+			return nil, err
+		}
+		loc, err := pi.locationAt(i, ti, ti1, t)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, WhereResult{Inst: orig, P: p, Loc: loc})
+	}
+	return out, nil
+}
+
+// When implements the probabilistic when query (Definition 11): the times
+// at which instances with probability >= alpha passed the location.
+func (e *Engine) When(j int, loc roadnet.Position, alpha float64) ([]WhenResult, error) {
+	g := e.Arch.Graph
+	x, y := g.Coords(loc)
+	re := e.Ix.Grid.CellOf(x, y)
+	bucket := e.Ix.TrajRegion(j, re)
+	if bucket == nil && !e.DisablePruning {
+		return nil, nil // no instance of this trajectory enters the region
+	}
+	rec := e.Arch.Trajs[j]
+
+	// Group-level filtering: Lemma 1 skips reconstructing a reference's
+	// non-references when every tuple's pmax < alpha.
+	type groupPlan struct {
+		processRef     bool
+		processNonRefs bool
+	}
+	plans := make(map[int]*groupPlan)
+	if e.DisablePruning {
+		for orig := range rec.Insts {
+			meta := rec.Insts[orig]
+			gk := orig
+			if !meta.IsRef {
+				gk = meta.RefOrig
+			}
+			if plans[gk] == nil {
+				plans[gk] = &groupPlan{processRef: true, processNonRefs: true}
+			}
+		}
+	} else {
+		for _, rt := range bucket.Refs {
+			pl := plans[int(rt.Orig)]
+			if pl == nil {
+				pl = &groupPlan{}
+				plans[int(rt.Orig)] = pl
+			}
+			if rt.FV != roadnet.NoVertex && rec.Insts[rt.Orig].P >= alpha {
+				pl.processRef = true
+			}
+			if float64(rt.PMax) >= alpha {
+				pl.processNonRefs = true // Lemma 1 does not apply
+			}
+		}
+	}
+
+	var out []WhenResult
+	process := func(orig int) error {
+		p := rec.Insts[orig].P
+		if p < alpha {
+			e.Stats.InstancesSkipped++
+			return nil
+		}
+		pi, err := e.path(j, orig)
+		if err != nil {
+			return err
+		}
+		passages, err := pi.passagesAt(loc)
+		if err != nil {
+			return err
+		}
+		for _, pas := range passages {
+			tk, tk1, err := e.timeAt(j, pas.i, true)
+			if err != nil {
+				return err
+			}
+			out = append(out, WhenResult{
+				Inst: orig,
+				P:    p,
+				T:    tk + int64(pas.frac*float64(tk1-tk)+0.5),
+			})
+		}
+		return nil
+	}
+	for gk, pl := range plans {
+		if pl.processRef || e.DisablePruning {
+			if err := process(gk); err != nil {
+				return nil, err
+			}
+		}
+		if pl.processNonRefs {
+			for orig := range rec.Insts {
+				if !rec.Insts[orig].IsRef && rec.Insts[orig].RefOrig == gk {
+					if err := process(orig); err != nil {
+						return nil, err
+					}
+				}
+			}
+		} else {
+			e.Stats.InstancesSkipped++ // Lemma 1 skipped the group's non-refs
+		}
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Inst != out[b].Inst {
+			return out[a].Inst < out[b].Inst
+		}
+		return out[a].T < out[b].T
+	})
+	return out, nil
+}
+
+// Range implements the probabilistic range query (Definition 12): the
+// trajectories whose instances inside RE at time t carry total probability
+// >= alpha.
+func (e *Engine) Range(re roadnet.Rect, t int64, alpha float64) ([]int, error) {
+	interval := e.Ix.IntervalOf(t)
+	cells := e.Ix.Grid.CellsInRect(re)
+
+	// Lemma 4 preparation: one pass over the covering cells' buckets
+	// upper-bounds each trajectory's probability mass inside them.
+	var bounds map[int]map[int]float64 // traj -> group -> summed ptotal
+	if !e.DisablePruning {
+		bounds = make(map[int]map[int]float64)
+		for _, cell := range cells {
+			b := e.Ix.Buckets(interval, cell)
+			if b == nil {
+				continue
+			}
+			for _, rt := range b.Refs {
+				per := bounds[int(rt.Traj)]
+				if per == nil {
+					per = make(map[int]float64)
+					bounds[int(rt.Traj)] = per
+				}
+				per[int(rt.Orig)] += float64(rt.PTotal)
+			}
+		}
+	}
+
+	var out []int
+	for _, j32 := range e.Ix.CandidateTrajs(interval) {
+		j := int(j32)
+		rec := e.Arch.Trajs[j]
+
+		if !e.DisablePruning {
+			// Lemma 4: prune when the bound cannot reach alpha.
+			bound := 0.0
+			for _, v := range bounds[j] {
+				if v > 1 {
+					v = 1
+				}
+				bound += v
+			}
+			if bound < alpha {
+				e.Stats.TrajsPruned++
+				continue
+			}
+		}
+
+		i, ti, ti1, ok := e.bracket(j, t)
+		if !ok {
+			continue
+		}
+
+		// Instances in descending probability for early acceptance.
+		origs := make([]int, len(rec.Insts))
+		for o := range origs {
+			origs[o] = o
+		}
+		sort.Slice(origs, func(a, b int) bool {
+			return rec.Insts[origs[a]].P > rec.Insts[origs[b]].P
+		})
+		confirmed := 0.0
+		remaining := 0.0
+		for _, o := range origs {
+			remaining += rec.Insts[o].P
+		}
+		accepted := false
+		for _, orig := range origs {
+			p := rec.Insts[orig].P
+			remaining -= p
+			inside, err := e.instanceInside(j, orig, re, i, ti, ti1, t)
+			if err != nil {
+				return nil, err
+			}
+			if inside {
+				confirmed += p
+				if confirmed >= alpha { // Lemma 3
+					accepted = true
+					if !e.DisablePruning {
+						e.Stats.TrajsAccepted++
+					}
+					break
+				}
+			}
+			if !e.DisablePruning && confirmed+remaining < alpha {
+				break // cannot reach alpha anymore
+			}
+		}
+		if !accepted && confirmed >= alpha {
+			accepted = true
+		}
+		if accepted {
+			out = append(out, j)
+		}
+	}
+	return out, nil
+}
+
+// instanceInside tests whether the instance overlaps RE at time t, using
+// Lemma 2 on the subpath between the bracketing points before falling back
+// to exact interpolation.
+func (e *Engine) instanceInside(j, orig int, re roadnet.Rect, i int, ti, ti1, t int64) (bool, error) {
+	g := e.Arch.Graph
+	pi, err := e.path(j, orig)
+	if err != nil {
+		return false, err
+	}
+	if i >= len(pi.PointEdge) {
+		return false, nil
+	}
+	k0 := pi.PointEdge[i]
+	k1 := k0
+	if i+1 < len(pi.PointEdge) {
+		k1 = pi.PointEdge[i+1]
+	}
+	if !e.DisablePruning {
+		allIn, anyTouch := true, false
+		for k := k0; k <= k1; k++ {
+			edge := g.Edge(pi.Edges[k])
+			a, b := g.Vertex(edge.From), g.Vertex(edge.To)
+			in := re.Contains(a.X, a.Y) && re.Contains(b.X, b.Y)
+			touch := re.IntersectsSegment(a.X, a.Y, b.X, b.Y)
+			allIn = allIn && in
+			anyTouch = anyTouch || touch
+		}
+		if allIn {
+			return true, nil // Lemma 2(i): sp ⊆ RE
+		}
+		if !anyTouch {
+			return false, nil // Lemma 2(ii): sp ∩ RE = ∅
+		}
+	}
+	loc, err := pi.locationAt(i, ti, ti1, t)
+	if err != nil {
+		return false, err
+	}
+	x, y := g.Coords(loc)
+	return re.Contains(x, y), nil
+}

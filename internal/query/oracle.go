@@ -1,0 +1,131 @@
+package query
+
+import (
+	"sort"
+
+	"utcq/internal/roadnet"
+	"utcq/internal/traj"
+)
+
+// Oracle answers the same probabilistic queries directly on uncompressed
+// uncertain trajectories.  It is the ground truth for correctness tests
+// and for the accuracy metrics of Fig 11 (average difference, F1).
+type Oracle struct {
+	G     *roadnet.Graph
+	Trajs []*traj.Uncertain
+
+	paths map[[2]int]*pathInfo
+}
+
+// NewOracle returns an oracle over uncompressed data.
+func NewOracle(g *roadnet.Graph, tus []*traj.Uncertain) *Oracle {
+	return &Oracle{G: g, Trajs: tus, paths: make(map[[2]int]*pathInfo)}
+}
+
+func (o *Oracle) path(j, i int) (*pathInfo, error) {
+	k := [2]int{j, i}
+	if p, ok := o.paths[k]; ok {
+		return p, nil
+	}
+	pi, err := buildPathFromInstance(o.G, &o.Trajs[j].Instances[i])
+	if err != nil {
+		return nil, err
+	}
+	o.paths[k] = pi
+	return pi, nil
+}
+
+// bracket finds i with T[i] <= t <= T[i+1].
+func (o *Oracle) bracket(j int, t int64) (int, int64, int64, bool) {
+	T := o.Trajs[j].T
+	if t < T[0] || t > T[len(T)-1] {
+		return 0, 0, 0, false
+	}
+	i := sort.Search(len(T), func(x int) bool { return T[x] > t })
+	if i > 0 {
+		i--
+	}
+	if i == len(T)-1 {
+		return i, T[i], T[i], true
+	}
+	return i, T[i], T[i+1], true
+}
+
+// Where answers the where query on uncompressed data.
+func (o *Oracle) Where(j int, t int64, alpha float64) ([]WhereResult, error) {
+	i, ti, ti1, ok := o.bracket(j, t)
+	if !ok {
+		return nil, nil
+	}
+	var out []WhereResult
+	for inst := range o.Trajs[j].Instances {
+		p := o.Trajs[j].Instances[inst].P
+		if p < alpha {
+			continue
+		}
+		pi, err := o.path(j, inst)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, WhereResult{Inst: inst, P: p, Loc: pi.locationAt(o.G, i, ti, ti1, t)})
+	}
+	return out, nil
+}
+
+// When answers the when query on uncompressed data.
+func (o *Oracle) When(j int, loc roadnet.Position, alpha float64) ([]WhenResult, error) {
+	T := o.Trajs[j].T
+	var out []WhenResult
+	for inst := range o.Trajs[j].Instances {
+		p := o.Trajs[j].Instances[inst].P
+		if p < alpha {
+			continue
+		}
+		pi, err := o.path(j, inst)
+		if err != nil {
+			return nil, err
+		}
+		for _, pas := range pi.passagesAt(o.G, loc) {
+			tk := T[pas.i]
+			tk1 := tk
+			if pas.i+1 < len(T) {
+				tk1 = T[pas.i+1]
+			}
+			out = append(out, WhenResult{Inst: inst, P: p, T: tk + int64(pas.frac*float64(tk1-tk)+0.5)})
+		}
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Inst != out[b].Inst {
+			return out[a].Inst < out[b].Inst
+		}
+		return out[a].T < out[b].T
+	})
+	return out, nil
+}
+
+// Range answers the range query on uncompressed data.
+func (o *Oracle) Range(re roadnet.Rect, t int64, alpha float64) ([]int, error) {
+	var out []int
+	for j := range o.Trajs {
+		i, ti, ti1, ok := o.bracket(j, t)
+		if !ok {
+			continue
+		}
+		total := 0.0
+		for inst := range o.Trajs[j].Instances {
+			pi, err := o.path(j, inst)
+			if err != nil {
+				return nil, err
+			}
+			loc := pi.locationAt(o.G, i, ti, ti1, t)
+			x, y := o.G.Coords(loc)
+			if re.Contains(x, y) {
+				total += o.Trajs[j].Instances[inst].P
+			}
+		}
+		if total >= alpha {
+			out = append(out, j)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,199 @@
+package query
+
+import (
+	"math"
+	"testing"
+
+	"utcq/internal/core"
+	"utcq/internal/paperfix"
+	"utcq/internal/roadnet"
+	"utcq/internal/stiu"
+	"utcq/internal/traj"
+)
+
+func fixtureEngine(t *testing.T) (*paperfix.Fixture, *Engine) {
+	t.Helper()
+	fx := paperfix.MustNew()
+	c, err := core.NewCompressor(fx.Graph, core.DefaultOptions(paperfix.Ts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := c.Compress([]*traj.Uncertain{fx.Tu1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := stiu.Build(a, stiu.Options{GridNX: 8, GridNY: 8, IntervalDur: 900})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fx, NewEngine(a, ix)
+}
+
+// TestExample3Where reproduces Example 3: where(Tu1, 5:21:25, 0.25)
+// returns the location on (v6 → v7) three quarters along the edge
+// (the paper's ⟨228477→228478, 150⟩ with a 200 m edge; our fixture edge is
+// 1600 m, so ndist = 1200).
+func TestExample3Where(t *testing.T) {
+	fx, e := fixtureEngine(t)
+	res, err := e.Where(0, 5*3600+21*60+25, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 {
+		t.Fatalf("results = %+v, want exactly Tu11", res)
+	}
+	if res[0].Inst != 0 {
+		t.Errorf("instance = %d, want 0", res[0].Inst)
+	}
+	e67 := fx.Edge("v6", "v7")
+	if res[0].Loc.Edge != e67 {
+		t.Errorf("edge = %d, want v6->v7", res[0].Loc.Edge)
+	}
+	if math.Abs(res[0].Loc.NDist-1200) > 15 {
+		t.Errorf("ndist = %g, want ~1200", res[0].Loc.NDist)
+	}
+}
+
+// TestExample3When reproduces the second half of Example 3:
+// when(Tu1, ⟨v6→v7, rd=0.75⟩, 0.25) returns 5:21:25.
+func TestExample3When(t *testing.T) {
+	fx, e := fixtureEngine(t)
+	loc := fx.Graph.PositionAtRD(fx.Edge("v6", "v7"), 0.75)
+	res, err := e.When(0, loc, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 {
+		t.Fatalf("results = %+v, want one passage of Tu11", res)
+	}
+	want := int64(5*3600 + 21*60 + 25)
+	if math.Abs(float64(res[0].T-want)) > 8 {
+		t.Errorf("t = %d, want ~%d", res[0].T, want)
+	}
+}
+
+// TestExample5Lemma1 reproduces Example 5: for a location on (v2 → v3)
+// and alpha = 0.5, the non-references need not be reconstructed because
+// pmax < alpha; only Tu11's passage is returned.
+func TestExample5Lemma1(t *testing.T) {
+	fx, e := fixtureEngine(t)
+	loc := fx.Graph.PositionAtRD(fx.Edge("v2", "v3"), 0.25)
+	res, err := e.When(0, loc, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 || res[0].Inst != 0 {
+		t.Fatalf("results = %+v, want only Tu11", res)
+	}
+	// Lemma 1 must have skipped the group's non-references entirely.
+	if e.Stats.PathsDecoded != 1 {
+		t.Errorf("decoded %d paths, want 1 (Lemma 1 skips non-references)", e.Stats.PathsDecoded)
+	}
+}
+
+// TestWhenOnDetour: the detour edge (v2 → v10) is only used by Tu12
+// (p = 0.2): a query there with alpha 0.1 finds it, with alpha 0.3 nothing.
+func TestWhenOnDetour(t *testing.T) {
+	fx, e := fixtureEngine(t)
+	loc := fx.Graph.PositionAtRD(fx.Edge("v2", "v10"), 0.25)
+	res, err := e.When(0, loc, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 || res[0].Inst != 1 {
+		t.Fatalf("results = %+v, want only Tu12", res)
+	}
+	// l1' sits exactly at that location, so t must be ~t1.
+	if math.Abs(float64(res[0].T-fx.Tu1.T[1])) > 3 {
+		t.Errorf("t = %d, want ~%d", res[0].T, fx.Tu1.T[1])
+	}
+	res, err = e.When(0, loc, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 0 {
+		t.Fatalf("alpha=0.3 results = %+v, want empty", res)
+	}
+}
+
+// TestRangeExamples mirrors Examples 4 and 6: a region covering the early
+// corridor at 5:05:25 returns Tu1 for alpha 0.5; a far-away region returns
+// nothing and is pruned without decompression.
+func TestRangeExamples(t *testing.T) {
+	_, e := fixtureEngine(t)
+	tq := int64(5*3600 + 5*60 + 25)
+	// At 5:05:25 all instances sit between l0 (x=700) and their second
+	// point; every path stays within x ∈ [0, 2400], y ∈ [-100, 900].
+	re := roadnet.Rect{MinX: -100, MinY: -200, MaxX: 2500, MaxY: 900}
+	got, err := e.Range(re, tq, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != 0 {
+		t.Fatalf("range = %v, want [0]", got)
+	}
+	// A distant region: Lemma 4 prunes the trajectory outright.
+	before := e.Stats.TrajsPruned
+	far := roadnet.Rect{MinX: 50000, MinY: 50000, MaxX: 60000, MaxY: 60000}
+	got, err = e.Range(far, tq, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("far range = %v, want empty", got)
+	}
+	if e.Stats.TrajsPruned != before+1 {
+		t.Errorf("Lemma 4 did not prune (pruned=%d)", e.Stats.TrajsPruned)
+	}
+}
+
+// TestWhereOutsideTimeSpan: queries before the first or after the last
+// timestamp return nothing.
+func TestWhereOutsideTimeSpan(t *testing.T) {
+	_, e := fixtureEngine(t)
+	if res, _ := e.Where(0, 100, 0); len(res) != 0 {
+		t.Errorf("before start: %+v", res)
+	}
+	if res, _ := e.Where(0, 23*3600, 0); len(res) != 0 {
+		t.Errorf("after end: %+v", res)
+	}
+	// Exactly the last timestamp: every instance sits at its final point.
+	fx := paperfix.MustNew()
+	res, err := e.Where(0, fx.Tu1.T[len(fx.Tu1.T)-1], 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 3 {
+		t.Errorf("at last timestamp: %d results, want 3", len(res))
+	}
+}
+
+// TestWhereMatchesOracle compares the engine against the uncompressed
+// oracle on the fixture at many query times.
+func TestWhereMatchesOracle(t *testing.T) {
+	fx, e := fixtureEngine(t)
+	o := NewOracle(fx.Graph, []*traj.Uncertain{fx.Tu1})
+	for tq := fx.Tu1.T[0]; tq <= fx.Tu1.T[len(fx.Tu1.T)-1]; tq += 37 {
+		got, err := e.Where(0, tq, 0.01)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := o.Where(0, tq, 0.01)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("t=%d: %d results, oracle %d", tq, len(got), len(want))
+		}
+		for k := range got {
+			if got[k].Inst != want[k].Inst {
+				t.Fatalf("t=%d: instance order differs", tq)
+			}
+			gx, gy := fx.Graph.Coords(got[k].Loc)
+			wx, wy := fx.Graph.Coords(want[k].Loc)
+			if d := math.Hypot(gx-wx, gy-wy); d > 30 {
+				t.Errorf("t=%d inst %d: location off by %.1f m", tq, got[k].Inst, d)
+			}
+		}
+	}
+}

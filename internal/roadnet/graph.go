@@ -1,0 +1,264 @@
+// Package roadnet models directed road networks (Definition 1 of the paper):
+// vertices with planar coordinates, directed edges with lengths, and
+// per-vertex ordered outgoing edges so that every edge is addressable as
+// (start vertex, outgoing edge number) — the addressing scheme that the TED
+// and UTCQ edge-sequence representations rely on (Definition 6).
+//
+// The package also provides network positions, bounded shortest paths, a
+// uniform grid partition (the spatial regions of the StIU index), an edge
+// spatial index used by map matching, and a synthetic network generator
+// whose outputs match the degree statistics of the paper's road networks.
+package roadnet
+
+import (
+	"fmt"
+	"math"
+)
+
+// VertexID identifies a vertex; IDs are dense in [0, NumVertices).
+type VertexID int32
+
+// EdgeID identifies a directed edge; IDs are dense in [0, NumEdges).
+type EdgeID int32
+
+// NoVertex is the invalid vertex sentinel.
+const NoVertex VertexID = -1
+
+// NoEdge is the invalid edge sentinel.
+const NoEdge EdgeID = -1
+
+// Vertex is an intersection or end point with planar coordinates in meters.
+type Vertex struct {
+	ID   VertexID
+	X, Y float64
+}
+
+// Edge is a directed road segment.  OutNo is its 1-based outgoing edge
+// number with respect to From (Definition 6).
+type Edge struct {
+	ID     EdgeID
+	From   VertexID
+	To     VertexID
+	Length float64
+	OutNo  int
+}
+
+// Graph is an immutable directed road network.
+type Graph struct {
+	vertices []Vertex
+	edges    []Edge
+	out      [][]EdgeID // out[v] ordered: OutNo of out[v][i] is i+1
+	maxOut   int
+}
+
+// NumVertices returns the number of vertices.
+func (g *Graph) NumVertices() int { return len(g.vertices) }
+
+// NumEdges returns the number of directed edges.
+func (g *Graph) NumEdges() int { return len(g.edges) }
+
+// Vertex returns the vertex with the given ID.
+func (g *Graph) Vertex(id VertexID) Vertex { return g.vertices[id] }
+
+// Edge returns the edge with the given ID.
+func (g *Graph) Edge(id EdgeID) Edge { return g.edges[id] }
+
+// OutEdges returns the ordered outgoing edges of v.  The result must not be
+// modified.
+func (g *Graph) OutEdges(v VertexID) []EdgeID { return g.out[v] }
+
+// OutDegree returns the number of outgoing edges of v.
+func (g *Graph) OutDegree(v VertexID) int { return len(g.out[v]) }
+
+// OutEdge resolves (v, no) to an edge; no is the 1-based outgoing edge
+// number.  It reports false when no such edge exists.
+func (g *Graph) OutEdge(v VertexID, no int) (EdgeID, bool) {
+	if v < 0 || int(v) >= len(g.out) || no < 1 || no > len(g.out[v]) {
+		return NoEdge, false
+	}
+	return g.out[v][no-1], true
+}
+
+// EdgeBetween returns the directed edge from one vertex to another, if any.
+func (g *Graph) EdgeBetween(from, to VertexID) (EdgeID, bool) {
+	for _, e := range g.out[from] {
+		if g.edges[e].To == to {
+			return e, true
+		}
+	}
+	return NoEdge, false
+}
+
+// MaxOutDegree returns o, the maximum number of outgoing edges over all
+// vertices; ⌈log2(o+1)⌉ bits encode any outgoing edge number (including the
+// 0 used for repeated mapped locations).
+func (g *Graph) MaxOutDegree() int { return g.maxOut }
+
+// AvgOutDegree returns the average out-degree.
+func (g *Graph) AvgOutDegree() float64 {
+	if len(g.vertices) == 0 {
+		return 0
+	}
+	return float64(len(g.edges)) / float64(len(g.vertices))
+}
+
+// UndirectedEdgeCount counts road segments, treating an edge pair
+// (u→v, v→u) as one segment; this matches the edge counts of Table 6.
+func (g *Graph) UndirectedEdgeCount() int {
+	n := 0
+	for _, e := range g.edges {
+		if rev, ok := g.EdgeBetween(e.To, e.From); ok && rev < e.ID {
+			continue // counted when we saw the reverse
+		}
+		n++
+	}
+	return n
+}
+
+// Bounds returns the bounding rectangle of all vertices.
+func (g *Graph) Bounds() Rect {
+	if len(g.vertices) == 0 {
+		return Rect{}
+	}
+	r := Rect{MinX: math.Inf(1), MinY: math.Inf(1), MaxX: math.Inf(-1), MaxY: math.Inf(-1)}
+	for _, v := range g.vertices {
+		r.MinX = math.Min(r.MinX, v.X)
+		r.MinY = math.Min(r.MinY, v.Y)
+		r.MaxX = math.Max(r.MaxX, v.X)
+		r.MaxY = math.Max(r.MaxY, v.Y)
+	}
+	return r
+}
+
+// Position is a network-constrained location: a point on an edge at network
+// distance NDist from the edge's start vertex (Definition 2, without time).
+type Position struct {
+	Edge  EdgeID
+	NDist float64
+}
+
+// RD returns the relative distance of p (Definition 7): NDist divided by
+// the edge length.
+func (g *Graph) RD(p Position) float64 {
+	e := g.edges[p.Edge]
+	if e.Length == 0 {
+		return 0
+	}
+	rd := p.NDist / e.Length
+	if rd < 0 {
+		return 0
+	}
+	if rd >= 1 {
+		return math.Nextafter(1, 0)
+	}
+	return rd
+}
+
+// PositionAtRD converts a relative distance back to a Position.
+func (g *Graph) PositionAtRD(e EdgeID, rd float64) Position {
+	return Position{Edge: e, NDist: rd * g.edges[e].Length}
+}
+
+// Coords returns the planar coordinates of p by linear interpolation along
+// its edge.
+func (g *Graph) Coords(p Position) (x, y float64) {
+	e := g.edges[p.Edge]
+	a, b := g.vertices[e.From], g.vertices[e.To]
+	t := 0.0
+	if e.Length > 0 {
+		t = p.NDist / e.Length
+	}
+	if t < 0 {
+		t = 0
+	}
+	if t > 1 {
+		t = 1
+	}
+	return a.X + (b.X-a.X)*t, a.Y + (b.Y-a.Y)*t
+}
+
+// EuclideanDist returns the straight-line distance between two positions.
+func (g *Graph) EuclideanDist(a, b Position) float64 {
+	ax, ay := g.Coords(a)
+	bx, by := g.Coords(b)
+	return math.Hypot(ax-bx, ay-by)
+}
+
+// Validate checks structural invariants; it is used by tests and the
+// generator.
+func (g *Graph) Validate() error {
+	for v, outs := range g.out {
+		for i, e := range outs {
+			edge := g.edges[e]
+			if edge.From != VertexID(v) {
+				return fmt.Errorf("roadnet: edge %d listed under vertex %d but starts at %d", e, v, edge.From)
+			}
+			if edge.OutNo != i+1 {
+				return fmt.Errorf("roadnet: edge %d has OutNo %d, position says %d", e, edge.OutNo, i+1)
+			}
+			if edge.Length < 0 {
+				return fmt.Errorf("roadnet: edge %d has negative length", e)
+			}
+		}
+	}
+	return nil
+}
+
+// Builder accumulates vertices and edges and produces an immutable Graph.
+type Builder struct {
+	vertices []Vertex
+	edges    []Edge
+	out      [][]EdgeID
+}
+
+// NewBuilder returns an empty Builder.
+func NewBuilder() *Builder { return &Builder{} }
+
+// AddVertex adds a vertex at (x, y) and returns its ID.
+func (b *Builder) AddVertex(x, y float64) VertexID {
+	id := VertexID(len(b.vertices))
+	b.vertices = append(b.vertices, Vertex{ID: id, X: x, Y: y})
+	b.out = append(b.out, nil)
+	return id
+}
+
+// AddEdge adds a directed edge from one vertex to another with Euclidean
+// length, returning its ID.  Edges are numbered per vertex in insertion
+// order.
+func (b *Builder) AddEdge(from, to VertexID) EdgeID {
+	a, c := b.vertices[from], b.vertices[to]
+	return b.AddEdgeLen(from, to, math.Hypot(a.X-c.X, a.Y-c.Y))
+}
+
+// AddEdgeLen adds a directed edge with an explicit length.
+func (b *Builder) AddEdgeLen(from, to VertexID, length float64) EdgeID {
+	id := EdgeID(len(b.edges))
+	no := len(b.out[from]) + 1
+	b.edges = append(b.edges, Edge{ID: id, From: from, To: to, Length: length, OutNo: no})
+	b.out[from] = append(b.out[from], id)
+	return id
+}
+
+// NumVertices returns the number of vertices added so far.
+func (b *Builder) NumVertices() int { return len(b.vertices) }
+
+// HasEdge reports whether a directed edge from one vertex to another exists.
+func (b *Builder) HasEdge(from, to VertexID) bool {
+	for _, e := range b.out[from] {
+		if b.edges[e].To == to {
+			return true
+		}
+	}
+	return false
+}
+
+// Build finalizes the graph.
+func (b *Builder) Build() *Graph {
+	maxOut := 0
+	for _, outs := range b.out {
+		if len(outs) > maxOut {
+			maxOut = len(outs)
+		}
+	}
+	return &Graph{vertices: b.vertices, edges: b.edges, out: b.out, maxOut: maxOut}
+}

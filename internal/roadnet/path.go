@@ -1,0 +1,220 @@
+package roadnet
+
+import "container/heap"
+
+// pqItem is a priority-queue entry for Dijkstra.
+type pqItem struct {
+	vertex VertexID
+	dist   float64
+}
+
+type pq []pqItem
+
+func (q pq) Len() int            { return len(q) }
+func (q pq) Less(i, j int) bool  { return q[i].dist < q[j].dist }
+func (q pq) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *pq) Push(x interface{}) { *q = append(*q, x.(pqItem)) }
+func (q *pq) Pop() interface{} {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}
+
+// vertexDist runs a bounded Dijkstra from src and returns the distance to
+// dst, or ok=false when dst is farther than maxDist (or unreachable).
+// prev, when non-nil, receives the predecessor edges for path recovery.
+func (g *Graph) vertexDist(src, dst VertexID, maxDist float64, prev map[VertexID]EdgeID) (float64, bool) {
+	if src == dst {
+		return 0, true
+	}
+	dist := map[VertexID]float64{src: 0}
+	q := pq{{src, 0}}
+	for len(q) > 0 {
+		it := heap.Pop(&q).(pqItem)
+		if it.dist > dist[it.vertex] {
+			continue // stale entry
+		}
+		if it.vertex == dst {
+			return it.dist, true
+		}
+		for _, eid := range g.out[it.vertex] {
+			e := g.edges[eid]
+			nd := it.dist + e.Length
+			if nd > maxDist {
+				continue
+			}
+			if cur, seen := dist[e.To]; !seen || nd < cur {
+				dist[e.To] = nd
+				if prev != nil {
+					prev[e.To] = eid
+				}
+				heap.Push(&q, pqItem{e.To, nd})
+			}
+		}
+	}
+	return 0, false
+}
+
+// NetworkDistance returns the shortest network distance from position a to
+// position b, travelling in edge direction only, bounded by maxDist.
+func (g *Graph) NetworkDistance(a, b Position, maxDist float64) (float64, bool) {
+	d, _, ok := g.shortestPath(a, b, maxDist, false)
+	return d, ok
+}
+
+// ShortestPath returns the edge sequence from a to b (inclusive of both
+// endpoint edges) along with the network distance, bounded by maxDist.
+func (g *Graph) ShortestPath(a, b Position, maxDist float64) ([]EdgeID, float64, bool) {
+	d, path, ok := g.shortestPath(a, b, maxDist, true)
+	return path, d, ok
+}
+
+func (g *Graph) shortestPath(a, b Position, maxDist float64, wantPath bool) (float64, []EdgeID, bool) {
+	if a.Edge == b.Edge && b.NDist >= a.NDist {
+		d := b.NDist - a.NDist
+		if d > maxDist {
+			return 0, nil, false
+		}
+		if wantPath {
+			return d, []EdgeID{a.Edge}, true
+		}
+		return d, nil, true
+	}
+	ea, eb := g.edges[a.Edge], g.edges[b.Edge]
+	head := ea.Length - a.NDist // to reach ea.To
+	if head > maxDist {
+		return 0, nil, false
+	}
+	var prev map[VertexID]EdgeID
+	if wantPath {
+		prev = make(map[VertexID]EdgeID)
+	}
+	mid, ok := g.vertexDist(ea.To, eb.From, maxDist-head-b.NDist, prev)
+	if !ok {
+		return 0, nil, false
+	}
+	total := head + mid + b.NDist
+	if total > maxDist {
+		return 0, nil, false
+	}
+	if !wantPath {
+		return total, nil, true
+	}
+	// Recover vertex path ea.To .. eb.From, then assemble edges.
+	var midEdges []EdgeID
+	for v := eb.From; v != ea.To; {
+		e := prev[v]
+		midEdges = append(midEdges, e)
+		v = g.edges[e].From
+	}
+	path := make([]EdgeID, 0, len(midEdges)+2)
+	path = append(path, a.Edge)
+	for i := len(midEdges) - 1; i >= 0; i-- {
+		path = append(path, midEdges[i])
+	}
+	path = append(path, b.Edge)
+	return total, path, true
+}
+
+// PathResult is the outcome of one source-to-target shortest-path search.
+type PathResult struct {
+	Dist float64
+	Path []EdgeID
+	OK   bool
+}
+
+// ShortestPaths computes shortest paths from a to every target in bs with a
+// single bounded Dijkstra (used by map matching, where all transitions out
+// of one candidate share their source).
+func (g *Graph) ShortestPaths(a Position, bs []Position, maxDist float64) []PathResult {
+	out := make([]PathResult, len(bs))
+	ea := g.edges[a.Edge]
+	head := ea.Length - a.NDist
+	pending := 0
+	// Resolve same-edge targets immediately; collect goal vertices for the rest.
+	goals := make(map[VertexID][]int)
+	for i, b := range bs {
+		if b.Edge == a.Edge && b.NDist >= a.NDist {
+			d := b.NDist - a.NDist
+			if d <= maxDist {
+				out[i] = PathResult{Dist: d, Path: []EdgeID{a.Edge}, OK: true}
+				continue
+			}
+		}
+		goals[g.edges[b.Edge].From] = append(goals[g.edges[b.Edge].From], i)
+		pending++
+	}
+	if pending == 0 || head > maxDist {
+		return out
+	}
+	dist := map[VertexID]float64{ea.To: 0}
+	prev := make(map[VertexID]EdgeID)
+	q := pq{{ea.To, 0}}
+	remaining := len(goals)
+	done := make(map[VertexID]bool)
+	for len(q) > 0 && remaining > 0 {
+		it := heap.Pop(&q).(pqItem)
+		if it.dist > dist[it.vertex] {
+			continue
+		}
+		if idxs, isGoal := goals[it.vertex]; isGoal && !done[it.vertex] {
+			done[it.vertex] = true
+			remaining--
+			for _, i := range idxs {
+				b := bs[i]
+				total := head + it.dist + b.NDist
+				if total > maxDist {
+					continue
+				}
+				var midEdges []EdgeID
+				for v := it.vertex; v != ea.To; {
+					e := prev[v]
+					midEdges = append(midEdges, e)
+					v = g.edges[e].From
+				}
+				path := make([]EdgeID, 0, len(midEdges)+2)
+				path = append(path, a.Edge)
+				for k := len(midEdges) - 1; k >= 0; k-- {
+					path = append(path, midEdges[k])
+				}
+				path = append(path, b.Edge)
+				out[i] = PathResult{Dist: total, Path: path, OK: true}
+			}
+		}
+		for _, eid := range g.out[it.vertex] {
+			e := g.edges[eid]
+			nd := it.dist + e.Length
+			if head+nd > maxDist {
+				continue
+			}
+			if cur, seen := dist[e.To]; !seen || nd < cur {
+				dist[e.To] = nd
+				prev[e.To] = eid
+				heap.Push(&q, pqItem{e.To, nd})
+			}
+		}
+	}
+	return out
+}
+
+// PathLength sums the lengths of the edges in path.
+func (g *Graph) PathLength(path []EdgeID) float64 {
+	var s float64
+	for _, e := range path {
+		s += g.edges[e].Length
+	}
+	return s
+}
+
+// IsPath reports whether consecutive edges in path are connected
+// (Definition 4).
+func (g *Graph) IsPath(path []EdgeID) bool {
+	for i := 1; i < len(path); i++ {
+		if g.edges[path[i-1]].To != g.edges[path[i]].From {
+			return false
+		}
+	}
+	return true
+}

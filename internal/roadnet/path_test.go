@@ -1,0 +1,75 @@
+package roadnet
+
+import (
+	"math"
+	"testing"
+)
+
+func TestShortestPathsMultiTarget(t *testing.T) {
+	g, ids := buildFig2Like()
+	e12, _ := g.EdgeBetween(ids["v1"], ids["v2"])
+	e23, _ := g.EdgeBetween(ids["v2"], ids["v3"])
+	e45, _ := g.EdgeBetween(ids["v4"], ids["v5"])
+	src := Position{e12, 50}
+	targets := []Position{
+		{e12, 80}, // same edge, forward
+		{e23, 50}, // next edge
+		{e45, 25}, // further along
+		{e12, 10}, // same edge, backward: must route around or fail
+	}
+	res := g.ShortestPaths(src, targets, 2000)
+	if !res[0].OK || res[0].Dist != 30 {
+		t.Errorf("same-edge forward: %+v", res[0])
+	}
+	if !res[1].OK || math.Abs(res[1].Dist-100) > 1e-9 {
+		t.Errorf("next edge: %+v", res[1])
+	}
+	if !res[2].OK || math.Abs(res[2].Dist-275) > 1e-9 {
+		t.Errorf("distant: %+v", res[2])
+	}
+	// The corridor has no return edges from v2, so backward should fail.
+	if res[3].OK {
+		t.Errorf("backward on one-way corridor should fail, got %+v", res[3])
+	}
+	// Results must agree with the single-target API.
+	for i, tg := range targets {
+		d, ok := g.NetworkDistance(src, tg, 2000)
+		if ok != res[i].OK || (ok && math.Abs(d-res[i].Dist) > 1e-9) {
+			t.Errorf("target %d: single=%g/%v multi=%g/%v", i, d, ok, res[i].Dist, res[i].OK)
+		}
+	}
+	// Paths must be connected and start/end correctly.
+	for i, r := range res {
+		if !r.OK {
+			continue
+		}
+		if !g.IsPath(r.Path) {
+			t.Errorf("target %d: disconnected path", i)
+		}
+		if r.Path[0] != src.Edge || r.Path[len(r.Path)-1] != targets[i].Edge {
+			t.Errorf("target %d: endpoints wrong", i)
+		}
+	}
+}
+
+func TestShortestPathsBackwardWithLoop(t *testing.T) {
+	// A bidirectional two-vertex network: going backward on an edge must
+	// route around via the reverse edge.
+	b := NewBuilder()
+	u := b.AddVertex(0, 0)
+	v := b.AddVertex(100, 0)
+	uv := b.AddEdge(u, v)
+	b.AddEdge(v, u)
+	g := b.Build()
+	res := g.ShortestPaths(Position{uv, 80}, []Position{{uv, 20}}, 1000)
+	if !res[0].OK {
+		t.Fatal("no loop path found")
+	}
+	// 20 to v, 100 back to u, 20 forward again = 140.
+	if math.Abs(res[0].Dist-140) > 1e-9 {
+		t.Errorf("loop dist = %g, want 140", res[0].Dist)
+	}
+	if len(res[0].Path) != 3 || res[0].Path[0] != uv || res[0].Path[2] != uv {
+		t.Errorf("loop path = %v", res[0].Path)
+	}
+}

@@ -1,0 +1,339 @@
+package stiu
+
+import (
+	"fmt"
+
+	"utcq/internal/core"
+	"utcq/internal/roadnet"
+)
+
+// instWalk is the decoded traversal of one instance used during index
+// construction: edge-aligned entries, vertices, and region visits.
+type instWalk struct {
+	orig    int
+	refOrig int // -1 for references
+	p       float64
+	visits  []visit
+	factors []factorSpan // non-references only
+}
+
+// visit is one region entry event.
+type visit struct {
+	re       roadnet.RegionID
+	first    bool             // the instance starts in this region
+	fv       roadnet.VertexID // final vertex (SV when first)
+	fvNo     int              // entry index of the edge arriving at fv (0 when first)
+	dNo      int              // γ[fvNo]: index of the first point after fv
+	pointIdx int              // last point index at or before entering
+}
+
+// factorSpan maps E-entry offsets to factors of a non-reference.
+type factorSpan struct {
+	start, end int // entry offsets [start, end)
+	rv         roadnet.VertexID
+	maPos      int
+}
+
+func (ix *Index) addTrajectory(a *core.Archive, j int) error {
+	rec := a.Trajs[j]
+
+	// Temporal entries: one per interval the trajectory has samples in.
+	T := make([]int64, 0, rec.NumPoints)
+	cur, err := rec.TimeCursorStart(a.Opts.Ts)
+	if err != nil {
+		return err
+	}
+	T = append(T, cur.T())
+	for cur.Next() {
+		T = append(T, cur.T())
+	}
+	if len(T) != rec.NumPoints {
+		return fmt.Errorf("stiu: decoded %d of %d timestamps", len(T), rec.NumPoints)
+	}
+	lastInterval := -1
+	for i, t := range T {
+		iv := ix.IntervalOf(t)
+		if iv != lastInterval {
+			pos := int32(-1)
+			if i < len(rec.TDeltaPos) {
+				pos = int32(rec.TDeltaPos[i])
+			}
+			ix.Temporal[j] = append(ix.Temporal[j], TemporalEntry{Start: t, No: int32(i), Pos: pos})
+			lastInterval = iv
+		}
+	}
+	// Mark the trajectory active in every interval its span covers.
+	for iv := ix.IntervalOf(T[0]); iv <= ix.IntervalOf(T[len(T)-1]); iv++ {
+		ix.interval(iv).Trajs = append(ix.interval(iv).Trajs, int32(j))
+	}
+
+	// Decode instance walks.
+	walks := make([]*instWalk, 0, len(rec.Insts))
+	refViews := make(map[int]*core.RefView)
+	for orig, meta := range rec.Insts {
+		if !meta.IsRef {
+			continue
+		}
+		rv, err := a.RefView(j, orig)
+		if err != nil {
+			return err
+		}
+		refViews[orig] = rv
+		w, err := ix.walkInstance(a, rv.SV, rv.E, rv.FullTF(), nil, nil)
+		if err != nil {
+			return err
+		}
+		w.orig, w.refOrig, w.p = orig, -1, meta.P
+		walks = append(walks, w)
+	}
+	for orig, meta := range rec.Insts {
+		if meta.IsRef {
+			continue
+		}
+		ref := refViews[meta.RefOrig]
+		nv, err := a.NonRefView(j, orig, ref)
+		if err != nil {
+			return err
+		}
+		e, err := nv.ExpandE(ref)
+		if err != nil {
+			return err
+		}
+		tf, err := nv.FullTF(ref)
+		if err != nil {
+			return err
+		}
+		w, err := ix.walkInstance(a, ref.SV, e, tf, nv.EFactors, nv.EFactorPos)
+		if err != nil {
+			return err
+		}
+		w.orig, w.refOrig, w.p = orig, meta.RefOrig, meta.P
+		walks = append(walks, w)
+	}
+
+	// Group instances by reference (a reference group = Ref ∪ Ref.Rrs).
+	groups := make(map[int][]*instWalk)
+	for _, w := range walks {
+		g := w.orig
+		if w.refOrig >= 0 {
+			g = w.refOrig
+		}
+		groups[g] = append(groups[g], w)
+	}
+
+	for refOrig, members := range groups {
+		ix.emitGroupTuples(a, j, refOrig, members, refViews[refOrig], T)
+	}
+	return nil
+}
+
+// walkInstance decodes the traversal: region visits with final vertices and
+// point counts, plus factor spans for non-references.
+func (ix *Index) walkInstance(a *core.Archive, sv roadnet.VertexID, E []uint16, tf []bool, factors []core.EFactor, factorPos []int) (*instWalk, error) {
+	g := a.Graph
+	w := &instWalk{}
+	curVertex := sv
+	var curRegion roadnet.RegionID = roadnet.NoRegion
+	lastEdgeEntry := 0
+	ones := 0
+
+	// Vertex before each entry (for factor spans).
+	vertexAt := make([]roadnet.VertexID, len(E))
+
+	for i, no := range E {
+		vertexAt[i] = curVertex
+		if no != 0 {
+			e, ok := g.OutEdge(curVertex, int(no))
+			if !ok {
+				return nil, fmt.Errorf("stiu: no outgoing edge %d at vertex %d", no, curVertex)
+			}
+			arrivedFrom := curVertex
+			prevEdgeEntry := lastEdgeEntry
+			lastEdgeEntry = i
+			curVertex = g.Edge(e).To
+			for _, re := range ix.Grid.CellsOfEdge(g, e) {
+				if re == curRegion {
+					continue
+				}
+				if curRegion == roadnet.NoRegion {
+					// First region: the (SV, 0, 0) form.
+					w.visits = append(w.visits, visit{re: re, first: true, fv: sv, fvNo: 0, dNo: 0, pointIdx: 0})
+				} else {
+					dNo := ones // points seen so far = index of the next point
+					pi := ones - 1
+					if pi < 0 {
+						pi = 0
+					}
+					w.visits = append(w.visits, visit{
+						re: re, fv: arrivedFrom, fvNo: prevEdgeEntry, dNo: dNo, pointIdx: pi,
+					})
+				}
+				curRegion = re
+			}
+		}
+		if tf[i] {
+			ones++
+		}
+	}
+
+	// Factor spans for non-references.
+	off := 0
+	for h, f := range factors {
+		flen := 1
+		if !f.NotInRef {
+			flen = f.L
+			if f.HasM {
+				flen++
+			}
+		}
+		span := factorSpan{start: off, end: off + flen, maPos: factorPos[h]}
+		// rv: the vertex resolving the factor's first non-zero entry.
+		span.rv = roadnet.NoVertex
+		for i := span.start; i < span.end && i < len(E); i++ {
+			if E[i] != 0 {
+				span.rv = vertexAt[i]
+				break
+			}
+		}
+		if span.rv == roadnet.NoVertex && span.start < len(vertexAt) {
+			span.rv = vertexAt[span.start]
+		}
+		w.factors = append(w.factors, span)
+		off += flen
+	}
+	return w, nil
+}
+
+// emitGroupTuples aggregates the group's visits into per-(interval, region)
+// reference and non-reference tuples.
+func (ix *Index) emitGroupTuples(a *core.Archive, j, refOrig int, members []*instWalk, refView *core.RefView, T []int64) {
+	type key struct {
+		interval int
+		re       roadnet.RegionID
+	}
+	type agg struct {
+		refVisit *visit
+		seen     map[int]bool // Ω is a set: each instance counts once
+		pTotal   float64
+		pMax     float64 // max non-reference probability (0 when none)
+	}
+	aggs := make(map[key]*agg)
+	var keysInOrder []key
+
+	intervalsOf := func(v *visit) []int {
+		a0 := ix.IntervalOf(T[v.pointIdx])
+		next := v.pointIdx + 1
+		if next >= len(T) {
+			next = len(T) - 1
+		}
+		a1 := ix.IntervalOf(T[next])
+		if a1 == a0 {
+			return []int{a0}
+		}
+		out := make([]int, 0, a1-a0+1)
+		for iv := a0; iv <= a1; iv++ {
+			out = append(out, iv)
+		}
+		return out
+	}
+
+	for _, m := range members {
+		for vi := range m.visits {
+			v := &m.visits[vi]
+			for _, iv := range intervalsOf(v) {
+				k := key{iv, v.re}
+				ag := aggs[k]
+				if ag == nil {
+					ag = &agg{seen: make(map[int]bool)}
+					aggs[k] = ag
+					keysInOrder = append(keysInOrder, k)
+				}
+				if !ag.seen[m.orig] {
+					ag.seen[m.orig] = true
+					ag.pTotal += m.p
+					if m.refOrig >= 0 && m.p > ag.pMax {
+						ag.pMax = m.p
+					}
+				}
+				if m.refOrig < 0 && ag.refVisit == nil {
+					ag.refVisit = v
+				}
+			}
+		}
+	}
+
+	// Reference tuples.
+	for _, k := range keysInOrder {
+		ag := aggs[k]
+		rt := RefTuple{
+			Traj:   int32(j),
+			Orig:   int32(refOrig),
+			FV:     roadnet.NoVertex, // fv.id = ∞ when the reference skips re
+			PTotal: float32(ag.pTotal),
+			PMax:   float32(ag.pMax),
+		}
+		if ag.refVisit != nil {
+			rt.FV = ag.refVisit.fv
+			rt.FVNo = int32(ag.refVisit.fvNo)
+			dpos := refView.DPos()
+			dNo := ag.refVisit.dNo
+			if dNo >= len(dpos) {
+				dNo = len(dpos) - 1
+			}
+			if ag.refVisit.first {
+				rt.DPos = 0
+			} else {
+				rt.DPos = int32(dpos[dNo])
+			}
+		}
+		b := ix.interval(k.interval).bucket(k.re)
+		b.Refs = append(b.Refs, rt)
+		tb := ix.trajRegion(j, k.re)
+		tb.Refs = append(tb.Refs, rt)
+	}
+
+	// Non-reference tuples, with the factor-crossing rule: one tuple per
+	// (instance, factor), kept for the first region traversed.
+	for _, m := range members {
+		if m.refOrig < 0 {
+			continue
+		}
+		usedFactor := make(map[int]bool)
+		for vi := range m.visits {
+			v := &m.visits[vi]
+			var nt NonRefTuple
+			if v.first {
+				nt = NonRefTuple{
+					Traj: int32(j), Orig: int32(m.orig), RefOrig: int32(m.refOrig),
+					RV: v.fv, RVNo: 0, MaPos: 0,
+				}
+			} else {
+				h := factorOf(m.factors, v.fvNo)
+				if h < 0 || usedFactor[h] {
+					continue
+				}
+				usedFactor[h] = true
+				nt = NonRefTuple{
+					Traj: int32(j), Orig: int32(m.orig), RefOrig: int32(m.refOrig),
+					RV: m.factors[h].rv, RVNo: int32(m.factors[h].start), MaPos: int32(m.factors[h].maPos),
+				}
+			}
+			for _, iv := range intervalsOf(v) {
+				b := ix.interval(iv).bucket(v.re)
+				b.NonRefs = append(b.NonRefs, nt)
+			}
+			tb := ix.trajRegion(j, v.re)
+			tb.NonRefs = append(tb.NonRefs, nt)
+		}
+	}
+}
+
+// factorOf returns the factor index whose entry span contains off.
+func factorOf(spans []factorSpan, off int) int {
+	for h, s := range spans {
+		if off >= s.start && off < s.end {
+			return h
+		}
+	}
+	return -1
+}

@@ -1,0 +1,239 @@
+// Package stiu implements the Spatio-temporal Information based Uncertain
+// Trajectory Index of Section 5.2.
+//
+// The temporal part partitions the day into equal intervals and stores, per
+// trajectory and interval, a tuple (t.start, t.no, t.pos): the earliest
+// timestamp falling in the interval, its ordinal in T, and the bit position
+// in T̂ where decoding can resume (partial decompression).
+//
+// The spatial part partitions the road network with a uniform grid and
+// stores, per interval and region, reference tuples
+// (fv.id, fv.no, d.pos, ptotal, pmax) and non-reference tuples
+// (rv.id, rv.no, ma.pos), exactly the fields Definition 9 and Section 5.2
+// prescribe.  ptotal and pmax drive the filtering Lemmas 1-4.
+package stiu
+
+import (
+	"fmt"
+	"sort"
+
+	"utcq/internal/core"
+	"utcq/internal/roadnet"
+)
+
+// Options control the index granularity (Table 7 defaults: a 64×64 grid
+// and 30-minute intervals).
+type Options struct {
+	GridNX, GridNY int
+	IntervalDur    int64 // seconds
+}
+
+// DefaultOptions returns the paper's default granularity.
+func DefaultOptions() Options {
+	return Options{GridNX: 64, GridNY: 64, IntervalDur: 1800}
+}
+
+// TemporalEntry is one (t.start, t.no, t.pos) tuple.
+type TemporalEntry struct {
+	Start int64
+	No    int32
+	Pos   int32 // bit position of the code of timestamp No+1; -1 at the end
+}
+
+// RefTuple is the spatial tuple of a reference w.r.t. one region.
+type RefTuple struct {
+	Traj int32
+	Orig int32
+	// FV is the final vertex; NoVertex encodes the paper's fv.id = ∞ case
+	// (the reference itself never enters the region).
+	FV     roadnet.VertexID
+	FVNo   int32 // position of the region-entering edge in E(Ref)
+	DPos   int32 // bit position of the d.no-th relative distance code
+	PTotal float32
+	PMax   float32
+}
+
+// NonRefTuple is the spatial tuple of a non-reference w.r.t. one region.
+type NonRefTuple struct {
+	Traj    int32
+	Orig    int32
+	RefOrig int32
+	RV      roadnet.VertexID
+	RVNo    int32 // position of RV's edge in E(Nref)
+	MaPos   int32 // bit position of the covering factor in ComE
+}
+
+// RegionBucket groups the tuples of one (interval, region) pair.
+type RegionBucket struct {
+	Refs    []RefTuple
+	NonRefs []NonRefTuple
+}
+
+// Interval is one time partition.
+type Interval struct {
+	Trajs   []int32 // trajectories whose time span intersects the interval
+	Regions map[roadnet.RegionID]*RegionBucket
+}
+
+// Index is the StIU index over one archive.
+type Index struct {
+	Opts Options
+	Grid *roadnet.Grid
+
+	// Temporal[j] is trajectory j's interval entries, sorted by Start.
+	Temporal [][]TemporalEntry
+
+	Intervals map[int]*Interval
+
+	// byTrajRegion[j][re] aggregates, across intervals, the tuple presence
+	// used by the when-query and Lemma 1.
+	byTrajRegion []map[roadnet.RegionID]*RegionBucket
+}
+
+// IntervalOf returns the time-partition id of t.
+func (ix *Index) IntervalOf(t int64) int { return int(t / ix.Opts.IntervalDur) }
+
+// FindTemporal returns trajectory j's entry with the greatest Start <= t
+// (the binary search of Example 3).
+func (ix *Index) FindTemporal(j int, t int64) (TemporalEntry, bool) {
+	entries := ix.Temporal[j]
+	lo := sort.Search(len(entries), func(i int) bool { return entries[i].Start > t })
+	if lo == 0 {
+		return TemporalEntry{}, false
+	}
+	return entries[lo-1], true
+}
+
+// Buckets returns the bucket of (interval, region), or nil.
+func (ix *Index) Buckets(interval int, re roadnet.RegionID) *RegionBucket {
+	iv := ix.Intervals[interval]
+	if iv == nil {
+		return nil
+	}
+	return iv.Regions[re]
+}
+
+// TrajRegion returns the aggregated bucket of trajectory j and region re.
+func (ix *Index) TrajRegion(j int, re roadnet.RegionID) *RegionBucket {
+	return ix.byTrajRegion[j][re]
+}
+
+// CandidateTrajs returns the trajectories active in the interval.
+func (ix *Index) CandidateTrajs(interval int) []int32 {
+	iv := ix.Intervals[interval]
+	if iv == nil {
+		return nil
+	}
+	return iv.Trajs
+}
+
+// Tuple bit widths used for index size accounting (Fig 9): temporal
+// entries store a 17-bit seconds-of-day start, a 12-bit ordinal and a
+// 32-bit stream position; spatial tuples store vertex ids, 12-bit
+// ordinals, 32-bit positions and 16-bit probability summaries.
+const (
+	startBits = 17
+	noBits    = 12
+	posBits   = 32
+	probBits  = 16
+)
+
+// TemporalSizeBits returns the temporal index size.
+func (ix *Index) TemporalSizeBits() int64 {
+	n := int64(0)
+	for _, entries := range ix.Temporal {
+		n += int64(len(entries)) * (startBits + noBits + posBits)
+	}
+	return n
+}
+
+// SpatialSizeBits returns the spatial index size, given the vertex id
+// width of the archive.
+func (ix *Index) SpatialSizeBits(vertexBits int) int64 {
+	n := int64(0)
+	for _, iv := range ix.Intervals {
+		for _, b := range iv.Regions {
+			n += int64(len(b.Refs)) * int64(vertexBits+1+noBits+posBits+2*probBits)
+			n += int64(len(b.NonRefs)) * int64(vertexBits+noBits+posBits)
+		}
+	}
+	return n
+}
+
+// Build constructs the index from a compressed archive.  Building happens
+// at compression time (the paper builds StIU "during compression"), so it
+// may decode records freely.
+func Build(a *core.Archive, opts Options) (*Index, error) {
+	if opts.GridNX < 1 || opts.GridNY < 1 || opts.IntervalDur < 1 {
+		return nil, fmt.Errorf("stiu: invalid options %+v", opts)
+	}
+	ix := &Index{
+		Opts:         opts,
+		Grid:         roadnet.NewGrid(a.Graph, opts.GridNX, opts.GridNY),
+		Temporal:     make([][]TemporalEntry, len(a.Trajs)),
+		Intervals:    make(map[int]*Interval),
+		byTrajRegion: make([]map[roadnet.RegionID]*RegionBucket, len(a.Trajs)),
+	}
+	for j := range a.Trajs {
+		if err := ix.addTrajectory(a, j); err != nil {
+			return nil, fmt.Errorf("stiu: trajectory %d: %w", j, err)
+		}
+	}
+	// Sort interval trajectory lists and deduplicate.
+	for _, iv := range ix.Intervals {
+		sort.Slice(iv.Trajs, func(x, y int) bool { return iv.Trajs[x] < iv.Trajs[y] })
+		iv.Trajs = dedupInt32(iv.Trajs)
+	}
+	return ix, nil
+}
+
+func (ix *Index) interval(id int) *Interval {
+	iv := ix.Intervals[id]
+	if iv == nil {
+		iv = &Interval{Regions: make(map[roadnet.RegionID]*RegionBucket)}
+		ix.Intervals[id] = iv
+	}
+	return iv
+}
+
+func (iv *Interval) bucket(re roadnet.RegionID) *RegionBucket {
+	b := iv.Regions[re]
+	if b == nil {
+		b = &RegionBucket{}
+		iv.Regions[re] = b
+	}
+	return b
+}
+
+func (ix *Index) trajRegion(j int, re roadnet.RegionID) *RegionBucket {
+	if ix.byTrajRegion[j] == nil {
+		ix.byTrajRegion[j] = make(map[roadnet.RegionID]*RegionBucket)
+	}
+	b := ix.byTrajRegion[j][re]
+	if b == nil {
+		b = &RegionBucket{}
+		ix.byTrajRegion[j][re] = b
+	}
+	return b
+}
+
+func dedupInt32(xs []int32) []int32 {
+	out := xs[:0]
+	for i, x := range xs {
+		if i == 0 || x != out[len(out)-1] {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// FindTemporalByNo returns trajectory j's entry with the greatest No <= k,
+// used to resume timestamp decoding near point index k.
+func (ix *Index) FindTemporalByNo(j, k int) (TemporalEntry, bool) {
+	entries := ix.Temporal[j]
+	lo := sort.Search(len(entries), func(i int) bool { return int(entries[i].No) > k })
+	if lo == 0 {
+		return TemporalEntry{}, false
+	}
+	return entries[lo-1], true
+}

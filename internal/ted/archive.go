@@ -1,0 +1,274 @@
+package ted
+
+import (
+	"fmt"
+
+	"utcq/internal/bitio"
+	"utcq/internal/core"
+	"utcq/internal/pddp"
+	"utcq/internal/roadnet"
+	"utcq/internal/traj"
+)
+
+// Options are TED's compression parameters (the same error bounds as UTCQ;
+// TED has no pivots).
+type Options struct {
+	EtaD float64
+	EtaP float64
+	Ts   int64
+}
+
+// DefaultOptions mirrors the paper's defaults.
+func DefaultOptions(ts int64) Options {
+	return Options{EtaD: 1.0 / 128, EtaP: 1.0 / 512, Ts: ts}
+}
+
+// InstMeta is the per-instance directory entry.
+type InstMeta struct {
+	Start    int // bit offset of the instance record in the trajectory stream
+	GroupIdx int // E matrix group
+	RowIdx   int // row within the group
+	ECount   int
+	P        float64
+	SV       roadnet.VertexID
+}
+
+// TrajRecord is one compressed trajectory: the time section plus one
+// record per instance (T', D, p); edge sequences live in the global
+// matrix groups.
+type TrajRecord struct {
+	Bits      []byte
+	BitLen    int
+	NumPoints int
+	NumPairs  int
+	PairStart int // bit offset of the first fixed-width (no, t) pair
+	Insts     []InstMeta
+}
+
+// Reader returns a bit reader positioned at pos.
+func (tr *TrajRecord) Reader(pos int) (*bitio.Reader, error) {
+	r := bitio.NewReaderBits(tr.Bits, tr.BitLen)
+	if err := r.Seek(pos); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// PairAt random-accesses the k-th stored time pair (fixed-width layout).
+func (tr *TrajRecord) PairAt(k int) (no int, t int64, err error) {
+	if k < 0 || k >= tr.NumPairs {
+		return 0, 0, fmt.Errorf("ted: pair %d outside %d", k, tr.NumPairs)
+	}
+	r, err := tr.Reader(tr.PairStart + k*PairBits)
+	if err != nil {
+		return 0, 0, err
+	}
+	nov, err := r.ReadBits(pairNoBits)
+	if err != nil {
+		return 0, 0, err
+	}
+	tv, err := r.ReadBits(pairTBits)
+	if err != nil {
+		return 0, 0, err
+	}
+	return int(nov), int64(tv), nil
+}
+
+// FindPairLE binary searches the stored pairs for the last one with
+// timestamp <= t; ok is false when t precedes the trajectory.
+func (tr *TrajRecord) FindPairLE(t int64) (k, no int, pt int64, ok bool) {
+	lo, hi := 0, tr.NumPairs-1
+	found := -1
+	for lo <= hi {
+		mid := (lo + hi) / 2
+		_, mt, err := tr.PairAt(mid)
+		if err != nil {
+			return 0, 0, 0, false
+		}
+		if mt <= t {
+			found = mid
+			lo = mid + 1
+		} else {
+			hi = mid - 1
+		}
+	}
+	if found < 0 {
+		return 0, 0, 0, false
+	}
+	no, pt, err := func() (int, int64, error) {
+		n, p, e := tr.PairAt(found)
+		return n, p, e
+	}()
+	if err != nil {
+		return 0, 0, 0, false
+	}
+	return found, no, pt, true
+}
+
+// Archive is a TED-compressed dataset.
+type Archive struct {
+	Opts       Options
+	Graph      *roadnet.Graph
+	VertexBits int
+	EdgeBits   int
+	DCodec     *pddp.Codec
+	PCodec     *pddp.Codec
+
+	// EBits holds the serialized matrix groups.
+	EBits   []byte
+	EBitLen int
+
+	Trajs []*TrajRecord
+	Stats core.CompStats
+
+	// groupPos holds each group's bit offset in EBits; groupRows caches
+	// decoded matrix rows per group.
+	groupPos  []int
+	groupRows [][][]byte
+}
+
+// Compressor carries per-network encoding state.
+type Compressor struct {
+	g          *roadnet.Graph
+	opts       Options
+	vertexBits int
+	edgeBits   int
+	dCodec     *pddp.Codec
+	pCodec     *pddp.Codec
+}
+
+// NewCompressor validates the options.
+func NewCompressor(g *roadnet.Graph, opts Options) (*Compressor, error) {
+	if opts.Ts < 1 {
+		return nil, fmt.Errorf("ted: default sample interval %d < 1", opts.Ts)
+	}
+	dc, err := pddp.NewCodec(opts.EtaD)
+	if err != nil {
+		return nil, fmt.Errorf("ted: EtaD: %w", err)
+	}
+	pc, err := pddp.NewCodec(opts.EtaP)
+	if err != nil {
+		return nil, fmt.Errorf("ted: EtaP: %w", err)
+	}
+	return &Compressor{
+		g:          g,
+		opts:       opts,
+		vertexBits: bitio.WidthFor(g.NumVertices() - 1),
+		edgeBits:   bitio.WidthFor(g.MaxOutDegree()),
+		dCodec:     dc,
+		pCodec:     pc,
+	}, nil
+}
+
+// Compress encodes a dataset.  Unlike UTCQ's one-trajectory-at-a-time
+// pipeline, TED first materializes the edge codes of every instance into
+// length groups (the memory cost the paper reports), then optimizes each
+// group's bases (the time cost).
+func (c *Compressor) Compress(tus []*traj.Uncertain) (*Archive, error) {
+	a := &Archive{
+		Opts:       c.opts,
+		Graph:      c.g,
+		VertexBits: c.vertexBits,
+		EdgeBits:   c.edgeBits,
+		DCodec:     c.dCodec,
+		PCodec:     c.pCodec,
+	}
+	groupByLen := make(map[int]int) // code length -> group index
+	var groups []*EGroup
+
+	for _, u := range tus {
+		rec, err := c.compressTraj(a, u, &groups, groupByLen)
+		if err != nil {
+			return nil, err
+		}
+		a.Trajs = append(a.Trajs, rec)
+	}
+
+	// Phase 2: matrix compression per group.
+	ew := bitio.NewWriter(1 << 16)
+	ew.WriteCount(len(groups))
+	for _, g := range groups {
+		g.compress()
+		g.write(ew)
+		g.Rows = nil // rows now live in the encoded form
+	}
+	a.EBits = ew.Bytes()
+	a.EBitLen = ew.Len()
+	a.Stats.Comp.E += int64(ew.Len())
+	return a, nil
+}
+
+func (c *Compressor) compressTraj(a *Archive, u *traj.Uncertain, groups *[]*EGroup, groupByLen map[int]int) (*TrajRecord, error) {
+	stats := &a.Stats
+	stats.Raw.Add(u.RawBits())
+	stats.NumTrajectories++
+	stats.NumInstances += len(u.Instances)
+	stats.NumReferences += len(u.Instances) // every instance stands alone
+
+	w := bitio.NewWriter(256)
+	rec := &TrajRecord{NumPoints: len(u.T), Insts: make([]InstMeta, len(u.Instances))}
+
+	mark := w.Len()
+	np, err := encodeTime(w, u.T)
+	if err != nil {
+		return nil, err
+	}
+	rec.NumPairs = np
+	rec.PairStart = w.Len() - np*PairBits
+	stats.Comp.T += int64(w.Len() - mark)
+
+	for i := range u.Instances {
+		ins := &u.Instances[i]
+		meta := &rec.Insts[i]
+		meta.Start = w.Len()
+		meta.ECount = len(ins.E)
+		meta.SV = ins.SV
+		meta.P = c.pCodec.Quantize(ins.P)
+
+		mark = w.Len()
+		c.pCodec.Encode(w, ins.P)
+		stats.Comp.P += int64(w.Len() - mark)
+
+		mark = w.Len()
+		w.WriteBits(uint64(ins.SV), c.vertexBits)
+		w.WriteCount(len(ins.E))
+		stats.Comp.E += int64(w.Len() - mark)
+
+		mark = w.Len()
+		for _, b := range ins.TF {
+			w.WriteBool(b)
+		}
+		stats.Comp.TF += int64(w.Len() - mark)
+
+		mark = w.Len()
+		for _, rd := range ins.D {
+			c.dCodec.Encode(w, rd)
+		}
+		stats.Comp.D += int64(w.Len() - mark)
+
+		// Edge numbers into the length-grouped matrices.
+		codeLen := len(ins.E) * c.edgeBits
+		gi, ok := groupByLen[codeLen]
+		if !ok {
+			gi = len(*groups)
+			groupByLen[codeLen] = gi
+			*groups = append(*groups, &EGroup{B: codeLen})
+		}
+		g := (*groups)[gi]
+		row := make([]byte, codeLen)
+		for k, no := range ins.E {
+			for b := 0; b < c.edgeBits; b++ {
+				if no>>(uint(c.edgeBits-1-b))&1 == 1 {
+					row[k*c.edgeBits+b] = 1
+				}
+			}
+		}
+		meta.GroupIdx = gi
+		meta.RowIdx = len(g.Rows)
+		g.Rows = append(g.Rows, row)
+	}
+
+	rec.Bits = w.Bytes()
+	rec.BitLen = w.Len()
+	return rec, nil
+}

@@ -1,0 +1,190 @@
+package ted
+
+import (
+	"fmt"
+
+	"utcq/internal/bitio"
+	"utcq/internal/roadnet"
+	"utcq/internal/traj"
+)
+
+// scanGroups locates every group's bit offset in EBits.
+func (a *Archive) scanGroups() error {
+	if a.groupPos != nil {
+		return nil
+	}
+	r := bitio.NewReaderBits(a.EBits, a.EBitLen)
+	ng, err := r.ReadCount()
+	if err != nil {
+		return err
+	}
+	a.groupPos = make([]int, ng)
+	a.groupRows = make([][][]byte, ng)
+	for g := 0; g < ng; g++ {
+		a.groupPos[g] = r.Pos()
+		if _, _, err := readGroup(r); err != nil {
+			return fmt.Errorf("ted: group %d: %w", g, err)
+		}
+	}
+	return nil
+}
+
+// decodeGroup decodes the rows of one matrix group.  With cache enabled the
+// rows are kept; otherwise every call re-decodes them — the cost of reading
+// a single instance out of TED's jointly compressed matrices.
+func (a *Archive) decodeGroup(gi int, cache bool) ([][]byte, error) {
+	if err := a.scanGroups(); err != nil {
+		return nil, err
+	}
+	if gi < 0 || gi >= len(a.groupPos) {
+		return nil, fmt.Errorf("ted: group %d out of range", gi)
+	}
+	if rows := a.groupRows[gi]; rows != nil {
+		return rows, nil
+	}
+	r := bitio.NewReaderBits(a.EBits, a.EBitLen)
+	if err := r.Seek(a.groupPos[gi]); err != nil {
+		return nil, err
+	}
+	_, rows, err := readGroup(r)
+	if err != nil {
+		return nil, err
+	}
+	if cache {
+		a.groupRows[gi] = rows
+	}
+	return rows, nil
+}
+
+// InstanceE reconstructs the edge-number sequence of an instance from its
+// matrix row.
+func (a *Archive) InstanceE(meta InstMeta) ([]uint16, error) {
+	return a.instanceE(meta, true)
+}
+
+// InstanceENoCache re-decodes the instance's group every call.
+func (a *Archive) InstanceENoCache(meta InstMeta) ([]uint16, error) {
+	return a.instanceE(meta, false)
+}
+
+func (a *Archive) instanceE(meta InstMeta, cache bool) ([]uint16, error) {
+	rows, err := a.decodeGroup(meta.GroupIdx, cache)
+	if err != nil {
+		return nil, err
+	}
+	if meta.RowIdx >= len(rows) {
+		return nil, fmt.Errorf("ted: row (%d, %d) out of range", meta.GroupIdx, meta.RowIdx)
+	}
+	row := rows[meta.RowIdx]
+	out := make([]uint16, meta.ECount)
+	for k := range out {
+		var v uint16
+		for b := 0; b < a.EdgeBits; b++ {
+			v = v<<1 | uint16(row[k*a.EdgeBits+b])
+		}
+		out[k] = v
+	}
+	return out, nil
+}
+
+// DecodeInstance fully decompresses one instance of one trajectory.
+func (a *Archive) DecodeInstance(j, i int) (*traj.Instance, error) {
+	ins, err := a.decodeInstanceParts(j, i)
+	if err != nil {
+		return nil, err
+	}
+	ins.E, err = a.InstanceE(a.Trajs[j].Insts[i])
+	return ins, err
+}
+
+// decodeInstanceParts decodes everything except the edge sequence.
+func (a *Archive) decodeInstanceParts(j, i int) (*traj.Instance, error) {
+	rec := a.Trajs[j]
+	meta := rec.Insts[i]
+	r, err := rec.Reader(meta.Start)
+	if err != nil {
+		return nil, err
+	}
+	p, err := a.PCodec.Decode(r)
+	if err != nil {
+		return nil, err
+	}
+	sv, err := r.ReadBits(a.VertexBits)
+	if err != nil {
+		return nil, err
+	}
+	eCount, err := r.ReadCount()
+	if err != nil {
+		return nil, err
+	}
+	ins := &traj.Instance{SV: roadnet.VertexID(sv), P: p}
+	ins.TF = make([]bool, eCount)
+	for k := range ins.TF {
+		b, err := r.ReadBool()
+		if err != nil {
+			return nil, err
+		}
+		ins.TF[k] = b
+	}
+	ins.D = make([]float64, rec.NumPoints)
+	for k := range ins.D {
+		d, err := a.DCodec.Decode(r)
+		if err != nil {
+			return nil, err
+		}
+		ins.D[k] = d
+	}
+	return ins, nil
+}
+
+// DecodeInstanceNoCache decodes one instance, re-reading its matrix group
+// (per-query decompression cost).
+func (a *Archive) DecodeInstanceNoCache(j, i int) (*traj.Instance, error) {
+	ins, err := a.decodeInstanceParts(j, i)
+	if err != nil {
+		return nil, err
+	}
+	ins.E, err = a.InstanceENoCache(a.Trajs[j].Insts[i])
+	return ins, err
+}
+
+// DecodeTime fully decodes one trajectory's time sequence.
+func (a *Archive) DecodeTime(j int) ([]int64, error) {
+	rec := a.Trajs[j]
+	r, err := rec.Reader(0)
+	if err != nil {
+		return nil, err
+	}
+	return decodeTime(r, rec.NumPoints)
+}
+
+// DecodeTrajectory fully decompresses one trajectory.
+func (a *Archive) DecodeTrajectory(j int) (*traj.Uncertain, error) {
+	T, err := a.DecodeTime(j)
+	if err != nil {
+		return nil, err
+	}
+	rec := a.Trajs[j]
+	u := &traj.Uncertain{T: T, Instances: make([]traj.Instance, len(rec.Insts))}
+	for i := range rec.Insts {
+		ins, err := a.DecodeInstance(j, i)
+		if err != nil {
+			return nil, err
+		}
+		u.Instances[i] = *ins
+	}
+	return u, nil
+}
+
+// DecodeAll fully decompresses the archive.
+func (a *Archive) DecodeAll() ([]*traj.Uncertain, error) {
+	out := make([]*traj.Uncertain, len(a.Trajs))
+	for j := range a.Trajs {
+		u, err := a.DecodeTrajectory(j)
+		if err != nil {
+			return nil, fmt.Errorf("ted: trajectory %d: %w", j, err)
+		}
+		out[j] = u
+	}
+	return out, nil
+}

@@ -1,0 +1,252 @@
+package ted
+
+import (
+	"fmt"
+
+	"utcq/internal/bitio"
+)
+
+// EGroup is one length group of TED's edge-sequence compression: all edge
+// sequences whose binary code has the same length B, stacked into an A×B
+// bit matrix and compressed against a set of base vectors.
+type EGroup struct {
+	B     int      // code length in bits
+	Rows  [][]byte // unpacked bit matrix (one byte per bit), freed after Compress
+	Bases [][]byte
+	// Encoded rows: base index + differing bit positions.
+	RowBase  []int
+	RowDiffs [][]int
+}
+
+// clusterIters is the number of refinement iterations per candidate count.
+const clusterIters = 30
+
+// clusterRestarts is the number of seedings tried per candidate count.
+const clusterRestarts = 3
+
+// baseCandidates returns the base counts tried for a group of a rows:
+// every count up to a cap that grows with the matrix (larger matrices
+// warrant more bases).  The resulting exhaustive optimizer cost grows
+// superlinearly in the dataset size — the compression-time behaviour the
+// paper reports for TED (Fig 12b).
+func baseCandidates(a int) []int {
+	cap := a / 24
+	if cap < 6 {
+		cap = 6
+	}
+	if cap > 48 {
+		cap = 48
+	}
+	out := make([]int, cap)
+	for k := 1; k <= cap; k++ {
+		out[k-1] = k
+	}
+	return out
+}
+
+// compress searches for the base set minimizing the encoded size: for each
+// candidate base count it runs majority-vector refinement (assign rows to
+// the nearest base, recompute each base as the per-column majority of its
+// rows) and keeps the cheapest outcome.  This search over the full matrix
+// is TED's dominant compression cost.
+func (g *EGroup) compress() {
+	a := len(g.Rows)
+	if a == 0 {
+		return
+	}
+	bestBits := int64(-1)
+	for _, k := range baseCandidates(a) {
+		if k > a {
+			k = a
+		}
+		for restart := 0; restart < clusterRestarts; restart++ {
+			bases, rowBase, rowDiffs := clusterRows(g.Rows, g.B, k, restart)
+			bits := g.encodedBits(bases, rowDiffs)
+			if bestBits < 0 || bits < bestBits {
+				bestBits = bits
+				g.Bases, g.RowBase, g.RowDiffs = bases, rowBase, rowDiffs
+			}
+		}
+		if k == a {
+			break
+		}
+	}
+}
+
+// clusterRows is one k-majority clustering run; restart offsets the seeds.
+func clusterRows(rows [][]byte, b, k, restart int) (bases [][]byte, rowBase []int, rowDiffs [][]int) {
+	a := len(rows)
+	bases = make([][]byte, 0, k)
+	// Seed bases with evenly spaced rows (shifted per restart).
+	for i := 0; i < k; i++ {
+		seed := rows[(i*a/k+restart*a/(2*k+1))%a]
+		base := make([]byte, b)
+		copy(base, seed)
+		bases = append(bases, base)
+	}
+	rowBase = make([]int, a)
+	for iter := 0; iter < clusterIters; iter++ {
+		changed := false
+		// Assignment step: nearest base by Hamming distance (full scan —
+		// the matrix operation the paper attributes TED's cost to).
+		for i, row := range rows {
+			best, bestDist := 0, b+1
+			for bi, base := range bases {
+				d := 0
+				for c := 0; c < b; c++ {
+					if row[c] != base[c] {
+						d++
+					}
+				}
+				if d < bestDist {
+					best, bestDist = bi, d
+				}
+			}
+			if rowBase[i] != best {
+				rowBase[i] = best
+				changed = true
+			}
+		}
+		// Update step: per-column majority of each cluster.
+		counts := make([][]int, len(bases))
+		sizes := make([]int, len(bases))
+		for bi := range bases {
+			counts[bi] = make([]int, b)
+		}
+		for i, row := range rows {
+			bi := rowBase[i]
+			sizes[bi]++
+			for c := 0; c < b; c++ {
+				if row[c] == 1 {
+					counts[bi][c]++
+				}
+			}
+		}
+		for bi := range bases {
+			if sizes[bi] == 0 {
+				continue
+			}
+			for c := 0; c < b; c++ {
+				if counts[bi][c]*2 >= sizes[bi] {
+					bases[bi][c] = 1
+				} else {
+					bases[bi][c] = 0
+				}
+			}
+		}
+		if !changed && iter > 0 {
+			break
+		}
+	}
+	// Final diffs.
+	rowDiffs = make([][]int, a)
+	for i, row := range rows {
+		base := bases[rowBase[i]]
+		var diffs []int
+		for c := 0; c < b; c++ {
+			if row[c] != base[c] {
+				diffs = append(diffs, c)
+			}
+		}
+		rowDiffs[i] = diffs
+	}
+	return bases, rowBase, rowDiffs
+}
+
+// encodedBits estimates the group's encoded size for a candidate solution.
+func (g *EGroup) encodedBits(bases [][]byte, rowDiffs [][]int) int64 {
+	posBits := bitio.WidthFor(g.B - 1)
+	baseBits := bitio.WidthFor(len(bases) - 1)
+	total := int64(len(bases) * g.B)
+	for _, diffs := range rowDiffs {
+		total += int64(baseBits) + int64(gammaBits(len(diffs))) + int64(len(diffs)*posBits)
+	}
+	return total
+}
+
+// gammaBits is the Elias-gamma length of v+1.
+func gammaBits(v int) int {
+	n := 0
+	for x := uint64(v) + 1; x > 0; x >>= 1 {
+		n++
+	}
+	return 2*n - 1
+}
+
+// write serializes the group: header (B, A, base count, bases) then rows.
+func (g *EGroup) write(w *bitio.Writer) {
+	w.WriteCount(g.B)
+	w.WriteCount(len(g.RowBase))
+	w.WriteCount(len(g.Bases))
+	for _, base := range g.Bases {
+		for _, bit := range base {
+			w.WriteBit(uint(bit))
+		}
+	}
+	posBits := bitio.WidthFor(g.B - 1)
+	baseBits := bitio.WidthFor(len(g.Bases) - 1)
+	for i := range g.RowBase {
+		w.WriteBits(uint64(g.RowBase[i]), baseBits)
+		w.WriteCount(len(g.RowDiffs[i]))
+		for _, pos := range g.RowDiffs[i] {
+			w.WriteBits(uint64(pos), posBits)
+		}
+	}
+}
+
+// readGroup deserializes a group into decoded row bits.
+func readGroup(r *bitio.Reader) (b int, rows [][]byte, err error) {
+	b, err = r.ReadCount()
+	if err != nil {
+		return 0, nil, err
+	}
+	a, err := r.ReadCount()
+	if err != nil {
+		return 0, nil, err
+	}
+	nb, err := r.ReadCount()
+	if err != nil {
+		return 0, nil, err
+	}
+	bases := make([][]byte, nb)
+	for i := range bases {
+		bases[i] = make([]byte, b)
+		for c := 0; c < b; c++ {
+			bit, err := r.ReadBit()
+			if err != nil {
+				return 0, nil, err
+			}
+			bases[i][c] = byte(bit)
+		}
+	}
+	posBits := bitio.WidthFor(b - 1)
+	baseBits := bitio.WidthFor(nb - 1)
+	rows = make([][]byte, a)
+	for i := 0; i < a; i++ {
+		bi, err := r.ReadBits(baseBits)
+		if err != nil {
+			return 0, nil, err
+		}
+		if int(bi) >= nb {
+			return 0, nil, fmt.Errorf("ted: base index %d out of range", bi)
+		}
+		row := make([]byte, b)
+		copy(row, bases[bi])
+		nd, err := r.ReadCount()
+		if err != nil {
+			return 0, nil, err
+		}
+		for d := 0; d < nd; d++ {
+			pos, err := r.ReadBits(posBits)
+			if err != nil {
+				return 0, nil, err
+			}
+			if int(pos) >= b {
+				return 0, nil, fmt.Errorf("ted: diff position %d out of range", pos)
+			}
+			row[pos] ^= 1
+		}
+		rows[i] = row
+	}
+	return b, rows, nil
+}

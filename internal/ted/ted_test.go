@@ -1,0 +1,210 @@
+package ted
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"utcq/internal/bitio"
+	"utcq/internal/gen"
+	"utcq/internal/paperfix"
+	"utcq/internal/traj"
+)
+
+// TestTimeBreakpointsPaper reproduces Section 2.2: the running example's
+// time sequence is stored as pairs at indices 0,1,2,3,4,6.
+func TestTimeBreakpointsPaper(t *testing.T) {
+	fx := paperfix.MustNew()
+	got := timeBreakpoints(fx.Tu1.T)
+	want := []int{0, 1, 2, 3, 4, 6}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("breakpoints = %v, want %v", got, want)
+	}
+}
+
+func TestTimeRoundTrip(t *testing.T) {
+	cases := [][]int64{
+		{100},
+		{100, 110},
+		{100, 110, 120, 130},                    // one run
+		{100, 110, 121, 130, 140},               // changes
+		{0, 1, 2, 4, 8, 16, 17, 18},             // growing gaps
+		{500, 740, 981, 1221, 1460, 1700, 1940}, // the paper's shape
+	}
+	for _, T := range cases {
+		w := bitio.NewWriter(0)
+		if _, err := encodeTime(w, T); err != nil {
+			t.Fatal(err)
+		}
+		r := bitio.NewReaderBits(w.Bytes(), w.Len())
+		got, err := decodeTime(r, len(T))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, T) {
+			t.Errorf("round trip of %v gave %v", T, got)
+		}
+	}
+}
+
+// TestTimeSchemeDegradesWithJitter verifies the paper's motivation: TED
+// stores nearly one pair per point when intervals change constantly.
+func TestTimeSchemeDegradesWithJitter(t *testing.T) {
+	stable := make([]int64, 50)
+	jittery := make([]int64, 50)
+	for i := range stable {
+		stable[i] = int64(i) * 10
+		jittery[i] = int64(i)*10 + int64(i%2) // alternating 11,9,11,9 intervals
+	}
+	if n := len(timeBreakpoints(stable)); n != 2 {
+		t.Errorf("stable sequence stored %d pairs, want 2", n)
+	}
+	if n := len(timeBreakpoints(jittery)); n < 40 {
+		t.Errorf("jittery sequence stored only %d pairs", n)
+	}
+}
+
+func TestPairRandomAccess(t *testing.T) {
+	fx := paperfix.MustNew()
+	c, err := NewCompressor(fx.Graph, DefaultOptions(paperfix.Ts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := c.Compress([]*traj.Uncertain{fx.Tu1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := a.Trajs[0]
+	if rec.NumPairs != 6 {
+		t.Fatalf("NumPairs = %d, want 6", rec.NumPairs)
+	}
+	wantNos := []int{0, 1, 2, 3, 4, 6}
+	for k, wantNo := range wantNos {
+		no, pt, err := rec.PairAt(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if no != wantNo || pt != fx.Tu1.T[wantNo] {
+			t.Errorf("pair %d = (%d, %d), want (%d, %d)", k, no, pt, wantNo, fx.Tu1.T[wantNo])
+		}
+	}
+	// Binary search: 5:21:25 falls between pairs (4, ...) and (6, ...).
+	_, no, pt, ok := rec.FindPairLE(5*3600 + 21*60 + 25)
+	if !ok || no != 4 || pt != fx.Tu1.T[4] {
+		t.Errorf("FindPairLE = (%d, %d, %v)", no, pt, ok)
+	}
+	if _, _, _, ok := rec.FindPairLE(0); ok {
+		t.Error("FindPairLE before start should fail")
+	}
+}
+
+func TestCompressDecodePaperExample(t *testing.T) {
+	fx := paperfix.MustNew()
+	c, err := NewCompressor(fx.Graph, DefaultOptions(paperfix.Ts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := c.Compress([]*traj.Uncertain{fx.Tu1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := a.DecodeAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := got[0]
+	if !reflect.DeepEqual(u.T, fx.Tu1.T) {
+		t.Errorf("T = %v", u.T)
+	}
+	for i := range fx.Tu1.Instances {
+		want, gi := &fx.Tu1.Instances[i], &u.Instances[i]
+		if gi.SV != want.SV || !reflect.DeepEqual(gi.E, want.E) || !reflect.DeepEqual(gi.TF, want.TF) {
+			t.Errorf("instance %d: lossless parts differ: E=%v TF=%v", i, gi.E, gi.TF)
+		}
+		for k := range want.D {
+			if d := want.D[k] - gi.D[k]; d < 0 || d > a.Opts.EtaD {
+				t.Errorf("instance %d point %d: D error %g", i, k, d)
+			}
+		}
+		if d := math.Abs(want.P - gi.P); d > a.Opts.EtaP {
+			t.Errorf("instance %d: P error %g", i, d)
+		}
+	}
+}
+
+func TestCompressGeneratedDataset(t *testing.T) {
+	p := gen.CD()
+	p.Network.Cols, p.Network.Rows = 20, 20
+	ds, err := gen.Build(p, 30, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewCompressor(ds.Graph, DefaultOptions(p.Ts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := c.Compress(ds.Trajectories)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := a.DecodeAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j, u := range got {
+		want := ds.Trajectories[j]
+		if !reflect.DeepEqual(u.T, want.T) {
+			t.Fatalf("traj %d: T differs", j)
+		}
+		for i := range want.Instances {
+			w, g := &want.Instances[i], &u.Instances[i]
+			if w.SV != g.SV || !reflect.DeepEqual(w.E, g.E) || !reflect.DeepEqual(w.TF, g.TF) {
+				t.Fatalf("traj %d inst %d: lossless parts differ", j, i)
+			}
+		}
+	}
+	// T' must be stored verbatim: compression ratio exactly 1 (Table 8).
+	if r := a.Stats.RatioTF(); math.Abs(r-1) > 1e-9 {
+		t.Errorf("TED T' ratio = %g, want 1", r)
+	}
+	if a.Stats.TotalRatio() <= 1 {
+		t.Errorf("TED total ratio = %g", a.Stats.TotalRatio())
+	}
+}
+
+// TestMatrixCompressionHelps: grouped similar rows must encode smaller
+// than raw fixed-width codes.
+func TestMatrixCompressionHelps(t *testing.T) {
+	g := &EGroup{B: 24}
+	base := []byte{0, 1, 0, 0, 1, 1, 0, 0, 1, 0, 1, 0, 0, 1, 0, 0, 1, 1, 0, 0, 1, 0, 1, 0}
+	for i := 0; i < 40; i++ {
+		row := make([]byte, 24)
+		copy(row, base)
+		row[i%24] ^= 1 // one flipped bit per row
+		g.Rows = append(g.Rows, row)
+	}
+	g.compress()
+	w := bitio.NewWriter(0)
+	g.write(w)
+	raw := 40 * 24
+	if w.Len() >= raw {
+		t.Errorf("matrix encoding %d bits >= raw %d", w.Len(), raw)
+	}
+	// And it must round trip.
+	r := bitio.NewReaderBits(w.Bytes(), w.Len())
+	b, rows, err := readGroup(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b != 24 || len(rows) != 40 {
+		t.Fatalf("decoded group %dx%d", len(rows), b)
+	}
+	for i := 0; i < 40; i++ {
+		row := make([]byte, 24)
+		copy(row, base)
+		row[i%24] ^= 1
+		if !reflect.DeepEqual(rows[i], row) {
+			t.Fatalf("row %d mismatch", i)
+		}
+	}
+}

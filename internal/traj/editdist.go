@@ -1,0 +1,92 @@
+package traj
+
+// EditDistance computes the Levenshtein distance between two edge-number
+// sequences.  The paper uses it (Fig 4b) to quantify the similarity of
+// instances within an uncertain trajectory versus across trajectories.
+func EditDistance(a, b []uint16) int {
+	if len(a) == 0 {
+		return len(b)
+	}
+	if len(b) == 0 {
+		return len(a)
+	}
+	prev := make([]int, len(b)+1)
+	cur := make([]int, len(b)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(a); i++ {
+		cur[0] = i
+		for j := 1; j <= len(b); j++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			m := prev[j-1] + cost // substitute
+			if d := prev[j] + 1; d < m {
+				m = d // delete
+			}
+			if d := cur[j-1] + 1; d < m {
+				m = d // insert
+			}
+			cur[j] = m
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(b)]
+}
+
+// RawSizeConvention documents the bit widths used when computing the size
+// of uncompressed NCUTs (the numerator of every compression ratio).  The
+// conventions follow Table 8 of the paper: 32-bit timestamps, 32-bit edge
+// entries and start vertices, 64-bit relative distances and probabilities,
+// and 1 bit per time flag.
+const (
+	RawTimestampBits = 32
+	RawEdgeEntryBits = 32
+	RawVertexBits    = 32
+	RawDistanceBits  = 64
+	RawProbBits      = 64
+	RawTimeFlagBits  = 1
+)
+
+// ComponentBits carries per-component bit counts for size accounting.
+type ComponentBits struct {
+	T, E, D, TF, P int64
+}
+
+// Total sums all components.
+func (c ComponentBits) Total() int64 { return c.T + c.E + c.D + c.TF + c.P }
+
+// Add accumulates another ComponentBits.
+func (c *ComponentBits) Add(o ComponentBits) {
+	c.T += o.T
+	c.E += o.E
+	c.D += o.D
+	c.TF += o.TF
+	c.P += o.P
+}
+
+// RawBits returns the uncompressed size of the uncertain trajectory under
+// the conventions above.
+func (u *Uncertain) RawBits() ComponentBits {
+	var c ComponentBits
+	c.T = int64(len(u.T)) * RawTimestampBits
+	for i := range u.Instances {
+		ins := &u.Instances[i]
+		c.E += int64(len(ins.E))*RawEdgeEntryBits + RawVertexBits
+		c.D += int64(len(ins.D)) * RawDistanceBits
+		c.TF += int64(len(ins.TF)) * RawTimeFlagBits
+		c.P += RawProbBits
+	}
+	return c
+}
+
+// RawBitsAll sums RawBits over a dataset.
+func RawBitsAll(tus []*Uncertain) ComponentBits {
+	var c ComponentBits
+	for _, u := range tus {
+		c.Add(u.RawBits())
+	}
+	return c
+}

@@ -1,0 +1,327 @@
+// Package traj defines the trajectory model of the paper: raw GPS
+// trajectories, mapped locations, network-constrained trajectory instances
+// in the improved TED representation (SV, E, D, T', p — Section 4.1), and
+// network-constrained uncertain trajectories (Definition 5).
+package traj
+
+import (
+	"errors"
+	"fmt"
+
+	"utcq/internal/roadnet"
+)
+
+// RawPoint is one time-stamped GPS fix (x, y, t).
+type RawPoint struct {
+	X, Y float64
+	T    int64 // seconds
+}
+
+// RawTrajectory is a time-ordered series of raw points.
+type RawTrajectory struct {
+	Points []RawPoint
+}
+
+// MappedLocation is a network-constrained location with a timestamp
+// (Definition 2).
+type MappedLocation struct {
+	Pos roadnet.Position
+	T   int64
+}
+
+// Instance is one instance of an uncertain trajectory in the improved TED
+// representation of Section 4.1:
+//
+//	SV — start vertex of the first traversed edge,
+//	E  — outgoing edge numbers, with one extra 0 entry per additional
+//	     mapped location on the same edge,
+//	D  — relative distances, one per mapped location,
+//	TF — the full time-flag bit-string (one bit per E entry; the
+//	     compressed form drops the first and last bit, which are always 1),
+//	P  — the instance probability from probabilistic map matching.
+type Instance struct {
+	SV roadnet.VertexID
+	E  []uint16
+	D  []float64
+	TF []bool
+	P  float64
+}
+
+// Uncertain is a network-constrained uncertain trajectory: instances that
+// share one time sequence (Definition 5).
+type Uncertain struct {
+	T         []int64
+	Instances []Instance
+}
+
+// NumPoints returns the number of mapped locations (= timestamps).
+func (u *Uncertain) NumPoints() int { return len(u.T) }
+
+// Ones counts the set bits of a time-flag bit-string.
+func Ones(tf []bool) int {
+	n := 0
+	for _, b := range tf {
+		if b {
+			n++
+		}
+	}
+	return n
+}
+
+// Validate checks the structural invariants of an instance against the
+// shared time sequence length.
+func (ins *Instance) Validate(numPoints int) error {
+	if len(ins.E) == 0 {
+		return errors.New("traj: empty edge sequence")
+	}
+	if len(ins.TF) != len(ins.E) {
+		return fmt.Errorf("traj: |TF|=%d but |E|=%d", len(ins.TF), len(ins.E))
+	}
+	if len(ins.D) != numPoints {
+		return fmt.Errorf("traj: |D|=%d but %d points", len(ins.D), numPoints)
+	}
+	if Ones(ins.TF) != numPoints {
+		return fmt.Errorf("traj: TF has %d ones but %d points", Ones(ins.TF), numPoints)
+	}
+	if !ins.TF[0] || !ins.TF[len(ins.TF)-1] {
+		return errors.New("traj: first and last TF bits must be 1")
+	}
+	if ins.E[0] == 0 {
+		return errors.New("traj: first E entry cannot be 0")
+	}
+	for i, e := range ins.E {
+		if e == 0 && !ins.TF[i] {
+			return fmt.Errorf("traj: zero E entry %d without a mapped location", i)
+		}
+	}
+	for _, rd := range ins.D {
+		if rd < 0 || rd >= 1 {
+			return fmt.Errorf("traj: relative distance %g outside [0,1)", rd)
+		}
+	}
+	if ins.P < 0 || ins.P > 1 {
+		return fmt.Errorf("traj: probability %g outside [0,1]", ins.P)
+	}
+	return nil
+}
+
+// Validate checks the whole uncertain trajectory: per-instance invariants,
+// distinct instances, and probabilities summing to ~1.
+func (u *Uncertain) Validate() error {
+	if len(u.T) < 2 {
+		return errors.New("traj: need at least two timestamps")
+	}
+	for i := 1; i < len(u.T); i++ {
+		if u.T[i] <= u.T[i-1] {
+			return fmt.Errorf("traj: timestamps not strictly increasing at %d", i)
+		}
+	}
+	if len(u.Instances) == 0 {
+		return errors.New("traj: no instances")
+	}
+	sum := 0.0
+	for i := range u.Instances {
+		if err := u.Instances[i].Validate(len(u.T)); err != nil {
+			return fmt.Errorf("instance %d: %w", i, err)
+		}
+		sum += u.Instances[i].P
+	}
+	if sum < 0.99 || sum > 1.01 {
+		return fmt.Errorf("traj: probabilities sum to %g", sum)
+	}
+	return nil
+}
+
+// NewInstance builds an Instance from a connected edge path and the mapped
+// locations assigned to it.  Locations must reference path edges in path
+// order (a location's edge may repeat consecutively for multiple points on
+// the same edge).
+func NewInstance(g *roadnet.Graph, path []roadnet.EdgeID, locs []roadnet.Position, p float64) (Instance, error) {
+	if len(path) == 0 {
+		return Instance{}, errors.New("traj: empty path")
+	}
+	if !g.IsPath(path) {
+		return Instance{}, errors.New("traj: disconnected edge path")
+	}
+	if len(locs) == 0 {
+		return Instance{}, errors.New("traj: no mapped locations")
+	}
+	ins := Instance{SV: g.Edge(path[0]).From, P: p}
+	k := 0 // next unconsumed location
+	for _, eid := range path {
+		e := g.Edge(eid)
+		ins.E = append(ins.E, uint16(e.OutNo))
+		first := true
+		for k < len(locs) && locs[k].Edge == eid {
+			if !first {
+				ins.E = append(ins.E, 0)
+				ins.TF = append(ins.TF, true)
+			} else {
+				ins.TF = append(ins.TF, true)
+				first = false
+			}
+			ins.D = append(ins.D, g.RD(locs[k]))
+			k++
+		}
+		if first {
+			ins.TF = append(ins.TF, false)
+		}
+	}
+	if k != len(locs) {
+		return Instance{}, fmt.Errorf("traj: %d locations not on the path (in order)", len(locs)-k)
+	}
+	if !ins.TF[0] || !ins.TF[len(ins.TF)-1] {
+		return Instance{}, errors.New("traj: path extends beyond first/last mapped location")
+	}
+	return ins, nil
+}
+
+// NewInstanceAssigned builds an Instance when the caller knows which path
+// position (occurrence) carries each location: locIdx[k] is the index into
+// path of the edge occurrence carrying locs[k].  locIdx must be
+// non-decreasing.  This form is loop-safe, unlike NewInstance's greedy
+// assignment.
+func NewInstanceAssigned(g *roadnet.Graph, path []roadnet.EdgeID, locs []roadnet.Position, locIdx []int, p float64) (Instance, error) {
+	if len(path) == 0 {
+		return Instance{}, errors.New("traj: empty path")
+	}
+	if !g.IsPath(path) {
+		return Instance{}, errors.New("traj: disconnected edge path")
+	}
+	if len(locs) != len(locIdx) {
+		return Instance{}, errors.New("traj: locs/locIdx length mismatch")
+	}
+	if len(locs) == 0 {
+		return Instance{}, errors.New("traj: no mapped locations")
+	}
+	ins := Instance{SV: g.Edge(path[0]).From, P: p}
+	k := 0
+	for pi, eid := range path {
+		e := g.Edge(eid)
+		ins.E = append(ins.E, uint16(e.OutNo))
+		first := true
+		for k < len(locs) && locIdx[k] == pi {
+			if locs[k].Edge != eid {
+				return Instance{}, fmt.Errorf("traj: location %d assigned to path index %d but on edge %d != %d", k, pi, locs[k].Edge, eid)
+			}
+			if !first {
+				ins.E = append(ins.E, 0)
+				ins.TF = append(ins.TF, true)
+			} else {
+				ins.TF = append(ins.TF, true)
+				first = false
+			}
+			ins.D = append(ins.D, g.RD(locs[k]))
+			k++
+		}
+		if first {
+			ins.TF = append(ins.TF, false)
+		}
+	}
+	if k != len(locs) {
+		return Instance{}, fmt.Errorf("traj: %d locations not assigned", len(locs)-k)
+	}
+	if !ins.TF[0] || !ins.TF[len(ins.TF)-1] {
+		return Instance{}, errors.New("traj: path extends beyond first/last mapped location")
+	}
+	return ins, nil
+}
+
+// PathEdges decodes the instance's edge path by walking outgoing edge
+// numbers from SV.
+func (ins *Instance) PathEdges(g *roadnet.Graph) ([]roadnet.EdgeID, error) {
+	var path []roadnet.EdgeID
+	cur := ins.SV
+	for i, no := range ins.E {
+		if no == 0 {
+			if i == 0 {
+				return nil, errors.New("traj: leading zero entry")
+			}
+			continue
+		}
+		e, ok := g.OutEdge(cur, int(no))
+		if !ok {
+			return nil, fmt.Errorf("traj: no outgoing edge %d at vertex %d (entry %d)", no, cur, i)
+		}
+		path = append(path, e)
+		cur = g.Edge(e).To
+	}
+	return path, nil
+}
+
+// Locations reconstructs the mapped locations of the instance, attaching
+// the shared timestamps.
+func (ins *Instance) Locations(g *roadnet.Graph, T []int64) ([]MappedLocation, error) {
+	var out []MappedLocation
+	var cur roadnet.EdgeID = roadnet.NoEdge
+	v := ins.SV
+	k := 0
+	for i, no := range ins.E {
+		if no != 0 {
+			e, ok := g.OutEdge(v, int(no))
+			if !ok {
+				return nil, fmt.Errorf("traj: no outgoing edge %d at vertex %d", no, v)
+			}
+			cur = e
+			v = g.Edge(e).To
+		}
+		if ins.TF[i] {
+			if k >= len(ins.D) || k >= len(T) {
+				return nil, errors.New("traj: more TF ones than points")
+			}
+			out = append(out, MappedLocation{
+				Pos: g.PositionAtRD(cur, ins.D[k]),
+				T:   T[k],
+			})
+			k++
+		}
+	}
+	if k != len(T) {
+		return nil, fmt.Errorf("traj: reconstructed %d of %d points", k, len(T))
+	}
+	return out, nil
+}
+
+// EqualE reports whether two instances have identical SV and E.
+func EqualE(a, b *Instance) bool {
+	if a.SV != b.SV || len(a.E) != len(b.E) {
+		return false
+	}
+	for i := range a.E {
+		if a.E[i] != b.E[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports whether two instances are identical in everything except
+// probability (used for de-duplication by the map matcher).
+func Equal(a, b *Instance) bool {
+	if !EqualE(a, b) || len(a.D) != len(b.D) || len(a.TF) != len(b.TF) {
+		return false
+	}
+	for i := range a.D {
+		if a.D[i] != b.D[i] {
+			return false
+		}
+	}
+	for i := range a.TF {
+		if a.TF[i] != b.TF[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// EdgeCount returns the number of edges the instance traverses (the E
+// entries that are not zero-padding).
+func (ins *Instance) EdgeCount() int {
+	n := 0
+	for _, e := range ins.E {
+		if e != 0 {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,327 @@
+package traj
+
+import (
+	"reflect"
+	"testing"
+
+	"utcq/internal/roadnet"
+)
+
+// fig2 builds the paper's Fig 2 network and returns the graph plus the
+// vertex map.  Outgoing edge numbers are arranged so that the running
+// example's E sequences come out exactly as in Tables 2 and 3.
+func fig2(t testing.TB) (*roadnet.Graph, map[string]roadnet.VertexID) {
+	t.Helper()
+	b := roadnet.NewBuilder()
+	ids := make(map[string]roadnet.VertexID)
+	coords := map[string][2]float64{
+		"v1": {0, 0}, "v2": {800, 0}, "v3": {1600, 0}, "v4": {2400, 0},
+		"v5": {3200, 0}, "v6": {4000, 0}, "v7": {5600, 0}, "v8": {6400, 0},
+		"v9": {6400, -800}, "v10": {1600, 800},
+	}
+	for _, n := range []string{"v1", "v2", "v3", "v4", "v5", "v6", "v7", "v8", "v9", "v10"} {
+		c := coords[n]
+		ids[n] = b.AddVertex(c[0], c[1])
+	}
+	// Outgoing edge numbers per the example:
+	// v1: (v1->v2) is no 1.
+	b.AddEdge(ids["v1"], ids["v2"])
+	// v2: no 1 = (v2->v10) [used by Tu12 as "1"], no 2 = (v2->v3) [used as "2"].
+	b.AddEdge(ids["v2"], ids["v10"])
+	b.AddEdge(ids["v2"], ids["v3"])
+	// v3: no 1 = (v3->v4).
+	b.AddEdge(ids["v3"], ids["v4"])
+	// v4: no 1 filler, no 2 = (v4->v5).
+	b.AddEdge(ids["v4"], ids["v3"])
+	b.AddEdge(ids["v4"], ids["v5"])
+	// v5: no 1 filler, no 2 = (v5->v6).
+	b.AddEdge(ids["v5"], ids["v4"])
+	b.AddEdge(ids["v5"], ids["v6"])
+	// v6: nos 1-3 fillers, no 4 = (v6->v7).
+	b.AddEdge(ids["v6"], ids["v5"])
+	b.AddEdge(ids["v6"], ids["v10"])
+	b.AddEdge(ids["v6"], ids["v9"])
+	b.AddEdge(ids["v6"], ids["v7"])
+	// v7: no 1 = (v7->v8).
+	b.AddEdge(ids["v7"], ids["v8"])
+	// v8: no 1 filler, no 2 = (v8->v9).
+	b.AddEdge(ids["v8"], ids["v7"])
+	b.AddEdge(ids["v8"], ids["v9"])
+	// v10: no 1 = (v10->v4).
+	b.AddEdge(ids["v10"], ids["v4"])
+	g := b.Build()
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return g, ids
+}
+
+// paperT is the running example's shared time sequence in seconds of day.
+func paperT() []int64 {
+	return []int64{
+		5*3600 + 3*60 + 25, 5*3600 + 7*60 + 25, 5*3600 + 11*60 + 26,
+		5*3600 + 15*60 + 26, 5*3600 + 19*60 + 25, 5*3600 + 23*60 + 25,
+		5*3600 + 27*60 + 25,
+	}
+}
+
+// tu1 assembles the uncertain trajectory Tu1 of Table 3, instance by
+// instance, from paths and mapped locations.
+func tu1(t testing.TB, g *roadnet.Graph, ids map[string]roadnet.VertexID) *Uncertain {
+	t.Helper()
+	edge := func(a, b string) roadnet.EdgeID {
+		e, ok := g.EdgeBetween(ids[a], ids[b])
+		if !ok {
+			t.Fatalf("edge %s->%s missing", a, b)
+		}
+		return e
+	}
+	at := func(a, b string, rd float64) roadnet.Position {
+		return g.PositionAtRD(edge(a, b), rd)
+	}
+	path1 := []roadnet.EdgeID{
+		edge("v1", "v2"), edge("v2", "v3"), edge("v3", "v4"), edge("v4", "v5"),
+		edge("v5", "v6"), edge("v6", "v7"), edge("v7", "v8"),
+	}
+	locs1 := []roadnet.Position{
+		at("v1", "v2", 0.875), at("v3", "v4", 0.25), at("v5", "v6", 0.5),
+		at("v5", "v6", 0.875), at("v6", "v7", 0.5), at("v7", "v8", 0),
+		at("v7", "v8", 0.875),
+	}
+	ins1, err := NewInstance(g, path1, locs1, 0.75)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	path2 := []roadnet.EdgeID{
+		edge("v1", "v2"), edge("v2", "v10"), edge("v10", "v4"), edge("v4", "v5"),
+		edge("v5", "v6"), edge("v6", "v7"), edge("v7", "v8"),
+	}
+	locs2 := []roadnet.Position{
+		at("v1", "v2", 0.875), at("v2", "v10", 0.25), at("v5", "v6", 0.5),
+		at("v5", "v6", 0.875), at("v6", "v7", 0.5), at("v7", "v8", 0),
+		at("v7", "v8", 0.875),
+	}
+	ins2, err := NewInstance(g, path2, locs2, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	path3 := []roadnet.EdgeID{
+		edge("v1", "v2"), edge("v2", "v3"), edge("v3", "v4"), edge("v4", "v5"),
+		edge("v5", "v6"), edge("v6", "v7"), edge("v7", "v8"), edge("v8", "v9"),
+	}
+	locs3 := []roadnet.Position{
+		at("v1", "v2", 0.875), at("v3", "v4", 0.25), at("v5", "v6", 0.5),
+		at("v5", "v6", 0.875), at("v6", "v7", 0.5), at("v7", "v8", 0),
+		at("v8", "v9", 0.5),
+	}
+	ins3, err := NewInstance(g, path3, locs3, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	u := &Uncertain{T: paperT(), Instances: []Instance{ins1, ins2, ins3}}
+	if err := u.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return u
+}
+
+// TestTable3Representation checks that NewInstance reproduces the improved
+// TED representation of Table 3 exactly.
+func TestTable3Representation(t *testing.T) {
+	g, ids := fig2(t)
+	u := tu1(t, g, ids)
+
+	wantE := [][]uint16{
+		{1, 2, 1, 2, 2, 0, 4, 1, 0},
+		{1, 1, 1, 2, 2, 0, 4, 1, 0},
+		{1, 2, 1, 2, 2, 0, 4, 1, 2},
+	}
+	wantTF := [][]bool{
+		{true, false, true, false, true, true, true, true, true},
+		{true, true, false, false, true, true, true, true, true},
+		{true, false, true, false, true, true, true, true, true},
+	}
+	wantD := [][]float64{
+		{0.875, 0.25, 0.5, 0.875, 0.5, 0, 0.875},
+		{0.875, 0.25, 0.5, 0.875, 0.5, 0, 0.875},
+		{0.875, 0.25, 0.5, 0.875, 0.5, 0, 0.5},
+	}
+	for i := range u.Instances {
+		ins := &u.Instances[i]
+		if ins.SV != ids["v1"] {
+			t.Errorf("instance %d: SV = %d, want v1", i, ins.SV)
+		}
+		if !reflect.DeepEqual(ins.E, wantE[i]) {
+			t.Errorf("instance %d: E = %v, want %v", i, ins.E, wantE[i])
+		}
+		if !reflect.DeepEqual(ins.TF, wantTF[i]) {
+			t.Errorf("instance %d: TF = %v, want %v", i, ins.TF, wantTF[i])
+		}
+		if !reflect.DeepEqual(ins.D, wantD[i]) {
+			t.Errorf("instance %d: D = %v, want %v", i, ins.D, wantD[i])
+		}
+	}
+	// Table 2 notes: full TF of Tu11 is ⟨1,0,1,0,1,1,1,1,1⟩ with the first
+	// and last bits (always 1) retained in the in-memory form.
+	if Ones(u.Instances[0].TF) != 7 {
+		t.Errorf("Tu11 TF ones = %d, want 7", Ones(u.Instances[0].TF))
+	}
+}
+
+// TestRoundTripLocations verifies Instance -> Locations reproduces the
+// construction inputs.
+func TestRoundTripLocations(t *testing.T) {
+	g, ids := fig2(t)
+	u := tu1(t, g, ids)
+	for i := range u.Instances {
+		ins := &u.Instances[i]
+		locs, err := ins.Locations(g, u.T)
+		if err != nil {
+			t.Fatalf("instance %d: %v", i, err)
+		}
+		if len(locs) != len(u.T) {
+			t.Fatalf("instance %d: %d locations", i, len(locs))
+		}
+		for k, l := range locs {
+			if l.T != u.T[k] {
+				t.Errorf("instance %d point %d: t = %d, want %d", i, k, l.T, u.T[k])
+			}
+			if got := g.RD(l.Pos); got != ins.D[k] {
+				t.Errorf("instance %d point %d: rd = %g, want %g", i, k, got, ins.D[k])
+			}
+		}
+	}
+}
+
+func TestPathEdgesRoundTrip(t *testing.T) {
+	g, ids := fig2(t)
+	u := tu1(t, g, ids)
+	for i := range u.Instances {
+		ins := &u.Instances[i]
+		path, err := ins.PathEdges(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !g.IsPath(path) {
+			t.Errorf("instance %d: decoded path disconnected", i)
+		}
+		if got := ins.EdgeCount(); got != len(path) {
+			t.Errorf("instance %d: EdgeCount=%d, path len %d", i, got, len(path))
+		}
+		if g.Edge(path[0]).From != ins.SV {
+			t.Errorf("instance %d: path does not start at SV", i)
+		}
+	}
+}
+
+func TestValidateRejectsBadInstances(t *testing.T) {
+	g, ids := fig2(t)
+	u := tu1(t, g, ids)
+	good := u.Instances[0]
+
+	bad := good
+	bad.E = append([]uint16{0}, good.E[1:]...)
+	if err := bad.Validate(len(u.T)); err == nil {
+		t.Error("leading zero E entry accepted")
+	}
+
+	bad = good
+	bad.TF = append([]bool{}, good.TF...)
+	bad.TF[0] = false
+	if err := bad.Validate(len(u.T)); err == nil {
+		t.Error("first TF bit 0 accepted")
+	}
+
+	bad = good
+	bad.D = append([]float64{}, good.D...)
+	bad.D[0] = 1.5
+	if err := bad.Validate(len(u.T)); err == nil {
+		t.Error("rd >= 1 accepted")
+	}
+
+	bad = good
+	bad.D = good.D[:len(good.D)-1]
+	if err := bad.Validate(len(u.T)); err == nil {
+		t.Error("short D accepted")
+	}
+}
+
+func TestNewInstanceRejectsUnorderedLocations(t *testing.T) {
+	g, ids := fig2(t)
+	e12, _ := g.EdgeBetween(ids["v1"], ids["v2"])
+	e23, _ := g.EdgeBetween(ids["v2"], ids["v3"])
+	// Locations out of path order.
+	_, err := NewInstance(g, []roadnet.EdgeID{e12, e23},
+		[]roadnet.Position{{Edge: e23, NDist: 1}, {Edge: e12, NDist: 1}}, 1)
+	if err == nil {
+		t.Error("out-of-order locations accepted")
+	}
+}
+
+func TestEditDistance(t *testing.T) {
+	cases := []struct {
+		a, b []uint16
+		want int
+	}{
+		{nil, nil, 0},
+		{[]uint16{1, 2, 3}, []uint16{1, 2, 3}, 0},
+		{[]uint16{1, 2, 3}, []uint16{1, 3}, 1},
+		{[]uint16{1, 2, 1, 2, 2, 0, 4, 1, 0}, []uint16{1, 1, 1, 2, 2, 0, 4, 1, 0}, 1},
+		{[]uint16{1, 2, 1, 2, 2, 0, 4, 1, 0}, []uint16{1, 2, 1, 2, 2, 0, 4, 1, 2}, 1},
+		{[]uint16{}, []uint16{5, 6}, 2},
+		{[]uint16{7}, []uint16{8}, 1},
+	}
+	for _, c := range cases {
+		if got := EditDistance(c.a, c.b); got != c.want {
+			t.Errorf("EditDistance(%v, %v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+		if got := EditDistance(c.b, c.a); got != c.want {
+			t.Errorf("EditDistance symmetric (%v, %v) = %d, want %d", c.b, c.a, got, c.want)
+		}
+	}
+}
+
+func TestRawBits(t *testing.T) {
+	g, ids := fig2(t)
+	u := tu1(t, g, ids)
+	c := u.RawBits()
+	if c.T != 7*32 {
+		t.Errorf("T raw = %d, want %d", c.T, 7*32)
+	}
+	// Instances have 9, 9, 9 E entries.
+	if c.E != int64(27*32+3*32) {
+		t.Errorf("E raw = %d, want %d", c.E, 27*32+3*32)
+	}
+	if c.D != int64(21*64) {
+		t.Errorf("D raw = %d", c.D)
+	}
+	if c.TF != 27 {
+		t.Errorf("TF raw = %d", c.TF)
+	}
+	if c.P != 3*64 {
+		t.Errorf("P raw = %d", c.P)
+	}
+	if c.Total() != c.T+c.E+c.D+c.TF+c.P {
+		t.Error("Total mismatch")
+	}
+}
+
+func TestEqualAndEqualE(t *testing.T) {
+	g, ids := fig2(t)
+	u := tu1(t, g, ids)
+	a, b := u.Instances[0], u.Instances[0]
+	if !Equal(&a, &b) {
+		t.Error("identical instances not Equal")
+	}
+	b.P = 0.1
+	if !Equal(&a, &b) {
+		t.Error("Equal must ignore probability")
+	}
+	c := u.Instances[1]
+	if EqualE(&a, &c) {
+		t.Error("different E reported equal")
+	}
+}

@@ -1,0 +1,185 @@
+// Package utcq is a Go implementation of "Compression of Uncertain
+// Trajectories in Road Networks" (Li, Huang, Chen, Jensen, Pedersen;
+// PVLDB 13(7), 2020): the UTCQ framework for compressing network-
+// constrained uncertain trajectories and answering probabilistic where,
+// when and range queries directly on the compressed data.
+//
+// The package is a facade over the implementation packages:
+//
+//   - road networks, grids and shortest paths (roadnet),
+//   - trajectory modelling and probabilistic map matching (traj, mapmatch),
+//   - synthetic DK/CD/HZ-style datasets (gen),
+//   - the UTCQ representor/compressor with referential representation,
+//     SIAR and reference selection (core),
+//   - the StIU index (stiu) and the query processor (query),
+//   - the TED baseline (ted) and the experiment harness (exp).
+//
+// Quick start:
+//
+//	ds, _ := utcq.BuildDataset(utcq.ProfileCD(), 500, 1)
+//	arch, _ := utcq.Compress(ds.Graph, ds.Trajectories, utcq.DefaultOptions(ds.Profile.Ts))
+//	idx, _ := utcq.BuildIndex(arch, utcq.DefaultIndexOptions())
+//	eng := utcq.NewEngine(arch, idx)
+//	results, _ := eng.Where(0, ds.Trajectories[0].T[0]+30, 0.25)
+package utcq
+
+import (
+	"utcq/internal/core"
+	"utcq/internal/gen"
+	"utcq/internal/mapmatch"
+	"utcq/internal/query"
+	"utcq/internal/roadnet"
+	"utcq/internal/stiu"
+	"utcq/internal/ted"
+	"utcq/internal/traj"
+)
+
+// Road network types.
+type (
+	// Graph is a directed road network with per-vertex ordered out-edges.
+	Graph = roadnet.Graph
+	// GraphBuilder accumulates vertices and edges.
+	GraphBuilder = roadnet.Builder
+	// VertexID identifies a road-network vertex.
+	VertexID = roadnet.VertexID
+	// EdgeID identifies a directed edge.
+	EdgeID = roadnet.EdgeID
+	// Position is a network-constrained location on an edge.
+	Position = roadnet.Position
+	// Rect is an axis-aligned query rectangle.
+	Rect = roadnet.Rect
+	// NetworkGenConfig controls synthetic road-network generation.
+	NetworkGenConfig = roadnet.GenConfig
+)
+
+// Trajectory types.
+type (
+	// RawPoint is one GPS fix (x, y, t).
+	RawPoint = traj.RawPoint
+	// RawTrajectory is a sequence of raw GPS fixes.
+	RawTrajectory = traj.RawTrajectory
+	// Instance is one network-constrained trajectory instance in the
+	// improved TED representation (SV, E, D, T', p).
+	Instance = traj.Instance
+	// Uncertain is a network-constrained uncertain trajectory.
+	Uncertain = traj.Uncertain
+	// MappedLocation is a network location with a timestamp.
+	MappedLocation = traj.MappedLocation
+)
+
+// Compression types.
+type (
+	// Options are the UTCQ compression parameters (pivots, ηD, ηp, Ts).
+	Options = core.Options
+	// Archive is a compressed collection of uncertain trajectories.
+	Archive = core.Archive
+	// CompStats carries raw/compressed sizes per component.
+	CompStats = core.CompStats
+	// IndexOptions control StIU granularity.
+	IndexOptions = stiu.Options
+	// Index is the StIU spatio-temporal index.
+	Index = stiu.Index
+	// Engine answers probabilistic queries over compressed data.
+	Engine = query.Engine
+	// WhereResult is one instance's location at a query time.
+	WhereResult = query.WhereResult
+	// WhenResult is one instance's passage time at a query location.
+	WhenResult = query.WhenResult
+	// Oracle answers the same queries on uncompressed data.
+	Oracle = query.Oracle
+)
+
+// Dataset generation and matching types.
+type (
+	// Profile describes a synthetic dataset family (DK, CD or HZ).
+	Profile = gen.Profile
+	// Dataset is a generated collection of uncertain trajectories.
+	Dataset = gen.Dataset
+	// Matcher is the probabilistic HMM map matcher.
+	Matcher = mapmatch.Matcher
+	// MatchConfig controls probabilistic map matching.
+	MatchConfig = mapmatch.Config
+)
+
+// TED baseline types.
+type (
+	// TEDOptions are the baseline's parameters.
+	TEDOptions = ted.Options
+	// TEDArchive is a TED-compressed dataset.
+	TEDArchive = ted.Archive
+	// TEDEngine answers queries over the TED baseline.
+	TEDEngine = query.TEDEngine
+)
+
+// NewGraphBuilder returns an empty road-network builder.
+func NewGraphBuilder() *GraphBuilder { return roadnet.NewBuilder() }
+
+// GenerateNetwork builds a synthetic road network.
+func GenerateNetwork(cfg NetworkGenConfig) *Graph { return roadnet.Generate(cfg) }
+
+// ProfileDK returns the Denmark-like dataset profile (1 s sampling).
+func ProfileDK() Profile { return gen.DK() }
+
+// ProfileCD returns the Chengdu-like dataset profile (10 s sampling).
+func ProfileCD() Profile { return gen.CD() }
+
+// ProfileHZ returns the Hangzhou-like dataset profile (20 s sampling).
+func ProfileHZ() Profile { return gen.HZ() }
+
+// BuildDataset synthesizes an uncertain-trajectory dataset: routes, noisy
+// GPS, and probabilistic map matching (numTraj 0 uses the profile default).
+func BuildDataset(p Profile, numTraj int, seed int64) (*Dataset, error) {
+	return gen.Build(p, numTraj, seed)
+}
+
+// DefaultOptions returns the paper's default compression parameters for a
+// dataset with the given default sample interval.
+func DefaultOptions(ts int64) Options { return core.DefaultOptions(ts) }
+
+// Compress encodes uncertain trajectories with UTCQ: improved TED
+// representation, SIAR temporal encoding, reference selection and
+// referential compression.
+func Compress(g *Graph, tus []*Uncertain, opts Options) (*Archive, error) {
+	c, err := core.NewCompressor(g, opts)
+	if err != nil {
+		return nil, err
+	}
+	return c.Compress(tus)
+}
+
+// Decompress fully decodes an archive.  Relative distances and
+// probabilities are within their error bounds; everything else is exact.
+func Decompress(a *Archive) ([]*Uncertain, error) { return a.DecodeAll() }
+
+// DefaultIndexOptions returns the paper's default StIU granularity
+// (64×64 grid, 30-minute intervals).
+func DefaultIndexOptions() IndexOptions { return stiu.DefaultOptions() }
+
+// BuildIndex constructs the StIU index over an archive.
+func BuildIndex(a *Archive, opts IndexOptions) (*Index, error) { return stiu.Build(a, opts) }
+
+// NewEngine returns a query engine over an archive and its index.
+func NewEngine(a *Archive, ix *Index) *Engine { return query.NewEngine(a, ix) }
+
+// NewOracle returns a query processor over uncompressed trajectories.
+func NewOracle(g *Graph, tus []*Uncertain) *Oracle { return query.NewOracle(g, tus) }
+
+// NewMatcher returns a probabilistic map matcher for the network.
+func NewMatcher(g *Graph, cfg MatchConfig) *Matcher {
+	return mapmatch.New(g, roadnet.NewEdgeIndex(g, 500), cfg)
+}
+
+// DefaultMatchConfig returns the matcher defaults.
+func DefaultMatchConfig() MatchConfig { return mapmatch.DefaultConfig() }
+
+// CompressTED encodes the dataset with the adapted TED baseline.
+func CompressTED(g *Graph, tus []*Uncertain, opts TEDOptions) (*TEDArchive, error) {
+	c, err := ted.NewCompressor(g, opts)
+	if err != nil {
+		return nil, err
+	}
+	return c.Compress(tus)
+}
+
+// DefaultTEDOptions mirrors DefaultOptions for the baseline.
+func DefaultTEDOptions(ts int64) TEDOptions { return ted.DefaultOptions(ts) }

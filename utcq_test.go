@@ -1,0 +1,114 @@
+package utcq_test
+
+import (
+	"bytes"
+	"testing"
+
+	"utcq"
+	"utcq/internal/core"
+)
+
+// TestPublicAPIPipeline exercises the whole facade: dataset generation,
+// compression, serialization, indexing and all three query types.
+func TestPublicAPIPipeline(t *testing.T) {
+	p := utcq.ProfileCD()
+	p.Network.Cols, p.Network.Rows = 20, 20
+	ds, err := utcq.BuildDataset(p, 30, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arch, err := utcq.Compress(ds.Graph, ds.Trajectories, utcq.DefaultOptions(p.Ts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if arch.Stats.TotalRatio() <= 1 {
+		t.Errorf("ratio = %g", arch.Stats.TotalRatio())
+	}
+
+	// Round trip through the serialized form.
+	var buf bytes.Buffer
+	if err := arch.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	arch2, err := core.Load(&buf, ds.Graph)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	idx, err := utcq.BuildIndex(arch2, utcq.DefaultIndexOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := utcq.NewEngine(arch2, idx)
+	oracle := utcq.NewOracle(ds.Graph, ds.Trajectories)
+
+	u := ds.Trajectories[0]
+	tq := (u.T[0] + u.T[len(u.T)-1]) / 2
+	got, err := eng.Where(0, tq, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := oracle.Where(0, tq, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Errorf("where: %d results, oracle %d", len(got), len(want))
+	}
+
+	path, err := u.Instances[0].PathEdges(ds.Graph)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loc := ds.Graph.PositionAtRD(path[len(path)/2], 0.5)
+	if _, err := eng.When(0, loc, 0.1); err != nil {
+		t.Fatal(err)
+	}
+
+	b := ds.Graph.Bounds()
+	re := utcq.Rect{MinX: b.MinX, MinY: b.MinY, MaxX: b.MaxX, MaxY: b.MaxY}
+	hits, err := eng.Range(re, tq, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The whole-network rectangle at a live time must contain trajectory 0.
+	found := false
+	for _, j := range hits {
+		if j == 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("range over the whole network missed trajectory 0")
+	}
+
+	// Decompression within bounds.
+	back, err := utcq.Decompress(arch2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(ds.Trajectories) {
+		t.Fatalf("decoded %d trajectories", len(back))
+	}
+}
+
+// TestMatcherFacade checks the exported map-matching entry point.
+func TestMatcherFacade(t *testing.T) {
+	b := utcq.NewGraphBuilder()
+	v0 := b.AddVertex(0, 0)
+	v1 := b.AddVertex(300, 0)
+	v2 := b.AddVertex(600, 0)
+	b.AddEdge(v0, v1)
+	b.AddEdge(v1, v2)
+	g := b.Build()
+	m := utcq.NewMatcher(g, utcq.DefaultMatchConfig())
+	u, err := m.Match(utcq.RawTrajectory{Points: []utcq.RawPoint{
+		{X: 50, Y: 3, T: 0}, {X: 350, Y: -4, T: 30}, {X: 550, Y: 2, T: 60},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := u.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
