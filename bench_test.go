@@ -6,6 +6,7 @@
 package utcq_test
 
 import (
+	"fmt"
 	"io"
 	"testing"
 
@@ -19,7 +20,9 @@ import (
 )
 
 // benchCfg keeps the bench datasets small enough for -bench=. sweeps.
-var benchCfg = exp.Config{Scale: 0.25, Seed: 42}
+// Parallelism 1 pins the paper benches to the serial measurement model;
+// the parallel-scaling benches below override it per sub-benchmark.
+var benchCfg = exp.Config{Scale: 0.25, Seed: 42, Parallelism: 1}
 
 func benchBundles(b *testing.B) []*exp.Bundle {
 	b.Helper()
@@ -340,6 +343,127 @@ func BenchmarkTimeEncoding(b *testing.B) {
 				b.Fatal(err)
 			}
 			b.ReportMetric(a.Stats.RatioT(), "T-ratio")
+		}
+	})
+}
+
+// --- Parallel scaling ---------------------------------------------------------
+
+// BenchmarkCompressParallel sweeps the Parallelism knob on the CD profile:
+// p1 is the serial baseline, pN uses N workers (output is byte-identical).
+func BenchmarkCompressParallel(b *testing.B) {
+	bu := bundleByName(b, "CD")
+	for _, p := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("p%d", p), func(b *testing.B) {
+			opts := bu.Opts
+			opts.Parallelism = p
+			c, err := core.NewCompressor(bu.DS.Graph, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := c.Compress(bu.DS.Trajectories); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkDecompressParallel sweeps Parallelism on full decompression.
+func BenchmarkDecompressParallel(b *testing.B) {
+	bu := bundleByName(b, "CD")
+	arch, err := utcq.Compress(bu.DS.Graph, bu.DS.Trajectories, bu.Opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, p := range []int{1, 4} {
+		b.Run(fmt.Sprintf("p%d", p), func(b *testing.B) {
+			arch.Opts.Parallelism = p
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := arch.DecodeAll(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkStIUBuildParallel sweeps Parallelism on index construction.
+func BenchmarkStIUBuildParallel(b *testing.B) {
+	bu := bundleByName(b, "CD")
+	arch, err := utcq.Compress(bu.DS.Graph, bu.DS.Trajectories, bu.Opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, p := range []int{1, 4} {
+		b.Run(fmt.Sprintf("p%d", p), func(b *testing.B) {
+			opts := stiu.DefaultOptions()
+			opts.Parallelism = p
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := stiu.Build(arch, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkEngineConcurrent drives one shared engine from GOMAXPROCS
+// goroutines mixing where, when and range queries — the serving-path
+// throughput benchmark (run with -cpu 1,2,4,8 to see scaling).
+func BenchmarkEngineConcurrent(b *testing.B) {
+	bu := bundleByName(b, "CD")
+	arch, err := utcq.Compress(bu.DS.Graph, bu.DS.Trajectories, bu.Opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ix, err := stiu.Build(arch, stiu.DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng := query.NewEngine(arch, ix)
+	paths := make([][]utcq.EdgeID, len(bu.DS.Trajectories))
+	for j, u := range bu.DS.Trajectories {
+		p, err := u.Instances[0].PathEdges(bu.DS.Graph)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(p) == 0 {
+			b.Fatalf("trajectory %d has an empty edge path", j)
+		}
+		paths[j] = p
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			j := i % len(bu.DS.Trajectories)
+			u := bu.DS.Trajectories[j]
+			tq := u.T[0] + int64(i)%(u.T[len(u.T)-1]-u.T[0])
+			switch i % 3 {
+			case 0:
+				if _, err := eng.Where(j, tq, 0.25); err != nil {
+					b.Fatal(err)
+				}
+			case 1:
+				loc := bu.DS.Graph.PositionAtRD(paths[j][i%len(paths[j])], 0.5)
+				if _, err := eng.When(j, loc, 0.25); err != nil {
+					b.Fatal(err)
+				}
+			default:
+				if _, err := eng.Range(rangeRect(bu, i), tq, 0.5); err != nil {
+					b.Fatal(err)
+				}
+			}
+			i++
 		}
 	})
 }

@@ -23,9 +23,10 @@ func main() {
 	name := flag.String("exp", "all", "experiment to run: "+strings.Join(exp.Experiments, ", ")+" or all")
 	scale := flag.Float64("scale", 1.0, "dataset scale factor (1.0 = defaults)")
 	seed := flag.Int64("seed", 42, "generation seed")
+	parallel := flag.Int("parallel", 1, "compression worker count (1 = the paper's serial measurement model, 0 = one per CPU)")
 	flag.Parse()
 
-	cfg := exp.Config{Scale: *scale, Seed: *seed}
+	cfg := exp.Config{Scale: *scale, Seed: *seed, Parallelism: *parallel}
 	if err := exp.Run(os.Stdout, *name, cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)

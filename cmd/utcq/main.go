@@ -26,6 +26,8 @@ func main() {
 	n := flag.Int("n", 300, "number of uncertain trajectories")
 	seed := flag.Int64("seed", 1, "generation seed")
 	pivots := flag.Int("pivots", 1, "number of pivots for reference selection")
+	parallel := flag.Int("parallel", 0, "compression/index worker count (0 = one per CPU, 1 = serial)")
+	cacheEntries := flag.Int("cache", 0, "query engine cache budget in entries per cache (0 = default)")
 	flag.Parse()
 
 	cmd := flag.Arg(0)
@@ -55,6 +57,7 @@ func main() {
 	case "compress":
 		opts := utcq.DefaultOptions(p.Ts)
 		opts.NumPivots = *pivots
+		opts.Parallelism = *parallel
 		arch, err := utcq.Compress(ds.Graph, ds.Trajectories, opts)
 		if err != nil {
 			log.Fatal(err)
@@ -73,15 +76,18 @@ func main() {
 
 	case "query":
 		opts := utcq.DefaultOptions(p.Ts)
+		opts.Parallelism = *parallel
 		arch, err := utcq.Compress(ds.Graph, ds.Trajectories, opts)
 		if err != nil {
 			log.Fatal(err)
 		}
-		idx, err := utcq.BuildIndex(arch, utcq.DefaultIndexOptions())
+		iopts := utcq.DefaultIndexOptions()
+		iopts.Parallelism = *parallel
+		idx, err := utcq.BuildIndex(arch, iopts)
 		if err != nil {
 			log.Fatal(err)
 		}
-		eng := utcq.NewEngine(arch, idx)
+		eng := utcq.NewEngineWithOptions(arch, idx, utcq.EngineOptions{CacheEntries: *cacheEntries})
 		u := ds.Trajectories[0]
 		tq := (u.T[0] + u.T[len(u.T)-1]) / 2
 		res, err := eng.Where(0, tq, 0.2)

@@ -77,5 +77,5 @@ func main() {
 	// The pruning lemmas at work: Lemma 1 skips reconstructing whole
 	// reference groups whose pmax is below alpha.
 	fmt.Printf("\nengine work: %d paths decoded, %d instances skipped by filters\n",
-		eng.Stats.PathsDecoded, eng.Stats.InstancesSkipped)
+		eng.Stats().PathsDecoded, eng.Stats().InstancesSkipped)
 }

@@ -52,9 +52,9 @@ func main() {
 	}
 
 	fmt.Printf("\npruning: %d trajectories rejected by Lemma 4 without decompression, %d accepted early by Lemma 3\n",
-		eng.Stats.TrajsPruned, eng.Stats.TrajsAccepted)
+		eng.Stats().TrajsPruned, eng.Stats().TrajsAccepted)
 	fmt.Printf("paths decoded in total: %d (of %d instances in the archive)\n",
-		eng.Stats.PathsDecoded, arch.Stats.NumInstances)
+		eng.Stats().PathsDecoded, arch.Stats.NumInstances)
 
 	// Show one concrete answer.
 	tq := int64(12*3600 + 900)

@@ -1,0 +1,3 @@
+module utcq
+
+go 1.24

@@ -1,0 +1,152 @@
+// Package cache provides a concurrency-safe sharded LRU keyed by any
+// comparable type.  The query engine uses it to keep decoded reference
+// views and partially decompressed paths under a fixed entry budget while
+// many goroutines query one archive.
+//
+// The capacity is a hard bound: the per-shard capacities sum to exactly
+// the configured budget, so the total entry count never exceeds it.
+package cache
+
+import (
+	"container/list"
+	"hash/maphash"
+	"sync"
+	"sync/atomic"
+)
+
+// LRU is a sharded least-recently-used cache.  All methods are safe for
+// concurrent use.  A nil *LRU behaves as an always-miss cache that stores
+// nothing, so callers can disable caching by constructing with capacity 0.
+type LRU[K comparable, V any] struct {
+	shards []lruShard[K, V]
+	seed   maphash.Seed
+	hits   atomic.Int64
+	misses atomic.Int64
+	cap    int
+}
+
+type lruShard[K comparable, V any] struct {
+	mu    sync.Mutex
+	cap   int
+	order *list.List // front = most recently used
+	items map[K]*list.Element
+}
+
+type lruEntry[K comparable, V any] struct {
+	key K
+	val V
+}
+
+// New returns an LRU holding at most capacity entries spread over the
+// given number of shards.  Shard counts below 1 (or above the capacity)
+// are clamped so every shard can hold at least one entry.  A capacity
+// below 1 returns nil: the no-op cache.
+func New[K comparable, V any](capacity, shards int) *LRU[K, V] {
+	if capacity < 1 {
+		return nil
+	}
+	if shards < 1 {
+		shards = 1
+	}
+	if shards > capacity {
+		shards = capacity
+	}
+	c := &LRU[K, V]{
+		shards: make([]lruShard[K, V], shards),
+		seed:   maphash.MakeSeed(),
+		cap:    capacity,
+	}
+	base, extra := capacity/shards, capacity%shards
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.cap = base
+		if i < extra {
+			s.cap++
+		}
+		s.order = list.New()
+		s.items = make(map[K]*list.Element)
+	}
+	return c
+}
+
+func (c *LRU[K, V]) shard(k K) *lruShard[K, V] {
+	return &c.shards[maphash.Comparable(c.seed, k)%uint64(len(c.shards))]
+}
+
+// Get returns the cached value and marks it most recently used.  Every
+// call counts as exactly one hit or one miss.
+func (c *LRU[K, V]) Get(k K) (V, bool) {
+	var zero V
+	if c == nil {
+		return zero, false
+	}
+	s := c.shard(k)
+	s.mu.Lock()
+	el, ok := s.items[k]
+	var v V
+	if ok {
+		s.order.MoveToFront(el)
+		v = el.Value.(*lruEntry[K, V]).val // read under the lock: Add may refresh val
+	}
+	s.mu.Unlock()
+	if !ok {
+		c.misses.Add(1)
+		return zero, false
+	}
+	c.hits.Add(1)
+	return v, true
+}
+
+// Add inserts (or refreshes) a value, evicting the shard's least recently
+// used entry when the shard is full.
+func (c *LRU[K, V]) Add(k K, v V) {
+	if c == nil {
+		return
+	}
+	s := c.shard(k)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.items[k]; ok {
+		el.Value.(*lruEntry[K, V]).val = v
+		s.order.MoveToFront(el)
+		return
+	}
+	for s.order.Len() >= s.cap {
+		back := s.order.Back()
+		s.order.Remove(back)
+		delete(s.items, back.Value.(*lruEntry[K, V]).key)
+	}
+	s.items[k] = s.order.PushFront(&lruEntry[K, V]{key: k, val: v})
+}
+
+// Len returns the current total entry count.
+func (c *LRU[K, V]) Len() int {
+	if c == nil {
+		return 0
+	}
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += s.order.Len()
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// Cap returns the configured entry budget (0 for the nil cache).
+func (c *LRU[K, V]) Cap() int {
+	if c == nil {
+		return 0
+	}
+	return c.cap
+}
+
+// Stats returns the cumulative hit and miss counts.  hits+misses equals
+// the number of Get calls performed so far.
+func (c *LRU[K, V]) Stats() (hits, misses int64) {
+	if c == nil {
+		return 0, 0
+	}
+	return c.hits.Load(), c.misses.Load()
+}

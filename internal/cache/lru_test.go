@@ -1,0 +1,142 @@
+package cache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestBasicHitMiss(t *testing.T) {
+	c := New[int, string](4, 1)
+	if _, ok := c.Get(1); ok {
+		t.Fatal("empty cache hit")
+	}
+	c.Add(1, "a")
+	v, ok := c.Get(1)
+	if !ok || v != "a" {
+		t.Fatalf("got (%q, %v)", v, ok)
+	}
+	hits, misses := c.Stats()
+	if hits != 1 || misses != 1 {
+		t.Errorf("stats = (%d, %d), want (1, 1)", hits, misses)
+	}
+}
+
+func TestEvictionOrder(t *testing.T) {
+	c := New[int, int](3, 1)
+	c.Add(1, 1)
+	c.Add(2, 2)
+	c.Add(3, 3)
+	c.Get(1) // 1 becomes MRU; LRU is now 2
+	c.Add(4, 4)
+	if _, ok := c.Get(2); ok {
+		t.Error("2 should have been evicted")
+	}
+	for _, k := range []int{1, 3, 4} {
+		if _, ok := c.Get(k); !ok {
+			t.Errorf("%d should still be cached", k)
+		}
+	}
+}
+
+func TestAddRefreshesExisting(t *testing.T) {
+	c := New[int, int](2, 1)
+	c.Add(1, 10)
+	c.Add(1, 11)
+	if c.Len() != 1 {
+		t.Fatalf("len = %d, want 1", c.Len())
+	}
+	if v, _ := c.Get(1); v != 11 {
+		t.Errorf("value = %d, want 11", v)
+	}
+}
+
+// TestCapacityIsHardBound: across shard counts, the total entry count can
+// never exceed the configured budget, and shard capacities sum to it.
+func TestCapacityIsHardBound(t *testing.T) {
+	for _, shards := range []int{1, 2, 3, 7, 16, 100} {
+		for _, capacity := range []int{1, 5, 16, 33} {
+			c := New[int, int](capacity, shards)
+			sum := 0
+			for i := range c.shards {
+				if c.shards[i].cap < 1 {
+					t.Fatalf("cap=%d shards=%d: shard %d has zero capacity", capacity, shards, i)
+				}
+				sum += c.shards[i].cap
+			}
+			if sum != capacity {
+				t.Fatalf("cap=%d shards=%d: shard caps sum to %d", capacity, shards, sum)
+			}
+			for i := 0; i < 10*capacity; i++ {
+				c.Add(i, i)
+				if got := c.Len(); got > capacity {
+					t.Fatalf("cap=%d shards=%d: len %d exceeds budget", capacity, shards, got)
+				}
+			}
+		}
+	}
+}
+
+func TestNilCache(t *testing.T) {
+	c := New[int, int](0, 4)
+	if c != nil {
+		t.Fatal("capacity 0 should return the nil cache")
+	}
+	c.Add(1, 1)
+	if _, ok := c.Get(1); ok {
+		t.Error("nil cache hit")
+	}
+	if c.Len() != 0 || c.Cap() != 0 {
+		t.Error("nil cache has size")
+	}
+	if h, m := c.Stats(); h != 0 || m != 0 {
+		t.Error("nil cache has stats")
+	}
+}
+
+// TestCounterConsistency: hits+misses equals the number of Get calls.
+func TestCounterConsistency(t *testing.T) {
+	c := New[int, int](8, 4)
+	gets := 0
+	for i := 0; i < 100; i++ {
+		c.Add(i%16, i)
+		c.Get(i % 20)
+		gets++
+	}
+	hits, misses := c.Stats()
+	if int(hits+misses) != gets {
+		t.Errorf("hits+misses = %d, want %d", hits+misses, gets)
+	}
+}
+
+// TestConcurrent hammers one cache from many goroutines (run with -race)
+// and checks the bound and counter consistency afterwards.
+func TestConcurrent(t *testing.T) {
+	const (
+		budget     = 64
+		goroutines = 8
+		opsPerG    = 2000
+	)
+	c := New[string, int](budget, 8)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < opsPerG; i++ {
+				k := fmt.Sprintf("key-%d", (g*31+i)%200)
+				if _, ok := c.Get(k); !ok {
+					c.Add(k, i)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := c.Len(); got > budget {
+		t.Errorf("len %d exceeds budget %d", got, budget)
+	}
+	hits, misses := c.Stats()
+	if hits+misses != goroutines*opsPerG {
+		t.Errorf("hits+misses = %d, want %d", hits+misses, goroutines*opsPerG)
+	}
+}

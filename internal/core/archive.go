@@ -21,6 +21,13 @@ type Options struct {
 	// Ts is the dataset's default sample interval in seconds.
 	Ts int64
 
+	// Parallelism bounds the worker pool used by Compress and DecodeAll:
+	// 1 runs strictly serially (the paper's one-trajectory-at-a-time
+	// memory shape, Fig 6), N uses N workers, and values below 1 use one
+	// worker per CPU.  Output is byte-identical across all settings.  The
+	// knob is runtime-only and is not persisted by Save/Load.
+	Parallelism int
+
 	// DisableReferential stores every instance as a reference (ablation:
 	// isolates the gain of referential representation).
 	DisableReferential bool

@@ -3,19 +3,26 @@ package core
 import (
 	"fmt"
 
+	"utcq/internal/par"
 	"utcq/internal/traj"
 )
 
-// DecodeAll fully decompresses the archive.  D values and probabilities
-// are quantized within their error bounds; everything else is lossless.
+// DecodeAll fully decompresses the archive over a bounded worker pool
+// (Options.Parallelism workers).  D values and probabilities are quantized
+// within their error bounds; everything else is lossless.  Output order is
+// deterministic and the earliest failing trajectory's error is returned.
 func (a *Archive) DecodeAll() ([]*traj.Uncertain, error) {
 	out := make([]*traj.Uncertain, len(a.Trajs))
-	for j := range a.Trajs {
+	err := par.Do(par.Workers(a.Opts.Parallelism), len(a.Trajs), func(j int) error {
 		u, err := a.DecodeTrajectory(j)
 		if err != nil {
-			return nil, fmt.Errorf("core: trajectory %d: %w", j, err)
+			return fmt.Errorf("core: trajectory %d: %w", j, err)
 		}
 		out[j] = u
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -4,12 +4,17 @@ import (
 	"fmt"
 
 	"utcq/internal/bitio"
+	"utcq/internal/par"
 	"utcq/internal/traj"
 )
 
-// Compress encodes a dataset trajectory by trajectory (UTCQ never holds
-// more than one uncompressed trajectory at a time, unlike TED's global
-// matrix grouping — this is the memory-shape result of Fig 6).
+// Compress encodes a dataset trajectory by trajectory over a bounded
+// worker pool (Options.Parallelism workers).  Per-trajectory work is
+// independent, so each worker preserves UTCQ's one-uncompressed-trajectory
+// memory shape (Fig 6) while throughput scales with cores.  Records land
+// in input order and stats aggregate in input order, so the archive is
+// byte-identical to a serial run; on failure the error of the earliest
+// failing trajectory is returned, as in the serial loop.
 func (c *Compressor) Compress(tus []*traj.Uncertain) (*Archive, error) {
 	a := &Archive{
 		Opts:       c.opts,
@@ -19,13 +24,22 @@ func (c *Compressor) Compress(tus []*traj.Uncertain) (*Archive, error) {
 		DCodec:     c.dCodec,
 		PCodec:     c.pCodec,
 	}
-	for j, u := range tus {
-		rec, stats, err := c.CompressOne(u)
+	recs := make([]*TrajRecord, len(tus))
+	stats := make([]CompStats, len(tus))
+	err := par.Do(par.Workers(c.opts.Parallelism), len(tus), func(j int) error {
+		rec, st, err := c.CompressOne(tus[j])
 		if err != nil {
-			return nil, fmt.Errorf("core: trajectory %d: %w", j, err)
+			return fmt.Errorf("core: trajectory %d: %w", j, err)
 		}
-		a.Trajs = append(a.Trajs, rec)
-		a.Stats.Add(stats)
+		recs[j], stats[j] = rec, st
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	a.Trajs = recs
+	for j := range stats {
+		a.Stats.Add(stats[j])
 	}
 	return a, nil
 }

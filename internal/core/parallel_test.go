@@ -1,0 +1,120 @@
+package core
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"utcq/internal/gen"
+)
+
+func parallelFixture(t *testing.T) (*gen.Dataset, Options) {
+	t.Helper()
+	p := gen.CD()
+	p.Network.Cols, p.Network.Rows = 20, 20
+	ds, err := gen.Build(p, 40, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds, DefaultOptions(p.Ts)
+}
+
+// TestCompressParallelDeterministic: compressing with any worker count
+// must produce an archive byte-identical to the serial (Parallelism: 1)
+// run, including the aggregated stats.
+func TestCompressParallelDeterministic(t *testing.T) {
+	ds, opts := parallelFixture(t)
+
+	serialize := func(parallelism int) ([]byte, CompStats) {
+		o := opts
+		o.Parallelism = parallelism
+		c, err := NewCompressor(ds.Graph, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := c.Compress(ds.Trajectories)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := a.Save(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes(), a.Stats
+	}
+
+	wantBytes, wantStats := serialize(1)
+	for _, p := range []int{0, 2, 4, 7} {
+		gotBytes, gotStats := serialize(p)
+		if !bytes.Equal(gotBytes, wantBytes) {
+			t.Errorf("Parallelism=%d: archive differs from serial (%d vs %d bytes)",
+				p, len(gotBytes), len(wantBytes))
+		}
+		if gotStats != wantStats {
+			t.Errorf("Parallelism=%d: stats differ: %+v vs %+v", p, gotStats, wantStats)
+		}
+	}
+}
+
+// TestDecodeAllParallelDeterministic: parallel decompression returns the
+// same trajectories as serial decompression.
+func TestDecodeAllParallelDeterministic(t *testing.T) {
+	ds, opts := parallelFixture(t)
+	c, err := NewCompressor(ds.Graph, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := c.Compress(ds.Trajectories)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	a.Opts.Parallelism = 1
+	want, err := a.DecodeAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []int{0, 4} {
+		a.Opts.Parallelism = p
+		got, err := a.DecodeAll()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("Parallelism=%d: decoded trajectories differ from serial", p)
+		}
+	}
+}
+
+// TestCompressParallelRoundTrip: a parallel-compressed archive decodes
+// back to edge sequences identical to the originals.
+func TestCompressParallelRoundTrip(t *testing.T) {
+	ds, opts := parallelFixture(t)
+	opts.Parallelism = 4
+	c, err := NewCompressor(ds.Graph, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := c.Compress(ds.Trajectories)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := a.DecodeAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(ds.Trajectories) {
+		t.Fatalf("decoded %d trajectories, want %d", len(got), len(ds.Trajectories))
+	}
+	for j, u := range got {
+		orig := ds.Trajectories[j]
+		if len(u.Instances) != len(orig.Instances) {
+			t.Fatalf("trajectory %d: %d instances, want %d", j, len(u.Instances), len(orig.Instances))
+		}
+		for i := range u.Instances {
+			if !reflect.DeepEqual(u.Instances[i].E, orig.Instances[i].E) {
+				t.Fatalf("trajectory %d instance %d: edge sequence differs", j, i)
+			}
+		}
+	}
+}

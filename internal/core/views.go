@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"utcq/internal/bitio"
 	"utcq/internal/roadnet"
@@ -12,6 +13,10 @@ import (
 // RefView is a parsed reference record supporting partial decompression:
 // individual D codes are addressable by bit position (d.pos) and the flag
 // array ω enables O(1) rank queries on the time-flag bit-string.
+//
+// A RefView is safe for concurrent use: the lazily built navigation
+// structures (DPos, Omega) are race-free, so one view can be shared by
+// many query goroutines.  Views must not be copied after first use.
 type RefView struct {
 	Orig     int
 	SV       roadnet.VertexID
@@ -19,11 +24,13 @@ type RefView struct {
 	E        []uint16
 	TFStored []bool
 
-	arch   *Archive
-	traj   int
-	dStart int   // bit offset of the relative-distance codes
-	dPos   []int // lazily built code positions (the d.pos values)
-	omega  []int // lazily built flag array
+	arch      *Archive
+	traj      int
+	dStart    int // bit offset of the relative-distance codes
+	dPosOnce  sync.Once
+	dPos      []int // lazily built code positions (the d.pos values)
+	omegaOnce sync.Once
+	omega     []int // lazily built flag array
 }
 
 // RefView parses the reference record of instance orig in trajectory j.
@@ -94,11 +101,12 @@ func (a *Archive) RefView(j, orig int) (*RefView, error) {
 // values the StIU index stores), building them on first use.  Errors on a
 // (corrupted) stream surface through DecodeD/D instead.
 func (v *RefView) DPos() []int {
-	if v.dPos == nil {
+	v.dPosOnce.Do(func() {
 		rec := v.arch.Trajs[v.traj]
 		r, err := rec.Reader(v.dStart)
 		if err != nil {
-			return make([]int, rec.NumPoints)
+			v.dPos = make([]int, rec.NumPoints)
+			return
 		}
 		v.dPos = make([]int, rec.NumPoints)
 		for i := range v.dPos {
@@ -107,7 +115,7 @@ func (v *RefView) DPos() []int {
 				break // later positions stay at the failure point
 			}
 		}
-	}
+	})
 	return v.dPos
 }
 
@@ -120,15 +128,16 @@ func (v *RefView) FullTF() []bool { return FullTF(v.TFStored, len(v.E)) }
 // Omega returns the flag array ω (Section 5.1): Omega()[g] is the number of
 // 1s among the first g stored bits (0 <= g <= len(TFStored)).
 func (v *RefView) Omega() []int {
-	if v.omega == nil {
-		v.omega = make([]int, len(v.TFStored)+1)
+	v.omegaOnce.Do(func() {
+		omega := make([]int, len(v.TFStored)+1)
 		for i, b := range v.TFStored {
-			v.omega[i+1] = v.omega[i]
+			omega[i+1] = omega[i]
 			if b {
-				v.omega[i+1]++
+				omega[i+1]++
 			}
 		}
-	}
+		v.omega = omega
+	})
 	return v.omega
 }
 

@@ -23,10 +23,15 @@ type Config struct {
 	Scale float64
 	// Seed drives all dataset generation and workloads.
 	Seed int64
+	// Parallelism bounds the compression worker pools (0 = one worker
+	// per CPU, 1 = the paper's serial measurement model).
+	Parallelism int
 }
 
-// DefaultConfig is laptop-scale.
-func DefaultConfig() Config { return Config{Scale: 1.0, Seed: 42} }
+// DefaultConfig is laptop-scale, pinned to the paper's serial
+// measurement model (Parallelism 1) so time and peak-memory numbers stay
+// comparable to the published Fig 6 memory shape.
+func DefaultConfig() Config { return Config{Scale: 1.0, Seed: 42, Parallelism: 1} }
 
 // Bundle is one profile's dataset plus its paper-default parameters.
 type Bundle struct {
@@ -61,7 +66,7 @@ var (
 
 // Datasets builds (and caches per process) the three profile datasets.
 func Datasets(cfg Config) ([]*Bundle, error) {
-	key := fmt.Sprintf("%g/%d", cfg.Scale, cfg.Seed)
+	key := fmt.Sprintf("%g/%d/%d", cfg.Scale, cfg.Seed, cfg.Parallelism)
 	cacheMu.Lock()
 	defer cacheMu.Unlock()
 	if b, ok := cache[key]; ok {
@@ -77,7 +82,9 @@ func Datasets(cfg Config) ([]*Bundle, error) {
 		if err != nil {
 			return nil, fmt.Errorf("exp: build %s: %w", p.Name, err)
 		}
-		bundles = append(bundles, &Bundle{Profile: p, DS: ds, Opts: CoreOptionsFor(p)})
+		opts := CoreOptionsFor(p)
+		opts.Parallelism = cfg.Parallelism
+		bundles = append(bundles, &Bundle{Profile: p, DS: ds, Opts: opts})
 	}
 	cache[key] = bundles
 	return bundles, nil

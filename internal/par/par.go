@@ -1,0 +1,87 @@
+// Package par provides the bounded worker pools used by the parallel
+// compression pipeline.  Work items are dispatched in index order to a
+// fixed number of goroutines; results land in caller-owned slots indexed
+// by item, so parallel runs produce byte-identical output to serial runs.
+package par
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Workers resolves a Parallelism knob to a worker count: values below 1
+// mean "one worker per available CPU".
+func Workers(parallelism int) int {
+	if parallelism < 1 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return parallelism
+}
+
+// Do runs fn(i) for every i in [0, n) on at most workers goroutines.
+//
+// Items are handed out in increasing index order.  On failure no new items
+// are dispatched (in-flight items finish), and Do returns the error of the
+// lowest failing index — the same error a serial loop would have returned,
+// because dispatch order guarantees every lower-index item was already
+// started and therefore had its error recorded.
+func Do(workers, n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	var (
+		mu       sync.Mutex
+		next     int
+		failed   bool
+		errIdx   int
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	take := func() (int, bool) {
+		mu.Lock()
+		defer mu.Unlock()
+		if failed || next >= n {
+			return 0, false
+		}
+		i := next
+		next++
+		return i, true
+	}
+	record := func(i int, err error) {
+		mu.Lock()
+		defer mu.Unlock()
+		if !failed || i < errIdx {
+			failed, errIdx, firstErr = true, i, err
+		}
+	}
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i, ok := take()
+				if !ok {
+					return
+				}
+				if err := fn(i); err != nil {
+					record(i, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}

@@ -1,0 +1,78 @@
+package par
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestWorkers(t *testing.T) {
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(0) = %d, want GOMAXPROCS", got)
+	}
+	if got := Workers(-3); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(-3) = %d, want GOMAXPROCS", got)
+	}
+	if got := Workers(5); got != 5 {
+		t.Errorf("Workers(5) = %d", got)
+	}
+}
+
+func TestDoCoversAllItems(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 13} {
+		const n = 100
+		hit := make([]int32, n)
+		if err := Do(workers, n, func(i int) error {
+			atomic.AddInt32(&hit[i], 1)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		for i, h := range hit {
+			if h != 1 {
+				t.Fatalf("workers=%d: item %d ran %d times", workers, i, h)
+			}
+		}
+	}
+}
+
+func TestDoEmpty(t *testing.T) {
+	if err := Do(4, 0, func(int) error { return errors.New("boom") }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDoFirstError: the reported error must be the lowest failing index,
+// matching what a serial loop returns — regardless of worker count.
+func TestDoFirstError(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		err := Do(workers, 50, func(i int) error {
+			if i == 7 || i == 31 {
+				return fmt.Errorf("item %d failed", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "item 7 failed" {
+			t.Errorf("workers=%d: err = %v, want item 7", workers, err)
+		}
+	}
+}
+
+// TestDoFailFast: after an error no new items are dispatched.
+func TestDoFailFast(t *testing.T) {
+	var dispatched atomic.Int32
+	_ = Do(2, 1000, func(i int) error {
+		dispatched.Add(1)
+		if i == 0 {
+			return errors.New("early")
+		}
+		time.Sleep(time.Millisecond)
+		return nil
+	})
+	if n := dispatched.Load(); n > 20 {
+		t.Errorf("dispatched %d items after early failure", n)
+	}
+}

@@ -1,0 +1,265 @@
+package query
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"utcq/internal/gen"
+	"utcq/internal/roadnet"
+)
+
+// concurrencyWorkload precomputes a deterministic mixed workload so the
+// concurrent run and the serial baseline execute exactly the same queries.
+type mixedQuery struct {
+	kind  int // 0 = where, 1 = when, 2 = range
+	j     int
+	t     int64
+	loc   roadnet.Position
+	re    roadnet.Rect
+	alpha float64
+}
+
+func mixedWorkload(t *testing.T, h *harness, n int, seed int64) []mixedQuery {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	bounds := h.ds.Graph.Bounds()
+	out := make([]mixedQuery, 0, n)
+	for len(out) < n {
+		j := rng.Intn(len(h.ds.Trajectories))
+		u := h.ds.Trajectories[j]
+		q := mixedQuery{kind: rng.Intn(3), j: j, alpha: rng.Float64() * 0.6}
+		switch q.kind {
+		case 0:
+			q.t = u.T[0] + rng.Int63n(u.T[len(u.T)-1]-u.T[0]+1)
+		case 1:
+			ins := &u.Instances[rng.Intn(len(u.Instances))]
+			path, err := ins.PathEdges(h.ds.Graph)
+			if err != nil || len(path) == 0 {
+				continue
+			}
+			q.loc = h.ds.Graph.PositionAtRD(path[rng.Intn(len(path))], rng.Float64())
+		case 2:
+			q.t = u.T[0] + rng.Int63n(u.T[len(u.T)-1]-u.T[0]+1)
+			w := (bounds.MaxX - bounds.MinX) * 0.1
+			x := bounds.MinX + rng.Float64()*(bounds.MaxX-bounds.MinX-w)
+			y := bounds.MinY + rng.Float64()*(bounds.MaxY-bounds.MinY-w)
+			q.re = roadnet.Rect{MinX: x, MinY: y, MaxX: x + w, MaxY: y + w}
+		}
+		out = append(out, q)
+	}
+	return out
+}
+
+func runMixed(t *testing.T, e *Engine, q mixedQuery) interface{} {
+	t.Helper()
+	switch q.kind {
+	case 0:
+		r, err := e.Where(q.j, q.t, q.alpha)
+		if err != nil {
+			t.Error(err)
+		}
+		return r
+	case 1:
+		r, err := e.When(q.j, q.loc, q.alpha)
+		if err != nil {
+			t.Error(err)
+		}
+		return r
+	default:
+		r, err := e.Range(q.re, q.t, q.alpha)
+		if err != nil {
+			t.Error(err)
+		}
+		return r
+	}
+}
+
+// TestEngineConcurrentStress hammers one shared Engine from many
+// goroutines mixing Where/When/Range (run with -race), then re-runs the
+// same workload serially on a fresh engine and requires identical results.
+func TestEngineConcurrentStress(t *testing.T) {
+	h := buildHarness(t, gen.CD(), 30, 77)
+	const goroutines = 8
+	const perG = 60
+	queries := mixedWorkload(t, h, goroutines*perG, 99)
+
+	results := make([]interface{}, len(queries))
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := g * perG; i < (g+1)*perG; i++ {
+				results[i] = runMixed(t, h.eng, queries[i])
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	// Serial baseline on a fresh engine over the same archive and index.
+	baseline := NewEngine(h.eng.Arch, h.eng.Ix)
+	for i, q := range queries {
+		want := runMixed(t, baseline, q)
+		if !resultsEqual(results[i], want) {
+			t.Fatalf("query %d (kind %d): concurrent result %v != serial %v", i, q.kind, results[i], want)
+		}
+	}
+
+	s := h.eng.Stats()
+	if s.PathsDecoded == 0 {
+		t.Error("stress run decoded no paths")
+	}
+	if s.CacheHits+s.CacheMisses == 0 {
+		t.Error("stress run never touched the caches")
+	}
+}
+
+func resultsEqual(a, b interface{}) bool {
+	switch x := a.(type) {
+	case []WhereResult:
+		y, ok := b.([]WhereResult)
+		if !ok || len(x) != len(y) {
+			return false
+		}
+		for i := range x {
+			if x[i] != y[i] {
+				return false
+			}
+		}
+		return true
+	case []WhenResult:
+		y, ok := b.([]WhenResult)
+		if !ok || len(x) != len(y) {
+			return false
+		}
+		for i := range x {
+			if x[i] != y[i] {
+				return false
+			}
+		}
+		return true
+	case []int:
+		y, ok := b.([]int)
+		if !ok || len(x) != len(y) {
+			return false
+		}
+		for i := range x {
+			if x[i] != y[i] {
+				return false
+			}
+		}
+		return true
+	}
+	return a == nil && b == nil
+}
+
+// TestEngineCacheBounded: under a query storm from several goroutines the
+// caches never exceed their configured entry budget, and the hit/miss
+// counters stay consistent with the lookups performed.
+func TestEngineCacheBounded(t *testing.T) {
+	h := buildHarness(t, gen.CD(), 30, 78)
+	const budget = 16
+	e := NewEngineWithOptions(h.eng.Arch, h.eng.Ix, EngineOptions{CacheEntries: budget, CacheShards: 4})
+	queries := mixedWorkload(t, h, 400, 101)
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	var violations sync.Map
+	wg.Add(1)
+	go func() { // watchdog: the bound must hold mid-storm, not just after
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			s := e.Stats()
+			if s.CachedViews > budget {
+				violations.Store("views", s.CachedViews)
+			}
+			if s.CachedPaths > budget {
+				violations.Store("paths", s.CachedPaths)
+			}
+		}
+	}()
+	var workers sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		workers.Add(1)
+		go func(g int) {
+			defer workers.Done()
+			for i := g * 100; i < (g+1)*100; i++ {
+				runMixed(t, e, queries[i])
+			}
+		}(g)
+	}
+	workers.Wait()
+	close(stop)
+	wg.Wait()
+
+	violations.Range(func(k, v interface{}) bool {
+		t.Errorf("%s cache exceeded budget %d: reached %v", k, budget, v)
+		return true
+	})
+
+	s := e.Stats()
+	if s.CachedViews > budget || s.CachedPaths > budget {
+		t.Errorf("final cache sizes (%d views, %d paths) exceed budget %d", s.CachedViews, s.CachedPaths, budget)
+	}
+	if s.CacheBudget != budget {
+		t.Errorf("CacheBudget = %d, want %d", s.CacheBudget, budget)
+	}
+	if s.CacheHits+s.CacheMisses == 0 {
+		t.Error("no cache lookups recorded")
+	}
+	if s.CacheMisses < int64(s.CachedViews+s.CachedPaths) {
+		t.Errorf("misses (%d) below resident entries (%d): counters inconsistent",
+			s.CacheMisses, s.CachedViews+s.CachedPaths)
+	}
+
+	// A warm single-threaded replay of one query must be all hits: the
+	// miss counter stays put while the hit counter advances.  A mid-span
+	// where query with alpha 0 always decodes paths, so it must populate
+	// and then reuse cache entries.
+	u := h.ds.Trajectories[0]
+	q := mixedQuery{kind: 0, j: 0, t: (u.T[0] + u.T[len(u.T)-1]) / 2, alpha: 0}
+	runMixed(t, e, q)
+	before := e.Stats()
+	runMixed(t, e, q)
+	after := e.Stats()
+	if after.CacheMisses != before.CacheMisses {
+		t.Errorf("warm replay missed: %d -> %d", before.CacheMisses, after.CacheMisses)
+	}
+	if after.CacheHits <= before.CacheHits {
+		t.Errorf("warm replay recorded no hits: %d -> %d", before.CacheHits, after.CacheHits)
+	}
+}
+
+// TestDisableCacheKeepsMeasurementModel: with DisableCache set, nothing is
+// retained and every query pays its own decompression, as the paper's
+// measurement model requires.
+func TestDisableCacheKeepsMeasurementModel(t *testing.T) {
+	h := buildHarness(t, gen.CD(), 10, 79)
+	e := NewEngine(h.eng.Arch, h.eng.Ix)
+	e.DisableCache = true
+	u := h.ds.Trajectories[0]
+	tq := (u.T[0] + u.T[len(u.T)-1]) / 2
+	if _, err := e.Where(0, tq, 0.1); err != nil {
+		t.Fatal(err)
+	}
+	first := e.Stats()
+	if first.CachedViews != 0 || first.CachedPaths != 0 {
+		t.Errorf("DisableCache retained %d views, %d paths", first.CachedViews, first.CachedPaths)
+	}
+	if first.CacheHits+first.CacheMisses != 0 {
+		t.Errorf("DisableCache touched the caches (%d lookups)", first.CacheHits+first.CacheMisses)
+	}
+	if _, err := e.Where(0, tq, 0.1); err != nil {
+		t.Fatal(err)
+	}
+	second := e.Stats()
+	if second.PathsDecoded <= first.PathsDecoded {
+		t.Error("second query did not pay its own decompression")
+	}
+}

@@ -3,73 +3,156 @@ package query
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 
+	"utcq/internal/cache"
 	"utcq/internal/core"
 	"utcq/internal/roadnet"
 	"utcq/internal/stiu"
 )
 
 // Engine answers probabilistic queries over a UTCQ archive via the StIU
-// index.  Decoded references and paths are cached; partial decompression
-// and Lemmas 1-4 avoid touching instances that cannot contribute.
+// index.  Decoded references and paths are kept in sharded LRU caches
+// bounded by a configurable entry budget; partial decompression and
+// Lemmas 1-4 avoid touching instances that cannot contribute.
+//
+// An Engine is safe for concurrent use: one instance serves any number of
+// goroutines calling Where, When and Range simultaneously, with memory
+// bounded by the cache budget.  The configuration fields (DisablePruning,
+// DisableCache) must be set before the engine is shared; they are plain
+// fields precisely so single-threaded measurement runs can toggle them
+// between workloads, and are not synchronized.
 type Engine struct {
 	Arch *core.Archive
 	Ix   *stiu.Index
 
 	// DisablePruning turns off Lemmas 1-4 (ablation benchmarks).
+	// Set before sharing the engine across goroutines.
 	DisablePruning bool
 
 	// DisableCache makes every query pay its own decompression cost (the
 	// paper's measurement model); by default decoded views are reused.
+	// Set before sharing the engine across goroutines.
 	DisableCache bool
 
-	refViews map[[2]int]*core.RefView
-	paths    map[[2]int]*lazyPath
+	refViews *cache.LRU[[2]int, *core.RefView]
+	paths    *cache.LRU[[2]int, *lazyPath]
 
-	// Stats counts work performed, demonstrating the pruning lemmas.
-	Stats EngineStats
+	// Work counters, maintained atomically (see Stats).
+	pathsDecoded     atomic.Int64
+	instancesSkipped atomic.Int64
+	trajsPruned      atomic.Int64
+	trajsAccepted    atomic.Int64
 }
 
-// EngineStats counts the work the engine performed.
+// EngineStats is a point-in-time snapshot of the work the engine
+// performed, demonstrating the pruning lemmas and the cache behavior.
 type EngineStats struct {
-	PathsDecoded     int
-	InstancesSkipped int
-	TrajsPruned      int // range queries: Lemma 4 rejections
-	TrajsAccepted    int // range queries: Lemma 3 early accepts
+	PathsDecoded     int64
+	InstancesSkipped int64
+	TrajsPruned      int64 // range queries: Lemma 4 rejections
+	TrajsAccepted    int64 // range queries: Lemma 3 early accepts
+
+	// Cache accounting, summed over the reference-view and path caches.
+	// CacheHits+CacheMisses equals the number of cache lookups performed.
+	CacheHits   int64
+	CacheMisses int64
+	CachedViews int // current reference-view cache entries
+	CachedPaths int // current path cache entries
+	CacheBudget int // configured per-cache entry bound
 }
 
-// NewEngine returns an engine over an archive and its index.
+// Stats returns a consistent-enough snapshot of the engine's counters.
+// Safe to call concurrently with queries.
+func (e *Engine) Stats() EngineStats {
+	s := EngineStats{
+		PathsDecoded:     e.pathsDecoded.Load(),
+		InstancesSkipped: e.instancesSkipped.Load(),
+		TrajsPruned:      e.trajsPruned.Load(),
+		TrajsAccepted:    e.trajsAccepted.Load(),
+		CachedViews:      e.refViews.Len(),
+		CachedPaths:      e.paths.Len(),
+		CacheBudget:      e.refViews.Cap(),
+	}
+	rh, rm := e.refViews.Stats()
+	ph, pm := e.paths.Stats()
+	s.CacheHits, s.CacheMisses = rh+ph, rm+pm
+	return s
+}
+
+// EngineOptions configure the engine's bounded caches.
+type EngineOptions struct {
+	// CacheEntries bounds each of the two caches (decoded reference views
+	// and partially decompressed paths) to at most this many entries,
+	// evicting least-recently-used ones.  Values below 1 select the
+	// default budget.
+	CacheEntries int
+	// CacheShards splits each cache into independently locked shards to
+	// reduce contention.  Values below 1 select the default.
+	CacheShards int
+}
+
+// DefaultEngineOptions returns the default cache budget (4096 entries per
+// cache, 16 shards).
+func DefaultEngineOptions() EngineOptions {
+	return EngineOptions{CacheEntries: 4096, CacheShards: 16}
+}
+
+// NewEngine returns an engine over an archive and its index with the
+// default cache budget.  The returned engine is safe for concurrent use
+// once its configuration fields are set (see Engine).
 func NewEngine(a *core.Archive, ix *stiu.Index) *Engine {
+	return NewEngineWithOptions(a, ix, DefaultEngineOptions())
+}
+
+// NewEngineWithOptions returns an engine with an explicit cache budget.
+// The returned engine is safe for concurrent use once its configuration
+// fields are set (see Engine).
+func NewEngineWithOptions(a *core.Archive, ix *stiu.Index, o EngineOptions) *Engine {
+	def := DefaultEngineOptions()
+	if o.CacheEntries < 1 {
+		o.CacheEntries = def.CacheEntries
+	}
+	if o.CacheShards < 1 {
+		o.CacheShards = def.CacheShards
+	}
 	return &Engine{
 		Arch:     a,
 		Ix:       ix,
-		refViews: make(map[[2]int]*core.RefView),
-		paths:    make(map[[2]int]*lazyPath),
+		refViews: cache.New[[2]int, *core.RefView](o.CacheEntries, o.CacheShards),
+		paths:    cache.New[[2]int, *lazyPath](o.CacheEntries, o.CacheShards),
 	}
 }
 
 func (e *Engine) refView(j, orig int) (*core.RefView, error) {
 	k := [2]int{j, orig}
-	if v, ok := e.refViews[k]; ok {
-		return v, nil
+	if !e.DisableCache {
+		if v, ok := e.refViews.Get(k); ok {
+			return v, nil
+		}
 	}
 	v, err := e.Arch.RefView(j, orig)
 	if err != nil {
 		return nil, err
 	}
 	if !e.DisableCache {
-		e.refViews[k] = v
+		e.refViews.Add(k, v)
 	}
 	return v, nil
 }
 
 // path builds (and caches) the partially decompressed traversal of
 // instance orig of trajectory j: the edge skeleton is materialized,
-// relative distances stay compressed until a point is touched.
+// relative distances stay compressed until a point is touched.  Under
+// concurrency two goroutines may race to build the same path; both builds
+// are counted and the cache keeps the last one — duplicated work, never
+// incorrect results.
 func (e *Engine) path(j, orig int) (*lazyPath, error) {
 	k := [2]int{j, orig}
-	if p, ok := e.paths[k]; ok {
-		return p, nil
+	if !e.DisableCache {
+		if p, ok := e.paths.Get(k); ok {
+			return p, nil
+		}
 	}
 	meta := e.Arch.Trajs[j].Insts[orig]
 	numPoints := e.Arch.Trajs[j].NumPoints
@@ -113,9 +196,9 @@ func (e *Engine) path(j, orig int) (*lazyPath, error) {
 			return nil, err
 		}
 	}
-	e.Stats.PathsDecoded++
+	e.pathsDecoded.Add(1)
 	if !e.DisableCache {
-		e.paths[k] = pi
+		e.paths.Add(k, pi)
 	}
 	return pi, nil
 }
@@ -200,7 +283,7 @@ func (e *Engine) Where(j int, t int64, alpha float64) ([]WhereResult, error) {
 	for orig := range rec.Insts {
 		p := rec.Insts[orig].P
 		if p < alpha {
-			e.Stats.InstancesSkipped++
+			e.instancesSkipped.Add(1)
 			continue
 		}
 		pi, err := e.path(j, orig)
@@ -266,7 +349,7 @@ func (e *Engine) When(j int, loc roadnet.Position, alpha float64) ([]WhenResult,
 	process := func(orig int) error {
 		p := rec.Insts[orig].P
 		if p < alpha {
-			e.Stats.InstancesSkipped++
+			e.instancesSkipped.Add(1)
 			return nil
 		}
 		pi, err := e.path(j, orig)
@@ -305,7 +388,7 @@ func (e *Engine) When(j int, loc roadnet.Position, alpha float64) ([]WhenResult,
 				}
 			}
 		} else {
-			e.Stats.InstancesSkipped++ // Lemma 1 skipped the group's non-refs
+			e.instancesSkipped.Add(1) // Lemma 1 skipped the group's non-refs
 		}
 	}
 	sort.Slice(out, func(a, b int) bool {
@@ -360,7 +443,7 @@ func (e *Engine) Range(re roadnet.Rect, t int64, alpha float64) ([]int, error) {
 				bound += v
 			}
 			if bound < alpha {
-				e.Stats.TrajsPruned++
+				e.trajsPruned.Add(1)
 				continue
 			}
 		}
@@ -396,7 +479,7 @@ func (e *Engine) Range(re roadnet.Rect, t int64, alpha float64) ([]int, error) {
 				if confirmed >= alpha { // Lemma 3
 					accepted = true
 					if !e.DisablePruning {
-						e.Stats.TrajsAccepted++
+						e.trajsAccepted.Add(1)
 					}
 					break
 				}

@@ -274,7 +274,7 @@ func TestRangePruningConsistency(t *testing.T) {
 			}
 		}
 	}
-	if h.eng.Stats.TrajsPruned == 0 {
+	if h.eng.Stats().TrajsPruned == 0 {
 		t.Error("Lemma 4 never fired across 100 queries")
 	}
 }

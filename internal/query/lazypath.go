@@ -3,6 +3,7 @@ package query
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"utcq/internal/roadnet"
 )
@@ -11,6 +12,10 @@ import (
 // skeleton (from E and T', both cheap) is materialized, but relative
 // distances are fetched per point on demand — a query touching two points
 // decodes two D codes instead of the whole sequence.
+//
+// A lazyPath is safe for concurrent use: the skeleton is immutable after
+// construction and the per-point memoization is guarded by mu, so cached
+// paths can be shared by many query goroutines.
 type lazyPath struct {
 	P         float64
 	Edges     []roadnet.EdgeID
@@ -19,11 +24,13 @@ type lazyPath struct {
 
 	g      *roadnet.Graph
 	dFetch func(k int) (float64, error)
+
+	mu     sync.Mutex
 	coords []float64
 	known  []bool
 
 	// DDecodes counts on-demand distance decodes (partial decompression
-	// accounting).
+	// accounting); guarded by mu.
 	DDecodes int
 }
 
@@ -64,6 +71,8 @@ func newLazyPath(g *roadnet.Graph, sv roadnet.VertexID, E []uint16, tf []bool, n
 
 // coord fetches (and memoizes) the linear path coordinate of point k.
 func (pi *lazyPath) coord(k int) (float64, error) {
+	pi.mu.Lock()
+	defer pi.mu.Unlock()
 	if pi.known[k] {
 		return pi.coords[k], nil
 	}

@@ -3,6 +3,13 @@
 // (StIU index, partial decompression, filtering Lemmas 1-4), the adapted
 // TED engine used as the paper's comparison, and an uncompressed oracle
 // used for correctness tests and the accuracy experiments of Fig 11.
+//
+// Concurrency: Engine is safe for concurrent use — one shared instance
+// serves any number of goroutines, holding decoded state in sharded LRU
+// caches bounded by a configurable entry budget and maintaining its work
+// counters atomically.  Configuration fields (DisablePruning,
+// DisableCache) must be set before the engine is shared.  TEDEngine and
+// Oracle remain single-goroutine measurement harnesses.
 package query
 
 import (

@@ -86,8 +86,8 @@ func TestExample5Lemma1(t *testing.T) {
 		t.Fatalf("results = %+v, want only Tu11", res)
 	}
 	// Lemma 1 must have skipped the group's non-references entirely.
-	if e.Stats.PathsDecoded != 1 {
-		t.Errorf("decoded %d paths, want 1 (Lemma 1 skips non-references)", e.Stats.PathsDecoded)
+	if e.Stats().PathsDecoded != 1 {
+		t.Errorf("decoded %d paths, want 1 (Lemma 1 skips non-references)", e.Stats().PathsDecoded)
 	}
 }
 
@@ -133,7 +133,7 @@ func TestRangeExamples(t *testing.T) {
 		t.Fatalf("range = %v, want [0]", got)
 	}
 	// A distant region: Lemma 4 prunes the trajectory outright.
-	before := e.Stats.TrajsPruned
+	before := e.Stats().TrajsPruned
 	far := roadnet.Rect{MinX: 50000, MinY: 50000, MaxX: 60000, MaxY: 60000}
 	got, err = e.Range(far, tq, 0.5)
 	if err != nil {
@@ -142,8 +142,8 @@ func TestRangeExamples(t *testing.T) {
 	if len(got) != 0 {
 		t.Fatalf("far range = %v, want empty", got)
 	}
-	if e.Stats.TrajsPruned != before+1 {
-		t.Errorf("Lemma 4 did not prune (pruned=%d)", e.Stats.TrajsPruned)
+	if e.Stats().TrajsPruned != before+1 {
+		t.Errorf("Lemma 4 did not prune (pruned=%d)", e.Stats().TrajsPruned)
 	}
 }
 

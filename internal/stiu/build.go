@@ -2,6 +2,7 @@ package stiu
 
 import (
 	"fmt"
+	"sort"
 
 	"utcq/internal/core"
 	"utcq/internal/roadnet"
@@ -34,21 +35,45 @@ type factorSpan struct {
 	maPos      int
 }
 
-func (ix *Index) addTrajectory(a *core.Archive, j int) error {
+// trajBatch is the output of one trajectory's walk phase: everything the
+// merge phase needs to fold the trajectory into the index.  Batches are
+// produced in parallel (one worker per trajectory) and merged in
+// trajectory order, so the built index is identical to a serial build.
+type trajBatch struct {
+	temporal        []TemporalEntry
+	firstIv, lastIv int // interval span covered by the trajectory
+	emits           []spatialEmit
+	trajRegion      map[roadnet.RegionID]*RegionBucket
+}
+
+// spatialEmit is one tuple append destined for an (interval, region) cell.
+type spatialEmit struct {
+	interval int
+	re       roadnet.RegionID
+	isRef    bool
+	ref      RefTuple
+	nonRef   NonRefTuple
+}
+
+// walkTrajectory decodes trajectory j and produces its tuple batch.  It
+// only reads the archive (never the index maps), so any number of walks
+// may run concurrently.
+func (ix *Index) walkTrajectory(a *core.Archive, j int) (*trajBatch, error) {
 	rec := a.Trajs[j]
+	b := &trajBatch{trajRegion: make(map[roadnet.RegionID]*RegionBucket)}
 
 	// Temporal entries: one per interval the trajectory has samples in.
 	T := make([]int64, 0, rec.NumPoints)
 	cur, err := rec.TimeCursorStart(a.Opts.Ts)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	T = append(T, cur.T())
 	for cur.Next() {
 		T = append(T, cur.T())
 	}
 	if len(T) != rec.NumPoints {
-		return fmt.Errorf("stiu: decoded %d of %d timestamps", len(T), rec.NumPoints)
+		return nil, fmt.Errorf("stiu: decoded %d of %d timestamps", len(T), rec.NumPoints)
 	}
 	lastInterval := -1
 	for i, t := range T {
@@ -58,14 +83,11 @@ func (ix *Index) addTrajectory(a *core.Archive, j int) error {
 			if i < len(rec.TDeltaPos) {
 				pos = int32(rec.TDeltaPos[i])
 			}
-			ix.Temporal[j] = append(ix.Temporal[j], TemporalEntry{Start: t, No: int32(i), Pos: pos})
+			b.temporal = append(b.temporal, TemporalEntry{Start: t, No: int32(i), Pos: pos})
 			lastInterval = iv
 		}
 	}
-	// Mark the trajectory active in every interval its span covers.
-	for iv := ix.IntervalOf(T[0]); iv <= ix.IntervalOf(T[len(T)-1]); iv++ {
-		ix.interval(iv).Trajs = append(ix.interval(iv).Trajs, int32(j))
-	}
+	b.firstIv, b.lastIv = ix.IntervalOf(T[0]), ix.IntervalOf(T[len(T)-1])
 
 	// Decode instance walks.
 	walks := make([]*instWalk, 0, len(rec.Insts))
@@ -76,12 +98,12 @@ func (ix *Index) addTrajectory(a *core.Archive, j int) error {
 		}
 		rv, err := a.RefView(j, orig)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		refViews[orig] = rv
 		w, err := ix.walkInstance(a, rv.SV, rv.E, rv.FullTF(), nil, nil)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		w.orig, w.refOrig, w.p = orig, -1, meta.P
 		walks = append(walks, w)
@@ -93,38 +115,45 @@ func (ix *Index) addTrajectory(a *core.Archive, j int) error {
 		ref := refViews[meta.RefOrig]
 		nv, err := a.NonRefView(j, orig, ref)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		e, err := nv.ExpandE(ref)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		tf, err := nv.FullTF(ref)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		w, err := ix.walkInstance(a, ref.SV, e, tf, nv.EFactors, nv.EFactorPos)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		w.orig, w.refOrig, w.p = orig, meta.RefOrig, meta.P
 		walks = append(walks, w)
 	}
 
-	// Group instances by reference (a reference group = Ref ∪ Ref.Rrs).
+	// Group instances by reference (a reference group = Ref ∪ Ref.Rrs) and
+	// emit groups in ascending reference order so tuple order — and hence
+	// the whole index — is deterministic.
 	groups := make(map[int][]*instWalk)
+	var groupKeys []int
 	for _, w := range walks {
 		g := w.orig
 		if w.refOrig >= 0 {
 			g = w.refOrig
 		}
+		if groups[g] == nil {
+			groupKeys = append(groupKeys, g)
+		}
 		groups[g] = append(groups[g], w)
 	}
+	sort.Ints(groupKeys)
 
-	for refOrig, members := range groups {
-		ix.emitGroupTuples(a, j, refOrig, members, refViews[refOrig], T)
+	for _, refOrig := range groupKeys {
+		ix.emitGroupTuples(b, j, refOrig, groups[refOrig], refViews[refOrig], T)
 	}
-	return nil
+	return b, nil
 }
 
 // walkInstance decodes the traversal: region visits with final vertices and
@@ -205,8 +234,9 @@ func (ix *Index) walkInstance(a *core.Archive, sv roadnet.VertexID, E []uint16, 
 }
 
 // emitGroupTuples aggregates the group's visits into per-(interval, region)
-// reference and non-reference tuples.
-func (ix *Index) emitGroupTuples(a *core.Archive, j, refOrig int, members []*instWalk, refView *core.RefView, T []int64) {
+// reference and non-reference tuples, appending interval-cell tuples to the
+// batch's emit list and per-trajectory tuples to its trajRegion buckets.
+func (ix *Index) emitGroupTuples(b *trajBatch, j, refOrig int, members []*instWalk, refView *core.RefView, T []int64) {
 	type key struct {
 		interval int
 		re       roadnet.RegionID
@@ -286,9 +316,8 @@ func (ix *Index) emitGroupTuples(a *core.Archive, j, refOrig int, members []*ins
 				rt.DPos = int32(dpos[dNo])
 			}
 		}
-		b := ix.interval(k.interval).bucket(k.re)
-		b.Refs = append(b.Refs, rt)
-		tb := ix.trajRegion(j, k.re)
+		b.emits = append(b.emits, spatialEmit{interval: k.interval, re: k.re, isRef: true, ref: rt})
+		tb := b.bucket(k.re)
 		tb.Refs = append(tb.Refs, rt)
 	}
 
@@ -319,13 +348,23 @@ func (ix *Index) emitGroupTuples(a *core.Archive, j, refOrig int, members []*ins
 				}
 			}
 			for _, iv := range intervalsOf(v) {
-				b := ix.interval(iv).bucket(v.re)
-				b.NonRefs = append(b.NonRefs, nt)
+				b.emits = append(b.emits, spatialEmit{interval: iv, re: v.re, isRef: false, nonRef: nt})
 			}
-			tb := ix.trajRegion(j, v.re)
+			tb := b.bucket(v.re)
 			tb.NonRefs = append(tb.NonRefs, nt)
 		}
 	}
+}
+
+// bucket returns (creating if needed) the batch's per-trajectory bucket of
+// region re.
+func (b *trajBatch) bucket(re roadnet.RegionID) *RegionBucket {
+	bk := b.trajRegion[re]
+	if bk == nil {
+		bk = &RegionBucket{}
+		b.trajRegion[re] = bk
+	}
+	return bk
 }
 
 // factorOf returns the factor index whose entry span contains off.

@@ -1,0 +1,57 @@
+package stiu
+
+import (
+	"reflect"
+	"testing"
+
+	"utcq/internal/core"
+	"utcq/internal/gen"
+)
+
+// TestBuildParallelDeterministic: the index built with any worker count
+// must be deeply equal to the serial (Parallelism: 1) build — temporal
+// entries, interval trajectory lists, every cell's tuple order, and the
+// per-trajectory region buckets.
+func TestBuildParallelDeterministic(t *testing.T) {
+	p := gen.CD()
+	p.Network.Cols, p.Network.Rows = 20, 20
+	ds, err := gen.Build(p, 40, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := core.NewCompressor(ds.Graph, core.DefaultOptions(p.Ts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := c.Compress(ds.Trajectories)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	build := func(parallelism int) *Index {
+		ix, err := Build(a, Options{GridNX: 16, GridNY: 16, IntervalDur: 1800, Parallelism: parallelism})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ix
+	}
+
+	want := build(1)
+	for _, workers := range []int{0, 2, 4, 7} {
+		got := build(workers)
+		if !reflect.DeepEqual(got.Temporal, want.Temporal) {
+			t.Errorf("Parallelism=%d: temporal index differs from serial", workers)
+		}
+		if !reflect.DeepEqual(got.Intervals, want.Intervals) {
+			t.Errorf("Parallelism=%d: interval map differs from serial", workers)
+		}
+		if !reflect.DeepEqual(got.byTrajRegion, want.byTrajRegion) {
+			t.Errorf("Parallelism=%d: trajectory-region buckets differ from serial", workers)
+		}
+	}
+
+	// Serial rebuild is also self-identical (no map-order leaks anywhere).
+	if again := build(1); !reflect.DeepEqual(again.Intervals, want.Intervals) {
+		t.Error("two serial builds differ: nondeterministic tuple order")
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"sort"
 
 	"utcq/internal/core"
+	"utcq/internal/par"
 	"utcq/internal/roadnet"
 )
 
@@ -26,6 +27,11 @@ import (
 type Options struct {
 	GridNX, GridNY int
 	IntervalDur    int64 // seconds
+
+	// Parallelism bounds the worker pool used by Build: 1 builds strictly
+	// serially, N uses N workers, values below 1 use one worker per CPU.
+	// The built index is identical across all settings.
+	Parallelism int
 }
 
 // DefaultOptions returns the paper's default granularity.
@@ -163,6 +169,13 @@ func (ix *Index) SpatialSizeBits(vertexBits int) int64 {
 // Build constructs the index from a compressed archive.  Building happens
 // at compression time (the paper builds StIU "during compression"), so it
 // may decode records freely.
+//
+// Construction has two phases.  The walk phase decodes each trajectory's
+// instance traversals and produces a per-trajectory tuple batch; walks are
+// independent, so they run on a bounded worker pool (Options.Parallelism).
+// The merge phase folds the batches into the grid/interval cells, sharded
+// by interval id so shards never touch the same cell.  Both phases apply
+// batches in trajectory order, so the index is identical to a serial build.
 func Build(a *core.Archive, opts Options) (*Index, error) {
 	if opts.GridNX < 1 || opts.GridNY < 1 || opts.IntervalDur < 1 {
 		return nil, fmt.Errorf("stiu: invalid options %+v", opts)
@@ -174,11 +187,28 @@ func Build(a *core.Archive, opts Options) (*Index, error) {
 		Intervals:    make(map[int]*Interval),
 		byTrajRegion: make([]map[roadnet.RegionID]*RegionBucket, len(a.Trajs)),
 	}
-	for j := range a.Trajs {
-		if err := ix.addTrajectory(a, j); err != nil {
-			return nil, fmt.Errorf("stiu: trajectory %d: %w", j, err)
+	workers := par.Workers(opts.Parallelism)
+
+	// Walk phase: per-trajectory batches, plus the per-trajectory index
+	// parts (temporal entries, trajectory-region buckets) that no other
+	// worker touches.
+	batches := make([]*trajBatch, len(a.Trajs))
+	err := par.Do(workers, len(a.Trajs), func(j int) error {
+		b, err := ix.walkTrajectory(a, j)
+		if err != nil {
+			return fmt.Errorf("stiu: trajectory %d: %w", j, err)
 		}
+		batches[j] = b
+		ix.Temporal[j] = b.temporal
+		ix.byTrajRegion[j] = b.trajRegion
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
+
+	ix.mergeBatches(batches, workers)
+
 	// Sort interval trajectory lists and deduplicate.
 	for _, iv := range ix.Intervals {
 		sort.Slice(iv.Trajs, func(x, y int) bool { return iv.Trajs[x] < iv.Trajs[y] })
@@ -187,13 +217,55 @@ func Build(a *core.Archive, opts Options) (*Index, error) {
 	return ix, nil
 }
 
-func (ix *Index) interval(id int) *Interval {
-	iv := ix.Intervals[id]
-	if iv == nil {
-		iv = &Interval{Regions: make(map[roadnet.RegionID]*RegionBucket)}
-		ix.Intervals[id] = iv
+// mergeBatches folds the walk batches into the interval map.  Each shard
+// owns the intervals with id ≡ shard (mod shards) and applies every batch
+// in trajectory order, so no two shards write the same cell and the tuple
+// order within each cell matches a serial build exactly.
+func (ix *Index) mergeBatches(batches []*trajBatch, shards int) {
+	if shards < 1 {
+		shards = 1
 	}
-	return iv
+	mod := func(iv int) int { return ((iv % shards) + shards) % shards }
+	parts := make([]map[int]*Interval, shards)
+	// Shard counts are small; par.Do with error-free work never fails.
+	_ = par.Do(shards, shards, func(s int) error {
+		m := make(map[int]*Interval)
+		get := func(id int) *Interval {
+			iv := m[id]
+			if iv == nil {
+				iv = &Interval{Regions: make(map[roadnet.RegionID]*RegionBucket)}
+				m[id] = iv
+			}
+			return iv
+		}
+		for j, b := range batches {
+			for iv := b.firstIv; iv <= b.lastIv; iv++ {
+				if mod(iv) != s {
+					continue
+				}
+				in := get(iv)
+				in.Trajs = append(in.Trajs, int32(j))
+			}
+			for _, e := range b.emits {
+				if mod(e.interval) != s {
+					continue
+				}
+				bk := get(e.interval).bucket(e.re)
+				if e.isRef {
+					bk.Refs = append(bk.Refs, e.ref)
+				} else {
+					bk.NonRefs = append(bk.NonRefs, e.nonRef)
+				}
+			}
+		}
+		parts[s] = m
+		return nil
+	})
+	for _, m := range parts {
+		for id, iv := range m {
+			ix.Intervals[id] = iv
+		}
+	}
 }
 
 func (iv *Interval) bucket(re roadnet.RegionID) *RegionBucket {
@@ -201,18 +273,6 @@ func (iv *Interval) bucket(re roadnet.RegionID) *RegionBucket {
 	if b == nil {
 		b = &RegionBucket{}
 		iv.Regions[re] = b
-	}
-	return b
-}
-
-func (ix *Index) trajRegion(j int, re roadnet.RegionID) *RegionBucket {
-	if ix.byTrajRegion[j] == nil {
-		ix.byTrajRegion[j] = make(map[roadnet.RegionID]*RegionBucket)
-	}
-	b := ix.byTrajRegion[j][re]
-	if b == nil {
-		b = &RegionBucket{}
-		ix.byTrajRegion[j][re] = b
 	}
 	return b
 }

@@ -69,7 +69,10 @@ type (
 
 // Compression types.
 type (
-	// Options are the UTCQ compression parameters (pivots, ηD, ηp, Ts).
+	// Options are the UTCQ compression parameters (pivots, ηD, ηp, Ts),
+	// plus the Parallelism knob bounding the worker pools of Compress and
+	// Decompress (1 = serial, N = N workers, <1 = one per CPU; output is
+	// byte-identical across all settings).
 	Options = core.Options
 	// Archive is a compressed collection of uncertain trajectories.
 	Archive = core.Archive
@@ -79,8 +82,14 @@ type (
 	IndexOptions = stiu.Options
 	// Index is the StIU spatio-temporal index.
 	Index = stiu.Index
-	// Engine answers probabilistic queries over compressed data.
+	// Engine answers probabilistic queries over compressed data.  It is
+	// safe for concurrent use: one shared engine serves many goroutines
+	// with memory bounded by its cache budget.
 	Engine = query.Engine
+	// EngineOptions configure the engine's bounded sharded LRU caches.
+	EngineOptions = query.EngineOptions
+	// EngineStats is a snapshot of the engine's work and cache counters.
+	EngineStats = query.EngineStats
 	// WhereResult is one instance's location at a query time.
 	WhereResult = query.WhereResult
 	// WhenResult is one instance's passage time at a query location.
@@ -158,8 +167,19 @@ func DefaultIndexOptions() IndexOptions { return stiu.DefaultOptions() }
 // BuildIndex constructs the StIU index over an archive.
 func BuildIndex(a *Archive, opts IndexOptions) (*Index, error) { return stiu.Build(a, opts) }
 
-// NewEngine returns a query engine over an archive and its index.
+// NewEngine returns a query engine over an archive and its index with the
+// default cache budget.  The engine is safe for concurrent use.
 func NewEngine(a *Archive, ix *Index) *Engine { return query.NewEngine(a, ix) }
+
+// NewEngineWithOptions returns a query engine with an explicit cache
+// budget (entry bound and shard count).  The engine is safe for
+// concurrent use with memory bounded by the budget.
+func NewEngineWithOptions(a *Archive, ix *Index, o EngineOptions) *Engine {
+	return query.NewEngineWithOptions(a, ix, o)
+}
+
+// DefaultEngineOptions returns the default engine cache budget.
+func DefaultEngineOptions() EngineOptions { return query.DefaultEngineOptions() }
 
 // NewOracle returns a query processor over uncompressed trajectories.
 func NewOracle(g *Graph, tus []*Uncertain) *Oracle { return query.NewOracle(g, tus) }
