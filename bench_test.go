@@ -226,8 +226,10 @@ func BenchmarkWhenQueryTED(b *testing.B) {
 	}
 }
 
-func rangeRect(bu *exp.Bundle, i int) utcq.Rect {
-	bounds := bu.DS.Graph.Bounds()
+// rangeRect derives query rectangle i from precomputed network bounds.
+// Bounds() scans every vertex, so callers hoist it out of the timed loop —
+// the benchmark measures the query, not the bounds scan.
+func rangeRect(bounds utcq.Rect, i int) utcq.Rect {
 	w := (bounds.MaxX - bounds.MinX) * 0.08
 	x := bounds.MinX + float64(i%13)/13*(bounds.MaxX-bounds.MinX-w)
 	y := bounds.MinY + float64(i%7)/7*(bounds.MaxY-bounds.MinY-w)
@@ -237,11 +239,12 @@ func rangeRect(bu *exp.Bundle, i int) utcq.Rect {
 func BenchmarkRangeQueryUTCQ(b *testing.B) {
 	bu, eng, _ := queryEngine(b, "CD")
 	u := bu.DS.Trajectories[0]
+	bounds := bu.DS.Graph.Bounds()
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		tq := u.T[0] + int64(i)%(u.T[len(u.T)-1]-u.T[0])
-		if _, err := eng.Range(rangeRect(bu, i), tq, 0.5); err != nil {
+		if _, err := eng.Range(rangeRect(bounds, i), tq, 0.5); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -250,11 +253,12 @@ func BenchmarkRangeQueryUTCQ(b *testing.B) {
 func BenchmarkRangeQueryTED(b *testing.B) {
 	bu, _, teng := queryEngine(b, "CD")
 	u := bu.DS.Trajectories[0]
+	bounds := bu.DS.Graph.Bounds()
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		tq := u.T[0] + int64(i)%(u.T[len(u.T)-1]-u.T[0])
-		if _, err := teng.Range(rangeRect(bu, i), tq, 0.5); err != nil {
+		if _, err := teng.Range(rangeRect(bounds, i), tq, 0.5); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -306,10 +310,11 @@ func BenchmarkAblationNoPruning(b *testing.B) {
 	bu, eng, _ := queryEngine(b, "CD")
 	eng.DisablePruning = true
 	u := bu.DS.Trajectories[0]
+	bounds := bu.DS.Graph.Bounds()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		tq := u.T[0] + int64(i)%(u.T[len(u.T)-1]-u.T[0])
-		if _, err := eng.Range(rangeRect(bu, i), tq, 0.5); err != nil {
+		if _, err := eng.Range(rangeRect(bounds, i), tq, 0.5); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -429,6 +434,7 @@ func BenchmarkEngineConcurrent(b *testing.B) {
 		b.Fatal(err)
 	}
 	eng := query.NewEngine(arch, ix)
+	bounds := bu.DS.Graph.Bounds()
 	paths := make([][]utcq.EdgeID, len(bu.DS.Trajectories))
 	for j, u := range bu.DS.Trajectories {
 		p, err := u.Instances[0].PathEdges(bu.DS.Graph)
@@ -459,7 +465,7 @@ func BenchmarkEngineConcurrent(b *testing.B) {
 					b.Fatal(err)
 				}
 			default:
-				if _, err := eng.Range(rangeRect(bu, i), tq, 0.5); err != nil {
+				if _, err := eng.Range(rangeRect(bounds, i), tq, 0.5); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -1,0 +1,164 @@
+// Golden byte-identity tests: the hot-path rewrites (word-level bitio,
+// indexed factorization, direct serialization) must not change a single
+// output bit.  Fixtures under testdata/ were generated with the pre-rewrite
+// implementation; regenerate with `go test -run TestGolden -update` only
+// when the on-disk/bit-stream format changes deliberately.
+package utcq_test
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"utcq/internal/core"
+	"utcq/internal/exp"
+	"utcq/internal/paperfix"
+	"utcq/internal/roadnet"
+	"utcq/internal/stiu"
+	"utcq/internal/traj"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden fixtures")
+
+// archiveBytes compresses and serializes one dataset deterministically.
+func archiveBytes(t *testing.T, a *core.Archive) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := a.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// indexDigest walks the StIU index in a deterministic order and hashes
+// every stored field, so any change to the built index is detected.
+func indexDigest(ix *stiu.Index) string {
+	h := sha256.New()
+	for j, entries := range ix.Temporal {
+		fmt.Fprintf(h, "T%d:", j)
+		for _, e := range entries {
+			fmt.Fprintf(h, "(%d,%d,%d)", e.Start, e.No, e.Pos)
+		}
+	}
+	ivs := make([]int, 0, len(ix.Intervals))
+	for iv := range ix.Intervals {
+		ivs = append(ivs, iv)
+	}
+	sort.Ints(ivs)
+	for _, iv := range ivs {
+		in := ix.Intervals[iv]
+		fmt.Fprintf(h, "I%d:%v", iv, in.Trajs)
+		res := make([]int, 0, len(in.Regions))
+		for re := range in.Regions {
+			res = append(res, int(re))
+		}
+		sort.Ints(res)
+		for _, re := range res {
+			b := in.Regions[roadnet.RegionID(re)]
+			fmt.Fprintf(h, "R%d:", re)
+			for _, rt := range b.Refs {
+				fmt.Fprintf(h, "(%d,%d,%d,%d,%d,%g,%g)", rt.Traj, rt.Orig, rt.FV, rt.FVNo, rt.DPos, rt.PTotal, rt.PMax)
+			}
+			for _, nt := range b.NonRefs {
+				fmt.Fprintf(h, "(%d,%d,%d,%d,%d,%d)", nt.Traj, nt.Orig, nt.RefOrig, nt.RV, nt.RVNo, nt.MaPos)
+			}
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// TestGoldenPaperExample pins the exact serialized bytes of the paper's
+// worked-example trajectory.
+func TestGoldenPaperExample(t *testing.T) {
+	fx := paperfix.MustNew()
+	c, err := core.NewCompressor(fx.Graph, core.DefaultOptions(paperfix.Ts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := c.Compress([]*traj.Uncertain{fx.Tu1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := archiveBytes(t, a)
+	path := filepath.Join("testdata", "golden_paperfix.bin")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing fixture (run with -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("archive bytes changed: got %d bytes (sha %s), want %d bytes (sha %s)",
+			len(got), shortSHA(got), len(want), shortSHA(want))
+	}
+}
+
+// TestGoldenDatasets pins archive and StIU digests on the three synthetic
+// paper profiles.
+func TestGoldenDatasets(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden datasets are slow")
+	}
+	bundles, err := exp.Datasets(exp.Config{Scale: 0.1, Seed: 42, Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lines []string
+	for _, bu := range bundles {
+		c, err := core.NewCompressor(bu.DS.Graph, bu.Opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := c.Compress(bu.DS.Trajectories)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ab := archiveBytes(t, a)
+		ix, err := stiu.Build(a, stiu.DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		lines = append(lines,
+			fmt.Sprintf("%s archive %s", bu.Profile.Name, shortSHA(ab)),
+			fmt.Sprintf("%s stiu %s", bu.Profile.Name, indexDigest(ix)))
+	}
+	got := ""
+	for _, l := range lines {
+		got += l + "\n"
+	}
+	path := filepath.Join("testdata", "golden_datasets.txt")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing fixture (run with -update): %v", err)
+	}
+	if got != string(want) {
+		t.Fatalf("digests changed:\ngot:\n%swant:\n%s", got, want)
+	}
+}
+
+func shortSHA(b []byte) string {
+	s := sha256.Sum256(b)
+	return hex.EncodeToString(s[:])
+}

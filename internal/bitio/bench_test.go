@@ -1,0 +1,125 @@
+package bitio
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// benchValues is a fixed mix of widths/values resembling the real streams:
+// narrow edge numbers, medium vertex ids, wide timestamps.
+func benchValues() ([]uint64, []int) {
+	rng := rand.New(rand.NewSource(7))
+	vals := make([]uint64, 4096)
+	widths := make([]int, 4096)
+	for i := range vals {
+		var w int
+		switch i % 4 {
+		case 0:
+			w = 3
+		case 1:
+			w = 11
+		case 2:
+			w = 17
+		default:
+			w = 40
+		}
+		widths[i] = w
+		vals[i] = rng.Uint64() & (1<<uint(w) - 1)
+	}
+	return vals, widths
+}
+
+func BenchmarkBitioWrite(b *testing.B) {
+	vals, widths := benchValues()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w := NewWriter(len(vals) * 18)
+		for k := range vals {
+			w.WriteBits(vals[k], widths[k])
+		}
+		if w.Len() == 0 {
+			b.Fatal("empty")
+		}
+	}
+}
+
+func BenchmarkBitioRead(b *testing.B) {
+	vals, widths := benchValues()
+	w := NewWriter(len(vals) * 18)
+	for k := range vals {
+		w.WriteBits(vals[k], widths[k])
+	}
+	buf := w.Bytes()
+	nbits := w.Len()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := NewReaderBits(buf, nbits)
+		for k := range vals {
+			v, err := r.ReadBits(widths[k])
+			if err != nil {
+				b.Fatal(err)
+			}
+			if v != vals[k] {
+				b.Fatalf("value %d: got %d want %d", k, v, vals[k])
+			}
+		}
+	}
+}
+
+func BenchmarkBitioUnary(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	ns := make([]int, 4096)
+	for i := range ns {
+		ns[i] = rng.Intn(24)
+	}
+	w := NewWriter(len(ns) * 12)
+	for _, n := range ns {
+		w.WriteUnary(n)
+	}
+	buf := w.Bytes()
+	nbits := w.Len()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := NewReaderBits(buf, nbits)
+		for k := range ns {
+			n, err := r.ReadUnary()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if n != ns[k] {
+				b.Fatalf("unary %d: got %d want %d", k, n, ns[k])
+			}
+		}
+	}
+}
+
+func BenchmarkBitioEliasGamma(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	vals := make([]uint64, 4096)
+	for i := range vals {
+		vals[i] = uint64(rng.Intn(1<<16)) + 1
+	}
+	w := NewWriter(len(vals) * 33)
+	for _, v := range vals {
+		w.WriteEliasGamma(v)
+	}
+	buf := w.Bytes()
+	nbits := w.Len()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := NewReaderBits(buf, nbits)
+		for k := range vals {
+			v, err := r.ReadEliasGamma()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if v != vals[k] {
+				b.Fatalf("gamma %d: got %d want %d", k, v, vals[k])
+			}
+		}
+	}
+}

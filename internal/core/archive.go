@@ -134,11 +134,22 @@ func (tr *TrajRecord) Reader(pos int) (*bitio.Reader, error) {
 // startT is the timestamp with index startIdx, and pos is the bit position
 // of the next deviation code (t.pos).
 func (tr *TrajRecord) TimeCursorAt(ts int64, pos int, startT int64, startIdx int) (*TimeCursor, error) {
-	r, err := tr.Reader(pos)
-	if err != nil {
+	c := &TimeCursor{}
+	if err := tr.ResetTimeCursor(c, ts, pos, startT, startIdx); err != nil {
 		return nil, err
 	}
-	return &TimeCursor{r: r, t: startT, idx: startIdx, n: tr.NumPoints, ts: ts}, nil
+	return c, nil
+}
+
+// ResetTimeCursor initializes a caller-owned cursor in place (allocation-free
+// resumption for the query hot paths); see TimeCursorAt.
+func (tr *TrajRecord) ResetTimeCursor(c *TimeCursor, ts int64, pos int, startT int64, startIdx int) error {
+	c.r.Reset(tr.Bits, tr.BitLen)
+	if err := c.r.Seek(pos); err != nil {
+		return err
+	}
+	c.t, c.idx, c.n, c.ts = startT, startIdx, tr.NumPoints, ts
+	return nil
 }
 
 // TimeCursorStart iterates timestamps from the beginning.

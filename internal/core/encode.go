@@ -96,11 +96,30 @@ func (c *Compressor) CompressOne(u *traj.Uncertain) (*TrajRecord, CompStats, err
 		}
 		c.encodeRef(w, &u.Instances[orig], len(u.T), orig, &stats)
 	}
+	// Factorization indexes, built once per reference and shared by all of
+	// its non-references.
+	refIx := make(map[int]*refIndexes)
 	for orig := range u.Instances {
 		if sel.IsRef[orig] {
 			continue
 		}
 		refOrig := sel.RefOf[orig]
+		ix := refIx[refOrig]
+		if ix == nil {
+			ref := &u.Instances[refOrig]
+			stored := StoredTF(ref.TF)
+			dq := make([]float64, len(ref.D))
+			for i, rd := range ref.D {
+				dq[i] = c.dCodec.Quantize(rd)
+			}
+			ix = &refIndexes{
+				e:        NewRefIndex(ref.E),
+				tf:       NewTFIndex(stored),
+				tfStored: stored,
+				dQuant:   dq,
+			}
+			refIx[refOrig] = ix
+		}
 		rec.Insts[orig] = InstMeta{
 			IsRef:   false,
 			RefOrig: refOrig,
@@ -108,7 +127,7 @@ func (c *Compressor) CompressOne(u *traj.Uncertain) (*TrajRecord, CompStats, err
 			P:       c.pCodec.Quantize(u.Instances[orig].P),
 			SV:      u.Instances[orig].SV,
 		}
-		if err := c.encodeNonRef(w, u, orig, refOrig, refWritePos[refOrig], &stats); err != nil {
+		if err := c.encodeNonRef(w, u, orig, refOrig, refWritePos[refOrig], ix, &stats); err != nil {
 			return nil, stats, err
 		}
 	}
@@ -153,13 +172,22 @@ func (c *Compressor) encodeRef(w *bitio.Writer, ins *traj.Instance, numPoints, o
 	_ = numPoints
 }
 
+// refIndexes groups the per-reference factorization state shared by all
+// non-references of one reference.
+type refIndexes struct {
+	e        *RefIndex
+	tf       *TFIndex
+	tfStored []bool
+	dQuant   []float64 // quantized reference distances, computed once
+}
+
 // encodeNonRef writes a non-reference record:
 //
 //	[origIdx γ][isRef=0][p PDDP][refPos γ]
 //	[H γ][lastHasM][E factors]
 //	[tfSame][H' γ][lastHasM][T' factors]
 //	[numD γ][D factors]
-func (c *Compressor) encodeNonRef(w *bitio.Writer, u *traj.Uncertain, orig, refOrig, refPos int, stats *CompStats) error {
+func (c *Compressor) encodeNonRef(w *bitio.Writer, u *traj.Uncertain, orig, refOrig, refPos int, ix *refIndexes, stats *CompStats) error {
 	ins := &u.Instances[orig]
 	ref := &u.Instances[refOrig]
 
@@ -178,7 +206,7 @@ func (c *Compressor) encodeNonRef(w *bitio.Writer, u *traj.Uncertain, orig, refO
 
 	// E factors.
 	mark = w.Len()
-	eFactors := FactorsSLM(ins.E, ref.E)
+	eFactors := ix.e.FactorsSLM(ins.E)
 	if err := writeEFactors(w, eFactors, len(ref.E), c.edgeBits); err != nil {
 		return err
 	}
@@ -190,14 +218,14 @@ func (c *Compressor) encodeNonRef(w *bitio.Writer, u *traj.Uncertain, orig, refO
 	// short strings a single factor can exceed the raw form, so the
 	// encoder keeps whichever is smaller.
 	mark = w.Len()
-	refStored := StoredTF(ref.TF)
+	refStored := ix.tfStored
 	insStored := StoredTF(ins.TF)
 	switch {
 	case boolsEqual(insStored, refStored):
 		w.WriteBit(1)
 	default:
 		w.WriteBit(0)
-		factors := FactorsTF(insStored, refStored)
+		factors := ix.tf.FactorsTF(insStored)
 		probe := bitio.NewWriter(64)
 		writeTFFactors(probe, factors, len(refStored))
 		if probe.Len() < len(insStored) {
@@ -214,7 +242,7 @@ func (c *Compressor) encodeNonRef(w *bitio.Writer, u *traj.Uncertain, orig, refO
 
 	// D factors.
 	mark = w.Len()
-	dFactors := DiffD(ins.D, ref.D, c.dCodec)
+	dFactors := diffDQuant(ins.D, ix.dQuant, c.dCodec)
 	w.WriteCount(len(dFactors))
 	posBits := bitio.WidthFor(len(u.T) - 1)
 	for _, f := range dFactors {

@@ -1,0 +1,54 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// benchSeqs builds a reference and a set of similar non-reference edge
+// sequences over a small out-degree alphabet, the shape real map-matched
+// instances have.
+func benchSeqs(refLen, numInputs, alphabet int) ([]uint16, [][]uint16) {
+	rng := rand.New(rand.NewSource(11))
+	ref := make([]uint16, refLen)
+	for i := range ref {
+		ref[i] = uint16(rng.Intn(alphabet))
+	}
+	inputs := make([][]uint16, numInputs)
+	for k := range inputs {
+		in := make([]uint16, refLen)
+		copy(in, ref)
+		// Perturb ~5% of positions so factorization stays non-trivial.
+		for m := 0; m < refLen/20+1; m++ {
+			in[rng.Intn(refLen)] = uint16(rng.Intn(alphabet))
+		}
+		inputs[k] = in
+	}
+	return ref, inputs
+}
+
+func BenchmarkFactorsSLM(b *testing.B) {
+	ref, inputs := benchSeqs(512, 16, 6)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, in := range inputs {
+			if f := FactorsSLM(in, ref); len(f) == 0 {
+				b.Fatal("no factors")
+			}
+		}
+	}
+}
+
+func BenchmarkFactorsSL(b *testing.B) {
+	ref, inputs := benchSeqs(512, 16, 6)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, in := range inputs {
+			if f := FactorsSL(in, ref); len(f) == 0 {
+				b.Fatal("no factors")
+			}
+		}
+	}
+}

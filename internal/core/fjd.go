@@ -89,9 +89,10 @@ func SelectPivots(tu *traj.Uncertain, numPivots int) PivotSet {
 	isPivot := make([]bool, n)
 
 	represent := func(base int) [][]PivotFactor {
+		ix := NewRefIndex(tu.Instances[base].E)
 		coms := make([][]PivotFactor, n)
 		for w := 0; w < n; w++ {
-			coms[w] = FactorsSL(tu.Instances[w].E, tu.Instances[base].E)
+			coms[w] = ix.FactorsSL(tu.Instances[w].E)
 		}
 		return coms
 	}

@@ -1,0 +1,166 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+)
+
+// naiveLongestMatch is the historical O(|ref|·|needle|) scan, kept as the
+// fuzz oracle: RefIndex must reproduce its leftmost-longest choice exactly,
+// because factor lists feed the archive bit streams.
+func naiveLongestMatch(needle, ref []uint16) (int, int) {
+	bestS, bestL := 0, 0
+	for s := 0; s < len(ref); s++ {
+		l := 0
+		for l < len(needle) && s+l < len(ref) && ref[s+l] == needle[l] {
+			l++
+		}
+		if l > bestL {
+			bestS, bestL = s, l
+		}
+	}
+	return bestS, bestL
+}
+
+func naiveFactorsSLM(input, ref []uint16) []EFactor {
+	var out []EFactor
+	i := 0
+	for i < len(input) {
+		s, l := naiveLongestMatch(input[i:], ref)
+		if l == 0 {
+			out = append(out, EFactor{S: len(ref), M: input[i], HasM: true, NotInRef: true})
+			i++
+			continue
+		}
+		i += l
+		if i < len(input) {
+			out = append(out, EFactor{S: s, L: l, M: input[i], HasM: true})
+			i++
+		} else {
+			out = append(out, EFactor{S: s, L: l})
+		}
+	}
+	return out
+}
+
+func naiveFactorsTF(input, ref []bool) []TFFactor {
+	var out []TFFactor
+	i := 0
+	for i < len(input) {
+		s, l := 0, 0
+		for c := 0; c < len(ref); c++ {
+			m := 0
+			for i+m < len(input) && c+m < len(ref) && ref[c+m] == input[i+m] {
+				m++
+			}
+			if m > l {
+				s, l = c, m
+			}
+		}
+		i += l
+		if i < len(input) {
+			out = append(out, TFFactor{S: s, L: l, M: input[i], HasM: true})
+			i++
+		} else {
+			out = append(out, TFFactor{S: s, L: l})
+		}
+	}
+	return out
+}
+
+// FuzzFactorsRoundTrip checks, for arbitrary symbol sequences, that the
+// indexed factorization (a) matches the naive leftmost-longest scan
+// factor-for-factor and (b) expands back to exactly the input.
+func FuzzFactorsRoundTrip(f *testing.F) {
+	f.Add([]byte{1, 2, 1, 2, 2, 0, 4, 1, 0}, []byte{1, 1, 1, 2, 2, 0, 4, 1, 0}, uint8(4))
+	f.Add([]byte{0, 0, 0}, []byte{1, 1, 1}, uint8(1))
+	f.Add([]byte{}, []byte{5}, uint8(200))
+	f.Fuzz(func(t *testing.T, refB, inB []byte, alpha uint8) {
+		if len(refB) > 512 || len(inB) > 512 {
+			return // keep the quadratic oracle fast
+		}
+		mod := int(alpha)%300 + 1 // exercise both flat and map layouts
+		ref := make([]uint16, len(refB))
+		for i, b := range refB {
+			ref[i] = uint16(int(b) * 257 % mod)
+		}
+		input := make([]uint16, len(inB))
+		for i, b := range inB {
+			input[i] = uint16(int(b) * 257 % mod)
+		}
+
+		got := FactorsSLM(input, ref)
+		want := naiveFactorsSLM(input, ref)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("FactorsSLM diverged from naive scan:\n got %+v\nwant %+v", got, want)
+		}
+		back, err := ExpandE(got, ref)
+		if err != nil {
+			t.Fatalf("ExpandE: %v", err)
+		}
+		if len(back) != len(input) {
+			t.Fatalf("round trip length %d, want %d", len(back), len(input))
+		}
+		for i := range back {
+			if back[i] != input[i] {
+				t.Fatalf("round trip mismatch at %d: %d vs %d", i, back[i], input[i])
+			}
+		}
+
+		// Pivot factorization: same matches, Omitted for absent symbols.
+		sl := FactorsSL(input, ref)
+		pos := 0
+		for _, fac := range sl {
+			if fac.Omitted {
+				pos++
+				continue
+			}
+			for k := 0; k < fac.L; k++ {
+				if ref[fac.S+k] != input[pos+k] {
+					t.Fatalf("SL factor (%d,%d) does not match input at %d", fac.S, fac.L, pos)
+				}
+			}
+			pos += fac.L
+		}
+		if pos != len(input) {
+			t.Fatalf("SL factors cover %d of %d symbols", pos, len(input))
+		}
+
+		// Time-flag factorization against the bool oracle, only when every
+		// input bit occurs in ref (FactorsTF requires it, as stored strings
+		// always share the alphabet in practice).
+		refTF := make([]bool, len(refB))
+		for i, b := range refB {
+			refTF[i] = b&1 == 1
+		}
+		inTF := make([]bool, len(inB))
+		for i, b := range inB {
+			inTF[i] = b&1 == 1
+		}
+		hasBit := [2]bool{}
+		for _, b := range refTF {
+			hasBit[b2i(b)] = true
+		}
+		ok := true
+		for _, b := range inTF {
+			if !hasBit[b2i(b)] {
+				ok = false
+				break
+			}
+		}
+		if len(inTF) > 0 && len(inTF) <= len(refTF)+4 && ok {
+			gotTF := FactorsTF(inTF, refTF)
+			wantTF := naiveFactorsTF(inTF, refTF)
+			if !reflect.DeepEqual(gotTF, wantTF) {
+				t.Fatalf("FactorsTF diverged from naive scan:\n got %+v\nwant %+v", gotTF, wantTF)
+			}
+			backTF, err := ExpandTF(gotTF, refTF)
+			if err != nil {
+				t.Fatalf("ExpandTF: %v", err)
+			}
+			if !reflect.DeepEqual(backTF, inTF) {
+				t.Fatalf("TF round trip mismatch: %v vs %v", backTF, inTF)
+			}
+		}
+	})
+}

@@ -1,7 +1,7 @@
 package core
 
 import (
-	"sort"
+	"slices"
 
 	"utcq/internal/traj"
 )
@@ -92,14 +92,19 @@ func selectReferencesWith(tu *traj.Uncertain, numPivots int, sim func(a, b []Piv
 			}
 		}
 	}
-	sort.Slice(entries, func(a, b int) bool {
-		if entries[a].score != entries[b].score {
-			return entries[a].score > entries[b].score
+	// The comparator is a total order, so the sorted slice is identical to
+	// the historical sort.Slice result; SortFunc just skips the reflection.
+	slices.SortFunc(entries, func(a, b entry) int {
+		switch {
+		case a.score > b.score:
+			return -1
+		case a.score < b.score:
+			return 1
+		case a.w != b.w:
+			return a.w - b.w
+		default:
+			return a.v - b.v
 		}
-		if entries[a].w != entries[b].w {
-			return entries[a].w < entries[b].w
-		}
-		return entries[a].v < entries[b].v
 	})
 
 	isNonRef := make([]bool, n)

@@ -18,6 +18,11 @@ import (
 // positions) is persisted too so partial decompression works immediately
 // after loading without a rebuild scan.
 //
+// Fields are encoded by hand through a little-endian scratch buffer rather
+// than binary.Write/binary.Read: the reflection those take per field is a
+// known Go slow path, and the directory has many small fields.  The wire
+// format is unchanged (TestSerializeGolden pins it).
+//
 // Layout (little endian):
 //
 //	magic "UTCQ" | version u16
@@ -40,6 +45,80 @@ const (
 	flagPlainJaccard       = 1 << 1
 )
 
+// leWriter encodes fixed-width little-endian fields through a scratch
+// buffer, avoiding the per-field reflection of binary.Write.
+type leWriter struct {
+	w       *bufio.Writer
+	scratch [8]byte
+}
+
+func (lw *leWriter) u16(v uint16) error {
+	binary.LittleEndian.PutUint16(lw.scratch[:2], v)
+	_, err := lw.w.Write(lw.scratch[:2])
+	return err
+}
+
+func (lw *leWriter) u32(v uint32) error {
+	binary.LittleEndian.PutUint32(lw.scratch[:4], v)
+	_, err := lw.w.Write(lw.scratch[:4])
+	return err
+}
+
+func (lw *leWriter) u64(v uint64) error {
+	binary.LittleEndian.PutUint64(lw.scratch[:8], v)
+	_, err := lw.w.Write(lw.scratch[:8])
+	return err
+}
+
+func (lw *leWriter) i32(v int32) error { return lw.u32(uint32(v)) }
+func (lw *leWriter) i64(v int64) error { return lw.u64(uint64(v)) }
+func (lw *leWriter) f64(v float64) error {
+	return lw.u64(math.Float64bits(v))
+}
+
+// leReader decodes fixed-width little-endian fields through a scratch
+// buffer, avoiding the per-field reflection of binary.Read.
+type leReader struct {
+	r       *bufio.Reader
+	scratch [8]byte
+}
+
+func (lr *leReader) u16() (uint16, error) {
+	if _, err := io.ReadFull(lr.r, lr.scratch[:2]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint16(lr.scratch[:2]), nil
+}
+
+func (lr *leReader) u32() (uint32, error) {
+	if _, err := io.ReadFull(lr.r, lr.scratch[:4]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(lr.scratch[:4]), nil
+}
+
+func (lr *leReader) u64() (uint64, error) {
+	if _, err := io.ReadFull(lr.r, lr.scratch[:8]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(lr.scratch[:8]), nil
+}
+
+func (lr *leReader) i32() (int32, error) {
+	v, err := lr.u32()
+	return int32(v), err
+}
+
+func (lr *leReader) i64() (int64, error) {
+	v, err := lr.u64()
+	return int64(v), err
+}
+
+func (lr *leReader) f64() (float64, error) {
+	v, err := lr.u64()
+	return math.Float64frombits(v), err
+}
+
 // Save writes the archive to w.  The road network is not serialized: an
 // archive is only meaningful against the network it was compressed with,
 // and the caller re-attaches it on Load.
@@ -48,25 +127,21 @@ func (a *Archive) Save(w io.Writer) error {
 	if _, err := bw.WriteString(archiveMagic); err != nil {
 		return err
 	}
-	le := binary.LittleEndian
-	writeU16 := func(v uint16) error { return binary.Write(bw, le, v) }
-	writeU32 := func(v uint32) error { return binary.Write(bw, le, v) }
-	writeI64 := func(v int64) error { return binary.Write(bw, le, v) }
-	writeF64 := func(v float64) error { return binary.Write(bw, le, math.Float64bits(v)) }
+	lw := &leWriter{w: bw}
 
-	if err := writeU16(archiveVersion); err != nil {
+	if err := lw.u16(archiveVersion); err != nil {
 		return err
 	}
-	if err := writeU16(uint16(a.Opts.NumPivots)); err != nil {
+	if err := lw.u16(uint16(a.Opts.NumPivots)); err != nil {
 		return err
 	}
-	if err := writeF64(a.Opts.EtaD); err != nil {
+	if err := lw.f64(a.Opts.EtaD); err != nil {
 		return err
 	}
-	if err := writeF64(a.Opts.EtaP); err != nil {
+	if err := lw.f64(a.Opts.EtaP); err != nil {
 		return err
 	}
-	if err := writeI64(a.Opts.Ts); err != nil {
+	if err := lw.i64(a.Opts.Ts); err != nil {
 		return err
 	}
 	flags := byte(0)
@@ -79,34 +154,34 @@ func (a *Archive) Save(w io.Writer) error {
 	if err := bw.WriteByte(flags); err != nil {
 		return err
 	}
-	if err := writeU16(uint16(a.VertexBits)); err != nil {
+	if err := lw.u16(uint16(a.VertexBits)); err != nil {
 		return err
 	}
-	if err := writeU16(uint16(a.EdgeBits)); err != nil {
+	if err := lw.u16(uint16(a.EdgeBits)); err != nil {
 		return err
 	}
-	if err := writeU32(uint32(len(a.Trajs))); err != nil {
+	if err := lw.u32(uint32(len(a.Trajs))); err != nil {
 		return err
 	}
 	for _, tr := range a.Trajs {
-		if err := writeU32(uint32(tr.BitLen)); err != nil {
+		if err := lw.u32(uint32(tr.BitLen)); err != nil {
 			return err
 		}
-		if err := writeU32(uint32(tr.NumPoints)); err != nil {
+		if err := lw.u32(uint32(tr.NumPoints)); err != nil {
 			return err
 		}
-		if err := writeI64(tr.T0); err != nil {
+		if err := lw.i64(tr.T0); err != nil {
 			return err
 		}
-		if err := writeU32(uint32(len(tr.TDeltaPos))); err != nil {
+		if err := lw.u32(uint32(len(tr.TDeltaPos))); err != nil {
 			return err
 		}
 		for _, p := range tr.TDeltaPos {
-			if err := writeU32(uint32(p)); err != nil {
+			if err := lw.u32(uint32(p)); err != nil {
 				return err
 			}
 		}
-		if err := writeU32(uint32(len(tr.Insts))); err != nil {
+		if err := lw.u32(uint32(len(tr.Insts))); err != nil {
 			return err
 		}
 		for _, m := range tr.Insts {
@@ -117,24 +192,24 @@ func (a *Archive) Save(w io.Writer) error {
 			if err := bw.WriteByte(fl); err != nil {
 				return err
 			}
-			if err := binary.Write(bw, le, int32(m.RefOrig)); err != nil {
+			if err := lw.i32(int32(m.RefOrig)); err != nil {
 				return err
 			}
-			if err := writeU32(uint32(m.Start)); err != nil {
+			if err := lw.u32(uint32(m.Start)); err != nil {
 				return err
 			}
-			if err := writeF64(m.P); err != nil {
+			if err := lw.f64(m.P); err != nil {
 				return err
 			}
-			if err := binary.Write(bw, le, int32(m.SV)); err != nil {
+			if err := lw.i32(int32(m.SV)); err != nil {
 				return err
 			}
 		}
-		if err := writeU32(uint32(len(tr.RefOrigByWrite))); err != nil {
+		if err := lw.u32(uint32(len(tr.RefOrigByWrite))); err != nil {
 			return err
 		}
 		for _, o := range tr.RefOrigByWrite {
-			if err := writeU32(uint32(o)); err != nil {
+			if err := lw.u32(uint32(o)); err != nil {
 				return err
 			}
 		}
@@ -159,18 +234,9 @@ func Load(r io.Reader, g *roadnet.Graph) (*Archive, error) {
 	if string(magic) != archiveMagic {
 		return nil, errors.New("core: not a UTCQ archive")
 	}
-	le := binary.LittleEndian
-	readU16 := func() (uint16, error) { var v uint16; err := binary.Read(br, le, &v); return v, err }
-	readU32 := func() (uint32, error) { var v uint32; err := binary.Read(br, le, &v); return v, err }
-	readI32 := func() (int32, error) { var v int32; err := binary.Read(br, le, &v); return v, err }
-	readI64 := func() (int64, error) { var v int64; err := binary.Read(br, le, &v); return v, err }
-	readF64 := func() (float64, error) {
-		var v uint64
-		err := binary.Read(br, le, &v)
-		return math.Float64frombits(v), err
-	}
+	lr := &leReader{r: br}
 
-	version, err := readU16()
+	version, err := lr.u16()
 	if err != nil {
 		return nil, err
 	}
@@ -178,18 +244,18 @@ func Load(r io.Reader, g *roadnet.Graph) (*Archive, error) {
 		return nil, fmt.Errorf("core: unsupported archive version %d", version)
 	}
 	var opts Options
-	pv, err := readU16()
+	pv, err := lr.u16()
 	if err != nil {
 		return nil, err
 	}
 	opts.NumPivots = int(pv)
-	if opts.EtaD, err = readF64(); err != nil {
+	if opts.EtaD, err = lr.f64(); err != nil {
 		return nil, err
 	}
-	if opts.EtaP, err = readF64(); err != nil {
+	if opts.EtaP, err = lr.f64(); err != nil {
 		return nil, err
 	}
-	if opts.Ts, err = readI64(); err != nil {
+	if opts.Ts, err = lr.i64(); err != nil {
 		return nil, err
 	}
 	flags, err := br.ReadByte()
@@ -200,11 +266,11 @@ func Load(r io.Reader, g *roadnet.Graph) (*Archive, error) {
 	opts.PlainJaccard = flags&flagPlainJaccard != 0
 
 	a := &Archive{Opts: opts, Graph: g}
-	vb, err := readU16()
+	vb, err := lr.u16()
 	if err != nil {
 		return nil, err
 	}
-	eb, err := readU16()
+	eb, err := lr.u16()
 	if err != nil {
 		return nil, err
 	}
@@ -216,39 +282,39 @@ func Load(r io.Reader, g *roadnet.Graph) (*Archive, error) {
 		return nil, err
 	}
 
-	nt, err := readU32()
+	nt, err := lr.u32()
 	if err != nil {
 		return nil, err
 	}
 	a.Trajs = make([]*TrajRecord, nt)
 	for j := range a.Trajs {
 		tr := &TrajRecord{}
-		bl, err := readU32()
+		bl, err := lr.u32()
 		if err != nil {
 			return nil, err
 		}
 		tr.BitLen = int(bl)
-		np, err := readU32()
+		np, err := lr.u32()
 		if err != nil {
 			return nil, err
 		}
 		tr.NumPoints = int(np)
-		if tr.T0, err = readI64(); err != nil {
+		if tr.T0, err = lr.i64(); err != nil {
 			return nil, err
 		}
-		nd, err := readU32()
+		nd, err := lr.u32()
 		if err != nil {
 			return nil, err
 		}
 		tr.TDeltaPos = make([]int, nd)
 		for i := range tr.TDeltaPos {
-			p, err := readU32()
+			p, err := lr.u32()
 			if err != nil {
 				return nil, err
 			}
 			tr.TDeltaPos[i] = int(p)
 		}
-		ni, err := readU32()
+		ni, err := lr.u32()
 		if err != nil {
 			return nil, err
 		}
@@ -258,19 +324,19 @@ func Load(r io.Reader, g *roadnet.Graph) (*Archive, error) {
 			if err != nil {
 				return nil, err
 			}
-			refOrig, err := readI32()
+			refOrig, err := lr.i32()
 			if err != nil {
 				return nil, err
 			}
-			start, err := readU32()
+			start, err := lr.u32()
 			if err != nil {
 				return nil, err
 			}
-			p, err := readF64()
+			p, err := lr.f64()
 			if err != nil {
 				return nil, err
 			}
-			sv, err := readI32()
+			sv, err := lr.i32()
 			if err != nil {
 				return nil, err
 			}
@@ -282,13 +348,13 @@ func Load(r io.Reader, g *roadnet.Graph) (*Archive, error) {
 				SV:      roadnet.VertexID(sv),
 			}
 		}
-		nr, err := readU32()
+		nr, err := lr.u32()
 		if err != nil {
 			return nil, err
 		}
 		tr.RefOrigByWrite = make([]int, nr)
 		for i := range tr.RefOrigByWrite {
-			o, err := readU32()
+			o, err := lr.u32()
 			if err != nil {
 				return nil, err
 			}

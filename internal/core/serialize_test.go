@@ -2,6 +2,8 @@ package core
 
 import (
 	"bytes"
+	"crypto/sha256"
+	"fmt"
 	"reflect"
 	"testing"
 
@@ -146,5 +148,40 @@ func TestDecodeCorruptedStream(t *testing.T) {
 			// crashes are not.
 			_, _ = a.DecodeAll()
 		}()
+	}
+}
+
+// TestSerializeGolden pins the on-disk format: the digest below was
+// produced by the historical reflection-based binary.Write encoder, so the
+// direct little-endian encoder must reproduce it bit for bit, and loading
+// the stream back must reproduce the archive.
+func TestSerializeGolden(t *testing.T) {
+	const wantSHA = "3a156c5ad657d1ccef83cd965523ceccfa1452131992196ce85cba89c447cde1"
+	fx := paperfix.MustNew()
+	c, err := NewCompressor(fx.Graph, DefaultOptions(paperfix.Ts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := c.Compress([]*traj.Uncertain{fx.Tu1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := a.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if got := fmt.Sprintf("%x", sha256.Sum256(buf.Bytes())); got != wantSHA {
+		t.Fatalf("archive digest changed:\n got %s\nwant %s", got, wantSHA)
+	}
+	back, err := Load(bytes.NewReader(buf.Bytes()), fx.Graph)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf2 bytes.Buffer
+	if err := back.Save(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Fatal("save/load/save round trip is not byte-identical")
 	}
 }

@@ -93,9 +93,11 @@ func decodeT(r *bitio.Reader, Ts int64) ([]int64, error) {
 }
 
 // TimeCursor iterates timestamps from a mid-stream position, implementing
-// the partial decompression the temporal index enables.
+// the partial decompression the temporal index enables.  The embedded
+// reader is a value so a cursor can live on the caller's stack
+// (TrajRecord.ResetTimeCursor) without per-query allocation.
 type TimeCursor struct {
-	r   *bitio.Reader
+	r   bitio.Reader
 	t   int64 // timestamp at Index
 	idx int   // index of t within T
 	n   int   // total number of timestamps
@@ -113,7 +115,7 @@ func (c *TimeCursor) Next() bool {
 	if c.idx+1 >= c.n {
 		return false
 	}
-	d, err := egolomb.Decode(c.r)
+	d, err := egolomb.Decode(&c.r)
 	if err != nil {
 		return false
 	}

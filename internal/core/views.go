@@ -197,17 +197,20 @@ func positionOfPoint(k, fullLen int, onesUpTo func(int) int) (int, error) {
 }
 
 // DecodeD partially decompresses the k-th relative distance using its
-// stored bit position.
+// stored bit position.  The bit reader lives on the stack (bitio.Reader
+// Reset), so per-point decodes do not allocate.
 func (v *RefView) DecodeD(k int) (float64, error) {
 	dpos := v.DPos()
 	if k < 0 || k >= len(dpos) {
 		return 0, fmt.Errorf("core: point index %d outside %d", k, len(dpos))
 	}
-	r, err := v.arch.Trajs[v.traj].Reader(dpos[k])
-	if err != nil {
+	rec := v.arch.Trajs[v.traj]
+	var r bitio.Reader
+	r.Reset(rec.Bits, rec.BitLen)
+	if err := r.Seek(dpos[k]); err != nil {
 		return 0, err
 	}
-	return v.arch.DCodec.Decode(r)
+	return v.arch.DCodec.Decode(&r)
 }
 
 // D decodes all relative distances.

@@ -22,6 +22,12 @@ type Codec struct {
 	eta     float64
 	imax    int // maximum fraction length; 2^-imax <= eta
 	lenBits int // width of the length prefix
+
+	// Precomputed 2^-i for i in [0, imax] and 2^imax, filled with the same
+	// math.Pow calls the hot loops used to make: the products are
+	// bit-identical, only the per-value Pow cost is gone.
+	pow2neg []float64
+	scale   float64
 }
 
 // NewCodec returns a codec with error bound eta ∈ (0, 0.5].
@@ -36,7 +42,13 @@ func NewCodec(eta float64) (*Codec, error) {
 			return nil, fmt.Errorf("pddp: error bound %g too small", eta)
 		}
 	}
-	return &Codec{eta: eta, imax: imax, lenBits: bitio.WidthFor(imax)}, nil
+	c := &Codec{eta: eta, imax: imax, lenBits: bitio.WidthFor(imax)}
+	c.pow2neg = make([]float64, imax+1)
+	for i := 0; i <= imax; i++ {
+		c.pow2neg[i] = math.Pow(2, -float64(i))
+	}
+	c.scale = math.Pow(2, float64(imax))
+	return c, nil
 }
 
 // MustCodec is NewCodec that panics on error; for tests and constants.
@@ -64,10 +76,10 @@ func (c *Codec) code(v float64) (bits uint64, length int) {
 		// All-ones code of maximal length: 1 - 2^-Imax, within eta of 1.
 		return (1 << uint(c.imax)) - 1, c.imax
 	}
-	full := uint64(v * math.Pow(2, float64(c.imax))) // floor(v * 2^Imax)
+	full := uint64(v * c.scale) // floor(v * 2^Imax)
 	for length := 0; length < c.imax; length++ {
 		cand := full >> uint(c.imax-length)
-		cv := float64(cand) * math.Pow(2, -float64(length))
+		cv := float64(cand) * c.pow2neg[length]
 		if v-cv <= c.eta {
 			return cand, length
 		}
@@ -101,13 +113,13 @@ func (c *Codec) Decode(r *bitio.Reader) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
-	return float64(bits) * math.Pow(2, -float64(length)), nil
+	return float64(bits) * c.pow2neg[length], nil
 }
 
 // Quantize returns the value a round trip through the codec produces.
 func (c *Codec) Quantize(v float64) float64 {
 	bits, length := c.code(v)
-	return float64(bits) * math.Pow(2, -float64(length))
+	return float64(bits) * c.pow2neg[length]
 }
 
 // Tree is the prefix-sharing structure over emitted codes (the "PDDP-tree").

@@ -2,7 +2,9 @@ package query
 
 import (
 	"fmt"
+	"slices"
 	"sort"
+	"sync"
 	"sync/atomic"
 
 	"utcq/internal/cache"
@@ -38,11 +40,66 @@ type Engine struct {
 	refViews *cache.LRU[[2]int, *core.RefView]
 	paths    *cache.LRU[[2]int, *lazyPath]
 
+	// Per-trajectory query-plan state, precomputed at construction so the
+	// range hot path neither sorts nor allocates per query:
+	// probOrder[j] lists instance origs in descending probability,
+	// probSum[j] is the total instance probability, and instOffset[j] maps
+	// (j, orig) to a flat index for the Lemma-4 scratch.
+	probOrder  [][]int32
+	probSum    []float64
+	instOffset []int
+	numInsts   int
+
+	// tempHint[j] caches the last temporal-entry index served for
+	// trajectory j; queries hitting the same interval skip the binary
+	// search (the hint is verified before use, so stale values only cost
+	// the fallback search).
+	tempHint []atomic.Int32
+
+	// scratchPool recycles the flat Lemma-4 bound buffers across queries
+	// and goroutines.
+	scratchPool sync.Pool
+
 	// Work counters, maintained atomically (see Stats).
 	pathsDecoded     atomic.Int64
 	instancesSkipped atomic.Int64
 	trajsPruned      atomic.Int64
 	trajsAccepted    atomic.Int64
+}
+
+// rangeScratch is the per-query working set of Range: flat, epoch-stamped
+// accumulators replacing the historical map[int]map[int]float64, so a query
+// touches O(candidates) memory with zero steady-state allocations.
+type rangeScratch struct {
+	epoch   uint64
+	group   []float64 // per flat instance index: summed ptotal
+	gstamp  []uint64
+	bound   []float64 // per trajectory: Lemma-4 probability bound
+	bstamp  []uint64
+	touched []touchedGroup
+	cells   []roadnet.RegionID
+}
+
+type touchedGroup struct {
+	traj int32
+	gi   int32 // flat instance index of the group's reference
+}
+
+func (e *Engine) getScratch() *rangeScratch {
+	if sc, ok := e.scratchPool.Get().(*rangeScratch); ok {
+		return sc
+	}
+	return &rangeScratch{
+		group:  make([]float64, e.numInsts),
+		gstamp: make([]uint64, e.numInsts),
+		bound:  make([]float64, len(e.Arch.Trajs)),
+		bstamp: make([]uint64, len(e.Arch.Trajs)),
+	}
+}
+
+func (e *Engine) putScratch(sc *rangeScratch) {
+	sc.touched = sc.touched[:0]
+	e.scratchPool.Put(sc)
 }
 
 // EngineStats is a point-in-time snapshot of the work the engine
@@ -116,12 +173,62 @@ func NewEngineWithOptions(a *core.Archive, ix *stiu.Index, o EngineOptions) *Eng
 	if o.CacheShards < 1 {
 		o.CacheShards = def.CacheShards
 	}
-	return &Engine{
+	e := &Engine{
 		Arch:     a,
 		Ix:       ix,
 		refViews: cache.New[[2]int, *core.RefView](o.CacheEntries, o.CacheShards),
 		paths:    cache.New[[2]int, *lazyPath](o.CacheEntries, o.CacheShards),
 	}
+	e.probOrder = make([][]int32, len(a.Trajs))
+	e.probSum = make([]float64, len(a.Trajs))
+	e.instOffset = make([]int, len(a.Trajs))
+	e.tempHint = make([]atomic.Int32, len(a.Trajs))
+	for j, tr := range a.Trajs {
+		e.instOffset[j] = e.numInsts
+		e.numInsts += len(tr.Insts)
+		ord := make([]int32, len(tr.Insts))
+		sum := 0.0
+		for o := range ord {
+			ord[o] = int32(o)
+			sum += tr.Insts[o].P
+		}
+		insts := tr.Insts
+		slices.SortFunc(ord, func(a, b int32) int {
+			switch {
+			case insts[a].P > insts[b].P:
+				return -1
+			case insts[a].P < insts[b].P:
+				return 1
+			default:
+				return int(a) - int(b)
+			}
+		})
+		e.probOrder[j] = ord
+		e.probSum[j] = sum
+	}
+	return e
+}
+
+// findTemporal is Ix.FindTemporal with a per-trajectory hint: repeated
+// queries in the same interval verify the cached entry in O(1) instead of
+// re-running the binary search.  The hint is advisory — a failed
+// verification falls back to the search — so concurrent updates are safe.
+func (e *Engine) findTemporal(j int, t int64) (stiu.TemporalEntry, bool) {
+	entries := e.Ix.Temporal[j]
+	if len(entries) == 0 {
+		return stiu.TemporalEntry{}, false
+	}
+	h := int(e.tempHint[j].Load())
+	if h >= 0 && h < len(entries) && entries[h].Start <= t &&
+		(h+1 >= len(entries) || entries[h+1].Start > t) {
+		return entries[h], true
+	}
+	lo := sort.Search(len(entries), func(i int) bool { return entries[i].Start > t })
+	if lo == 0 {
+		return stiu.TemporalEntry{}, false
+	}
+	e.tempHint[j].Store(int32(lo - 1))
+	return entries[lo-1], true
 }
 
 func (e *Engine) refView(j, orig int) (*core.RefView, error) {
@@ -206,7 +313,7 @@ func (e *Engine) path(j, orig int) (*lazyPath, error) {
 // bracket finds i with T[i] <= t <= T[i+1] using the temporal index and a
 // partial decode from t.pos; ok is false when t is outside the trajectory.
 func (e *Engine) bracket(j int, t int64) (i int, ti, ti1 int64, ok bool) {
-	entry, found := e.Ix.FindTemporal(j, t)
+	entry, found := e.findTemporal(j, t)
 	if !found {
 		return 0, 0, 0, false
 	}
@@ -218,8 +325,8 @@ func (e *Engine) bracket(j int, t int64) (i int, ti, ti1 int64, ok bool) {
 		}
 		return 0, 0, 0, false
 	}
-	cur, err := rec.TimeCursorAt(e.Arch.Opts.Ts, int(entry.Pos), entry.Start, int(entry.No))
-	if err != nil {
+	var cur core.TimeCursor
+	if err := rec.ResetTimeCursor(&cur, e.Arch.Opts.Ts, int(entry.Pos), entry.Start, int(entry.No)); err != nil {
 		return 0, 0, 0, false
 	}
 	prevT := cur.T()
@@ -254,8 +361,8 @@ func (e *Engine) timeAt(j, k int, wantNext bool) (tk, tk1 int64, err error) {
 		}
 		return 0, 0, fmt.Errorf("query: point %d beyond time stream", k)
 	}
-	cur, err := rec.TimeCursorAt(e.Arch.Opts.Ts, int(entry.Pos), entry.Start, int(entry.No))
-	if err != nil {
+	var cur core.TimeCursor
+	if err := rec.ResetTimeCursor(&cur, e.Arch.Opts.Ts, int(entry.Pos), entry.Start, int(entry.No)); err != nil {
 		return 0, 0, err
 	}
 	for cur.Index() < k {
@@ -405,26 +512,45 @@ func (e *Engine) When(j int, loc roadnet.Position, alpha float64) ([]WhenResult,
 // >= alpha.
 func (e *Engine) Range(re roadnet.Rect, t int64, alpha float64) ([]int, error) {
 	interval := e.Ix.IntervalOf(t)
-	cells := e.Ix.Grid.CellsInRect(re)
 
 	// Lemma 4 preparation: one pass over the covering cells' buckets
-	// upper-bounds each trajectory's probability mass inside them.
-	var bounds map[int]map[int]float64 // traj -> group -> summed ptotal
+	// upper-bounds each trajectory's probability mass inside them.  The
+	// accumulators are flat epoch-stamped slices from the scratch pool —
+	// no per-query maps.
+	sc := e.getScratch()
+	defer e.putScratch(sc)
+	sc.epoch++
+	sc.touched = sc.touched[:0]
+	cells := e.Ix.Grid.AppendCellsInRect(sc.cells[:0], re)
+	sc.cells = cells
 	if !e.DisablePruning {
-		bounds = make(map[int]map[int]float64)
 		for _, cell := range cells {
 			b := e.Ix.Buckets(interval, cell)
 			if b == nil {
 				continue
 			}
-			for _, rt := range b.Refs {
-				per := bounds[int(rt.Traj)]
-				if per == nil {
-					per = make(map[int]float64)
-					bounds[int(rt.Traj)] = per
+			for i := range b.Refs {
+				rt := &b.Refs[i]
+				gi := e.instOffset[rt.Traj] + int(rt.Orig)
+				if sc.gstamp[gi] != sc.epoch {
+					sc.gstamp[gi] = sc.epoch
+					sc.group[gi] = 0
+					sc.touched = append(sc.touched, touchedGroup{traj: rt.Traj, gi: int32(gi)})
 				}
-				per[int(rt.Orig)] += float64(rt.PTotal)
+				sc.group[gi] += float64(rt.PTotal)
 			}
+		}
+		// Fold group sums (each capped at 1) into per-trajectory bounds.
+		for _, tg := range sc.touched {
+			v := sc.group[tg.gi]
+			if v > 1 {
+				v = 1
+			}
+			if sc.bstamp[tg.traj] != sc.epoch {
+				sc.bstamp[tg.traj] = sc.epoch
+				sc.bound[tg.traj] = 0
+			}
+			sc.bound[tg.traj] += v
 		}
 	}
 
@@ -436,11 +562,8 @@ func (e *Engine) Range(re roadnet.Rect, t int64, alpha float64) ([]int, error) {
 		if !e.DisablePruning {
 			// Lemma 4: prune when the bound cannot reach alpha.
 			bound := 0.0
-			for _, v := range bounds[j] {
-				if v > 1 {
-					v = 1
-				}
-				bound += v
+			if sc.bstamp[j] == sc.epoch {
+				bound = sc.bound[j]
 			}
 			if bound < alpha {
 				e.trajsPruned.Add(1)
@@ -453,21 +576,13 @@ func (e *Engine) Range(re roadnet.Rect, t int64, alpha float64) ([]int, error) {
 			continue
 		}
 
-		// Instances in descending probability for early acceptance.
-		origs := make([]int, len(rec.Insts))
-		for o := range origs {
-			origs[o] = o
-		}
-		sort.Slice(origs, func(a, b int) bool {
-			return rec.Insts[origs[a]].P > rec.Insts[origs[b]].P
-		})
+		// Instances in descending probability for early acceptance,
+		// precomputed at engine construction.
 		confirmed := 0.0
-		remaining := 0.0
-		for _, o := range origs {
-			remaining += rec.Insts[o].P
-		}
+		remaining := e.probSum[j]
 		accepted := false
-		for _, orig := range origs {
+		for _, o32 := range e.probOrder[j] {
+			orig := int(o32)
 			p := rec.Insts[orig].P
 			remaining -= p
 			inside, err := e.instanceInside(j, orig, re, i, ti, ti1, t)

@@ -85,17 +85,22 @@ func (gr *Grid) CellRect(id RegionID) Rect {
 
 // CellsInRect returns the regions whose cells intersect rect.
 func (gr *Grid) CellsInRect(rect Rect) []RegionID {
+	return gr.AppendCellsInRect(nil, rect)
+}
+
+// AppendCellsInRect appends the regions whose cells intersect rect to dst,
+// letting hot query paths reuse a scratch slice.
+func (gr *Grid) AppendCellsInRect(dst []RegionID, rect Rect) []RegionID {
 	x0 := clamp(int((rect.MinX-gr.bounds.MinX)/gr.cw), 0, gr.nx-1)
 	x1 := clamp(int((rect.MaxX-gr.bounds.MinX)/gr.cw), 0, gr.nx-1)
 	y0 := clamp(int((rect.MinY-gr.bounds.MinY)/gr.ch), 0, gr.ny-1)
 	y1 := clamp(int((rect.MaxY-gr.bounds.MinY)/gr.ch), 0, gr.ny-1)
-	out := make([]RegionID, 0, (x1-x0+1)*(y1-y0+1))
 	for cy := y0; cy <= y1; cy++ {
 		for cx := x0; cx <= x1; cx++ {
-			out = append(out, RegionID(cy*gr.nx+cx))
+			dst = append(dst, RegionID(cy*gr.nx+cx))
 		}
 	}
-	return out
+	return dst
 }
 
 // CellsOfEdge returns the ordered distinct regions an edge passes through,
