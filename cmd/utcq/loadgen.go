@@ -1,0 +1,256 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"utcq/internal/server"
+)
+
+// loadgenConfig drives the load-generator mode: a closed-loop pool of
+// workers firing a where/when/range mix at a running utcqd.
+type loadgenConfig struct {
+	addr     string
+	duration time.Duration
+	workers  int
+	alpha    float64
+	batch    int // queries per request; 1 uses the single-query endpoints
+	seed     int64
+}
+
+// loadgenResult aggregates one worker pool run.
+type loadgenResult struct {
+	requests  int64
+	queries   int64
+	failures  int64
+	latencies []time.Duration // per request, pooled across workers
+	elapsed   time.Duration
+}
+
+// runLoadgen discovers the served dataset's shape from /stats, then drives
+// the query mix for the configured duration and prints a latency report.
+func runLoadgen(cfg loadgenConfig) error {
+	stats, err := fetchStats(cfg.addr)
+	if err != nil {
+		return fmt.Errorf("fetch /stats (is utcqd running at %s?): %w", cfg.addr, err)
+	}
+	if stats.Trajectories == 0 {
+		return fmt.Errorf("server at %s serves no trajectories", cfg.addr)
+	}
+	fmt.Printf("target %s: %d trajectories, %d shards (%s), span [%d, %d]\n",
+		cfg.addr, stats.Trajectories, stats.Shards, stats.Assignment, stats.TimeMin, stats.TimeMax)
+
+	var (
+		requests atomic.Int64
+		queries  atomic.Int64
+		failures atomic.Int64
+		mu       sync.Mutex
+		lats     []time.Duration
+	)
+	client := &http.Client{Timeout: 30 * time.Second}
+	deadline := time.Now().Add(cfg.duration)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.seed + int64(w)))
+			var local []time.Duration
+			var lastLoc *server.PositionJSON
+			for time.Now().Before(deadline) {
+				t0 := time.Now()
+				n, failed, loc, err := fireOne(client, cfg, stats, rng, lastLoc)
+				lat := time.Since(t0)
+				requests.Add(1)
+				queries.Add(int64(n))
+				switch {
+				case err != nil:
+					failures.Add(int64(n)) // whole request failed
+				default:
+					failures.Add(int64(failed)) // in-band batch failures
+					local = append(local, lat)
+					if loc != nil {
+						lastLoc = loc
+					}
+				}
+			}
+			mu.Lock()
+			lats = append(lats, local...)
+			mu.Unlock()
+		}(w)
+	}
+	wg.Wait()
+	res := loadgenResult{
+		requests:  requests.Load(),
+		queries:   queries.Load(),
+		failures:  failures.Load(),
+		latencies: lats,
+		elapsed:   time.Since(start),
+	}
+	printLoadgenReport(res)
+
+	if after, err := fetchStats(cfg.addr); err == nil {
+		e := after.Engine
+		fmt.Printf("server counters: %d requests, %d failures, cache %.1f%% hit (%d hits / %d misses), %d paths decoded\n",
+			after.Requests, after.Failures,
+			100*float64(e.CacheHits)/float64(max(e.CacheHits+e.CacheMisses, 1)),
+			e.CacheHits, e.CacheMisses, e.PathsDecoded)
+	}
+	return nil
+}
+
+// fireOne issues one request (a single query, or a batch when cfg.batch >
+// 1) and returns the number of queries it carried, how many of them the
+// server failed in-band, and a visited location to seed future
+// when-queries.
+func fireOne(client *http.Client, cfg loadgenConfig, stats *server.StatsResponse, rng *rand.Rand, lastLoc *server.PositionJSON) (n, failed int, loc *server.PositionJSON, err error) {
+	if cfg.batch > 1 {
+		req := server.BatchRequest{}
+		for i := 0; i < cfg.batch; i++ {
+			req.Queries = append(req.Queries, randomQuery(cfg, stats, rng, lastLoc))
+		}
+		var resp struct {
+			Results []server.BatchResult `json:"results"`
+		}
+		if err := postJSON(client, cfg.addr+"/v1/batch", req, &resp); err != nil {
+			return cfg.batch, 0, nil, err
+		}
+		for _, r := range resp.Results {
+			if r.Error != "" {
+				failed++
+			}
+		}
+		return cfg.batch, failed, firstLocation(resp.Results), nil
+	}
+	q := randomQuery(cfg, stats, rng, lastLoc)
+	switch q.Kind {
+	case "where":
+		var resp struct {
+			Results []server.WhereResultJSON `json:"results"`
+		}
+		if err := postJSON(client, cfg.addr+"/v1/where", q.Where, &resp); err != nil {
+			return 1, 0, nil, err
+		}
+		if len(resp.Results) > 0 {
+			r := resp.Results[rng.Intn(len(resp.Results))]
+			return 1, 0, &server.PositionJSON{Edge: r.Edge, NDist: r.NDist}, nil
+		}
+		return 1, 0, nil, nil
+	case "when":
+		var resp struct {
+			Results []server.WhenResultJSON `json:"results"`
+		}
+		return 1, 0, nil, postJSON(client, cfg.addr+"/v1/when", q.When, &resp)
+	default:
+		var resp struct {
+			Trajs []int `json:"trajs"`
+		}
+		return 1, 0, nil, postJSON(client, cfg.addr+"/v1/range", q.Range, &resp)
+	}
+}
+
+// randomQuery synthesizes one query against the served dataset: where and
+// range uniformly over the time span and network bounds, when at the last
+// location a where-query returned (falling back to where until one exists).
+func randomQuery(cfg loadgenConfig, stats *server.StatsResponse, rng *rand.Rand, lastLoc *server.PositionJSON) server.BatchQuery {
+	span := stats.TimeMax - stats.TimeMin
+	if span < 1 {
+		span = 1
+	}
+	t := stats.TimeMin + rng.Int63n(span)
+	switch k := rng.Float64(); {
+	case k < 0.5: // where
+		return server.BatchQuery{Kind: "where", Where: &server.WhereRequest{
+			Traj: rng.Intn(stats.Trajectories), T: t, Alpha: cfg.alpha,
+		}}
+	case k < 0.75 && lastLoc != nil: // when
+		return server.BatchQuery{Kind: "when", When: &server.WhenRequest{
+			Traj: rng.Intn(stats.Trajectories), Loc: *lastLoc, Alpha: cfg.alpha,
+		}}
+	case k < 0.75: // no visited location yet: fall back to where
+		return server.BatchQuery{Kind: "where", Where: &server.WhereRequest{
+			Traj: rng.Intn(stats.Trajectories), T: t, Alpha: cfg.alpha,
+		}}
+	default: // range over 5-40% of each axis
+		b := stats.Bounds
+		w, h := b.MaxX-b.MinX, b.MaxY-b.MinY
+		fw, fh := 0.05+rng.Float64()*0.35, 0.05+rng.Float64()*0.35
+		x := b.MinX + rng.Float64()*(1-fw)*w
+		y := b.MinY + rng.Float64()*(1-fh)*h
+		return server.BatchQuery{Kind: "range", Range: &server.RangeRequest{
+			Rect: server.RectJSON{MinX: x, MinY: y, MaxX: x + fw*w, MaxY: y + fh*h},
+			T:    t, Alpha: cfg.alpha,
+		}}
+	}
+}
+
+func firstLocation(results []server.BatchResult) *server.PositionJSON {
+	for _, r := range results {
+		if len(r.Where) > 0 {
+			return &server.PositionJSON{Edge: r.Where[0].Edge, NDist: r.Where[0].NDist}
+		}
+	}
+	return nil
+}
+
+func postJSON(client *http.Client, url string, body, out any) error {
+	b, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	resp, err := client.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s: status %d", url, resp.StatusCode)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// statsClient bounds the discovery fetches the same way per-query
+// requests are bounded, so loadgen cannot hang on an unresponsive server.
+var statsClient = &http.Client{Timeout: 30 * time.Second}
+
+func fetchStats(addr string) (*server.StatsResponse, error) {
+	resp, err := statsClient.Get(addr + "/stats")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("%s/stats: status %d", addr, resp.StatusCode)
+	}
+	var sr server.StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		return nil, err
+	}
+	return &sr, nil
+}
+
+func printLoadgenReport(res loadgenResult) {
+	secs := res.elapsed.Seconds()
+	fmt.Printf("done: %d requests (%d queries) in %.1fs — %.0f req/s, %.0f queries/s, %d failures\n",
+		res.requests, res.queries, secs,
+		float64(res.requests)/secs, float64(res.queries)/secs, res.failures)
+	if len(res.latencies) == 0 {
+		return
+	}
+	sort.Slice(res.latencies, func(i, j int) bool { return res.latencies[i] < res.latencies[j] })
+	pct := func(p float64) time.Duration {
+		i := int(p * float64(len(res.latencies)-1))
+		return res.latencies[i]
+	}
+	fmt.Printf("latency: p50 %v  p90 %v  p99 %v  max %v\n",
+		pct(0.50).Round(time.Microsecond), pct(0.90).Round(time.Microsecond),
+		pct(0.99).Round(time.Microsecond), res.latencies[len(res.latencies)-1].Round(time.Microsecond))
+}

@@ -1,12 +1,14 @@
 // Command utcq is a small CLI around the library: it generates a synthetic
 // dataset, compresses it with UTCQ and the TED baseline, reports the
-// compression statistics, and answers a few sample queries.
+// compression statistics, answers a few sample queries, and load-tests a
+// running utcqd server.
 //
 // Usage:
 //
 //	utcq -profile CD -n 500 stats      # dataset + network statistics
 //	utcq -profile HZ -n 300 compress   # UTCQ vs TED compression report
 //	utcq -profile DK -n 200 query      # sample where/when/range queries
+//	utcq -addr http://localhost:8723 -duration 10s loadgen
 package main
 
 import (
@@ -14,6 +16,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"time"
 
 	"utcq"
 	"utcq/internal/gen"
@@ -28,11 +31,31 @@ func main() {
 	pivots := flag.Int("pivots", 1, "number of pivots for reference selection")
 	parallel := flag.Int("parallel", 0, "compression/index worker count (0 = one per CPU, 1 = serial)")
 	cacheEntries := flag.Int("cache", 0, "query engine cache budget in entries per cache (0 = default)")
+	addr := flag.String("addr", "http://localhost:8723", "utcqd base URL (loadgen)")
+	duration := flag.Duration("duration", 10*time.Second, "load-generation run time (loadgen)")
+	workers := flag.Int("workers", 8, "concurrent load-generation workers (loadgen)")
+	alpha := flag.Float64("alpha", 0.2, "probability threshold for generated queries (loadgen)")
+	batch := flag.Int("batch", 1, "queries per request; >1 uses /v1/batch (loadgen)")
 	flag.Parse()
 
 	cmd := flag.Arg(0)
 	if cmd == "" {
 		cmd = "compress"
+	}
+
+	if cmd == "loadgen" {
+		err := runLoadgen(loadgenConfig{
+			addr:     *addr,
+			duration: *duration,
+			workers:  *workers,
+			alpha:    *alpha,
+			batch:    *batch,
+			seed:     *seed,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return
 	}
 
 	p, err := gen.ProfileByName(*profile)
@@ -112,7 +135,7 @@ func main() {
 		}
 
 	default:
-		fmt.Fprintf(os.Stderr, "unknown command %q (want stats, compress or query)\n", cmd)
+		fmt.Fprintf(os.Stderr, "unknown command %q (want stats, compress, query or loadgen)\n", cmd)
 		os.Exit(2)
 	}
 }

@@ -1,0 +1,143 @@
+// Command utcqd serves probabilistic trajectory queries over HTTP: it
+// builds (or opens) a sharded compressed store and exposes the where /
+// when / range queries, a batched endpoint, /healthz and /stats.
+//
+// A synthetic dataset is generated from the profile flags, compressed into
+// -shards archives and served; with -dir the store round-trips through
+// disk: the first run builds and saves it, later runs open it lazily (only
+// the manifest is read until a query touches a shard).
+//
+// Usage:
+//
+//	utcqd -addr :8723 -profile CD -n 500 -shards 4
+//	utcqd -addr :8723 -profile CD -n 500 -shards 4 -dir /var/lib/utcq/cd500
+//
+// Endpoints (see README "Serving" for request/response bodies):
+//
+//	POST /v1/where   POST /v1/when   POST /v1/range   POST /v1/batch
+//	GET  /healthz    GET  /stats
+//
+// The server shuts down gracefully on SIGINT/SIGTERM, draining in-flight
+// requests for up to -drain.
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"syscall"
+	"time"
+
+	"utcq/internal/gen"
+	"utcq/internal/query"
+	"utcq/internal/roadnet"
+	"utcq/internal/server"
+	"utcq/internal/store"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("utcqd: ")
+	addr := flag.String("addr", ":8723", "listen address")
+	profile := flag.String("profile", "CD", "dataset profile: DK, CD or HZ")
+	n := flag.Int("n", 300, "number of uncertain trajectories")
+	seed := flag.Int64("seed", 1, "generation seed")
+	shards := flag.Int("shards", 4, "number of store shards")
+	assignFlag := flag.String("assign", "hash", "shard assignment: hash or spatial")
+	dir := flag.String("dir", "", "store directory (open if it holds a manifest, else build and save)")
+	parallel := flag.Int("parallel", 0, "build/scatter worker count (0 = one per CPU)")
+	cacheEntries := flag.Int("cache", 0, "per-shard engine cache budget in entries (0 = default)")
+	maxBatch := flag.Int("max-batch", 0, "maximum queries per /v1/batch request (0 = default)")
+	drain := flag.Duration("drain", 10*time.Second, "graceful shutdown drain budget")
+	flag.Parse()
+
+	p, err := gen.ProfileByName(*profile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	assignment, err := store.ParseAssignment(*assignFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+	engOpts := query.EngineOptions{CacheEntries: *cacheEntries}
+
+	var st *store.Store
+	if *dir != "" && manifestExists(*dir) {
+		// The graph regenerates deterministically from the profile; the
+		// compressed shards come from disk, lazily.
+		log.Printf("opening store %s (profile %s network)", *dir, p.Name)
+		g := roadnetFor(p)
+		st, err = store.Open(*dir, g, store.OpenOptions{Engine: engOpts, Parallelism: *parallel})
+		if err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		log.Printf("building %s dataset: %d trajectories, %d shards (%s)", p.Name, *n, *shards, assignment)
+		ds, err := gen.Build(p, *n, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		opts := store.DefaultOptions(p.Ts)
+		opts.NumShards = *shards
+		opts.Assignment = assignment
+		opts.Engine = engOpts
+		opts.Parallelism = *parallel
+		st, err = store.Build(ds.Graph, ds.Trajectories, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *dir != "" {
+			if err := st.Save(*dir); err != nil {
+				log.Fatal(err)
+			}
+			log.Printf("saved store to %s", *dir)
+		}
+	}
+
+	lo, hi := st.TimeSpan()
+	log.Printf("serving %d trajectories in %d shards, time span [%d, %d]",
+		st.NumTrajectories(), st.NumShards(), lo, hi)
+
+	srv := server.New(st, server.Options{MaxBatch: *maxBatch, BatchParallelism: *parallel})
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	done := make(chan error, 1)
+	go func() {
+		log.Printf("listening on %s", *addr)
+		done <- srv.ListenAndServe(*addr)
+	}()
+
+	select {
+	case err := <-done:
+		if err != nil {
+			log.Fatal(err)
+		}
+	case <-ctx.Done():
+		log.Printf("shutting down (drain %s)", *drain)
+		sctx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := srv.Shutdown(sctx); err != nil {
+			log.Fatalf("shutdown: %v", err)
+		}
+		if err := <-done; err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("bye")
+	}
+}
+
+// manifestExists reports whether dir already holds a store manifest.
+func manifestExists(dir string) bool {
+	_, err := os.Stat(filepath.Join(dir, store.ManifestName))
+	return err == nil
+}
+
+// roadnetFor regenerates the profile's deterministic road network without
+// synthesizing trajectories (opening a store needs only the graph).
+func roadnetFor(p gen.Profile) *roadnet.Graph {
+	return roadnet.Generate(p.Network)
+}

@@ -1,13 +1,17 @@
 // Package bitio provides bit-level writers and readers used by every
-// compression scheme in this repository.
+// compression scheme in this repository: the substrate for the encodings
+// of Section 4 of the UTCQ paper and the partial-decompression machinery
+// of Section 5.1.
 //
 // All multi-bit fields are written most-significant-bit first, which makes
 // the streams match the worked examples in the UTCQ paper (e.g. the
-// improved Exp-Golomb codeword "1000" for Δ=+1).
+// improved Exp-Golomb codeword "1000" for Δ=+1, Section 4.4).  The exact
+// bit layout of every primitive is specified normatively in
+// docs/FORMAT.md.
 //
 // Both Writer and Reader track their absolute bit position.  The StIU index
 // stores such positions (t.pos, d.pos, ma.pos) so that query processing can
-// resume decoding mid-stream (partial decompression).
+// resume decoding mid-stream (partial decompression, Section 5.1).
 //
 // The hot paths are word-level: the Writer packs MSB-first into a 64-bit
 // accumulator flushed eight bytes at a time, and the Reader extracts fields

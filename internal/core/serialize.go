@@ -21,7 +21,8 @@ import (
 // Fields are encoded by hand through a little-endian scratch buffer rather
 // than binary.Write/binary.Read: the reflection those take per field is a
 // known Go slow path, and the directory has many small fields.  The wire
-// format is unchanged (TestSerializeGolden pins it).
+// format is unchanged (TestSerializeGolden pins it) and documented
+// normatively in docs/FORMAT.md; keep the two in sync.
 //
 // Layout (little endian):
 //
@@ -45,77 +46,105 @@ const (
 	flagPlainJaccard       = 1 << 1
 )
 
-// leWriter encodes fixed-width little-endian fields through a scratch
-// buffer, avoiding the per-field reflection of binary.Write.
-type leWriter struct {
+// LEWriter encodes fixed-width little-endian fields through a scratch
+// buffer, avoiding the per-field reflection of binary.Write.  It frames
+// both the archive container and the store's shard manifest
+// (internal/store), so every on-disk artifact shares one field codec.
+type LEWriter struct {
 	w       *bufio.Writer
 	scratch [8]byte
 }
 
-func (lw *leWriter) u16(v uint16) error {
+// NewLEWriter returns a field writer over w.
+func NewLEWriter(w *bufio.Writer) *LEWriter { return &LEWriter{w: w} }
+
+// U8 writes one byte.
+func (lw *LEWriter) U8(v byte) error { return lw.w.WriteByte(v) }
+
+// U16 writes a little-endian uint16.
+func (lw *LEWriter) U16(v uint16) error {
 	binary.LittleEndian.PutUint16(lw.scratch[:2], v)
 	_, err := lw.w.Write(lw.scratch[:2])
 	return err
 }
 
-func (lw *leWriter) u32(v uint32) error {
+// U32 writes a little-endian uint32.
+func (lw *LEWriter) U32(v uint32) error {
 	binary.LittleEndian.PutUint32(lw.scratch[:4], v)
 	_, err := lw.w.Write(lw.scratch[:4])
 	return err
 }
 
-func (lw *leWriter) u64(v uint64) error {
+// U64 writes a little-endian uint64.
+func (lw *LEWriter) U64(v uint64) error {
 	binary.LittleEndian.PutUint64(lw.scratch[:8], v)
 	_, err := lw.w.Write(lw.scratch[:8])
 	return err
 }
 
-func (lw *leWriter) i32(v int32) error { return lw.u32(uint32(v)) }
-func (lw *leWriter) i64(v int64) error { return lw.u64(uint64(v)) }
-func (lw *leWriter) f64(v float64) error {
-	return lw.u64(math.Float64bits(v))
+// I32 writes an int32 as its two's-complement uint32.
+func (lw *LEWriter) I32(v int32) error { return lw.U32(uint32(v)) }
+
+// I64 writes an int64 as its two's-complement uint64.
+func (lw *LEWriter) I64(v int64) error { return lw.U64(uint64(v)) }
+
+// F64 writes a float64 as its IEEE-754 bit pattern.
+func (lw *LEWriter) F64(v float64) error {
+	return lw.U64(math.Float64bits(v))
 }
 
-// leReader decodes fixed-width little-endian fields through a scratch
+// LEReader decodes fixed-width little-endian fields through a scratch
 // buffer, avoiding the per-field reflection of binary.Read.
-type leReader struct {
+type LEReader struct {
 	r       *bufio.Reader
 	scratch [8]byte
 }
 
-func (lr *leReader) u16() (uint16, error) {
+// NewLEReader returns a field reader over r.
+func NewLEReader(r *bufio.Reader) *LEReader { return &LEReader{r: r} }
+
+// U8 reads one byte.
+func (lr *LEReader) U8() (byte, error) { return lr.r.ReadByte() }
+
+// U16 reads a little-endian uint16.
+func (lr *LEReader) U16() (uint16, error) {
 	if _, err := io.ReadFull(lr.r, lr.scratch[:2]); err != nil {
 		return 0, err
 	}
 	return binary.LittleEndian.Uint16(lr.scratch[:2]), nil
 }
 
-func (lr *leReader) u32() (uint32, error) {
+// U32 reads a little-endian uint32.
+func (lr *LEReader) U32() (uint32, error) {
 	if _, err := io.ReadFull(lr.r, lr.scratch[:4]); err != nil {
 		return 0, err
 	}
 	return binary.LittleEndian.Uint32(lr.scratch[:4]), nil
 }
 
-func (lr *leReader) u64() (uint64, error) {
+// U64 reads a little-endian uint64.
+func (lr *LEReader) U64() (uint64, error) {
 	if _, err := io.ReadFull(lr.r, lr.scratch[:8]); err != nil {
 		return 0, err
 	}
 	return binary.LittleEndian.Uint64(lr.scratch[:8]), nil
 }
 
-func (lr *leReader) i32() (int32, error) {
-	v, err := lr.u32()
+// I32 reads an int32.
+func (lr *LEReader) I32() (int32, error) {
+	v, err := lr.U32()
 	return int32(v), err
 }
 
-func (lr *leReader) i64() (int64, error) {
-	v, err := lr.u64()
+// I64 reads an int64.
+func (lr *LEReader) I64() (int64, error) {
+	v, err := lr.U64()
 	return int64(v), err
 }
 
-func (lr *leReader) f64() (float64, error) {
-	v, err := lr.u64()
+// F64 reads a float64.
+func (lr *LEReader) F64() (float64, error) {
+	v, err := lr.U64()
 	return math.Float64frombits(v), err
 }
 
@@ -127,21 +156,21 @@ func (a *Archive) Save(w io.Writer) error {
 	if _, err := bw.WriteString(archiveMagic); err != nil {
 		return err
 	}
-	lw := &leWriter{w: bw}
+	lw := NewLEWriter(bw)
 
-	if err := lw.u16(archiveVersion); err != nil {
+	if err := lw.U16(archiveVersion); err != nil {
 		return err
 	}
-	if err := lw.u16(uint16(a.Opts.NumPivots)); err != nil {
+	if err := lw.U16(uint16(a.Opts.NumPivots)); err != nil {
 		return err
 	}
-	if err := lw.f64(a.Opts.EtaD); err != nil {
+	if err := lw.F64(a.Opts.EtaD); err != nil {
 		return err
 	}
-	if err := lw.f64(a.Opts.EtaP); err != nil {
+	if err := lw.F64(a.Opts.EtaP); err != nil {
 		return err
 	}
-	if err := lw.i64(a.Opts.Ts); err != nil {
+	if err := lw.I64(a.Opts.Ts); err != nil {
 		return err
 	}
 	flags := byte(0)
@@ -154,34 +183,34 @@ func (a *Archive) Save(w io.Writer) error {
 	if err := bw.WriteByte(flags); err != nil {
 		return err
 	}
-	if err := lw.u16(uint16(a.VertexBits)); err != nil {
+	if err := lw.U16(uint16(a.VertexBits)); err != nil {
 		return err
 	}
-	if err := lw.u16(uint16(a.EdgeBits)); err != nil {
+	if err := lw.U16(uint16(a.EdgeBits)); err != nil {
 		return err
 	}
-	if err := lw.u32(uint32(len(a.Trajs))); err != nil {
+	if err := lw.U32(uint32(len(a.Trajs))); err != nil {
 		return err
 	}
 	for _, tr := range a.Trajs {
-		if err := lw.u32(uint32(tr.BitLen)); err != nil {
+		if err := lw.U32(uint32(tr.BitLen)); err != nil {
 			return err
 		}
-		if err := lw.u32(uint32(tr.NumPoints)); err != nil {
+		if err := lw.U32(uint32(tr.NumPoints)); err != nil {
 			return err
 		}
-		if err := lw.i64(tr.T0); err != nil {
+		if err := lw.I64(tr.T0); err != nil {
 			return err
 		}
-		if err := lw.u32(uint32(len(tr.TDeltaPos))); err != nil {
+		if err := lw.U32(uint32(len(tr.TDeltaPos))); err != nil {
 			return err
 		}
 		for _, p := range tr.TDeltaPos {
-			if err := lw.u32(uint32(p)); err != nil {
+			if err := lw.U32(uint32(p)); err != nil {
 				return err
 			}
 		}
-		if err := lw.u32(uint32(len(tr.Insts))); err != nil {
+		if err := lw.U32(uint32(len(tr.Insts))); err != nil {
 			return err
 		}
 		for _, m := range tr.Insts {
@@ -192,24 +221,24 @@ func (a *Archive) Save(w io.Writer) error {
 			if err := bw.WriteByte(fl); err != nil {
 				return err
 			}
-			if err := lw.i32(int32(m.RefOrig)); err != nil {
+			if err := lw.I32(int32(m.RefOrig)); err != nil {
 				return err
 			}
-			if err := lw.u32(uint32(m.Start)); err != nil {
+			if err := lw.U32(uint32(m.Start)); err != nil {
 				return err
 			}
-			if err := lw.f64(m.P); err != nil {
+			if err := lw.F64(m.P); err != nil {
 				return err
 			}
-			if err := lw.i32(int32(m.SV)); err != nil {
+			if err := lw.I32(int32(m.SV)); err != nil {
 				return err
 			}
 		}
-		if err := lw.u32(uint32(len(tr.RefOrigByWrite))); err != nil {
+		if err := lw.U32(uint32(len(tr.RefOrigByWrite))); err != nil {
 			return err
 		}
 		for _, o := range tr.RefOrigByWrite {
-			if err := lw.u32(uint32(o)); err != nil {
+			if err := lw.U32(uint32(o)); err != nil {
 				return err
 			}
 		}
@@ -234,9 +263,9 @@ func Load(r io.Reader, g *roadnet.Graph) (*Archive, error) {
 	if string(magic) != archiveMagic {
 		return nil, errors.New("core: not a UTCQ archive")
 	}
-	lr := &leReader{r: br}
+	lr := NewLEReader(br)
 
-	version, err := lr.u16()
+	version, err := lr.U16()
 	if err != nil {
 		return nil, err
 	}
@@ -244,18 +273,18 @@ func Load(r io.Reader, g *roadnet.Graph) (*Archive, error) {
 		return nil, fmt.Errorf("core: unsupported archive version %d", version)
 	}
 	var opts Options
-	pv, err := lr.u16()
+	pv, err := lr.U16()
 	if err != nil {
 		return nil, err
 	}
 	opts.NumPivots = int(pv)
-	if opts.EtaD, err = lr.f64(); err != nil {
+	if opts.EtaD, err = lr.F64(); err != nil {
 		return nil, err
 	}
-	if opts.EtaP, err = lr.f64(); err != nil {
+	if opts.EtaP, err = lr.F64(); err != nil {
 		return nil, err
 	}
-	if opts.Ts, err = lr.i64(); err != nil {
+	if opts.Ts, err = lr.I64(); err != nil {
 		return nil, err
 	}
 	flags, err := br.ReadByte()
@@ -266,11 +295,11 @@ func Load(r io.Reader, g *roadnet.Graph) (*Archive, error) {
 	opts.PlainJaccard = flags&flagPlainJaccard != 0
 
 	a := &Archive{Opts: opts, Graph: g}
-	vb, err := lr.u16()
+	vb, err := lr.U16()
 	if err != nil {
 		return nil, err
 	}
-	eb, err := lr.u16()
+	eb, err := lr.U16()
 	if err != nil {
 		return nil, err
 	}
@@ -282,39 +311,39 @@ func Load(r io.Reader, g *roadnet.Graph) (*Archive, error) {
 		return nil, err
 	}
 
-	nt, err := lr.u32()
+	nt, err := lr.U32()
 	if err != nil {
 		return nil, err
 	}
 	a.Trajs = make([]*TrajRecord, nt)
 	for j := range a.Trajs {
 		tr := &TrajRecord{}
-		bl, err := lr.u32()
+		bl, err := lr.U32()
 		if err != nil {
 			return nil, err
 		}
 		tr.BitLen = int(bl)
-		np, err := lr.u32()
+		np, err := lr.U32()
 		if err != nil {
 			return nil, err
 		}
 		tr.NumPoints = int(np)
-		if tr.T0, err = lr.i64(); err != nil {
+		if tr.T0, err = lr.I64(); err != nil {
 			return nil, err
 		}
-		nd, err := lr.u32()
+		nd, err := lr.U32()
 		if err != nil {
 			return nil, err
 		}
 		tr.TDeltaPos = make([]int, nd)
 		for i := range tr.TDeltaPos {
-			p, err := lr.u32()
+			p, err := lr.U32()
 			if err != nil {
 				return nil, err
 			}
 			tr.TDeltaPos[i] = int(p)
 		}
-		ni, err := lr.u32()
+		ni, err := lr.U32()
 		if err != nil {
 			return nil, err
 		}
@@ -324,19 +353,19 @@ func Load(r io.Reader, g *roadnet.Graph) (*Archive, error) {
 			if err != nil {
 				return nil, err
 			}
-			refOrig, err := lr.i32()
+			refOrig, err := lr.I32()
 			if err != nil {
 				return nil, err
 			}
-			start, err := lr.u32()
+			start, err := lr.U32()
 			if err != nil {
 				return nil, err
 			}
-			p, err := lr.f64()
+			p, err := lr.F64()
 			if err != nil {
 				return nil, err
 			}
-			sv, err := lr.i32()
+			sv, err := lr.I32()
 			if err != nil {
 				return nil, err
 			}
@@ -348,13 +377,13 @@ func Load(r io.Reader, g *roadnet.Graph) (*Archive, error) {
 				SV:      roadnet.VertexID(sv),
 			}
 		}
-		nr, err := lr.u32()
+		nr, err := lr.U32()
 		if err != nil {
 			return nil, err
 		}
 		tr.RefOrigByWrite = make([]int, nr)
 		for i := range tr.RefOrigByWrite {
-			o, err := lr.u32()
+			o, err := lr.U32()
 			if err != nil {
 				return nil, err
 			}

@@ -11,7 +11,9 @@
 package roadnet
 
 import (
+	"encoding/binary"
 	"fmt"
+	"hash/fnv"
 	"math"
 )
 
@@ -53,6 +55,32 @@ type Graph struct {
 
 // NumVertices returns the number of vertices.
 func (g *Graph) NumVertices() int { return len(g.vertices) }
+
+// Fingerprint returns a 64-bit FNV-1a hash over the graph's structure
+// (vertex coordinates, edge endpoints and lengths).  Artifacts that are
+// only meaningful against the network they were built with — archives,
+// store manifests — record it so reopening against a different network
+// fails loudly instead of decoding garbage.
+func (g *Graph) Fingerprint() uint64 {
+	h := fnv.New64a()
+	var scratch [8]byte
+	mix := func(v uint64) {
+		binary.LittleEndian.PutUint64(scratch[:], v)
+		h.Write(scratch[:])
+	}
+	mix(uint64(len(g.vertices)))
+	mix(uint64(len(g.edges)))
+	for _, v := range g.vertices {
+		mix(math.Float64bits(v.X))
+		mix(math.Float64bits(v.Y))
+	}
+	for _, e := range g.edges {
+		mix(uint64(e.From))
+		mix(uint64(e.To))
+		mix(math.Float64bits(e.Length))
+	}
+	return h.Sum64()
+}
 
 // NumEdges returns the number of directed edges.
 func (g *Graph) NumEdges() int { return len(g.edges) }

@@ -1,0 +1,415 @@
+// Package server exposes a sharded trajectory store (internal/store) over
+// HTTP/JSON: the network query front-end of the UTCQ system.  It serves
+// the paper's three probabilistic queries — where (Definition 10), when
+// (Definition 11) and range (Definition 12) — as single-query endpoints
+// and as one batched endpoint that fans a request's queries across a
+// bounded worker pool, plus /healthz for liveness and /stats for the
+// store's aggregated engine and cache counters.
+//
+// The handlers hold no per-request state beyond the decoded bodies; all
+// concurrency control lives in the store and its per-shard engines, so one
+// Server instance serves any number of connections.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"utcq/internal/par"
+	"utcq/internal/query"
+	"utcq/internal/roadnet"
+	"utcq/internal/store"
+)
+
+// Options configure a Server.
+type Options struct {
+	// MaxBatch bounds the queries accepted in one /v1/batch request
+	// (default 256).
+	MaxBatch int
+	// BatchParallelism bounds the workers evaluating one batch
+	// (<1: one per CPU).
+	BatchParallelism int
+	// ReadTimeout/WriteTimeout guard slow clients (defaults 10s/30s).
+	ReadTimeout  time.Duration
+	WriteTimeout time.Duration
+}
+
+// DefaultOptions returns the server defaults.
+func DefaultOptions() Options {
+	return Options{MaxBatch: 256, ReadTimeout: 10 * time.Second, WriteTimeout: 30 * time.Second}
+}
+
+// Server is the HTTP query service over one store.
+type Server struct {
+	st   *store.Store
+	opts Options
+	mux  *http.ServeMux
+	hs   *http.Server
+
+	started  time.Time
+	requests atomic.Int64
+	failures atomic.Int64
+}
+
+// New returns a server over st.  Zero-valued options select defaults.
+func New(st *store.Store, opts Options) *Server {
+	def := DefaultOptions()
+	if opts.MaxBatch < 1 {
+		opts.MaxBatch = def.MaxBatch
+	}
+	if opts.ReadTimeout <= 0 {
+		opts.ReadTimeout = def.ReadTimeout
+	}
+	if opts.WriteTimeout <= 0 {
+		opts.WriteTimeout = def.WriteTimeout
+	}
+	s := &Server{st: st, opts: opts, mux: http.NewServeMux(), started: time.Now()}
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /stats", s.handleStats)
+	s.mux.HandleFunc("POST /v1/where", s.handleWhere)
+	s.mux.HandleFunc("POST /v1/when", s.handleWhen)
+	s.mux.HandleFunc("POST /v1/range", s.handleRange)
+	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	// The http.Server exists from construction so Shutdown is effective
+	// even if it races server start (a Serve call after Shutdown returns
+	// ErrServerClosed immediately instead of leaking a live listener).
+	s.hs = &http.Server{
+		Handler:      s.mux,
+		ReadTimeout:  opts.ReadTimeout,
+		WriteTimeout: opts.WriteTimeout,
+	}
+	return s
+}
+
+// Handler returns the route table (for tests and embedding).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Serve accepts connections on l until Shutdown.
+func (s *Server) Serve(l net.Listener) error {
+	err := s.hs.Serve(l)
+	if err == http.ErrServerClosed {
+		return nil
+	}
+	return err
+}
+
+// ListenAndServe binds addr and serves until Shutdown.
+func (s *Server) ListenAndServe(addr string) error {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(l)
+}
+
+// Shutdown drains in-flight requests and stops the listener (graceful
+// shutdown; pass a context with a deadline to bound the drain).  Safe to
+// call before, during or after Serve.
+func (s *Server) Shutdown(ctx context.Context) error {
+	return s.hs.Shutdown(ctx)
+}
+
+// Wire types.  Field names are part of the HTTP API; see the README
+// "Serving" section for the endpoint reference.
+type (
+	// PositionJSON is a network-constrained location.
+	PositionJSON struct {
+		Edge  int     `json:"edge"`
+		NDist float64 `json:"ndist"`
+	}
+
+	// RectJSON is an axis-aligned query rectangle.
+	RectJSON struct {
+		MinX float64 `json:"minX"`
+		MinY float64 `json:"minY"`
+		MaxX float64 `json:"maxX"`
+		MaxY float64 `json:"maxY"`
+	}
+
+	// WhereRequest asks where trajectory Traj's instances with
+	// probability >= Alpha were at time T.
+	WhereRequest struct {
+		Traj  int     `json:"traj"`
+		T     int64   `json:"t"`
+		Alpha float64 `json:"alpha"`
+	}
+
+	// WhereResultJSON is one instance's location, with the grid
+	// coordinates resolved for convenience.
+	WhereResultJSON struct {
+		Inst  int     `json:"inst"`
+		P     float64 `json:"p"`
+		Edge  int     `json:"edge"`
+		NDist float64 `json:"ndist"`
+		X     float64 `json:"x"`
+		Y     float64 `json:"y"`
+	}
+
+	// WhenRequest asks when trajectory Traj's instances with probability
+	// >= Alpha passed Loc.
+	WhenRequest struct {
+		Traj  int          `json:"traj"`
+		Loc   PositionJSON `json:"loc"`
+		Alpha float64      `json:"alpha"`
+	}
+
+	// WhenResultJSON is one instance's passage time.
+	WhenResultJSON struct {
+		Inst int     `json:"inst"`
+		P    float64 `json:"p"`
+		T    int64   `json:"t"`
+	}
+
+	// RangeRequest asks which trajectories were inside Rect at time T
+	// with total probability >= Alpha.
+	RangeRequest struct {
+		Rect  RectJSON `json:"rect"`
+		T     int64    `json:"t"`
+		Alpha float64  `json:"alpha"`
+	}
+
+	// BatchQuery is one query of a batch; exactly one of Where, When and
+	// Range must be set, matching Kind ("where", "when" or "range").
+	BatchQuery struct {
+		Kind  string        `json:"kind"`
+		Where *WhereRequest `json:"where,omitempty"`
+		When  *WhenRequest  `json:"when,omitempty"`
+		Range *RangeRequest `json:"range,omitempty"`
+	}
+
+	// BatchRequest carries up to Options.MaxBatch queries.
+	BatchRequest struct {
+		Queries []BatchQuery `json:"queries"`
+	}
+
+	// BatchResult is the outcome of one batch query, in request order.
+	// On success the field matching the query kind holds the results and
+	// Error is empty; a query with zero results serializes as {} (empty
+	// payloads are omitted).  Error carries the failure otherwise.
+	BatchResult struct {
+		Where []WhereResultJSON `json:"where,omitempty"`
+		When  []WhenResultJSON  `json:"when,omitempty"`
+		Trajs []int             `json:"trajs,omitempty"`
+		Error string            `json:"error,omitempty"`
+	}
+
+	// StatsResponse is the /stats payload: store shape, aggregated engine
+	// counters, and server request totals.  Bounds and the time span let
+	// load generators synthesize valid queries without a side channel.
+	StatsResponse struct {
+		Shards       int      `json:"shards"`
+		OpenShards   int      `json:"openShards"`
+		Trajectories int      `json:"trajectories"`
+		Assignment   string   `json:"assignment"`
+		TimeMin      int64    `json:"timeMin"`
+		TimeMax      int64    `json:"timeMax"`
+		Bounds       RectJSON `json:"bounds"`
+
+		Engine query.EngineStats `json:"engine"`
+
+		Requests      int64   `json:"requests"`
+		Failures      int64   `json:"failures"`
+		UptimeSeconds float64 `json:"uptimeSeconds"`
+	}
+)
+
+// errBadInput marks request-validation failures so handlers report them
+// as 400s; every other store/engine error is a server-side 500.
+var errBadInput = errors.New("invalid request")
+
+// statusFor classifies a query error: caller mistakes (unknown
+// trajectory, invalid location) are 400, everything else — including
+// lazy-shard-open I/O failures — is 500.
+func statusFor(err error) int {
+	if errors.Is(err, errBadInput) || errors.Is(err, store.ErrUnknownTrajectory) {
+		return http.StatusBadRequest
+	}
+	return http.StatusInternalServerError
+}
+
+func (s *Server) whereJSON(req WhereRequest) ([]WhereResultJSON, error) {
+	rs, err := s.st.Where(req.Traj, req.T, req.Alpha)
+	if err != nil {
+		return nil, err
+	}
+	g := s.st.Graph()
+	out := make([]WhereResultJSON, len(rs))
+	for i, r := range rs {
+		x, y := g.Coords(r.Loc)
+		out[i] = WhereResultJSON{
+			Inst: r.Inst, P: r.P,
+			Edge: int(r.Loc.Edge), NDist: r.Loc.NDist,
+			X: x, Y: y,
+		}
+	}
+	return out, nil
+}
+
+func (s *Server) whenJSON(req WhenRequest) ([]WhenResultJSON, error) {
+	if n := s.st.Graph().NumEdges(); req.Loc.Edge < 0 || req.Loc.Edge >= n {
+		return nil, fmt.Errorf("%w: edge %d outside [0, %d)", errBadInput, req.Loc.Edge, n)
+	}
+	loc := roadnet.Position{Edge: roadnet.EdgeID(req.Loc.Edge), NDist: req.Loc.NDist}
+	rs, err := s.st.When(req.Traj, loc, req.Alpha)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]WhenResultJSON, len(rs))
+	for i, r := range rs {
+		out[i] = WhenResultJSON{Inst: r.Inst, P: r.P, T: r.T}
+	}
+	return out, nil
+}
+
+func (s *Server) rangeJSON(req RangeRequest) ([]int, error) {
+	re := roadnet.Rect{MinX: req.Rect.MinX, MinY: req.Rect.MinY, MaxX: req.Rect.MaxX, MaxY: req.Rect.MaxY}
+	trajs, err := s.st.Range(re, req.T, req.Alpha)
+	if err != nil {
+		return nil, err
+	}
+	if trajs == nil {
+		trajs = []int{}
+	}
+	return trajs, nil
+}
+
+func (s *Server) handleWhere(w http.ResponseWriter, r *http.Request) {
+	var req WhereRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	rs, err := s.whereJSON(req)
+	if err != nil {
+		s.fail(w, statusFor(err), err)
+		return
+	}
+	s.reply(w, map[string]any{"results": rs})
+}
+
+func (s *Server) handleWhen(w http.ResponseWriter, r *http.Request) {
+	var req WhenRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	rs, err := s.whenJSON(req)
+	if err != nil {
+		s.fail(w, statusFor(err), err)
+		return
+	}
+	s.reply(w, map[string]any{"results": rs})
+}
+
+func (s *Server) handleRange(w http.ResponseWriter, r *http.Request) {
+	var req RangeRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	trajs, err := s.rangeJSON(req)
+	if err != nil {
+		s.fail(w, statusFor(err), err)
+		return
+	}
+	s.reply(w, map[string]any{"trajs": trajs})
+}
+
+// handleBatch evaluates the request's queries on a bounded worker pool and
+// returns per-query results in request order.  Individual failures are
+// reported in-band so one bad query does not void the batch.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req BatchRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if len(req.Queries) > s.opts.MaxBatch {
+		s.fail(w, http.StatusRequestEntityTooLarge,
+			fmt.Errorf("batch of %d exceeds limit %d", len(req.Queries), s.opts.MaxBatch))
+		return
+	}
+	results := make([]BatchResult, len(req.Queries))
+	// Errors land in results; par.Do never sees one.
+	_ = par.Do(par.Workers(s.opts.BatchParallelism), len(req.Queries), func(i int) error {
+		q := req.Queries[i]
+		switch {
+		case q.Kind == "where" && q.Where != nil:
+			rs, err := s.whereJSON(*q.Where)
+			if err != nil {
+				results[i].Error = err.Error()
+				return nil
+			}
+			results[i].Where = rs
+		case q.Kind == "when" && q.When != nil:
+			rs, err := s.whenJSON(*q.When)
+			if err != nil {
+				results[i].Error = err.Error()
+				return nil
+			}
+			results[i].When = rs
+		case q.Kind == "range" && q.Range != nil:
+			trajs, err := s.rangeJSON(*q.Range)
+			if err != nil {
+				results[i].Error = err.Error()
+				return nil
+			}
+			results[i].Trajs = trajs
+		default:
+			results[i].Error = fmt.Sprintf("query %d: kind %q without a matching body", i, q.Kind)
+		}
+		return nil
+	})
+	s.reply(w, map[string]any{"results": results})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.reply(w, map[string]any{"status": "ok"})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	st := s.st.Stats()
+	b := s.st.Bounds()
+	s.reply(w, StatsResponse{
+		Shards:        st.Shards,
+		OpenShards:    st.OpenShards,
+		Trajectories:  st.Trajectories,
+		Assignment:    st.Assignment,
+		TimeMin:       st.TimeMin,
+		TimeMax:       st.TimeMax,
+		Bounds:        RectJSON{MinX: b.MinX, MinY: b.MinY, MaxX: b.MaxX, MaxY: b.MaxY},
+		Engine:        st.Engine,
+		Requests:      s.requests.Load(),
+		Failures:      s.failures.Load(),
+		UptimeSeconds: time.Since(s.started).Seconds(),
+	})
+}
+
+// decode parses a JSON body, rejecting unknown fields so client typos
+// surface as 400s instead of silently defaulted queries.
+func (s *Server) decode(w http.ResponseWriter, r *http.Request, dst any) bool {
+	s.requests.Add(1)
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 4<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		return false
+	}
+	return true
+}
+
+func (s *Server) reply(w http.ResponseWriter, payload any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(payload); err != nil {
+		s.failures.Add(1)
+	}
+}
+
+func (s *Server) fail(w http.ResponseWriter, code int, err error) {
+	s.failures.Add(1)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,113 @@
+package store
+
+import (
+	"math/rand"
+	"testing"
+
+	"utcq/internal/gen"
+	"utcq/internal/roadnet"
+)
+
+// benchState is built once and shared by the store benchmarks.
+type benchState struct {
+	bc *buildCase
+	s  *Store
+}
+
+var benchCache *benchState
+
+func benchSetup(b *testing.B) *benchState {
+	if benchCache != nil {
+		return benchCache
+	}
+	b.Helper()
+	p := gen.CD()
+	p.Network.Cols, p.Network.Rows = 24, 24
+	ds, err := gen.Build(p, 120, 9)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := DefaultOptions(p.Ts)
+	opts.NumShards = 4
+	opts.Index = testIndexOpts
+	s, err := Build(ds.Graph, ds.Trajectories, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchCache = &benchState{bc: &buildCase{ds: ds}, s: s}
+	return benchCache
+}
+
+// BenchmarkStoreBuild measures the parallel sharded compress+index build.
+func BenchmarkStoreBuild(b *testing.B) {
+	st := benchSetup(b)
+	opts := DefaultOptions(st.bc.ds.Profile.Ts)
+	opts.NumShards = 4
+	opts.Index = testIndexOpts
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Build(st.bc.ds.Graph, st.bc.ds.Trajectories, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStoreWhere measures single-trajectory routing through the shard
+// map.
+func BenchmarkStoreWhere(b *testing.B) {
+	st := benchSetup(b)
+	trajs := st.bc.ds.Trajectories
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j := rng.Intn(len(trajs))
+		T := trajs[j].T
+		tq := T[0] + rng.Int63n(T[len(T)-1]-T[0]+1)
+		if _, err := st.s.Where(j, tq, 0.2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStoreRange measures the scatter-gather fan-out across shards.
+func BenchmarkStoreRange(b *testing.B) {
+	st := benchSetup(b)
+	g := st.bc.ds.Graph
+	bounds := g.Bounds()
+	w, h := bounds.MaxX-bounds.MinX, bounds.MaxY-bounds.MinY
+	lo, hi := st.s.TimeSpan()
+	rng := rand.New(rand.NewSource(2))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x := bounds.MinX + rng.Float64()*0.75*w
+		y := bounds.MinY + rng.Float64()*0.75*h
+		re := roadnet.Rect{MinX: x, MinY: y, MaxX: x + 0.25*w, MaxY: y + 0.25*h}
+		tq := lo + rng.Int63n(hi-lo+1)
+		if _, err := st.s.Range(re, tq, 0.2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStoreRangeParallel drives Range from many goroutines, the
+// serving shape utcqd exposes.
+func BenchmarkStoreRangeParallel(b *testing.B) {
+	st := benchSetup(b)
+	g := st.bc.ds.Graph
+	bounds := g.Bounds()
+	w, h := bounds.MaxX-bounds.MinX, bounds.MaxY-bounds.MinY
+	lo, hi := st.s.TimeSpan()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		rng := rand.New(rand.NewSource(3))
+		for pb.Next() {
+			x := bounds.MinX + rng.Float64()*0.75*w
+			y := bounds.MinY + rng.Float64()*0.75*h
+			re := roadnet.Rect{MinX: x, MinY: y, MaxX: x + 0.25*w, MaxY: y + 0.25*h}
+			tq := lo + rng.Int63n(hi-lo+1)
+			if _, err := st.s.Range(re, tq, 0.2); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,141 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"utcq/internal/core"
+	"utcq/internal/par"
+	"utcq/internal/query"
+	"utcq/internal/roadnet"
+	"utcq/internal/stiu"
+)
+
+// shardFile returns shard si's archive file name.
+func shardFile(si int) string { return fmt.Sprintf("shard-%04d.utcq", si) }
+
+// Save writes the store to dir: the manifest plus one archive file per
+// shard.  Every shard must be resident (a freshly built store always is; a
+// lazily opened store round-trips only after every shard has been
+// touched); residency is verified up front so a failed Save does not
+// leave a partial store directory behind.
+func (s *Store) Save(dir string) error {
+	engines := make([]*query.Engine, len(s.shards))
+	for si, sh := range s.shards {
+		engines[si] = sh.eng.Load()
+		if engines[si] == nil {
+			return fmt.Errorf("store: cannot save: shard %d not resident", si)
+		}
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for si, eng := range engines {
+		f, err := os.Create(filepath.Join(dir, shardFile(si)))
+		if err != nil {
+			return err
+		}
+		if err := eng.Arch.Save(f); err != nil {
+			f.Close()
+			return fmt.Errorf("store: save shard %d: %w", si, err)
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	f, err := os.Create(filepath.Join(dir, ManifestName))
+	if err != nil {
+		return err
+	}
+	if err := s.man.write(f); err != nil {
+		f.Close()
+		return fmt.Errorf("store: save manifest: %w", err)
+	}
+	return f.Close()
+}
+
+// OpenOptions configure a store opened from disk.
+type OpenOptions struct {
+	// Engine is the per-shard query-engine cache budget.
+	Engine query.EngineOptions
+	// Parallelism bounds the per-shard index rebuild and the Range
+	// scatter pool (<1: one worker per CPU).
+	Parallelism int
+	// Eager opens every shard immediately instead of on first use.
+	Eager bool
+}
+
+// Open reads a store directory written by Save and attaches the road
+// network (which, as with core.Load, is not serialized).  Only the
+// manifest is read up front: each shard's archive is loaded — and its StIU
+// index rebuilt at the granularity the manifest records — on the first
+// query that touches it, unless opts.Eager is set.
+func Open(dir string, g *roadnet.Graph, opts OpenOptions) (*Store, error) {
+	f, err := os.Open(filepath.Join(dir, ManifestName))
+	if err != nil {
+		return nil, err
+	}
+	man, err := readManifest(f)
+	f.Close()
+	if err != nil {
+		return nil, err
+	}
+	if got := g.Fingerprint(); got != man.graphHash {
+		return nil, fmt.Errorf("store: road network fingerprint %016x does not match manifest %016x: the store was built against a different network", got, man.graphHash)
+	}
+	// Mirror Build's nested-pool guard: when the Range scatter pool fans
+	// out across shards, lazily triggered index rebuilds run serially
+	// inside it instead of spawning workers² goroutines.
+	ixPar := opts.Parallelism
+	if man.numShards > 1 && par.Workers(opts.Parallelism) > 1 {
+		ixPar = 1
+	}
+	s := &Store{
+		graph: g,
+		opts: Options{
+			NumShards:   man.numShards,
+			Assignment:  man.assignment,
+			Index:       stiu.Options{GridNX: man.gridNX, GridNY: man.gridNY, IntervalDur: man.interval, Parallelism: ixPar},
+			Engine:      opts.Engine,
+			Parallelism: opts.Parallelism,
+		},
+		man: man,
+		dir: dir,
+	}
+	s.initShards()
+	if opts.Eager {
+		// Fan the cold start out across shards (each rebuild stays serial
+		// inside — the same shape as Build).
+		err := par.Do(par.Workers(opts.Parallelism), len(s.shards), func(si int) error {
+			_, err := s.engine(si)
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// openShard loads shard si's archive from the store directory and rebuilds
+// its StIU index.  Callers hold the shard lock.
+func (s *Store) openShard(si int) (*query.Engine, error) {
+	f, err := os.Open(filepath.Join(s.dir, shardFile(si)))
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	arch, err := core.Load(f, s.graph)
+	if err != nil {
+		return nil, err
+	}
+	if got, want := len(arch.Trajs), len(s.shards[si].globals); got != want {
+		return nil, fmt.Errorf("%d trajectories on disk, manifest says %d", got, want)
+	}
+	ix, err := stiu.Build(arch, s.opts.Index)
+	if err != nil {
+		return nil, err
+	}
+	return query.NewEngineWithOptions(arch, ix, s.opts.Engine), nil
+}

@@ -1,0 +1,222 @@
+package store
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+
+	"utcq/internal/core"
+	"utcq/internal/roadnet"
+)
+
+// The shard manifest is the store directory's root artifact: it records the
+// global→shard assignment (the only state that cannot be rederived from the
+// shard archives), the index granularity every shard was built with, and
+// the dataset time span used by load generators and /stats.  It is framed
+// with the same little-endian field codec as the archive container
+// (core.LEWriter/LEReader); docs/FORMAT.md specifies the layout
+// normatively.
+//
+// Layout (little endian):
+//
+//	magic "UTCS" | version u16
+//	assignment u8 | numShards u32 | numTrajs u32
+//	gridNX u32 | gridNY u32 | intervalDur i64
+//	timeMin i64 | timeMax i64
+//	graphHash u64                 (roadnet.Graph.Fingerprint of the build network)
+//	shardOf: numTrajs × u32
+//	shardBounds: numShards × 4 × f64   (minX minY maxX maxY; minX > maxX = empty)
+//	shardCount: numShards × u32   (per-shard trajectory counts, validation)
+const (
+	manifestMagic   = "UTCS"
+	manifestVersion = 1
+
+	// Sanity bounds applied before any count-sized allocation, so a
+	// truncated or corrupted manifest fails with a parse error instead of
+	// an attempted multi-gigabyte allocation.
+	maxManifestShards = 1 << 16
+	maxManifestTrajs  = 1 << 28
+)
+
+// ManifestName is the manifest's file name inside a store directory.
+const ManifestName = "MANIFEST.utcs"
+
+// manifest is the decoded form.
+type manifest struct {
+	assignment Assignment
+	numShards  int
+	shardOf    []uint32
+	gridNX     int
+	gridNY     int
+	interval   int64
+	timeMin    int64
+	timeMax    int64
+
+	// graphHash fingerprints the road network the store was built with;
+	// Open rejects a mismatching graph.
+	graphHash uint64
+
+	// shardBounds[si] is a conservative bounding rectangle of shard si's
+	// trajectory geometry (union of its StIU region cells).  Range skips
+	// shards whose bounds miss the query rectangle — without opening
+	// them.  An empty shard has an inverted rectangle (MinX > MaxX).
+	shardBounds []roadnet.Rect
+}
+
+// write serializes the manifest.
+func (m *manifest) write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(manifestMagic); err != nil {
+		return err
+	}
+	lw := core.NewLEWriter(bw)
+	if err := lw.U16(manifestVersion); err != nil {
+		return err
+	}
+	if err := lw.U8(byte(m.assignment)); err != nil {
+		return err
+	}
+	if err := lw.U32(uint32(m.numShards)); err != nil {
+		return err
+	}
+	if err := lw.U32(uint32(len(m.shardOf))); err != nil {
+		return err
+	}
+	if err := lw.U32(uint32(m.gridNX)); err != nil {
+		return err
+	}
+	if err := lw.U32(uint32(m.gridNY)); err != nil {
+		return err
+	}
+	if err := lw.I64(m.interval); err != nil {
+		return err
+	}
+	if err := lw.I64(m.timeMin); err != nil {
+		return err
+	}
+	if err := lw.I64(m.timeMax); err != nil {
+		return err
+	}
+	if err := lw.U64(m.graphHash); err != nil {
+		return err
+	}
+	counts := make([]uint32, m.numShards)
+	for _, si := range m.shardOf {
+		if err := lw.U32(si); err != nil {
+			return err
+		}
+		counts[si]++
+	}
+	if len(m.shardBounds) != m.numShards {
+		return fmt.Errorf("store: %d shard bounds for %d shards", len(m.shardBounds), m.numShards)
+	}
+	for _, b := range m.shardBounds {
+		for _, v := range [4]float64{b.MinX, b.MinY, b.MaxX, b.MaxY} {
+			if err := lw.F64(v); err != nil {
+				return err
+			}
+		}
+	}
+	for _, c := range counts {
+		if err := lw.U32(c); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// readManifest decodes and validates a manifest.
+func readManifest(r io.Reader) (*manifest, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(manifestMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, err
+	}
+	if string(magic) != manifestMagic {
+		return nil, errors.New("store: not a UTCQ store manifest")
+	}
+	lr := core.NewLEReader(br)
+	version, err := lr.U16()
+	if err != nil {
+		return nil, err
+	}
+	if version != manifestVersion {
+		return nil, fmt.Errorf("store: unsupported manifest version %d", version)
+	}
+	m := &manifest{}
+	am, err := lr.U8()
+	if err != nil {
+		return nil, err
+	}
+	m.assignment = Assignment(am)
+	ns, err := lr.U32()
+	if err != nil {
+		return nil, err
+	}
+	if ns < 1 || ns > maxManifestShards {
+		return nil, fmt.Errorf("store: manifest declares %d shards (limit %d)", ns, maxManifestShards)
+	}
+	m.numShards = int(ns)
+	nt, err := lr.U32()
+	if err != nil {
+		return nil, err
+	}
+	if nt > maxManifestTrajs {
+		return nil, fmt.Errorf("store: manifest declares %d trajectories (limit %d)", nt, maxManifestTrajs)
+	}
+	nx, err := lr.U32()
+	if err != nil {
+		return nil, err
+	}
+	ny, err := lr.U32()
+	if err != nil {
+		return nil, err
+	}
+	m.gridNX, m.gridNY = int(nx), int(ny)
+	if m.interval, err = lr.I64(); err != nil {
+		return nil, err
+	}
+	if m.timeMin, err = lr.I64(); err != nil {
+		return nil, err
+	}
+	if m.timeMax, err = lr.I64(); err != nil {
+		return nil, err
+	}
+	if m.graphHash, err = lr.U64(); err != nil {
+		return nil, err
+	}
+	m.shardOf = make([]uint32, nt)
+	counts := make([]uint32, m.numShards)
+	for j := range m.shardOf {
+		si, err := lr.U32()
+		if err != nil {
+			return nil, err
+		}
+		if int(si) >= m.numShards {
+			return nil, fmt.Errorf("store: trajectory %d assigned to shard %d of %d", j, si, m.numShards)
+		}
+		m.shardOf[j] = si
+		counts[si]++
+	}
+	m.shardBounds = make([]roadnet.Rect, m.numShards)
+	for si := range m.shardBounds {
+		var vals [4]float64
+		for i := range vals {
+			if vals[i], err = lr.F64(); err != nil {
+				return nil, err
+			}
+		}
+		m.shardBounds[si] = roadnet.Rect{MinX: vals[0], MinY: vals[1], MaxX: vals[2], MaxY: vals[3]}
+	}
+	for si, want := range counts {
+		got, err := lr.U32()
+		if err != nil {
+			return nil, err
+		}
+		if got != want {
+			return nil, fmt.Errorf("store: shard %d count %d does not match assignment (%d)", si, got, want)
+		}
+	}
+	return m, nil
+}

@@ -1,0 +1,488 @@
+// Package store implements a sharded multi-archive trajectory store: the
+// process-level container that turns the single-archive UTCQ library
+// (compressor of Section 4, StIU index of Section 5.2, query engine of
+// Section 5.3) into a servable system.
+//
+// A store partitions the trajectories of one road network across N shards.
+// Each shard is an independent compressed archive with its own StIU index
+// and query.Engine, so shards build in parallel, open lazily from disk,
+// and serve queries concurrently.  Because UTCQ compresses each uncertain
+// trajectory independently (references are selected among the instances of
+// one trajectory, never across trajectories), a trajectory's compressed
+// record is byte-identical no matter which shard holds it, and a sharded
+// store answers every query exactly like a single-archive engine over the
+// same data — TestStoreMatchesEngine pins this equivalence on all three
+// paper profiles.
+//
+// Single-trajectory queries (Where, When) route to the owning shard;
+// Range scatters to all shards and gathers the per-shard accepted sets
+// into one deterministic, globally-ordered result.
+//
+// On disk a store is a directory: a manifest (global→shard assignment,
+// index granularity, time span; see docs/FORMAT.md) plus one archive file
+// per shard in the standard container format of internal/core.
+package store
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"utcq/internal/core"
+	"utcq/internal/par"
+	"utcq/internal/query"
+	"utcq/internal/roadnet"
+	"utcq/internal/stiu"
+	"utcq/internal/traj"
+)
+
+// Assignment selects how trajectories map to shards.
+type Assignment uint8
+
+const (
+	// AssignHash spreads trajectories uniformly by a 64-bit mix of the
+	// global trajectory id.  Best load balance; every Range query touches
+	// every shard.
+	AssignHash Assignment = iota
+	// AssignSpatial groups trajectories by the grid cell of their first
+	// instance's start vertex, giving contiguous row-major cell blocks to
+	// each shard.  Range queries over small rectangles touch fewer shards
+	// at the cost of balance.
+	AssignSpatial
+)
+
+func (a Assignment) String() string {
+	switch a {
+	case AssignHash:
+		return "hash"
+	case AssignSpatial:
+		return "spatial"
+	default:
+		return fmt.Sprintf("assignment(%d)", uint8(a))
+	}
+}
+
+// ParseAssignment converts a flag value ("hash" or "spatial").
+func ParseAssignment(s string) (Assignment, error) {
+	switch s {
+	case "hash":
+		return AssignHash, nil
+	case "spatial":
+		return AssignSpatial, nil
+	}
+	return 0, fmt.Errorf("store: unknown assignment %q (want hash or spatial)", s)
+}
+
+// Options configure a store build.
+type Options struct {
+	// NumShards is the number of independent archives (values below 1
+	// select 1; the count is additionally capped by the trajectory count).
+	NumShards int
+	// Assignment maps trajectories to shards (default AssignHash).
+	Assignment Assignment
+	// Core are the per-shard compression parameters.
+	Core core.Options
+	// Index is the per-shard StIU granularity.
+	Index stiu.Options
+	// Engine is the per-shard query-engine cache budget.
+	Engine query.EngineOptions
+	// Parallelism bounds the shard-build worker pool (<1: one worker per
+	// CPU).  Shard contents are independent, so the store is identical
+	// across all settings.
+	Parallelism int
+}
+
+// DefaultOptions returns a 4-shard hash-assigned store with the paper's
+// default compression and index parameters for sample interval ts.
+func DefaultOptions(ts int64) Options {
+	return Options{
+		NumShards:  4,
+		Assignment: AssignHash,
+		Core:       core.DefaultOptions(ts),
+		Index:      stiu.DefaultOptions(),
+	}
+}
+
+// shard is one independently compressed + indexed partition.  eng is nil
+// until the shard is opened (lazily, for stores opened from disk); it is
+// an atomic pointer so residency probes (Stats, OpenShards) never block
+// behind an in-flight multi-second open, which only the mutex serializes.
+type shard struct {
+	mu      sync.Mutex // serializes lazy opening
+	eng     atomic.Pointer[query.Engine]
+	globals []int32 // local trajectory index -> global id
+}
+
+// Store is a sharded collection of compressed uncertain trajectories over
+// one road network.  It is safe for concurrent use.
+type Store struct {
+	graph  *roadnet.Graph
+	opts   Options
+	man    *manifest
+	shards []*shard
+
+	// localIdx[j] is trajectory j's index within its shard.
+	localIdx []int32
+
+	// dir is the backing directory for lazily opened stores ("" when the
+	// store was built in memory).
+	dir string
+}
+
+// Build compresses and indexes the trajectories into a sharded in-memory
+// store.  Shards build on a bounded worker pool (Options.Parallelism); the
+// result is identical across all parallelism settings.
+func Build(g *roadnet.Graph, tus []*traj.Uncertain, opts Options) (*Store, error) {
+	if opts.NumShards < 1 {
+		opts.NumShards = 1
+	}
+	if n := len(tus); n > 0 && opts.NumShards > n {
+		opts.NumShards = n
+	}
+	shardOf, err := assign(g, tus, opts)
+	if err != nil {
+		return nil, err
+	}
+	man := &manifest{
+		assignment:  opts.Assignment,
+		numShards:   opts.NumShards,
+		shardOf:     shardOf,
+		gridNX:      opts.Index.GridNX,
+		gridNY:      opts.Index.GridNY,
+		interval:    opts.Index.IntervalDur,
+		graphHash:   g.Fingerprint(),
+		shardBounds: make([]roadnet.Rect, opts.NumShards),
+	}
+	man.timeMin, man.timeMax = timeSpan(tus)
+
+	s := &Store{graph: g, opts: opts, man: man}
+	s.initShards()
+
+	// Group each shard's trajectories in ascending global order (the order
+	// localIdx was assigned in).
+	groups := make([][]*traj.Uncertain, opts.NumShards)
+	for j, tu := range tus {
+		groups[shardOf[j]] = append(groups[shardOf[j]], tu)
+	}
+	// Avoid nested per-CPU pools: when the shard pool itself fans out,
+	// defaulted (<1) inner parallelism runs each shard's compress and
+	// index build serially instead of spawning workers² goroutines.
+	// Output is identical either way.
+	coreOpts, ixOpts := opts.Core, opts.Index
+	if opts.NumShards > 1 && par.Workers(opts.Parallelism) > 1 {
+		if coreOpts.Parallelism < 1 {
+			coreOpts.Parallelism = 1
+		}
+		if ixOpts.Parallelism < 1 {
+			ixOpts.Parallelism = 1
+		}
+	}
+	err = par.Do(par.Workers(opts.Parallelism), opts.NumShards, func(si int) error {
+		c, err := core.NewCompressor(g, coreOpts)
+		if err != nil {
+			return err
+		}
+		arch, err := c.Compress(groups[si])
+		if err != nil {
+			return fmt.Errorf("store: shard %d: %w", si, err)
+		}
+		ix, err := stiu.Build(arch, ixOpts)
+		if err != nil {
+			return fmt.Errorf("store: shard %d index: %w", si, err)
+		}
+		s.shards[si].eng.Store(query.NewEngineWithOptions(arch, ix, opts.Engine))
+		man.shardBounds[si] = shardGeometryBounds(ix)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// shardGeometryBounds returns a conservative bounding rectangle of a
+// shard's trajectory geometry: the union of every StIU region cell any of
+// its instances touches (cells cover the full edge geometry, so no
+// position of any instance lies outside the union).  An empty shard gets
+// an inverted rectangle that intersects nothing.
+func shardGeometryBounds(ix *stiu.Index) roadnet.Rect {
+	out := roadnet.Rect{MinX: 1, MinY: 1, MaxX: 0, MaxY: 0}
+	empty := true
+	for _, iv := range ix.Intervals {
+		for re := range iv.Regions {
+			cr := ix.Grid.CellRect(re)
+			if empty {
+				out, empty = cr, false
+				continue
+			}
+			out.MinX = math.Min(out.MinX, cr.MinX)
+			out.MinY = math.Min(out.MinY, cr.MinY)
+			out.MaxX = math.Max(out.MaxX, cr.MaxX)
+			out.MaxY = math.Max(out.MaxY, cr.MaxY)
+		}
+	}
+	return out
+}
+
+// initShards derives the shard slots and the global↔local maps from the
+// manifest's assignment vector.
+func (s *Store) initShards() {
+	s.shards = make([]*shard, s.man.numShards)
+	for i := range s.shards {
+		s.shards[i] = &shard{}
+	}
+	s.localIdx = make([]int32, len(s.man.shardOf))
+	for j, si := range s.man.shardOf {
+		sh := s.shards[si]
+		s.localIdx[j] = int32(len(sh.globals))
+		sh.globals = append(sh.globals, int32(j))
+	}
+}
+
+// assign computes the shard of every trajectory.
+func assign(g *roadnet.Graph, tus []*traj.Uncertain, opts Options) ([]uint32, error) {
+	out := make([]uint32, len(tus))
+	switch opts.Assignment {
+	case AssignHash:
+		for j := range tus {
+			out[j] = uint32(mix64(uint64(j)) % uint64(opts.NumShards))
+		}
+	case AssignSpatial:
+		// A coarse uniform grid over the network; contiguous row-major cell
+		// blocks map to the same shard so nearby trajectories co-locate.
+		side := int(math.Ceil(math.Sqrt(float64(4 * opts.NumShards))))
+		grid := roadnet.NewGrid(g, side, side)
+		cells := side * side
+		for j, tu := range tus {
+			if len(tu.Instances) == 0 {
+				out[j] = 0
+				continue
+			}
+			v := g.Vertex(tu.Instances[0].SV)
+			cell := int(grid.CellOf(v.X, v.Y))
+			out[j] = uint32(cell * opts.NumShards / cells)
+		}
+	default:
+		return nil, fmt.Errorf("store: unknown assignment %d", opts.Assignment)
+	}
+	return out, nil
+}
+
+// mix64 is the splitmix64 finalizer: a fast, well-distributed 64-bit mix.
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e9b5
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// timeSpan returns the min first and max last timestamp over the dataset.
+func timeSpan(tus []*traj.Uncertain) (lo, hi int64) {
+	first := true
+	for _, tu := range tus {
+		if len(tu.T) == 0 {
+			continue
+		}
+		t0, tn := tu.T[0], tu.T[len(tu.T)-1]
+		if first || t0 < lo {
+			lo = t0
+		}
+		if first || tn > hi {
+			hi = tn
+		}
+		first = false
+	}
+	return lo, hi
+}
+
+// NumShards returns the shard count.
+func (s *Store) NumShards() int { return s.man.numShards }
+
+// NumTrajectories returns the global trajectory count.
+func (s *Store) NumTrajectories() int { return len(s.man.shardOf) }
+
+// ShardOf returns the shard holding global trajectory j.
+func (s *Store) ShardOf(j int) int { return int(s.man.shardOf[j]) }
+
+// TimeSpan returns the dataset's [min, max] timestamp range, recorded in
+// the manifest at build time (no shard needs to be opened).
+func (s *Store) TimeSpan() (lo, hi int64) { return s.man.timeMin, s.man.timeMax }
+
+// Bounds returns the road network's bounding rectangle.
+func (s *Store) Bounds() roadnet.Rect { return s.graph.Bounds() }
+
+// Graph returns the road network the store serves.
+func (s *Store) Graph() *roadnet.Graph { return s.graph }
+
+// OpenShards counts the shards currently resident in memory (diagnostics
+// for lazy opening).  Non-blocking: an in-flight open counts as absent.
+func (s *Store) OpenShards() int {
+	n := 0
+	for _, sh := range s.shards {
+		if sh.eng.Load() != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// engine returns shard si's query engine, opening the shard from disk on
+// first use.  Concurrent callers of an unopened shard serialize on the
+// shard mutex; the winner loads, everyone else observes the stored engine.
+func (s *Store) engine(si int) (*query.Engine, error) {
+	sh := s.shards[si]
+	if eng := sh.eng.Load(); eng != nil {
+		return eng, nil
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if eng := sh.eng.Load(); eng != nil {
+		return eng, nil
+	}
+	if s.dir == "" {
+		return nil, fmt.Errorf("store: shard %d not built", si)
+	}
+	eng, err := s.openShard(si)
+	if err != nil {
+		return nil, fmt.Errorf("store: open shard %d: %w", si, err)
+	}
+	sh.eng.Store(eng)
+	return eng, nil
+}
+
+// ErrUnknownTrajectory reports a query for a trajectory id the store does
+// not hold — a caller-input error, as opposed to the I/O and corruption
+// errors shard opening can surface.
+var ErrUnknownTrajectory = errors.New("store: unknown trajectory")
+
+// locate resolves a global trajectory id to its shard engine and local
+// index.
+func (s *Store) locate(j int) (*query.Engine, int, error) {
+	if j < 0 || j >= len(s.man.shardOf) {
+		return nil, 0, fmt.Errorf("%w: %d outside [0, %d)", ErrUnknownTrajectory, j, len(s.man.shardOf))
+	}
+	eng, err := s.engine(int(s.man.shardOf[j]))
+	if err != nil {
+		return nil, 0, err
+	}
+	return eng, int(s.localIdx[j]), nil
+}
+
+// Where answers the probabilistic where query (Definition 10) for global
+// trajectory j, routing to the owning shard.
+func (s *Store) Where(j int, t int64, alpha float64) ([]query.WhereResult, error) {
+	eng, local, err := s.locate(j)
+	if err != nil {
+		return nil, err
+	}
+	return eng.Where(local, t, alpha)
+}
+
+// When answers the probabilistic when query (Definition 11) for global
+// trajectory j, routing to the owning shard.
+func (s *Store) When(j int, loc roadnet.Position, alpha float64) ([]query.WhenResult, error) {
+	eng, local, err := s.locate(j)
+	if err != nil {
+		return nil, err
+	}
+	return eng.When(local, loc, alpha)
+}
+
+// Range answers the probabilistic range query (Definition 12): it scatters
+// the query to the shards whose recorded geometry bounds intersect the
+// rectangle (skipped shards are not even opened; the pruning applies for
+// alpha > 0 — see the loop body), translates each shard's accepted local
+// ids to global ids, and merges them into one ascending list — the same
+// set a single-archive engine returns, deterministically ordered.  Under
+// spatial assignment small rectangles touch few shards; under hash
+// assignment the bounds overlap and every shard is queried.
+func (s *Store) Range(re roadnet.Rect, t int64, alpha float64) ([]int, error) {
+	parts := make([][]int, len(s.shards))
+	err := par.Do(par.Workers(s.opts.Parallelism), len(s.shards), func(si int) error {
+		b := s.man.shardBounds[si]
+		if b.MinX > b.MaxX {
+			return nil // empty shard: holds no trajectories at all
+		}
+		// Geometry pruning is sound only for alpha > 0: at alpha <= 0 the
+		// engine accepts every trajectory active at t (zero confirmed mass
+		// already reaches the threshold), geometry notwithstanding.
+		if alpha > 0 && !re.Intersects(b) {
+			return nil // no geometry of this shard can lie inside re
+		}
+		eng, err := s.engine(si)
+		if err != nil {
+			return err
+		}
+		locals, err := eng.Range(re, t, alpha)
+		if err != nil {
+			return err
+		}
+		if len(locals) == 0 {
+			return nil
+		}
+		globals := make([]int, len(locals))
+		for i, l := range locals {
+			globals[i] = int(s.shards[si].globals[l])
+		}
+		parts[si] = globals
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var out []int
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	sort.Ints(out)
+	return out, nil
+}
+
+// Stats aggregates the engine counters of every open shard plus store-level
+// shape information.
+type Stats struct {
+	Shards       int
+	OpenShards   int
+	Trajectories int
+	Assignment   string
+	TimeMin      int64
+	TimeMax      int64
+
+	// Engine is the sum of the open shards' engine counters; CacheBudget is
+	// summed across shards (total entry budget of the store).
+	Engine query.EngineStats
+}
+
+// Stats returns a point-in-time aggregate over all open shards.  Shards not
+// yet opened contribute nothing (opening them just to count would defeat
+// lazy opening).
+func (s *Store) Stats() Stats {
+	st := Stats{
+		Shards:       s.man.numShards,
+		Trajectories: len(s.man.shardOf),
+		Assignment:   s.man.assignment.String(),
+		TimeMin:      s.man.timeMin,
+		TimeMax:      s.man.timeMax,
+	}
+	for _, sh := range s.shards {
+		eng := sh.eng.Load()
+		if eng == nil {
+			continue
+		}
+		st.OpenShards++
+		es := eng.Stats()
+		st.Engine.PathsDecoded += es.PathsDecoded
+		st.Engine.InstancesSkipped += es.InstancesSkipped
+		st.Engine.TrajsPruned += es.TrajsPruned
+		st.Engine.TrajsAccepted += es.TrajsAccepted
+		st.Engine.CacheHits += es.CacheHits
+		st.Engine.CacheMisses += es.CacheMisses
+		st.Engine.CachedViews += es.CachedViews
+		st.Engine.CachedPaths += es.CachedPaths
+		st.Engine.CacheBudget += es.CacheBudget
+	}
+	return st
+}

@@ -12,6 +12,8 @@
 //   - the UTCQ representor/compressor with referential representation,
 //     SIAR and reference selection (core),
 //   - the StIU index (stiu) and the query processor (query),
+//   - the sharded multi-archive store (store) and its HTTP query
+//     service (server), fronted by cmd/utcqd,
 //   - the TED baseline (ted) and the experiment harness (exp).
 //
 // Quick start:
@@ -29,7 +31,9 @@ import (
 	"utcq/internal/mapmatch"
 	"utcq/internal/query"
 	"utcq/internal/roadnet"
+	"utcq/internal/server"
 	"utcq/internal/stiu"
+	"utcq/internal/store"
 	"utcq/internal/ted"
 	"utcq/internal/traj"
 )
@@ -97,6 +101,59 @@ type (
 	// Oracle answers the same queries on uncompressed data.
 	Oracle = query.Oracle
 )
+
+// Sharded store and serving types.
+type (
+	// Store is a sharded multi-archive trajectory store: N independently
+	// compressed and indexed shards behind one query surface, with
+	// scatter-gather range queries.  Safe for concurrent use.
+	Store = store.Store
+	// StoreOptions configure a store build (shard count, assignment,
+	// compression, index granularity, engine budget).
+	StoreOptions = store.Options
+	// OpenStoreOptions configure a store opened lazily from disk.
+	OpenStoreOptions = store.OpenOptions
+	// StoreStats aggregates the engine counters of every open shard.
+	StoreStats = store.Stats
+	// ShardAssignment selects how trajectories map to shards.
+	ShardAssignment = store.Assignment
+	// QueryServer serves a store over HTTP/JSON (see internal/server and
+	// the README "Serving" section for the endpoint reference).
+	QueryServer = server.Server
+	// QueryServerOptions configure the HTTP service.
+	QueryServerOptions = server.Options
+)
+
+// Shard assignment modes.
+const (
+	// AssignHash spreads trajectories uniformly by hashed id.
+	AssignHash = store.AssignHash
+	// AssignSpatial co-locates spatially nearby trajectories.
+	AssignSpatial = store.AssignSpatial
+)
+
+// DefaultStoreOptions returns a 4-shard hash-assigned store configuration
+// with the paper's default compression and index parameters.
+func DefaultStoreOptions(ts int64) StoreOptions { return store.DefaultOptions(ts) }
+
+// BuildStore compresses and indexes the trajectories into a sharded
+// in-memory store; shards build in parallel and the result is identical
+// across all parallelism settings.  Persist it with Store.Save.
+func BuildStore(g *Graph, tus []*Uncertain, opts StoreOptions) (*Store, error) {
+	return store.Build(g, tus, opts)
+}
+
+// OpenStore opens a store directory written by Store.Save, attaching the
+// road network.  Only the manifest is read up front; each shard loads on
+// the first query that touches it (set opts.Eager to load everything now).
+func OpenStore(dir string, g *Graph, opts OpenStoreOptions) (*Store, error) {
+	return store.Open(dir, g, opts)
+}
+
+// NewQueryServer returns an HTTP query service over a store.
+func NewQueryServer(st *Store, opts QueryServerOptions) *QueryServer {
+	return server.New(st, opts)
+}
 
 // Dataset generation and matching types.
 type (

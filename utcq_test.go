@@ -112,3 +112,70 @@ func TestMatcherFacade(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestStoreFacade exercises the sharded-store entry points: build, save,
+// lazy open, and equivalence of a scatter-gather range query with the
+// single-archive engine.
+func TestStoreFacade(t *testing.T) {
+	p := utcq.ProfileCD()
+	p.Network.Cols, p.Network.Rows = 20, 20
+	ds, err := utcq.BuildDataset(p, 25, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	opts := utcq.DefaultStoreOptions(p.Ts)
+	opts.NumShards = 3
+	opts.Assignment = utcq.AssignSpatial
+	st, err := utcq.BuildStore(ds.Graph, ds.Trajectories, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := st.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	st, err = utcq.OpenStore(dir, ds.Graph, utcq.OpenStoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Stats().OpenShards != 0 {
+		t.Fatal("open store is not lazy")
+	}
+
+	arch, err := utcq.Compress(ds.Graph, ds.Trajectories, utcq.DefaultOptions(p.Ts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := utcq.BuildIndex(arch, utcq.DefaultIndexOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := utcq.NewEngine(arch, idx)
+
+	u := ds.Trajectories[0]
+	tq := (u.T[0] + u.T[len(u.T)-1]) / 2
+	b := ds.Graph.Bounds()
+	re := utcq.Rect{MinX: b.MinX, MinY: b.MinY, MaxX: b.MaxX, MaxY: b.MaxY}
+	want, err := eng.Range(re, tq, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := st.Range(re, tq, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("store range %v != engine range %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("store range %v != engine range %v", got, want)
+		}
+	}
+
+	srv := utcq.NewQueryServer(st, utcq.QueryServerOptions{})
+	if srv == nil {
+		t.Fatal("nil server")
+	}
+}
