@@ -1,0 +1,116 @@
+// Command benchgate compares two `go test -bench` outputs — the PR and its
+// merge-base — and fails when a pinned hot-path benchmark regressed past a
+// threshold.  It is the enforcement half of the CI bench-gate job (the
+// human-readable half is the benchstat table archived next to it).
+//
+// Usage:
+//
+//	go test -bench 'Where|Range|CompressOne' -count 5 . > pr.txt       # on the PR
+//	git worktree add /tmp/base $(git merge-base origin/main HEAD)
+//	(cd /tmp/base && go test -bench ... -count 5 .) > base.txt
+//	go run ./cmd/benchgate -old base.txt -new pr.txt -max-regress 15
+//
+// Repeated -count runs of one benchmark reduce to their median ns/op, so a
+// single noisy run cannot fake or mask a regression.  Benchmarks present
+// on only one side are reported but never fail the gate (new benchmarks
+// have no baseline; deleted ones have no PR run).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+
+	"utcq/internal/benchfmt"
+)
+
+func parseFile(path string) (map[string]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	lines, err := benchfmt.Parse(f)
+	if err != nil {
+		return nil, err
+	}
+	return benchfmt.MedianNsPerOp(lines), nil
+}
+
+func main() {
+	oldPath := flag.String("old", "", "bench output of the baseline (merge-base)")
+	newPath := flag.String("new", "", "bench output of the candidate (PR)")
+	pin := flag.String("pin", ".", "regexp of benchmark names the gate enforces")
+	maxRegress := flag.Float64("max-regress", 15, "maximum allowed ns/op regression in percent on pinned benchmarks")
+	flag.Parse()
+	if *oldPath == "" || *newPath == "" {
+		fmt.Fprintln(os.Stderr, "benchgate: -old and -new are required")
+		os.Exit(2)
+	}
+	pinRe, err := regexp.Compile(*pin)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: bad -pin: %v\n", err)
+		os.Exit(2)
+	}
+	oldMed, err := parseFile(*oldPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		os.Exit(2)
+	}
+	newMed, err := parseFile(*newPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		os.Exit(2)
+	}
+
+	names := make([]string, 0, len(newMed))
+	for name := range newMed {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	var failures []string
+	pinned := 0
+	fmt.Printf("%-44s %14s %14s %9s\n", "benchmark (median ns/op)", "old", "new", "delta")
+	for _, name := range names {
+		nv := newMed[name]
+		ov, ok := oldMed[name]
+		if !ok {
+			fmt.Printf("%-44s %14s %14.1f %9s\n", name, "-", nv, "new")
+			continue
+		}
+		delta := 0.0
+		if ov > 0 {
+			delta = (nv - ov) / ov * 100
+		}
+		mark := ""
+		if pinRe.MatchString(name) {
+			pinned++
+			if delta > *maxRegress {
+				mark = "  << REGRESSION"
+				failures = append(failures, fmt.Sprintf("%s: %.1f -> %.1f ns/op (%+.1f%%, limit %+.1f%%)", name, ov, nv, delta, *maxRegress))
+			}
+		}
+		fmt.Printf("%-44s %14.1f %14.1f %+8.1f%%%s\n", name, ov, nv, delta, mark)
+	}
+	for name := range oldMed {
+		if _, ok := newMed[name]; !ok {
+			fmt.Printf("%-44s %14.1f %14s %9s\n", name, oldMed[name], "-", "gone")
+		}
+	}
+
+	if pinned == 0 {
+		fmt.Fprintf(os.Stderr, "benchgate: no benchmark matched the pinned pattern %q — the gate guarded nothing\n", *pin)
+		os.Exit(2)
+	}
+	if len(failures) > 0 {
+		fmt.Fprintf(os.Stderr, "\nbenchgate: %d pinned benchmark(s) regressed past %.0f%%:\n", len(failures), *maxRegress)
+		for _, f := range failures {
+			fmt.Fprintf(os.Stderr, "  %s\n", f)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("\nbenchgate: %d pinned benchmark(s) within the %.0f%% budget\n", pinned, *maxRegress)
+}

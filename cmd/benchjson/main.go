@@ -5,89 +5,27 @@
 //
 // Usage:
 //
-//	go test -bench=. -benchmem -count=1 ./... | go run ./cmd/benchjson -out BENCH_PR2.json
+//	go test -bench=. -benchmem -count=1 ./... | go run ./cmd/benchjson -out BENCH_PR4.json
+//	BENCH_TAG=PR4 go run ./cmd/benchjson -in bench.txt   # writes BENCH_PR4.json
+//
+// With neither -out nor BENCH_TAG set the record goes to stdout.  The CI
+// job derives BENCH_TAG from the pull-request number, so the workflow
+// never hardcodes a PR name.
 package main
 
 import (
-	"bufio"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
-	"regexp"
-	"strconv"
-	"strings"
+
+	"utcq/internal/benchfmt"
 )
-
-// Result is the recorded measurement of one benchmark.
-type Result struct {
-	Iterations  int64              `json:"iterations"`
-	NsPerOp     float64            `json:"ns_per_op"`
-	BytesPerOp  float64            `json:"bytes_per_op,omitempty"`
-	AllocsPerOp float64            `json:"allocs_per_op,omitempty"`
-	Metrics     map[string]float64 `json:"metrics,omitempty"`
-}
-
-var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+(.*)$`)
-
-func parse(r io.Reader) (map[string]Result, error) {
-	out := make(map[string]Result)
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
-	for sc.Scan() {
-		m := benchLine.FindStringSubmatch(strings.TrimSpace(sc.Text()))
-		if m == nil {
-			continue
-		}
-		name := strings.TrimSuffix(m[1], "-"+lastCPUSuffix(m[1]))
-		iters, err := strconv.ParseInt(m[2], 10, 64)
-		if err != nil {
-			continue
-		}
-		res := Result{Iterations: iters}
-		fields := strings.Fields(m[3])
-		for i := 0; i+1 < len(fields); i += 2 {
-			v, err := strconv.ParseFloat(fields[i], 64)
-			if err != nil {
-				continue
-			}
-			switch unit := fields[i+1]; unit {
-			case "ns/op":
-				res.NsPerOp = v
-			case "B/op":
-				res.BytesPerOp = v
-			case "allocs/op":
-				res.AllocsPerOp = v
-			default:
-				if res.Metrics == nil {
-					res.Metrics = make(map[string]float64)
-				}
-				res.Metrics[unit] = v
-			}
-		}
-		out[name] = res
-	}
-	return out, sc.Err()
-}
-
-// lastCPUSuffix returns the trailing GOMAXPROCS decoration ("8" in
-// "BenchmarkFoo-8") so names stay stable across machines.
-func lastCPUSuffix(name string) string {
-	i := strings.LastIndex(name, "-")
-	if i < 0 {
-		return ""
-	}
-	suf := name[i+1:]
-	if _, err := strconv.Atoi(suf); err != nil {
-		return ""
-	}
-	return suf
-}
 
 func main() {
 	in := flag.String("in", "-", "bench output file (- for stdin)")
-	out := flag.String("out", "", "JSON output file (default stdout)")
+	out := flag.String("out", "", "JSON output file (default: BENCH_<$BENCH_TAG>.json, or stdout without a tag)")
 	flag.Parse()
 
 	var r io.Reader = os.Stdin
@@ -100,14 +38,28 @@ func main() {
 		defer f.Close()
 		r = f
 	}
-	results, err := parse(r)
+	lines, err := benchfmt.Parse(r)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	if len(results) == 0 {
+	if len(lines) == 0 {
 		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines found")
 		os.Exit(1)
+	}
+	// Later lines win, matching the old behavior for -count > 1 runs.
+	// benchfmt.Result carries the record's JSON tags; the name becomes the
+	// map key.
+	results := make(map[string]benchfmt.Result, len(lines))
+	for _, l := range lines {
+		results[l.Name] = l
+	}
+
+	path := *out
+	if path == "" {
+		if tag := os.Getenv("BENCH_TAG"); tag != "" {
+			path = fmt.Sprintf("BENCH_%s.json", tag)
+		}
 	}
 
 	// json.Marshal sorts map keys, so the output diffs cleanly across runs.
@@ -117,13 +69,13 @@ func main() {
 		os.Exit(1)
 	}
 	enc = append(enc, '\n')
-	if *out == "" {
+	if path == "" {
 		os.Stdout.Write(enc)
 		return
 	}
-	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+	if err := os.WriteFile(path, enc, 0o644); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(results), *out)
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(results), path)
 }

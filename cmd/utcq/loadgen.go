@@ -4,9 +4,11 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"math/rand"
 	"net/http"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -97,12 +99,20 @@ func runLoadgen(cfg loadgenConfig) error {
 	}
 	printLoadgenReport(res)
 
-	if after, err := fetchStats(cfg.addr); err == nil {
-		e := after.Engine
-		fmt.Printf("server counters: %d requests, %d failures, cache %.1f%% hit (%d hits / %d misses), %d paths decoded\n",
-			after.Requests, after.Failures,
-			100*float64(e.CacheHits)/float64(max(e.CacheHits+e.CacheMisses, 1)),
-			e.CacheHits, e.CacheMisses, e.PathsDecoded)
+	after, err := fetchStats(cfg.addr)
+	if err != nil {
+		fmt.Printf("warning: post-run /stats fetch failed: %v\n", err)
+		return nil
+	}
+	e := after.Engine
+	fmt.Printf("server counters: %d requests, %d failures, cache %.1f%% hit (%d hits / %d misses), %d paths decoded\n",
+		after.Requests, after.Failures,
+		100*float64(e.CacheHits)/float64(max(e.CacheHits+e.CacheMisses, 1)),
+		e.CacheHits, e.CacheMisses, e.PathsDecoded)
+	if after.Ingest != nil {
+		fmt.Printf("ingest counters: %d acked, %d applied (%d pending), %d matched / %d dropped, %d compactions, generation %d\n",
+			after.Ingest.Acked, after.Ingest.Applied, after.Ingest.Pending,
+			after.Ingest.Matched, after.Ingest.Dropped, after.Ingest.Compactions, after.Generation)
 	}
 	return nil
 }
@@ -221,6 +231,11 @@ func postJSON(client *http.Client, url string, body, out any) error {
 // requests are bounded, so loadgen cannot hang on an unresponsive server.
 var statsClient = &http.Client{Timeout: 30 * time.Second}
 
+// fetchStats discovers the served dataset's shape.  Every failure mode is
+// surfaced explicitly — a non-200 status (with the response body, which
+// carries the server's error JSON), a malformed payload, or a degenerate
+// shape — because silently proceeding would synthesize queries from
+// zero-valued bounds and report nonsense throughput against them.
 func fetchStats(addr string) (*server.StatsResponse, error) {
 	resp, err := statsClient.Get(addr + "/stats")
 	if err != nil {
@@ -228,11 +243,17 @@ func fetchStats(addr string) (*server.StatsResponse, error) {
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("%s/stats: status %d", addr, resp.StatusCode)
+		snippet, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+		return nil, fmt.Errorf("%s/stats: status %d (%s): %s", addr, resp.StatusCode, http.StatusText(resp.StatusCode), strings.TrimSpace(string(snippet)))
 	}
 	var sr server.StatsResponse
 	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("%s/stats: decoding response: %w (is this a utcqd server?)", addr, err)
+	}
+	// <= also rejects the all-zero bounds a non-utcqd endpoint's unrelated
+	// JSON decodes to (a real network always has positive extent).
+	if sr.Bounds.MaxX <= sr.Bounds.MinX || sr.Bounds.MaxY <= sr.Bounds.MinY {
+		return nil, fmt.Errorf("%s/stats: degenerate network bounds %+v", addr, sr.Bounds)
 	}
 	return &sr, nil
 }

@@ -7,18 +7,28 @@
 // disk: the first run builds and saves it, later runs open it lazily (only
 // the manifest is read until a query touches a shard).
 //
+// With -wal the server also accepts live traffic: POST /v1/ingest
+// acknowledges raw trajectories into an append-only, CRC-framed
+// write-ahead log, a background worker map-matches and compresses them
+// into delta shards, and accumulated deltas fold into base shards — via
+// POST /v1/compact or automatically every -compact-after delta shards.
+// After a crash, acknowledged-but-unapplied records replay from the WAL.
+//
 // Usage:
 //
 //	utcqd -addr :8723 -profile CD -n 500 -shards 4
 //	utcqd -addr :8723 -profile CD -n 500 -shards 4 -dir /var/lib/utcq/cd500
+//	utcqd -addr :8723 -profile CD -dir /var/lib/utcq/cd500 -wal /var/lib/utcq/cd500/ingest.wal
 //
 // Endpoints (see README "Serving" for request/response bodies):
 //
 //	POST /v1/where   POST /v1/when   POST /v1/range   POST /v1/batch
+//	POST /v1/ingest  POST /v1/compact
 //	GET  /healthz    GET  /stats
 //
 // The server shuts down gracefully on SIGINT/SIGTERM, draining in-flight
-// requests for up to -drain.
+// requests for up to -drain, then drains pending ingestion and closes the
+// WAL.
 package main
 
 import (
@@ -32,6 +42,7 @@ import (
 	"time"
 
 	"utcq/internal/gen"
+	"utcq/internal/ingest"
 	"utcq/internal/query"
 	"utcq/internal/roadnet"
 	"utcq/internal/server"
@@ -52,6 +63,10 @@ func main() {
 	cacheEntries := flag.Int("cache", 0, "per-shard engine cache budget in entries (0 = default)")
 	maxBatch := flag.Int("max-batch", 0, "maximum queries per /v1/batch request (0 = default)")
 	drain := flag.Duration("drain", 10*time.Second, "graceful shutdown drain budget")
+	wal := flag.String("wal", "", "write-ahead log path: enables live ingestion via POST /v1/ingest")
+	ingestBatch := flag.Int("ingest-batch", 32, "max WAL records per delta shard")
+	compactAfter := flag.Int("compact-after", 8, "fold delta shards into a base shard past this count (0 = default 8, <0 disables)")
+	flushEvery := flag.Duration("flush-every", time.Second, "background drain interval for partial ingest batches")
 	flag.Parse()
 
 	p, err := gen.ProfileByName(*profile)
@@ -65,12 +80,20 @@ func main() {
 	engOpts := query.EngineOptions{CacheEntries: *cacheEntries}
 
 	var st *store.Store
+	var g *roadnet.Graph
 	if *dir != "" && manifestExists(*dir) {
 		// The graph regenerates deterministically from the profile; the
 		// compressed shards come from disk, lazily.
 		log.Printf("opening store %s (profile %s network)", *dir, p.Name)
-		g := roadnetFor(p)
-		st, err = store.Open(*dir, g, store.OpenOptions{Engine: engOpts, Parallelism: *parallel})
+		g = roadnetFor(p)
+		// OpenOptions.Core stays zero: delta-shard compression parameters
+		// derive from the persisted shard archives, so ingestion matches
+		// however the store was originally built (which may differ from
+		// the profile defaults).
+		st, err = store.Open(*dir, g, store.OpenOptions{
+			Engine:      engOpts,
+			Parallelism: *parallel,
+		})
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -80,6 +103,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
+		g = ds.Graph
 		opts := store.DefaultOptions(p.Ts)
 		opts.NumShards = *shards
 		opts.Assignment = assignment
@@ -97,11 +121,31 @@ func main() {
 		}
 	}
 
-	lo, hi := st.TimeSpan()
-	log.Printf("serving %d trajectories in %d shards, time span [%d, %d]",
-		st.NumTrajectories(), st.NumShards(), lo, hi)
+	var ing *ingest.Ingester
+	if *wal != "" {
+		eix := roadnet.NewEdgeIndex(g, 4*p.Network.Spacing)
+		ing, err = ingest.New(st, eix, *wal, ingest.Options{
+			BatchSize:    *ingestBatch,
+			FlushEvery:   *flushEvery,
+			Match:        p.Match,
+			Parallelism:  *parallel,
+			CompactEvery: *compactAfter,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if pending := ing.Pending(); pending > 0 {
+			log.Printf("WAL replay: %d acknowledged records pending re-ingestion", pending)
+		}
+		ing.Start()
+		log.Printf("ingestion enabled: WAL %s, batch %d, compact after %d delta shards", *wal, *ingestBatch, *compactAfter)
+	}
 
-	srv := server.New(st, server.Options{MaxBatch: *maxBatch, BatchParallelism: *parallel})
+	lo, hi := st.TimeSpan()
+	log.Printf("serving %d trajectories in %d shards (generation %d), time span [%d, %d]",
+		st.NumTrajectories(), st.NumShards(), st.Generation(), lo, hi)
+
+	srv := server.New(st, server.Options{MaxBatch: *maxBatch, BatchParallelism: *parallel, Ingester: ing})
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -125,6 +169,12 @@ func main() {
 		}
 		if err := <-done; err != nil {
 			log.Fatal(err)
+		}
+		if ing != nil {
+			if err := ing.Close(); err != nil {
+				log.Fatalf("ingest drain: %v", err)
+			}
+			log.Printf("ingestion drained")
 		}
 		log.Printf("bye")
 	}

@@ -18,9 +18,11 @@ import (
 
 	"utcq/internal/core"
 	"utcq/internal/exp"
+	"utcq/internal/gen"
 	"utcq/internal/paperfix"
 	"utcq/internal/roadnet"
 	"utcq/internal/stiu"
+	"utcq/internal/store"
 	"utcq/internal/traj"
 )
 
@@ -155,6 +157,87 @@ func TestGoldenDatasets(t *testing.T) {
 	}
 	if got != string(want) {
 		t.Fatalf("digests changed:\ngot:\n%swant:\n%s", got, want)
+	}
+}
+
+// TestGoldenStore pins the bytes of a complete mutable-store directory —
+// manifest v2 with live base shards, a tombstoned delta shard and a
+// compacted base shard, plus every shard archive — against checked-in
+// digests.  The CI format-compat job runs this (and the other goldens) on
+// a Go-version matrix, making docs/FORMAT.md's normative claim
+// machine-enforced: any digest drift fails the build.
+func TestGoldenStore(t *testing.T) {
+	p := gen.CD()
+	p.Network.Cols, p.Network.Rows = 20, 20
+	ds, err := gen.Build(p, 12, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := store.DefaultOptions(p.Ts)
+	opts.NumShards = 2
+	opts.Index = stiu.Options{GridNX: 16, GridNY: 16, IntervalDur: 1800}
+	s, err := store.Build(ds.Graph, ds.Trajectories[:8], opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := s.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	// Exercise the mutable-manifest features the golden must pin: an
+	// ingested delta shard, a compaction, and the resulting tombstone.
+	if _, err := s.ApplyDelta(ds.Trajectories[8:], 4); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lines []string
+	for _, e := range entries {
+		b, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		lines = append(lines, fmt.Sprintf("%s %s", e.Name(), shortSHA(b)))
+	}
+	sort.Strings(lines)
+	got := ""
+	for _, l := range lines {
+		got += l + "\n"
+	}
+
+	path := filepath.Join("testdata", "golden_store.txt")
+	if *updateGolden {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing fixture (run with -update): %v", err)
+	}
+	if got != string(want) {
+		t.Fatalf("store directory digests changed:\ngot:\n%swant:\n%s", got, want)
+	}
+
+	// The pinned directory must also still open and serve: decode-compat,
+	// not just byte-compat.
+	o, err := store.Open(dir, ds.Graph, store.OpenOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Generation() != 3 || o.NumTrajectories() != 12 {
+		t.Fatalf("golden store reopened at generation %d with %d trajectories", o.Generation(), o.NumTrajectories())
+	}
+	T := ds.Trajectories[11].T
+	if _, err := o.Where(11, (T[0]+T[len(T)-1])/2, 0.1); err != nil {
+		t.Fatal(err)
 	}
 }
 

@@ -1,0 +1,110 @@
+// Package benchfmt parses `go test -bench` output lines into structured
+// measurements.  It is the shared reader behind cmd/benchjson (the perf
+// record the CI bench job archives) and cmd/benchgate (the regression gate
+// comparing a PR against its merge-base).
+package benchfmt
+
+import (
+	"bufio"
+	"io"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark measurement line.  The JSON tags define the
+// BENCH_<tag>.json record format cmd/benchjson emits (Name is the map key
+// there, not a field).
+type Result struct {
+	// Name is the benchmark name with the trailing GOMAXPROCS decoration
+	// ("-8") stripped, so names are stable across machines.
+	Name        string  `json:"-"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+	// Metrics holds custom units (b.ReportMetric), keyed by unit string.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+(.*)$`)
+
+// Parse reads bench output, returning every measurement line in order
+// (repeated -count runs of one benchmark yield repeated entries).
+func Parse(r io.Reader) ([]Result, error) {
+	var out []Result
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(sc.Text()))
+		if m == nil {
+			continue
+		}
+		iters, err := strconv.ParseInt(m[2], 10, 64)
+		if err != nil {
+			continue
+		}
+		res := Result{
+			Name:       strings.TrimSuffix(m[1], "-"+cpuSuffix(m[1])),
+			Iterations: iters,
+		}
+		fields := strings.Fields(m[3])
+		for i := 0; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				res.NsPerOp = v
+			case "B/op":
+				res.BytesPerOp = v
+			case "allocs/op":
+				res.AllocsPerOp = v
+			default:
+				if res.Metrics == nil {
+					res.Metrics = make(map[string]float64)
+				}
+				res.Metrics[unit] = v
+			}
+		}
+		out = append(out, res)
+	}
+	return out, sc.Err()
+}
+
+// cpuSuffix returns the trailing GOMAXPROCS decoration ("8" in
+// "BenchmarkFoo-8"), or "" when the name carries none.
+func cpuSuffix(name string) string {
+	i := strings.LastIndex(name, "-")
+	if i < 0 {
+		return ""
+	}
+	suf := name[i+1:]
+	if _, err := strconv.Atoi(suf); err != nil {
+		return ""
+	}
+	return suf
+}
+
+// MedianNsPerOp groups results by name and reduces repeated runs to the
+// median ns/op — the robust center benchstat also uses, so one noisy run
+// cannot fake (or mask) a regression.
+func MedianNsPerOp(results []Result) map[string]float64 {
+	byName := make(map[string][]float64)
+	for _, r := range results {
+		byName[r.Name] = append(byName[r.Name], r.NsPerOp)
+	}
+	out := make(map[string]float64, len(byName))
+	for name, vs := range byName {
+		sort.Float64s(vs)
+		n := len(vs)
+		if n%2 == 1 {
+			out[name] = vs[n/2]
+		} else {
+			out[name] = (vs[n/2-1] + vs[n/2]) / 2
+		}
+	}
+	return out
+}

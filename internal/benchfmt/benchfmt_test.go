@@ -1,0 +1,55 @@
+package benchfmt
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: utcq
+BenchmarkWhereQueryUTCQ-8   	 3807918	       309.5 ns/op	       0 B/op	       0 allocs/op
+BenchmarkWhereQueryUTCQ-8   	 3700000	       311.5 ns/op	       0 B/op	       0 allocs/op
+BenchmarkWhereQueryUTCQ-8   	 3900000	       301.5 ns/op	       0 B/op	       0 allocs/op
+BenchmarkIngestBatch-8      	     100	   6214472 ns/op	        16.00 trajs/op	 1746064 B/op	   23337 allocs/op
+PASS
+ok  	utcq	1.001s
+`
+
+func TestParse(t *testing.T) {
+	rs, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 4 {
+		t.Fatalf("parsed %d lines, want 4", len(rs))
+	}
+	if rs[0].Name != "BenchmarkWhereQueryUTCQ" {
+		t.Fatalf("name %q not stripped of the CPU suffix", rs[0].Name)
+	}
+	if rs[0].NsPerOp != 309.5 || rs[0].Iterations != 3807918 || rs[0].BytesPerOp != 0 {
+		t.Fatalf("fields = %+v", rs[0])
+	}
+	ing := rs[3]
+	if ing.Metrics["trajs/op"] != 16 || ing.AllocsPerOp != 23337 {
+		t.Fatalf("custom metric lost: %+v", ing)
+	}
+}
+
+func TestMedianNsPerOp(t *testing.T) {
+	rs, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	med := MedianNsPerOp(rs)
+	if med["BenchmarkWhereQueryUTCQ"] != 309.5 {
+		t.Fatalf("median of {309.5, 311.5, 301.5} = %g, want 309.5", med["BenchmarkWhereQueryUTCQ"])
+	}
+	if med["BenchmarkIngestBatch"] != 6214472 {
+		t.Fatalf("single-run median = %g", med["BenchmarkIngestBatch"])
+	}
+	even := MedianNsPerOp([]Result{{Name: "B", NsPerOp: 10}, {Name: "B", NsPerOp: 20}})
+	if even["B"] != 15 {
+		t.Fatalf("even-count median = %g, want 15", even["B"])
+	}
+}

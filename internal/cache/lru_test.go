@@ -140,3 +140,69 @@ func TestConcurrent(t *testing.T) {
 		t.Errorf("hits+misses = %d, want %d", hits+misses, goroutines*opsPerG)
 	}
 }
+
+// TestConcurrentWriterEviction drives the eviction path itself from many
+// concurrent writers: every Add on a full shard evicts, keys far outnumber
+// the budget, and a sampler goroutine asserts the hard bound holds *while*
+// the writers race, not only after they join.  Values are checked for
+// integrity (a key must only ever map to a value some writer actually
+// stored under it), so a torn eviction can not surface another key's
+// entry.
+func TestConcurrentWriterEviction(t *testing.T) {
+	const (
+		budget   = 32
+		writers  = 8
+		opsPerG  = 5000
+		keySpace = 1024 // 32x the budget: almost every Add evicts
+	)
+	c := New[int, int64](budget, 4)
+	stop := make(chan struct{})
+	var sampler sync.WaitGroup
+	sampler.Add(1)
+	go func() {
+		defer sampler.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if got := c.Len(); got > budget {
+				t.Errorf("mid-run len %d exceeds budget %d", got, budget)
+				return
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < opsPerG; i++ {
+				k := (g*137 + i*31) % keySpace
+				c.Add(k, int64(k)<<20|int64(g))
+				if v, ok := c.Get(k); ok && int(v>>20) != k {
+					t.Errorf("key %d returned foreign value %d", k, v)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(stop)
+	sampler.Wait()
+
+	if got := c.Len(); got > budget {
+		t.Fatalf("final len %d exceeds budget %d", got, budget)
+	}
+	// The budget is also tight: concurrent eviction must not deflate the
+	// cache below a full shard's worth of survivors.
+	if got := c.Len(); got != budget {
+		t.Fatalf("cache holds %d entries after saturation, want the full budget %d", got, budget)
+	}
+	hits, misses := c.Stats()
+	if hits+misses == 0 {
+		t.Fatal("no lookups recorded")
+	}
+}

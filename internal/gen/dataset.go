@@ -58,6 +58,32 @@ func Build(p Profile, numTraj int, seed int64) (*Dataset, error) {
 	return ds, nil
 }
 
+// Raws synthesizes numRaw raw (pre-matching) GPS trajectories over the
+// profile's deterministic road network, together with the network and its
+// edge index.  This is the live-ingestion input shape: the WAL-backed
+// pipeline (internal/ingest) map-matches raw trajectories itself, so tests
+// and load generators need the synthetic fleet without the matching step
+// Build performs.
+func Raws(p Profile, numRaw int, seed int64) (*roadnet.Graph, *roadnet.EdgeIndex, []traj.RawTrajectory, error) {
+	g := roadnet.Generate(p.Network)
+	ix := roadnet.NewEdgeIndex(g, 4*p.Network.Spacing)
+	rng := rand.New(rand.NewSource(seed))
+	raws := make([]traj.RawTrajectory, 0, numRaw)
+	attempts := 0
+	for len(raws) < numRaw {
+		attempts++
+		if attempts > numRaw*10+100 {
+			return nil, nil, nil, fmt.Errorf("gen: too many failed attempts (%d raws built)", len(raws))
+		}
+		raw := synthesizeRaw(p, g, rng)
+		if raw == nil {
+			continue
+		}
+		raws = append(raws, *raw)
+	}
+	return g, ix, raws, nil
+}
+
 // sampleInstanceTarget draws the per-trajectory k around the profile's
 // average instance count (clamped to [2, MaxInstances]).
 func sampleInstanceTarget(p Profile, rng *rand.Rand) int {

@@ -1,0 +1,120 @@
+package ingest
+
+import (
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"utcq/internal/gen"
+	"utcq/internal/mapmatch"
+	"utcq/internal/store"
+	"utcq/internal/traj"
+)
+
+func benchStore(b *testing.B, baseN int) (*store.Store, *gen.Profile, []traj.RawTrajectory, *mapmatch.Matcher, func(walName string) *Ingester) {
+	b.Helper()
+	p := gen.CD()
+	p.Network.Cols, p.Network.Rows = 24, 24
+	g, eix, raws, err := gen.Raws(p, 96, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	matcher := mapmatch.New(g, eix, p.Match)
+	base := matchAll(matcher, raws[:baseN])
+	opts := store.DefaultOptions(p.Ts)
+	opts.NumShards = 2
+	opts.Index = testIndexOpts
+	st, err := store.Build(g, base, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dir := b.TempDir()
+	mk := func(walName string) *Ingester {
+		ing, err := New(st, eix, filepath.Join(dir, walName), Options{
+			BatchSize:    32,
+			Match:        p.Match,
+			CompactEvery: 8,
+			NoSync:       true, // measure the pipeline, not fsync latency
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return ing
+	}
+	return st, &p, raws, matcher, mk
+}
+
+// BenchmarkIngestWALAppend measures the acknowledgement path without
+// durability: framing + CRC + buffered write per raw trajectory.
+func BenchmarkIngestWALAppend(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	raws := make([]traj.RawTrajectory, 64)
+	for i := range raws {
+		raws[i] = randomRaw(rng)
+	}
+	w, _, err := OpenWAL(filepath.Join(b.TempDir(), "bench.wal"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer w.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := w.Append(raws[i%len(raws)]); err != nil {
+			b.Fatal(err)
+		}
+		if i%1024 == 1023 {
+			if err := w.Sync(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkIngestBatch measures one full ingest drain: 16 raw
+// trajectories acknowledged, map-matched, compressed into a delta shard
+// and swapped into the store manifest (automatic compaction included, as
+// in production).
+func BenchmarkIngestBatch(b *testing.B) {
+	_, _, raws, _, mk := benchStore(b, 16)
+	ing := mk("bench.wal")
+	defer ing.Close()
+	const batch = 16
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for k := 0; k < batch; k++ {
+			if _, err := ing.Submit(raws[16+(i*batch+k)%(len(raws)-16)]); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if _, err := ing.Flush(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(batch), "trajs/op")
+}
+
+// BenchmarkCompactDeltas measures folding 8 delta shards (8 trajectories
+// each) into one base shard: record merge + StIU rebuild + manifest swap.
+func BenchmarkCompactDeltas(b *testing.B) {
+	st, _, raws, matcher, mk := benchStore(b, 16)
+	ing := mk("bench.wal")
+	defer ing.Close()
+	// Pre-match the delta population once; ApplyDelta skips the matcher.
+	tus := matchAll(matcher, raws[16:80])
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		for k := 0; k+8 <= len(tus); k += 8 {
+			if _, err := st.ApplyDelta(tus[k:k+8], st.WALApplied()); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StartTimer()
+		if _, err := st.Compact(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,407 @@
+// Package ingest adds the live write path to the UTCQ system: an
+// append-only write-ahead log of raw (pre-match) GPS trajectories, and a
+// background worker that drains WAL batches through probabilistic map
+// matching and UTCQ compression into delta shards of a mutable store
+// (internal/store), compacting accumulated deltas back into base shards.
+//
+// Durability contract: a trajectory is acknowledged once its WAL record is
+// written and synced.  The store manifest records the WAL high-water mark
+// (walApplied) transactionally with every applied batch, so after a crash
+// the ingester replays exactly the acknowledged-but-unapplied suffix —
+// nothing is lost, nothing is applied twice.  A torn tail record (the
+// append that was in flight when the process died) fails its CRC or frame
+// length and is truncated away; by definition it was never acknowledged.
+package ingest
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+
+	"utcq/internal/traj"
+)
+
+// WAL record framing (docs/FORMAT.md section 4):
+//
+//	file   = header record*
+//	header = magic "UTCW" | version u16 | firstSeq u64 (little endian)
+//	record = length u32 | crc u32 | payload
+//
+// firstSeq is the absolute sequence number of the file's first record:
+// checkpointing (dropping records already folded into the store) rewrites
+// the file with a higher firstSeq, so sequence numbers — and the store's
+// walApplied high-water mark — survive truncation.  length is the payload
+// byte count, crc is IEEE CRC-32 over the payload.  The payload is one
+// raw trajectory:
+//
+//	numPoints u32 | numPoints × (x f64 | y f64 | t i64)
+const (
+	walMagic   = "UTCW"
+	walVersion = 1
+
+	walHeaderSize = 14 // magic + version + firstSeq
+	walFrameSize  = 8  // length + crc
+	walPointSize  = 24 // x + y + t, 8 bytes each
+
+	// maxWALRecord bounds a record's payload so a corrupted length field
+	// fails fast instead of driving a huge allocation: 4 bytes of count
+	// plus ~2.8M points.  Append enforces the same bound on the way in —
+	// an oversized record must be rejected before acknowledgement, or
+	// replay would treat it (and every record after it) as a torn tail.
+	maxWALRecord = 1 << 26
+
+	// MaxPoints is the largest raw trajectory one WAL record can carry.
+	MaxPoints = (maxWALRecord - 4) / walPointSize
+)
+
+// WAL is an append-only, CRC-framed log of raw trajectories.  Append
+// buffers; Sync makes everything appended so far durable — the
+// acknowledgement barrier.  WAL methods are not safe for concurrent use;
+// the Ingester serializes access.
+type WAL struct {
+	path  string
+	f     *os.File
+	buf   []byte // pending appended bytes not yet written through
+	first uint64 // absolute sequence of the file's first record
+	count uint64 // records in the file (durable + buffered)
+	size  int64  // file size once buf is flushed
+
+	// failed latches the first write/sync error: once the file and the
+	// in-memory sequence may disagree, every later operation refuses
+	// instead of acknowledging records that might not be durable.
+	failed error
+}
+
+// walHeader frames a header with the given first sequence.
+func walHeader(firstSeq uint64) [walHeaderSize]byte {
+	var hdr [walHeaderSize]byte
+	copy(hdr[:], walMagic)
+	binary.LittleEndian.PutUint16(hdr[4:], walVersion)
+	binary.LittleEndian.PutUint64(hdr[6:], firstSeq)
+	return hdr
+}
+
+// OpenWAL opens (or creates) the log at path and replays it: every record
+// with a valid frame and checksum is returned in append order; the first
+// record's absolute sequence number is WAL.FirstSeq (0 for a log never
+// checkpointed).  A torn or corrupt tail — the footprint of a crash
+// mid-append — is truncated away so the log ends on a record boundary and
+// new appends extend a valid file.
+func OpenWAL(path string) (*WAL, []traj.RawTrajectory, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, err
+	}
+	w := &WAL{path: path, f: f}
+	data, err := io.ReadAll(f)
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	if len(data) == 0 {
+		hdr := walHeader(0)
+		if _, err := f.Write(hdr[:]); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+		w.size = walHeaderSize
+		return w, nil, nil
+	}
+	first, raws, good, err := DecodeWAL(data)
+	if err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("ingest: %s: %w", path, err)
+	}
+	if good < int64(len(data)) {
+		// Torn tail: drop the partial record so appends resume cleanly.
+		if err := f.Truncate(good); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+	}
+	if _, err := f.Seek(good, io.SeekStart); err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	w.size = good
+	w.first = first
+	w.count = uint64(len(raws))
+	return w, raws, nil
+}
+
+// DecodeWAL parses a WAL image, returning the first record's absolute
+// sequence number, the complete records, and the byte offset at which the
+// valid prefix ends.  Truncated frames, oversized lengths and checksum
+// mismatches end the scan (they mark the torn tail); only a bad header is
+// an error, because then the file is not a WAL at all and truncating it
+// would destroy someone else's data.
+func DecodeWAL(data []byte) (uint64, []traj.RawTrajectory, int64, error) {
+	if len(data) < walHeaderSize || string(data[:4]) != walMagic {
+		return 0, nil, 0, errors.New("not a UTCQ write-ahead log")
+	}
+	if v := binary.LittleEndian.Uint16(data[4:6]); v != walVersion {
+		return 0, nil, 0, fmt.Errorf("unsupported WAL version %d", v)
+	}
+	firstSeq := binary.LittleEndian.Uint64(data[6:14])
+	var raws []traj.RawTrajectory
+	off := int64(walHeaderSize)
+	for {
+		rest := data[off:]
+		if len(rest) < walFrameSize {
+			return firstSeq, raws, off, nil
+		}
+		length := binary.LittleEndian.Uint32(rest[:4])
+		crc := binary.LittleEndian.Uint32(rest[4:8])
+		if length > maxWALRecord || int(length) > len(rest)-walFrameSize {
+			return firstSeq, raws, off, nil
+		}
+		payload := rest[walFrameSize : walFrameSize+int(length)]
+		if crc32.ChecksumIEEE(payload) != crc {
+			return firstSeq, raws, off, nil
+		}
+		raw, ok := decodeRawTrajectory(payload)
+		if !ok {
+			// The checksum matched but the payload is structurally invalid:
+			// this is not a torn write, it is corruption (or a foreign
+			// record) that fsync promised us could not happen.  Stop here
+			// and let the caller keep the valid prefix.
+			return firstSeq, raws, off, nil
+		}
+		raws = append(raws, raw)
+		off += walFrameSize + int64(length)
+	}
+}
+
+// encodeRawTrajectory serializes one raw trajectory payload.
+func encodeRawTrajectory(raw traj.RawTrajectory) []byte {
+	out := make([]byte, 4+walPointSize*len(raw.Points))
+	binary.LittleEndian.PutUint32(out, uint32(len(raw.Points)))
+	o := 4
+	for _, p := range raw.Points {
+		binary.LittleEndian.PutUint64(out[o:], uint64(int64FromF64(p.X)))
+		binary.LittleEndian.PutUint64(out[o+8:], uint64(int64FromF64(p.Y)))
+		binary.LittleEndian.PutUint64(out[o+16:], uint64(p.T))
+		o += walPointSize
+	}
+	return out
+}
+
+// decodeRawTrajectory parses one payload; ok is false on any structural
+// mismatch.
+func decodeRawTrajectory(payload []byte) (traj.RawTrajectory, bool) {
+	if len(payload) < 4 {
+		return traj.RawTrajectory{}, false
+	}
+	n := binary.LittleEndian.Uint32(payload)
+	if int(n) != (len(payload)-4)/walPointSize || len(payload) != 4+walPointSize*int(n) {
+		return traj.RawTrajectory{}, false
+	}
+	raw := traj.RawTrajectory{Points: make([]traj.RawPoint, n)}
+	o := 4
+	for i := range raw.Points {
+		raw.Points[i] = traj.RawPoint{
+			X: f64FromInt64(int64(binary.LittleEndian.Uint64(payload[o:]))),
+			Y: f64FromInt64(int64(binary.LittleEndian.Uint64(payload[o+8:]))),
+			T: int64(binary.LittleEndian.Uint64(payload[o+16:])),
+		}
+		o += walPointSize
+	}
+	return raw, true
+}
+
+// Append adds one record to the log buffer and returns its sequence number
+// (its zero-based index in the log).  The record is acknowledged — and
+// must be reported to the submitter as accepted — only after a Sync.
+func (w *WAL) Append(raw traj.RawTrajectory) (uint64, error) {
+	if w.f == nil {
+		return 0, errors.New("ingest: WAL is closed")
+	}
+	if w.failed != nil {
+		return 0, fmt.Errorf("ingest: WAL failed earlier: %w", w.failed)
+	}
+	if len(raw.Points) > MaxPoints {
+		return 0, fmt.Errorf("ingest: trajectory of %d points exceeds the WAL record limit (%d)", len(raw.Points), MaxPoints)
+	}
+	payload := encodeRawTrajectory(raw)
+	var frame [walFrameSize]byte
+	binary.LittleEndian.PutUint32(frame[:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:], crc32.ChecksumIEEE(payload))
+	w.buf = append(w.buf, frame[:]...)
+	w.buf = append(w.buf, payload...)
+	seq := w.first + w.count
+	w.count++
+	return seq, nil
+}
+
+// Sync writes the buffered records through and fsyncs the file: the
+// acknowledgement barrier.  After Sync returns, every appended record
+// survives a crash.
+func (w *WAL) Sync() error {
+	if w.f == nil {
+		return errors.New("ingest: WAL is closed")
+	}
+	if w.failed != nil {
+		return fmt.Errorf("ingest: WAL failed earlier: %w", w.failed)
+	}
+	if len(w.buf) > 0 {
+		n, err := w.f.Write(w.buf)
+		w.size += int64(n)
+		if err != nil {
+			// A short write leaves a torn tail; recovery truncates it, and
+			// the unsynced records were never acknowledged.
+			w.buf = w.buf[:0]
+			w.failed = err
+			return err
+		}
+		w.buf = w.buf[:0]
+	}
+	if err := w.f.Sync(); err != nil {
+		w.failed = err
+		return err
+	}
+	return nil
+}
+
+// Count returns the next sequence number: the total number of records
+// ever acknowledged through this log, including records a checkpoint has
+// since dropped and appends still buffered.
+func (w *WAL) Count() uint64 { return w.first + w.count }
+
+// FirstSeq returns the absolute sequence of the file's first record (the
+// checkpoint position; records below it have been dropped).
+func (w *WAL) FirstSeq() uint64 { return w.first }
+
+// Size returns the log's byte size once buffered records are flushed.
+func (w *WAL) Size() int64 { return w.size + int64(len(w.buf)) }
+
+// Path returns the log's file path.
+func (w *WAL) Path() string { return w.path }
+
+// Checkpoint drops every record with sequence below upTo — records the
+// store manifest confirms applied (walApplied) — by atomically rewriting
+// the log with firstSeq = upTo: write-temp, fsync, rename, reopen.  This
+// bounds the log to the unapplied backlog instead of the lifetime ingest
+// volume.  upTo values at or below FirstSeq are no-ops; values beyond
+// Count are rejected (they would drop unacknowledged state).
+func (w *WAL) Checkpoint(upTo uint64) error {
+	if w.f == nil {
+		return errors.New("ingest: WAL is closed")
+	}
+	if w.failed != nil {
+		return fmt.Errorf("ingest: WAL failed earlier: %w", w.failed)
+	}
+	if upTo <= w.first {
+		return nil
+	}
+	if upTo > w.first+w.count {
+		return fmt.Errorf("ingest: checkpoint %d beyond last acknowledged record %d", upTo, w.first+w.count)
+	}
+	if err := w.Sync(); err != nil {
+		return err
+	}
+	var br io.Reader
+	if upTo == w.first+w.count {
+		// Full checkpoint — the retained suffix is empty (the common case:
+		// the ingester only checkpoints when every record is applied).  No
+		// scan of the old log is needed; the replacement is just a header.
+		br = bytes.NewReader(nil)
+	} else {
+		// Stream the retained suffix into the replacement file — the log
+		// is never loaded into memory whole, so a partial checkpoint costs
+		// sequential I/O, not allocation.
+		src, err := os.Open(w.path)
+		if err != nil {
+			return err
+		}
+		defer src.Close()
+		bsrc := bufio.NewReaderSize(src, 1<<20)
+		if _, err := bsrc.Discard(walHeaderSize); err != nil {
+			return err
+		}
+		var frame [walFrameSize]byte
+		for i := uint64(0); i < upTo-w.first; i++ {
+			if _, err := io.ReadFull(bsrc, frame[:]); err != nil {
+				return err
+			}
+			if _, err := bsrc.Discard(int(binary.LittleEndian.Uint32(frame[:4]))); err != nil {
+				return err
+			}
+		}
+		br = bsrc
+	}
+	tmpPath := w.path + ".tmp"
+	tmp, err := os.Create(tmpPath)
+	if err != nil {
+		return err
+	}
+	hdr := walHeader(upTo)
+	var copied int64
+	if _, err = tmp.Write(hdr[:]); err == nil {
+		copied, err = io.Copy(tmp, br)
+	}
+	if err == nil {
+		err = tmp.Sync()
+	}
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmpPath)
+		return err
+	}
+	if err := os.Rename(tmpPath, w.path); err != nil {
+		os.Remove(tmpPath)
+		return err
+	}
+	f, err := os.OpenFile(w.path, os.O_RDWR, 0o644)
+	if err != nil {
+		// The rewritten log is valid on disk but we lost our handle; latch
+		// so nothing is acknowledged against a file we cannot append to.
+		w.failed = err
+		return err
+	}
+	newSize := int64(walHeaderSize) + copied
+	if _, err := f.Seek(newSize, io.SeekStart); err != nil {
+		f.Close()
+		w.failed = err
+		return err
+	}
+	w.f.Close()
+	w.f = f
+	w.count -= upTo - w.first
+	w.first = upTo
+	w.size = newSize
+	return nil
+}
+
+// Close syncs and closes the log.
+func (w *WAL) Close() error {
+	if w.f == nil {
+		return nil
+	}
+	err := w.Sync()
+	if cerr := w.f.Close(); err == nil {
+		err = cerr
+	}
+	w.f = nil
+	return err
+}
+
+// int64FromF64 / f64FromInt64 move float bit patterns exactly (raw
+// coordinates round-trip bit-for-bit through the log).
+func int64FromF64(v float64) int64 { return int64(math.Float64bits(v)) }
+func f64FromInt64(v int64) float64 { return math.Float64frombits(uint64(v)) }

@@ -4,7 +4,10 @@
 // (Definition 11) and range (Definition 12) — as single-query endpoints
 // and as one batched endpoint that fans a request's queries across a
 // bounded worker pool, plus /healthz for liveness and /stats for the
-// store's aggregated engine and cache counters.
+// store's aggregated engine and cache counters.  With an ingester
+// attached (Options.Ingester) the server also accepts live traffic:
+// POST /v1/ingest acknowledges raw trajectories into the WAL and
+// POST /v1/compact folds accumulated delta shards into a base shard.
 //
 // The handlers hold no per-request state beyond the decoded bodies; all
 // concurrency control lives in the store and its per-shard engines, so one
@@ -21,10 +24,12 @@ import (
 	"sync/atomic"
 	"time"
 
+	"utcq/internal/ingest"
 	"utcq/internal/par"
 	"utcq/internal/query"
 	"utcq/internal/roadnet"
 	"utcq/internal/store"
+	"utcq/internal/traj"
 )
 
 // Options configure a Server.
@@ -38,6 +43,11 @@ type Options struct {
 	// ReadTimeout/WriteTimeout guard slow clients (defaults 10s/30s).
 	ReadTimeout  time.Duration
 	WriteTimeout time.Duration
+	// Ingester enables live ingestion.  Nil disables data ingress:
+	// /v1/ingest answers 503.  /v1/compact remains available either way
+	// (compaction is maintenance over data already in the store, useful
+	// after offline bulk loads).
+	Ingester *ingest.Ingester
 }
 
 // DefaultOptions returns the server defaults.
@@ -48,6 +58,7 @@ func DefaultOptions() Options {
 // Server is the HTTP query service over one store.
 type Server struct {
 	st   *store.Store
+	ing  *ingest.Ingester
 	opts Options
 	mux  *http.ServeMux
 	hs   *http.Server
@@ -69,13 +80,15 @@ func New(st *store.Store, opts Options) *Server {
 	if opts.WriteTimeout <= 0 {
 		opts.WriteTimeout = def.WriteTimeout
 	}
-	s := &Server{st: st, opts: opts, mux: http.NewServeMux(), started: time.Now()}
+	s := &Server{st: st, ing: opts.Ingester, opts: opts, mux: http.NewServeMux(), started: time.Now()}
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
 	s.mux.HandleFunc("POST /v1/where", s.handleWhere)
 	s.mux.HandleFunc("POST /v1/when", s.handleWhen)
 	s.mux.HandleFunc("POST /v1/range", s.handleRange)
 	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	s.mux.HandleFunc("POST /v1/ingest", s.handleIngest)
+	s.mux.HandleFunc("POST /v1/compact", s.handleCompact)
 	// The http.Server exists from construction so Shutdown is effective
 	// even if it races server start (a Serve call after Shutdown returns
 	// ErrServerClosed immediately instead of leaking a live listener).
@@ -199,19 +212,81 @@ type (
 		Error string            `json:"error,omitempty"`
 	}
 
+	// RawPointJSON is one GPS fix of an ingested trajectory.
+	RawPointJSON struct {
+		X float64 `json:"x"`
+		Y float64 `json:"y"`
+		T int64   `json:"t"`
+	}
+
+	// RawTrajectoryJSON is one raw trajectory submitted for ingestion.
+	RawTrajectoryJSON struct {
+		Points []RawPointJSON `json:"points"`
+	}
+
+	// IngestRequest carries raw trajectories for the WAL.  With Flush set
+	// the response is only sent after the batch has been map-matched and
+	// folded into the store (synchronous ingestion; otherwise the records
+	// are acknowledged durable and become queryable at the next drain).
+	IngestRequest struct {
+		Trajectories []RawTrajectoryJSON `json:"trajectories"`
+		Flush        bool                `json:"flush,omitempty"`
+	}
+
+	// IngestResponse reports the acknowledged batch.  FlushError is set
+	// (with HTTP 202) when the batch was durably acknowledged but a
+	// requested synchronous flush failed afterwards: the records are NOT
+	// lost — they apply on a later drain or after a restart — and the
+	// client MUST NOT resubmit them.
+	IngestResponse struct {
+		Accepted   int    `json:"accepted"`
+		FirstSeq   uint64 `json:"firstSeq"`
+		Pending    uint64 `json:"pending"`
+		Generation uint64 `json:"generation"`
+		FlushError string `json:"flushError,omitempty"`
+	}
+
+	// CompactResponse reports a compaction run.
+	CompactResponse struct {
+		Folded     int    `json:"folded"`
+		Generation uint64 `json:"generation"`
+	}
+
+	// IngestStatsJSON mirrors ingest.Stats on /stats.
+	IngestStatsJSON struct {
+		Acked       uint64 `json:"acked"`
+		Applied     uint64 `json:"applied"`
+		Pending     uint64 `json:"pending"`
+		Matched     int64  `json:"matched"`
+		Dropped     int64  `json:"dropped"`
+		Batches     int64  `json:"batches"`
+		Compactions int64  `json:"compactions"`
+		WALBytes    int64  `json:"walBytes"`
+	}
+
 	// StatsResponse is the /stats payload: store shape, aggregated engine
-	// counters, and server request totals.  Bounds and the time span let
-	// load generators synthesize valid queries without a side channel.
+	// counters, ingestion state, and server request totals.  Bounds and
+	// the time span let load generators synthesize valid queries without
+	// a side channel.
 	StatsResponse struct {
 		Shards       int      `json:"shards"`
+		BaseShards   int      `json:"baseShards"`
+		DeltaShards  int      `json:"deltaShards"`
+		Tombstones   int      `json:"tombstones"`
 		OpenShards   int      `json:"openShards"`
 		Trajectories int      `json:"trajectories"`
 		Assignment   string   `json:"assignment"`
+		Generation   uint64   `json:"generation"`
+		Compactions  int64    `json:"compactions"`
 		TimeMin      int64    `json:"timeMin"`
 		TimeMax      int64    `json:"timeMax"`
 		Bounds       RectJSON `json:"bounds"`
 
 		Engine query.EngineStats `json:"engine"`
+
+		// Ingest is present only when the server was started with an
+		// ingester attached.
+		Ingest *IngestStatsJSON `json:"ingest,omitempty"`
 
 		Requests      int64   `json:"requests"`
 		Failures      int64   `json:"failures"`
@@ -365,6 +440,92 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	s.reply(w, map[string]any{"results": results})
 }
 
+// handleIngest acknowledges raw trajectories.  The whole batch is
+// validated before anything touches the WAL, then appended and fsynced
+// under one group commit (SubmitBatch), so the request is atomic from the
+// client's view: a 400 means nothing was acknowledged, a 200 means the
+// entire batch survives a crash.
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	var req IngestRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if s.ing == nil {
+		s.fail(w, http.StatusServiceUnavailable, errors.New("ingestion disabled: utcqd started without -wal"))
+		return
+	}
+	if len(req.Trajectories) == 0 {
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("%w: no trajectories", errBadInput))
+		return
+	}
+	raws := make([]traj.RawTrajectory, len(req.Trajectories))
+	for i, rt := range req.Trajectories {
+		pts := make([]traj.RawPoint, len(rt.Points))
+		for k, p := range rt.Points {
+			pts[k] = traj.RawPoint{X: p.X, Y: p.Y, T: p.T}
+		}
+		raws[i] = traj.RawTrajectory{Points: pts}
+	}
+	first, err := s.ing.SubmitBatch(raws)
+	if err != nil {
+		code := http.StatusInternalServerError
+		if errors.Is(err, ingest.ErrRejected) {
+			code = http.StatusBadRequest
+		}
+		s.fail(w, code, err)
+		return
+	}
+	resp := IngestResponse{Accepted: len(raws), FirstSeq: first}
+	if req.Flush {
+		// A synchronous flush map-matches and compresses the batch before
+		// replying; lift the connection's write deadline so a large batch
+		// is not cut off mid-mutation.
+		_ = http.NewResponseController(w).SetWriteDeadline(time.Time{})
+		gen, err := s.ing.Flush()
+		if err != nil {
+			// The batch IS durably acknowledged — only the synchronous
+			// application failed; it will drain later.  A plain 500 would
+			// invite a resubmit and duplicate the records, so answer 202
+			// with the acknowledgement and the flush failure in-band.
+			s.failures.Add(1)
+			resp.Generation = s.st.Generation()
+			resp.Pending = uint64(s.ing.Pending())
+			resp.FlushError = err.Error()
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusAccepted)
+			_ = json.NewEncoder(w).Encode(resp)
+			return
+		}
+		resp.Generation = gen
+	} else {
+		resp.Generation = s.st.Generation()
+	}
+	resp.Pending = uint64(s.ing.Pending())
+	s.reply(w, resp)
+}
+
+// handleCompact drains pending ingestion and folds the live delta shards
+// into a base shard.  Without an ingester the store compacts directly
+// (useful after offline bulk loads).
+func (s *Server) handleCompact(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	// Compaction duration scales with the delta population; don't let the
+	// server's write timeout cut the response while the merge completes.
+	_ = http.NewResponseController(w).SetWriteDeadline(time.Time{})
+	var folded int
+	var err error
+	if s.ing != nil {
+		folded, err = s.ing.Compact()
+	} else {
+		folded, err = s.st.Compact()
+	}
+	if err != nil {
+		s.fail(w, http.StatusInternalServerError, err)
+		return
+	}
+	s.reply(w, CompactResponse{Folded: folded, Generation: s.st.Generation()})
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s.reply(w, map[string]any{"status": "ok"})
 }
@@ -372,11 +533,16 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	st := s.st.Stats()
 	b := s.st.Bounds()
-	s.reply(w, StatsResponse{
+	resp := StatsResponse{
 		Shards:        st.Shards,
+		BaseShards:    st.BaseShards,
+		DeltaShards:   st.DeltaShards,
+		Tombstones:    st.Tombstones,
 		OpenShards:    st.OpenShards,
 		Trajectories:  st.Trajectories,
 		Assignment:    st.Assignment,
+		Generation:    st.Generation,
+		Compactions:   st.Compactions,
 		TimeMin:       st.TimeMin,
 		TimeMax:       st.TimeMax,
 		Bounds:        RectJSON{MinX: b.MinX, MinY: b.MinY, MaxX: b.MaxX, MaxY: b.MaxY},
@@ -384,7 +550,21 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Requests:      s.requests.Load(),
 		Failures:      s.failures.Load(),
 		UptimeSeconds: time.Since(s.started).Seconds(),
-	})
+	}
+	if s.ing != nil {
+		is := s.ing.Stats()
+		resp.Ingest = &IngestStatsJSON{
+			Acked:       is.Acked,
+			Applied:     is.Applied,
+			Pending:     is.Pending,
+			Matched:     is.Matched,
+			Dropped:     is.Dropped,
+			Batches:     is.Batches,
+			Compactions: is.Compactions,
+			WALBytes:    is.WALBytes,
+		}
+	}
+	s.reply(w, resp)
 }
 
 // decode parses a JSON body, rejecting unknown fields so client typos

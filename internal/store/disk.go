@@ -2,6 +2,7 @@ package store
 
 import (
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 
@@ -12,53 +13,121 @@ import (
 	"utcq/internal/stiu"
 )
 
-// shardFile returns shard si's archive file name.
-func shardFile(si int) string { return fmt.Sprintf("shard-%04d.utcq", si) }
+// shardFile returns the archive file name of the shard with the given id.
+// Ids are never reused, so a name can never refer to two different shard
+// populations across generations.
+func shardFile(id uint32) string { return fmt.Sprintf("shard-%04d.utcq", id) }
 
-// Save writes the store to dir: the manifest plus one archive file per
-// shard.  Every shard must be resident (a freshly built store always is; a
-// lazily opened store round-trips only after every shard has been
-// touched); residency is verified up front so a failed Save does not
-// leave a partial store directory behind.
+// writeFileAtomic writes a file via a temporary sibling and renames it into
+// place, fsyncing the file first, so a crash mid-write can never leave a
+// half-written artifact under the final name.  The directory entry is
+// synced best-effort (rename durability).
+func writeFileAtomic(dir, name string, write func(io.Writer) error) error {
+	tmp := filepath.Join(dir, name+".tmp")
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, name)); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	syncDir(dir)
+	return nil
+}
+
+// syncDir fsyncs a directory so a completed rename survives power loss.
+// Best-effort: some platforms cannot sync directories.
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		_ = d.Sync()
+		_ = d.Close()
+	}
+}
+
+// writeShardFile persists one shard archive atomically.
+func writeShardFile(dir string, id uint32, arch *core.Archive) error {
+	if err := writeFileAtomic(dir, shardFile(id), arch.Save); err != nil {
+		return fmt.Errorf("store: save shard %d: %w", id, err)
+	}
+	return nil
+}
+
+// writeManifestFile persists the manifest atomically.  Because readers
+// resolve every shard through the manifest, the rename is the commit point
+// of a mutation: before it they see the previous generation, after it the
+// new one, never a mixture.
+func writeManifestFile(dir string, man *manifest) error {
+	if err := writeFileAtomic(dir, ManifestName, man.write); err != nil {
+		return fmt.Errorf("store: save manifest: %w", err)
+	}
+	return nil
+}
+
+// Save writes the store to dir — every live shard plus the manifest, each
+// through an atomic write — and binds the store to the directory: later
+// ApplyDelta and Compact calls persist their mutations there.  Every live
+// shard must be resident (a freshly built store always is; a lazily
+// opened store round-trips only after every shard has been touched);
+// residency is verified up front so a failed Save does not leave a
+// partial store directory behind.
 func (s *Store) Save(dir string) error {
-	engines := make([]*query.Engine, len(s.shards))
-	for si, sh := range s.shards {
-		engines[si] = sh.eng.Load()
-		if engines[si] == nil {
-			return fmt.Errorf("store: cannot save: shard %d not resident", si)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v := s.v.Load()
+	type item struct {
+		id  uint32
+		eng *query.Engine
+	}
+	var items []item
+	for _, sh := range v.shards {
+		if sh == nil {
+			continue
 		}
+		eng := sh.eng.Load()
+		if eng == nil {
+			return fmt.Errorf("store: cannot save: shard %d not resident", sh.id)
+		}
+		items = append(items, item{sh.id, eng})
 	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
-	for si, eng := range engines {
-		f, err := os.Create(filepath.Join(dir, shardFile(si)))
-		if err != nil {
-			return err
-		}
-		if err := eng.Arch.Save(f); err != nil {
-			f.Close()
-			return fmt.Errorf("store: save shard %d: %w", si, err)
-		}
-		if err := f.Close(); err != nil {
+	for _, it := range items {
+		if err := writeShardFile(dir, it.id, it.eng.Arch); err != nil {
 			return err
 		}
 	}
-	f, err := os.Create(filepath.Join(dir, ManifestName))
-	if err != nil {
+	if err := writeManifestFile(dir, v.man); err != nil {
 		return err
 	}
-	if err := s.man.write(f); err != nil {
-		f.Close()
-		return fmt.Errorf("store: save manifest: %w", err)
-	}
-	return f.Close()
+	s.dir.Store(&dir)
+	return nil
 }
 
 // OpenOptions configure a store opened from disk.
 type OpenOptions struct {
 	// Engine is the per-shard query-engine cache budget.
 	Engine query.EngineOptions
+	// Core are the compression parameters for delta shards built by
+	// ApplyDelta.  The zero value derives them from the first live shard's
+	// archive on first use (the container persists them); only an empty
+	// store needs them set explicitly before ingestion.
+	Core core.Options
 	// Parallelism bounds the per-shard index rebuild and the Range
 	// scatter pool (<1: one worker per CPU).
 	Parallelism int
@@ -66,11 +135,11 @@ type OpenOptions struct {
 	Eager bool
 }
 
-// Open reads a store directory written by Save and attaches the road
-// network (which, as with core.Load, is not serialized).  Only the
-// manifest is read up front: each shard's archive is loaded — and its StIU
-// index rebuilt at the granularity the manifest records — on the first
-// query that touches it, unless opts.Eager is set.
+// Open reads a store directory written by Save (or grown by ApplyDelta /
+// Compact) and attaches the road network (which, as with core.Load, is not
+// serialized).  Only the manifest is read up front: each shard's archive
+// is loaded — and its StIU index rebuilt at the granularity the manifest
+// records — on the first query that touches it, unless opts.Eager is set.
 func Open(dir string, g *roadnet.Graph, opts OpenOptions) (*Store, error) {
 	f, err := os.Open(filepath.Join(dir, ManifestName))
 	if err != nil {
@@ -88,27 +157,31 @@ func Open(dir string, g *roadnet.Graph, opts OpenOptions) (*Store, error) {
 	// out across shards, lazily triggered index rebuilds run serially
 	// inside it instead of spawning workers² goroutines.
 	ixPar := opts.Parallelism
-	if man.numShards > 1 && par.Workers(opts.Parallelism) > 1 {
+	if man.liveShards() > 1 && par.Workers(opts.Parallelism) > 1 {
 		ixPar = 1
 	}
 	s := &Store{
 		graph: g,
 		opts: Options{
-			NumShards:   man.numShards,
+			NumShards:   man.liveShards(),
 			Assignment:  man.assignment,
+			Core:        opts.Core,
 			Index:       stiu.Options{GridNX: man.gridNX, GridNY: man.gridNY, IntervalDur: man.interval, Parallelism: ixPar},
 			Engine:      opts.Engine,
 			Parallelism: opts.Parallelism,
 		},
-		man: man,
-		dir: dir,
 	}
-	s.initShards()
+	s.dir.Store(&dir)
+	v := newView(man, buildShards(man))
+	s.v.Store(v)
 	if opts.Eager {
 		// Fan the cold start out across shards (each rebuild stays serial
 		// inside — the same shape as Build).
-		err := par.Do(par.Workers(opts.Parallelism), len(s.shards), func(si int) error {
-			_, err := s.engine(si)
+		err := par.Do(par.Workers(opts.Parallelism), len(v.shards), func(slot int) error {
+			if v.shards[slot] == nil {
+				return nil
+			}
+			_, err := s.engine(v, slot)
 			return err
 		})
 		if err != nil {
@@ -118,10 +191,10 @@ func Open(dir string, g *roadnet.Graph, opts OpenOptions) (*Store, error) {
 	return s, nil
 }
 
-// openShard loads shard si's archive from the store directory and rebuilds
+// openShard loads a shard's archive from the store directory and rebuilds
 // its StIU index.  Callers hold the shard lock.
-func (s *Store) openShard(si int) (*query.Engine, error) {
-	f, err := os.Open(filepath.Join(s.dir, shardFile(si)))
+func (s *Store) openShard(sh *shard) (*query.Engine, error) {
+	f, err := os.Open(filepath.Join(s.dirPath(), shardFile(sh.id)))
 	if err != nil {
 		return nil, err
 	}
@@ -130,10 +203,10 @@ func (s *Store) openShard(si int) (*query.Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	if got, want := len(arch.Trajs), len(s.shards[si].globals); got != want {
+	if got, want := len(arch.Trajs), len(sh.globals); got != want {
 		return nil, fmt.Errorf("%d trajectories on disk, manifest says %d", got, want)
 	}
-	ix, err := stiu.Build(arch, s.opts.Index)
+	ix, err := stiu.Build(arch, s.indexOptions())
 	if err != nil {
 		return nil, err
 	}

@@ -11,122 +11,192 @@ import (
 )
 
 // The shard manifest is the store directory's root artifact: it records the
-// global→shard assignment (the only state that cannot be rederived from the
-// shard archives), the index granularity every shard was built with, and
-// the dataset time span used by load generators and /stats.  It is framed
-// with the same little-endian field codec as the archive container
+// shard catalogue (ids, kinds, tombstones, bounds), the global→shard
+// assignment (the only state that cannot be rederived from the shard
+// archives), the index granularity every shard was built with, the dataset
+// time span used by load generators and /stats, and — since the store
+// became writable — a generation number and the WAL high-water mark that
+// make ingestion crash-recoverable.  It is framed with the same
+// little-endian field codec as the archive container
 // (core.LEWriter/LEReader); docs/FORMAT.md specifies the layout
 // normatively.
 //
-// Layout (little endian):
+// Version 2 layout (little endian):
 //
 //	magic "UTCS" | version u16
-//	assignment u8 | numShards u32 | numTrajs u32
+//	assignment u8
+//	generation u64 | walApplied u64
 //	gridNX u32 | gridNY u32 | intervalDur i64
 //	timeMin i64 | timeMax i64
 //	graphHash u64                 (roadnet.Graph.Fingerprint of the build network)
-//	shardOf: numTrajs × u32
-//	shardBounds: numShards × 4 × f64   (minX minY maxX maxY; minX > maxX = empty)
-//	shardCount: numShards × u32   (per-shard trajectory counts, validation)
+//	nextShardID u32 | numEntries u32
+//	entries: numEntries × (id u32 | flags u8 | count u32 | 4 × f64 bounds)
+//	         flags bit0 = delta shard, bit1 = tombstone
+//	numTrajs u32
+//	shardOf: numTrajs × u32       (global trajectory id → live shard id)
+//
+// Version 1 (the read-only store of PR 3) is still read: it maps to
+// generation 1, walApplied 0, and one live base entry per shard with
+// id = shard index.  Writers always emit version 2.
 const (
-	manifestMagic   = "UTCS"
-	manifestVersion = 1
+	manifestMagic      = "UTCS"
+	manifestVersion    = 2
+	manifestVersionV1  = 1
+	entryFlagDelta     = 1 << 0
+	entryFlagTombstone = 1 << 1
 
 	// Sanity bounds applied before any count-sized allocation, so a
 	// truncated or corrupted manifest fails with a parse error instead of
 	// an attempted multi-gigabyte allocation.
 	maxManifestShards = 1 << 16
 	maxManifestTrajs  = 1 << 28
+	maxManifestIDs    = 1 << 24
 )
 
 // ManifestName is the manifest's file name inside a store directory.
 const ManifestName = "MANIFEST.utcs"
 
+// shardKind distinguishes the two shard populations of a mutable store.
+type shardKind uint8
+
+const (
+	// kindBase shards come from the initial build or from compaction.
+	kindBase shardKind = iota
+	// kindDelta shards hold one ingested batch each; the compactor folds
+	// them into a base shard.
+	kindDelta
+)
+
+// shardEntry is one catalogue row of the manifest.  A tombstoned entry
+// records a shard that compaction replaced: its file may still exist (old
+// readers can reference it) but no trajectory maps to it.
+type shardEntry struct {
+	id   uint32
+	kind shardKind
+	dead bool
+
+	// count is the number of trajectories the shard holds (validation
+	// against the assignment vector and the shard archive).
+	count uint32
+
+	// bounds is a conservative bounding rectangle of the shard's
+	// trajectory geometry (union of its StIU region cells).  Range skips
+	// shards whose bounds miss the query rectangle — without opening
+	// them.  An empty shard has an inverted rectangle (MinX > MaxX).
+	bounds roadnet.Rect
+}
+
 // manifest is the decoded form.
 type manifest struct {
 	assignment Assignment
-	numShards  int
-	shardOf    []uint32
-	gridNX     int
-	gridNY     int
-	interval   int64
-	timeMin    int64
-	timeMax    int64
+
+	// generation counts manifest versions: every ingested delta shard and
+	// every compaction swaps in a new manifest with generation+1.
+	generation uint64
+
+	// walApplied is the number of WAL records already folded into shards;
+	// crash recovery re-ingests everything past it (internal/ingest).
+	walApplied uint64
+
+	gridNX   int
+	gridNY   int
+	interval int64
+	timeMin  int64
+	timeMax  int64
 
 	// graphHash fingerprints the road network the store was built with;
 	// Open rejects a mismatching graph.
 	graphHash uint64
 
-	// shardBounds[si] is a conservative bounding rectangle of shard si's
-	// trajectory geometry (union of its StIU region cells).  Range skips
-	// shards whose bounds miss the query rectangle — without opening
-	// them.  An empty shard has an inverted rectangle (MinX > MaxX).
-	shardBounds []roadnet.Rect
+	// nextID is the next shard id to allocate.  Ids are never reused, so
+	// a tombstoned shard's file name can never be mistaken for a live one.
+	nextID  uint32
+	entries []shardEntry
+
+	// shardOf maps a global trajectory id to the id of the live shard
+	// holding it.
+	shardOf []uint32
 }
 
-// write serializes the manifest.
+// clone returns a deep copy safe to mutate while readers hold the original.
+func (m *manifest) clone() *manifest {
+	c := *m
+	c.entries = append([]shardEntry(nil), m.entries...)
+	c.shardOf = append([]uint32(nil), m.shardOf...)
+	return &c
+}
+
+// liveShards counts the catalogue entries that are not tombstoned.
+func (m *manifest) liveShards() int {
+	n := 0
+	for _, e := range m.entries {
+		if !e.dead {
+			n++
+		}
+	}
+	return n
+}
+
+// write serializes the manifest (always version 2).
 func (m *manifest) write(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	if _, err := bw.WriteString(manifestMagic); err != nil {
 		return err
 	}
 	lw := core.NewLEWriter(bw)
-	if err := lw.U16(manifestVersion); err != nil {
-		return err
+	for _, step := range []error{
+		lw.U16(manifestVersion),
+		lw.U8(byte(m.assignment)),
+		lw.U64(m.generation),
+		lw.U64(m.walApplied),
+		lw.U32(uint32(m.gridNX)),
+		lw.U32(uint32(m.gridNY)),
+		lw.I64(m.interval),
+		lw.I64(m.timeMin),
+		lw.I64(m.timeMax),
+		lw.U64(m.graphHash),
+		lw.U32(m.nextID),
+		lw.U32(uint32(len(m.entries))),
+	} {
+		if step != nil {
+			return step
+		}
 	}
-	if err := lw.U8(byte(m.assignment)); err != nil {
-		return err
-	}
-	if err := lw.U32(uint32(m.numShards)); err != nil {
-		return err
-	}
-	if err := lw.U32(uint32(len(m.shardOf))); err != nil {
-		return err
-	}
-	if err := lw.U32(uint32(m.gridNX)); err != nil {
-		return err
-	}
-	if err := lw.U32(uint32(m.gridNY)); err != nil {
-		return err
-	}
-	if err := lw.I64(m.interval); err != nil {
-		return err
-	}
-	if err := lw.I64(m.timeMin); err != nil {
-		return err
-	}
-	if err := lw.I64(m.timeMax); err != nil {
-		return err
-	}
-	if err := lw.U64(m.graphHash); err != nil {
-		return err
-	}
-	counts := make([]uint32, m.numShards)
-	for _, si := range m.shardOf {
-		if err := lw.U32(si); err != nil {
+	for _, e := range m.entries {
+		flags := byte(0)
+		if e.kind == kindDelta {
+			flags |= entryFlagDelta
+		}
+		if e.dead {
+			flags |= entryFlagTombstone
+		}
+		if err := lw.U32(e.id); err != nil {
 			return err
 		}
-		counts[si]++
-	}
-	if len(m.shardBounds) != m.numShards {
-		return fmt.Errorf("store: %d shard bounds for %d shards", len(m.shardBounds), m.numShards)
-	}
-	for _, b := range m.shardBounds {
-		for _, v := range [4]float64{b.MinX, b.MinY, b.MaxX, b.MaxY} {
+		if err := lw.U8(flags); err != nil {
+			return err
+		}
+		if err := lw.U32(e.count); err != nil {
+			return err
+		}
+		for _, v := range [4]float64{e.bounds.MinX, e.bounds.MinY, e.bounds.MaxX, e.bounds.MaxY} {
 			if err := lw.F64(v); err != nil {
 				return err
 			}
 		}
 	}
-	for _, c := range counts {
-		if err := lw.U32(c); err != nil {
+	if err := lw.U32(uint32(len(m.shardOf))); err != nil {
+		return err
+	}
+	for _, id := range m.shardOf {
+		if err := lw.U32(id); err != nil {
 			return err
 		}
 	}
 	return bw.Flush()
 }
 
-// readManifest decodes and validates a manifest.
+// readManifest decodes and validates a manifest (version 1 or 2).
 func readManifest(r io.Reader) (*manifest, error) {
 	br := bufio.NewReader(r)
 	magic := make([]byte, len(manifestMagic))
@@ -141,10 +211,141 @@ func readManifest(r io.Reader) (*manifest, error) {
 	if err != nil {
 		return nil, err
 	}
-	if version != manifestVersion {
-		return nil, fmt.Errorf("store: unsupported manifest version %d", version)
+	switch version {
+	case manifestVersionV1:
+		return readManifestV1(lr)
+	case manifestVersion:
+		return readManifestV2(lr)
 	}
+	return nil, fmt.Errorf("store: unsupported manifest version %d", version)
+}
+
+// readManifestV2 decodes the current layout (the magic and version are
+// already consumed).
+func readManifestV2(lr *core.LEReader) (*manifest, error) {
 	m := &manifest{}
+	am, err := lr.U8()
+	if err != nil {
+		return nil, err
+	}
+	m.assignment = Assignment(am)
+	if m.generation, err = lr.U64(); err != nil {
+		return nil, err
+	}
+	if m.walApplied, err = lr.U64(); err != nil {
+		return nil, err
+	}
+	nx, err := lr.U32()
+	if err != nil {
+		return nil, err
+	}
+	ny, err := lr.U32()
+	if err != nil {
+		return nil, err
+	}
+	m.gridNX, m.gridNY = int(nx), int(ny)
+	if m.interval, err = lr.I64(); err != nil {
+		return nil, err
+	}
+	if m.timeMin, err = lr.I64(); err != nil {
+		return nil, err
+	}
+	if m.timeMax, err = lr.I64(); err != nil {
+		return nil, err
+	}
+	if m.graphHash, err = lr.U64(); err != nil {
+		return nil, err
+	}
+	if m.nextID, err = lr.U32(); err != nil {
+		return nil, err
+	}
+	if m.nextID > maxManifestIDs {
+		return nil, fmt.Errorf("store: manifest declares next shard id %d (limit %d)", m.nextID, maxManifestIDs)
+	}
+	ne, err := lr.U32()
+	if err != nil {
+		return nil, err
+	}
+	if ne < 1 || ne > maxManifestShards {
+		return nil, fmt.Errorf("store: manifest declares %d shard entries (limit %d)", ne, maxManifestShards)
+	}
+	m.entries = make([]shardEntry, ne)
+	seen := make(map[uint32]bool, ne)
+	for i := range m.entries {
+		e := &m.entries[i]
+		if e.id, err = lr.U32(); err != nil {
+			return nil, err
+		}
+		if e.id >= m.nextID {
+			return nil, fmt.Errorf("store: shard id %d not below nextShardID %d", e.id, m.nextID)
+		}
+		if seen[e.id] {
+			return nil, fmt.Errorf("store: duplicate shard id %d", e.id)
+		}
+		seen[e.id] = true
+		flags, err := lr.U8()
+		if err != nil {
+			return nil, err
+		}
+		if flags&entryFlagDelta != 0 {
+			e.kind = kindDelta
+		}
+		e.dead = flags&entryFlagTombstone != 0
+		if e.count, err = lr.U32(); err != nil {
+			return nil, err
+		}
+		var vals [4]float64
+		for i := range vals {
+			if vals[i], err = lr.F64(); err != nil {
+				return nil, err
+			}
+		}
+		e.bounds = roadnet.Rect{MinX: vals[0], MinY: vals[1], MaxX: vals[2], MaxY: vals[3]}
+	}
+	if m.liveShards() == 0 {
+		return nil, errors.New("store: manifest has no live shards")
+	}
+	nt, err := lr.U32()
+	if err != nil {
+		return nil, err
+	}
+	if nt > maxManifestTrajs {
+		return nil, fmt.Errorf("store: manifest declares %d trajectories (limit %d)", nt, maxManifestTrajs)
+	}
+	m.shardOf = make([]uint32, nt)
+	counts := make(map[uint32]uint32, len(m.entries))
+	live := make(map[uint32]bool, len(m.entries))
+	for _, e := range m.entries {
+		if !e.dead {
+			live[e.id] = true
+		}
+	}
+	for j := range m.shardOf {
+		id, err := lr.U32()
+		if err != nil {
+			return nil, err
+		}
+		if !live[id] {
+			return nil, fmt.Errorf("store: trajectory %d assigned to unknown or tombstoned shard %d", j, id)
+		}
+		m.shardOf[j] = id
+		counts[id]++
+	}
+	for _, e := range m.entries {
+		if e.dead {
+			continue
+		}
+		if got := counts[e.id]; got != e.count {
+			return nil, fmt.Errorf("store: shard %d count %d does not match assignment (%d)", e.id, e.count, got)
+		}
+	}
+	return m, nil
+}
+
+// readManifestV1 decodes the PR 3 layout into the mutable model: every
+// shard becomes a live base entry with id = shard index.
+func readManifestV1(lr *core.LEReader) (*manifest, error) {
+	m := &manifest{generation: 1}
 	am, err := lr.U8()
 	if err != nil {
 		return nil, err
@@ -157,7 +358,6 @@ func readManifest(r io.Reader) (*manifest, error) {
 	if ns < 1 || ns > maxManifestShards {
 		return nil, fmt.Errorf("store: manifest declares %d shards (limit %d)", ns, maxManifestShards)
 	}
-	m.numShards = int(ns)
 	nt, err := lr.U32()
 	if err != nil {
 		return nil, err
@@ -186,37 +386,42 @@ func readManifest(r io.Reader) (*manifest, error) {
 	if m.graphHash, err = lr.U64(); err != nil {
 		return nil, err
 	}
+	m.nextID = ns
+	m.entries = make([]shardEntry, ns)
+	for i := range m.entries {
+		m.entries[i] = shardEntry{id: uint32(i), kind: kindBase}
+	}
 	m.shardOf = make([]uint32, nt)
-	counts := make([]uint32, m.numShards)
+	counts := make([]uint32, ns)
 	for j := range m.shardOf {
-		si, err := lr.U32()
+		id, err := lr.U32()
 		if err != nil {
 			return nil, err
 		}
-		if int(si) >= m.numShards {
-			return nil, fmt.Errorf("store: trajectory %d assigned to shard %d of %d", j, si, m.numShards)
+		if id >= ns {
+			return nil, fmt.Errorf("store: trajectory %d assigned to shard %d of %d", j, id, ns)
 		}
-		m.shardOf[j] = si
-		counts[si]++
+		m.shardOf[j] = id
+		counts[id]++
 	}
-	m.shardBounds = make([]roadnet.Rect, m.numShards)
-	for si := range m.shardBounds {
+	for i := range m.entries {
 		var vals [4]float64
-		for i := range vals {
-			if vals[i], err = lr.F64(); err != nil {
+		for k := range vals {
+			if vals[k], err = lr.F64(); err != nil {
 				return nil, err
 			}
 		}
-		m.shardBounds[si] = roadnet.Rect{MinX: vals[0], MinY: vals[1], MaxX: vals[2], MaxY: vals[3]}
+		m.entries[i].bounds = roadnet.Rect{MinX: vals[0], MinY: vals[1], MaxX: vals[2], MaxY: vals[3]}
 	}
-	for si, want := range counts {
+	for i := range m.entries {
 		got, err := lr.U32()
 		if err != nil {
 			return nil, err
 		}
-		if got != want {
-			return nil, fmt.Errorf("store: shard %d count %d does not match assignment (%d)", si, got, want)
+		if got != counts[i] {
+			return nil, fmt.Errorf("store: shard %d count %d does not match assignment (%d)", i, got, counts[i])
 		}
+		m.entries[i].count = got
 	}
 	return m, nil
 }

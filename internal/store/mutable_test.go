@@ -1,0 +1,417 @@
+package store
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"utcq/internal/core"
+	"utcq/internal/gen"
+	"utcq/internal/query"
+	"utcq/internal/stiu"
+	"utcq/internal/traj"
+)
+
+// freshEngine compresses and indexes tus from scratch: the oracle every
+// store generation must match exactly.
+func freshEngine(t *testing.T, ds *gen.Dataset, tus []*traj.Uncertain) *query.Engine {
+	t.Helper()
+	c, err := core.NewCompressor(ds.Graph, core.DefaultOptions(ds.Profile.Ts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := c.Compress(tus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := stiu.Build(a, testIndexOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return query.NewEngine(a, ix)
+}
+
+// checkGeneration drives identical where/when/range workloads through the
+// store and a from-scratch engine over the same trajectory prefix and
+// requires exactly equal results.
+func checkGeneration(t *testing.T, ds *gen.Dataset, tus []*traj.Uncertain, s *Store, seed int64) {
+	t.Helper()
+	if got, want := s.NumTrajectories(), len(tus); got != want {
+		t.Fatalf("store holds %d trajectories, want %d", got, want)
+	}
+	eng := freshEngine(t, ds, tus)
+	rng := rand.New(rand.NewSource(seed))
+	alphas := []float64{0, 0.15, 0.3}
+	for trial := 0; trial < 25; trial++ {
+		j := rng.Intn(len(tus))
+		T := tus[j].T
+		tq := T[0] + rng.Int63n(T[len(T)-1]-T[0]+1)
+		alpha := alphas[rng.Intn(len(alphas))]
+
+		want, err := eng.Where(j, tq, alpha)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := s.Where(j, tq, alpha)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("gen %d: where(%d, %d, %g): store %v != engine %v", s.Generation(), j, tq, alpha, got, want)
+		}
+
+		if len(want) > 0 {
+			loc := want[rng.Intn(len(want))].Loc
+			wantW, err := eng.When(j, loc, alpha)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotW, err := s.When(j, loc, alpha)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(gotW, wantW) {
+				t.Fatalf("gen %d: when(%d, %v, %g) mismatch", s.Generation(), j, loc, alpha)
+			}
+		}
+
+		re := randomRect(ds.Graph, rng)
+		wantR, err := eng.Range(re, tq, alpha)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotR, err := s.Range(re, tq, alpha)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(wantR) != 0 || len(gotR) != 0 {
+			if !reflect.DeepEqual(gotR, wantR) {
+				t.Fatalf("gen %d: range(%v, %d, %g): store %v != engine %v", s.Generation(), re, tq, alpha, gotR, wantR)
+			}
+		}
+	}
+}
+
+// TestApplyDeltaCompactMatchesRebuild is the mutable-store correctness
+// property: at every manifest generation — after each ingested delta batch
+// and each compaction — the store answers exactly like a single-archive
+// engine freshly built over the same trajectory set.
+func TestApplyDeltaCompactMatchesRebuild(t *testing.T) {
+	for _, p := range []gen.Profile{gen.DK(), gen.CD(), gen.HZ()} {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			p.Network.Cols, p.Network.Rows = 24, 24
+			ds, err := gen.Build(p, 40, 7)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tus := ds.Trajectories
+			baseN := 16
+			opts := DefaultOptions(p.Ts)
+			opts.NumShards = 3
+			opts.Index = testIndexOpts
+			s, err := Build(ds.Graph, tus[:baseN], opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if s.Generation() != 1 {
+				t.Fatalf("fresh build at generation %d, want 1", s.Generation())
+			}
+			checkGeneration(t, ds, tus[:baseN], s, 100)
+
+			// Four delta batches with a compaction in the middle and one at
+			// the end, checking result-identity at every generation.
+			n := baseN
+			batch := (len(tus) - baseN) / 4
+			for step := 0; step < 4; step++ {
+				next := n + batch
+				if step == 3 {
+					next = len(tus)
+				}
+				gen0 := s.Generation()
+				if _, err := s.ApplyDelta(tus[n:next], uint64(next)); err != nil {
+					t.Fatal(err)
+				}
+				if got := s.Generation(); got != gen0+1 {
+					t.Fatalf("generation %d after delta, want %d", got, gen0+1)
+				}
+				n = next
+				checkGeneration(t, ds, tus[:n], s, 200+int64(step))
+
+				if step == 1 {
+					folded, err := s.Compact()
+					if err != nil {
+						t.Fatal(err)
+					}
+					if folded != 2 {
+						t.Fatalf("compaction folded %d delta shards, want 2", folded)
+					}
+					if got := s.DeltaShards(); got != 0 {
+						t.Fatalf("%d delta shards after compaction, want 0", got)
+					}
+					checkGeneration(t, ds, tus[:n], s, 300)
+				}
+			}
+			if got := s.DeltaShards(); got != 2 {
+				t.Fatalf("%d delta shards before final compaction, want 2", got)
+			}
+			if _, err := s.Compact(); err != nil {
+				t.Fatal(err)
+			}
+			checkGeneration(t, ds, tus, s, 400)
+
+			// The second compaction garbage-collects the first round's
+			// tombstones (deferred one generation), so only the fresh pair
+			// remains in the catalogue.
+			st := s.Stats()
+			if st.Tombstones != 2 || st.DeltaShards != 0 || st.BaseShards != 5 {
+				t.Fatalf("stats after compactions: %+v", st)
+			}
+			if st.WALApplied != uint64(len(tus)) {
+				t.Fatalf("walApplied = %d, want %d", st.WALApplied, len(tus))
+			}
+
+			// A compaction with no delta shards is a no-op.
+			if folded, err := s.Compact(); err != nil || folded != 0 {
+				t.Fatalf("empty compaction = (%d, %v), want (0, nil)", folded, err)
+			}
+
+			// An empty delta batch still advances the WAL high-water mark.
+			gen0 := s.Generation()
+			if _, err := s.ApplyDelta(nil, uint64(len(tus))+3); err != nil {
+				t.Fatal(err)
+			}
+			if s.Generation() != gen0+1 || s.WALApplied() != uint64(len(tus))+3 {
+				t.Fatalf("empty delta: generation %d walApplied %d", s.Generation(), s.WALApplied())
+			}
+		})
+	}
+}
+
+// TestMutableStoreDurability checks that every mutation of a disk-backed
+// store lands atomically on disk: after each ApplyDelta/Compact, a fresh
+// Open of the directory sees the same generation and answers queries
+// identically to a from-scratch rebuild.
+func TestMutableStoreDurability(t *testing.T) {
+	p := gen.CD()
+	p.Network.Cols, p.Network.Rows = 24, 24
+	ds, err := gen.Build(p, 30, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tus := ds.Trajectories
+	opts := DefaultOptions(p.Ts)
+	opts.NumShards = 2
+	opts.Index = testIndexOpts
+	s, err := Build(ds.Graph, tus[:12], opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := s.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+
+	reopen := func(n int) {
+		t.Helper()
+		o, err := Open(dir, ds.Graph, OpenOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if o.Generation() != s.Generation() {
+			t.Fatalf("reopened generation %d, in-memory %d", o.Generation(), s.Generation())
+		}
+		if o.WALApplied() != s.WALApplied() {
+			t.Fatalf("reopened walApplied %d, in-memory %d", o.WALApplied(), s.WALApplied())
+		}
+		checkGeneration(t, ds, tus[:n], o, int64(1000+n))
+	}
+
+	for n := 12; n < len(tus); n += 6 {
+		next := min(n+6, len(tus))
+		if _, err := s.ApplyDelta(tus[n:next], uint64(next)); err != nil {
+			t.Fatal(err)
+		}
+		reopen(next)
+		n = next - 6
+	}
+	if _, err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	reopen(len(tus))
+
+	// Tombstoned shard files are retained for readers of older
+	// generations; the live set must not reference them.
+	o, err := Open(dir, ds.Graph, OpenOptions{Eager: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := o.Stats()
+	if st.Tombstones == 0 {
+		t.Fatal("compacted store reopened with no tombstones recorded")
+	}
+	if st.DeltaShards != 0 {
+		t.Fatalf("reopened store has %d delta shards, want 0", st.DeltaShards)
+	}
+}
+
+// TestCompactionGarbageCollectsTombstones pins the deferred GC: a
+// compaction keeps the entries it tombstones for one generation (in-flight
+// readers of the pre-swap view may still resolve them), and the *next*
+// compaction drops them from the catalogue and deletes their files — so
+// neither the manifest nor the directory grows without bound under
+// continuous ingestion.
+func TestCompactionGarbageCollectsTombstones(t *testing.T) {
+	p := gen.CD()
+	p.Network.Cols, p.Network.Rows = 24, 24
+	ds, err := gen.Build(p, 30, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tus := ds.Trajectories
+	opts := DefaultOptions(p.Ts)
+	opts.NumShards = 2
+	opts.Index = testIndexOpts
+	s, err := Build(ds.Graph, tus[:10], opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := s.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+
+	shardFiles := func() map[string]bool {
+		t.Helper()
+		out := map[string]bool{}
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range entries {
+			if e.Name() != ManifestName {
+				out[e.Name()] = true
+			}
+		}
+		return out
+	}
+
+	// Round 1: two deltas (ids 2, 3) fold into base id 4.
+	for n := 10; n < 20; n += 5 {
+		if _, err := s.ApplyDelta(tus[n:n+5], uint64(n+5)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	files := shardFiles()
+	if !files[shardFile(2)] || !files[shardFile(3)] {
+		t.Fatalf("freshly tombstoned delta files deleted too early: %v", files)
+	}
+	if got := s.Stats().Tombstones; got != 2 {
+		t.Fatalf("tombstones after round 1 = %d, want 2", got)
+	}
+
+	// Round 2: two more deltas (ids 5, 6) fold; round 1's tombstones GC.
+	for n := 20; n < 30; n += 5 {
+		if _, err := s.ApplyDelta(tus[n:n+5], uint64(n+5)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	files = shardFiles()
+	if files[shardFile(2)] || files[shardFile(3)] {
+		t.Fatalf("round-1 tombstoned files not garbage-collected: %v", files)
+	}
+	if !files[shardFile(5)] || !files[shardFile(6)] {
+		t.Fatalf("round-2 tombstoned files deleted too early: %v", files)
+	}
+	st := s.Stats()
+	if st.Tombstones != 2 || st.BaseShards != 4 {
+		t.Fatalf("stats after round 2: %+v", st)
+	}
+
+	// The pruned store still reopens and answers like a fresh rebuild.
+	o, err := Open(dir, ds.Graph, OpenOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGeneration(t, ds, tus, o, 77)
+}
+
+// TestOpenTruncatedManifest opens stores whose manifest is cut off at every
+// prefix length: each must fail with an error — never panic, never succeed
+// with partial state.
+func TestOpenTruncatedManifest(t *testing.T) {
+	bc := buildReference(t, gen.CD(), 10, 3)
+	s := buildStore(t, bc, 2, AssignHash)
+	dir := t.TempDir()
+	if err := s.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	full, err := os.ReadFile(filepath.Join(dir, ManifestName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cut := t.TempDir()
+	for n := 0; n < len(full); n++ {
+		if err := os.WriteFile(filepath.Join(cut, ManifestName), full[:n], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Open(cut, bc.ds.Graph, OpenOptions{}); err == nil {
+			t.Fatalf("opened a manifest truncated to %d of %d bytes", n, len(full))
+		}
+	}
+}
+
+// TestOpenCorruptManifest flips bytes across the manifest: every corruption
+// must surface as an Open error or as a store that still validates — never
+// a panic or a silent partial decode with inconsistent counts.
+func TestOpenCorruptManifest(t *testing.T) {
+	bc := buildReference(t, gen.CD(), 10, 3)
+	s := buildStore(t, bc, 2, AssignHash)
+	dir := t.TempDir()
+	if err := s.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	full, err := os.ReadFile(filepath.Join(dir, ManifestName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := t.TempDir()
+	// Corrupt shard files too, so a "successful" open cannot serve them.
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 200; trial++ {
+		mut := append([]byte(nil), full...)
+		for k := 0; k < 1+rng.Intn(3); k++ {
+			mut[rng.Intn(len(mut))] ^= byte(1 + rng.Intn(255))
+		}
+		if err := os.WriteFile(filepath.Join(bad, ManifestName), mut, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		o, err := Open(bad, bc.ds.Graph, OpenOptions{})
+		if err != nil {
+			continue // rejected cleanly
+		}
+		// A flip that survives validation (e.g. inside a bounds float or
+		// the time span) must still leave a consistent, queryable store.
+		if got, want := o.NumTrajectories(), s.NumTrajectories(); got != want {
+			t.Fatalf("trial %d: corrupt manifest opened with %d trajectories, want %d", trial, got, want)
+		}
+	}
+
+	// An empty manifest and a non-manifest file must both fail.
+	for _, content := range [][]byte{{}, []byte("not a manifest at all")} {
+		if err := os.WriteFile(filepath.Join(bad, ManifestName), content, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Open(bad, bc.ds.Graph, OpenOptions{}); err == nil {
+			t.Fatal("opened a garbage manifest")
+		}
+	}
+}

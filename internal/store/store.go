@@ -3,7 +3,7 @@
 // (compressor of Section 4, StIU index of Section 5.2, query engine of
 // Section 5.3) into a servable system.
 //
-// A store partitions the trajectories of one road network across N shards.
+// A store partitions the trajectories of one road network across shards.
 // Each shard is an independent compressed archive with its own StIU index
 // and query.Engine, so shards build in parallel, open lazily from disk,
 // and serve queries concurrently.  Because UTCQ compresses each uncertain
@@ -14,19 +14,31 @@
 // same data — TestStoreMatchesEngine pins this equivalence on all three
 // paper profiles.
 //
-// Single-trajectory queries (Where, When) route to the owning shard;
-// Range scatters to all shards and gathers the per-shard accepted sets
-// into one deterministic, globally-ordered result.
+// The store is mutable: ApplyDelta appends an ingested batch as a new
+// delta shard and Compact folds accumulated delta shards into one base
+// shard (see internal/ingest for the WAL-backed pipeline in front of
+// these).  Mutations build a new immutable view — manifest, shard
+// catalogue, id maps — and swap it in atomically, so concurrent queries
+// always observe a complete generation, never a torn store.  On disk the
+// same property holds: shard files and the manifest are written to
+// temporary names and renamed into place, manifest last.
 //
-// On disk a store is a directory: a manifest (global→shard assignment,
-// index granularity, time span; see docs/FORMAT.md) plus one archive file
-// per shard in the standard container format of internal/core.
+// Single-trajectory queries (Where, When) route to the owning shard;
+// Range scatters to all live shards and gathers the per-shard accepted
+// sets into one deterministic, globally-ordered result.
+//
+// On disk a store is a directory: a manifest (shard catalogue with
+// generation number and tombstones, global→shard assignment, index
+// granularity, time span; see docs/FORMAT.md) plus one archive file per
+// shard in the standard container format of internal/core.
 package store
 
 import (
 	"errors"
 	"fmt"
 	"math"
+	"os"
+	"path/filepath"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -78,10 +90,12 @@ func ParseAssignment(s string) (Assignment, error) {
 
 // Options configure a store build.
 type Options struct {
-	// NumShards is the number of independent archives (values below 1
-	// select 1; the count is additionally capped by the trajectory count).
+	// NumShards is the number of independent base archives the initial
+	// build partitions into (values below 1 select 1; the count is
+	// additionally capped by the trajectory count).
 	NumShards int
-	// Assignment maps trajectories to shards (default AssignHash).
+	// Assignment maps the initial trajectories to shards (default
+	// AssignHash).  Ingested batches always form their own delta shard.
 	Assignment Assignment
 	// Core are the per-shard compression parameters.
 	Core core.Options
@@ -110,26 +124,99 @@ func DefaultOptions(ts int64) Options {
 // until the shard is opened (lazily, for stores opened from disk); it is
 // an atomic pointer so residency probes (Stats, OpenShards) never block
 // behind an in-flight multi-second open, which only the mutex serializes.
+// A shard's identity and membership never change after construction:
+// mutations replace shards (tombstoning the old ones), they do not edit
+// them, so any number of views can share one shard.
 type shard struct {
+	id      uint32
 	mu      sync.Mutex // serializes lazy opening
 	eng     atomic.Pointer[query.Engine]
-	globals []int32 // local trajectory index -> global id
+	globals []int32 // local trajectory index -> global id (ascending)
 }
 
-// Store is a sharded collection of compressed uncertain trajectories over
-// one road network.  It is safe for concurrent use.
-type Store struct {
-	graph  *roadnet.Graph
-	opts   Options
+// view is one immutable generation of the store: the manifest plus the
+// runtime maps derived from it.  Queries load the current view once and
+// work off it; mutations construct a new view and swap the pointer.
+type view struct {
 	man    *manifest
-	shards []*shard
+	shards []*shard // parallel to man.entries; nil for tombstoned entries
 
 	// localIdx[j] is trajectory j's index within its shard.
 	localIdx []int32
 
-	// dir is the backing directory for lazily opened stores ("" when the
-	// store was built in memory).
-	dir string
+	// slotByID maps a shard id to its man.entries slot (-1 when dead or
+	// unknown).
+	slotByID []int32
+}
+
+// newView derives the runtime maps from a manifest and its shard slots.
+// Each live shard's globals must already hold exactly the globals the
+// manifest assigns to it, in ascending order; localIdx is recomputed here
+// so it is always consistent with the manifest.
+func newView(man *manifest, shards []*shard) *view {
+	v := &view{man: man, shards: shards}
+	v.slotByID = make([]int32, man.nextID)
+	for i := range v.slotByID {
+		v.slotByID[i] = -1
+	}
+	for slot, e := range man.entries {
+		if !e.dead {
+			v.slotByID[e.id] = int32(slot)
+		}
+	}
+	v.localIdx = make([]int32, len(man.shardOf))
+	next := make([]int32, len(man.entries))
+	for j, id := range man.shardOf {
+		slot := v.slotByID[id]
+		v.localIdx[j] = next[slot]
+		next[slot]++
+	}
+	return v
+}
+
+// buildShards allocates one empty shard slot per live entry and fills the
+// global id lists from the assignment vector (used by Build and Open; the
+// engines attach later).
+func buildShards(man *manifest) []*shard {
+	shards := make([]*shard, len(man.entries))
+	slotByID := make([]int32, man.nextID)
+	for i := range slotByID {
+		slotByID[i] = -1
+	}
+	for slot, e := range man.entries {
+		if !e.dead {
+			shards[slot] = &shard{id: e.id}
+			slotByID[e.id] = int32(slot)
+		}
+	}
+	for j, id := range man.shardOf {
+		sh := shards[slotByID[id]]
+		sh.globals = append(sh.globals, int32(j))
+	}
+	return shards
+}
+
+// Store is a sharded collection of compressed uncertain trajectories over
+// one road network.  It is safe for concurrent use, including queries
+// running while ApplyDelta and Compact mutate it.
+type Store struct {
+	graph *roadnet.Graph
+	opts  Options
+
+	// mu serializes mutations (ApplyDelta, Compact, Save); queries never
+	// take it — they read v.
+	mu sync.Mutex
+	v  atomic.Pointer[view]
+
+	// dir is the backing directory ("" for a purely in-memory store).
+	// Mutations on a backed store persist the new shard and manifest
+	// before the in-memory swap.  Atomic because lazy shard opens read it
+	// on the query path while Save may bind it concurrently.
+	dir atomic.Pointer[string]
+
+	// mutation counters (monotonic, survive only the process).
+	deltasApplied  atomic.Int64
+	compactionsRun atomic.Int64
 }
 
 // Build compresses and indexes the trajectories into a sharded in-memory
@@ -147,22 +234,30 @@ func Build(g *roadnet.Graph, tus []*traj.Uncertain, opts Options) (*Store, error
 		return nil, err
 	}
 	man := &manifest{
-		assignment:  opts.Assignment,
-		numShards:   opts.NumShards,
-		shardOf:     shardOf,
-		gridNX:      opts.Index.GridNX,
-		gridNY:      opts.Index.GridNY,
-		interval:    opts.Index.IntervalDur,
-		graphHash:   g.Fingerprint(),
-		shardBounds: make([]roadnet.Rect, opts.NumShards),
+		assignment: opts.Assignment,
+		generation: 1,
+		nextID:     uint32(opts.NumShards),
+		shardOf:    shardOf,
+		gridNX:     opts.Index.GridNX,
+		gridNY:     opts.Index.GridNY,
+		interval:   opts.Index.IntervalDur,
+		graphHash:  g.Fingerprint(),
 	}
 	man.timeMin, man.timeMax = timeSpan(tus)
+	man.entries = make([]shardEntry, opts.NumShards)
+	counts := make([]uint32, opts.NumShards)
+	for _, id := range shardOf {
+		counts[id]++
+	}
+	for i := range man.entries {
+		man.entries[i] = shardEntry{id: uint32(i), kind: kindBase, count: counts[i]}
+	}
 
-	s := &Store{graph: g, opts: opts, man: man}
-	s.initShards()
+	s := &Store{graph: g, opts: opts}
+	shards := buildShards(man)
 
 	// Group each shard's trajectories in ascending global order (the order
-	// localIdx was assigned in).
+	// localIdx is assigned in).
 	groups := make([][]*traj.Uncertain, opts.NumShards)
 	for j, tu := range tus {
 		groups[shardOf[j]] = append(groups[shardOf[j]], tu)
@@ -181,26 +276,36 @@ func Build(g *roadnet.Graph, tus []*traj.Uncertain, opts Options) (*Store, error
 		}
 	}
 	err = par.Do(par.Workers(opts.Parallelism), opts.NumShards, func(si int) error {
-		c, err := core.NewCompressor(g, coreOpts)
-		if err != nil {
-			return err
-		}
-		arch, err := c.Compress(groups[si])
+		eng, bounds, err := buildShardEngine(g, groups[si], coreOpts, ixOpts, opts.Engine)
 		if err != nil {
 			return fmt.Errorf("store: shard %d: %w", si, err)
 		}
-		ix, err := stiu.Build(arch, ixOpts)
-		if err != nil {
-			return fmt.Errorf("store: shard %d index: %w", si, err)
-		}
-		s.shards[si].eng.Store(query.NewEngineWithOptions(arch, ix, opts.Engine))
-		man.shardBounds[si] = shardGeometryBounds(ix)
+		shards[si].eng.Store(eng)
+		man.entries[si].bounds = bounds
 		return nil
 	})
 	if err != nil {
 		return nil, err
 	}
+	s.v.Store(newView(man, shards))
 	return s, nil
+}
+
+// buildShardEngine compresses and indexes one shard's trajectory group.
+func buildShardEngine(g *roadnet.Graph, tus []*traj.Uncertain, coreOpts core.Options, ixOpts stiu.Options, engOpts query.EngineOptions) (*query.Engine, roadnet.Rect, error) {
+	c, err := core.NewCompressor(g, coreOpts)
+	if err != nil {
+		return nil, roadnet.Rect{}, err
+	}
+	arch, err := c.Compress(tus)
+	if err != nil {
+		return nil, roadnet.Rect{}, err
+	}
+	ix, err := stiu.Build(arch, ixOpts)
+	if err != nil {
+		return nil, roadnet.Rect{}, fmt.Errorf("index: %w", err)
+	}
+	return query.NewEngineWithOptions(arch, ix, engOpts), shardGeometryBounds(ix), nil
 }
 
 // shardGeometryBounds returns a conservative bounding rectangle of a
@@ -225,21 +330,6 @@ func shardGeometryBounds(ix *stiu.Index) roadnet.Rect {
 		}
 	}
 	return out
-}
-
-// initShards derives the shard slots and the global↔local maps from the
-// manifest's assignment vector.
-func (s *Store) initShards() {
-	s.shards = make([]*shard, s.man.numShards)
-	for i := range s.shards {
-		s.shards[i] = &shard{}
-	}
-	s.localIdx = make([]int32, len(s.man.shardOf))
-	for j, si := range s.man.shardOf {
-		sh := s.shards[si]
-		s.localIdx[j] = int32(len(sh.globals))
-		sh.globals = append(sh.globals, int32(j))
-	}
 }
 
 // assign computes the shard of every trajectory.
@@ -298,18 +388,56 @@ func timeSpan(tus []*traj.Uncertain) (lo, hi int64) {
 	return lo, hi
 }
 
-// NumShards returns the shard count.
-func (s *Store) NumShards() int { return s.man.numShards }
+// NumShards returns the live shard count (base + delta, tombstones
+// excluded).
+func (s *Store) NumShards() int { return s.v.Load().man.liveShards() }
+
+// DeltaShards returns the live delta shard count — the compaction debt.
+func (s *Store) DeltaShards() int {
+	n := 0
+	for _, e := range s.v.Load().man.entries {
+		if !e.dead && e.kind == kindDelta {
+			n++
+		}
+	}
+	return n
+}
+
+// Generation returns the current manifest generation (1 for a fresh
+// build; +1 per applied delta batch or compaction).
+func (s *Store) Generation() uint64 { return s.v.Load().man.generation }
+
+// WALApplied returns the number of WAL records already folded into the
+// store (crash recovery resumes after it; see internal/ingest).
+func (s *Store) WALApplied() uint64 { return s.v.Load().man.walApplied }
+
+// dirPath returns the backing directory ("" for in-memory stores).
+func (s *Store) dirPath() string {
+	if p := s.dir.Load(); p != nil {
+		return *p
+	}
+	return ""
+}
+
+// Durable reports whether the store persists mutations to a directory
+// (true after Open or a successful Save).  The ingester only checkpoints
+// its WAL against durable stores: an in-memory store is rebuilt from
+// scratch on restart, so its WAL must retain the full history.
+func (s *Store) Durable() bool { return s.dirPath() != "" }
 
 // NumTrajectories returns the global trajectory count.
-func (s *Store) NumTrajectories() int { return len(s.man.shardOf) }
+func (s *Store) NumTrajectories() int { return len(s.v.Load().man.shardOf) }
 
-// ShardOf returns the shard holding global trajectory j.
-func (s *Store) ShardOf(j int) int { return int(s.man.shardOf[j]) }
+// ShardOf returns the id of the shard holding global trajectory j.
+func (s *Store) ShardOf(j int) int { return int(s.v.Load().man.shardOf[j]) }
 
-// TimeSpan returns the dataset's [min, max] timestamp range, recorded in
-// the manifest at build time (no shard needs to be opened).
-func (s *Store) TimeSpan() (lo, hi int64) { return s.man.timeMin, s.man.timeMax }
+// TimeSpan returns the dataset's [min, max] timestamp range, maintained in
+// the manifest across builds and ingested batches (no shard needs to be
+// opened).
+func (s *Store) TimeSpan() (lo, hi int64) {
+	man := s.v.Load().man
+	return man.timeMin, man.timeMax
+}
 
 // Bounds returns the road network's bounding rectangle.
 func (s *Store) Bounds() roadnet.Rect { return s.graph.Bounds() }
@@ -317,23 +445,25 @@ func (s *Store) Bounds() roadnet.Rect { return s.graph.Bounds() }
 // Graph returns the road network the store serves.
 func (s *Store) Graph() *roadnet.Graph { return s.graph }
 
-// OpenShards counts the shards currently resident in memory (diagnostics
-// for lazy opening).  Non-blocking: an in-flight open counts as absent.
+// OpenShards counts the live shards currently resident in memory
+// (diagnostics for lazy opening).  Non-blocking: an in-flight open counts
+// as absent.
 func (s *Store) OpenShards() int {
 	n := 0
-	for _, sh := range s.shards {
-		if sh.eng.Load() != nil {
+	for _, sh := range s.v.Load().shards {
+		if sh != nil && sh.eng.Load() != nil {
 			n++
 		}
 	}
 	return n
 }
 
-// engine returns shard si's query engine, opening the shard from disk on
-// first use.  Concurrent callers of an unopened shard serialize on the
-// shard mutex; the winner loads, everyone else observes the stored engine.
-func (s *Store) engine(si int) (*query.Engine, error) {
-	sh := s.shards[si]
+// engine returns the query engine of the shard in the given slot of v,
+// opening the shard from disk on first use.  Concurrent callers of an
+// unopened shard serialize on the shard mutex; the winner loads, everyone
+// else observes the stored engine.
+func (s *Store) engine(v *view, slot int) (*query.Engine, error) {
+	sh := v.shards[slot]
 	if eng := sh.eng.Load(); eng != nil {
 		return eng, nil
 	}
@@ -342,12 +472,12 @@ func (s *Store) engine(si int) (*query.Engine, error) {
 	if eng := sh.eng.Load(); eng != nil {
 		return eng, nil
 	}
-	if s.dir == "" {
-		return nil, fmt.Errorf("store: shard %d not built", si)
+	if s.dirPath() == "" {
+		return nil, fmt.Errorf("store: shard %d not built", sh.id)
 	}
-	eng, err := s.openShard(si)
+	eng, err := s.openShard(sh)
 	if err != nil {
-		return nil, fmt.Errorf("store: open shard %d: %w", si, err)
+		return nil, fmt.Errorf("store: open shard %d: %w", sh.id, err)
 	}
 	sh.eng.Store(eng)
 	return eng, nil
@@ -359,22 +489,22 @@ func (s *Store) engine(si int) (*query.Engine, error) {
 var ErrUnknownTrajectory = errors.New("store: unknown trajectory")
 
 // locate resolves a global trajectory id to its shard engine and local
-// index.
-func (s *Store) locate(j int) (*query.Engine, int, error) {
-	if j < 0 || j >= len(s.man.shardOf) {
-		return nil, 0, fmt.Errorf("%w: %d outside [0, %d)", ErrUnknownTrajectory, j, len(s.man.shardOf))
+// index within the given view.
+func (s *Store) locate(v *view, j int) (*query.Engine, int, error) {
+	if j < 0 || j >= len(v.man.shardOf) {
+		return nil, 0, fmt.Errorf("%w: %d outside [0, %d)", ErrUnknownTrajectory, j, len(v.man.shardOf))
 	}
-	eng, err := s.engine(int(s.man.shardOf[j]))
+	eng, err := s.engine(v, int(v.slotByID[v.man.shardOf[j]]))
 	if err != nil {
 		return nil, 0, err
 	}
-	return eng, int(s.localIdx[j]), nil
+	return eng, int(v.localIdx[j]), nil
 }
 
 // Where answers the probabilistic where query (Definition 10) for global
 // trajectory j, routing to the owning shard.
 func (s *Store) Where(j int, t int64, alpha float64) ([]query.WhereResult, error) {
-	eng, local, err := s.locate(j)
+	eng, local, err := s.locate(s.v.Load(), j)
 	if err != nil {
 		return nil, err
 	}
@@ -384,7 +514,7 @@ func (s *Store) Where(j int, t int64, alpha float64) ([]query.WhereResult, error
 // When answers the probabilistic when query (Definition 11) for global
 // trajectory j, routing to the owning shard.
 func (s *Store) When(j int, loc roadnet.Position, alpha float64) ([]query.WhenResult, error) {
-	eng, local, err := s.locate(j)
+	eng, local, err := s.locate(s.v.Load(), j)
 	if err != nil {
 		return nil, err
 	}
@@ -392,17 +522,22 @@ func (s *Store) When(j int, loc roadnet.Position, alpha float64) ([]query.WhenRe
 }
 
 // Range answers the probabilistic range query (Definition 12): it scatters
-// the query to the shards whose recorded geometry bounds intersect the
-// rectangle (skipped shards are not even opened; the pruning applies for
-// alpha > 0 — see the loop body), translates each shard's accepted local
-// ids to global ids, and merges them into one ascending list — the same
-// set a single-archive engine returns, deterministically ordered.  Under
-// spatial assignment small rectangles touch few shards; under hash
+// the query to the live shards whose recorded geometry bounds intersect
+// the rectangle (skipped shards are not even opened; the pruning applies
+// for alpha > 0 — see the loop body), translates each shard's accepted
+// local ids to global ids, and merges them into one ascending list — the
+// same set a single-archive engine returns, deterministically ordered.
+// Under spatial assignment small rectangles touch few shards; under hash
 // assignment the bounds overlap and every shard is queried.
 func (s *Store) Range(re roadnet.Rect, t int64, alpha float64) ([]int, error) {
-	parts := make([][]int, len(s.shards))
-	err := par.Do(par.Workers(s.opts.Parallelism), len(s.shards), func(si int) error {
-		b := s.man.shardBounds[si]
+	v := s.v.Load()
+	parts := make([][]int, len(v.shards))
+	err := par.Do(par.Workers(s.opts.Parallelism), len(v.shards), func(slot int) error {
+		sh := v.shards[slot]
+		if sh == nil {
+			return nil // tombstoned entry
+		}
+		b := v.man.entries[slot].bounds
 		if b.MinX > b.MaxX {
 			return nil // empty shard: holds no trajectories at all
 		}
@@ -412,7 +547,7 @@ func (s *Store) Range(re roadnet.Rect, t int64, alpha float64) ([]int, error) {
 		if alpha > 0 && !re.Intersects(b) {
 			return nil // no geometry of this shard can lie inside re
 		}
-		eng, err := s.engine(si)
+		eng, err := s.engine(v, slot)
 		if err != nil {
 			return err
 		}
@@ -425,9 +560,9 @@ func (s *Store) Range(re roadnet.Rect, t int64, alpha float64) ([]int, error) {
 		}
 		globals := make([]int, len(locals))
 		for i, l := range locals {
-			globals[i] = int(s.shards[si].globals[l])
+			globals[i] = int(sh.globals[l])
 		}
-		parts[si] = globals
+		parts[slot] = globals
 		return nil
 	})
 	if err != nil {
@@ -441,15 +576,271 @@ func (s *Store) Range(re roadnet.Rect, t int64, alpha float64) ([]int, error) {
 	return out, nil
 }
 
+// coreOptions returns the compression parameters new delta shards are
+// encoded with.  A built store knows them from Options; a store opened
+// from disk without OpenOptions.Core derives them from the first live
+// shard's archive (the container persists them), so ingested records stay
+// byte-identical to a from-scratch compression of the whole population.
+func (s *Store) coreOptions(v *view) (core.Options, error) {
+	if s.opts.Core.Ts > 0 {
+		return s.opts.Core, nil
+	}
+	for slot, sh := range v.shards {
+		if sh == nil {
+			continue
+		}
+		eng, err := s.engine(v, slot)
+		if err != nil {
+			return core.Options{}, err
+		}
+		opts := eng.Arch.Opts
+		opts.Parallelism = s.opts.Parallelism
+		s.opts.Core = opts // cache for subsequent batches (under s.mu)
+		return opts, nil
+	}
+	return core.Options{}, errors.New("store: empty store has no compression parameters; set OpenOptions.Core")
+}
+
+// ApplyDelta appends one ingested batch as a new delta shard and advances
+// the WAL high-water mark, atomically: a backed store persists the shard
+// file and then the manifest (write-temp + rename) before the in-memory
+// view swap, so neither in-process readers nor a concurrent Open ever see
+// a torn store.  An empty batch (every record failed map matching) still
+// persists the walApplied advance.  Returns the new manifest generation.
+func (s *Store) ApplyDelta(tus []*traj.Uncertain, walApplied uint64) (uint64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cur := s.v.Load()
+	if len(tus) > 0 {
+		if err := checkIDBudget(cur.man); err != nil {
+			return 0, err
+		}
+	}
+	man := cur.man.clone()
+	man.generation++
+	if walApplied > man.walApplied {
+		man.walApplied = walApplied
+	}
+	shards := append([]*shard(nil), cur.shards...)
+	if len(tus) > 0 {
+		coreOpts, err := s.coreOptions(cur)
+		if err != nil {
+			return 0, err
+		}
+		eng, bounds, err := buildShardEngine(s.graph, tus, coreOpts, s.indexOptions(), s.opts.Engine)
+		if err != nil {
+			return 0, fmt.Errorf("store: delta shard: %w", err)
+		}
+		id := man.nextID
+		man.nextID++
+		man.entries = append(man.entries, shardEntry{id: id, kind: kindDelta, count: uint32(len(tus)), bounds: bounds})
+		base := len(man.shardOf)
+		sh := &shard{id: id}
+		for k := range tus {
+			man.shardOf = append(man.shardOf, id)
+			sh.globals = append(sh.globals, int32(base+k))
+		}
+		lo, hi := timeSpan(tus)
+		if base == 0 {
+			man.timeMin, man.timeMax = lo, hi
+		} else {
+			man.timeMin, man.timeMax = min(man.timeMin, lo), max(man.timeMax, hi)
+		}
+		sh.eng.Store(eng)
+		shards = append(shards, sh)
+		if dir := s.dirPath(); dir != "" {
+			if err := writeShardFile(dir, id, eng.Arch); err != nil {
+				return 0, err
+			}
+		}
+	}
+	if dir := s.dirPath(); dir != "" {
+		if err := writeManifestFile(dir, man); err != nil {
+			return 0, err
+		}
+	}
+	s.v.Store(newView(man, shards))
+	s.deltasApplied.Add(1)
+	return man.generation, nil
+}
+
+// Compact folds every live delta shard into one new base shard: the delta
+// records are merged in ascending global order (each record is already the
+// fixpoint of re-compression — reference selection operates within a
+// single uncertain trajectory, so the merged archive is byte-identical to
+// compressing the merged population from scratch), the StIU index is
+// rebuilt over the merged archive, and the manifest swaps in atomically
+// with the old delta entries tombstoned.  Tombstoned shard files stay on
+// disk so readers of an older manifest generation keep working; their ids
+// are never reused.  Returns the number of delta shards folded (0 when
+// there was nothing to compact).
+func (s *Store) Compact() (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cur := s.v.Load()
+
+	var slots []int
+	for slot, e := range cur.man.entries {
+		if !e.dead && e.kind == kindDelta {
+			slots = append(slots, slot)
+		}
+	}
+	if len(slots) == 0 {
+		return 0, nil
+	}
+	if err := checkIDBudget(cur.man); err != nil {
+		return 0, err
+	}
+
+	// Gather (global, record) pairs from every delta shard; opening is
+	// lazy, so compaction may fault shards in.
+	type rec struct {
+		global int32
+		tr     *core.TrajRecord
+	}
+	var recs []rec
+	var arch0 *core.Archive
+	var stats core.CompStats
+	for _, slot := range slots {
+		eng, err := s.engine(cur, slot)
+		if err != nil {
+			return 0, err
+		}
+		a := eng.Arch
+		if arch0 == nil {
+			arch0 = a
+		}
+		stats.Add(a.Stats)
+		for i, tr := range a.Trajs {
+			recs = append(recs, rec{global: cur.shards[slot].globals[i], tr: tr})
+		}
+	}
+	sort.Slice(recs, func(i, j int) bool { return recs[i].global < recs[j].global })
+
+	merged := &core.Archive{
+		Opts:       arch0.Opts,
+		Graph:      s.graph,
+		VertexBits: arch0.VertexBits,
+		EdgeBits:   arch0.EdgeBits,
+		DCodec:     arch0.DCodec,
+		PCodec:     arch0.PCodec,
+		Trajs:      make([]*core.TrajRecord, len(recs)),
+		Stats:      stats,
+	}
+	for i, r := range recs {
+		merged.Trajs[i] = r.tr
+	}
+	ix, err := stiu.Build(merged, s.indexOptions())
+	if err != nil {
+		return 0, fmt.Errorf("store: compact index: %w", err)
+	}
+	eng := query.NewEngineWithOptions(merged, ix, s.opts.Engine)
+
+	man := cur.man.clone()
+	man.generation++
+	id := man.nextID
+	man.nextID++
+	for _, slot := range slots {
+		man.entries[slot].dead = true
+	}
+	man.entries = append(man.entries, shardEntry{id: id, kind: kindBase, count: uint32(len(recs)), bounds: shardGeometryBounds(ix)})
+	sh := &shard{id: id, globals: make([]int32, len(recs))}
+	for i, r := range recs {
+		man.shardOf[r.global] = id
+		sh.globals[i] = r.global
+	}
+	sh.eng.Store(eng)
+
+	shards := append([]*shard(nil), cur.shards...)
+	for _, slot := range slots {
+		shards[slot] = nil // release the folded engines with the old views
+	}
+	shards = append(shards, sh)
+
+	// Deferred tombstone GC: entries tombstoned by an *earlier* compaction
+	// are dropped from the catalogue (the manifest would otherwise grow
+	// past its reader limit under continuous ingestion) and their files
+	// deleted (the directory would otherwise grow without bound).
+	// Deleting the files cannot fail an in-flight query holding an old
+	// view: a shard is always faulted resident *before* it is tombstoned
+	// (Compact loads every shard it folds, and engines are never
+	// un-stored from the shard objects views share), so no view ever
+	// opens a tombstoned shard from disk.  Only another *process* still
+	// serving a pre-GC manifest could miss the file, and it must re-Open
+	// — the standard staleness contract for a file-based store.  Entries
+	// tombstoned this round stay one cycle as defense in depth.
+	var gcIDs []uint32
+	keepE := man.entries[:0]
+	keepS := shards[:0]
+	for i, e := range man.entries {
+		deadBefore := i < len(cur.man.entries) && cur.man.entries[i].dead
+		if e.dead && deadBefore {
+			gcIDs = append(gcIDs, e.id)
+			continue // tombstoned by an earlier generation: collect
+		}
+		keepE = append(keepE, e) // live, or freshly tombstoned this round
+		keepS = append(keepS, shards[i])
+	}
+	man.entries, shards = keepE, keepS
+
+	if dir := s.dirPath(); dir != "" {
+		if err := writeShardFile(dir, id, merged); err != nil {
+			return 0, err
+		}
+		if err := writeManifestFile(dir, man); err != nil {
+			return 0, err
+		}
+		for _, gid := range gcIDs {
+			_ = os.Remove(filepath.Join(dir, shardFile(gid))) // best-effort
+		}
+	}
+	s.v.Store(newView(man, shards))
+	s.compactionsRun.Add(1)
+	return len(slots), nil
+}
+
+// checkIDBudget refuses a mutation that would allocate a shard id the
+// manifest reader rejects (ids are never reused, so they only grow):
+// failing the write loudly now beats persisting a manifest the store can
+// never reopen.  The budget of 2^24 lifetime mutations is far beyond any
+// sane ingest/compaction cadence; hitting it means the operator should
+// rebuild the store (which restarts ids at 0).
+func checkIDBudget(man *manifest) error {
+	if man.nextID >= maxManifestIDs {
+		return fmt.Errorf("store: shard id budget exhausted (%d lifetime shards); rebuild the store to reset ids", man.nextID)
+	}
+	return nil
+}
+
+// indexOptions returns the StIU granularity for newly built shards, with
+// the manifest as the source of truth so delta shards always match the
+// base shards.
+func (s *Store) indexOptions() stiu.Options {
+	man := s.v.Load().man
+	ix := s.opts.Index
+	ix.GridNX, ix.GridNY, ix.IntervalDur = man.gridNX, man.gridNY, man.interval
+	return ix
+}
+
 // Stats aggregates the engine counters of every open shard plus store-level
 // shape information.
 type Stats struct {
-	Shards       int
+	Shards       int // live shards (base + delta)
+	BaseShards   int
+	DeltaShards  int
+	Tombstones   int
 	OpenShards   int
 	Trajectories int
 	Assignment   string
+	Generation   uint64
+	WALApplied   uint64
 	TimeMin      int64
 	TimeMax      int64
+
+	// DeltasApplied / Compactions count the mutations this process
+	// performed (not persisted).
+	DeltasApplied int64
+	Compactions   int64
 
 	// Engine is the sum of the open shards' engine counters; CacheBudget is
 	// summed across shards (total entry budget of the store).
@@ -460,15 +851,29 @@ type Stats struct {
 // yet opened contribute nothing (opening them just to count would defeat
 // lazy opening).
 func (s *Store) Stats() Stats {
+	v := s.v.Load()
 	st := Stats{
-		Shards:       s.man.numShards,
-		Trajectories: len(s.man.shardOf),
-		Assignment:   s.man.assignment.String(),
-		TimeMin:      s.man.timeMin,
-		TimeMax:      s.man.timeMax,
+		Trajectories:  len(v.man.shardOf),
+		Assignment:    v.man.assignment.String(),
+		Generation:    v.man.generation,
+		WALApplied:    v.man.walApplied,
+		TimeMin:       v.man.timeMin,
+		TimeMax:       v.man.timeMax,
+		DeltasApplied: s.deltasApplied.Load(),
+		Compactions:   s.compactionsRun.Load(),
 	}
-	for _, sh := range s.shards {
-		eng := sh.eng.Load()
+	for slot, e := range v.man.entries {
+		if e.dead {
+			st.Tombstones++
+			continue
+		}
+		st.Shards++
+		if e.kind == kindDelta {
+			st.DeltaShards++
+		} else {
+			st.BaseShards++
+		}
+		eng := v.shards[slot].eng.Load()
 		if eng == nil {
 			continue
 		}

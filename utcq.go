@@ -28,6 +28,7 @@ package utcq
 import (
 	"utcq/internal/core"
 	"utcq/internal/gen"
+	"utcq/internal/ingest"
 	"utcq/internal/mapmatch"
 	"utcq/internal/query"
 	"utcq/internal/roadnet"
@@ -54,6 +55,9 @@ type (
 	Rect = roadnet.Rect
 	// NetworkGenConfig controls synthetic road-network generation.
 	NetworkGenConfig = roadnet.GenConfig
+	// EdgeIndex is a spatial index over a network's edges (nearest-edge
+	// lookups for map matching).
+	EdgeIndex = roadnet.EdgeIndex
 )
 
 // Trajectory types.
@@ -153,6 +157,43 @@ func OpenStore(dir string, g *Graph, opts OpenStoreOptions) (*Store, error) {
 // NewQueryServer returns an HTTP query service over a store.
 func NewQueryServer(st *Store, opts QueryServerOptions) *QueryServer {
 	return server.New(st, opts)
+}
+
+// Live ingestion types (see internal/ingest).
+type (
+	// Ingester is the live write path: Submit acknowledges raw
+	// trajectories into a CRC-framed write-ahead log; a background worker
+	// map-matches and compresses them into delta shards of a mutable
+	// store, compacting deltas into base shards past a threshold.
+	Ingester = ingest.Ingester
+	// IngestOptions configure batching, matching, durability and the
+	// compaction threshold.
+	IngestOptions = ingest.Options
+	// IngestStats is a snapshot of the ingestion pipeline's counters.
+	IngestStats = ingest.Stats
+	// WAL is the append-only log of raw trajectories with crash-recovery
+	// replay.
+	WAL = ingest.WAL
+)
+
+// NewIngester opens (or creates) the WAL at walPath and attaches it to the
+// store; acknowledged-but-unapplied records are queued for the next drain
+// (crash recovery).  The edge index must be built over the store's road
+// network (NewEdgeIndex).
+func NewIngester(st *Store, ix *EdgeIndex, walPath string, opts IngestOptions) (*Ingester, error) {
+	return ingest.New(st, ix, walPath, opts)
+}
+
+// NewEdgeIndex builds a spatial edge index with the given cell size in
+// meters (used by map matching and ingestion).
+func NewEdgeIndex(g *Graph, cellSize float64) *EdgeIndex {
+	return roadnet.NewEdgeIndex(g, cellSize)
+}
+
+// OpenWAL opens (or creates) a write-ahead log, replaying and returning
+// every intact record; a torn tail from a crash mid-append is truncated.
+func OpenWAL(path string) (*WAL, []RawTrajectory, error) {
+	return ingest.OpenWAL(path)
 }
 
 // Dataset generation and matching types.
