@@ -59,6 +59,8 @@ func runLoadgen(cfg loadgenConfig) error {
 	client := &http.Client{Timeout: 30 * time.Second}
 	deadline := time.Now().Add(cfg.duration)
 	start := time.Now()
+	mem := newMemSampler(cfg.addr)
+	defer mem.stop()
 	var wg sync.WaitGroup
 	for w := 0; w < cfg.workers; w++ {
 		wg.Add(1)
@@ -98,17 +100,22 @@ func runLoadgen(cfg loadgenConfig) error {
 		elapsed:   time.Since(start),
 	}
 	printLoadgenReport(res)
+	mem.stop()
 
 	after, err := fetchStats(cfg.addr)
 	if err != nil {
 		fmt.Printf("warning: post-run /stats fetch failed: %v\n", err)
 		return nil
 	}
+	mem.observe(after)
 	e := after.Engine
 	fmt.Printf("server counters: %d requests, %d failures, cache %.1f%% hit (%d hits / %d misses), %d paths decoded\n",
 		after.Requests, after.Failures,
 		100*float64(e.CacheHits)/float64(max(e.CacheHits+e.CacheMisses, 1)),
 		e.CacheHits, e.CacheMisses, e.PathsDecoded)
+	fmt.Printf("server memory: peak RSS %s, peak mapped %s, sidecars %d loaded / %d rebuilt\n",
+		fmtBytes(mem.peakRSS.Load()), fmtBytes(mem.peakMapped.Load()),
+		after.SidecarLoads, after.SidecarRebuilds)
 	if after.Ingest != nil {
 		fmt.Printf("ingest counters: %d acked, %d applied (%d pending), %d matched / %d dropped, %d compactions, generation %d\n",
 			after.Ingest.Acked, after.Ingest.Applied, after.Ingest.Pending,
@@ -199,6 +206,60 @@ func randomQuery(cfg loadgenConfig, stats *server.StatsResponse, rng *rand.Rand,
 			Rect: server.RectJSON{MinX: x, MinY: y, MaxX: x + fw*w, MaxY: y + fh*h},
 			T:    t, Alpha: cfg.alpha,
 		}}
+	}
+}
+
+// memSampler polls /stats in the background during a run and keeps the
+// peak RSS and mapped-bytes gauges, so the report shows the memory cost
+// of serving the workload (with mmap most of it is evictable page cache).
+type memSampler struct {
+	peakRSS    atomic.Int64
+	peakMapped atomic.Int64
+	done       chan struct{}
+	once       sync.Once
+}
+
+func newMemSampler(addr string) *memSampler {
+	ms := &memSampler{done: make(chan struct{})}
+	go func() {
+		tick := time.NewTicker(500 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-ms.done:
+				return
+			case <-tick.C:
+				if st, err := fetchStats(addr); err == nil {
+					ms.observe(st)
+				}
+			}
+		}
+	}()
+	return ms
+}
+
+func (ms *memSampler) observe(st *server.StatsResponse) {
+	if st.RSSBytes > ms.peakRSS.Load() {
+		ms.peakRSS.Store(st.RSSBytes)
+	}
+	if st.MappedBytes > ms.peakMapped.Load() {
+		ms.peakMapped.Store(st.MappedBytes)
+	}
+}
+
+func (ms *memSampler) stop() { ms.once.Do(func() { close(ms.done) }) }
+
+// fmtBytes renders a byte count with a binary-unit suffix.
+func fmtBytes(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.2f GiB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.2f MiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1f KiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%d B", n)
 	}
 }
 

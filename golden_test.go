@@ -161,9 +161,9 @@ func TestGoldenDatasets(t *testing.T) {
 }
 
 // TestGoldenStore pins the bytes of a complete mutable-store directory —
-// manifest v2 with live base shards, a tombstoned delta shard and a
-// compacted base shard, plus every shard archive — against checked-in
-// digests.  The CI format-compat job runs this (and the other goldens) on
+// manifest v3 with live base shards, a tombstoned delta shard and a
+// compacted base shard, plus every shard archive and StIU sidecar —
+// against checked-in digests.  The CI format-compat job runs this (and the other goldens) on
 // a Go-version matrix, making docs/FORMAT.md's normative claim
 // machine-enforced: any digest drift fails the build.
 func TestGoldenStore(t *testing.T) {

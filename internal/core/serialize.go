@@ -254,18 +254,106 @@ func (a *Archive) Save(w io.Writer) error {
 }
 
 // Load reads an archive written by Save and attaches the road network.
+// The stream is buffered to memory and decoded by LoadBytes; callers that
+// already hold the bytes (or a file mapping) should call LoadBytes
+// directly and skip the copy.
 func Load(r io.Reader, g *roadnet.Graph) (*Archive, error) {
-	br := bufio.NewReader(r)
-	magic := make([]byte, len(archiveMagic))
-	if _, err := io.ReadFull(br, magic); err != nil {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	return LoadBytes(data, g)
+}
+
+// byteReader decodes the little-endian container fields from an in-memory
+// buffer with explicit bounds checks.  Unlike LEReader it never copies:
+// take returns subslices of the underlying data, which is what makes the
+// mmap decode path zero-copy.
+type byteReader struct {
+	data []byte
+	off  int
+}
+
+// errTruncated reports a field extending past the end of the buffer.
+var errTruncated = errors.New("core: archive truncated")
+
+func (r *byteReader) remaining() int { return len(r.data) - r.off }
+
+// take returns the next n bytes without copying.
+func (r *byteReader) take(n int) ([]byte, error) {
+	if n < 0 || r.remaining() < n {
+		return nil, errTruncated
+	}
+	b := r.data[r.off : r.off+n : r.off+n]
+	r.off += n
+	return b, nil
+}
+
+func (r *byteReader) u8() (byte, error) {
+	if r.remaining() < 1 {
+		return 0, errTruncated
+	}
+	b := r.data[r.off]
+	r.off++
+	return b, nil
+}
+
+func (r *byteReader) u16() (uint16, error) {
+	b, err := r.take(2)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint16(b), nil
+}
+
+func (r *byteReader) u32() (uint32, error) {
+	b, err := r.take(4)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(b), nil
+}
+
+func (r *byteReader) u64() (uint64, error) {
+	b, err := r.take(8)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(b), nil
+}
+
+func (r *byteReader) i32() (int32, error) {
+	v, err := r.u32()
+	return int32(v), err
+}
+
+func (r *byteReader) i64() (int64, error) {
+	v, err := r.u64()
+	return int64(v), err
+}
+
+func (r *byteReader) f64() (float64, error) {
+	v, err := r.u64()
+	return math.Float64frombits(v), err
+}
+
+// LoadBytes decodes an archive from an in-memory buffer — typically a
+// file mapping — and attaches the road network.  Each record's Bits field
+// aliases the buffer directly (the bit streams are read-only at query
+// time), so decoding materializes only the directory: for a mapped file
+// the payload pages are faulted in on first query touch, not at open.
+// The caller owns the buffer's lifetime and must keep it valid while the
+// archive or any of its records is reachable.
+func LoadBytes(data []byte, g *roadnet.Graph) (*Archive, error) {
+	r := &byteReader{data: data}
+	magic, err := r.take(len(archiveMagic))
+	if err != nil {
 		return nil, err
 	}
 	if string(magic) != archiveMagic {
 		return nil, errors.New("core: not a UTCQ archive")
 	}
-	lr := NewLEReader(br)
-
-	version, err := lr.U16()
+	version, err := r.u16()
 	if err != nil {
 		return nil, err
 	}
@@ -273,21 +361,21 @@ func Load(r io.Reader, g *roadnet.Graph) (*Archive, error) {
 		return nil, fmt.Errorf("core: unsupported archive version %d", version)
 	}
 	var opts Options
-	pv, err := lr.U16()
+	pv, err := r.u16()
 	if err != nil {
 		return nil, err
 	}
 	opts.NumPivots = int(pv)
-	if opts.EtaD, err = lr.F64(); err != nil {
+	if opts.EtaD, err = r.f64(); err != nil {
 		return nil, err
 	}
-	if opts.EtaP, err = lr.F64(); err != nil {
+	if opts.EtaP, err = r.f64(); err != nil {
 		return nil, err
 	}
-	if opts.Ts, err = lr.I64(); err != nil {
+	if opts.Ts, err = r.i64(); err != nil {
 		return nil, err
 	}
-	flags, err := br.ReadByte()
+	flags, err := r.u8()
 	if err != nil {
 		return nil, err
 	}
@@ -295,11 +383,11 @@ func Load(r io.Reader, g *roadnet.Graph) (*Archive, error) {
 	opts.PlainJaccard = flags&flagPlainJaccard != 0
 
 	a := &Archive{Opts: opts, Graph: g}
-	vb, err := lr.U16()
+	vb, err := r.u16()
 	if err != nil {
 		return nil, err
 	}
-	eb, err := lr.U16()
+	eb, err := r.u16()
 	if err != nil {
 		return nil, err
 	}
@@ -311,61 +399,73 @@ func Load(r io.Reader, g *roadnet.Graph) (*Archive, error) {
 		return nil, err
 	}
 
-	nt, err := lr.U32()
+	nt, err := r.u32()
 	if err != nil {
 		return nil, err
+	}
+	// Every trajectory needs at least its fixed-width header; bounding the
+	// count by the remaining bytes turns a corrupt count into a parse
+	// error instead of a giant allocation.
+	if int64(nt)*20 > int64(r.remaining()) {
+		return nil, errTruncated
 	}
 	a.Trajs = make([]*TrajRecord, nt)
 	for j := range a.Trajs {
 		tr := &TrajRecord{}
-		bl, err := lr.U32()
+		bl, err := r.u32()
 		if err != nil {
 			return nil, err
 		}
 		tr.BitLen = int(bl)
-		np, err := lr.U32()
+		np, err := r.u32()
 		if err != nil {
 			return nil, err
 		}
 		tr.NumPoints = int(np)
-		if tr.T0, err = lr.I64(); err != nil {
+		if tr.T0, err = r.i64(); err != nil {
 			return nil, err
 		}
-		nd, err := lr.U32()
+		nd, err := r.u32()
 		if err != nil {
 			return nil, err
 		}
+		if int64(nd)*4 > int64(r.remaining()) {
+			return nil, errTruncated
+		}
 		tr.TDeltaPos = make([]int, nd)
 		for i := range tr.TDeltaPos {
-			p, err := lr.U32()
+			p, err := r.u32()
 			if err != nil {
 				return nil, err
 			}
 			tr.TDeltaPos[i] = int(p)
 		}
-		ni, err := lr.U32()
+		ni, err := r.u32()
 		if err != nil {
 			return nil, err
 		}
+		if int64(ni)*21 > int64(r.remaining()) {
+			return nil, errTruncated
+		}
 		tr.Insts = make([]InstMeta, ni)
 		for i := range tr.Insts {
-			fl, err := br.ReadByte()
+			fl, err := r.u8()
 			if err != nil {
 				return nil, err
 			}
-			refOrig, err := lr.I32()
+			refOrig, err := r.i32()
 			if err != nil {
 				return nil, err
 			}
-			start, err := lr.U32()
+			start, err := r.u32()
 			if err != nil {
 				return nil, err
 			}
-			p, err := lr.F64()
+			p, err := r.f64()
 			if err != nil {
 				return nil, err
 			}
-			sv, err := lr.I32()
+			sv, err := r.i32()
 			if err != nil {
 				return nil, err
 			}
@@ -377,21 +477,23 @@ func Load(r io.Reader, g *roadnet.Graph) (*Archive, error) {
 				SV:      roadnet.VertexID(sv),
 			}
 		}
-		nr, err := lr.U32()
+		nr, err := r.u32()
 		if err != nil {
 			return nil, err
 		}
+		if int64(nr)*4 > int64(r.remaining()) {
+			return nil, errTruncated
+		}
 		tr.RefOrigByWrite = make([]int, nr)
 		for i := range tr.RefOrigByWrite {
-			o, err := lr.U32()
+			o, err := r.u32()
 			if err != nil {
 				return nil, err
 			}
 			tr.RefOrigByWrite[i] = int(o)
 		}
 		nbytes := (tr.BitLen + 7) / 8
-		tr.Bits = make([]byte, nbytes)
-		if _, err := io.ReadFull(br, tr.Bits); err != nil {
+		if tr.Bits, err = r.take(nbytes); err != nil {
 			return nil, err
 		}
 		a.Trajs[j] = tr

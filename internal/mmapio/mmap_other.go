@@ -1,0 +1,17 @@
+//go:build !(linux || darwin || freebsd || netbsd || openbsd || dragonfly)
+
+package mmapio
+
+import (
+	"errors"
+	"os"
+)
+
+// Platforms without the syscall mmap wrappers always take the heap path.
+const mmapSupported = false
+
+var errNoMmap = errors.New("mmapio: mmap not supported on this platform")
+
+func mapFile(f *os.File, size int64) ([]byte, error) { return nil, errNoMmap }
+
+func unmapFile(data []byte) error { return nil }

@@ -1,0 +1,21 @@
+//go:build linux || darwin || freebsd || netbsd || openbsd || dragonfly
+
+package mmapio
+
+import (
+	"os"
+	"syscall"
+)
+
+// The stdlib syscall mmap wrappers cover every unix the project targets;
+// keeping the module dependency-free rules out golang.org/x/sys.
+const mmapSupported = true
+
+// mapFile maps size bytes of f read-only and shared (the file is written
+// once via rename and never mutated, so shared vs private is moot; shared
+// avoids reserving swap).
+func mapFile(f *os.File, size int64) ([]byte, error) {
+	return syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+}
+
+func unmapFile(data []byte) error { return syscall.Munmap(data) }

@@ -1,0 +1,116 @@
+// Package mmapio maps read-only files into memory so archives can be
+// decoded in place instead of copied onto the heap.  On platforms with
+// mmap support a Map is backed by an OS mapping (the page cache *is* the
+// buffer: untouched records cost no resident memory, and the kernel
+// reclaims clean pages under pressure); elsewhere — or when the
+// UTCQ_NO_MMAP=1 environment variable is set — Open falls back to a plain
+// heap read with identical semantics, so callers never branch on platform.
+//
+// Lifetime is reference-counted rather than scoped: decoded records alias
+// subslices of the mapping, and in this codebase records outlive the file
+// handle that produced them (store compaction moves TrajRecord pointers
+// from delta archives into a merged archive).  A creator holds one
+// reference; it Retains once per escaping alias holder and attaches a
+// runtime.AddCleanup that Releases when the holder is collected.  The
+// mapping is unmapped exactly when the last reference drops, so no live
+// []byte can ever point into unmapped memory.  Unlinking a mapped file
+// (the store's tombstone GC does) is safe: POSIX keeps the pages valid
+// until the mapping goes away.
+package mmapio
+
+import (
+	"fmt"
+	"os"
+	"sync/atomic"
+)
+
+// mappedBytes is the process-wide gauge of live OS-mapped bytes
+// (heap-fallback buffers are not counted — they show up in Go heap
+// metrics instead).
+var mappedBytes atomic.Int64
+
+// MappedBytes returns the total bytes currently mapped by this package
+// across all open Maps.
+func MappedBytes() int64 { return mappedBytes.Load() }
+
+// Map is a read-only view of one file, either OS-mapped or heap-backed.
+type Map struct {
+	data   []byte
+	mapped bool
+	refs   atomic.Int64
+}
+
+// NoMmapEnv is the environment variable that forces the heap fallback at
+// runtime ("1" disables mapping); CI runs the store and query test
+// packages under it so both paths stay exercised.
+const NoMmapEnv = "UTCQ_NO_MMAP"
+
+// Open maps path read-only.  The heap fallback is selected when the
+// platform lacks mmap, when the file is empty (zero-length mappings are
+// invalid), or when UTCQ_NO_MMAP=1; the variable is consulted per call so
+// tests can flip it with t.Setenv.  The returned Map holds one reference.
+func Open(path string) (*Map, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := st.Size()
+	if size > int64(maxInt) {
+		return nil, fmt.Errorf("mmapio: %s is %d bytes, too large to map", path, size)
+	}
+	m := &Map{}
+	m.refs.Store(1)
+	if size > 0 && mmapSupported && os.Getenv(NoMmapEnv) != "1" {
+		data, err := mapFile(f, size)
+		if err == nil {
+			m.data, m.mapped = data, true
+			mappedBytes.Add(size)
+			return m, nil
+		}
+		// Fall through: a map failure (exotic filesystem, resource limit)
+		// degrades to the heap path instead of failing the open.
+	}
+	data := make([]byte, size)
+	if _, err := f.ReadAt(data, 0); err != nil && size > 0 {
+		return nil, err
+	}
+	m.data = data
+	return m, nil
+}
+
+const maxInt = int(^uint(0) >> 1)
+
+// Data returns the file contents.  The slice stays valid until the last
+// reference is released.
+func (m *Map) Data() []byte { return m.data }
+
+// Mapped reports whether the Map is backed by an OS mapping (false for
+// the heap fallback, whose lifetime the garbage collector handles
+// directly).
+func (m *Map) Mapped() bool { return m.mapped }
+
+// Retain adds a reference.  Call once per holder that aliases Data past
+// the creator's Release.
+func (m *Map) Retain() { m.refs.Add(1) }
+
+// Release drops one reference; the last release unmaps.  Safe to call
+// from finalizer/cleanup goroutines.
+func (m *Map) Release() {
+	if m.refs.Add(-1) != 0 {
+		return
+	}
+	if m.mapped {
+		mappedBytes.Add(-int64(len(m.data)))
+		_ = unmapFile(m.data)
+		m.mapped = false
+	}
+	m.data = nil
+}
+
+// Close is Release under the name deferred cleanup reads naturally.
+func (m *Map) Close() { m.Release() }

@@ -1,0 +1,114 @@
+package mmapio
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeTemp(t *testing.T, content []byte) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "f.bin")
+	if err := os.WriteFile(path, content, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestOpenMapped(t *testing.T) {
+	if !mmapSupported {
+		t.Skip("no mmap on this platform")
+	}
+	t.Setenv(NoMmapEnv, "") // mapping is the subject even under a no-mmap CI pass
+	content := bytes.Repeat([]byte{0xAB, 0xCD}, 4096)
+	m, err := Open(writeTemp(t, content))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Mapped() {
+		t.Fatal("expected an OS mapping")
+	}
+	if !bytes.Equal(m.Data(), content) {
+		t.Fatal("mapped content differs from file content")
+	}
+	if got := MappedBytes(); got < int64(len(content)) {
+		t.Fatalf("MappedBytes = %d, want >= %d", got, len(content))
+	}
+	before := MappedBytes()
+	m.Release()
+	if got := MappedBytes(); got != before-int64(len(content)) {
+		t.Fatalf("MappedBytes after release = %d, want %d", got, before-int64(len(content)))
+	}
+}
+
+func TestOpenHeapFallback(t *testing.T) {
+	t.Setenv(NoMmapEnv, "1")
+	content := []byte("heap path")
+	m, err := Open(writeTemp(t, content))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Mapped() {
+		t.Fatal("UTCQ_NO_MMAP=1 still produced a mapping")
+	}
+	if !bytes.Equal(m.Data(), content) {
+		t.Fatal("heap content differs from file content")
+	}
+	m.Release()
+}
+
+func TestOpenEmptyFile(t *testing.T) {
+	m, err := Open(writeTemp(t, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Mapped() || len(m.Data()) != 0 {
+		t.Fatalf("empty file: mapped=%v len=%d", m.Mapped(), len(m.Data()))
+	}
+	m.Release()
+}
+
+func TestRefcountDefersUnmap(t *testing.T) {
+	if !mmapSupported {
+		t.Skip("no mmap on this platform")
+	}
+	t.Setenv(NoMmapEnv, "") // mapping is the subject even under a no-mmap CI pass
+	content := bytes.Repeat([]byte{7}, 8192)
+	m, err := Open(writeTemp(t, content))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Retain()
+	m.Release() // creator's reference
+	// The retained reference must keep the data addressable.
+	if m.Data()[100] != 7 || m.Data()[8191] != 7 {
+		t.Fatal("data unreadable while a reference is held")
+	}
+	m.Release()
+	if m.Data() != nil {
+		t.Fatal("data not cleared after the last release")
+	}
+}
+
+func TestUnlinkedFileStaysReadable(t *testing.T) {
+	if !mmapSupported {
+		t.Skip("no mmap on this platform")
+	}
+	t.Setenv(NoMmapEnv, "") // mapping is the subject even under a no-mmap CI pass
+	content := bytes.Repeat([]byte{3}, 4096)
+	path := writeTemp(t, content)
+	m, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Release()
+	if err := os.Remove(path); err != nil {
+		t.Fatal(err)
+	}
+	// Tombstone GC deletes shard files that older generations may still
+	// have mapped; the pages must stay valid until the mapping drops.
+	if !bytes.Equal(m.Data(), content) {
+		t.Fatal("mapping invalid after unlink")
+	}
+}

@@ -1,0 +1,7 @@
+//go:build !linux
+
+package mmapio
+
+// ResidentSetBytes returns 0 on platforms without /proc (the gauge is
+// advisory; 0 reads as "unavailable").
+func ResidentSetBytes() int64 { return 0 }

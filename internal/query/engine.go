@@ -57,8 +57,9 @@ type Engine struct {
 	tempHint []atomic.Int32
 
 	// scratchPool recycles the flat Lemma-4 bound buffers across queries
-	// and goroutines.
+	// and goroutines; whenPool does the same for the when-query plan.
 	scratchPool sync.Pool
+	whenPool    sync.Pool
 
 	// Work counters, maintained atomically (see Stats).
 	pathsDecoded     atomic.Int64
@@ -100,6 +101,38 @@ func (e *Engine) getScratch() *rangeScratch {
 func (e *Engine) putScratch(sc *rangeScratch) {
 	sc.touched = sc.touched[:0]
 	e.scratchPool.Put(sc)
+}
+
+// whenScratch is the per-query working set of When: a flat epoch-stamped
+// group plan (replacing the historical map[int]*groupPlan) and a reusable
+// passage buffer, so a when query performs zero steady-state allocations.
+type whenScratch struct {
+	epoch    uint64
+	plan     []uint8 // per flat instance index: planRef/planNonRefs bits
+	pstamp   []uint64
+	passages []passage
+}
+
+// Group-plan bits: Lemma 1 decides, per reference group, whether the
+// reference itself and whether its non-references need processing.
+const (
+	planRef     = uint8(1 << 0)
+	planNonRefs = uint8(1 << 1)
+)
+
+func (e *Engine) getWhenScratch() *whenScratch {
+	if sc, ok := e.whenPool.Get().(*whenScratch); ok {
+		return sc
+	}
+	return &whenScratch{
+		plan:   make([]uint8, e.numInsts),
+		pstamp: make([]uint64, e.numInsts),
+	}
+}
+
+func (e *Engine) putWhenScratch(sc *whenScratch) {
+	sc.passages = sc.passages[:0]
+	e.whenPool.Put(sc)
 }
 
 // EngineStats is a point-in-time snapshot of the work the engine
@@ -409,88 +442,78 @@ func (e *Engine) Where(j int, t int64, alpha float64) ([]WhereResult, error) {
 // When implements the probabilistic when query (Definition 11): the times
 // at which instances with probability >= alpha passed the location.
 func (e *Engine) When(j int, loc roadnet.Position, alpha float64) ([]WhenResult, error) {
+	return e.AppendWhen(nil, j, loc, alpha)
+}
+
+// AppendWhen appends the when-query results to dst and returns the
+// extended slice.  Callers that recycle dst across queries pay zero
+// steady-state allocations; the appended window is sorted by (Inst, T),
+// entries before it are untouched.
+func (e *Engine) AppendWhen(dst []WhenResult, j int, loc roadnet.Position, alpha float64) ([]WhenResult, error) {
 	g := e.Arch.Graph
 	x, y := g.Coords(loc)
 	re := e.Ix.Grid.CellOf(x, y)
-	bucket := e.Ix.TrajRegion(j, re)
+	bucket, err := e.Ix.TrajRegion(j, re)
+	if err != nil {
+		return dst, err
+	}
 	if bucket == nil && !e.DisablePruning {
-		return nil, nil // no instance of this trajectory enters the region
+		return dst, nil // no instance of this trajectory enters the region
 	}
 	rec := e.Arch.Trajs[j]
 
 	// Group-level filtering: Lemma 1 skips reconstructing a reference's
-	// non-references when every tuple's pmax < alpha.
-	type groupPlan struct {
-		processRef     bool
-		processNonRefs bool
-	}
-	plans := make(map[int]*groupPlan)
+	// non-references when every tuple's pmax < alpha.  Plans live in flat
+	// epoch-stamped scratch indexed by the group's reference orig.
+	sc := e.getWhenScratch()
+	defer e.putWhenScratch(sc)
+	sc.epoch++
+	off := e.instOffset[j]
 	if e.DisablePruning {
 		for orig := range rec.Insts {
-			meta := rec.Insts[orig]
 			gk := orig
-			if !meta.IsRef {
+			if meta := &rec.Insts[orig]; !meta.IsRef {
 				gk = meta.RefOrig
 			}
-			if plans[gk] == nil {
-				plans[gk] = &groupPlan{processRef: true, processNonRefs: true}
-			}
+			sc.pstamp[off+gk] = sc.epoch
+			sc.plan[off+gk] = planRef | planNonRefs
 		}
 	} else {
-		for _, rt := range bucket.Refs {
-			pl := plans[int(rt.Orig)]
-			if pl == nil {
-				pl = &groupPlan{}
-				plans[int(rt.Orig)] = pl
+		for i := range bucket.Refs {
+			rt := &bucket.Refs[i]
+			gi := off + int(rt.Orig)
+			if sc.pstamp[gi] != sc.epoch {
+				sc.pstamp[gi] = sc.epoch
+				sc.plan[gi] = 0
 			}
 			if rt.FV != roadnet.NoVertex && rec.Insts[rt.Orig].P >= alpha {
-				pl.processRef = true
+				sc.plan[gi] |= planRef
 			}
 			if float64(rt.PMax) >= alpha {
-				pl.processNonRefs = true // Lemma 1 does not apply
+				sc.plan[gi] |= planNonRefs // Lemma 1 does not apply
 			}
 		}
 	}
 
-	var out []WhenResult
-	process := func(orig int) error {
-		p := rec.Insts[orig].P
-		if p < alpha {
-			e.instancesSkipped.Add(1)
-			return nil
+	// Group keys are always reference origs, so a single ascending pass
+	// over the instances visits every stamped plan deterministically.
+	n0 := len(dst)
+	for gk := range rec.Insts {
+		gi := off + gk
+		if sc.pstamp[gi] != sc.epoch {
+			continue
 		}
-		pi, err := e.path(j, orig)
-		if err != nil {
-			return err
-		}
-		passages, err := pi.passagesAt(loc)
-		if err != nil {
-			return err
-		}
-		for _, pas := range passages {
-			tk, tk1, err := e.timeAt(j, pas.i, true)
-			if err != nil {
-				return err
-			}
-			out = append(out, WhenResult{
-				Inst: orig,
-				P:    p,
-				T:    tk + int64(pas.frac*float64(tk1-tk)+0.5),
-			})
-		}
-		return nil
-	}
-	for gk, pl := range plans {
-		if pl.processRef || e.DisablePruning {
-			if err := process(gk); err != nil {
-				return nil, err
+		pl := sc.plan[gi]
+		if pl&planRef != 0 || e.DisablePruning {
+			if dst, err = e.appendWhenInst(dst, sc, j, gk, loc, alpha); err != nil {
+				return dst, err
 			}
 		}
-		if pl.processNonRefs {
+		if pl&planNonRefs != 0 {
 			for orig := range rec.Insts {
-				if !rec.Insts[orig].IsRef && rec.Insts[orig].RefOrig == gk {
-					if err := process(orig); err != nil {
-						return nil, err
+				if meta := &rec.Insts[orig]; !meta.IsRef && meta.RefOrig == gk {
+					if dst, err = e.appendWhenInst(dst, sc, j, orig, loc, alpha); err != nil {
+						return dst, err
 					}
 				}
 			}
@@ -498,19 +521,62 @@ func (e *Engine) When(j int, loc roadnet.Position, alpha float64) ([]WhenResult,
 			e.instancesSkipped.Add(1) // Lemma 1 skipped the group's non-refs
 		}
 	}
-	sort.Slice(out, func(a, b int) bool {
-		if out[a].Inst != out[b].Inst {
-			return out[a].Inst < out[b].Inst
+	win := dst[n0:]
+	slices.SortFunc(win, func(a, b WhenResult) int {
+		if a.Inst != b.Inst {
+			return a.Inst - b.Inst
 		}
-		return out[a].T < out[b].T
+		switch {
+		case a.T < b.T:
+			return -1
+		case a.T > b.T:
+			return 1
+		}
+		return 0
 	})
-	return out, nil
+	return dst, nil
+}
+
+// appendWhenInst appends the passages of one instance through loc.
+func (e *Engine) appendWhenInst(dst []WhenResult, sc *whenScratch, j, orig int, loc roadnet.Position, alpha float64) ([]WhenResult, error) {
+	p := e.Arch.Trajs[j].Insts[orig].P
+	if p < alpha {
+		e.instancesSkipped.Add(1)
+		return dst, nil
+	}
+	pi, err := e.path(j, orig)
+	if err != nil {
+		return dst, err
+	}
+	sc.passages, err = pi.appendPassagesAt(sc.passages[:0], loc)
+	if err != nil {
+		return dst, err
+	}
+	for _, pas := range sc.passages {
+		tk, tk1, err := e.timeAt(j, pas.i, true)
+		if err != nil {
+			return dst, err
+		}
+		dst = append(dst, WhenResult{
+			Inst: orig,
+			P:    p,
+			T:    tk + int64(pas.frac*float64(tk1-tk)+0.5),
+		})
+	}
+	return dst, nil
 }
 
 // Range implements the probabilistic range query (Definition 12): the
 // trajectories whose instances inside RE at time t carry total probability
 // >= alpha.
 func (e *Engine) Range(re roadnet.Rect, t int64, alpha float64) ([]int, error) {
+	return e.AppendRange(nil, re, t, alpha)
+}
+
+// AppendRange appends the range-query results to dst and returns the
+// extended slice; recycling dst across queries avoids the per-query
+// result allocation.
+func (e *Engine) AppendRange(dst []int, re roadnet.Rect, t int64, alpha float64) ([]int, error) {
 	interval := e.Ix.IntervalOf(t)
 
 	// Lemma 4 preparation: one pass over the covering cells' buckets
@@ -525,7 +591,10 @@ func (e *Engine) Range(re roadnet.Rect, t int64, alpha float64) ([]int, error) {
 	sc.cells = cells
 	if !e.DisablePruning {
 		for _, cell := range cells {
-			b := e.Ix.Buckets(interval, cell)
+			b, err := e.Ix.Buckets(interval, cell)
+			if err != nil {
+				return dst, err
+			}
 			if b == nil {
 				continue
 			}
@@ -554,7 +623,6 @@ func (e *Engine) Range(re roadnet.Rect, t int64, alpha float64) ([]int, error) {
 		}
 	}
 
-	var out []int
 	for _, j32 := range e.Ix.CandidateTrajs(interval) {
 		j := int(j32)
 		rec := e.Arch.Trajs[j]
@@ -587,7 +655,7 @@ func (e *Engine) Range(re roadnet.Rect, t int64, alpha float64) ([]int, error) {
 			remaining -= p
 			inside, err := e.instanceInside(j, orig, re, i, ti, ti1, t)
 			if err != nil {
-				return nil, err
+				return dst, err
 			}
 			if inside {
 				confirmed += p
@@ -607,10 +675,10 @@ func (e *Engine) Range(re roadnet.Rect, t int64, alpha float64) ([]int, error) {
 			accepted = true
 		}
 		if accepted {
-			out = append(out, j)
+			dst = append(dst, j)
 		}
 	}
-	return out, nil
+	return dst, nil
 }
 
 // instanceInside tests whether the instance overlaps RE at time t, using

@@ -144,10 +144,15 @@ func (pi *lazyPath) locationAt(i int, ti, ti1, t int64) (roadnet.Position, error
 // loc.  Point comparisons on other edges are resolved from the skeleton;
 // only same-edge comparisons decode distances.
 func (pi *lazyPath) passagesAt(loc roadnet.Position) ([]passage, error) {
-	var out []passage
+	return pi.appendPassagesAt(nil, loc)
+}
+
+// appendPassagesAt is passagesAt appending into a caller-owned buffer, so
+// a recycled buffer makes the lookup allocation-free.
+func (pi *lazyPath) appendPassagesAt(out []passage, loc roadnet.Position) ([]passage, error) {
 	n := len(pi.PointEdge)
 	if n == 0 {
-		return nil, nil
+		return out, nil
 	}
 	var ferr error
 	after := func(x int, qcoord float64, k int) bool {
@@ -173,7 +178,7 @@ func (pi *lazyPath) passagesAt(loc roadnet.Position) ([]passage, error) {
 		qcoord := pi.EdgeCum[k] + loc.NDist
 		idx := sort.Search(n, func(x int) bool { return after(x, qcoord, k) })
 		if ferr != nil {
-			return nil, ferr
+			return out, ferr
 		}
 		i := idx - 1
 		if i < 0 {
@@ -181,7 +186,7 @@ func (pi *lazyPath) passagesAt(loc roadnet.Position) ([]passage, error) {
 		}
 		ci, err := pi.coord(i)
 		if err != nil {
-			return nil, err
+			return out, err
 		}
 		if ci > qcoord {
 			continue
@@ -194,7 +199,7 @@ func (pi *lazyPath) passagesAt(loc roadnet.Position) ([]passage, error) {
 		}
 		_, c1, err := pi.orderedCoords(i, i+1)
 		if err != nil {
-			return nil, err
+			return out, err
 		}
 		if qcoord > c1 {
 			continue

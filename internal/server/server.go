@@ -284,6 +284,13 @@ type (
 
 		Engine query.EngineStats `json:"engine"`
 
+		// Memory-serving gauges (PR6): sidecar cache effectiveness and
+		// process residency, so operators can see zero-copy working.
+		SidecarLoads    int64 `json:"sidecarLoads"`
+		SidecarRebuilds int64 `json:"sidecarRebuilds"`
+		MappedBytes     int64 `json:"mappedBytes"`
+		RSSBytes        int64 `json:"rssBytes"`
+
 		// Ingest is present only when the server was started with an
 		// ingester attached.
 		Ingest *IngestStatsJSON `json:"ingest,omitempty"`
@@ -534,22 +541,26 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	st := s.st.Stats()
 	b := s.st.Bounds()
 	resp := StatsResponse{
-		Shards:        st.Shards,
-		BaseShards:    st.BaseShards,
-		DeltaShards:   st.DeltaShards,
-		Tombstones:    st.Tombstones,
-		OpenShards:    st.OpenShards,
-		Trajectories:  st.Trajectories,
-		Assignment:    st.Assignment,
-		Generation:    st.Generation,
-		Compactions:   st.Compactions,
-		TimeMin:       st.TimeMin,
-		TimeMax:       st.TimeMax,
-		Bounds:        RectJSON{MinX: b.MinX, MinY: b.MinY, MaxX: b.MaxX, MaxY: b.MaxY},
-		Engine:        st.Engine,
-		Requests:      s.requests.Load(),
-		Failures:      s.failures.Load(),
-		UptimeSeconds: time.Since(s.started).Seconds(),
+		Shards:          st.Shards,
+		BaseShards:      st.BaseShards,
+		DeltaShards:     st.DeltaShards,
+		Tombstones:      st.Tombstones,
+		OpenShards:      st.OpenShards,
+		Trajectories:    st.Trajectories,
+		Assignment:      st.Assignment,
+		Generation:      st.Generation,
+		Compactions:     st.Compactions,
+		TimeMin:         st.TimeMin,
+		TimeMax:         st.TimeMax,
+		Bounds:          RectJSON{MinX: b.MinX, MinY: b.MinY, MaxX: b.MaxX, MaxY: b.MaxY},
+		Engine:          st.Engine,
+		SidecarLoads:    st.SidecarLoads,
+		SidecarRebuilds: st.SidecarRebuilds,
+		MappedBytes:     st.MappedBytes,
+		RSSBytes:        st.RSSBytes,
+		Requests:        s.requests.Load(),
+		Failures:        s.failures.Load(),
+		UptimeSeconds:   time.Since(s.started).Seconds(),
 	}
 	if s.ing != nil {
 		is := s.ing.Stats()

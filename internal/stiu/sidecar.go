@@ -1,0 +1,530 @@
+// Sidecar persistence for the StIU index ("UTCI" format, FORMAT.md §5).
+//
+// A sidecar freezes a built index so that opening a shard never replays
+// the O(archive) Build walk.  The temporal index and the per-interval
+// candidate sets decode eagerly (they are small and every query's pruning
+// touches them); the per-(interval,region) and per-trajectory region
+// buckets stay as encoded blocks inside the sidecar buffer and
+// materialize on first touch, so Lemma-1/2 pruning over cold intervals
+// costs nothing.  When the buffer is a memory mapping, untouched blocks
+// never even page in.
+//
+// The encoding is deterministic: intervals and regions are emitted in
+// ascending id order and tuple slices keep their build order, so
+// re-encoding a freshly built index is byte-stable.  An index decoded
+// from a sidecar keeps the original buffer and returns it verbatim from
+// EncodeSidecar.
+package stiu
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"math/bits"
+	"sort"
+
+	"utcq/internal/bitio"
+	"utcq/internal/roadnet"
+)
+
+const (
+	sidecarMagic   = "UTCI"
+	sidecarVersion = 1
+	sidecarHdrLen  = 35
+)
+
+// ErrSidecarMismatch reports a sidecar that is well-formed but was written
+// for a different archive or index geometry.
+var ErrSidecarMismatch = fmt.Errorf("stiu: sidecar does not match archive")
+
+// EncodeSidecar serializes the index for an archive of archiveSize bytes.
+// An index decoded from a sidecar for the same archive size returns its
+// original buffer unchanged.
+func (ix *Index) EncodeSidecar(archiveSize int64) ([]byte, error) {
+	if ix.raw != nil {
+		if sz, ok := sidecarArchiveSize(ix.raw); ok && sz == archiveSize {
+			return ix.raw, nil
+		}
+	}
+	if err := ix.Materialize(); err != nil {
+		return nil, err
+	}
+
+	buf := make([]byte, 0, 1<<16)
+	buf = append(buf, sidecarMagic...)
+	buf = binary.LittleEndian.AppendUint16(buf, sidecarVersion)
+	buf = append(buf, 0) // flags
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(ix.Opts.GridNX))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(ix.Opts.GridNY))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(ix.Opts.IntervalDur))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(ix.Temporal)))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(archiveSize))
+
+	// Temporal section.
+	for _, entries := range ix.Temporal {
+		buf = binary.AppendUvarint(buf, uint64(len(entries)))
+		prev := int64(0)
+		for i, e := range entries {
+			if i == 0 {
+				buf = binary.AppendVarint(buf, e.Start)
+			} else {
+				buf = binary.AppendUvarint(buf, uint64(e.Start-prev))
+			}
+			prev = e.Start
+			buf = binary.AppendVarint(buf, int64(e.No))
+			buf = binary.AppendVarint(buf, int64(e.Pos))
+		}
+	}
+
+	// Interval section, ascending id order.
+	ids := make([]int, 0, len(ix.Intervals))
+	for id := range ix.Intervals {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	buf = binary.AppendUvarint(buf, uint64(len(ids)))
+	prevID := 0
+	for i, id := range ids {
+		if i == 0 {
+			buf = binary.AppendVarint(buf, int64(id))
+		} else {
+			buf = binary.AppendUvarint(buf, uint64(id-prevID))
+		}
+		prevID = id
+		iv := ix.Intervals[id]
+		buf = appendEFSet(buf, iv.Trajs)
+		block := encodeRegionBlock(iv.Regions)
+		buf = binary.AppendUvarint(buf, uint64(len(block)))
+		buf = append(buf, block...)
+	}
+
+	// Trajectory-region section.
+	for _, m := range ix.byTrajRegion {
+		block := encodeRegionBlock(m)
+		buf = binary.AppendUvarint(buf, uint64(len(block)))
+		buf = append(buf, block...)
+	}
+	return buf, nil
+}
+
+// sidecarArchiveSize reads the bound archive size from a sidecar header.
+func sidecarArchiveSize(data []byte) (int64, bool) {
+	if len(data) < sidecarHdrLen || string(data[:4]) != sidecarMagic {
+		return 0, false
+	}
+	return int64(binary.LittleEndian.Uint64(data[27:35])), true
+}
+
+// DecodeSidecar rebuilds an index from sidecar bytes.  The buffer may be a
+// read-only memory mapping; decoded structures alias it, so it must stay
+// valid for the index's lifetime.  Any mismatch with the expected geometry
+// or archive returns an error — callers fall back to Build.
+func DecodeSidecar(data []byte, g *roadnet.Graph, numTrajs int, archiveSize int64, opts Options) (*Index, error) {
+	if len(data) < sidecarHdrLen {
+		return nil, fmt.Errorf("stiu: sidecar too short (%d bytes)", len(data))
+	}
+	if string(data[:4]) != sidecarMagic {
+		return nil, fmt.Errorf("stiu: bad sidecar magic %q", data[:4])
+	}
+	if v := binary.LittleEndian.Uint16(data[4:6]); v != sidecarVersion {
+		return nil, fmt.Errorf("stiu: unsupported sidecar version %d", v)
+	}
+	if data[6] != 0 {
+		return nil, fmt.Errorf("stiu: unsupported sidecar flags %#x", data[6])
+	}
+	nx := int(binary.LittleEndian.Uint32(data[7:11]))
+	ny := int(binary.LittleEndian.Uint32(data[11:15]))
+	dur := int64(binary.LittleEndian.Uint64(data[15:23]))
+	nt := int(binary.LittleEndian.Uint32(data[23:27]))
+	sz := int64(binary.LittleEndian.Uint64(data[27:35]))
+	if nx != opts.GridNX || ny != opts.GridNY || dur != opts.IntervalDur ||
+		nt != numTrajs || sz != archiveSize {
+		return nil, fmt.Errorf("%w: header (%dx%d dur=%d trajs=%d size=%d), want (%dx%d dur=%d trajs=%d size=%d)",
+			ErrSidecarMismatch, nx, ny, dur, nt, sz,
+			opts.GridNX, opts.GridNY, opts.IntervalDur, numTrajs, archiveSize)
+	}
+
+	r := &sidecarReader{data: data, off: sidecarHdrLen}
+	ix := &Index{
+		Opts:         opts,
+		Grid:         roadnet.NewGrid(g, opts.GridNX, opts.GridNY),
+		Temporal:     make([][]TemporalEntry, numTrajs),
+		Intervals:    make(map[int]*Interval),
+		byTrajRegion: make([]map[roadnet.RegionID]*RegionBucket, numTrajs),
+		lazyTR:       make([]lazyBlock, numTrajs),
+		raw:          data,
+	}
+
+	// Temporal section.
+	for j := 0; j < numTrajs; j++ {
+		n, err := r.uvarint()
+		if err != nil {
+			return nil, fmt.Errorf("stiu: sidecar temporal[%d]: %w", j, err)
+		}
+		if n > uint64(r.remaining()) {
+			return nil, fmt.Errorf("stiu: sidecar temporal[%d]: count %d overflows buffer", j, n)
+		}
+		entries := make([]TemporalEntry, n)
+		prev := int64(0)
+		for i := range entries {
+			var start int64
+			if i == 0 {
+				start, err = r.varint()
+			} else {
+				var d uint64
+				d, err = r.uvarint()
+				start = prev + int64(d)
+			}
+			if err == nil {
+				prev = start
+				var no, pos int64
+				no, err = r.varint()
+				if err == nil {
+					pos, err = r.varint()
+				}
+				entries[i] = TemporalEntry{Start: start, No: int32(no), Pos: int32(pos)}
+			}
+			if err != nil {
+				return nil, fmt.Errorf("stiu: sidecar temporal[%d]: %w", j, err)
+			}
+		}
+		ix.Temporal[j] = entries
+	}
+
+	// Interval section.
+	nIv, err := r.uvarint()
+	if err != nil {
+		return nil, fmt.Errorf("stiu: sidecar intervals: %w", err)
+	}
+	if nIv > uint64(r.remaining()) {
+		return nil, fmt.Errorf("stiu: sidecar intervals: count %d overflows buffer", nIv)
+	}
+	prevID := int64(0)
+	for i := uint64(0); i < nIv; i++ {
+		var id int64
+		if i == 0 {
+			id, err = r.varint()
+		} else {
+			var d uint64
+			d, err = r.uvarint()
+			id = prevID + int64(d)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("stiu: sidecar interval ids: %w", err)
+		}
+		prevID = id
+		trajs, err := r.efSet(numTrajs)
+		if err != nil {
+			return nil, fmt.Errorf("stiu: sidecar interval %d trajs: %w", id, err)
+		}
+		block, err := r.lenPrefixed()
+		if err != nil {
+			return nil, fmt.Errorf("stiu: sidecar interval %d regions: %w", id, err)
+		}
+		iv := &Interval{Trajs: trajs}
+		iv.lazy.data = block
+		ix.Intervals[int(id)] = iv
+	}
+
+	// Trajectory-region section.
+	for j := 0; j < numTrajs; j++ {
+		block, err := r.lenPrefixed()
+		if err != nil {
+			return nil, fmt.Errorf("stiu: sidecar trajRegion[%d]: %w", j, err)
+		}
+		ix.lazyTR[j].data = block
+	}
+	if r.remaining() != 0 {
+		return nil, fmt.Errorf("stiu: sidecar has %d trailing bytes", r.remaining())
+	}
+	return ix, nil
+}
+
+// Materialize decodes every lazy block.  Built indexes are no-ops.
+func (ix *Index) Materialize() error {
+	for id, iv := range ix.Intervals {
+		if err := iv.force(); err != nil {
+			return fmt.Errorf("stiu: interval %d: %w", id, err)
+		}
+	}
+	for j := range ix.lazyTR {
+		if err := ix.forceTR(j); err != nil {
+			return fmt.Errorf("stiu: trajRegion[%d]: %w", j, err)
+		}
+	}
+	return nil
+}
+
+// --- region block codec ---
+
+func encodeRegionBlock(m map[roadnet.RegionID]*RegionBucket) []byte {
+	ids := make([]roadnet.RegionID, 0, len(m))
+	for id := range m {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+	buf := binary.AppendUvarint(nil, uint64(len(ids)))
+	prev := int64(0)
+	for i, id := range ids {
+		if i == 0 {
+			buf = binary.AppendVarint(buf, int64(id))
+		} else {
+			buf = binary.AppendUvarint(buf, uint64(int64(id)-prev))
+		}
+		prev = int64(id)
+		b := m[id]
+		buf = binary.AppendUvarint(buf, uint64(len(b.Refs)))
+		for _, rt := range b.Refs {
+			buf = binary.AppendVarint(buf, int64(rt.Traj))
+			buf = binary.AppendVarint(buf, int64(rt.Orig))
+			buf = binary.AppendVarint(buf, int64(rt.FV))
+			buf = binary.AppendVarint(buf, int64(rt.FVNo))
+			buf = binary.AppendVarint(buf, int64(rt.DPos))
+			buf = binary.LittleEndian.AppendUint32(buf, math.Float32bits(rt.PTotal))
+			buf = binary.LittleEndian.AppendUint32(buf, math.Float32bits(rt.PMax))
+		}
+		buf = binary.AppendUvarint(buf, uint64(len(b.NonRefs)))
+		for _, nt := range b.NonRefs {
+			buf = binary.AppendVarint(buf, int64(nt.Traj))
+			buf = binary.AppendVarint(buf, int64(nt.Orig))
+			buf = binary.AppendVarint(buf, int64(nt.RefOrig))
+			buf = binary.AppendVarint(buf, int64(nt.RV))
+			buf = binary.AppendVarint(buf, int64(nt.RVNo))
+			buf = binary.AppendVarint(buf, int64(nt.MaPos))
+		}
+	}
+	return buf
+}
+
+func decodeRegionBlock(data []byte) (map[roadnet.RegionID]*RegionBucket, error) {
+	r := &sidecarReader{data: data}
+	n, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(r.remaining())+1 {
+		return nil, fmt.Errorf("region count %d overflows block", n)
+	}
+	m := make(map[roadnet.RegionID]*RegionBucket, n)
+	prev := int64(0)
+	for i := uint64(0); i < n; i++ {
+		var id int64
+		if i == 0 {
+			id, err = r.varint()
+		} else {
+			var d uint64
+			d, err = r.uvarint()
+			id = prev + int64(d)
+		}
+		if err != nil {
+			return nil, err
+		}
+		prev = id
+		b := &RegionBucket{}
+		nr, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if nr > uint64(r.remaining()) {
+			return nil, fmt.Errorf("ref count %d overflows block", nr)
+		}
+		if nr > 0 {
+			b.Refs = make([]RefTuple, nr)
+		}
+		for k := range b.Refs {
+			var traj, orig, fv, fvNo, dPos int64
+			var pt, pm uint32
+			if traj, err = r.varint(); err == nil {
+				if orig, err = r.varint(); err == nil {
+					if fv, err = r.varint(); err == nil {
+						if fvNo, err = r.varint(); err == nil {
+							if dPos, err = r.varint(); err == nil {
+								if pt, err = r.u32(); err == nil {
+									pm, err = r.u32()
+								}
+							}
+						}
+					}
+				}
+			}
+			if err != nil {
+				return nil, err
+			}
+			b.Refs[k] = RefTuple{
+				Traj: int32(traj), Orig: int32(orig),
+				FV: roadnet.VertexID(fv), FVNo: int32(fvNo), DPos: int32(dPos),
+				PTotal: math.Float32frombits(pt), PMax: math.Float32frombits(pm),
+			}
+		}
+		nn, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if nn > uint64(r.remaining()) {
+			return nil, fmt.Errorf("nonref count %d overflows block", nn)
+		}
+		if nn > 0 {
+			b.NonRefs = make([]NonRefTuple, nn)
+		}
+		for k := range b.NonRefs {
+			var traj, orig, refOrig, rv, rvNo, maPos int64
+			if traj, err = r.varint(); err == nil {
+				if orig, err = r.varint(); err == nil {
+					if refOrig, err = r.varint(); err == nil {
+						if rv, err = r.varint(); err == nil {
+							if rvNo, err = r.varint(); err == nil {
+								maPos, err = r.varint()
+							}
+						}
+					}
+				}
+			}
+			if err != nil {
+				return nil, err
+			}
+			b.NonRefs[k] = NonRefTuple{
+				Traj: int32(traj), Orig: int32(orig), RefOrig: int32(refOrig),
+				RV: roadnet.VertexID(rv), RVNo: int32(rvNo), MaPos: int32(maPos),
+			}
+		}
+		m[roadnet.RegionID(id)] = b
+	}
+	if r.remaining() != 0 {
+		return nil, fmt.Errorf("region block has %d trailing bytes", r.remaining())
+	}
+	return m, nil
+}
+
+// --- Elias–Fano sorted-set codec ---
+
+// efLowBits picks the low-bit width for n values over universe u, the
+// standard ⌊log₂(u/n)⌋ split that bounds the encoding near 2+log₂(u/n)
+// bits per value.
+func efLowBits(u, n uint64) int {
+	if n == 0 || u/n == 0 {
+		return 0
+	}
+	return bits.Len64(u/n) - 1
+}
+
+// appendEFSet encodes a sorted slice of distinct non-negative int32s.
+// Layout: uvarint n; if n>0: uvarint max, uvarint blobLen, blob.  The blob
+// interleaves, per value, the unary-coded delta of its high bits with its
+// fixed-width low bits.
+func appendEFSet(buf []byte, vals []int32) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(vals)))
+	if len(vals) == 0 {
+		return buf
+	}
+	u := uint64(vals[len(vals)-1])
+	buf = binary.AppendUvarint(buf, u)
+	l := efLowBits(u, uint64(len(vals)))
+	w := bitio.NewWriter(len(vals) * (l + 2))
+	prevHigh := uint64(0)
+	for _, v := range vals {
+		high := uint64(v) >> l
+		w.WriteUnary(int(high - prevHigh))
+		prevHigh = high
+		if l > 0 {
+			w.WriteBits(uint64(v)&((1<<l)-1), l)
+		}
+	}
+	blob := w.Bytes()
+	buf = binary.AppendUvarint(buf, uint64(len(blob)))
+	return append(buf, blob...)
+}
+
+func (r *sidecarReader) efSet(maxCount int) ([]int32, error) {
+	n, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	if n > uint64(maxCount) {
+		return nil, fmt.Errorf("set of %d values exceeds trajectory count %d", n, maxCount)
+	}
+	u, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	blob, err := r.lenPrefixed()
+	if err != nil {
+		return nil, err
+	}
+	l := efLowBits(u, n)
+	br := bitio.NewReader(blob)
+	out := make([]int32, n)
+	prevHigh := uint64(0)
+	for i := range out {
+		d, err := br.ReadUnary()
+		if err != nil {
+			return nil, err
+		}
+		prevHigh += uint64(d)
+		low := uint64(0)
+		if l > 0 {
+			low, err = br.ReadBits(l)
+			if err != nil {
+				return nil, err
+			}
+		}
+		v := prevHigh<<l | low
+		if v > u {
+			return nil, fmt.Errorf("set value %d exceeds declared max %d", v, u)
+		}
+		out[i] = int32(v)
+	}
+	return out, nil
+}
+
+// --- bounds-checked byte reader ---
+
+type sidecarReader struct {
+	data []byte
+	off  int
+}
+
+func (r *sidecarReader) remaining() int { return len(r.data) - r.off }
+
+func (r *sidecarReader) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(r.data[r.off:])
+	if n <= 0 {
+		return 0, fmt.Errorf("truncated uvarint at offset %d", r.off)
+	}
+	r.off += n
+	return v, nil
+}
+
+func (r *sidecarReader) varint() (int64, error) {
+	v, n := binary.Varint(r.data[r.off:])
+	if n <= 0 {
+		return 0, fmt.Errorf("truncated varint at offset %d", r.off)
+	}
+	r.off += n
+	return v, nil
+}
+
+func (r *sidecarReader) u32() (uint32, error) {
+	if r.remaining() < 4 {
+		return 0, fmt.Errorf("truncated u32 at offset %d", r.off)
+	}
+	v := binary.LittleEndian.Uint32(r.data[r.off:])
+	r.off += 4
+	return v, nil
+}
+
+// lenPrefixed returns a subslice for a uvarint-length-prefixed block.
+func (r *sidecarReader) lenPrefixed() ([]byte, error) {
+	n, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(r.remaining()) {
+		return nil, fmt.Errorf("block of %d bytes overflows buffer at offset %d", n, r.off)
+	}
+	b := r.data[r.off : r.off+int(n) : r.off+int(n)]
+	r.off += int(n)
+	return b, nil
+}

@@ -1,0 +1,226 @@
+package stiu
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"utcq/internal/core"
+	"utcq/internal/gen"
+)
+
+func buildGeneratedIndex(t *testing.T, opts Options) (*core.Archive, *Index) {
+	t.Helper()
+	p := gen.CD()
+	p.Network.Cols, p.Network.Rows = 20, 20
+	ds, err := gen.Build(p, 40, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := core.NewCompressor(ds.Graph, core.DefaultOptions(p.Ts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := c.Compress(ds.Trajectories)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := Build(a, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a, ix
+}
+
+// requireSameIndex compares the query-visible state of two indexes:
+// temporal entries, interval candidate sets and fully materialized region
+// buckets.  It avoids DeepEqual on the Index struct itself, whose lazy
+// bookkeeping legitimately differs between built and decoded instances.
+func requireSameIndex(t *testing.T, want, got *Index) {
+	t.Helper()
+	if err := want.Materialize(); err != nil {
+		t.Fatal(err)
+	}
+	if err := got.Materialize(); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want.Temporal, got.Temporal) {
+		t.Fatal("temporal entries differ")
+	}
+	if len(want.Intervals) != len(got.Intervals) {
+		t.Fatalf("interval count %d != %d", len(got.Intervals), len(want.Intervals))
+	}
+	for id, wiv := range want.Intervals {
+		giv := got.Intervals[id]
+		if giv == nil {
+			t.Fatalf("interval %d missing after decode", id)
+		}
+		if !reflect.DeepEqual(wiv.Trajs, giv.Trajs) {
+			t.Fatalf("interval %d candidate trajs differ", id)
+		}
+		if !reflect.DeepEqual(wiv.Regions, giv.Regions) {
+			t.Fatalf("interval %d region buckets differ", id)
+		}
+	}
+	if !reflect.DeepEqual(want.byTrajRegion, got.byTrajRegion) {
+		t.Fatal("trajectory-region buckets differ")
+	}
+}
+
+func TestSidecarRoundTrip(t *testing.T) {
+	opts := Options{GridNX: 16, GridNY: 16, IntervalDur: 1800}
+	a, ix := buildGeneratedIndex(t, opts)
+	const archiveSize = 123456
+	enc, err := ix.EncodeSidecar(archiveSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := DecodeSidecar(enc, a.Graph, len(a.Trajs), archiveSize, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameIndex(t, ix, dec)
+
+	// A decoded index re-encodes byte-identically (it returns its buffer).
+	enc2, err := dec.EncodeSidecar(archiveSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(enc, enc2) {
+		t.Fatal("re-encoding a decoded sidecar is not byte-stable")
+	}
+	// Encoding the built index twice is deterministic.
+	enc3, err := ix.EncodeSidecar(archiveSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(enc, enc3) {
+		t.Fatal("encoding is nondeterministic")
+	}
+}
+
+func TestSidecarLazyAccess(t *testing.T) {
+	opts := Options{GridNX: 16, GridNY: 16, IntervalDur: 1800}
+	a, ix := buildGeneratedIndex(t, opts)
+	enc, err := ix.EncodeSidecar(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := DecodeSidecar(enc, a.Graph, len(a.Trajs), 1, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Point lookups materialize blocks on demand and agree with the built
+	// index for every (interval, region) and (traj, region) pair.
+	for id, iv := range ix.Intervals {
+		for re, want := range iv.Regions {
+			got, err := dec.Buckets(id, re)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(want, got) {
+				t.Fatalf("bucket (%d,%d) differs", id, re)
+			}
+		}
+	}
+	for j := range ix.byTrajRegion {
+		for re, want := range ix.byTrajRegion[j] {
+			got, err := dec.TrajRegion(j, re)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(want, got) {
+				t.Fatalf("trajRegion (%d,%d) differs", j, re)
+			}
+		}
+	}
+}
+
+func TestSidecarRejectsMismatch(t *testing.T) {
+	opts := Options{GridNX: 16, GridNY: 16, IntervalDur: 1800}
+	a, ix := buildGeneratedIndex(t, opts)
+	enc, err := ix.EncodeSidecar(999)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		run  func() (*Index, error)
+	}{
+		{"wrong archive size", func() (*Index, error) {
+			return DecodeSidecar(enc, a.Graph, len(a.Trajs), 1000, opts)
+		}},
+		{"wrong traj count", func() (*Index, error) {
+			return DecodeSidecar(enc, a.Graph, len(a.Trajs)+1, 999, opts)
+		}},
+		{"wrong grid", func() (*Index, error) {
+			o := opts
+			o.GridNX = 8
+			return DecodeSidecar(enc, a.Graph, len(a.Trajs), 999, o)
+		}},
+		{"wrong interval duration", func() (*Index, error) {
+			o := opts
+			o.IntervalDur = 900
+			return DecodeSidecar(enc, a.Graph, len(a.Trajs), 999, o)
+		}},
+	}
+	for _, tc := range cases {
+		if _, err := tc.run(); err == nil {
+			t.Errorf("%s: decode succeeded, want error", tc.name)
+		}
+	}
+}
+
+// TestSidecarCorruptionIsAnError truncates and bit-flips the encoding at
+// every offset: decode (plus full materialization when decode succeeds)
+// must return an error or a different index, never panic.
+func TestSidecarCorruptionIsAnError(t *testing.T) {
+	opts := Options{GridNX: 8, GridNY: 8, IntervalDur: 1800}
+	a, ix := buildGeneratedIndex(t, opts)
+	enc, err := ix.EncodeSidecar(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 0; cut < len(enc); cut += 7 {
+		if _, err := DecodeSidecar(enc[:cut], a.Graph, len(a.Trajs), 7, opts); err == nil {
+			t.Fatalf("truncation at %d decoded cleanly", cut)
+		}
+	}
+	for off := 0; off < len(enc); off += 11 {
+		mut := bytes.Clone(enc)
+		mut[off] ^= 0x40
+		dec, err := DecodeSidecar(mut, a.Graph, len(a.Trajs), 7, opts)
+		if err != nil {
+			continue
+		}
+		_ = dec.Materialize() // must not panic; errors are acceptable
+	}
+}
+
+func TestEFSetRoundTrip(t *testing.T) {
+	cases := [][]int32{
+		nil,
+		{0},
+		{5},
+		{0, 1, 2, 3, 4},
+		{0, 100},
+		{3, 17, 17 + 64, 1000, 4095, 4096, 1 << 20},
+	}
+	for _, vals := range cases {
+		enc := appendEFSet(nil, vals)
+		r := &sidecarReader{data: enc}
+		got, err := r.efSet(1 << 21)
+		if err != nil {
+			t.Fatalf("%v: %v", vals, err)
+		}
+		if r.remaining() != 0 {
+			t.Fatalf("%v: %d trailing bytes", vals, r.remaining())
+		}
+		if len(vals) == 0 && len(got) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(vals, got) {
+			t.Fatalf("round trip %v -> %v", vals, got)
+		}
+	}
+}

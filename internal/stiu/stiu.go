@@ -16,6 +16,8 @@ package stiu
 import (
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"utcq/internal/core"
 	"utcq/internal/par"
@@ -75,10 +77,27 @@ type RegionBucket struct {
 	NonRefs []NonRefTuple
 }
 
-// Interval is one time partition.
+// Interval is one time partition.  For a built index Regions is populated
+// eagerly; for an index decoded from a sidecar (DecodeSidecar) the region
+// buckets stay as an encoded block inside the sidecar buffer until the
+// first query touches the interval — Lemma-1/2 pruning over untouched
+// intervals never materializes their tuples.
 type Interval struct {
 	Trajs   []int32 // trajectories whose time span intersects the interval
 	Regions map[roadnet.RegionID]*RegionBucket
+
+	lazy lazyBlock
+}
+
+// lazyBlock defers decoding of one sidecar block.  data is nil for built
+// indexes (nothing to decode).  The done flag is the lock-free fast path:
+// its release store happens after the decoded map is written under mu, so
+// an acquire load observing true also observes the map.
+type lazyBlock struct {
+	done atomic.Bool
+	mu   sync.Mutex
+	data []byte
+	err  error
 }
 
 // Index is the StIU index over one archive.
@@ -92,8 +111,15 @@ type Index struct {
 	Intervals map[int]*Interval
 
 	// byTrajRegion[j][re] aggregates, across intervals, the tuple presence
-	// used by the when-query and Lemma 1.
+	// used by the when-query and Lemma 1.  nil entries of lazyTR (sidecar
+	// decode) materialize into it on first touch.
 	byTrajRegion []map[roadnet.RegionID]*RegionBucket
+	lazyTR       []lazyBlock // parallel to byTrajRegion; empty for built indexes
+
+	// raw retains the sidecar buffer an index was decoded from: the lazy
+	// blocks alias it, and EncodeSidecar can return it verbatim instead of
+	// re-encoding a partially materialized index.
+	raw []byte
 }
 
 // IntervalOf returns the time-partition id of t.
@@ -110,18 +136,64 @@ func (ix *Index) FindTemporal(j int, t int64) (TemporalEntry, bool) {
 	return entries[lo-1], true
 }
 
-// Buckets returns the bucket of (interval, region), or nil.
-func (ix *Index) Buckets(interval int, re roadnet.RegionID) *RegionBucket {
+// Buckets returns the bucket of (interval, region), or nil.  The only
+// error source is a corrupt lazily-decoded sidecar block; built indexes
+// never fail.
+func (ix *Index) Buckets(interval int, re roadnet.RegionID) (*RegionBucket, error) {
 	iv := ix.Intervals[interval]
 	if iv == nil {
-		return nil
+		return nil, nil
 	}
-	return iv.Regions[re]
+	if iv.lazy.data != nil && !iv.lazy.done.Load() {
+		if err := iv.force(); err != nil {
+			return nil, err
+		}
+	}
+	return iv.Regions[re], nil
+}
+
+// force materializes the interval's region map from its sidecar block.
+func (iv *Interval) force() error {
+	if iv.lazy.data == nil || iv.lazy.done.Load() {
+		return iv.lazy.err
+	}
+	iv.lazy.mu.Lock()
+	if !iv.lazy.done.Load() {
+		iv.Regions, iv.lazy.err = decodeRegionBlock(iv.lazy.data)
+		iv.lazy.done.Store(true)
+	}
+	iv.lazy.mu.Unlock()
+	return iv.lazy.err
 }
 
 // TrajRegion returns the aggregated bucket of trajectory j and region re.
-func (ix *Index) TrajRegion(j int, re roadnet.RegionID) *RegionBucket {
-	return ix.byTrajRegion[j][re]
+func (ix *Index) TrajRegion(j int, re roadnet.RegionID) (*RegionBucket, error) {
+	if len(ix.lazyTR) > 0 {
+		lz := &ix.lazyTR[j]
+		if lz.data != nil && !lz.done.Load() {
+			if err := ix.forceTR(j); err != nil {
+				return nil, err
+			}
+		} else if lz.err != nil {
+			return nil, lz.err
+		}
+	}
+	return ix.byTrajRegion[j][re], nil
+}
+
+// forceTR materializes trajectory j's region map from its sidecar block.
+func (ix *Index) forceTR(j int) error {
+	lz := &ix.lazyTR[j]
+	if lz.data == nil || lz.done.Load() {
+		return lz.err
+	}
+	lz.mu.Lock()
+	if !lz.done.Load() {
+		ix.byTrajRegion[j], lz.err = decodeRegionBlock(lz.data)
+		lz.done.Store(true)
+	}
+	lz.mu.Unlock()
+	return lz.err
 }
 
 // CandidateTrajs returns the trajectories active in the interval.
@@ -154,8 +226,12 @@ func (ix *Index) TemporalSizeBits() int64 {
 }
 
 // SpatialSizeBits returns the spatial index size, given the vertex id
-// width of the archive.
+// width of the archive.  Sidecar-backed indexes are fully materialized
+// first so the accounting covers untouched intervals.
 func (ix *Index) SpatialSizeBits(vertexBits int) int64 {
+	if err := ix.Materialize(); err != nil {
+		return 0
+	}
 	n := int64(0)
 	for _, iv := range ix.Intervals {
 		for _, b := range iv.Regions {

@@ -109,7 +109,10 @@ func TestTrajRegionAggregation(t *testing.T) {
 	fx, _, ix := buildFixtureIndex(t, Options{GridNX: 8, GridNY: 8, IntervalDur: 1800})
 	// The region of v9 (only Tu13 goes there, p = 0.05).
 	re9 := ix.Grid.CellOf(6400, -790)
-	b := ix.TrajRegion(0, re9)
+	b, err := ix.TrajRegion(0, re9)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if b == nil {
 		t.Fatalf("no tuples for the v9 region")
 	}

@@ -1,7 +1,9 @@
 package store
 
 import (
+	"fmt"
 	"math/rand"
+	"os"
 	"testing"
 
 	"utcq/internal/gen"
@@ -84,6 +86,81 @@ func BenchmarkStoreRange(b *testing.B) {
 		re := roadnet.Rect{MinX: x, MinY: y, MaxX: x + 0.25*w, MaxY: y + 0.25*h}
 		tq := lo + rng.Int63n(hi-lo+1)
 		if _, err := st.s.Range(re, tq, 0.2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// coldDirs lazily saves stores of two sizes for the cold-open benchmarks.
+var coldDirs = map[int]string{}
+
+func coldDir(b *testing.B, n int) (string, *gen.Dataset) {
+	b.Helper()
+	p := gen.CD()
+	p.Network.Cols, p.Network.Rows = 24, 24
+	ds, err := gen.Build(p, n, 9)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dir, ok := coldDirs[n]
+	if !ok {
+		opts := DefaultOptions(p.Ts)
+		opts.NumShards = 4
+		opts.Index = testIndexOpts
+		s, err := Build(ds.Graph, ds.Trajectories, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Not b.TempDir(): the directory is cached across benchmarks, and
+		// b.TempDir is removed when the creating benchmark returns.
+		dir, err = os.MkdirTemp("", "utcq-coldopen-*")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := s.Save(dir); err != nil {
+			b.Fatal(err)
+		}
+		coldDirs[n] = dir
+	}
+	return dir, ds
+}
+
+// BenchmarkStoreColdOpen measures Open plus full shard residency.  With
+// mmap and a valid sidecar both scale with the index, not the record
+// payload, so the per-trajectory cost should be far below decode cost —
+// compare the trajs=120 and trajs=480 lines.
+func BenchmarkStoreColdOpen(b *testing.B) {
+	for _, n := range []int{120, 480} {
+		b.Run(fmt.Sprintf("trajs=%d", n), func(b *testing.B) {
+			dir, ds := coldDir(b, n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s, err := Open(dir, ds.Graph, OpenOptions{Eager: true})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if st := s.Stats(); st.SidecarRebuilds != 0 {
+					b.Fatalf("cold open rebuilt %d sidecars", st.SidecarRebuilds)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkStoreFirstQuery measures time-to-first-answer from a cold
+// directory: a lazy Open plus one Where, the latency a restarted server
+// pays on its first request.
+func BenchmarkStoreFirstQuery(b *testing.B) {
+	dir, ds := coldDir(b, 120)
+	T := ds.Trajectories[0].T
+	tq := (T[0] + T[len(T)-1]) / 2
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := Open(dir, ds.Graph, OpenOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := s.Where(0, tq, 0.2); err != nil {
 			b.Fatal(err)
 		}
 	}

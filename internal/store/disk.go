@@ -2,11 +2,14 @@ package store
 
 import (
 	"fmt"
+	"hash/crc32"
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 
 	"utcq/internal/core"
+	"utcq/internal/mmapio"
 	"utcq/internal/par"
 	"utcq/internal/query"
 	"utcq/internal/roadnet"
@@ -17,6 +20,9 @@ import (
 // Ids are never reused, so a name can never refer to two different shard
 // populations across generations.
 func shardFile(id uint32) string { return fmt.Sprintf("shard-%04d.utcq", id) }
+
+// sidecarFile returns the StIU sidecar file name of a shard (FORMAT.md §5).
+func sidecarFile(id uint32) string { return fmt.Sprintf("shard-%04d.stiu", id) }
 
 // writeFileAtomic writes a file via a temporary sibling and renames it into
 // place, fsyncing the file first, so a crash mid-write can never leave a
@@ -59,12 +65,57 @@ func syncDir(dir string) {
 	}
 }
 
-// writeShardFile persists one shard archive atomically.
-func writeShardFile(dir string, id uint32, arch *core.Archive) error {
-	if err := writeFileAtomic(dir, shardFile(id), arch.Save); err != nil {
-		return fmt.Errorf("store: save shard %d: %w", id, err)
+// countingWriter tracks how many bytes passed through it.
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (cw *countingWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.n += int64(n)
+	return n, err
+}
+
+// writeShardFile persists one shard archive atomically and returns its
+// exact length, which the manifest records for open-time validation.
+func writeShardFile(dir string, id uint32, arch *core.Archive) (int64, error) {
+	var size int64
+	err := writeFileAtomic(dir, shardFile(id), func(w io.Writer) error {
+		cw := &countingWriter{w: w}
+		if err := arch.Save(cw); err != nil {
+			return err
+		}
+		size = cw.n
+		return nil
+	})
+	if err != nil {
+		return 0, fmt.Errorf("store: save shard %d: %w", id, err)
 	}
-	return nil
+	return size, nil
+}
+
+// writeShardArtifacts persists a shard's archive and its StIU sidecar and
+// returns the archive length plus the sidecar checksum for the manifest
+// entry.  The sidecar is an optimization, never a source of truth: if the
+// index cannot be encoded the shard is still durable and openers rebuild.
+func writeShardArtifacts(dir string, id uint32, arch *core.Archive, ix *stiu.Index) (uint64, uint32, error) {
+	size, err := writeShardFile(dir, id, arch)
+	if err != nil {
+		return 0, 0, err
+	}
+	enc, err := ix.EncodeSidecar(size)
+	if err != nil {
+		return uint64(size), 0, fmt.Errorf("store: encode sidecar %d: %w", id, err)
+	}
+	err = writeFileAtomic(dir, sidecarFile(id), func(w io.Writer) error {
+		_, werr := w.Write(enc)
+		return werr
+	})
+	if err != nil {
+		return 0, 0, fmt.Errorf("store: save sidecar %d: %w", id, err)
+	}
+	return uint64(size), crc32.ChecksumIEEE(enc), nil
 }
 
 // writeManifestFile persists the manifest atomically.  Because readers
@@ -90,11 +141,11 @@ func (s *Store) Save(dir string) error {
 	defer s.mu.Unlock()
 	v := s.v.Load()
 	type item struct {
-		id  uint32
-		eng *query.Engine
+		slot int
+		eng  *query.Engine
 	}
 	var items []item
-	for _, sh := range v.shards {
+	for slot, sh := range v.shards {
 		if sh == nil {
 			continue
 		}
@@ -102,19 +153,28 @@ func (s *Store) Save(dir string) error {
 		if eng == nil {
 			return fmt.Errorf("store: cannot save: shard %d not resident", sh.id)
 		}
-		items = append(items, item{sh.id, eng})
+		items = append(items, item{slot, eng})
 	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
+	// The written manifest records each shard's file length and sidecar
+	// checksum, so the catalogue entries are filled on a copy and swapped
+	// in with the directory binding.
+	man := v.man.clone()
 	for _, it := range items {
-		if err := writeShardFile(dir, it.id, it.eng.Arch); err != nil {
+		id := man.entries[it.slot].id
+		nbytes, crc, err := writeShardArtifacts(dir, id, it.eng.Arch, it.eng.Ix)
+		if err != nil {
 			return err
 		}
+		man.entries[it.slot].bytes = nbytes
+		man.entries[it.slot].sidecarCRC = crc
 	}
-	if err := writeManifestFile(dir, v.man); err != nil {
+	if err := writeManifestFile(dir, man); err != nil {
 		return err
 	}
+	s.v.Store(newView(man, v.shards))
 	s.dir.Store(&dir)
 	return nil
 }
@@ -138,8 +198,9 @@ type OpenOptions struct {
 // Open reads a store directory written by Save (or grown by ApplyDelta /
 // Compact) and attaches the road network (which, as with core.Load, is not
 // serialized).  Only the manifest is read up front: each shard's archive
-// is loaded — and its StIU index rebuilt at the granularity the manifest
-// records — on the first query that touches it, unless opts.Eager is set.
+// is memory-mapped — and its StIU index decoded from the checksummed
+// sidecar, or rebuilt when the sidecar is missing or stale — on the first
+// query that touches it, unless opts.Eager is set.
 func Open(dir string, g *roadnet.Graph, opts OpenOptions) (*Store, error) {
 	f, err := os.Open(filepath.Join(dir, ManifestName))
 	if err != nil {
@@ -191,24 +252,90 @@ func Open(dir string, g *roadnet.Graph, opts OpenOptions) (*Store, error) {
 	return s, nil
 }
 
-// openShard loads a shard's archive from the store directory and rebuilds
-// its StIU index.  Callers hold the shard lock.
-func (s *Store) openShard(sh *shard) (*query.Engine, error) {
-	f, err := os.Open(filepath.Join(s.dirPath(), shardFile(sh.id)))
+// releaseMap is the shared cleanup target for mmap references owned by
+// decoded objects (a named function so every cleanup reuses one closure).
+func releaseMap(m *mmapio.Map) { m.Release() }
+
+// openShard maps a shard's archive from the store directory and attaches
+// its StIU index — decoded from the sidecar when the manifest checksum
+// vouches for it, rebuilt from the archive otherwise.  Callers hold the
+// shard lock.
+//
+// The archive decode is zero-copy: record bitstreams alias the mapping,
+// so pages fault in when queries touch them, not at open.  Because
+// Compact moves TrajRecord pointers into merged archives that outlive
+// this shard's engine, the mapping's lifetime cannot follow the engine;
+// instead every record retains the mapping and releases it from a GC
+// cleanup, so the file is unmapped exactly when the last record (or the
+// sidecar-backed index, for its own mapping) becomes unreachable.
+func (s *Store) openShard(sh *shard, e *shardEntry) (*query.Engine, error) {
+	m, err := mmapio.Open(filepath.Join(s.dirPath(), shardFile(sh.id)))
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
-	arch, err := core.Load(f, s.graph)
+	data := m.Data()
+	if e.bytes != 0 && uint64(len(data)) != e.bytes {
+		m.Release()
+		return nil, fmt.Errorf("shard file is %d bytes, manifest records %d: truncated or foreign file", len(data), e.bytes)
+	}
+	arch, err := core.LoadBytes(data, s.graph)
 	if err != nil {
+		m.Release()
 		return nil, err
 	}
 	if got, want := len(arch.Trajs), len(sh.globals); got != want {
+		m.Release()
 		return nil, fmt.Errorf("%d trajectories on disk, manifest says %d", got, want)
 	}
-	ix, err := stiu.Build(arch, s.indexOptions())
-	if err != nil {
-		return nil, err
+	if m.Mapped() {
+		for _, tr := range arch.Trajs {
+			m.Retain()
+			runtime.AddCleanup(tr, releaseMap, m)
+		}
 	}
+	ix := s.loadSidecar(sh.id, e, arch, int64(len(data)))
+	if ix == nil {
+		s.sidecarRebuilds.Add(1)
+		if ix, err = stiu.Build(arch, s.indexOptions()); err != nil {
+			m.Release()
+			return nil, err
+		}
+	} else {
+		s.sidecarLoads.Add(1)
+	}
+	// Drop the creator reference: for a heap read the archive's aliases
+	// keep the buffer alive through the GC, for a mapping the per-record
+	// references do.
+	m.Release()
 	return query.NewEngineWithOptions(arch, ix, s.opts.Engine), nil
+}
+
+// loadSidecar returns the shard's persisted StIU index, or nil when the
+// shard has no usable sidecar — absent, checksum mismatch, or undecodable.
+// A nil return is never an error: the sidecar is a cache of the index, so
+// the caller silently rebuilds from the archive.
+func (s *Store) loadSidecar(id uint32, e *shardEntry, arch *core.Archive, archiveSize int64) *stiu.Index {
+	if e.sidecarCRC == 0 {
+		return nil
+	}
+	m, err := mmapio.Open(filepath.Join(s.dirPath(), sidecarFile(id)))
+	if err != nil {
+		return nil
+	}
+	data := m.Data()
+	if crc32.ChecksumIEEE(data) != e.sidecarCRC {
+		m.Release()
+		return nil
+	}
+	ix, err := stiu.DecodeSidecar(data, s.graph, len(arch.Trajs), archiveSize, s.indexOptions())
+	if err != nil {
+		m.Release()
+		return nil
+	}
+	if m.Mapped() {
+		m.Retain()
+		runtime.AddCleanup(ix, releaseMap, m)
+	}
+	m.Release()
+	return ix
 }

@@ -21,7 +21,7 @@ import (
 // (core.LEWriter/LEReader); docs/FORMAT.md specifies the layout
 // normatively.
 //
-// Version 2 layout (little endian):
+// Version 3 layout (little endian):
 //
 //	magic "UTCS" | version u16
 //	assignment u8
@@ -30,17 +30,23 @@ import (
 //	timeMin i64 | timeMax i64
 //	graphHash u64                 (roadnet.Graph.Fingerprint of the build network)
 //	nextShardID u32 | numEntries u32
-//	entries: numEntries × (id u32 | flags u8 | count u32 | 4 × f64 bounds)
+//	entries: numEntries × (id u32 | flags u8 | count u32 | 4 × f64 bounds
+//	                       | bytes u64 | sidecarCRC u32)
 //	         flags bit0 = delta shard, bit1 = tombstone
 //	numTrajs u32
 //	shardOf: numTrajs × u32       (global trajectory id → live shard id)
 //
-// Version 1 (the read-only store of PR 3) is still read: it maps to
-// generation 1, walApplied 0, and one live base entry per shard with
-// id = shard index.  Writers always emit version 2.
+// Version 3 added the per-entry archive file length (openShard fails fast
+// on a truncated shard file instead of decoding garbage) and the CRC-32
+// (IEEE) of the shard's StIU sidecar file; a zero CRC means "no sidecar —
+// rebuild the index from the archive".  Versions 1 (the read-only store of
+// PR 3) and 2 (the mutable store) are still read; their entries carry
+// bytes = 0 (length unknown, not validated) and sidecarCRC = 0.  Writers
+// always emit version 3.
 const (
 	manifestMagic      = "UTCS"
-	manifestVersion    = 2
+	manifestVersion    = 3
+	manifestVersionV2  = 2
 	manifestVersionV1  = 1
 	entryFlagDelta     = 1 << 0
 	entryFlagTombstone = 1 << 1
@@ -84,6 +90,16 @@ type shardEntry struct {
 	// shards whose bounds miss the query rectangle — without opening
 	// them.  An empty shard has an inverted rectangle (MinX > MaxX).
 	bounds roadnet.Rect
+
+	// bytes is the shard archive's exact file length; openShard rejects a
+	// file of any other size before decoding.  0 (pre-v3 manifests) skips
+	// the check.
+	bytes uint64
+
+	// sidecarCRC is the CRC-32 (IEEE) of the shard's StIU sidecar file;
+	// openShard decodes the sidecar only when the checksum matches and
+	// silently rebuilds the index otherwise.  0 means no sidecar.
+	sidecarCRC uint32
 }
 
 // manifest is the decoded form.
@@ -137,7 +153,7 @@ func (m *manifest) liveShards() int {
 	return n
 }
 
-// write serializes the manifest (always version 2).
+// write serializes the manifest (always version 3).
 func (m *manifest) write(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	if _, err := bw.WriteString(manifestMagic); err != nil {
@@ -184,6 +200,12 @@ func (m *manifest) write(w io.Writer) error {
 				return err
 			}
 		}
+		if err := lw.U64(e.bytes); err != nil {
+			return err
+		}
+		if err := lw.U32(e.sidecarCRC); err != nil {
+			return err
+		}
 	}
 	if err := lw.U32(uint32(len(m.shardOf))); err != nil {
 		return err
@@ -214,15 +236,15 @@ func readManifest(r io.Reader) (*manifest, error) {
 	switch version {
 	case manifestVersionV1:
 		return readManifestV1(lr)
-	case manifestVersion:
-		return readManifestV2(lr)
+	case manifestVersionV2, manifestVersion:
+		return readManifestV2(lr, version)
 	}
 	return nil, fmt.Errorf("store: unsupported manifest version %d", version)
 }
 
-// readManifestV2 decodes the current layout (the magic and version are
-// already consumed).
-func readManifestV2(lr *core.LEReader) (*manifest, error) {
+// readManifestV2 decodes the version 2 and 3 layouts (the magic and
+// version are already consumed); version 3 entries carry two extra fields.
+func readManifestV2(lr *core.LEReader, version uint16) (*manifest, error) {
 	m := &manifest{}
 	am, err := lr.U8()
 	if err != nil {
@@ -301,6 +323,14 @@ func readManifestV2(lr *core.LEReader) (*manifest, error) {
 			}
 		}
 		e.bounds = roadnet.Rect{MinX: vals[0], MinY: vals[1], MaxX: vals[2], MaxY: vals[3]}
+		if version >= manifestVersion {
+			if e.bytes, err = lr.U64(); err != nil {
+				return nil, err
+			}
+			if e.sidecarCRC, err = lr.U32(); err != nil {
+				return nil, err
+			}
+		}
 	}
 	if m.liveShards() == 0 {
 		return nil, errors.New("store: manifest has no live shards")

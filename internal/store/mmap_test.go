@@ -1,0 +1,131 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"utcq/internal/gen"
+	"utcq/internal/mmapio"
+)
+
+// saveStore persists a freshly built store and returns its directory.
+func saveStore(t *testing.T, s *Store) string {
+	t.Helper()
+	dir := t.TempDir()
+	if err := s.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+// TestStoreMmapHeapIdentical is the zero-copy correctness property: a
+// store opened through the mmap path and one opened through the heap
+// fallback (UTCQ_NO_MMAP=1) answer every query exactly like the
+// single-archive reference engine, and both serve every shard's index
+// from the persisted sidecar without a rebuild.
+func TestStoreMmapHeapIdentical(t *testing.T) {
+	profiles := []gen.Profile{gen.DK(), gen.CD(), gen.HZ()}
+	for _, p := range profiles {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			bc := buildReference(t, p, 30, 17)
+			dir := saveStore(t, buildStore(t, bc, 3, AssignHash))
+			for _, mode := range []string{"mmap", "heap"} {
+				mode := mode
+				t.Run(mode, func(t *testing.T) {
+					if mode == "heap" {
+						t.Setenv(mmapio.NoMmapEnv, "1")
+					} else {
+						// Force mapping even when the whole package runs
+						// under UTCQ_NO_MMAP=1 (the CI fallback pass).
+						t.Setenv(mmapio.NoMmapEnv, "")
+					}
+					s, err := Open(dir, bc.ds.Graph, OpenOptions{Eager: true})
+					if err != nil {
+						t.Fatal(err)
+					}
+					st := s.Stats()
+					if st.SidecarLoads != int64(s.NumShards()) || st.SidecarRebuilds != 0 {
+						t.Fatalf("sidecar loads=%d rebuilds=%d, want %d/0",
+							st.SidecarLoads, st.SidecarRebuilds, s.NumShards())
+					}
+					// MappedBytes is a process-wide gauge, so only the
+					// positive direction is assertable per subtest.
+					if mode == "mmap" && st.MappedBytes == 0 {
+						t.Error("eagerly opened store reports no mapped bytes")
+					}
+					checkStoreMatchesEngine(t, bc, s, 23)
+				})
+			}
+		})
+	}
+}
+
+// TestSidecarCorruptRebuild flips one byte of a sidecar: the checksum
+// mismatch must silently fall back to rebuilding that shard's index —
+// identical query results, no error, no panic.
+func TestSidecarCorruptRebuild(t *testing.T) {
+	bc := buildReference(t, gen.CD(), 30, 19)
+	dir := saveStore(t, buildStore(t, bc, 3, AssignHash))
+	path := filepath.Join(dir, sidecarFile(1))
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0x01
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := Open(dir, bc.ds.Graph, OpenOptions{Eager: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.SidecarRebuilds != 1 || st.SidecarLoads != 2 {
+		t.Fatalf("sidecar loads=%d rebuilds=%d, want 2/1", st.SidecarLoads, st.SidecarRebuilds)
+	}
+	checkStoreMatchesEngine(t, bc, s, 29)
+}
+
+// TestMissingSidecarRebuilds deletes a sidecar outright: the open must
+// rebuild (not fail), covering stores written before sidecars existed.
+func TestMissingSidecarRebuilds(t *testing.T) {
+	bc := buildReference(t, gen.CD(), 20, 31)
+	dir := saveStore(t, buildStore(t, bc, 2, AssignHash))
+	if err := os.Remove(filepath.Join(dir, sidecarFile(0))); err != nil {
+		t.Fatal(err)
+	}
+	s, err := Open(dir, bc.ds.Graph, OpenOptions{Eager: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.SidecarRebuilds != 1 {
+		t.Fatalf("sidecar rebuilds = %d, want 1", st.SidecarRebuilds)
+	}
+	checkStoreMatchesEngine(t, bc, s, 37)
+}
+
+// TestOpenRejectsTruncatedShard truncates a shard archive: the manifest
+// records its exact length, so the open fails fast with a descriptive
+// error instead of decoding garbage.
+func TestOpenRejectsTruncatedShard(t *testing.T) {
+	bc := buildReference(t, gen.CD(), 20, 41)
+	dir := saveStore(t, buildStore(t, bc, 2, AssignHash))
+	path := filepath.Join(dir, shardFile(0))
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, raw[:len(raw)-7], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = Open(dir, bc.ds.Graph, OpenOptions{Eager: true})
+	if err == nil {
+		t.Fatal("open succeeded on a truncated shard file")
+	}
+	if !strings.Contains(err.Error(), "manifest records") {
+		t.Fatalf("error does not name the manifest-recorded size: %v", err)
+	}
+}

@@ -44,6 +44,7 @@ import (
 	"sync/atomic"
 
 	"utcq/internal/core"
+	"utcq/internal/mmapio"
 	"utcq/internal/par"
 	"utcq/internal/query"
 	"utcq/internal/roadnet"
@@ -217,6 +218,15 @@ type Store struct {
 	// mutation counters (monotonic, survive only the process).
 	deltasApplied  atomic.Int64
 	compactionsRun atomic.Int64
+
+	// sidecar accounting: opens served from a persisted StIU sidecar vs.
+	// index rebuilds from the archive (missing/stale sidecar).
+	sidecarLoads    atomic.Int64
+	sidecarRebuilds atomic.Int64
+
+	// gatherPool recycles the per-slot result buffers of Range's
+	// scatter-gather across queries.
+	gatherPool sync.Pool
 }
 
 // Build compresses and indexes the trajectories into a sharded in-memory
@@ -475,7 +485,7 @@ func (s *Store) engine(v *view, slot int) (*query.Engine, error) {
 	if s.dirPath() == "" {
 		return nil, fmt.Errorf("store: shard %d not built", sh.id)
 	}
-	eng, err := s.openShard(sh)
+	eng, err := s.openShard(sh, &v.man.entries[slot])
 	if err != nil {
 		return nil, fmt.Errorf("store: open shard %d: %w", sh.id, err)
 	}
@@ -531,7 +541,8 @@ func (s *Store) When(j int, loc roadnet.Position, alpha float64) ([]query.WhenRe
 // assignment the bounds overlap and every shard is queried.
 func (s *Store) Range(re roadnet.Rect, t int64, alpha float64) ([]int, error) {
 	v := s.v.Load()
-	parts := make([][]int, len(v.shards))
+	gs := s.getGather(len(v.shards))
+	defer s.putGather(gs)
 	err := par.Do(par.Workers(s.opts.Parallelism), len(v.shards), func(slot int) error {
 		sh := v.shards[slot]
 		if sh == nil {
@@ -551,29 +562,55 @@ func (s *Store) Range(re roadnet.Rect, t int64, alpha float64) ([]int, error) {
 		if err != nil {
 			return err
 		}
-		locals, err := eng.Range(re, t, alpha)
+		part, err := eng.AppendRange(gs.parts[slot][:0], re, t, alpha)
+		gs.parts[slot] = part // keep any grown capacity for reuse
 		if err != nil {
 			return err
 		}
-		if len(locals) == 0 {
-			return nil
+		// Translate local ids to globals in place.
+		for i, l := range part {
+			part[i] = int(sh.globals[l])
 		}
-		globals := make([]int, len(locals))
-		for i, l := range locals {
-			globals[i] = int(sh.globals[l])
-		}
-		parts[slot] = globals
 		return nil
 	})
 	if err != nil {
 		return nil, err
 	}
-	var out []int
-	for _, p := range parts {
-		out = append(out, p...)
+	total := 0
+	for slot := range v.shards {
+		total += len(gs.parts[slot])
+	}
+	out := make([]int, 0, total)
+	for slot := range v.shards {
+		out = append(out, gs.parts[slot]...)
 	}
 	sort.Ints(out)
 	return out, nil
+}
+
+// gatherScratch is Range's reusable scatter-gather buffer set: one result
+// slice per shard slot, recycled across queries so the merge allocates
+// only the exact-size output.
+type gatherScratch struct {
+	parts [][]int
+}
+
+func (s *Store) getGather(slots int) *gatherScratch {
+	gs, ok := s.gatherPool.Get().(*gatherScratch)
+	if !ok {
+		gs = &gatherScratch{}
+	}
+	for len(gs.parts) < slots {
+		gs.parts = append(gs.parts, nil)
+	}
+	return gs
+}
+
+func (s *Store) putGather(gs *gatherScratch) {
+	for i := range gs.parts {
+		gs.parts[i] = gs.parts[i][:0]
+	}
+	s.gatherPool.Put(gs)
 }
 
 // coreOptions returns the compression parameters new delta shards are
@@ -649,9 +686,12 @@ func (s *Store) ApplyDelta(tus []*traj.Uncertain, walApplied uint64) (uint64, er
 		sh.eng.Store(eng)
 		shards = append(shards, sh)
 		if dir := s.dirPath(); dir != "" {
-			if err := writeShardFile(dir, id, eng.Arch); err != nil {
+			nbytes, crc, err := writeShardArtifacts(dir, id, eng.Arch, eng.Ix)
+			if err != nil {
 				return 0, err
 			}
+			ent := &man.entries[len(man.entries)-1]
+			ent.bytes, ent.sidecarCRC = nbytes, crc
 		}
 	}
 	if dir := s.dirPath(); dir != "" {
@@ -784,14 +824,23 @@ func (s *Store) Compact() (int, error) {
 	man.entries, shards = keepE, keepS
 
 	if dir := s.dirPath(); dir != "" {
-		if err := writeShardFile(dir, id, merged); err != nil {
+		nbytes, crc, err := writeShardArtifacts(dir, id, merged, ix)
+		if err != nil {
 			return 0, err
+		}
+		for i := range man.entries {
+			if man.entries[i].id == id {
+				man.entries[i].bytes, man.entries[i].sidecarCRC = nbytes, crc
+			}
 		}
 		if err := writeManifestFile(dir, man); err != nil {
 			return 0, err
 		}
 		for _, gid := range gcIDs {
-			_ = os.Remove(filepath.Join(dir, shardFile(gid))) // best-effort
+			// Best-effort: mapped readers of older generations keep their
+			// pages (POSIX keeps unlinked mapped files readable).
+			_ = os.Remove(filepath.Join(dir, shardFile(gid)))
+			_ = os.Remove(filepath.Join(dir, sidecarFile(gid)))
 		}
 	}
 	s.v.Store(newView(man, shards))
@@ -842,6 +891,18 @@ type Stats struct {
 	DeltasApplied int64
 	Compactions   int64
 
+	// SidecarLoads / SidecarRebuilds count shard opens whose StIU index
+	// came from the persisted sidecar vs. was rebuilt from the archive.
+	SidecarLoads    int64
+	SidecarRebuilds int64
+
+	// MappedBytes is the process-wide total of live file mappings (shard
+	// archives and sidecars); RSSBytes is the process resident set (0 when
+	// the platform cannot report it).  Together they show how much of the
+	// mapped data is actually paged in.
+	MappedBytes int64
+	RSSBytes    int64
+
 	// Engine is the sum of the open shards' engine counters; CacheBudget is
 	// summed across shards (total entry budget of the store).
 	Engine query.EngineStats
@@ -853,14 +914,18 @@ type Stats struct {
 func (s *Store) Stats() Stats {
 	v := s.v.Load()
 	st := Stats{
-		Trajectories:  len(v.man.shardOf),
-		Assignment:    v.man.assignment.String(),
-		Generation:    v.man.generation,
-		WALApplied:    v.man.walApplied,
-		TimeMin:       v.man.timeMin,
-		TimeMax:       v.man.timeMax,
-		DeltasApplied: s.deltasApplied.Load(),
-		Compactions:   s.compactionsRun.Load(),
+		Trajectories:    len(v.man.shardOf),
+		Assignment:      v.man.assignment.String(),
+		Generation:      v.man.generation,
+		WALApplied:      v.man.walApplied,
+		TimeMin:         v.man.timeMin,
+		TimeMax:         v.man.timeMax,
+		DeltasApplied:   s.deltasApplied.Load(),
+		Compactions:     s.compactionsRun.Load(),
+		SidecarLoads:    s.sidecarLoads.Load(),
+		SidecarRebuilds: s.sidecarRebuilds.Load(),
+		MappedBytes:     mmapio.MappedBytes(),
+		RSSBytes:        mmapio.ResidentSetBytes(),
 	}
 	for slot, e := range v.man.entries {
 		if e.dead {
