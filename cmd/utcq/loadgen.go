@@ -8,6 +8,7 @@ import (
 	"math/rand"
 	"net/http"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -32,8 +33,50 @@ type loadgenResult struct {
 	requests  int64
 	queries   int64
 	failures  int64
+	retries   int64           // transient failures recovered by backoff
+	giveups   int64           // requests abandoned after the retry budget
 	latencies []time.Duration // per request, pooled across workers
 	elapsed   time.Duration
+}
+
+// retryCounters aggregate the pool's backoff activity: retries is every
+// re-sent request, giveups every request abandoned with its budget spent.
+type retryCounters struct {
+	retries atomic.Int64
+	giveups atomic.Int64
+}
+
+// Retry policy for transient failures: a server shedding load (429), in
+// transient degradation (5xx) or dropping connections gets a bounded
+// number of re-sends with capped exponential backoff and jitter, so a
+// blip degrades throughput instead of inflating the failure count — and
+// a thundering herd of synchronized workers cannot form.
+const (
+	retryAttempts = 5
+	retryBase     = 50 * time.Millisecond
+	retryCap      = 2 * time.Second
+)
+
+// retryableStatus reports whether an HTTP status is worth re-sending:
+// explicit shedding and server-side transients, never other 4xx (the
+// request itself is wrong and will fail identically).
+func retryableStatus(code int) bool {
+	return code == http.StatusTooManyRequests || code >= 500
+}
+
+// backoffDelay returns the attempt's sleep: exponential from retryBase,
+// capped, with uniform jitter in [delay/2, delay).  A server-provided
+// Retry-After (whole seconds) takes precedence when longer.
+func backoffDelay(attempt int, retryAfter time.Duration, rng *rand.Rand) time.Duration {
+	delay := retryBase << attempt
+	if delay > retryCap {
+		delay = retryCap
+	}
+	delay = delay/2 + time.Duration(rng.Int63n(int64(delay/2)+1))
+	if retryAfter > delay {
+		delay = retryAfter
+	}
+	return delay
 }
 
 // runLoadgen discovers the served dataset's shape from /stats, then drives
@@ -53,6 +96,7 @@ func runLoadgen(cfg loadgenConfig) error {
 		requests atomic.Int64
 		queries  atomic.Int64
 		failures atomic.Int64
+		rc       retryCounters
 		mu       sync.Mutex
 		lats     []time.Duration
 	)
@@ -71,7 +115,7 @@ func runLoadgen(cfg loadgenConfig) error {
 			var lastLoc *server.PositionJSON
 			for time.Now().Before(deadline) {
 				t0 := time.Now()
-				n, failed, loc, err := fireOne(client, cfg, stats, rng, lastLoc)
+				n, failed, loc, err := fireOne(client, cfg, stats, rng, lastLoc, &rc)
 				lat := time.Since(t0)
 				requests.Add(1)
 				queries.Add(int64(n))
@@ -96,6 +140,8 @@ func runLoadgen(cfg loadgenConfig) error {
 		requests:  requests.Load(),
 		queries:   queries.Load(),
 		failures:  failures.Load(),
+		retries:   rc.retries.Load(),
+		giveups:   rc.giveups.Load(),
 		latencies: lats,
 		elapsed:   time.Since(start),
 	}
@@ -128,7 +174,7 @@ func runLoadgen(cfg loadgenConfig) error {
 // 1) and returns the number of queries it carried, how many of them the
 // server failed in-band, and a visited location to seed future
 // when-queries.
-func fireOne(client *http.Client, cfg loadgenConfig, stats *server.StatsResponse, rng *rand.Rand, lastLoc *server.PositionJSON) (n, failed int, loc *server.PositionJSON, err error) {
+func fireOne(client *http.Client, cfg loadgenConfig, stats *server.StatsResponse, rng *rand.Rand, lastLoc *server.PositionJSON, rc *retryCounters) (n, failed int, loc *server.PositionJSON, err error) {
 	if cfg.batch > 1 {
 		req := server.BatchRequest{}
 		for i := 0; i < cfg.batch; i++ {
@@ -137,7 +183,7 @@ func fireOne(client *http.Client, cfg loadgenConfig, stats *server.StatsResponse
 		var resp struct {
 			Results []server.BatchResult `json:"results"`
 		}
-		if err := postJSON(client, cfg.addr+"/v1/batch", req, &resp); err != nil {
+		if err := postJSON(client, cfg.addr+"/v1/batch", req, &resp, rng, rc); err != nil {
 			return cfg.batch, 0, nil, err
 		}
 		for _, r := range resp.Results {
@@ -153,7 +199,7 @@ func fireOne(client *http.Client, cfg loadgenConfig, stats *server.StatsResponse
 		var resp struct {
 			Results []server.WhereResultJSON `json:"results"`
 		}
-		if err := postJSON(client, cfg.addr+"/v1/where", q.Where, &resp); err != nil {
+		if err := postJSON(client, cfg.addr+"/v1/where", q.Where, &resp, rng, rc); err != nil {
 			return 1, 0, nil, err
 		}
 		if len(resp.Results) > 0 {
@@ -165,12 +211,12 @@ func fireOne(client *http.Client, cfg loadgenConfig, stats *server.StatsResponse
 		var resp struct {
 			Results []server.WhenResultJSON `json:"results"`
 		}
-		return 1, 0, nil, postJSON(client, cfg.addr+"/v1/when", q.When, &resp)
+		return 1, 0, nil, postJSON(client, cfg.addr+"/v1/when", q.When, &resp, rng, rc)
 	default:
 		var resp struct {
 			Trajs []int `json:"trajs"`
 		}
-		return 1, 0, nil, postJSON(client, cfg.addr+"/v1/range", q.Range, &resp)
+		return 1, 0, nil, postJSON(client, cfg.addr+"/v1/range", q.Range, &resp, rng, rc)
 	}
 }
 
@@ -272,20 +318,47 @@ func firstLocation(results []server.BatchResult) *server.PositionJSON {
 	return nil
 }
 
-func postJSON(client *http.Client, url string, body, out any) error {
+// postJSON round-trips one JSON request with the retry policy above:
+// connection-level errors (reset, refused), 429 and 5xx are re-sent with
+// backoff until the attempt budget runs out; other statuses fail
+// immediately (re-sending a 400 reproduces it).
+func postJSON(client *http.Client, url string, body, out any, rng *rand.Rand, rc *retryCounters) error {
 	b, err := json.Marshal(body)
 	if err != nil {
 		return err
 	}
-	resp, err := client.Post(url, "application/json", bytes.NewReader(b))
-	if err != nil {
-		return err
+	var lastErr error
+	for attempt := 0; attempt < retryAttempts; attempt++ {
+		if attempt > 0 {
+			rc.retries.Add(1)
+		}
+		resp, err := client.Post(url, "application/json", bytes.NewReader(b))
+		if err != nil {
+			// Transport-level failure (connection reset/refused, timeout):
+			// always worth a retry.
+			lastErr = err
+			if attempt+1 < retryAttempts {
+				time.Sleep(backoffDelay(attempt, 0, rng))
+			}
+			continue
+		}
+		if resp.StatusCode == http.StatusOK {
+			err := json.NewDecoder(resp.Body).Decode(out)
+			resp.Body.Close()
+			return err
+		}
+		retryAfter, _ := strconv.Atoi(resp.Header.Get("Retry-After"))
+		resp.Body.Close()
+		lastErr = fmt.Errorf("%s: status %d", url, resp.StatusCode)
+		if !retryableStatus(resp.StatusCode) {
+			return lastErr
+		}
+		if attempt+1 < retryAttempts {
+			time.Sleep(backoffDelay(attempt, time.Duration(retryAfter)*time.Second, rng))
+		}
 	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("%s: status %d", url, resp.StatusCode)
-	}
-	return json.NewDecoder(resp.Body).Decode(out)
+	rc.giveups.Add(1)
+	return fmt.Errorf("giving up after %d attempts: %w", retryAttempts, lastErr)
 }
 
 // statsClient bounds the discovery fetches the same way per-query
@@ -324,6 +397,10 @@ func printLoadgenReport(res loadgenResult) {
 	fmt.Printf("done: %d requests (%d queries) in %.1fs — %.0f req/s, %.0f queries/s, %d failures\n",
 		res.requests, res.queries, secs,
 		float64(res.requests)/secs, float64(res.queries)/secs, res.failures)
+	if res.retries > 0 || res.giveups > 0 {
+		fmt.Printf("backoff: %d retries, %d requests given up after %d attempts\n",
+			res.retries, res.giveups, retryAttempts)
+	}
 	if len(res.latencies) == 0 {
 		return
 	}

@@ -1,0 +1,234 @@
+// Package crashmatrix enumerates every crash point of a deterministic
+// persistence workload and verifies recovery at each one.
+//
+// A workload runs against a faultfs.MemFS through a faultfs.Injector.  The
+// harness first runs it cleanly to count its mutating filesystem
+// operations, then replays it once per crash point k: operations 0..k
+// execute, everything after fails with ErrCrashed, the power is cut
+// (MemFS.PowerCut discards all content not fsynced and all directory
+// entries not dir-synced), and the workload's Verify callback reopens the
+// state and asserts its durability contract — for the UTCQ store: every
+// acknowledged trajectory is recoverable, no partial generation is
+// visible, and recovery never panics.  A torn-bytes sweep additionally
+// lets a prefix of unsynced appends survive each cut, modeling disks that
+// persist partial sectors.  The same machinery drives a one-shot
+// ENOSPC/EIO sweep with the process left alive (no power cut), asserting
+// the store degrades instead of corrupting.
+//
+// On the first failing point the harness reports the exact (kind, op
+// index, torn bytes) triple — the seed to replay the failure under a
+// debugger — and, when the UTCQ_CRASHMATRIX_ARTIFACT environment variable
+// names a directory, writes it there as JSON for CI to upload.
+package crashmatrix
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"utcq/internal/faultfs"
+)
+
+// Point identifies one cell of the matrix.
+type Point struct {
+	// Kind is "crash" (power cut after op Index), "enospc" or "eio"
+	// (one-shot fault at op Index, process alive).
+	Kind string `json:"kind"`
+	// Index is the zero-based mutating-op index the fault targets; -1
+	// means a crash before the first mutating op.
+	Index int64 `json:"index"`
+	// Torn is the number of unsynced bytes per file that survived the
+	// power cut (crash kind only).
+	Torn int `json:"torn"`
+}
+
+func (p Point) String() string {
+	return fmt.Sprintf("%s at op %d (torn %d)", p.Kind, p.Index, p.Torn)
+}
+
+// Workload is one deterministic persistence scenario.  Setup and Run must
+// perform an identical operation sequence on every invocation — the op
+// count of the clean run indexes the faulted replays.
+type Workload struct {
+	Name string
+	// Setup prepares the initial durable state (build + save a store,
+	// …).  It runs on the bare MemFS: its operations are not fault
+	// candidates and must succeed.
+	Setup func(fs faultfs.FS) error
+	// Run performs the mutations under test through fs.  Injected faults
+	// must propagate out as errors; the harness ignores the error value
+	// (a faulted run is expected to fail) but a panic fails the matrix.
+	Run func(fs faultfs.FS) error
+	// Verify reopens the durable state after a simulated crash and
+	// asserts the workload's recovery contract.
+	Verify func(fs *faultfs.MemFS, p Point) error
+	// VerifyFault asserts the process-alive contract after a one-shot
+	// injected fault (nil: Verify is reused — a clean restart with no
+	// power loss must satisfy the same contract).
+	VerifyFault func(fs *faultfs.MemFS, p Point) error
+}
+
+// Options shape the sweep.
+type Options struct {
+	// TornBytes lists the torn-write sizes to sweep (nil: just 0).
+	TornBytes []int
+	// MaxPoints caps the crash points enumerated per torn setting by
+	// striding through them (0: every point).  The first and last points
+	// are always included.
+	MaxPoints int
+	// Faults additionally sweeps one-shot ENOSPC and EIO failpoints over
+	// the same (strided) op indices.
+	Faults bool
+}
+
+// ArtifactEnv names the environment variable that, when set to a
+// directory, receives a JSON artifact describing the first failing point.
+const ArtifactEnv = "UTCQ_CRASHMATRIX_ARTIFACT"
+
+// Result summarizes a completed sweep.
+type Result struct {
+	// Ops is the workload's mutating-op count (the matrix width).
+	Ops int64
+	// Points is the number of matrix cells executed.
+	Points int
+}
+
+// Run executes the full matrix and returns on the first failing point.
+func Run(w Workload, opts Options) (Result, error) {
+	var res Result
+
+	// Clean pass: establish the op count and require the workload itself
+	// to be sound.
+	mem := faultfs.NewMemFS()
+	if err := w.Setup(mem); err != nil {
+		return res, fmt.Errorf("crashmatrix %s: setup: %w", w.Name, err)
+	}
+	inj := faultfs.NewInjector(mem)
+	if err := guard(func() error { return w.Run(inj) }); err != nil {
+		return res, fmt.Errorf("crashmatrix %s: clean run: %w", w.Name, err)
+	}
+	res.Ops = inj.OpCount()
+
+	torns := opts.TornBytes
+	if len(torns) == 0 {
+		torns = []int{0}
+	}
+	points := samplePoints(res.Ops, opts.MaxPoints)
+
+	for _, torn := range torns {
+		for _, k := range points {
+			p := Point{Kind: "crash", Index: k, Torn: torn}
+			res.Points++
+			if err := w.runCrashPoint(p); err != nil {
+				return res, w.fail(p, err)
+			}
+		}
+	}
+	if opts.Faults {
+		for _, kind := range []string{"enospc", "eio"} {
+			errno := faultfs.ENOSPC
+			if kind == "eio" {
+				errno = faultfs.EIO
+			}
+			for _, k := range points {
+				if k < 0 {
+					continue // FailAt has no pre-first-op cell
+				}
+				p := Point{Kind: kind, Index: k}
+				res.Points++
+				if err := w.runFaultPoint(p, errno); err != nil {
+					return res, w.fail(p, err)
+				}
+			}
+		}
+	}
+	return res, nil
+}
+
+// runCrashPoint replays the workload with a crash boundary after op
+// p.Index, cuts the power, and verifies recovery.
+func (w Workload) runCrashPoint(p Point) error {
+	mem := faultfs.NewMemFS()
+	if err := w.Setup(mem); err != nil {
+		return fmt.Errorf("setup: %w", err)
+	}
+	inj := faultfs.NewInjector(mem)
+	inj.CrashAfter(p.Index)
+	if err := guard(func() error { _ = w.Run(inj); return nil }); err != nil {
+		return err // the workload panicked under injection
+	}
+	mem.SetTornBytes(p.Torn)
+	mem.PowerCut()
+	return guard(func() error { return w.Verify(mem, p) })
+}
+
+// runFaultPoint replays the workload with a one-shot errno at op p.Index
+// and verifies the process-alive contract (no power cut).
+func (w Workload) runFaultPoint(p Point, errno error) error {
+	mem := faultfs.NewMemFS()
+	if err := w.Setup(mem); err != nil {
+		return fmt.Errorf("setup: %w", err)
+	}
+	inj := faultfs.NewInjector(mem)
+	inj.FailAt(p.Index, errno)
+	if err := guard(func() error { _ = w.Run(inj); return nil }); err != nil {
+		return err
+	}
+	inj.Disarm()
+	verify := w.VerifyFault
+	if verify == nil {
+		verify = w.Verify
+	}
+	return guard(func() error { return verify(mem, p) })
+}
+
+// fail wraps a point failure with its replay seed and writes the CI
+// artifact when configured.
+func (w Workload) fail(p Point, err error) error {
+	if dir := os.Getenv(ArtifactEnv); dir != "" {
+		artifact := struct {
+			Workload string `json:"workload"`
+			Point    Point  `json:"point"`
+			Error    string `json:"error"`
+		}{w.Name, p, err.Error()}
+		if data, jerr := json.MarshalIndent(artifact, "", "  "); jerr == nil {
+			name := fmt.Sprintf("crashmatrix-%s-%s-%d.json", w.Name, p.Kind, p.Index)
+			_ = os.WriteFile(filepath.Join(dir, name), append(data, '\n'), 0o644)
+		}
+	}
+	return fmt.Errorf("crashmatrix %s: %s: %w", w.Name, p, err)
+}
+
+// samplePoints returns the crash indices to enumerate: every index in
+// [-1, ops) when maxPoints permits, otherwise a stride through them that
+// keeps the first and last.
+func samplePoints(ops int64, maxPoints int) []int64 {
+	total := ops + 1 // -1 .. ops-1
+	var out []int64
+	if maxPoints <= 0 || total <= int64(maxPoints) {
+		for k := int64(-1); k < ops; k++ {
+			out = append(out, k)
+		}
+		return out
+	}
+	stride := (total + int64(maxPoints) - 1) / int64(maxPoints)
+	for k := int64(-1); k < ops; k += stride {
+		out = append(out, k)
+	}
+	if out[len(out)-1] != ops-1 {
+		out = append(out, ops-1)
+	}
+	return out
+}
+
+// guard runs f and converts a panic into an error: "recovery never
+// panics" is itself one of the matrix's assertions.
+func guard(f func() error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("panic: %v", r)
+		}
+	}()
+	return f()
+}

@@ -1,0 +1,177 @@
+package crashmatrix
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"utcq/internal/faultfs"
+)
+
+// atomicWorkload updates "f" from v1 to v2 with the full write-temp +
+// fsync + rename + dir-sync protocol; after any crash the file must read
+// exactly v1 or exactly v2.
+func atomicWorkload(protocol func(fs faultfs.FS) error) Workload {
+	return Workload{
+		Name: "atomic-update",
+		Setup: func(fs faultfs.FS) error {
+			f, err := fs.Create("f")
+			if err != nil {
+				return err
+			}
+			if _, err := f.Write([]byte("v1")); err != nil {
+				return err
+			}
+			if err := f.Sync(); err != nil {
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			return fs.SyncDir(".")
+		},
+		Run: protocol,
+		Verify: func(fs *faultfs.MemFS, p Point) error {
+			data, err := fs.ReadFile("f")
+			if err != nil {
+				return fmt.Errorf("f unreadable: %w", err)
+			}
+			if s := string(data); s != "v1" && s != "v2" {
+				return fmt.Errorf("f = %q, want v1 or v2", s)
+			}
+			return nil
+		},
+	}
+}
+
+// TestMatrixPassesCorrectProtocol: the full atomic protocol survives a
+// crash after every op, including with torn writes.
+func TestMatrixPassesCorrectProtocol(t *testing.T) {
+	w := atomicWorkload(func(fs faultfs.FS) error {
+		f, err := fs.Create("f.tmp")
+		if err != nil {
+			return err
+		}
+		if _, err := f.Write([]byte("v2")); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		if err := fs.Rename("f.tmp", "f"); err != nil {
+			return err
+		}
+		return fs.SyncDir(".")
+	})
+	res, err := Run(w, Options{TornBytes: []int{0, 1}, Faults: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops != 5 { // create, write, sync, rename, syncdir
+		t.Fatalf("op count = %d, want 5", res.Ops)
+	}
+	if res.Points == 0 {
+		t.Fatal("no points enumerated")
+	}
+}
+
+// TestMatrixCatchesBrokenProtocol: persisting a commit marker before the
+// data it vouches for violates the recovery contract at the crash point
+// between the two — the harness must find it and dump the replay
+// artifact.
+func TestMatrixCatchesBrokenProtocol(t *testing.T) {
+	dir := t.TempDir()
+	t.Setenv(ArtifactEnv, dir)
+	writeSynced := func(fs faultfs.FS, name, content string) error {
+		f, err := fs.Create(name)
+		if err != nil {
+			return err
+		}
+		if _, err := f.Write([]byte(content)); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		return fs.SyncDir(".")
+	}
+	w := Workload{
+		Name:  "atomic-update",
+		Setup: func(fs faultfs.FS) error { return nil },
+		Run: func(fs faultfs.FS) error {
+			// Broken ordering: the marker lands durably before the data.
+			if err := writeSynced(fs, "commit", "yes"); err != nil {
+				return err
+			}
+			return writeSynced(fs, "data", "v2")
+		},
+		Verify: func(fs *faultfs.MemFS, p Point) error {
+			if _, err := fs.ReadFile("commit"); err != nil {
+				return nil // no marker: nothing was promised
+			}
+			data, err := fs.ReadFile("data")
+			if err != nil || string(data) != "v2" {
+				return fmt.Errorf("commit marker present but data = %q, %v", data, err)
+			}
+			return nil
+		},
+	}
+	_, err := Run(w, Options{})
+	if err == nil {
+		t.Fatal("matrix should catch the marker-before-data ordering")
+	}
+	if !strings.Contains(err.Error(), "crash at op") {
+		t.Fatalf("failure should carry the replay point: %v", err)
+	}
+	matches, _ := filepath.Glob(filepath.Join(dir, "crashmatrix-*.json"))
+	if len(matches) != 1 {
+		t.Fatalf("expected one artifact, found %v", matches)
+	}
+	data, err := os.ReadFile(matches[0])
+	if err != nil || !strings.Contains(string(data), "atomic-update") {
+		t.Fatalf("artifact content: %q, %v", data, err)
+	}
+}
+
+// TestMatrixCatchesPanics: a workload that panics during recovery fails
+// the matrix rather than crashing the test binary.
+func TestMatrixCatchesPanics(t *testing.T) {
+	w := Workload{
+		Name:   "panicky",
+		Setup:  func(fs faultfs.FS) error { return nil },
+		Run:    func(fs faultfs.FS) error { _ = mustSyncDir(fs); return nil },
+		Verify: func(fs *faultfs.MemFS, p Point) error { panic("recovery exploded") },
+	}
+	_, err := Run(w, Options{})
+	if err == nil || !strings.Contains(err.Error(), "panic: recovery exploded") {
+		t.Fatalf("panic should surface as a matrix failure, got %v", err)
+	}
+}
+
+func mustSyncDir(fs faultfs.FS) error { return fs.SyncDir(".") }
+
+func TestSamplePoints(t *testing.T) {
+	full := samplePoints(5, 0)
+	if len(full) != 6 || full[0] != -1 || full[5] != 4 {
+		t.Fatalf("full sweep: %v", full)
+	}
+	capped := samplePoints(100, 10)
+	if len(capped) > 12 {
+		t.Fatalf("capped sweep too large: %v", capped)
+	}
+	if capped[0] != -1 || capped[len(capped)-1] != 99 {
+		t.Fatalf("capped sweep must keep endpoints: %v", capped)
+	}
+}

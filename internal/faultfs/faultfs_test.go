@@ -1,0 +1,289 @@
+package faultfs
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeAll(t *testing.T, fs FS, name, content string, sync bool) {
+	t.Helper()
+	f, err := fs.Create(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte(content)); err != nil {
+		t.Fatal(err)
+	}
+	if sync {
+		if err := f.Sync(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMemFSPowerCutDurability pins the two-barrier model: file content
+// survives only up to its fsynced prefix, and the name itself survives
+// only after its directory is synced.
+func TestMemFSPowerCutDurability(t *testing.T) {
+	m := NewMemFS()
+
+	writeAll(t, m, "a", "synced", true)
+	writeAll(t, m, "c", "never-synced", false)
+	if err := m.SyncDir("."); err != nil { // links a and c's names; c's bytes stay volatile
+		t.Fatal(err)
+	}
+	writeAll(t, m, "b", "never-linked", true) // content synced, name never dir-synced
+
+	m.PowerCut()
+
+	if data, err := m.ReadFile("a"); err != nil || string(data) != "synced" {
+		t.Fatalf("a after cut: %q, %v", data, err)
+	}
+	if _, err := m.ReadFile("b"); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("b should have lost its directory entry, got %v", err)
+	}
+	if data, err := m.ReadFile("c"); err != nil || len(data) != 0 {
+		t.Fatalf("c should survive empty (name durable, bytes not): %q, %v", data, err)
+	}
+}
+
+// TestMemFSTornWrites: with a torn budget, a prefix of the unsynced tail
+// survives — never a suffix, never more than the budget.
+func TestMemFSTornWrites(t *testing.T) {
+	m := NewMemFS()
+	f, err := m.Create("log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("durable|")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("volatile")); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if err := m.SyncDir("."); err != nil {
+		t.Fatal(err)
+	}
+
+	m.SetTornBytes(3)
+	m.PowerCut()
+	if data, _ := m.ReadFile("log"); string(data) != "durable|vol" {
+		t.Fatalf("torn cut kept %q, want %q", data, "durable|vol")
+	}
+
+	// Idempotent: a second cut with zero budget keeps everything already
+	// durable (the survivors were re-marked synced).
+	m.SetTornBytes(0)
+	m.PowerCut()
+	if data, _ := m.ReadFile("log"); string(data) != "durable|vol" {
+		t.Fatalf("second cut kept %q", data)
+	}
+}
+
+// TestMemFSRenameRequiresDirSync: an unsynced rename un-happens at power
+// loss — the durable namespace still holds the old binding.
+func TestMemFSRenameRequiresDirSync(t *testing.T) {
+	m := NewMemFS()
+	writeAll(t, m, "f.tmp", "v2", true)
+	writeAll(t, m, "f", "v1", true)
+	if err := m.SyncDir("."); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Rename("f.tmp", "f"); err != nil {
+		t.Fatal(err)
+	}
+	m.PowerCut()
+	if data, _ := m.ReadFile("f"); string(data) != "v1" {
+		t.Fatalf("unsynced rename survived the cut: f = %q", data)
+	}
+
+	// Same sequence with the directory sync: the rename is durable.
+	m = NewMemFS()
+	writeAll(t, m, "f.tmp", "v2", true)
+	writeAll(t, m, "f", "v1", true)
+	if err := m.SyncDir("."); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Rename("f.tmp", "f"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SyncDir("."); err != nil {
+		t.Fatal(err)
+	}
+	m.PowerCut()
+	if data, _ := m.ReadFile("f"); string(data) != "v2" {
+		t.Fatalf("synced rename lost: f = %q", data)
+	}
+	if _, err := m.ReadFile("f.tmp"); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("renamed-away name survived: %v", err)
+	}
+}
+
+// TestMemFSTruncateClipsSyncedPrefix: shrinking below the synced length
+// reduces what a cut preserves.
+func TestMemFSTruncateClipsSyncedPrefix(t *testing.T) {
+	m := NewMemFS()
+	f, err := m.Create("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("0123456789")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Truncate(4); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if err := m.SyncDir("."); err != nil {
+		t.Fatal(err)
+	}
+	m.PowerCut()
+	if data, _ := m.ReadFile("t"); string(data) != "0123" {
+		t.Fatalf("after truncate+cut: %q", data)
+	}
+}
+
+// TestInjectorFailAt: exactly the armed op fails, with the armed errno
+// reachable through errors.Is, and the run recovers after it.
+func TestInjectorFailAt(t *testing.T) {
+	mem := NewMemFS()
+	inj := NewInjector(mem)
+
+	// Mutating op sequence of one writeAll(sync): create(0), write(1),
+	// sync(2).
+	inj.FailAt(1, ENOSPC)
+	f, err := inj.Create("x")
+	if err != nil {
+		t.Fatalf("create should pass: %v", err)
+	}
+	_, err = f.Write([]byte("p"))
+	if !errors.Is(err, ErrInjected) || !errors.Is(err, ENOSPC) {
+		t.Fatalf("write should fail with injected ENOSPC, got %v", err)
+	}
+	if got := inj.FailedOp(); got != OpWrite {
+		t.Fatalf("failed op = %v, want write", got)
+	}
+	// One-shot: the retry succeeds.
+	if _, err := f.Write([]byte("p")); err != nil {
+		t.Fatalf("retry after one-shot fault: %v", err)
+	}
+	f.Close()
+}
+
+// TestInjectorCrashAfter: ops at or below the boundary execute, every op
+// after it — including reads — fails with ErrCrashed.
+func TestInjectorCrashAfter(t *testing.T) {
+	mem := NewMemFS()
+	inj := NewInjector(mem)
+	inj.CrashAfter(2) // allow create, write, sync
+
+	f, err := inj.Create("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("data")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := inj.SyncDir("."); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("op past the boundary should crash, got %v", err)
+	}
+	if _, err := inj.ReadFile("x"); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("reads after the crash should fail, got %v", err)
+	}
+	if !inj.Crashed() {
+		t.Fatal("Crashed() should latch")
+	}
+
+	// The underlying fs still reflects the pre-crash writes until PowerCut
+	// discards what was never made durable by a directory sync.
+	mem.PowerCut()
+	if _, err := mem.ReadFile("x"); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("x's name was never dir-synced, got %v", err)
+	}
+}
+
+// TestInjectorCrashBeforeFirstOp: index -1 crashes the very first
+// mutating op.
+func TestInjectorCrashBeforeFirstOp(t *testing.T) {
+	inj := NewInjector(NewMemFS())
+	inj.CrashAfter(-1)
+	if _, err := inj.Create("x"); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("first op should crash, got %v", err)
+	}
+}
+
+// TestInjectorOpCountDeterministic: the same serial workload always maps
+// to the same op indices — the property the crash matrix rests on.
+func TestInjectorOpCountDeterministic(t *testing.T) {
+	run := func() int64 {
+		mem := NewMemFS()
+		inj := NewInjector(mem)
+		writeAll(t, inj, "a", "one", true)
+		if err := inj.SyncDir("."); err != nil {
+			t.Fatal(err)
+		}
+		if err := inj.Rename("a", "b"); err != nil {
+			t.Fatal(err)
+		}
+		if err := inj.Remove("b"); err != nil {
+			t.Fatal(err)
+		}
+		return inj.OpCount()
+	}
+	n1, n2 := run(), run()
+	if n1 != n2 || n1 == 0 {
+		t.Fatalf("op counts differ or zero: %d vs %d", n1, n2)
+	}
+}
+
+// TestOSFSRoundTrip smoke-tests the production implementation against a
+// real temp directory, including SyncDir.
+func TestOSFSRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	fs := Resolve(nil)
+	if !IsOS(fs) {
+		t.Fatal("Resolve(nil) should be the OS filesystem")
+	}
+	name := filepath.Join(dir, "f")
+	writeAll(t, fs, name+".tmp", "hello", true)
+	if err := fs.Rename(name+".tmp", name); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.SyncDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	f, err := fs.Open(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := io.ReadAll(f)
+	f.Close()
+	if err != nil || string(data) != "hello" {
+		t.Fatalf("round trip: %q, %v", data, err)
+	}
+	if got, err := fs.ReadFile(name); err != nil || string(got) != "hello" {
+		t.Fatalf("ReadFile: %q, %v", got, err)
+	}
+	if err := fs.Remove(name); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Stat(name); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("stat after remove: %v", err)
+	}
+}

@@ -1,0 +1,327 @@
+package faultfs
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+	"syscall"
+)
+
+// Op labels one filesystem operation class for fault targeting and
+// failure reports.
+type Op uint8
+
+const (
+	OpCreate Op = iota
+	OpOpen
+	OpRead
+	OpWrite
+	OpSync
+	OpRename
+	OpRemove
+	OpTruncate
+	OpMkdir
+	OpSyncDir
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpCreate:
+		return "create"
+	case OpOpen:
+		return "open"
+	case OpRead:
+		return "read"
+	case OpWrite:
+		return "write"
+	case OpSync:
+		return "sync"
+	case OpRename:
+		return "rename"
+	case OpRemove:
+		return "remove"
+	case OpTruncate:
+		return "truncate"
+	case OpMkdir:
+		return "mkdir"
+	case OpSyncDir:
+		return "syncdir"
+	default:
+		return fmt.Sprintf("op(%d)", uint8(o))
+	}
+}
+
+// mutating reports whether the op changes persistent state.  Only
+// mutating ops are failpoint candidates: a crash boundary between two
+// reads is indistinguishable from one before the first, so enumerating
+// them would inflate the matrix without adding coverage.
+func (o Op) mutating() bool {
+	switch o {
+	case OpCreate, OpWrite, OpSync, OpRename, OpRemove, OpTruncate, OpSyncDir:
+		return true
+	}
+	return false
+}
+
+// ErrCrashed is returned by every operation after the injected crash
+// point: the simulated process is dead and can perform no further I/O.
+var ErrCrashed = errors.New("faultfs: crashed (injected)")
+
+// ErrInjected wraps a deterministically injected fault; unwrap to reach
+// the modeled errno (syscall.ENOSPC, syscall.EIO).
+var ErrInjected = errors.New("faultfs: injected fault")
+
+// Injector wraps an FS with a deterministic failpoint controller.  Every
+// mutating operation gets a monotonically increasing index; the
+// controller can make exactly one of them fail (FailAt) or declare a
+// crash boundary (CrashAfter) past which every operation — mutating or
+// not — returns ErrCrashed.  Safe for concurrent use; concurrent
+// workloads get a deterministic op COUNT but an interleaving-dependent
+// op→index mapping, so crash-matrix workloads should serialize their I/O
+// (the store's mutation path already does).
+type Injector struct {
+	fs FS
+
+	mu      sync.Mutex
+	count   int64 // mutating ops observed so far
+	failAt  int64 // mutating op index to fail once (-1: disarmed)
+	failErr error // error injected at failAt
+	failOp  Op    // op class that hit failAt (for reports)
+	crashAt int64 // crash boundary: ops with index > crashAt fail (-2: disarmed)
+	crashed bool  // a crash boundary has been passed
+}
+
+// NewInjector wraps fs with a disarmed controller.
+func NewInjector(fs FS) *Injector {
+	return &Injector{fs: Resolve(fs), failAt: -1, crashAt: -2}
+}
+
+// ENOSPC and EIO are the injectable errno values, exported so tests can
+// assert on them without importing syscall.
+var (
+	ENOSPC error = syscall.ENOSPC
+	EIO    error = syscall.EIO
+)
+
+// FailAt arms a one-shot fault: the mutating operation with the given
+// zero-based index returns an ErrInjected wrapping errno; every other
+// operation proceeds normally.  Also resets the op counter.
+func (in *Injector) FailAt(index int64, errno error) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.count = 0
+	in.failAt = index
+	in.failErr = errno
+	in.crashAt = -2
+	in.crashed = false
+}
+
+// CrashAfter arms a crash boundary: mutating operations with index <=
+// index execute normally; every operation after the boundary (any class)
+// returns ErrCrashed.  index -1 crashes before the first mutating op.
+// Also resets the op counter.
+func (in *Injector) CrashAfter(index int64) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.count = 0
+	in.failAt = -1
+	in.crashAt = index
+	in.crashed = false
+}
+
+// Disarm clears all failpoints (recovery runs against the same FS without
+// interference) while keeping the op counter running.
+func (in *Injector) Disarm() {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.failAt = -1
+	in.crashAt = -2
+	in.crashed = false
+}
+
+// OpCount returns the mutating operations observed since the last arm.
+func (in *Injector) OpCount() int64 {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.count
+}
+
+// Crashed reports whether a crash boundary has been passed.
+func (in *Injector) Crashed() bool {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.crashed
+}
+
+// FailedOp returns the op class that consumed the FailAt failpoint
+// (meaningful after a run that hit it).
+func (in *Injector) FailedOp() Op {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.failOp
+}
+
+// gate implements the controller decision for one operation.  It returns
+// a non-nil error when the op must fail instead of executing.
+func (in *Injector) gate(op Op) error {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.crashed {
+		return ErrCrashed
+	}
+	if !op.mutating() {
+		return nil
+	}
+	idx := in.count
+	in.count++
+	if in.crashAt != -2 && idx > in.crashAt {
+		in.crashed = true
+		return ErrCrashed
+	}
+	if idx == in.failAt {
+		in.failAt = -1 // one-shot
+		in.failOp = op
+		return fmt.Errorf("%w: %s op %d: %w", ErrInjected, op, idx, in.failErr)
+	}
+	return nil
+}
+
+func (in *Injector) Create(name string) (File, error) {
+	if err := in.gate(OpCreate); err != nil {
+		return nil, err
+	}
+	f, err := in.fs.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return &injFile{f: f, in: in}, nil
+}
+
+func (in *Injector) Open(name string) (File, error) {
+	if err := in.gate(OpOpen); err != nil {
+		return nil, err
+	}
+	f, err := in.fs.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return &injFile{f: f, in: in}, nil
+}
+
+func (in *Injector) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	// An open that can create is a mutating op; a plain open is not.
+	op := OpOpen
+	if flag&os.O_CREATE != 0 {
+		op = OpCreate
+	}
+	if err := in.gate(op); err != nil {
+		return nil, err
+	}
+	f, err := in.fs.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &injFile{f: f, in: in}, nil
+}
+
+func (in *Injector) ReadFile(name string) ([]byte, error) {
+	if err := in.gate(OpRead); err != nil {
+		return nil, err
+	}
+	return in.fs.ReadFile(name)
+}
+
+func (in *Injector) Rename(oldpath, newpath string) error {
+	if err := in.gate(OpRename); err != nil {
+		return err
+	}
+	return in.fs.Rename(oldpath, newpath)
+}
+
+func (in *Injector) Remove(name string) error {
+	if err := in.gate(OpRemove); err != nil {
+		return err
+	}
+	return in.fs.Remove(name)
+}
+
+func (in *Injector) MkdirAll(path string, perm os.FileMode) error {
+	if err := in.gate(OpMkdir); err != nil {
+		return err
+	}
+	return in.fs.MkdirAll(path, perm)
+}
+
+func (in *Injector) Stat(name string) (os.FileInfo, error) {
+	if err := in.gate(OpRead); err != nil {
+		return nil, err
+	}
+	return in.fs.Stat(name)
+}
+
+func (in *Injector) SyncDir(dir string) error {
+	if err := in.gate(OpSyncDir); err != nil {
+		return err
+	}
+	return in.fs.SyncDir(dir)
+}
+
+// injFile routes a handle's operations through the controller.
+type injFile struct {
+	f  File
+	in *Injector
+}
+
+func (f *injFile) Read(p []byte) (int, error) {
+	if err := f.in.gate(OpRead); err != nil {
+		return 0, err
+	}
+	return f.f.Read(p)
+}
+
+func (f *injFile) ReadAt(p []byte, off int64) (int, error) {
+	if err := f.in.gate(OpRead); err != nil {
+		return 0, err
+	}
+	return f.f.ReadAt(p, off)
+}
+
+func (f *injFile) Write(p []byte) (int, error) {
+	if err := f.in.gate(OpWrite); err != nil {
+		return 0, err
+	}
+	return f.f.Write(p)
+}
+
+func (f *injFile) Seek(offset int64, whence int) (int64, error) {
+	if err := f.in.gate(OpRead); err != nil {
+		return 0, err
+	}
+	return f.f.Seek(offset, whence)
+}
+
+func (f *injFile) Sync() error {
+	if err := f.in.gate(OpSync); err != nil {
+		return err
+	}
+	return f.f.Sync()
+}
+
+func (f *injFile) Truncate(size int64) error {
+	if err := f.in.gate(OpTruncate); err != nil {
+		return err
+	}
+	return f.f.Truncate(size)
+}
+
+func (f *injFile) Stat() (os.FileInfo, error) {
+	if err := f.in.gate(OpRead); err != nil {
+		return nil, err
+	}
+	return f.f.Stat()
+}
+
+// Close is never failed: a crashed process's descriptors close anyway,
+// and failing Close would only mask the controller's primary fault.
+func (f *injFile) Close() error { return f.f.Close() }

@@ -1,0 +1,394 @@
+package faultfs
+
+import (
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+)
+
+// MemFS is an in-memory filesystem that models what survives a power
+// failure, for deterministic crash testing.
+//
+// Two layers of state exist side by side:
+//
+//   - The volatile layer is what the running process observes: every
+//     write, rename, create and remove is visible immediately, exactly
+//     like an OS page cache.
+//   - The durable layer is what a reboot would find.  File CONTENT
+//     becomes durable up to the current length when the file is fsynced
+//     (File.Sync).  NAMESPACE changes — which names exist and which inode
+//     each points to — become durable only when the containing directory
+//     is synced (SyncDir), matching POSIX: fsyncing a freshly created or
+//     renamed file does not persist its directory entry.
+//
+// PowerCut discards the volatile layer: the filesystem becomes exactly
+// its durable layer, except that each inode may additionally keep a
+// configurable prefix of its unsynced tail (SetTornBytes) — the "torn
+// write" a disk that persisted some cache pages but not others leaves
+// behind.  Unsynced data never survives out of order or beyond that
+// prefix: this is the strictest (most adversarial) model consistent with
+// fsync's contract.
+//
+// Directories themselves are durable upon creation (directory metadata
+// journaling is not what these tests target); entries inside them follow
+// the rules above.
+type MemFS struct {
+	mu   sync.Mutex
+	vol  map[string]*memInode // volatile namespace: name -> inode
+	dur  map[string]*memInode // durable namespace: name -> inode
+	dirs map[string]bool      // existing directories (always durable)
+
+	torn int // unsynced prefix bytes each inode keeps at PowerCut
+}
+
+// memInode is one file's content.  data is the volatile content; synced
+// is the number of leading bytes guaranteed durable (advanced by Sync,
+// clipped by Truncate).  Because this codebase never overwrites synced
+// bytes in place (appends, fresh temp files, and shrinking truncates
+// only), "durable content" is always a prefix of the volatile content.
+type memInode struct {
+	data   []byte
+	synced int
+}
+
+// NewMemFS returns an empty in-memory filesystem with a root directory.
+func NewMemFS() *MemFS {
+	return &MemFS{
+		vol:  make(map[string]*memInode),
+		dur:  make(map[string]*memInode),
+		dirs: map[string]bool{".": true, "/": true},
+	}
+}
+
+// SetTornBytes configures how many unsynced bytes each file keeps at the
+// next PowerCut (default 0: unsynced data is lost entirely).  Modeling a
+// partially persisted write-back cache, the retained bytes are always a
+// prefix of the unsynced tail.
+func (m *MemFS) SetTornBytes(n int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.torn = n
+}
+
+// PowerCut simulates losing power: the volatile layer is discarded and
+// the filesystem re-initializes from the durable layer.  Open handles
+// become invalid (their writes land on orphaned inodes, as a crashed
+// process's would).  The durable layer itself is rebuilt from the
+// surviving content so repeated PowerCuts are idempotent.
+func (m *MemFS) PowerCut() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	vol := make(map[string]*memInode, len(m.dur))
+	dur := make(map[string]*memInode, len(m.dur))
+	for name, ino := range m.dur {
+		keep := ino.synced
+		if extra := len(ino.data) - ino.synced; extra > 0 && m.torn > 0 {
+			keep += min(m.torn, extra)
+		}
+		surv := &memInode{data: append([]byte(nil), ino.data[:keep]...), synced: keep}
+		vol[name] = surv
+		dur[name] = surv
+	}
+	m.vol = vol
+	m.dur = dur
+}
+
+// DurableNames returns the sorted names a power cut would preserve
+// (diagnostics for harness failure reports).
+func (m *MemFS) DurableNames() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]string, 0, len(m.dur))
+	for name := range m.dur {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (m *MemFS) clean(name string) string { return filepath.Clean(name) }
+
+// Create truncates-or-creates name.
+func (m *MemFS) Create(name string) (File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	name = m.clean(name)
+	ino := &memInode{}
+	m.vol[name] = ino
+	return &memFile{fs: m, name: name, ino: ino, writable: true}, nil
+}
+
+// Open opens name read-only.
+func (m *MemFS) Open(name string) (File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	name = m.clean(name)
+	if m.dirs[name] {
+		// Directory opens only exist so osFS.SyncDir has a handle; MemFS
+		// syncs directories through SyncDir, so a directory File is not
+		// needed and signals a misuse.
+		return nil, &os.PathError{Op: "open", Path: name, Err: fmt.Errorf("faultfs: MemFS directories have no file handles")}
+	}
+	ino, ok := m.vol[name]
+	if !ok {
+		return nil, &os.PathError{Op: "open", Path: name, Err: os.ErrNotExist}
+	}
+	return &memFile{fs: m, name: name, ino: ino}, nil
+}
+
+// OpenFile implements the O_RDWR / O_CREATE / O_TRUNC subset.
+func (m *MemFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	name = m.clean(name)
+	ino, ok := m.vol[name]
+	if !ok {
+		if flag&os.O_CREATE == 0 {
+			return nil, &os.PathError{Op: "open", Path: name, Err: os.ErrNotExist}
+		}
+		ino = &memInode{}
+		m.vol[name] = ino
+	} else if flag&os.O_TRUNC != 0 {
+		ino.data = ino.data[:0]
+		ino.synced = 0
+	}
+	return &memFile{fs: m, name: name, ino: ino, writable: flag&(os.O_RDWR|os.O_WRONLY) != 0}, nil
+}
+
+// ReadFile returns a copy of name's volatile content.
+func (m *MemFS) ReadFile(name string) ([]byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ino, ok := m.vol[m.clean(name)]
+	if !ok {
+		return nil, &os.PathError{Op: "open", Path: name, Err: os.ErrNotExist}
+	}
+	return append([]byte(nil), ino.data...), nil
+}
+
+// Rename atomically repoints newpath at oldpath's inode (volatile until
+// the directory is synced).
+func (m *MemFS) Rename(oldpath, newpath string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	oldpath, newpath = m.clean(oldpath), m.clean(newpath)
+	ino, ok := m.vol[oldpath]
+	if !ok {
+		return &os.LinkError{Op: "rename", Old: oldpath, New: newpath, Err: os.ErrNotExist}
+	}
+	m.vol[newpath] = ino
+	delete(m.vol, oldpath)
+	return nil
+}
+
+// Remove unlinks name (volatile until the directory is synced).
+func (m *MemFS) Remove(name string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	name = m.clean(name)
+	if _, ok := m.vol[name]; !ok {
+		return &os.PathError{Op: "remove", Path: name, Err: os.ErrNotExist}
+	}
+	delete(m.vol, name)
+	return nil
+}
+
+// MkdirAll records the directory chain.  Directory existence is treated
+// as immediately durable (see the type comment).
+func (m *MemFS) MkdirAll(path string, perm os.FileMode) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	path = m.clean(path)
+	for p := path; ; p = filepath.Dir(p) {
+		m.dirs[p] = true
+		if p == filepath.Dir(p) {
+			break
+		}
+	}
+	return nil
+}
+
+// Stat describes name.
+func (m *MemFS) Stat(name string) (os.FileInfo, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	name = m.clean(name)
+	if m.dirs[name] {
+		return memInfo{name: filepath.Base(name), dir: true}, nil
+	}
+	if ino, ok := m.vol[name]; ok {
+		return memInfo{name: filepath.Base(name), size: int64(len(ino.data))}, nil
+	}
+	return nil, &os.PathError{Op: "stat", Path: name, Err: os.ErrNotExist}
+}
+
+// SyncDir commits the volatile namespace of dir to the durable layer:
+// every entry directly inside dir is durably linked to its current inode,
+// and durable entries removed or renamed away since the last sync are
+// durably forgotten.
+func (m *MemFS) SyncDir(dir string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	dir = m.clean(dir)
+	inDir := func(name string) bool { return filepath.Dir(name) == dir }
+	for name := range m.dur {
+		if inDir(name) {
+			if _, live := m.vol[name]; !live {
+				delete(m.dur, name)
+			}
+		}
+	}
+	for name, ino := range m.vol {
+		if inDir(name) {
+			m.dur[name] = ino
+		}
+	}
+	m.dirs[dir] = true
+	return nil
+}
+
+// memFile is a handle onto a MemFS inode.
+type memFile struct {
+	fs       *MemFS
+	name     string
+	ino      *memInode
+	off      int64
+	writable bool
+	closed   bool
+}
+
+func (f *memFile) Read(p []byte) (int, error) {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	if f.closed {
+		return 0, os.ErrClosed
+	}
+	if f.off >= int64(len(f.ino.data)) {
+		return 0, io.EOF
+	}
+	n := copy(p, f.ino.data[f.off:])
+	f.off += int64(n)
+	return n, nil
+}
+
+func (f *memFile) ReadAt(p []byte, off int64) (int, error) {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	if f.closed {
+		return 0, os.ErrClosed
+	}
+	if off < 0 || off > int64(len(f.ino.data)) {
+		return 0, io.EOF
+	}
+	n := copy(p, f.ino.data[off:])
+	if n < len(p) {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+func (f *memFile) Write(p []byte) (int, error) {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	if f.closed {
+		return 0, os.ErrClosed
+	}
+	if !f.writable {
+		return 0, &os.PathError{Op: "write", Path: f.name, Err: os.ErrPermission}
+	}
+	end := f.off + int64(len(p))
+	for int64(len(f.ino.data)) < end {
+		f.ino.data = append(f.ino.data, 0)
+	}
+	copy(f.ino.data[f.off:end], p)
+	f.off = end
+	return len(p), nil
+}
+
+func (f *memFile) Seek(offset int64, whence int) (int64, error) {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	if f.closed {
+		return 0, os.ErrClosed
+	}
+	switch whence {
+	case io.SeekStart:
+		f.off = offset
+	case io.SeekCurrent:
+		f.off += offset
+	case io.SeekEnd:
+		f.off = int64(len(f.ino.data)) + offset
+	}
+	if f.off < 0 {
+		return 0, &os.PathError{Op: "seek", Path: f.name, Err: fmt.Errorf("negative offset")}
+	}
+	return f.off, nil
+}
+
+// Sync makes the inode's current content durable (content only — the
+// directory entry needs SyncDir; see the MemFS comment).
+func (f *memFile) Sync() error {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	if f.closed {
+		return os.ErrClosed
+	}
+	f.ino.synced = len(f.ino.data)
+	return nil
+}
+
+func (f *memFile) Truncate(size int64) error {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	if f.closed {
+		return os.ErrClosed
+	}
+	if size < 0 || size > int64(len(f.ino.data)) {
+		return &os.PathError{Op: "truncate", Path: f.name, Err: fmt.Errorf("size %d out of range", size)}
+	}
+	f.ino.data = f.ino.data[:size]
+	if f.ino.synced > int(size) {
+		f.ino.synced = int(size)
+	}
+	return nil
+}
+
+func (f *memFile) Stat() (os.FileInfo, error) {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	return memInfo{name: filepath.Base(f.name), size: int64(len(f.ino.data))}, nil
+}
+
+func (f *memFile) Close() error {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	if f.closed {
+		return os.ErrClosed
+	}
+	f.closed = true
+	return nil
+}
+
+// memInfo is the minimal os.FileInfo for MemFS entries.
+type memInfo struct {
+	name string
+	size int64
+	dir  bool
+}
+
+func (i memInfo) Name() string { return i.name }
+func (i memInfo) Size() int64  { return i.size }
+func (i memInfo) Mode() fs.FileMode {
+	if i.dir {
+		return fs.ModeDir | 0o755
+	}
+	return 0o644
+}
+func (i memInfo) ModTime() time.Time { return time.Time{} }
+func (i memInfo) IsDir() bool        { return i.dir }
+func (i memInfo) Sys() any           { return nil }

@@ -1,0 +1,263 @@
+package ingest
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"testing"
+
+	"utcq/internal/faultfs"
+	"utcq/internal/faultfs/crashmatrix"
+	"utcq/internal/gen"
+	"utcq/internal/mapmatch"
+	"utcq/internal/store"
+	"utcq/internal/traj"
+)
+
+// crashMatrixFullEnv opts into the exhaustive sweep; the default run
+// strides the CD/HZ matrices so the suite stays fast.
+const crashMatrixFullEnv = "UTCQ_CRASHMATRIX_FULL"
+
+func crashPoints(profile string) int {
+	if profile == "DK" || os.Getenv(crashMatrixFullEnv) == "1" {
+		return 0
+	}
+	return 24
+}
+
+// TestIngestCrashMatrix enumerates a crash after every mutating
+// filesystem operation of the full live-ingestion pipeline — WAL create,
+// per-record append+fsync acknowledgement, Flush into delta shards,
+// Compact with WAL checkpoint — and at each point power-cuts the
+// filesystem, replays recovery, and asserts the durability contract:
+//
+//   - the store reopens into a complete generation (manifest + shards),
+//   - the WAL reopens and covers everything the manifest claims applied,
+//   - every acknowledged trajectory is recovered (recovered acked count
+//     >= acks observed before the crash, and recovery is a prefix of the
+//     submission order),
+//   - after a recovery Flush the store holds exactly the matcher-accepted
+//     subset of the recovered prefix, all of it queryable,
+//   - nothing panics.
+func TestIngestCrashMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("crash matrix is a long test")
+	}
+	for _, p := range gen.Profiles() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			t.Parallel()
+			p.Network.Cols, p.Network.Rows = 16, 16
+			g, eix, raws, err := gen.Raws(p, 11, 29)
+			if err != nil {
+				t.Fatal(err)
+			}
+			matcher := mapmatch.New(g, eix, p.Match)
+			base := matchAll(matcher, raws[:4])
+			if len(base) < 2 {
+				t.Fatalf("profile %s: only %d of the base raws matched", p.Name, len(base))
+			}
+			live := raws[4:] // submitted through the WAL, one at a time
+
+			// matchedPrefix[i] = matcher-accepted count among live[:i], and
+			// the oracle population those accepts append to: recovery must
+			// reproduce exactly this for whatever prefix of submissions
+			// survives.
+			oracle := append([]*traj.Uncertain(nil), base...)
+			matchedPrefix := make([]int, len(live)+1)
+			for i, raw := range live {
+				matchedPrefix[i+1] = matchedPrefix[i]
+				if u, err := matcher.Match(raw); err == nil {
+					matchedPrefix[i+1]++
+					oracle = append(oracle, u)
+				}
+			}
+
+			buildOpts := store.DefaultOptions(p.Ts)
+			buildOpts.NumShards = 2
+			buildOpts.Index = testIndexOpts
+			buildOpts.Parallelism = 1
+			const walPath = "store/ingest.wal"
+			ingOpts := func(fs faultfs.FS) Options {
+				return Options{
+					FS:           fs,
+					BatchSize:    3,
+					Match:        p.Match,
+					Parallelism:  1,
+					CompactEvery: -1, // compaction is driven explicitly below
+				}
+			}
+
+			// acked is the driver's record of acknowledged submissions in
+			// the current faulted run (Submit returned nil => the record is
+			// durable and must survive).
+			var acked int
+
+			w := crashmatrix.Workload{
+				Name: "ingest-pipeline-" + p.Name,
+				Setup: func(fs faultfs.FS) error {
+					opts := buildOpts
+					opts.FS = fs
+					st, err := store.Build(g, base, opts)
+					if err != nil {
+						return err
+					}
+					return st.Save("store")
+				},
+				Run: func(fs faultfs.FS) error {
+					acked = 0
+					st, err := store.Open("store", g, store.OpenOptions{FS: fs, Eager: true, Parallelism: 1})
+					if err != nil {
+						return err
+					}
+					ing, err := New(st, eix, walPath, ingOpts(fs))
+					if err != nil {
+						return err
+					}
+					submit := func(from, to int) error {
+						for _, raw := range live[from:to] {
+							if _, err := ing.Submit(raw); err != nil {
+								return err
+							}
+							acked++
+						}
+						return nil
+					}
+					if err := submit(0, 3); err != nil {
+						return err
+					}
+					if _, err := ing.Flush(); err != nil {
+						return err
+					}
+					if err := submit(3, 5); err != nil {
+						return err
+					}
+					if _, err := ing.Compact(); err != nil {
+						return err
+					}
+					if err := submit(5, 7); err != nil {
+						return err
+					}
+					_, err = ing.Flush()
+					return err
+				},
+				Verify: func(mem *faultfs.MemFS, pt crashmatrix.Point) error {
+					st, err := store.Open("store", g, store.OpenOptions{FS: mem, Eager: true, Parallelism: 1})
+					if err != nil {
+						return fmt.Errorf("reopen store (durable: %v): %w", mem.DurableNames(), err)
+					}
+					ing, err := New(st, eix, walPath, ingOpts(mem))
+					if err != nil {
+						return fmt.Errorf("reopen WAL: %w", err)
+					}
+					recovered := int(ing.Stats().Acked)
+					if recovered < acked {
+						return fmt.Errorf("%d records were acknowledged but only %d recovered", acked, recovered)
+					}
+					if recovered > len(live) {
+						return fmt.Errorf("recovered %d records, only %d were ever submitted", recovered, len(live))
+					}
+					if _, err := ing.Flush(); err != nil {
+						return fmt.Errorf("recovery flush: %w", err)
+					}
+					stats := ing.Stats()
+					if stats.Applied != stats.Acked || stats.Pending != 0 {
+						return fmt.Errorf("recovery left applied=%d acked=%d pending=%d", stats.Applied, stats.Acked, stats.Pending)
+					}
+					want := len(base) + matchedPrefix[recovered]
+					if got := st.NumTrajectories(); got != want {
+						return fmt.Errorf("recovered store holds %d trajectories, want %d (recovered prefix %d)", got, want, recovered)
+					}
+					for j := 0; j < want; j++ {
+						if _, err := st.Where(j, oracle[j].T[0], 0.3); err != nil {
+							return fmt.Errorf("where(%d): %w", j, err)
+						}
+					}
+					if _, err := st.Range(g.Bounds(), oracle[0].T[0], 0.15); err != nil {
+						return fmt.Errorf("range: %w", err)
+					}
+					return ing.Close()
+				},
+			}
+			res, err := crashmatrix.Run(w, crashmatrix.Options{
+				TornBytes: []int{0, 7},
+				MaxPoints: crashPoints(p.Name),
+				Faults:    true,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Logf("%s: %d mutating ops, %d matrix points", p.Name, res.Ops, res.Points)
+		})
+	}
+}
+
+// TestWALSyncFaultTripsReadOnly pins the graceful-degradation contract of
+// the write path: an injected WAL sync failure latches the ingester
+// read-only — later submissions fail with ErrReadOnly instead of
+// panicking or acknowledging non-durable records — while the store keeps
+// answering queries.
+func TestWALSyncFaultTripsReadOnly(t *testing.T) {
+	p := gen.CD()
+	p.Network.Cols, p.Network.Rows = 16, 16
+	g, eix, raws, err := gen.Raws(p, 8, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	matcher := mapmatch.New(g, eix, p.Match)
+	base := matchAll(matcher, raws[:4])
+
+	mem := faultfs.NewMemFS()
+	opts := store.DefaultOptions(p.Ts)
+	opts.NumShards = 2
+	opts.Index = testIndexOpts
+	opts.FS = mem
+	st, err := store.Build(g, base, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Save("store"); err != nil {
+		t.Fatal(err)
+	}
+	inj := faultfs.NewInjector(mem)
+	ing, err := New(st, eix, "store/ingest.wal", Options{FS: inj, Match: p.Match, Parallelism: 1, CompactEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ing.Submit(raws[4]); err != nil {
+		t.Fatal(err)
+	}
+
+	// Fail the next fsync: the submission must be rejected and the latch
+	// must hold for everything after, wrapped as ErrReadOnly.
+	inj.FailAt(1, faultfs.EIO) // append = write(0), sync(1)
+	if _, err := ing.Submit(raws[5]); err == nil {
+		t.Fatal("submit over a failed sync must not acknowledge")
+	}
+	inj.Disarm()
+	if err := ing.ReadOnly(); err == nil {
+		t.Fatal("WAL failure must latch read-only mode")
+	}
+	if _, err := ing.Submit(raws[6]); !isReadOnly(err) {
+		t.Fatalf("post-latch submit: got %v, want ErrReadOnly", err)
+	}
+	if !ing.Stats().ReadOnly {
+		t.Fatal("stats must report read-only mode")
+	}
+
+	// Reads keep working: the already-acknowledged world stays queryable.
+	if _, err := ing.Flush(); err != nil {
+		t.Fatalf("draining the pre-fault backlog should work: %v", err)
+	}
+	oracle := append(append([]*traj.Uncertain(nil), base...), matchAll(matcher, raws[4:5])...)
+	if got, want := st.NumTrajectories(), len(oracle); got != want {
+		t.Fatalf("store holds %d trajectories, want %d", got, want)
+	}
+	for j := range oracle {
+		if _, err := st.Where(j, oracle[j].T[0], 0.3); err != nil {
+			t.Fatalf("where(%d) while read-only: %v", j, err)
+		}
+	}
+}
+
+func isReadOnly(err error) bool { return errors.Is(err, ErrReadOnly) }

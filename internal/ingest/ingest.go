@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"utcq/internal/faultfs"
 	"utcq/internal/mapmatch"
 	"utcq/internal/par"
 	"utcq/internal/roadnet"
@@ -42,6 +43,11 @@ type Options struct {
 	// unsynced record can be lost in a crash even though Submit returned.
 	// Bulk loads and tests use it; live traffic should not.
 	NoSync bool
+
+	// FS is the filesystem the WAL lives on (nil: the real one).
+	// Fault-injection tests substitute faultfs.MemFS or an Injector; it
+	// should match the store's FS so crash simulations cover both.
+	FS faultfs.FS
 }
 
 // withDefaults resolves the zero values.
@@ -82,6 +88,9 @@ type Stats struct {
 	Generation uint64
 	// WALBytes is the log's current size.
 	WALBytes int64
+	// ReadOnly reports that the WAL failure latch is set: the write path
+	// refuses new submissions (ErrReadOnly) while queries keep serving.
+	ReadOnly bool
 }
 
 // Ingester is the write path of a mutable store: Submit acknowledges raw
@@ -126,7 +135,7 @@ var ErrRejected = errors.New("ingest: rejected")
 // manually.
 func New(st *store.Store, ix *roadnet.EdgeIndex, walPath string, opts Options) (*Ingester, error) {
 	opts = opts.withDefaults()
-	wal, raws, err := OpenWAL(walPath)
+	wal, raws, err := OpenWALIn(opts.FS, walPath)
 	if err != nil {
 		return nil, err
 	}
@@ -158,6 +167,19 @@ func (ing *Ingester) Pending() int {
 	ing.mu.Lock()
 	defer ing.mu.Unlock()
 	return len(ing.pending)
+}
+
+// ReadOnly returns the latched WAL failure, or nil while the write path
+// is healthy.  Once non-nil, Submit fails with an error wrapping
+// ErrReadOnly until the process restarts against a repaired log; reads
+// are unaffected.
+func (ing *Ingester) ReadOnly() error {
+	ing.mu.Lock()
+	defer ing.mu.Unlock()
+	if ing.wal == nil {
+		return nil
+	}
+	return ing.wal.Failed()
 }
 
 // ValidateRaw checks the structural requirements a submission must meet
@@ -413,6 +435,7 @@ func (ing *Ingester) Stats() Stats {
 	acked := ing.wal.Count()
 	pending := uint64(len(ing.pending))
 	bytes := ing.wal.Size()
+	readOnly := ing.wal.Failed() != nil
 	ing.mu.Unlock()
 	return Stats{
 		Acked:       acked,
@@ -424,5 +447,6 @@ func (ing *Ingester) Stats() Stats {
 		Compactions: ing.compactions.Load(),
 		Generation:  ing.st.Generation(),
 		WALBytes:    bytes,
+		ReadOnly:    readOnly,
 	}
 }

@@ -23,7 +23,9 @@ import (
 	"io"
 	"math"
 	"os"
+	"path/filepath"
 
+	"utcq/internal/faultfs"
 	"utcq/internal/traj"
 )
 
@@ -66,7 +68,8 @@ const (
 // the Ingester serializes access.
 type WAL struct {
 	path  string
-	f     *os.File
+	fs    faultfs.FS // filesystem the log lives on (never nil after open)
+	f     faultfs.File
 	buf   []byte // pending appended bytes not yet written through
 	first uint64 // absolute sequence of the file's first record
 	count uint64 // records in the file (durable + buffered)
@@ -74,9 +77,27 @@ type WAL struct {
 
 	// failed latches the first write/sync error: once the file and the
 	// in-memory sequence may disagree, every later operation refuses
-	// instead of acknowledging records that might not be durable.
+	// instead of acknowledging records that might not be durable.  The
+	// latch errors wrap ErrReadOnly so callers (the Ingester, the server)
+	// can recognize the condition and degrade to read-only serving.
 	failed error
 }
+
+// ErrReadOnly marks the WAL-failed latch: a write or sync error left the
+// on-disk log and the in-memory sequence potentially out of agreement, so
+// every later mutation refuses rather than acknowledge records that might
+// not be durable.  Reads are unaffected — a server seeing this keeps
+// serving queries and rejects writes with a retryable status.
+var ErrReadOnly = errors.New("ingest: write path is read-only after a WAL failure")
+
+// errFailed wraps the latch for return: callers match ErrReadOnly, the
+// message carries the original fault.
+func (w *WAL) errFailed() error {
+	return fmt.Errorf("%w: %v", ErrReadOnly, w.failed)
+}
+
+// Failed returns the latched WAL error (nil while healthy).
+func (w *WAL) Failed() error { return w.failed }
 
 // walHeader frames a header with the given first sequence.
 func walHeader(firstSeq uint64) [walHeaderSize]byte {
@@ -94,11 +115,18 @@ func walHeader(firstSeq uint64) [walHeaderSize]byte {
 // mid-append — is truncated away so the log ends on a record boundary and
 // new appends extend a valid file.
 func OpenWAL(path string) (*WAL, []traj.RawTrajectory, error) {
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	return OpenWALIn(nil, path)
+}
+
+// OpenWALIn is OpenWAL through an explicit filesystem (nil: the real one);
+// fault-injection tests substitute faultfs.MemFS or an Injector.
+func OpenWALIn(fsys faultfs.FS, path string) (*WAL, []traj.RawTrajectory, error) {
+	fsys = faultfs.Resolve(fsys)
+	f, err := fsys.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, nil, err
 	}
-	w := &WAL{path: path, f: f}
+	w := &WAL{path: path, fs: fsys, f: f}
 	data, err := io.ReadAll(f)
 	if err != nil {
 		f.Close()
@@ -111,6 +139,15 @@ func OpenWAL(path string) (*WAL, []traj.RawTrajectory, error) {
 			return nil, nil, err
 		}
 		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+		// Make the log's directory entry durable before anything is
+		// acknowledged against it: fsyncing a newly created file persists
+		// its content, not its name — without the directory sync a power
+		// cut could reboot into a directory without the log, silently
+		// dropping every record acknowledged since.
+		if err := fsys.SyncDir(filepath.Dir(path)); err != nil {
 			f.Close()
 			return nil, nil, err
 		}
@@ -231,7 +268,7 @@ func (w *WAL) Append(raw traj.RawTrajectory) (uint64, error) {
 		return 0, errors.New("ingest: WAL is closed")
 	}
 	if w.failed != nil {
-		return 0, fmt.Errorf("ingest: WAL failed earlier: %w", w.failed)
+		return 0, w.errFailed()
 	}
 	if len(raw.Points) > MaxPoints {
 		return 0, fmt.Errorf("ingest: trajectory of %d points exceeds the WAL record limit (%d)", len(raw.Points), MaxPoints)
@@ -255,7 +292,7 @@ func (w *WAL) Sync() error {
 		return errors.New("ingest: WAL is closed")
 	}
 	if w.failed != nil {
-		return fmt.Errorf("ingest: WAL failed earlier: %w", w.failed)
+		return w.errFailed()
 	}
 	if len(w.buf) > 0 {
 		n, err := w.f.Write(w.buf)
@@ -302,7 +339,7 @@ func (w *WAL) Checkpoint(upTo uint64) error {
 		return errors.New("ingest: WAL is closed")
 	}
 	if w.failed != nil {
-		return fmt.Errorf("ingest: WAL failed earlier: %w", w.failed)
+		return w.errFailed()
 	}
 	if upTo <= w.first {
 		return nil
@@ -323,7 +360,7 @@ func (w *WAL) Checkpoint(upTo uint64) error {
 		// Stream the retained suffix into the replacement file — the log
 		// is never loaded into memory whole, so a partial checkpoint costs
 		// sequential I/O, not allocation.
-		src, err := os.Open(w.path)
+		src, err := w.fs.Open(w.path)
 		if err != nil {
 			return err
 		}
@@ -344,7 +381,7 @@ func (w *WAL) Checkpoint(upTo uint64) error {
 		br = bsrc
 	}
 	tmpPath := w.path + ".tmp"
-	tmp, err := os.Create(tmpPath)
+	tmp, err := w.fs.Create(tmpPath)
 	if err != nil {
 		return err
 	}
@@ -360,14 +397,22 @@ func (w *WAL) Checkpoint(upTo uint64) error {
 		err = cerr
 	}
 	if err != nil {
-		os.Remove(tmpPath)
+		w.fs.Remove(tmpPath)
 		return err
 	}
-	if err := os.Rename(tmpPath, w.path); err != nil {
-		os.Remove(tmpPath)
+	if err := w.fs.Rename(tmpPath, w.path); err != nil {
+		w.fs.Remove(tmpPath)
 		return err
 	}
-	f, err := os.OpenFile(w.path, os.O_RDWR, 0o644)
+	// The rename must be durable before the dropped records are forgotten:
+	// an unsynced rename can un-happen at power loss, rebooting into the
+	// pre-checkpoint log — harmless — or, worse, into a directory state
+	// with neither name if the metadata journal split the operation.
+	if err := w.fs.SyncDir(filepath.Dir(w.path)); err != nil {
+		w.failed = err
+		return err
+	}
+	f, err := w.fs.OpenFile(w.path, os.O_RDWR, 0o644)
 	if err != nil {
 		// The rewritten log is valid on disk but we lost our handle; latch
 		// so nothing is acknowledged against a file we cannot append to.

@@ -22,6 +22,8 @@ import (
 	"fmt"
 	"os"
 	"sync/atomic"
+
+	"utcq/internal/faultfs"
 )
 
 // mappedBytes is the process-wide gauge of live OS-mapped bytes
@@ -45,6 +47,31 @@ type Map struct {
 // packages under it so both paths stay exercised.
 const NoMmapEnv = "UTCQ_NO_MMAP"
 
+// OpenIn opens path through the given filesystem abstraction.  The real
+// filesystem (faultfs.OS or nil) takes the Open path below — OS mapping
+// with heap fallback.  Any other FS (the fault-injection substrate of
+// internal/faultfs) has no OS file to map, so the content is read through
+// it onto the heap: fault injection exercises every read failure the map
+// path can see, while the mapping syscalls themselves stay covered by the
+// mapFileImpl hook (see TestMapFailureFallsBackToHeap).
+func OpenIn(fs faultfs.FS, path string) (*Map, error) {
+	if faultfs.IsOS(fs) {
+		return Open(path)
+	}
+	data, err := fs.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	m := &Map{data: data}
+	m.refs.Store(1)
+	return m, nil
+}
+
+// mapFileImpl indirects the platform map call so tests can force a map
+// failure and pin the heap-fallback path (production code never touches
+// it).
+var mapFileImpl = mapFile
+
 // Open maps path read-only.  The heap fallback is selected when the
 // platform lacks mmap, when the file is empty (zero-length mappings are
 // invalid), or when UTCQ_NO_MMAP=1; the variable is consulted per call so
@@ -66,7 +93,7 @@ func Open(path string) (*Map, error) {
 	m := &Map{}
 	m.refs.Store(1)
 	if size > 0 && mmapSupported && os.Getenv(NoMmapEnv) != "1" {
-		data, err := mapFile(f, size)
+		data, err := mapFileImpl(f, size)
 		if err == nil {
 			m.data, m.mapped = data, true
 			mappedBytes.Add(size)

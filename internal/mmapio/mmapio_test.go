@@ -2,9 +2,12 @@ package mmapio
 
 import (
 	"bytes"
+	"errors"
 	"os"
 	"path/filepath"
 	"testing"
+
+	"utcq/internal/faultfs"
 )
 
 func writeTemp(t *testing.T, content []byte) string {
@@ -88,6 +91,66 @@ func TestRefcountDefersUnmap(t *testing.T) {
 	m.Release()
 	if m.Data() != nil {
 		t.Fatal("data not cleared after the last release")
+	}
+}
+
+// TestMapFailureFallsBackToHeap forces the platform map call to fail and
+// requires Open to degrade to the heap path silently: a map failure
+// (exotic filesystem, resource limit) must not fail the open.
+func TestMapFailureFallsBackToHeap(t *testing.T) {
+	if !mmapSupported {
+		t.Skip("no mmap on this platform")
+	}
+	t.Setenv(NoMmapEnv, "")
+	orig := mapFileImpl
+	mapFileImpl = func(f *os.File, size int64) ([]byte, error) {
+		return nil, errors.New("injected map failure")
+	}
+	defer func() { mapFileImpl = orig }()
+
+	content := bytes.Repeat([]byte{0x5A}, 4096)
+	before := MappedBytes()
+	m, err := Open(writeTemp(t, content))
+	if err != nil {
+		t.Fatalf("map failure must fall back, not fail: %v", err)
+	}
+	defer m.Release()
+	if m.Mapped() {
+		t.Fatal("failed map call still reported a mapping")
+	}
+	if !bytes.Equal(m.Data(), content) {
+		t.Fatal("fallback content differs from file content")
+	}
+	if got := MappedBytes(); got != before {
+		t.Fatalf("failed mapping leaked into MappedBytes: %d -> %d", before, got)
+	}
+}
+
+// TestOpenInNonOSFS pins the faultfs path of OpenIn: any non-OS
+// filesystem reads onto the heap through the abstraction (so injected
+// read faults surface) instead of attempting an OS mapping of a file
+// that does not exist on disk.
+func TestOpenInNonOSFS(t *testing.T) {
+	mem := faultfs.NewMemFS()
+	content := []byte("in-memory archive")
+	f, err := mem.Create("a.utcq")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(content); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	m, err := OpenIn(mem, "a.utcq")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Release()
+	if m.Mapped() {
+		t.Fatal("MemFS content cannot be OS-mapped")
+	}
+	if !bytes.Equal(m.Data(), content) {
+		t.Fatal("OpenIn content differs")
 	}
 }
 

@@ -43,6 +43,17 @@ type Options struct {
 	// ReadTimeout/WriteTimeout guard slow clients (defaults 10s/30s).
 	ReadTimeout  time.Duration
 	WriteTimeout time.Duration
+	// QueryTimeout bounds the evaluation of one query request (where /
+	// when / range / batch).  A request still running at the deadline is
+	// abandoned and answered 504, so one shard stuck in slow I/O cannot
+	// pile up every client connection behind it (default 30s; <0
+	// disables).
+	QueryTimeout time.Duration
+	// MaxPending bounds the ingest admission queue: while at least this
+	// many acknowledged records await application, /v1/ingest answers
+	// 429 with a Retry-After header instead of letting the WAL and the
+	// drain backlog grow without limit (default 4096; <0 disables).
+	MaxPending int
 	// Ingester enables live ingestion.  Nil disables data ingress:
 	// /v1/ingest answers 503.  /v1/compact remains available either way
 	// (compaction is maintenance over data already in the store, useful
@@ -52,7 +63,13 @@ type Options struct {
 
 // DefaultOptions returns the server defaults.
 func DefaultOptions() Options {
-	return Options{MaxBatch: 256, ReadTimeout: 10 * time.Second, WriteTimeout: 30 * time.Second}
+	return Options{
+		MaxBatch:     256,
+		ReadTimeout:  10 * time.Second,
+		WriteTimeout: 30 * time.Second,
+		QueryTimeout: 30 * time.Second,
+		MaxPending:   4096,
+	}
 }
 
 // Server is the HTTP query service over one store.
@@ -66,6 +83,13 @@ type Server struct {
 	started  time.Time
 	requests atomic.Int64
 	failures atomic.Int64
+
+	// Degradation counters: admission rejections (429), abandoned slow
+	// queries (504) and range queries answered without their quarantined
+	// shards.
+	rejected atomic.Int64
+	timeouts atomic.Int64
+	degraded atomic.Int64
 }
 
 // New returns a server over st.  Zero-valued options select defaults.
@@ -79,6 +103,12 @@ func New(st *store.Store, opts Options) *Server {
 	}
 	if opts.WriteTimeout <= 0 {
 		opts.WriteTimeout = def.WriteTimeout
+	}
+	if opts.QueryTimeout == 0 {
+		opts.QueryTimeout = def.QueryTimeout
+	}
+	if opts.MaxPending == 0 {
+		opts.MaxPending = def.MaxPending
 	}
 	s := &Server{st: st, ing: opts.Ingester, opts: opts, mux: http.NewServeMux(), started: time.Now()}
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -205,11 +235,14 @@ type (
 	// On success the field matching the query kind holds the results and
 	// Error is empty; a query with zero results serializes as {} (empty
 	// payloads are omitted).  Error carries the failure otherwise.
+	// Degraded marks a range result that skipped quarantined shards and
+	// is therefore a lower bound.
 	BatchResult struct {
-		Where []WhereResultJSON `json:"where,omitempty"`
-		When  []WhenResultJSON  `json:"when,omitempty"`
-		Trajs []int             `json:"trajs,omitempty"`
-		Error string            `json:"error,omitempty"`
+		Where    []WhereResultJSON `json:"where,omitempty"`
+		When     []WhenResultJSON  `json:"when,omitempty"`
+		Trajs    []int             `json:"trajs,omitempty"`
+		Degraded bool              `json:"degraded,omitempty"`
+		Error    string            `json:"error,omitempty"`
 	}
 
 	// RawPointJSON is one GPS fix of an ingested trajectory.
@@ -252,16 +285,20 @@ type (
 		Generation uint64 `json:"generation"`
 	}
 
-	// IngestStatsJSON mirrors ingest.Stats on /stats.
+	// IngestStatsJSON mirrors ingest.Stats on /stats.  PendingLimit is
+	// the server's admission bound (0 = unbounded); ReadOnly reports the
+	// write path latched off after a WAL failure.
 	IngestStatsJSON struct {
-		Acked       uint64 `json:"acked"`
-		Applied     uint64 `json:"applied"`
-		Pending     uint64 `json:"pending"`
-		Matched     int64  `json:"matched"`
-		Dropped     int64  `json:"dropped"`
-		Batches     int64  `json:"batches"`
-		Compactions int64  `json:"compactions"`
-		WALBytes    int64  `json:"walBytes"`
+		Acked        uint64 `json:"acked"`
+		Applied      uint64 `json:"applied"`
+		Pending      uint64 `json:"pending"`
+		PendingLimit int    `json:"pendingLimit"`
+		Matched      int64  `json:"matched"`
+		Dropped      int64  `json:"dropped"`
+		Batches      int64  `json:"batches"`
+		Compactions  int64  `json:"compactions"`
+		WALBytes     int64  `json:"walBytes"`
+		ReadOnly     bool   `json:"readOnly"`
 	}
 
 	// StatsResponse is the /stats payload: store shape, aggregated engine
@@ -291,6 +328,15 @@ type (
 		MappedBytes     int64 `json:"mappedBytes"`
 		RSSBytes        int64 `json:"rssBytes"`
 
+		// Degradation state (PR7): shards currently served around
+		// (quarantined after open failures), total open failures observed,
+		// and the server's shed/abandon/degrade counters.
+		QuarantinedShards int   `json:"quarantinedShards"`
+		ShardOpenFailures int64 `json:"shardOpenFailures"`
+		Rejected          int64 `json:"rejected"`
+		Timeouts          int64 `json:"timeouts"`
+		DegradedQueries   int64 `json:"degradedQueries"`
+
 		// Ingest is present only when the server was started with an
 		// ingester attached.
 		Ingest *IngestStatsJSON `json:"ingest,omitempty"`
@@ -302,17 +348,58 @@ type (
 )
 
 // errBadInput marks request-validation failures so handlers report them
-// as 400s; every other store/engine error is a server-side 500.
-var errBadInput = errors.New("invalid request")
+// as 400s; errQueryTimeout marks a query abandoned at Options.QueryTimeout.
+var (
+	errBadInput     = errors.New("invalid request")
+	errQueryTimeout = errors.New("query timed out")
+)
 
 // statusFor classifies a query error: caller mistakes (unknown
-// trajectory, invalid location) are 400, everything else — including
-// lazy-shard-open I/O failures — is 500.
+// trajectory, invalid location) are 400; transient degradation — a
+// quarantined shard or a read-only write path — is 503 so well-behaved
+// clients back off and retry; an abandoned slow query is 504.  Everything
+// else is a server-side 500.
 func statusFor(err error) int {
-	if errors.Is(err, errBadInput) || errors.Is(err, store.ErrUnknownTrajectory) {
+	switch {
+	case errors.Is(err, errBadInput) || errors.Is(err, store.ErrUnknownTrajectory):
 		return http.StatusBadRequest
+	case errors.Is(err, store.ErrShardQuarantined) || errors.Is(err, ingest.ErrReadOnly):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, errQueryTimeout):
+		return http.StatusGatewayTimeout
 	}
 	return http.StatusInternalServerError
+}
+
+// timed evaluates fn under the server's query timeout.  The store's query
+// path takes no context (its engines compute over mapped memory without
+// cancellation points), so on expiry the evaluation goroutine is
+// abandoned — it finishes against its own view of the store and its
+// result is dropped — and the client gets 504 instead of a connection
+// held until the write timeout kills it.
+func timed[T any](s *Server, fn func() (T, error)) (T, error) {
+	if s.opts.QueryTimeout <= 0 {
+		return fn()
+	}
+	type outcome struct {
+		v   T
+		err error
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		v, err := fn()
+		ch <- outcome{v, err}
+	}()
+	tm := time.NewTimer(s.opts.QueryTimeout)
+	defer tm.Stop()
+	select {
+	case o := <-ch:
+		return o.v, o.err
+	case <-tm.C:
+		s.timeouts.Add(1)
+		var zero T
+		return zero, errQueryTimeout
+	}
 }
 
 func (s *Server) whereJSON(req WhereRequest) ([]WhereResultJSON, error) {
@@ -349,16 +436,24 @@ func (s *Server) whenJSON(req WhenRequest) ([]WhenResultJSON, error) {
 	return out, nil
 }
 
-func (s *Server) rangeJSON(req RangeRequest) ([]int, error) {
+// rangeJSON evaluates a range query over every healthy shard.  skipped
+// reports live shards that could not be consulted because they are
+// quarantined after open failures: the result is then a lower bound and
+// the response is flagged degraded rather than failed (a scatter query
+// losing one shard still has value; a 500 would have none).
+func (s *Server) rangeJSON(req RangeRequest) (trajs []int, skipped int, err error) {
 	re := roadnet.Rect{MinX: req.Rect.MinX, MinY: req.Rect.MinY, MaxX: req.Rect.MaxX, MaxY: req.Rect.MaxY}
-	trajs, err := s.st.Range(re, req.T, req.Alpha)
+	trajs, skipped, err = s.st.RangeDegraded(re, req.T, req.Alpha)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
+	}
+	if skipped > 0 {
+		s.degraded.Add(1)
 	}
 	if trajs == nil {
 		trajs = []int{}
 	}
-	return trajs, nil
+	return trajs, skipped, nil
 }
 
 func (s *Server) handleWhere(w http.ResponseWriter, r *http.Request) {
@@ -366,7 +461,7 @@ func (s *Server) handleWhere(w http.ResponseWriter, r *http.Request) {
 	if !s.decode(w, r, &req) {
 		return
 	}
-	rs, err := s.whereJSON(req)
+	rs, err := timed(s, func() ([]WhereResultJSON, error) { return s.whereJSON(req) })
 	if err != nil {
 		s.fail(w, statusFor(err), err)
 		return
@@ -379,7 +474,7 @@ func (s *Server) handleWhen(w http.ResponseWriter, r *http.Request) {
 	if !s.decode(w, r, &req) {
 		return
 	}
-	rs, err := s.whenJSON(req)
+	rs, err := timed(s, func() ([]WhenResultJSON, error) { return s.whenJSON(req) })
 	if err != nil {
 		s.fail(w, statusFor(err), err)
 		return
@@ -392,12 +487,24 @@ func (s *Server) handleRange(w http.ResponseWriter, r *http.Request) {
 	if !s.decode(w, r, &req) {
 		return
 	}
-	trajs, err := s.rangeJSON(req)
+	type rangeOut struct {
+		trajs   []int
+		skipped int
+	}
+	out, err := timed(s, func() (rangeOut, error) {
+		trajs, skipped, err := s.rangeJSON(req)
+		return rangeOut{trajs, skipped}, err
+	})
 	if err != nil {
 		s.fail(w, statusFor(err), err)
 		return
 	}
-	s.reply(w, map[string]any{"trajs": trajs})
+	resp := map[string]any{"trajs": out.trajs}
+	if out.skipped > 0 {
+		resp["degraded"] = true
+		resp["shardsSkipped"] = out.skipped
+	}
+	s.reply(w, resp)
 }
 
 // handleBatch evaluates the request's queries on a bounded worker pool and
@@ -413,37 +520,45 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			fmt.Errorf("batch of %d exceeds limit %d", len(req.Queries), s.opts.MaxBatch))
 		return
 	}
-	results := make([]BatchResult, len(req.Queries))
-	// Errors land in results; par.Do never sees one.
-	_ = par.Do(par.Workers(s.opts.BatchParallelism), len(req.Queries), func(i int) error {
-		q := req.Queries[i]
-		switch {
-		case q.Kind == "where" && q.Where != nil:
-			rs, err := s.whereJSON(*q.Where)
-			if err != nil {
-				results[i].Error = err.Error()
-				return nil
+	results, err := timed(s, func() ([]BatchResult, error) {
+		results := make([]BatchResult, len(req.Queries))
+		// Errors land in results; par.Do never sees one.
+		_ = par.Do(par.Workers(s.opts.BatchParallelism), len(req.Queries), func(i int) error {
+			q := req.Queries[i]
+			switch {
+			case q.Kind == "where" && q.Where != nil:
+				rs, err := s.whereJSON(*q.Where)
+				if err != nil {
+					results[i].Error = err.Error()
+					return nil
+				}
+				results[i].Where = rs
+			case q.Kind == "when" && q.When != nil:
+				rs, err := s.whenJSON(*q.When)
+				if err != nil {
+					results[i].Error = err.Error()
+					return nil
+				}
+				results[i].When = rs
+			case q.Kind == "range" && q.Range != nil:
+				trajs, skipped, err := s.rangeJSON(*q.Range)
+				if err != nil {
+					results[i].Error = err.Error()
+					return nil
+				}
+				results[i].Trajs = trajs
+				results[i].Degraded = skipped > 0
+			default:
+				results[i].Error = fmt.Sprintf("query %d: kind %q without a matching body", i, q.Kind)
 			}
-			results[i].Where = rs
-		case q.Kind == "when" && q.When != nil:
-			rs, err := s.whenJSON(*q.When)
-			if err != nil {
-				results[i].Error = err.Error()
-				return nil
-			}
-			results[i].When = rs
-		case q.Kind == "range" && q.Range != nil:
-			trajs, err := s.rangeJSON(*q.Range)
-			if err != nil {
-				results[i].Error = err.Error()
-				return nil
-			}
-			results[i].Trajs = trajs
-		default:
-			results[i].Error = fmt.Sprintf("query %d: kind %q without a matching body", i, q.Kind)
-		}
-		return nil
+			return nil
+		})
+		return results, nil
 	})
+	if err != nil {
+		s.fail(w, statusFor(err), err)
+		return
+	}
 	s.reply(w, map[string]any{"results": results})
 }
 
@@ -465,6 +580,17 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, fmt.Errorf("%w: no trajectories", errBadInput))
 		return
 	}
+	// Bounded admission: past the pending limit the WAL keeps growing
+	// faster than the drain empties it, so shed load here — the batch was
+	// not acknowledged and the client retries after backoff.
+	if limit := s.opts.MaxPending; limit > 0 {
+		if pending := s.ing.Pending(); pending >= limit {
+			s.rejected.Add(1)
+			s.fail(w, http.StatusTooManyRequests,
+				fmt.Errorf("ingest backlog full: %d acknowledged records pending (limit %d)", pending, limit))
+			return
+		}
+	}
 	raws := make([]traj.RawTrajectory, len(req.Trajectories))
 	for i, rt := range req.Trajectories {
 		pts := make([]traj.RawPoint, len(rt.Points))
@@ -476,8 +602,13 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	first, err := s.ing.SubmitBatch(raws)
 	if err != nil {
 		code := http.StatusInternalServerError
-		if errors.Is(err, ingest.ErrRejected) {
+		switch {
+		case errors.Is(err, ingest.ErrRejected):
 			code = http.StatusBadRequest
+		case errors.Is(err, ingest.ErrReadOnly):
+			// A WAL failure latched the write path read-only; reads keep
+			// working, writes answer 503 until the operator intervenes.
+			code = http.StatusServiceUnavailable
 		}
 		s.fail(w, code, err)
 		return
@@ -533,46 +664,67 @@ func (s *Server) handleCompact(w http.ResponseWriter, r *http.Request) {
 	s.reply(w, CompactResponse{Folded: folded, Generation: s.st.Generation()})
 }
 
+// handleHealthz is liveness plus degradation visibility: the process is
+// alive (200) as long as it can answer, but the body reports "degraded"
+// with the reasons — quarantined shards, a read-only write path — so
+// operators and load balancers see partial failure without scraping
+// /stats.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	s.reply(w, map[string]any{"status": "ok"})
+	resp := map[string]any{"status": "ok"}
+	if q := s.st.QuarantinedShards(); q > 0 {
+		resp["status"] = "degraded"
+		resp["quarantinedShards"] = q
+	}
+	if s.ing != nil && s.ing.ReadOnly() != nil {
+		resp["status"] = "degraded"
+		resp["readOnly"] = true
+	}
+	s.reply(w, resp)
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	st := s.st.Stats()
 	b := s.st.Bounds()
 	resp := StatsResponse{
-		Shards:          st.Shards,
-		BaseShards:      st.BaseShards,
-		DeltaShards:     st.DeltaShards,
-		Tombstones:      st.Tombstones,
-		OpenShards:      st.OpenShards,
-		Trajectories:    st.Trajectories,
-		Assignment:      st.Assignment,
-		Generation:      st.Generation,
-		Compactions:     st.Compactions,
-		TimeMin:         st.TimeMin,
-		TimeMax:         st.TimeMax,
-		Bounds:          RectJSON{MinX: b.MinX, MinY: b.MinY, MaxX: b.MaxX, MaxY: b.MaxY},
-		Engine:          st.Engine,
-		SidecarLoads:    st.SidecarLoads,
-		SidecarRebuilds: st.SidecarRebuilds,
-		MappedBytes:     st.MappedBytes,
-		RSSBytes:        st.RSSBytes,
-		Requests:        s.requests.Load(),
-		Failures:        s.failures.Load(),
-		UptimeSeconds:   time.Since(s.started).Seconds(),
+		Shards:            st.Shards,
+		BaseShards:        st.BaseShards,
+		DeltaShards:       st.DeltaShards,
+		Tombstones:        st.Tombstones,
+		OpenShards:        st.OpenShards,
+		Trajectories:      st.Trajectories,
+		Assignment:        st.Assignment,
+		Generation:        st.Generation,
+		Compactions:       st.Compactions,
+		TimeMin:           st.TimeMin,
+		TimeMax:           st.TimeMax,
+		Bounds:            RectJSON{MinX: b.MinX, MinY: b.MinY, MaxX: b.MaxX, MaxY: b.MaxY},
+		Engine:            st.Engine,
+		SidecarLoads:      st.SidecarLoads,
+		SidecarRebuilds:   st.SidecarRebuilds,
+		MappedBytes:       st.MappedBytes,
+		RSSBytes:          st.RSSBytes,
+		QuarantinedShards: st.QuarantinedShards,
+		ShardOpenFailures: st.ShardOpenFailures,
+		Rejected:          s.rejected.Load(),
+		Timeouts:          s.timeouts.Load(),
+		DegradedQueries:   s.degraded.Load(),
+		Requests:          s.requests.Load(),
+		Failures:          s.failures.Load(),
+		UptimeSeconds:     time.Since(s.started).Seconds(),
 	}
 	if s.ing != nil {
 		is := s.ing.Stats()
 		resp.Ingest = &IngestStatsJSON{
-			Acked:       is.Acked,
-			Applied:     is.Applied,
-			Pending:     is.Pending,
-			Matched:     is.Matched,
-			Dropped:     is.Dropped,
-			Batches:     is.Batches,
-			Compactions: is.Compactions,
-			WALBytes:    is.WALBytes,
+			Acked:        is.Acked,
+			Applied:      is.Applied,
+			Pending:      is.Pending,
+			PendingLimit: max(s.opts.MaxPending, 0),
+			Matched:      is.Matched,
+			Dropped:      is.Dropped,
+			Batches:      is.Batches,
+			Compactions:  is.Compactions,
+			WALBytes:     is.WALBytes,
+			ReadOnly:     is.ReadOnly,
 		}
 	}
 	s.reply(w, resp)
@@ -601,6 +753,15 @@ func (s *Server) reply(w http.ResponseWriter, payload any) {
 func (s *Server) fail(w http.ResponseWriter, code int, err error) {
 	s.failures.Add(1)
 	w.Header().Set("Content-Type", "application/json")
+	// Transient conditions carry a Retry-After so off-the-shelf clients
+	// back off: admission rejections clear as soon as the drain catches
+	// up; quarantined shards and read-only mode take operator time.
+	switch code {
+	case http.StatusTooManyRequests:
+		w.Header().Set("Retry-After", "1")
+	case http.StatusServiceUnavailable:
+		w.Header().Set("Retry-After", "2")
+	}
 	w.WriteHeader(code)
 	_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
 }

@@ -1,0 +1,222 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"utcq/internal/faultfs"
+	"utcq/internal/faultfs/crashmatrix"
+	"utcq/internal/gen"
+	"utcq/internal/query"
+)
+
+// crashMatrixFullEnv opts into the exhaustive sweep (every crash point on
+// every profile); the default run strides the CD/HZ matrices so the suite
+// stays fast.
+const crashMatrixFullEnv = "UTCQ_CRASHMATRIX_FULL"
+
+// crashPoints returns the per-profile point cap: DK always sweeps every
+// point, the other profiles stride unless the full sweep is requested.
+func crashPoints(profile string) int {
+	if profile == "DK" || os.Getenv(crashMatrixFullEnv) == "1" {
+		return 0
+	}
+	return 24
+}
+
+// TestStoreCrashMatrix enumerates a crash after every mutating filesystem
+// operation of a Save → ApplyDelta → Compact → ApplyDelta → Compact
+// sequence and asserts, at each point, that the reopened store is one
+// complete generation: the manifest opens, every referenced shard opens
+// eagerly, the trajectory count matches the generation's population, and
+// every trajectory answers queries — no partial generation, no panic.
+func TestStoreCrashMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("crash matrix is a long test")
+	}
+	for _, p := range gen.Profiles() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			t.Parallel()
+			p.Network.Cols, p.Network.Rows = 16, 16
+			ds, err := gen.Build(p, 12, 41)
+			if err != nil {
+				t.Fatal(err)
+			}
+			g, tus := ds.Graph, ds.Trajectories
+			base, batchA, batchB := tus[:4], tus[4:8], tus[8:12]
+
+			// Expected population after each durable generation: mutations
+			// commit through the manifest rename, so recovery must land on
+			// exactly one of these states.
+			popByGen := map[uint64]int{1: 4, 2: 8, 3: 8, 4: 12, 5: 12}
+
+			buildOpts := DefaultOptions(p.Ts)
+			buildOpts.NumShards = 2
+			buildOpts.Index = testIndexOpts
+			buildOpts.Parallelism = 1
+
+			w := crashmatrix.Workload{
+				Name: "store-mutate-" + p.Name,
+				Setup: func(fs faultfs.FS) error {
+					opts := buildOpts
+					opts.FS = fs
+					st, err := Build(g, base, opts)
+					if err != nil {
+						return err
+					}
+					return st.Save("store")
+				},
+				Run: func(fs faultfs.FS) error {
+					st, err := Open("store", g, OpenOptions{FS: fs, Eager: true, Parallelism: 1})
+					if err != nil {
+						return err
+					}
+					if _, err := st.ApplyDelta(batchA, 1); err != nil {
+						return err
+					}
+					if _, err := st.Compact(); err != nil {
+						return err
+					}
+					if _, err := st.ApplyDelta(batchB, 2); err != nil {
+						return err
+					}
+					_, err = st.Compact()
+					return err
+				},
+				Verify: func(mem *faultfs.MemFS, pt crashmatrix.Point) error {
+					st, err := Open("store", g, OpenOptions{FS: mem, Eager: true, Parallelism: 1})
+					if err != nil {
+						return fmt.Errorf("reopen (durable: %v): %w", mem.DurableNames(), err)
+					}
+					want, ok := popByGen[st.Generation()]
+					if !ok {
+						return fmt.Errorf("recovered into unknown generation %d", st.Generation())
+					}
+					if got := st.NumTrajectories(); got != want {
+						return fmt.Errorf("generation %d holds %d trajectories, want %d", st.Generation(), got, want)
+					}
+					for j := 0; j < want; j++ {
+						if _, err := st.Where(j, tus[j].T[0], 0.3); err != nil {
+							return fmt.Errorf("where(%d) at generation %d: %w", j, st.Generation(), err)
+						}
+					}
+					if _, err := st.Range(g.Bounds(), tus[0].T[0], 0.15); err != nil {
+						return fmt.Errorf("range at generation %d: %w", st.Generation(), err)
+					}
+					return nil
+				},
+			}
+			res, err := crashmatrix.Run(w, crashmatrix.Options{
+				TornBytes: []int{0, 7},
+				MaxPoints: crashPoints(p.Name),
+				Faults:    true,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Logf("%s: %d mutating ops, %d matrix points", p.Name, res.Ops, res.Points)
+		})
+	}
+}
+
+// TestSidecarPartialWriteRebuilds truncates a shard's persisted StIU
+// sidecar to every possible prefix length (and corrupts single bytes) and
+// requires each damaged store to open silently — the index is rebuilt
+// from the archive, queries match the intact store exactly, and the
+// rebuild is visible only in the stats counters.
+func TestSidecarPartialWriteRebuilds(t *testing.T) {
+	p := gen.CD()
+	p.Network.Cols, p.Network.Rows = 16, 16
+	ds, err := gen.Build(p, 4, 53)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, tus := ds.Graph, ds.Trajectories
+
+	opts := DefaultOptions(p.Ts)
+	opts.NumShards = 1
+	opts.Index = testIndexOpts
+	st, err := Build(g, tus, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := st.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	scPath := filepath.Join(dir, sidecarFile(0))
+	intact, err := os.ReadFile(scPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(intact) == 0 {
+		t.Fatal("sidecar is empty; the test cannot exercise prefixes")
+	}
+
+	type result struct {
+		where [][]query.WhereResult
+	}
+	query := func(t *testing.T, dir string, wantRebuild bool) result {
+		t.Helper()
+		s, err := Open(dir, g, OpenOptions{Eager: true})
+		if err != nil {
+			t.Fatalf("open with damaged sidecar must succeed: %v", err)
+		}
+		var res result
+		for j := range tus {
+			wr, err := s.Where(j, tus[j].T[0], 0.3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res.where = append(res.where, wr)
+		}
+		stats := s.Stats()
+		if wantRebuild && stats.SidecarRebuilds == 0 {
+			t.Fatalf("expected a silent sidecar rebuild, stats: loads=%d rebuilds=%d", stats.SidecarLoads, stats.SidecarRebuilds)
+		}
+		if !wantRebuild && stats.SidecarRebuilds != 0 {
+			t.Fatalf("intact sidecar should load, not rebuild (loads=%d rebuilds=%d)", stats.SidecarLoads, stats.SidecarRebuilds)
+		}
+		return res
+	}
+	want := query(t, dir, false)
+
+	damage := func(t *testing.T, name string, content []byte) {
+		t.Helper()
+		ddir := t.TempDir()
+		for _, f := range []string{ManifestName, shardFile(0)} {
+			data, err := os.ReadFile(filepath.Join(dir, f))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(filepath.Join(ddir, f), data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if content != nil {
+			if err := os.WriteFile(filepath.Join(ddir, sidecarFile(0)), content, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		got := query(t, ddir, true)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("%s: rebuilt index answers differently", name)
+		}
+	}
+
+	// Every torn prefix a crashed sidecar write could leave behind.
+	for n := 0; n < len(intact); n++ {
+		damage(t, fmt.Sprintf("prefix-%d", n), intact[:n])
+	}
+	// A missing sidecar (crash before the rename) and bit rot.
+	damage(t, "missing", nil)
+	for _, i := range []int{0, len(intact) / 2, len(intact) - 1} {
+		flipped := append([]byte(nil), intact...)
+		flipped[i] ^= 0x40
+		damage(t, fmt.Sprintf("flip-%d", i), flipped)
+	}
+}

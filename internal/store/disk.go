@@ -4,11 +4,12 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
-	"os"
 	"path/filepath"
 	"runtime"
+	"time"
 
 	"utcq/internal/core"
+	"utcq/internal/faultfs"
 	"utcq/internal/mmapio"
 	"utcq/internal/par"
 	"utcq/internal/query"
@@ -26,43 +27,39 @@ func sidecarFile(id uint32) string { return fmt.Sprintf("shard-%04d.stiu", id) }
 
 // writeFileAtomic writes a file via a temporary sibling and renames it into
 // place, fsyncing the file first, so a crash mid-write can never leave a
-// half-written artifact under the final name.  The directory entry is
-// synced best-effort (rename durability).
-func writeFileAtomic(dir, name string, write func(io.Writer) error) error {
+// half-written artifact under the final name.  The directory is fsynced
+// after the rename and the error PROPAGATED: until the directory entry is
+// durable the rename is not — a power cut after a swallowed dir-sync
+// failure could reboot into the old file (or no file), orphaning a
+// manifest the caller believed committed.
+func writeFileAtomic(fs faultfs.FS, dir, name string, write func(io.Writer) error) error {
 	tmp := filepath.Join(dir, name+".tmp")
-	f, err := os.Create(tmp)
+	f, err := fs.Create(tmp)
 	if err != nil {
 		return err
 	}
 	if err := write(f); err != nil {
 		f.Close()
-		os.Remove(tmp)
+		fs.Remove(tmp)
 		return err
 	}
 	if err := f.Sync(); err != nil {
 		f.Close()
-		os.Remove(tmp)
+		fs.Remove(tmp)
 		return err
 	}
 	if err := f.Close(); err != nil {
-		os.Remove(tmp)
+		fs.Remove(tmp)
 		return err
 	}
-	if err := os.Rename(tmp, filepath.Join(dir, name)); err != nil {
-		os.Remove(tmp)
+	if err := fs.Rename(tmp, filepath.Join(dir, name)); err != nil {
+		fs.Remove(tmp)
 		return err
 	}
-	syncDir(dir)
+	if err := fs.SyncDir(dir); err != nil {
+		return fmt.Errorf("sync %s after renaming %s: %w", dir, name, err)
+	}
 	return nil
-}
-
-// syncDir fsyncs a directory so a completed rename survives power loss.
-// Best-effort: some platforms cannot sync directories.
-func syncDir(dir string) {
-	if d, err := os.Open(dir); err == nil {
-		_ = d.Sync()
-		_ = d.Close()
-	}
 }
 
 // countingWriter tracks how many bytes passed through it.
@@ -79,9 +76,9 @@ func (cw *countingWriter) Write(p []byte) (int, error) {
 
 // writeShardFile persists one shard archive atomically and returns its
 // exact length, which the manifest records for open-time validation.
-func writeShardFile(dir string, id uint32, arch *core.Archive) (int64, error) {
+func writeShardFile(fs faultfs.FS, dir string, id uint32, arch *core.Archive) (int64, error) {
 	var size int64
-	err := writeFileAtomic(dir, shardFile(id), func(w io.Writer) error {
+	err := writeFileAtomic(fs, dir, shardFile(id), func(w io.Writer) error {
 		cw := &countingWriter{w: w}
 		if err := arch.Save(cw); err != nil {
 			return err
@@ -99,8 +96,8 @@ func writeShardFile(dir string, id uint32, arch *core.Archive) (int64, error) {
 // returns the archive length plus the sidecar checksum for the manifest
 // entry.  The sidecar is an optimization, never a source of truth: if the
 // index cannot be encoded the shard is still durable and openers rebuild.
-func writeShardArtifacts(dir string, id uint32, arch *core.Archive, ix *stiu.Index) (uint64, uint32, error) {
-	size, err := writeShardFile(dir, id, arch)
+func writeShardArtifacts(fs faultfs.FS, dir string, id uint32, arch *core.Archive, ix *stiu.Index) (uint64, uint32, error) {
+	size, err := writeShardFile(fs, dir, id, arch)
 	if err != nil {
 		return 0, 0, err
 	}
@@ -108,7 +105,7 @@ func writeShardArtifacts(dir string, id uint32, arch *core.Archive, ix *stiu.Ind
 	if err != nil {
 		return uint64(size), 0, fmt.Errorf("store: encode sidecar %d: %w", id, err)
 	}
-	err = writeFileAtomic(dir, sidecarFile(id), func(w io.Writer) error {
+	err = writeFileAtomic(fs, dir, sidecarFile(id), func(w io.Writer) error {
 		_, werr := w.Write(enc)
 		return werr
 	})
@@ -122,8 +119,8 @@ func writeShardArtifacts(dir string, id uint32, arch *core.Archive, ix *stiu.Ind
 // resolve every shard through the manifest, the rename is the commit point
 // of a mutation: before it they see the previous generation, after it the
 // new one, never a mixture.
-func writeManifestFile(dir string, man *manifest) error {
-	if err := writeFileAtomic(dir, ManifestName, man.write); err != nil {
+func writeManifestFile(fs faultfs.FS, dir string, man *manifest) error {
+	if err := writeFileAtomic(fs, dir, ManifestName, man.write); err != nil {
 		return fmt.Errorf("store: save manifest: %w", err)
 	}
 	return nil
@@ -155,7 +152,7 @@ func (s *Store) Save(dir string) error {
 		}
 		items = append(items, item{slot, eng})
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if err := s.fsys().MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
 	// The written manifest records each shard's file length and sidecar
@@ -164,14 +161,14 @@ func (s *Store) Save(dir string) error {
 	man := v.man.clone()
 	for _, it := range items {
 		id := man.entries[it.slot].id
-		nbytes, crc, err := writeShardArtifacts(dir, id, it.eng.Arch, it.eng.Ix)
+		nbytes, crc, err := writeShardArtifacts(s.fsys(), dir, id, it.eng.Arch, it.eng.Ix)
 		if err != nil {
 			return err
 		}
 		man.entries[it.slot].bytes = nbytes
 		man.entries[it.slot].sidecarCRC = crc
 	}
-	if err := writeManifestFile(dir, man); err != nil {
+	if err := writeManifestFile(s.fsys(), dir, man); err != nil {
 		return err
 	}
 	s.v.Store(newView(man, v.shards))
@@ -193,6 +190,14 @@ type OpenOptions struct {
 	Parallelism int
 	// Eager opens every shard immediately instead of on first use.
 	Eager bool
+	// FS is the filesystem the store reads and persists through (nil:
+	// the real filesystem).  Fault-injection tests substitute
+	// faultfs.MemFS/Injector here.
+	FS faultfs.FS
+	// QuarantineBackoff overrides the initial retry delay after a shard
+	// open fails (0: the 1s default).  The delay doubles per consecutive
+	// failure up to 60× the base.
+	QuarantineBackoff time.Duration
 }
 
 // Open reads a store directory written by Save (or grown by ApplyDelta /
@@ -202,7 +207,8 @@ type OpenOptions struct {
 // sidecar, or rebuilt when the sidecar is missing or stale — on the first
 // query that touches it, unless opts.Eager is set.
 func Open(dir string, g *roadnet.Graph, opts OpenOptions) (*Store, error) {
-	f, err := os.Open(filepath.Join(dir, ManifestName))
+	fsys := faultfs.Resolve(opts.FS)
+	f, err := fsys.Open(filepath.Join(dir, ManifestName))
 	if err != nil {
 		return nil, err
 	}
@@ -223,6 +229,7 @@ func Open(dir string, g *roadnet.Graph, opts OpenOptions) (*Store, error) {
 	}
 	s := &Store{
 		graph: g,
+		fs:    opts.FS,
 		opts: Options{
 			NumShards:   man.liveShards(),
 			Assignment:  man.assignment,
@@ -230,7 +237,9 @@ func Open(dir string, g *roadnet.Graph, opts OpenOptions) (*Store, error) {
 			Index:       stiu.Options{GridNX: man.gridNX, GridNY: man.gridNY, IntervalDur: man.interval, Parallelism: ixPar},
 			Engine:      opts.Engine,
 			Parallelism: opts.Parallelism,
+			FS:          opts.FS,
 		},
+		quarBase: opts.QuarantineBackoff,
 	}
 	s.dir.Store(&dir)
 	v := newView(man, buildShards(man))
@@ -269,7 +278,7 @@ func releaseMap(m *mmapio.Map) { m.Release() }
 // cleanup, so the file is unmapped exactly when the last record (or the
 // sidecar-backed index, for its own mapping) becomes unreachable.
 func (s *Store) openShard(sh *shard, e *shardEntry) (*query.Engine, error) {
-	m, err := mmapio.Open(filepath.Join(s.dirPath(), shardFile(sh.id)))
+	m, err := mmapio.OpenIn(s.fsys(), filepath.Join(s.dirPath(), shardFile(sh.id)))
 	if err != nil {
 		return nil, err
 	}
@@ -318,7 +327,7 @@ func (s *Store) loadSidecar(id uint32, e *shardEntry, arch *core.Archive, archiv
 	if e.sidecarCRC == 0 {
 		return nil
 	}
-	m, err := mmapio.Open(filepath.Join(s.dirPath(), sidecarFile(id)))
+	m, err := mmapio.OpenIn(s.fsys(), filepath.Join(s.dirPath(), sidecarFile(id)))
 	if err != nil {
 		return nil
 	}

@@ -37,13 +37,14 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"os"
 	"path/filepath"
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"utcq/internal/core"
+	"utcq/internal/faultfs"
 	"utcq/internal/mmapio"
 	"utcq/internal/par"
 	"utcq/internal/query"
@@ -108,6 +109,10 @@ type Options struct {
 	// CPU).  Shard contents are independent, so the store is identical
 	// across all settings.
 	Parallelism int
+	// FS is the filesystem all persistence goes through (nil: the real
+	// filesystem).  Fault-injection tests substitute faultfs.MemFS or an
+	// Injector here.
+	FS faultfs.FS
 }
 
 // DefaultOptions returns a 4-shard hash-assigned store with the paper's
@@ -133,6 +138,33 @@ type shard struct {
 	mu      sync.Mutex // serializes lazy opening
 	eng     atomic.Pointer[query.Engine]
 	globals []int32 // local trajectory index -> global id (ascending)
+
+	// Quarantine state after a failed open.  A shard whose open fails
+	// (I/O error, corruption) is not retried on every query — that would
+	// hammer a broken disk from the hot path — but after a backoff that
+	// doubles per consecutive failure.  Until the deadline passes, engine()
+	// fails fast with ErrShardQuarantined without touching the disk.
+	// Shard objects are shared across views, so quarantine survives
+	// concurrent mutations.  All fields are atomics: the fast path reads
+	// them without the shard mutex.
+	openFails atomic.Int32
+	retryAt   atomic.Int64 // unixnano deadline gating the next open attempt; 0 = healthy
+	openErr   atomic.Pointer[string]
+}
+
+// quarantined reports whether the shard is currently failing fast (its
+// backoff deadline has not passed).
+func (sh *shard) quarantined() bool {
+	until := sh.retryAt.Load()
+	return until != 0 && time.Now().UnixNano() < until
+}
+
+// lastOpenErr returns the stored open failure ("unknown" before any).
+func (sh *shard) lastOpenErr() string {
+	if p := sh.openErr.Load(); p != nil {
+		return *p
+	}
+	return "unknown"
 }
 
 // view is one immutable generation of the store: the manifest plus the
@@ -204,6 +236,11 @@ type Store struct {
 	graph *roadnet.Graph
 	opts  Options
 
+	// fs is the filesystem persistence goes through (nil: the real one).
+	fs faultfs.FS
+	// quarBase is the initial shard-quarantine backoff (0: 1s default).
+	quarBase time.Duration
+
 	// mu serializes mutations (ApplyDelta, Compact, Save); queries never
 	// take it — they read v.
 	mu sync.Mutex
@@ -223,6 +260,10 @@ type Store struct {
 	// index rebuilds from the archive (missing/stale sidecar).
 	sidecarLoads    atomic.Int64
 	sidecarRebuilds atomic.Int64
+
+	// shardOpenFailures counts failed shard opens (each one quarantines
+	// the shard for a backoff interval).
+	shardOpenFailures atomic.Int64
 
 	// gatherPool recycles the per-slot result buffers of Range's
 	// scatter-gather across queries.
@@ -263,7 +304,7 @@ func Build(g *roadnet.Graph, tus []*traj.Uncertain, opts Options) (*Store, error
 		man.entries[i] = shardEntry{id: uint32(i), kind: kindBase, count: counts[i]}
 	}
 
-	s := &Store{graph: g, opts: opts}
+	s := &Store{graph: g, opts: opts, fs: opts.FS}
 	shards := buildShards(man)
 
 	// Group each shard's trajectories in ascending global order (the order
@@ -421,6 +462,9 @@ func (s *Store) Generation() uint64 { return s.v.Load().man.generation }
 // store (crash recovery resumes after it; see internal/ingest).
 func (s *Store) WALApplied() uint64 { return s.v.Load().man.walApplied }
 
+// fsys returns the filesystem the store persists through (never nil).
+func (s *Store) fsys() faultfs.FS { return faultfs.Resolve(s.fs) }
+
 // dirPath returns the backing directory ("" for in-memory stores).
 func (s *Store) dirPath() string {
 	if p := s.dir.Load(); p != nil {
@@ -468,29 +512,81 @@ func (s *Store) OpenShards() int {
 	return n
 }
 
+// ErrShardQuarantined reports a query that routed to a shard whose open
+// recently failed: the shard is failing fast until its backoff deadline
+// passes, so the store is serving degraded rather than hammering a broken
+// file on every request.  Servers map it to 503 (retryable), never 500.
+var ErrShardQuarantined = errors.New("store: shard quarantined")
+
 // engine returns the query engine of the shard in the given slot of v,
 // opening the shard from disk on first use.  Concurrent callers of an
 // unopened shard serialize on the shard mutex; the winner loads, everyone
-// else observes the stored engine.
+// else observes the stored engine.  A failed open quarantines the shard:
+// until an exponentially backed-off deadline passes, callers fail fast
+// with ErrShardQuarantined instead of retrying the disk.
 func (s *Store) engine(v *view, slot int) (*query.Engine, error) {
 	sh := v.shards[slot]
 	if eng := sh.eng.Load(); eng != nil {
 		return eng, nil
+	}
+	if sh.quarantined() {
+		return nil, fmt.Errorf("%w: shard %d: %s", ErrShardQuarantined, sh.id, sh.lastOpenErr())
 	}
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	if eng := sh.eng.Load(); eng != nil {
 		return eng, nil
 	}
+	if sh.quarantined() {
+		return nil, fmt.Errorf("%w: shard %d: %s", ErrShardQuarantined, sh.id, sh.lastOpenErr())
+	}
 	if s.dirPath() == "" {
 		return nil, fmt.Errorf("store: shard %d not built", sh.id)
 	}
 	eng, err := s.openShard(sh, &v.man.entries[slot])
 	if err != nil {
+		s.quarantine(sh, err)
 		return nil, fmt.Errorf("store: open shard %d: %w", sh.id, err)
 	}
+	sh.openFails.Store(0)
+	sh.retryAt.Store(0)
 	sh.eng.Store(eng)
 	return eng, nil
+}
+
+// quarantine records a failed open on sh and arms its retry deadline:
+// base backoff (1s unless OpenOptions.QuarantineBackoff overrides it)
+// doubled per consecutive failure, capped at 60× base.  Called with
+// sh.mu held.
+func (s *Store) quarantine(sh *shard, err error) {
+	s.shardOpenFailures.Add(1)
+	fails := sh.openFails.Add(1)
+	base := s.quarBase
+	if base <= 0 {
+		base = time.Second
+	}
+	delay := base
+	for i := int32(1); i < fails && delay < 60*base; i++ {
+		delay *= 2
+	}
+	if delay > 60*base {
+		delay = 60 * base
+	}
+	msg := err.Error()
+	sh.openErr.Store(&msg)
+	sh.retryAt.Store(time.Now().Add(delay).UnixNano())
+}
+
+// QuarantinedShards returns the number of live shards currently failing
+// fast behind a quarantine deadline.
+func (s *Store) QuarantinedShards() int {
+	n := 0
+	for _, sh := range s.v.Load().shards {
+		if sh != nil && sh.eng.Load() == nil && sh.quarantined() {
+			n++
+		}
+	}
+	return n
 }
 
 // ErrUnknownTrajectory reports a query for a trajectory id the store does
@@ -540,9 +636,24 @@ func (s *Store) When(j int, loc roadnet.Position, alpha float64) ([]query.WhenRe
 // Under spatial assignment small rectangles touch few shards; under hash
 // assignment the bounds overlap and every shard is queried.
 func (s *Store) Range(re roadnet.Rect, t int64, alpha float64) ([]int, error) {
+	out, _, err := s.rangeImpl(re, t, alpha, false)
+	return out, err
+}
+
+// RangeDegraded is Range with quarantined shards skipped instead of
+// failing the whole query: the result covers every healthy shard and the
+// second return value reports how many live shards could not be
+// consulted (0 means the result is complete).  Servers use it to keep
+// answering range queries — flagged degraded — while a shard is broken.
+func (s *Store) RangeDegraded(re roadnet.Rect, t int64, alpha float64) ([]int, int, error) {
+	return s.rangeImpl(re, t, alpha, true)
+}
+
+func (s *Store) rangeImpl(re roadnet.Rect, t int64, alpha float64, skipQuarantined bool) ([]int, int, error) {
 	v := s.v.Load()
 	gs := s.getGather(len(v.shards))
 	defer s.putGather(gs)
+	var skipped atomic.Int32
 	err := par.Do(par.Workers(s.opts.Parallelism), len(v.shards), func(slot int) error {
 		sh := v.shards[slot]
 		if sh == nil {
@@ -560,6 +671,13 @@ func (s *Store) Range(re roadnet.Rect, t int64, alpha float64) ([]int, error) {
 		}
 		eng, err := s.engine(v, slot)
 		if err != nil {
+			// A failed open quarantines the shard before returning, so
+			// checking quarantined() here also degrades the very query
+			// that discovered the failure, not just the ones after it.
+			if skipQuarantined && (errors.Is(err, ErrShardQuarantined) || sh.quarantined()) {
+				skipped.Add(1)
+				return nil
+			}
 			return err
 		}
 		part, err := eng.AppendRange(gs.parts[slot][:0], re, t, alpha)
@@ -574,7 +692,7 @@ func (s *Store) Range(re roadnet.Rect, t int64, alpha float64) ([]int, error) {
 		return nil
 	})
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	total := 0
 	for slot := range v.shards {
@@ -585,7 +703,7 @@ func (s *Store) Range(re roadnet.Rect, t int64, alpha float64) ([]int, error) {
 		out = append(out, gs.parts[slot]...)
 	}
 	sort.Ints(out)
-	return out, nil
+	return out, int(skipped.Load()), nil
 }
 
 // gatherScratch is Range's reusable scatter-gather buffer set: one result
@@ -686,7 +804,7 @@ func (s *Store) ApplyDelta(tus []*traj.Uncertain, walApplied uint64) (uint64, er
 		sh.eng.Store(eng)
 		shards = append(shards, sh)
 		if dir := s.dirPath(); dir != "" {
-			nbytes, crc, err := writeShardArtifacts(dir, id, eng.Arch, eng.Ix)
+			nbytes, crc, err := writeShardArtifacts(s.fsys(), dir, id, eng.Arch, eng.Ix)
 			if err != nil {
 				return 0, err
 			}
@@ -695,7 +813,7 @@ func (s *Store) ApplyDelta(tus []*traj.Uncertain, walApplied uint64) (uint64, er
 		}
 	}
 	if dir := s.dirPath(); dir != "" {
-		if err := writeManifestFile(dir, man); err != nil {
+		if err := writeManifestFile(s.fsys(), dir, man); err != nil {
 			return 0, err
 		}
 	}
@@ -824,7 +942,7 @@ func (s *Store) Compact() (int, error) {
 	man.entries, shards = keepE, keepS
 
 	if dir := s.dirPath(); dir != "" {
-		nbytes, crc, err := writeShardArtifacts(dir, id, merged, ix)
+		nbytes, crc, err := writeShardArtifacts(s.fsys(), dir, id, merged, ix)
 		if err != nil {
 			return 0, err
 		}
@@ -833,14 +951,14 @@ func (s *Store) Compact() (int, error) {
 				man.entries[i].bytes, man.entries[i].sidecarCRC = nbytes, crc
 			}
 		}
-		if err := writeManifestFile(dir, man); err != nil {
+		if err := writeManifestFile(s.fsys(), dir, man); err != nil {
 			return 0, err
 		}
 		for _, gid := range gcIDs {
 			// Best-effort: mapped readers of older generations keep their
 			// pages (POSIX keeps unlinked mapped files readable).
-			_ = os.Remove(filepath.Join(dir, shardFile(gid)))
-			_ = os.Remove(filepath.Join(dir, sidecarFile(gid)))
+			_ = s.fsys().Remove(filepath.Join(dir, shardFile(gid)))
+			_ = s.fsys().Remove(filepath.Join(dir, sidecarFile(gid)))
 		}
 	}
 	s.v.Store(newView(man, shards))
@@ -896,6 +1014,12 @@ type Stats struct {
 	SidecarLoads    int64
 	SidecarRebuilds int64
 
+	// QuarantinedShards is the number of live shards currently failing
+	// fast after an open failure (see ErrShardQuarantined);
+	// ShardOpenFailures counts every failed open this process observed.
+	QuarantinedShards int
+	ShardOpenFailures int64
+
 	// MappedBytes is the process-wide total of live file mappings (shard
 	// archives and sidecars); RSSBytes is the process resident set (0 when
 	// the platform cannot report it).  Together they show how much of the
@@ -914,18 +1038,19 @@ type Stats struct {
 func (s *Store) Stats() Stats {
 	v := s.v.Load()
 	st := Stats{
-		Trajectories:    len(v.man.shardOf),
-		Assignment:      v.man.assignment.String(),
-		Generation:      v.man.generation,
-		WALApplied:      v.man.walApplied,
-		TimeMin:         v.man.timeMin,
-		TimeMax:         v.man.timeMax,
-		DeltasApplied:   s.deltasApplied.Load(),
-		Compactions:     s.compactionsRun.Load(),
-		SidecarLoads:    s.sidecarLoads.Load(),
-		SidecarRebuilds: s.sidecarRebuilds.Load(),
-		MappedBytes:     mmapio.MappedBytes(),
-		RSSBytes:        mmapio.ResidentSetBytes(),
+		Trajectories:      len(v.man.shardOf),
+		Assignment:        v.man.assignment.String(),
+		Generation:        v.man.generation,
+		WALApplied:        v.man.walApplied,
+		TimeMin:           v.man.timeMin,
+		TimeMax:           v.man.timeMax,
+		DeltasApplied:     s.deltasApplied.Load(),
+		Compactions:       s.compactionsRun.Load(),
+		SidecarLoads:      s.sidecarLoads.Load(),
+		SidecarRebuilds:   s.sidecarRebuilds.Load(),
+		ShardOpenFailures: s.shardOpenFailures.Load(),
+		MappedBytes:       mmapio.MappedBytes(),
+		RSSBytes:          mmapio.ResidentSetBytes(),
 	}
 	for slot, e := range v.man.entries {
 		if e.dead {
@@ -940,6 +1065,9 @@ func (s *Store) Stats() Stats {
 		}
 		eng := v.shards[slot].eng.Load()
 		if eng == nil {
+			if v.shards[slot].quarantined() {
+				st.QuarantinedShards++
+			}
 			continue
 		}
 		st.OpenShards++
