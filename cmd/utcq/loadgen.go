@@ -23,6 +23,7 @@ type loadgenConfig struct {
 	addr     string
 	duration time.Duration
 	workers  int
+	watchers int // live /v1/watch/range subscribers held alongside the query load
 	alpha    float64
 	batch    int // queries per request; 1 uses the single-query endpoints
 	seed     int64
@@ -105,6 +106,15 @@ func runLoadgen(cfg loadgenConfig) error {
 	start := time.Now()
 	mem := newMemSampler(cfg.addr)
 	defer mem.stop()
+	var ws watcherStats
+	var wwg sync.WaitGroup
+	for w := 0; w < cfg.watchers; w++ {
+		wwg.Add(1)
+		go func(w int) {
+			defer wwg.Done()
+			runWatcher(cfg, stats, rand.New(rand.NewSource(cfg.seed+int64(1000+w))), deadline, &ws)
+		}(w)
+	}
 	var wg sync.WaitGroup
 	for w := 0; w < cfg.workers; w++ {
 		wg.Add(1)
@@ -136,6 +146,7 @@ func runLoadgen(cfg loadgenConfig) error {
 		}(w)
 	}
 	wg.Wait()
+	wwg.Wait()
 	res := loadgenResult{
 		requests:  requests.Load(),
 		queries:   queries.Load(),
@@ -146,6 +157,10 @@ func runLoadgen(cfg loadgenConfig) error {
 		elapsed:   time.Since(start),
 	}
 	printLoadgenReport(res)
+	if cfg.watchers > 0 {
+		fmt.Printf("watchers: %d subscriptions — %d updates (%d trajectories delivered), %d heartbeats, %d errors\n",
+			cfg.watchers, ws.updates.Load(), ws.trajs.Load(), ws.heartbeats.Load(), ws.errors.Load())
+	}
 	mem.stop()
 
 	after, err := fetchStats(cfg.addr)
@@ -217,6 +232,84 @@ func fireOne(client *http.Client, cfg loadgenConfig, stats *server.StatsResponse
 			Trajs []int `json:"trajs"`
 		}
 		return 1, 0, nil, postJSON(client, cfg.addr+"/v1/range", q.Range, &resp, rng, rc)
+	}
+}
+
+// watcherStats aggregates the watcher pool: updates is every non-heartbeat
+// watch response (a generation the subscriber had not seen), trajs the
+// trajectories those updates delivered, heartbeats the empty poll windows.
+type watcherStats struct {
+	updates    atomic.Int64
+	trajs      atomic.Int64
+	heartbeats atomic.Int64
+	errors     atomic.Int64
+}
+
+// runWatcher holds one live /v1/watch/range subscription until the
+// deadline: an initial full-set exchange, then incremental long-polls
+// resumed with the last update's {gen, cursor}.  Transient failures (a
+// server shedding load or restarting mid-run) back off and resubscribe
+// from the same cursor — the watch protocol is stateless server-side, so
+// nothing is lost.
+func runWatcher(cfg loadgenConfig, stats *server.StatsResponse, rng *rand.Rand, deadline time.Time, ws *watcherStats) {
+	// One fixed district per watcher, 20-60% of each axis.
+	b := stats.Bounds
+	w, h := b.MaxX-b.MinX, b.MaxY-b.MinY
+	fw, fh := 0.2+rng.Float64()*0.4, 0.2+rng.Float64()*0.4
+	x := b.MinX + rng.Float64()*(1-fw)*w
+	y := b.MinY + rng.Float64()*(1-fh)*h
+	span := stats.TimeMax - stats.TimeMin
+	if span < 1 {
+		span = 1
+	}
+	t := stats.TimeMin + rng.Int63n(span)
+
+	// Short poll windows keep the loop responsive to the run deadline; the
+	// client timeout sits above the window so held polls are not cut off.
+	client := &http.Client{Timeout: 10 * time.Second}
+	base := fmt.Sprintf("%s/v1/watch/range?minX=%g&minY=%g&maxX=%g&maxY=%g&t=%d&alpha=%g&timeout=2",
+		cfg.addr, x, y, x+fw*w, y+fh*h, t, cfg.alpha)
+	var gen uint64
+	var cursor uint32
+	subscribed := false
+	for attempt := 0; time.Now().Before(deadline); {
+		url := base
+		if subscribed {
+			url = fmt.Sprintf("%s&gen=%d&cursor=%d", base, gen, cursor)
+		}
+		resp, err := client.Get(url)
+		if err != nil {
+			ws.errors.Add(1)
+			time.Sleep(backoffDelay(attempt, 0, rng))
+			attempt++
+			continue
+		}
+		if resp.StatusCode != http.StatusOK {
+			retryAfter, _ := strconv.Atoi(resp.Header.Get("Retry-After"))
+			resp.Body.Close()
+			ws.errors.Add(1)
+			if !retryableStatus(resp.StatusCode) {
+				return // the subscription itself is wrong; retrying reproduces it
+			}
+			time.Sleep(backoffDelay(attempt, time.Duration(retryAfter)*time.Second, rng))
+			attempt++
+			continue
+		}
+		var wr server.WatchResponse
+		err = json.NewDecoder(resp.Body).Decode(&wr)
+		resp.Body.Close()
+		if err != nil {
+			ws.errors.Add(1)
+			continue
+		}
+		attempt = 0
+		if !subscribed || wr.Gen > gen {
+			ws.updates.Add(1)
+			ws.trajs.Add(int64(len(wr.Added)))
+		} else {
+			ws.heartbeats.Add(1)
+		}
+		gen, cursor, subscribed = wr.Gen, wr.Watermark, true
 	}
 }
 

@@ -34,6 +34,7 @@ func main() {
 	addr := flag.String("addr", "http://localhost:8723", "utcqd base URL (loadgen)")
 	duration := flag.Duration("duration", 10*time.Second, "load-generation run time (loadgen)")
 	workers := flag.Int("workers", 8, "concurrent load-generation workers (loadgen)")
+	watchers := flag.Int("watchers", 0, "live /v1/watch/range subscribers held alongside the query load (loadgen)")
 	alpha := flag.Float64("alpha", 0.2, "probability threshold for generated queries (loadgen)")
 	batch := flag.Int("batch", 1, "queries per request; >1 uses /v1/batch (loadgen)")
 	flag.Parse()
@@ -48,6 +49,7 @@ func main() {
 			addr:     *addr,
 			duration: *duration,
 			workers:  *workers,
+			watchers: *watchers,
 			alpha:    *alpha,
 			batch:    *batch,
 			seed:     *seed,

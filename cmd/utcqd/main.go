@@ -69,6 +69,7 @@ func main() {
 	ingestBatch := flag.Int("ingest-batch", 32, "max WAL records per delta shard")
 	compactAfter := flag.Int("compact-after", 8, "fold delta shards into a base shard past this count (0 = default 8, <0 disables)")
 	flushEvery := flag.Duration("flush-every", time.Second, "background drain interval for partial ingest batches")
+	simplifyEps := flag.Float64("simplify-eps", 0, "online simplification SED budget in map units applied at ingest admission (0 disables)")
 	flag.Parse()
 
 	p, err := gen.ProfileByName(*profile)
@@ -132,6 +133,7 @@ func main() {
 			Match:        p.Match,
 			Parallelism:  *parallel,
 			CompactEvery: *compactAfter,
+			SimplifyEps:  *simplifyEps,
 		})
 		if err != nil {
 			log.Fatal(err)
@@ -140,7 +142,7 @@ func main() {
 			log.Printf("WAL replay: %d acknowledged records pending re-ingestion", pending)
 		}
 		ing.Start()
-		log.Printf("ingestion enabled: WAL %s, batch %d, compact after %d delta shards", *wal, *ingestBatch, *compactAfter)
+		log.Printf("ingestion enabled: WAL %s, batch %d, compact after %d delta shards, simplify eps %g", *wal, *ingestBatch, *compactAfter, *simplifyEps)
 	}
 
 	lo, hi := st.TimeSpan()

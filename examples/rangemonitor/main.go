@@ -1,70 +1,180 @@
-// Range monitor: "which vehicles were probably inside this district at
-// time t?" — the probabilistic range query of Definition 12, with the
-// filtering Lemmas 2-4 pruning most of the archive without decompression.
+// Range monitor, live edition: "which vehicles were probably inside this
+// district at time t — and tell me when that changes?"  The monitor runs
+// the whole streaming stack in one process: a store with a WAL-backed
+// ingester behind the HTTP query server, and a watch client subscribed
+// to GET /v1/watch/range.  Each ingested batch advances the store's
+// generation; the subscription answers with only the trajectories that
+// entered the result set since the client's cursor, and the client-side
+// union always equals a full range query at that generation.
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"fmt"
 	"log"
-	"time"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
 
 	"utcq"
 )
 
+// watchUpdate mirrors the /v1/watch/range response payload.
+type watchUpdate struct {
+	Gen       uint64 `json:"gen"`
+	Watermark uint32 `json:"watermark"`
+	Added     []int  `json:"added"`
+	Reset     bool   `json:"reset"`
+}
+
 func main() {
 	log.SetFlags(0)
 
-	profile := utcq.ProfileDK()
-	ds, err := utcq.BuildDataset(profile, 400, 5)
+	// A fleet of raw GPS traces: 12 seed the store, the rest arrive live.
+	profile := utcq.ProfileCD()
+	g, eix, raws, err := utcq.GenerateRaws(profile, 48, 5)
 	if err != nil {
 		log.Fatal(err)
 	}
-	arch, err := utcq.Compress(ds.Graph, ds.Trajectories, utcq.DefaultOptions(profile.Ts))
+	matcher := utcq.NewMatcher(g, profile.Match)
+	var base []*utcq.Uncertain
+	for _, raw := range raws[:12] {
+		if u, err := matcher.Match(raw); err == nil {
+			base = append(base, u)
+		}
+	}
+	st, err := utcq.BuildStore(g, base, utcq.DefaultStoreOptions(profile.Ts))
 	if err != nil {
 		log.Fatal(err)
 	}
-	idx, err := utcq.BuildIndex(arch, utcq.DefaultIndexOptions())
-	if err != nil {
-		log.Fatal(err)
-	}
-	eng := utcq.NewEngine(arch, idx)
 
-	// A district: a 1.5 km square in the middle of the network.
-	b := ds.Graph.Bounds()
+	// The write path: a WAL-backed ingester with online simplification —
+	// a 10 m SED budget (below the profile's GPS noise) trims
+	// redundant fixes at admission, before anything reaches the log.
+	walDir, err := os.MkdirTemp("", "rangemonitor")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(walDir)
+	ing, err := utcq.NewIngester(st, eix, filepath.Join(walDir, "ingest.wal"), utcq.IngestOptions{
+		Match:       profile.Match,
+		BatchSize:   64,
+		SimplifyEps: 10,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer ing.Close()
+
+	srv := utcq.NewQueryServer(st, utcq.QueryServerOptions{Ingester: ing})
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go func() { _ = srv.Serve(l) }()
+	defer srv.Shutdown(context.Background())
+	baseURL := "http://" + l.Addr().String()
+
+	// The district: the central two thirds of the network.  The probe
+	// time is the instant most fleet traces cover, so the monitor
+	// actually sees arrivals.
+	b := g.Bounds()
 	cx, cy := (b.MinX+b.MaxX)/2, (b.MinY+b.MaxY)/2
-	district := utcq.Rect{MinX: cx - 750, MinY: cy - 750, MaxX: cx + 750, MaxY: cy + 750}
+	half := (b.MaxX - b.MinX) / 3
+	tq := busiestInstant(raws)
 
-	// Monitor the district over the day at a few probability thresholds.
-	for _, alpha := range []float64{0.3, 0.7} {
-		total := 0
-		probes := 0
-		start := time.Now()
-		for tq := int64(7 * 3600); tq < 20*3600; tq += 1800 {
-			hits, err := eng.Range(district, tq, alpha)
-			if err != nil {
+	watch := func(extra string) watchUpdate {
+		url := fmt.Sprintf("%s/v1/watch/range?minX=%g&minY=%g&maxX=%g&maxY=%g&t=%d&alpha=0.2%s",
+			baseURL, cx-half, cy-half, cx+half, cy+half, tq, extra)
+		resp, err := http.Get(url)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			log.Fatalf("watch: HTTP %d", resp.StatusCode)
+		}
+		var wu watchUpdate
+		if err := json.NewDecoder(resp.Body).Decode(&wu); err != nil {
+			log.Fatal(err)
+		}
+		return wu
+	}
+
+	// Subscribe: the first exchange delivers the full result set.
+	cur := watch("")
+	inside := map[int]bool{}
+	for _, j := range cur.Added {
+		inside[j] = true
+	}
+	fmt.Printf("subscribed at generation %d: %d vehicles inside the district at t=%d\n",
+		cur.Gen, len(inside), tq)
+
+	// Live traffic: ingest the remaining traces in batches; after each
+	// flush, one incremental long-poll delivers only the new arrivals.
+	updates := 0
+	for next := 12; next < len(raws); next += 12 {
+		end := min(next+12, len(raws))
+		for _, raw := range raws[next:end] {
+			if _, err := ing.Submit(raw); err != nil {
 				log.Fatal(err)
 			}
-			total += len(hits)
-			probes++
 		}
-		fmt.Printf("alpha=%.1f: %d trajectory hits across %d probes (%v)\n",
-			alpha, total, probes, time.Since(start).Round(time.Millisecond))
+		if _, err := ing.Flush(); err != nil {
+			log.Fatal(err)
+		}
+		upd := watch(fmt.Sprintf("&gen=%d&cursor=%d&timeout=5", cur.Gen, cur.Watermark))
+		for _, j := range upd.Added {
+			inside[j] = true
+		}
+		updates++
+		fmt.Printf("generation %d: +%d arrivals, %d vehicles inside\n", upd.Gen, len(upd.Added), len(inside))
+		cur = upd
 	}
 
-	fmt.Printf("\npruning: %d trajectories rejected by Lemma 4 without decompression, %d accepted early by Lemma 3\n",
-		eng.Stats().TrajsPruned, eng.Stats().TrajsAccepted)
-	fmt.Printf("paths decoded in total: %d (of %d instances in the archive)\n",
-		eng.Stats().PathsDecoded, arch.Stats.NumInstances)
+	// The streaming invariant: the union of incremental updates equals a
+	// fresh full subscription at the final generation.
+	full := watch("")
+	want := append([]int(nil), full.Added...)
+	have := make([]int, 0, len(inside))
+	for j := range inside {
+		have = append(have, j)
+	}
+	sort.Ints(want)
+	sort.Ints(have)
+	if len(want) != len(have) {
+		log.Fatalf("union of updates has %d vehicles, full requery %d", len(have), len(want))
+	}
+	for i := range want {
+		if want[i] != have[i] {
+			log.Fatalf("union of updates diverged from full requery at %d: %v vs %v", i, have, want)
+		}
+	}
+	fmt.Printf("union of %d incremental updates matches a full requery at generation %d\n", updates, full.Gen)
 
-	// Show one concrete answer.
-	tq := int64(12*3600 + 900)
-	hits, err := eng.Range(district, tq, 0.3)
-	if err != nil {
-		log.Fatal(err)
+	is := ing.Stats()
+	fmt.Printf("online simplification (eps=%.0f m) kept %d of %d submitted points\n",
+		is.SimplifyEps, is.PointsKept, is.PointsIn)
+}
+
+// busiestInstant returns the timestamp covered by the most traces, so the
+// monitored instant is one where the fleet is actually on the road.
+func busiestInstant(raws []utcq.RawTrajectory) int64 {
+	best, bestN := int64(0), -1
+	for _, cand := range raws {
+		t := cand.Points[len(cand.Points)/2].T
+		n := 0
+		for _, r := range raws {
+			if r.Points[0].T <= t && t <= r.Points[len(r.Points)-1].T {
+				n++
+			}
+		}
+		if n > bestN {
+			best, bestN = t, n
+		}
 	}
-	fmt.Printf("\nat t=%d, %d vehicles were inside with total probability >= 0.3:", tq, len(hits))
-	for _, j := range hits {
-		fmt.Printf(" Tu%d", j)
-	}
-	fmt.Println()
+	return best
 }

@@ -1,12 +1,14 @@
 package ingest
 
 import (
+	"fmt"
 	"math/rand"
 	"path/filepath"
 	"testing"
 
 	"utcq/internal/gen"
 	"utcq/internal/mapmatch"
+	"utcq/internal/simplify"
 	"utcq/internal/store"
 	"utcq/internal/traj"
 )
@@ -60,7 +62,7 @@ func BenchmarkIngestWALAppend(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := w.Append(raws[i%len(raws)]); err != nil {
+		if _, err := w.Append(raws[i%len(raws)], 0); err != nil {
 			b.Fatal(err)
 		}
 		if i%1024 == 1023 {
@@ -93,6 +95,58 @@ func BenchmarkIngestBatch(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(batch), "trajs/op")
+}
+
+// BenchmarkSimplifyOnline measures the admission-time simplifier alone:
+// one synthetic CD trajectory reduced per op under a GPS-scale budget.
+func BenchmarkSimplifyOnline(b *testing.B) {
+	p := gen.CD()
+	p.Network.Cols, p.Network.Rows = 24, 24
+	_, _, raws, err := gen.Raws(p, 64, 5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var keptPoints int
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		keptPoints += len(simplify.Trajectory(raws[i%len(raws)], 10).Points)
+	}
+	if keptPoints == 0 {
+		b.Fatal("simplifier dropped the endpoints")
+	}
+}
+
+// BenchmarkIngestBatchSimplified is BenchmarkIngestBatch with the online
+// simplifier in the admission path, at ε = 0 (off, the baseline frame
+// cost of the v2 WAL layout) and at GPS-scale budgets.  The reported
+// wal-B/batch metric is the log volume one batch costs — the number the
+// ε budget exists to cut.
+func BenchmarkIngestBatchSimplified(b *testing.B) {
+	for _, eps := range []float64{0, 10, 25} {
+		b.Run(fmt.Sprintf("eps=%v", eps), func(b *testing.B) {
+			_, _, raws, _, mk := benchStore(b, 16)
+			ing := mk(fmt.Sprintf("bench-eps%v.wal", eps))
+			ing.opts.SimplifyEps = eps
+			defer ing.Close()
+			const batch = 16
+			walStart := ing.Stats().WALBytes
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for k := 0; k < batch; k++ {
+					if _, err := ing.Submit(raws[16+(i*batch+k)%(len(raws)-16)]); err != nil {
+						b.Fatal(err)
+					}
+				}
+				if _, err := ing.Flush(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(ing.Stats().WALBytes-walStart)/float64(b.N), "wal-B/batch")
+		})
+	}
 }
 
 // BenchmarkCompactDeltas measures folding 8 delta shards (8 trajectories

@@ -4,9 +4,9 @@ import (
 	"bytes"
 	"encoding/binary"
 	"hash/crc32"
+	"math"
 	"os"
 	"path/filepath"
-	"reflect"
 	"testing"
 
 	"utcq/internal/traj"
@@ -15,7 +15,7 @@ import (
 // walImage frames payloads into a syntactically valid WAL for seeding.
 func walImage(payloads ...[]byte) []byte {
 	var buf bytes.Buffer
-	hdr := walHeader(0)
+	hdr := walHeader(walVersion, 0)
 	buf.Write(hdr[:])
 	var frame [walFrameSize]byte
 	for _, p := range payloads {
@@ -27,16 +27,40 @@ func walImage(payloads ...[]byte) []byte {
 	return buf.Bytes()
 }
 
+// recordsEqual compares replayed records bit-exactly: float fields go
+// through Float64bits so a fuzzer-crafted NaN payload still compares
+// equal to its own re-decode (== on NaN is always false).
+func recordsEqual(a, b []Record) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float64bits(a[i].Eps) != math.Float64bits(b[i].Eps) ||
+			len(a[i].Raw.Points) != len(b[i].Raw.Points) {
+			return false
+		}
+		for k, p := range a[i].Raw.Points {
+			q := b[i].Raw.Points[k]
+			if math.Float64bits(p.X) != math.Float64bits(q.X) ||
+				math.Float64bits(p.Y) != math.Float64bits(q.Y) || p.T != q.T {
+				return false
+			}
+		}
+	}
+	return true
+}
+
 // FuzzWALReplay feeds arbitrary bytes through WAL recovery.  Whatever the
 // input, replay must not panic, must return a prefix that re-decodes to
 // the same records (recovery is idempotent), and after OpenWAL truncates
-// the torn tail the log must accept appends and replay them.
+// the torn tail the log must accept appends and replay them.  Version-1
+// and version-2 images are both seeded; replay must accept either layout.
 func FuzzWALReplay(f *testing.F) {
 	f.Add([]byte{})
 	f.Add([]byte("UTCW"))
 	f.Add(walImage())
-	p1 := encodeRawTrajectory(randomRawForFuzz(3))
-	p2 := encodeRawTrajectory(randomRawForFuzz(7))
+	p1 := encodeRecord(Record{Raw: randomRawForFuzz(3), Eps: 12.5}, walVersion)
+	p2 := encodeRecord(Record{Raw: randomRawForFuzz(7)}, walVersion)
 	valid := walImage(p1, p2)
 	f.Add(valid)
 	f.Add(valid[:len(valid)-3])            // torn tail
@@ -47,9 +71,10 @@ func FuzzWALReplay(f *testing.F) {
 	huge := walImage(nil)
 	binary.LittleEndian.PutUint32(huge[walHeaderSize:], 1<<30) // absurd length field
 	f.Add(huge)
+	f.Add(walImageV1(Record{Raw: randomRawForFuzz(4)}, Record{Raw: randomRawForFuzz(2)}))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
-		first, raws, good, err := DecodeWAL(data)
+		first, recs, good, err := DecodeWAL(data)
 		if err != nil {
 			return // not a WAL at all; nothing to recover
 		}
@@ -57,10 +82,10 @@ func FuzzWALReplay(f *testing.F) {
 			t.Fatalf("good offset %d outside [%d, %d]", good, walHeaderSize, len(data))
 		}
 		// Idempotence: decoding the valid prefix reproduces the records.
-		first2, raws2, good2, err := DecodeWAL(data[:good])
-		if err != nil || first2 != first || good2 != good || !reflect.DeepEqual(raws2, raws) {
+		first2, recs2, good2, err := DecodeWAL(data[:good])
+		if err != nil || first2 != first || good2 != good || !recordsEqual(recs2, recs) {
 			t.Fatalf("re-decode of valid prefix diverged: %d vs %d records, offset %d vs %d, %v",
-				len(raws2), len(raws), good2, good, err)
+				len(recs2), len(recs), good2, good, err)
 		}
 		// OpenWAL on the same image recovers the same records and leaves an
 		// appendable log.
@@ -68,27 +93,31 @@ func FuzzWALReplay(f *testing.F) {
 		if err := os.WriteFile(path, data, 0o644); err != nil {
 			t.Fatal(err)
 		}
-		w, raws3, err := OpenWAL(path)
+		w, recs3, err := OpenWAL(path)
 		if err != nil {
 			t.Fatalf("OpenWAL rejected an image DecodeWAL accepted: %v", err)
 		}
-		if !reflect.DeepEqual(raws3, raws) {
-			t.Fatalf("OpenWAL recovered %d records, DecodeWAL %d", len(raws3), len(raws))
+		if !recordsEqual(recs3, recs) {
+			t.Fatalf("OpenWAL recovered %d records, DecodeWAL %d", len(recs3), len(recs))
 		}
 		extra := randomRawForFuzz(2)
-		if _, err := w.Append(extra); err != nil {
+		if _, err := w.Append(extra, 3.25); err != nil {
 			t.Fatal(err)
 		}
 		if err := w.Close(); err != nil {
 			t.Fatal(err)
 		}
-		w2, raws4, err := OpenWAL(path)
+		w2, recs4, err := OpenWAL(path)
 		if err != nil {
 			t.Fatal(err)
 		}
 		w2.Close()
-		if len(raws4) != len(raws)+1 || !reflect.DeepEqual(raws4[len(raws)], extra) {
-			t.Fatalf("append after recovery not replayed (%d vs %d records)", len(raws4), len(raws)+1)
+		wantEps := 3.25
+		if w2.Version() == walVersionV1 {
+			wantEps = 0 // the v1 layout has no field for the budget
+		}
+		if len(recs4) != len(recs)+1 || !recordsEqual(recs4[len(recs):], []Record{{Raw: extra, Eps: wantEps}}) {
+			t.Fatalf("append after recovery not replayed (%d vs %d records)", len(recs4), len(recs)+1)
 		}
 	})
 }

@@ -3,6 +3,7 @@ package ingest
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -11,6 +12,7 @@ import (
 	"utcq/internal/mapmatch"
 	"utcq/internal/par"
 	"utcq/internal/roadnet"
+	"utcq/internal/simplify"
 	"utcq/internal/store"
 	"utcq/internal/traj"
 )
@@ -38,6 +40,14 @@ type Options struct {
 	// count reaches it (default 8; negative disables automatic
 	// compaction).
 	CompactEvery int
+
+	// SimplifyEps is the SED error budget (map units) of the online
+	// simplifier applied to every submission at admission — after
+	// validation, before the WAL append — so the log, the matcher and the
+	// store all see the reduced point set.  0 (the default) disables
+	// simplification; the budget in force is recorded per record in the
+	// WAL (version 2 payloads) and reported in Stats.
+	SimplifyEps float64
 
 	// NoSync skips the fsync on Submit.  Throughput for durability: an
 	// unsynced record can be lost in a crash even though Submit returned.
@@ -88,6 +98,13 @@ type Stats struct {
 	Generation uint64
 	// WALBytes is the log's current size.
 	WALBytes int64
+	// SimplifyEps is the configured admission error budget (0: off).
+	SimplifyEps float64
+	// PointsIn / PointsKept count the raw points submitted to this
+	// process and the points surviving admission simplification; their
+	// difference is the volume the ε budget saved before the WAL.
+	PointsIn   int64
+	PointsKept int64
 	// ReadOnly reports that the WAL failure latch is set: the write path
 	// refuses new submissions (ErrReadOnly) while queries keep serving.
 	ReadOnly bool
@@ -117,6 +134,8 @@ type Ingester struct {
 	dropped     atomic.Int64
 	batches     atomic.Int64
 	compactions atomic.Int64
+	pointsIn    atomic.Int64
+	pointsKept  atomic.Int64
 
 	stop chan struct{}
 	done chan struct{}
@@ -135,9 +154,13 @@ var ErrRejected = errors.New("ingest: rejected")
 // manually.
 func New(st *store.Store, ix *roadnet.EdgeIndex, walPath string, opts Options) (*Ingester, error) {
 	opts = opts.withDefaults()
-	wal, raws, err := OpenWALIn(opts.FS, walPath)
+	wal, recs, err := OpenWALIn(opts.FS, walPath)
 	if err != nil {
 		return nil, err
+	}
+	raws := make([]traj.RawTrajectory, len(recs))
+	for i, rec := range recs {
+		raws[i] = rec.Raw
 	}
 	// The log holds records [FirstSeq, Count); the store has applied
 	// everything below walApplied.  The pending suffix is their
@@ -212,6 +235,13 @@ func (ing *Ingester) Submit(raw traj.RawTrajectory) (uint64, error) {
 // all records are appended and fsynced once (group commit), so a
 // 100-trajectory batch costs one fsync, not 100.  Returns the sequence
 // number of the first record.
+//
+// With Options.SimplifyEps > 0 each validated trajectory is reduced by
+// the SED-bounded online simplifier before its WAL append: what is
+// acknowledged (and later matched, compressed and served) is the
+// simplified point set, with the budget recorded alongside it in the log.
+// Simplification keeps endpoints and a strictly-ordered subsequence, so
+// it cannot invalidate a batch that passed validation.
 func (ing *Ingester) SubmitBatch(raws []traj.RawTrajectory) (uint64, error) {
 	if len(raws) == 0 {
 		return 0, fmt.Errorf("%w: empty batch", ErrRejected)
@@ -221,12 +251,31 @@ func (ing *Ingester) SubmitBatch(raws []traj.RawTrajectory) (uint64, error) {
 			return 0, fmt.Errorf("trajectory %d: %w", i, err)
 		}
 	}
+	eps := ing.opts.SimplifyEps
+	var in, kept int
+	if eps > 0 {
+		reduced := make([]traj.RawTrajectory, len(raws))
+		for i, raw := range raws {
+			reduced[i] = simplify.Trajectory(raw, eps)
+			in += len(raw.Points)
+			kept += len(reduced[i].Points)
+		}
+		raws = reduced
+	} else {
+		eps = 0 // never record a negative budget
+		for _, raw := range raws {
+			in += len(raw.Points)
+		}
+		kept = in
+	}
+	ing.pointsIn.Add(int64(in))
+	ing.pointsKept.Add(int64(kept))
 	ing.mu.Lock()
 	var first uint64
 	var err error
 	for i, raw := range raws {
 		var seq uint64
-		if seq, err = ing.wal.Append(raw); err != nil {
+		if seq, err = ing.wal.Append(raw, eps); err != nil {
 			break
 		}
 		if i == 0 {
@@ -447,6 +496,9 @@ func (ing *Ingester) Stats() Stats {
 		Compactions: ing.compactions.Load(),
 		Generation:  ing.st.Generation(),
 		WALBytes:    bytes,
+		SimplifyEps: math.Max(ing.opts.SimplifyEps, 0),
+		PointsIn:    ing.pointsIn.Load(),
+		PointsKept:  ing.pointsKept.Load(),
 		ReadOnly:    readOnly,
 	}
 }

@@ -40,16 +40,26 @@ import (
 // the file with a higher firstSeq, so sequence numbers — and the store's
 // walApplied high-water mark — survive truncation.  length is the payload
 // byte count, crc is IEEE CRC-32 over the payload.  The payload is one
-// raw trajectory:
+// raw trajectory; version 2 prefixes it with the simplification error
+// budget (SED ε, internal/simplify) the record was admitted under:
 //
-//	numPoints u32 | numPoints × (x f64 | y f64 | t i64)
+//	v1: numPoints u32 | numPoints × (x f64 | y f64 | t i64)
+//	v2: eps f64 | numPoints u32 | numPoints × (x f64 | y f64 | t i64)
+//
+// The version is per file: new logs are created at version 2; a log that
+// already exists keeps appending records in its own version, so a v1 log
+// written by an older build replays AND extends without a rewrite (its
+// records report ε = 0 — the budget metadata is simply unrecorded there).
 const (
-	walMagic   = "UTCW"
-	walVersion = 1
+	walMagic     = "UTCW"
+	walVersionV1 = 1
+	walVersionV2 = 2
+	walVersion   = walVersionV2 // version for newly created logs
 
 	walHeaderSize = 14 // magic + version + firstSeq
 	walFrameSize  = 8  // length + crc
 	walPointSize  = 24 // x + y + t, 8 bytes each
+	walEpsSize    = 8  // v2 per-record error budget (f64)
 
 	// maxWALRecord bounds a record's payload so a corrupted length field
 	// fails fast instead of driving a huge allocation: 4 bytes of count
@@ -58,22 +68,33 @@ const (
 	// replay would treat it (and every record after it) as a torn tail.
 	maxWALRecord = 1 << 26
 
-	// MaxPoints is the largest raw trajectory one WAL record can carry.
-	MaxPoints = (maxWALRecord - 4) / walPointSize
+	// MaxPoints is the largest raw trajectory one WAL record can carry
+	// (sized against the v2 payload, the larger of the two layouts).
+	MaxPoints = (maxWALRecord - walEpsSize - 4) / walPointSize
 )
+
+// Record is one replayed WAL entry: the raw trajectory as acknowledged
+// (post-simplification when ingest ran with ε > 0) and the SED error
+// budget it was admitted under — 0 for unsimplified records and for every
+// record of a version-1 log, which has no field to carry the budget.
+type Record struct {
+	Raw traj.RawTrajectory
+	Eps float64
+}
 
 // WAL is an append-only, CRC-framed log of raw trajectories.  Append
 // buffers; Sync makes everything appended so far durable — the
 // acknowledgement barrier.  WAL methods are not safe for concurrent use;
 // the Ingester serializes access.
 type WAL struct {
-	path  string
-	fs    faultfs.FS // filesystem the log lives on (never nil after open)
-	f     faultfs.File
-	buf   []byte // pending appended bytes not yet written through
-	first uint64 // absolute sequence of the file's first record
-	count uint64 // records in the file (durable + buffered)
-	size  int64  // file size once buf is flushed
+	path    string
+	fs      faultfs.FS // filesystem the log lives on (never nil after open)
+	f       faultfs.File
+	buf     []byte // pending appended bytes not yet written through
+	version uint16 // payload layout this file uses (per-file, fixed at create)
+	first   uint64 // absolute sequence of the file's first record
+	count   uint64 // records in the file (durable + buffered)
+	size    int64  // file size once buf is flushed
 
 	// failed latches the first write/sync error: once the file and the
 	// in-memory sequence may disagree, every later operation refuses
@@ -99,11 +120,11 @@ func (w *WAL) errFailed() error {
 // Failed returns the latched WAL error (nil while healthy).
 func (w *WAL) Failed() error { return w.failed }
 
-// walHeader frames a header with the given first sequence.
-func walHeader(firstSeq uint64) [walHeaderSize]byte {
+// walHeader frames a header with the given version and first sequence.
+func walHeader(version uint16, firstSeq uint64) [walHeaderSize]byte {
 	var hdr [walHeaderSize]byte
 	copy(hdr[:], walMagic)
-	binary.LittleEndian.PutUint16(hdr[4:], walVersion)
+	binary.LittleEndian.PutUint16(hdr[4:], version)
 	binary.LittleEndian.PutUint64(hdr[6:], firstSeq)
 	return hdr
 }
@@ -114,13 +135,13 @@ func walHeader(firstSeq uint64) [walHeaderSize]byte {
 // checkpointed).  A torn or corrupt tail — the footprint of a crash
 // mid-append — is truncated away so the log ends on a record boundary and
 // new appends extend a valid file.
-func OpenWAL(path string) (*WAL, []traj.RawTrajectory, error) {
+func OpenWAL(path string) (*WAL, []Record, error) {
 	return OpenWALIn(nil, path)
 }
 
 // OpenWALIn is OpenWAL through an explicit filesystem (nil: the real one);
 // fault-injection tests substitute faultfs.MemFS or an Injector.
-func OpenWALIn(fsys faultfs.FS, path string) (*WAL, []traj.RawTrajectory, error) {
+func OpenWALIn(fsys faultfs.FS, path string) (*WAL, []Record, error) {
 	fsys = faultfs.Resolve(fsys)
 	f, err := fsys.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
@@ -133,7 +154,8 @@ func OpenWALIn(fsys faultfs.FS, path string) (*WAL, []traj.RawTrajectory, error)
 		return nil, nil, err
 	}
 	if len(data) == 0 {
-		hdr := walHeader(0)
+		w.version = walVersion
+		hdr := walHeader(w.version, 0)
 		if _, err := f.Write(hdr[:]); err != nil {
 			f.Close()
 			return nil, nil, err
@@ -154,7 +176,7 @@ func OpenWALIn(fsys faultfs.FS, path string) (*WAL, []traj.RawTrajectory, error)
 		w.size = walHeaderSize
 		return w, nil, nil
 	}
-	first, raws, good, err := DecodeWAL(data)
+	version, first, recs, good, err := decodeWALImage(data)
 	if err != nil {
 		f.Close()
 		return nil, nil, fmt.Errorf("ingest: %s: %w", path, err)
@@ -176,8 +198,9 @@ func OpenWALIn(fsys faultfs.FS, path string) (*WAL, []traj.RawTrajectory, error)
 	}
 	w.size = good
 	w.first = first
-	w.count = uint64(len(raws))
-	return w, raws, nil
+	w.count = uint64(len(recs))
+	w.version = version
+	return w, recs, nil
 }
 
 // DecodeWAL parses a WAL image, returning the first record's absolute
@@ -186,49 +209,66 @@ func OpenWALIn(fsys faultfs.FS, path string) (*WAL, []traj.RawTrajectory, error)
 // mismatches end the scan (they mark the torn tail); only a bad header is
 // an error, because then the file is not a WAL at all and truncating it
 // would destroy someone else's data.
-func DecodeWAL(data []byte) (uint64, []traj.RawTrajectory, int64, error) {
+func DecodeWAL(data []byte) (uint64, []Record, int64, error) {
+	_, firstSeq, recs, good, err := decodeWALImage(data)
+	return firstSeq, recs, good, err
+}
+
+// decodeWALImage is DecodeWAL plus the header's payload version, which
+// OpenWALIn needs so appends extend the file in its own layout.
+func decodeWALImage(data []byte) (uint16, uint64, []Record, int64, error) {
 	if len(data) < walHeaderSize || string(data[:4]) != walMagic {
-		return 0, nil, 0, errors.New("not a UTCQ write-ahead log")
+		return 0, 0, nil, 0, errors.New("not a UTCQ write-ahead log")
 	}
-	if v := binary.LittleEndian.Uint16(data[4:6]); v != walVersion {
-		return 0, nil, 0, fmt.Errorf("unsupported WAL version %d", v)
+	version := binary.LittleEndian.Uint16(data[4:6])
+	if version != walVersionV1 && version != walVersionV2 {
+		return 0, 0, nil, 0, fmt.Errorf("unsupported WAL version %d", version)
 	}
 	firstSeq := binary.LittleEndian.Uint64(data[6:14])
-	var raws []traj.RawTrajectory
+	var recs []Record
 	off := int64(walHeaderSize)
 	for {
 		rest := data[off:]
 		if len(rest) < walFrameSize {
-			return firstSeq, raws, off, nil
+			return version, firstSeq, recs, off, nil
 		}
 		length := binary.LittleEndian.Uint32(rest[:4])
 		crc := binary.LittleEndian.Uint32(rest[4:8])
 		if length > maxWALRecord || int(length) > len(rest)-walFrameSize {
-			return firstSeq, raws, off, nil
+			return version, firstSeq, recs, off, nil
 		}
 		payload := rest[walFrameSize : walFrameSize+int(length)]
 		if crc32.ChecksumIEEE(payload) != crc {
-			return firstSeq, raws, off, nil
+			return version, firstSeq, recs, off, nil
 		}
-		raw, ok := decodeRawTrajectory(payload)
+		rec, ok := decodeRecord(payload, version)
 		if !ok {
 			// The checksum matched but the payload is structurally invalid:
 			// this is not a torn write, it is corruption (or a foreign
 			// record) that fsync promised us could not happen.  Stop here
 			// and let the caller keep the valid prefix.
-			return firstSeq, raws, off, nil
+			return version, firstSeq, recs, off, nil
 		}
-		raws = append(raws, raw)
+		recs = append(recs, rec)
 		off += walFrameSize + int64(length)
 	}
 }
 
-// encodeRawTrajectory serializes one raw trajectory payload.
-func encodeRawTrajectory(raw traj.RawTrajectory) []byte {
-	out := make([]byte, 4+walPointSize*len(raw.Points))
-	binary.LittleEndian.PutUint32(out, uint32(len(raw.Points)))
-	o := 4
-	for _, p := range raw.Points {
+// encodeRecord serializes one record payload in the given layout version.
+// A version-1 layout has no field for the error budget; the eps is
+// dropped there (the points themselves are already simplified).
+func encodeRecord(rec Record, version uint16) []byte {
+	pre := 0
+	if version >= walVersionV2 {
+		pre = walEpsSize
+	}
+	out := make([]byte, pre+4+walPointSize*len(rec.Raw.Points))
+	if pre > 0 {
+		binary.LittleEndian.PutUint64(out, math.Float64bits(rec.Eps))
+	}
+	binary.LittleEndian.PutUint32(out[pre:], uint32(len(rec.Raw.Points)))
+	o := pre + 4
+	for _, p := range rec.Raw.Points {
 		binary.LittleEndian.PutUint64(out[o:], uint64(int64FromF64(p.X)))
 		binary.LittleEndian.PutUint64(out[o+8:], uint64(int64FromF64(p.Y)))
 		binary.LittleEndian.PutUint64(out[o+16:], uint64(p.T))
@@ -237,33 +277,44 @@ func encodeRawTrajectory(raw traj.RawTrajectory) []byte {
 	return out
 }
 
-// decodeRawTrajectory parses one payload; ok is false on any structural
-// mismatch.
-func decodeRawTrajectory(payload []byte) (traj.RawTrajectory, bool) {
+// decodeRecord parses one payload in the given layout version; ok is
+// false on any structural mismatch.
+func decodeRecord(payload []byte, version uint16) (Record, bool) {
+	var rec Record
+	if version >= walVersionV2 {
+		if len(payload) < walEpsSize {
+			return Record{}, false
+		}
+		rec.Eps = math.Float64frombits(binary.LittleEndian.Uint64(payload))
+		payload = payload[walEpsSize:]
+	}
 	if len(payload) < 4 {
-		return traj.RawTrajectory{}, false
+		return Record{}, false
 	}
 	n := binary.LittleEndian.Uint32(payload)
 	if int(n) != (len(payload)-4)/walPointSize || len(payload) != 4+walPointSize*int(n) {
-		return traj.RawTrajectory{}, false
+		return Record{}, false
 	}
-	raw := traj.RawTrajectory{Points: make([]traj.RawPoint, n)}
+	rec.Raw = traj.RawTrajectory{Points: make([]traj.RawPoint, n)}
 	o := 4
-	for i := range raw.Points {
-		raw.Points[i] = traj.RawPoint{
+	for i := range rec.Raw.Points {
+		rec.Raw.Points[i] = traj.RawPoint{
 			X: f64FromInt64(int64(binary.LittleEndian.Uint64(payload[o:]))),
 			Y: f64FromInt64(int64(binary.LittleEndian.Uint64(payload[o+8:]))),
 			T: int64(binary.LittleEndian.Uint64(payload[o+16:])),
 		}
 		o += walPointSize
 	}
-	return raw, true
+	return rec, true
 }
 
 // Append adds one record to the log buffer and returns its sequence number
-// (its zero-based index in the log).  The record is acknowledged — and
-// must be reported to the submitter as accepted — only after a Sync.
-func (w *WAL) Append(raw traj.RawTrajectory) (uint64, error) {
+// (its zero-based index in the log).  eps is the SED error budget the
+// trajectory was simplified under (0: unsimplified); version-1 logs have
+// no field for it and record the points alone.  The record is
+// acknowledged — and must be reported to the submitter as accepted — only
+// after a Sync.
+func (w *WAL) Append(raw traj.RawTrajectory, eps float64) (uint64, error) {
 	if w.f == nil {
 		return 0, errors.New("ingest: WAL is closed")
 	}
@@ -273,7 +324,7 @@ func (w *WAL) Append(raw traj.RawTrajectory) (uint64, error) {
 	if len(raw.Points) > MaxPoints {
 		return 0, fmt.Errorf("ingest: trajectory of %d points exceeds the WAL record limit (%d)", len(raw.Points), MaxPoints)
 	}
-	payload := encodeRawTrajectory(raw)
+	payload := encodeRecord(Record{Raw: raw, Eps: eps}, w.version)
 	var frame [walFrameSize]byte
 	binary.LittleEndian.PutUint32(frame[:4], uint32(len(payload)))
 	binary.LittleEndian.PutUint32(frame[4:], crc32.ChecksumIEEE(payload))
@@ -327,6 +378,10 @@ func (w *WAL) Size() int64 { return w.size + int64(len(w.buf)) }
 
 // Path returns the log's file path.
 func (w *WAL) Path() string { return w.path }
+
+// Version returns the file's payload layout version (1 for logs written
+// by builds before the error-budget field, 2 for logs created since).
+func (w *WAL) Version() uint16 { return w.version }
 
 // Checkpoint drops every record with sequence below upTo — records the
 // store manifest confirms applied (walApplied) — by atomically rewriting
@@ -385,7 +440,7 @@ func (w *WAL) Checkpoint(upTo uint64) error {
 	if err != nil {
 		return err
 	}
-	hdr := walHeader(upTo)
+	hdr := walHeader(w.version, upTo)
 	var copied int64
 	if _, err = tmp.Write(hdr[:]); err == nil {
 		copied, err = io.Copy(tmp, br)

@@ -1,6 +1,8 @@
 package ingest
 
 import (
+	"encoding/binary"
+	"hash/crc32"
 	"math/rand"
 	"os"
 	"path/filepath"
@@ -22,27 +24,40 @@ func randomRaw(rng *rand.Rand) traj.RawTrajectory {
 	return raw
 }
 
+// randomRec pairs a random raw with a varying (sometimes zero) error
+// budget so the v2 eps field round-trips through every test.
+func randomRec(rng *rand.Rand) Record {
+	rec := Record{Raw: randomRaw(rng)}
+	if rng.Intn(2) == 0 {
+		rec.Eps = float64(rng.Intn(100)) / 4
+	}
+	return rec
+}
+
 func TestWALRoundTrip(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "ingest.wal")
-	w, raws, err := OpenWAL(path)
+	w, recs, err := OpenWAL(path)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(raws) != 0 || w.Count() != 0 {
-		t.Fatalf("fresh WAL has %d records", len(raws))
+	if len(recs) != 0 || w.Count() != 0 {
+		t.Fatalf("fresh WAL has %d records", len(recs))
+	}
+	if w.Version() != walVersion {
+		t.Fatalf("fresh WAL has version %d, want %d", w.Version(), walVersion)
 	}
 	rng := rand.New(rand.NewSource(1))
-	var want []traj.RawTrajectory
+	var want []Record
 	for i := 0; i < 40; i++ {
-		raw := randomRaw(rng)
-		seq, err := w.Append(raw)
+		rec := randomRec(rng)
+		seq, err := w.Append(rec.Raw, rec.Eps)
 		if err != nil {
 			t.Fatal(err)
 		}
 		if seq != uint64(i) {
 			t.Fatalf("record %d got sequence %d", i, seq)
 		}
-		want = append(want, raw)
+		want = append(want, rec)
 		if i%7 == 0 {
 			if err := w.Sync(); err != nil {
 				t.Fatal(err)
@@ -65,7 +80,7 @@ func TestWALRoundTrip(t *testing.T) {
 		t.Fatalf("Count = %d, want %d", w2.Count(), len(want))
 	}
 	// Appends resume with the next sequence number.
-	seq, err := w2.Append(randomRaw(rng))
+	seq, err := w2.Append(randomRaw(rng), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -86,13 +101,13 @@ func TestWALTornTailRecovery(t *testing.T) {
 		t.Fatal(err)
 	}
 	rng := rand.New(rand.NewSource(2))
-	var want []traj.RawTrajectory
+	var want []Record
 	for i := 0; i < 5; i++ {
-		raw := randomRaw(rng)
-		if _, err := w.Append(raw); err != nil {
+		rec := randomRec(rng)
+		if _, err := w.Append(rec.Raw, rec.Eps); err != nil {
 			t.Fatal(err)
 		}
-		want = append(want, raw)
+		want = append(want, rec)
 	}
 	if err := w.Close(); err != nil {
 		t.Fatal(err)
@@ -108,8 +123,8 @@ func TestWALTornTailRecovery(t *testing.T) {
 	}
 	lastStart := int(goodEnd)
 	for lastStart > walHeaderSize {
-		_, raws, end, _ := DecodeWAL(full[:lastStart-1])
-		if len(raws) == 4 {
+		_, recs, end, _ := DecodeWAL(full[:lastStart-1])
+		if len(recs) == 4 {
 			lastStart = int(end)
 			break
 		}
@@ -121,27 +136,27 @@ func TestWALTornTailRecovery(t *testing.T) {
 		if err := os.WriteFile(p, full[:cut], 0o644); err != nil {
 			t.Fatal(err)
 		}
-		tw, raws, err := OpenWAL(p)
+		tw, recs, err := OpenWAL(p)
 		if err != nil {
 			t.Fatalf("cut %d: %v", cut, err)
 		}
-		if !reflect.DeepEqual(raws, want[:4]) {
-			t.Fatalf("cut %d: recovered %d records, want 4", cut, len(raws))
+		if !reflect.DeepEqual(recs, want[:4]) {
+			t.Fatalf("cut %d: recovered %d records, want 4", cut, len(recs))
 		}
 		// The torn tail is gone: a new append lands on a record boundary
 		// and the log replays cleanly afterwards.
-		extra := randomRaw(rng)
-		if _, err := tw.Append(extra); err != nil {
+		extra := randomRec(rng)
+		if _, err := tw.Append(extra.Raw, extra.Eps); err != nil {
 			t.Fatal(err)
 		}
 		if err := tw.Close(); err != nil {
 			t.Fatal(err)
 		}
-		_, raws2, err := OpenWAL(p)
+		_, recs2, err := OpenWAL(p)
 		if err != nil {
 			t.Fatal(err)
 		}
-		if len(raws2) != 5 || !reflect.DeepEqual(raws2[4], extra) {
+		if len(recs2) != 5 || !reflect.DeepEqual(recs2[4], extra) {
 			t.Fatalf("cut %d: post-recovery append not replayed", cut)
 		}
 	}
@@ -157,13 +172,13 @@ func TestWALCorruptRecordDropped(t *testing.T) {
 		t.Fatal(err)
 	}
 	rng := rand.New(rand.NewSource(3))
-	var want []traj.RawTrajectory
+	var want []Record
 	for i := 0; i < 4; i++ {
-		raw := randomRaw(rng)
-		if _, err := w.Append(raw); err != nil {
+		rec := randomRec(rng)
+		if _, err := w.Append(rec.Raw, rec.Eps); err != nil {
 			t.Fatal(err)
 		}
-		want = append(want, raw)
+		want = append(want, rec)
 	}
 	if err := w.Close(); err != nil {
 		t.Fatal(err)
@@ -178,13 +193,13 @@ func TestWALCorruptRecordDropped(t *testing.T) {
 	if err := os.WriteFile(p, mut, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	cw, raws, err := OpenWAL(p)
+	cw, recs, err := OpenWAL(p)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer cw.Close()
-	if !reflect.DeepEqual(raws, want[:3]) {
-		t.Fatalf("recovered %d records after corruption, want 3", len(raws))
+	if !reflect.DeepEqual(recs, want[:3]) {
+		t.Fatalf("recovered %d records after corruption, want 3", len(recs))
 	}
 }
 
@@ -197,13 +212,13 @@ func TestWALCheckpoint(t *testing.T) {
 		t.Fatal(err)
 	}
 	rng := rand.New(rand.NewSource(11))
-	var want []traj.RawTrajectory
+	var want []Record
 	for i := 0; i < 10; i++ {
-		raw := randomRaw(rng)
-		if _, err := w.Append(raw); err != nil {
+		rec := randomRec(rng)
+		if _, err := w.Append(rec.Raw, rec.Eps); err != nil {
 			t.Fatal(err)
 		}
-		want = append(want, raw)
+		want = append(want, rec)
 	}
 	sizeBefore := w.Size()
 	if err := w.Checkpoint(4); err != nil {
@@ -223,8 +238,8 @@ func TestWALCheckpoint(t *testing.T) {
 		t.Fatal("checkpoint beyond the last acknowledged record succeeded")
 	}
 	// Appends continue with preserved numbering.
-	extra := randomRaw(rng)
-	seq, err := w.Append(extra)
+	extra := randomRec(rng)
+	seq, err := w.Append(extra.Raw, extra.Eps)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -234,7 +249,7 @@ func TestWALCheckpoint(t *testing.T) {
 	if err := w.Close(); err != nil {
 		t.Fatal(err)
 	}
-	w2, raws, err := OpenWAL(path)
+	w2, recs, err := OpenWAL(path)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -243,8 +258,8 @@ func TestWALCheckpoint(t *testing.T) {
 		t.Fatalf("reopened: first %d count %d, want 4 and 11", w2.FirstSeq(), w2.Count())
 	}
 	want = append(want[4:], extra)
-	if !reflect.DeepEqual(raws, want) {
-		t.Fatalf("reopened log replays %d records, want %d (suffix + new append)", len(raws), len(want))
+	if !reflect.DeepEqual(recs, want) {
+		t.Fatalf("reopened log replays %d records, want %d (suffix + new append)", len(recs), len(want))
 	}
 	// Checkpoint everything: only the header remains.
 	if err := w2.Checkpoint(11); err != nil {
@@ -267,5 +282,64 @@ func TestWALRejectsForeignFile(t *testing.T) {
 	data, err := os.ReadFile(p)
 	if err != nil || string(data) != "definitely not a UTCW file" {
 		t.Fatalf("OpenWAL modified a foreign file: %q, %v", data, err)
+	}
+}
+
+// walImageV1 frames v1 payloads (no eps field) under a version-1 header —
+// the byte-for-byte footprint of a log written by a pre-eps build.
+func walImageV1(recs ...Record) []byte {
+	out := walHeader(walVersionV1, 0)
+	img := append([]byte(nil), out[:]...)
+	var frame [walFrameSize]byte
+	for _, rec := range recs {
+		p := encodeRecord(rec, walVersionV1)
+		binary.LittleEndian.PutUint32(frame[:4], uint32(len(p)))
+		binary.LittleEndian.PutUint32(frame[4:], crc32.ChecksumIEEE(p))
+		img = append(img, frame[:]...)
+		img = append(img, p...)
+	}
+	return img
+}
+
+// TestWALVersion1Compat pins backward compatibility: a version-1 log (no
+// per-record error budget) replays with ε = 0 on every record, keeps
+// accepting appends in its own v1 layout — no silent upgrade rewrites a
+// file an older build might still roll back to — and replays them too.
+func TestWALVersion1Compat(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	old := []Record{{Raw: randomRaw(rng)}, {Raw: randomRaw(rng)}, {Raw: randomRaw(rng)}}
+	path := filepath.Join(t.TempDir(), "v1.wal")
+	if err := os.WriteFile(path, walImageV1(old...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	w, recs, err := OpenWAL(path)
+	if err != nil {
+		t.Fatalf("v1 log rejected: %v", err)
+	}
+	if w.Version() != walVersionV1 {
+		t.Fatalf("v1 log reports version %d", w.Version())
+	}
+	if !reflect.DeepEqual(recs, old) {
+		t.Fatalf("v1 replay: %d records, want %d (all with eps 0)", len(recs), len(old))
+	}
+	// Appends extend the v1 file; the eps metadata has nowhere to live in
+	// this layout and is documented to drop to 0 on replay.
+	extra := randomRaw(rng)
+	if _, err := w.Append(extra, 7.5); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	w2, recs2, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	if w2.Version() != walVersionV1 {
+		t.Fatalf("append upgraded a v1 log to version %d", w2.Version())
+	}
+	if len(recs2) != 4 || !reflect.DeepEqual(recs2[3].Raw, extra) || recs2[3].Eps != 0 {
+		t.Fatalf("v1 append not replayed as expected: %d records", len(recs2))
 	}
 }

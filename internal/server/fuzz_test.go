@@ -1,0 +1,46 @@
+package server
+
+import (
+	"net/http"
+	"net/url"
+	"testing"
+	"time"
+)
+
+// FuzzWatchRequestParse hammers the subscription parser with arbitrary
+// query strings: it must never panic, and anything it accepts must be a
+// sane subscription — ordered finite rectangle, alpha in [0, 1], poll
+// window within the server cap.  The parser fronts a long-lived handler
+// goroutine, so an accepted-but-insane request would park resources, not
+// just answer wrong.
+func FuzzWatchRequestParse(f *testing.F) {
+	f.Add("minX=0&minY=0&maxX=100&maxY=100&t=5000&alpha=0.2")
+	f.Add("minX=0&minY=0&maxX=9&maxY=9&t=5&gen=3&cursor=7&timeout=10&stream=sse")
+	f.Add("minX=1e308&minY=-1e308&maxX=1e309&maxY=0&t=0")
+	f.Add("minX=NaN&minY=0&maxX=9&maxY=9&t=5")
+	f.Add("minX=0&minY=0&maxX=9&maxY=9&t=5&timeout=99999999")
+	f.Add("stream=%00&t=")
+	f.Fuzz(func(t *testing.T, rawQuery string) {
+		r := &http.Request{URL: &url.URL{Path: "/v1/watch/range", RawQuery: rawQuery}}
+		req, err := parseWatchRequest(r)
+		if err != nil {
+			return
+		}
+		if req.re.MinX > req.re.MaxX || req.re.MinY > req.re.MaxY {
+			t.Fatalf("accepted inverted rectangle: %+v", req.re)
+		}
+		if req.re.MinX != req.re.MinX || req.re.MaxX != req.re.MaxX ||
+			req.re.MinY != req.re.MinY || req.re.MaxY != req.re.MaxY {
+			t.Fatalf("accepted NaN rectangle: %+v", req.re)
+		}
+		if req.alpha < 0 || req.alpha > 1 || req.alpha != req.alpha {
+			t.Fatalf("accepted alpha %v", req.alpha)
+		}
+		if req.wait < 0 || req.wait > watchMaxWait {
+			t.Fatalf("accepted poll window %v outside (0, %v]", req.wait, watchMaxWait)
+		}
+		if req.wait == 0 && req.wait != time.Duration(0) {
+			t.Fatal("unreachable")
+		}
+	})
+}

@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"strconv"
 	"sync/atomic"
 	"time"
 
@@ -90,6 +91,11 @@ type Server struct {
 	rejected atomic.Int64
 	timeouts atomic.Int64
 	degraded atomic.Int64
+
+	// Streaming counters: watch subscriptions currently connected, and
+	// update payloads delivered to them (initial results + increments).
+	watchers      atomic.Int64
+	watchNotifies atomic.Int64
 }
 
 // New returns a server over st.  Zero-valued options select defaults.
@@ -116,6 +122,7 @@ func New(st *store.Store, opts Options) *Server {
 	s.mux.HandleFunc("POST /v1/where", s.handleWhere)
 	s.mux.HandleFunc("POST /v1/when", s.handleWhen)
 	s.mux.HandleFunc("POST /v1/range", s.handleRange)
+	s.mux.HandleFunc("GET /v1/watch/range", s.handleWatchRange)
 	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	s.mux.HandleFunc("POST /v1/ingest", s.handleIngest)
 	s.mux.HandleFunc("POST /v1/compact", s.handleCompact)
@@ -299,6 +306,11 @@ type (
 		Compactions  int64  `json:"compactions"`
 		WALBytes     int64  `json:"walBytes"`
 		ReadOnly     bool   `json:"readOnly"`
+		// Admission-time simplification: the configured SED budget (0:
+		// off) and the raw points submitted vs surviving it.
+		SimplifyEps float64 `json:"simplifyEps"`
+		PointsIn    int64   `json:"pointsIn"`
+		PointsKept  int64   `json:"pointsKept"`
 	}
 
 	// StatsResponse is the /stats payload: store shape, aggregated engine
@@ -337,6 +349,11 @@ type (
 		Timeouts          int64 `json:"timeouts"`
 		DegradedQueries   int64 `json:"degradedQueries"`
 
+		// Streaming state (PR8): live watch subscriptions and the update
+		// payloads delivered to them.
+		Watchers      int64 `json:"watchers"`
+		WatchNotifies int64 `json:"watchNotifies"`
+
 		// Ingest is present only when the server was started with an
 		// ingester attached.
 		Ingest *IngestStatsJSON `json:"ingest,omitempty"`
@@ -357,8 +374,10 @@ var (
 // statusFor classifies a query error: caller mistakes (unknown
 // trajectory, invalid location) are 400; transient degradation — a
 // quarantined shard or a read-only write path — is 503 so well-behaved
-// clients back off and retry; an abandoned slow query is 504.  Everything
-// else is a server-side 500.
+// clients back off and retry; an abandoned slow query is 504.  A
+// generation pin outside the retention window is 410 Gone (permanent:
+// re-query at the current generation, do not retry) and a pin the store
+// never reached is 404.  Everything else is a server-side 500.
 func statusFor(err error) int {
 	switch {
 	case errors.Is(err, errBadInput) || errors.Is(err, store.ErrUnknownTrajectory):
@@ -367,8 +386,29 @@ func statusFor(err error) int {
 		return http.StatusServiceUnavailable
 	case errors.Is(err, errQueryTimeout):
 		return http.StatusGatewayTimeout
+	case errors.Is(err, store.ErrGenerationRetired):
+		return http.StatusGone
+	case errors.Is(err, store.ErrGenerationUnknown):
+		return http.StatusNotFound
 	}
 	return http.StatusInternalServerError
+}
+
+// snapshotFor resolves the store view a query request runs against: the
+// current generation, or — with ?gen=N — the retained generation N, so a
+// client can re-read exactly what an earlier response (or watch update)
+// was computed from.  Every helper below takes the snapshot explicitly,
+// which also gives multi-query requests (/v1/batch) one consistent view.
+func (s *Server) snapshotFor(r *http.Request) (store.Snapshot, error) {
+	q := r.URL.Query().Get("gen")
+	if q == "" {
+		return s.st.Snapshot(), nil
+	}
+	gen, err := strconv.ParseUint(q, 10, 64)
+	if err != nil {
+		return store.Snapshot{}, fmt.Errorf("%w: gen %q is not an unsigned integer", errBadInput, q)
+	}
+	return s.st.SnapshotAt(gen)
 }
 
 // timed evaluates fn under the server's query timeout.  The store's query
@@ -402,8 +442,8 @@ func timed[T any](s *Server, fn func() (T, error)) (T, error) {
 	}
 }
 
-func (s *Server) whereJSON(req WhereRequest) ([]WhereResultJSON, error) {
-	rs, err := s.st.Where(req.Traj, req.T, req.Alpha)
+func (s *Server) whereJSON(sn store.Snapshot, req WhereRequest) ([]WhereResultJSON, error) {
+	rs, err := sn.Where(req.Traj, req.T, req.Alpha)
 	if err != nil {
 		return nil, err
 	}
@@ -420,12 +460,12 @@ func (s *Server) whereJSON(req WhereRequest) ([]WhereResultJSON, error) {
 	return out, nil
 }
 
-func (s *Server) whenJSON(req WhenRequest) ([]WhenResultJSON, error) {
+func (s *Server) whenJSON(sn store.Snapshot, req WhenRequest) ([]WhenResultJSON, error) {
 	if n := s.st.Graph().NumEdges(); req.Loc.Edge < 0 || req.Loc.Edge >= n {
 		return nil, fmt.Errorf("%w: edge %d outside [0, %d)", errBadInput, req.Loc.Edge, n)
 	}
 	loc := roadnet.Position{Edge: roadnet.EdgeID(req.Loc.Edge), NDist: req.Loc.NDist}
-	rs, err := s.st.When(req.Traj, loc, req.Alpha)
+	rs, err := sn.When(req.Traj, loc, req.Alpha)
 	if err != nil {
 		return nil, err
 	}
@@ -441,9 +481,9 @@ func (s *Server) whenJSON(req WhenRequest) ([]WhenResultJSON, error) {
 // quarantined after open failures: the result is then a lower bound and
 // the response is flagged degraded rather than failed (a scatter query
 // losing one shard still has value; a 500 would have none).
-func (s *Server) rangeJSON(req RangeRequest) (trajs []int, skipped int, err error) {
+func (s *Server) rangeJSON(sn store.Snapshot, req RangeRequest) (trajs []int, skipped int, err error) {
 	re := roadnet.Rect{MinX: req.Rect.MinX, MinY: req.Rect.MinY, MaxX: req.Rect.MaxX, MaxY: req.Rect.MaxY}
-	trajs, skipped, err = s.st.RangeDegraded(re, req.T, req.Alpha)
+	trajs, skipped, err = sn.RangeDegraded(re, req.T, req.Alpha)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -461,7 +501,12 @@ func (s *Server) handleWhere(w http.ResponseWriter, r *http.Request) {
 	if !s.decode(w, r, &req) {
 		return
 	}
-	rs, err := timed(s, func() ([]WhereResultJSON, error) { return s.whereJSON(req) })
+	sn, err := s.snapshotFor(r)
+	if err != nil {
+		s.fail(w, statusFor(err), err)
+		return
+	}
+	rs, err := timed(s, func() ([]WhereResultJSON, error) { return s.whereJSON(sn, req) })
 	if err != nil {
 		s.fail(w, statusFor(err), err)
 		return
@@ -474,7 +519,12 @@ func (s *Server) handleWhen(w http.ResponseWriter, r *http.Request) {
 	if !s.decode(w, r, &req) {
 		return
 	}
-	rs, err := timed(s, func() ([]WhenResultJSON, error) { return s.whenJSON(req) })
+	sn, err := s.snapshotFor(r)
+	if err != nil {
+		s.fail(w, statusFor(err), err)
+		return
+	}
+	rs, err := timed(s, func() ([]WhenResultJSON, error) { return s.whenJSON(sn, req) })
 	if err != nil {
 		s.fail(w, statusFor(err), err)
 		return
@@ -487,12 +537,17 @@ func (s *Server) handleRange(w http.ResponseWriter, r *http.Request) {
 	if !s.decode(w, r, &req) {
 		return
 	}
+	sn, err := s.snapshotFor(r)
+	if err != nil {
+		s.fail(w, statusFor(err), err)
+		return
+	}
 	type rangeOut struct {
 		trajs   []int
 		skipped int
 	}
 	out, err := timed(s, func() (rangeOut, error) {
-		trajs, skipped, err := s.rangeJSON(req)
+		trajs, skipped, err := s.rangeJSON(sn, req)
 		return rangeOut{trajs, skipped}, err
 	})
 	if err != nil {
@@ -520,6 +575,13 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			fmt.Errorf("batch of %d exceeds limit %d", len(req.Queries), s.opts.MaxBatch))
 		return
 	}
+	// One snapshot for the whole batch: every query answers at the same
+	// generation even while ingestion mutates the store mid-batch.
+	sn, err := s.snapshotFor(r)
+	if err != nil {
+		s.fail(w, statusFor(err), err)
+		return
+	}
 	results, err := timed(s, func() ([]BatchResult, error) {
 		results := make([]BatchResult, len(req.Queries))
 		// Errors land in results; par.Do never sees one.
@@ -527,21 +589,21 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			q := req.Queries[i]
 			switch {
 			case q.Kind == "where" && q.Where != nil:
-				rs, err := s.whereJSON(*q.Where)
+				rs, err := s.whereJSON(sn, *q.Where)
 				if err != nil {
 					results[i].Error = err.Error()
 					return nil
 				}
 				results[i].Where = rs
 			case q.Kind == "when" && q.When != nil:
-				rs, err := s.whenJSON(*q.When)
+				rs, err := s.whenJSON(sn, *q.When)
 				if err != nil {
 					results[i].Error = err.Error()
 					return nil
 				}
 				results[i].When = rs
 			case q.Kind == "range" && q.Range != nil:
-				trajs, skipped, err := s.rangeJSON(*q.Range)
+				trajs, skipped, err := s.rangeJSON(sn, *q.Range)
 				if err != nil {
 					results[i].Error = err.Error()
 					return nil
@@ -708,6 +770,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Rejected:          s.rejected.Load(),
 		Timeouts:          s.timeouts.Load(),
 		DegradedQueries:   s.degraded.Load(),
+		Watchers:          s.watchers.Load(),
+		WatchNotifies:     s.watchNotifies.Load(),
 		Requests:          s.requests.Load(),
 		Failures:          s.failures.Load(),
 		UptimeSeconds:     time.Since(s.started).Seconds(),
@@ -725,6 +789,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			Compactions:  is.Compactions,
 			WALBytes:     is.WALBytes,
 			ReadOnly:     is.ReadOnly,
+			SimplifyEps:  is.SimplifyEps,
+			PointsIn:     is.PointsIn,
+			PointsKept:   is.PointsKept,
 		}
 	}
 	s.reply(w, resp)

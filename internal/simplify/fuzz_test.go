@@ -1,0 +1,100 @@
+package simplify
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+
+	"utcq/internal/gen"
+	"utcq/internal/mapmatch"
+	"utcq/internal/roadnet"
+	"utcq/internal/traj"
+)
+
+// fuzzWorld is built once: a small CD-profile road network, its fleet of
+// raw traces, and a matcher — the downstream consumer a simplified trace
+// must still satisfy.
+var fuzzWorld struct {
+	once    sync.Once
+	err     error
+	graph   *roadnet.Graph
+	matcher *mapmatch.Matcher
+	raws    []traj.RawTrajectory
+	sigma   float64
+}
+
+func fuzzSetup() error {
+	fuzzWorld.once.Do(func() {
+		p := gen.CD()
+		p.Network.Cols, p.Network.Rows = 16, 16
+		g, eix, raws, err := gen.Raws(p, 10, 77)
+		if err != nil {
+			fuzzWorld.err = err
+			return
+		}
+		fuzzWorld.graph = g
+		fuzzWorld.matcher = mapmatch.New(g, eix, p.Match)
+		fuzzWorld.raws = raws
+		fuzzWorld.sigma = p.Match.SigmaGPS
+	})
+	return fuzzWorld.err
+}
+
+// FuzzSimplifyRoundTrip drives the admission pipeline end to end on
+// fuzzer-chosen inputs: perturb a fleet trace, simplify it under a
+// fuzzer-chosen budget, and require (1) the SED bound holds against the
+// final kept segments, (2) a second pass is a no-op (idempotence), and
+// (3) the simplified trace still map-matches whenever the unsimplified
+// one does — simplification must not push an admissible submission out
+// of the matcher's reach.
+func FuzzSimplifyRoundTrip(f *testing.F) {
+	if err := fuzzSetup(); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(uint8(0), 5.0, int64(1))
+	f.Add(uint8(3), 0.0, int64(99))
+	f.Add(uint8(7), 14.9, int64(-4))
+	f.Add(uint8(255), 0.01, int64(1<<40))
+	f.Fuzz(func(t *testing.T, pick uint8, eps float64, jitterSeed int64) {
+		raw := fuzzWorld.raws[int(pick)%len(fuzzWorld.raws)]
+		// Re-noise the trace within a quarter of the GPS sigma so the
+		// fuzzer explores off-road geometry without leaving the matcher's
+		// candidate radius.
+		rng := rand.New(rand.NewSource(jitterSeed))
+		jit := traj.RawTrajectory{Points: make([]traj.RawPoint, len(raw.Points))}
+		for i, p := range raw.Points {
+			jit.Points[i] = traj.RawPoint{
+				X: p.X + rng.NormFloat64()*fuzzWorld.sigma/4,
+				Y: p.Y + rng.NormFloat64()*fuzzWorld.sigma/4,
+				T: p.T,
+			}
+		}
+		// Keep the budget at admission scale: within the GPS noise the
+		// matcher is built to absorb.  Non-finite inputs collapse to 0.
+		if math.IsNaN(eps) || math.IsInf(eps, 0) {
+			eps = 0
+		}
+		eps = math.Mod(math.Abs(eps), fuzzWorld.sigma)
+
+		out := Trajectory(jit, eps)
+		dev, ok := MaxSEDOfDropped(jit.Points, out.Points)
+		if !ok {
+			t.Fatalf("eps=%v: output is not a bracketing subsequence of the input", eps)
+		}
+		if !(dev <= eps) && len(out.Points) != len(jit.Points) {
+			t.Fatalf("eps=%v: dropped point deviates %v", eps, dev)
+		}
+		if again := Trajectory(out, eps); !reflect.DeepEqual(again, out) {
+			t.Fatalf("eps=%v: simplification is not idempotent (%d -> %d points)",
+				eps, len(out.Points), len(again.Points))
+		}
+		if _, err := fuzzWorld.matcher.Match(jit); err == nil {
+			if _, err := fuzzWorld.matcher.Match(out); err != nil {
+				t.Fatalf("eps=%v: original matches but simplified does not: %v (%d -> %d points)",
+					eps, err, len(jit.Points), len(out.Points))
+			}
+		}
+	})
+}

@@ -1,0 +1,148 @@
+// Package simplify implements error-bounded lossy simplification of raw
+// GPS trajectories, the ingest-side pre-pass of the streaming layer: the
+// ingester runs it at SubmitBatch admission — after validation, before the
+// WAL append — so the log, the map matcher and every downstream shard see
+// the reduced point set.  The ε each batch was admitted under is recorded
+// in its WAL records (docs/FORMAT.md section 4, payload version 2), so an
+// operator can always tell how much precision a log has already given up.
+//
+// The criterion is the synchronized Euclidean distance (SED) of the
+// TD-TR/SED simplification family: a dropped point is measured against
+// where the object would have been — at the dropped point's timestamp —
+// when moving linearly between the two kept points that bracket it.
+// Unlike plain Douglas-Peucker's perpendicular distance, SED respects
+// time, which is what the temporal queries downstream care about.
+//
+// The algorithm is the SED variant of Douglas-Peucker rather than an
+// opening-window scan, for two reasons that are contractual here:
+//
+//   - Exactness: every dropped point is checked against the segment of
+//     its final bracketing kept points, so the ε bound holds with no
+//     error compounding (TestSimplifySEDBound asserts it point by point).
+//   - Idempotence: the split point of a span is its first maximum-SED
+//     point, and a subset that keeps all split points reproduces the same
+//     splits — so simplify(simplify(t, ε), ε) == simplify(t, ε) exactly
+//     (TestSimplifyIdempotent).  Opening-window decisions depend on
+//     points that were dropped and are NOT stable on their own output.
+//
+// Simplification is "online" at trajectory granularity: each trajectory
+// is reduced independently the moment it is submitted, with memory
+// bounded by that one trajectory — nothing batches across submissions.
+package simplify
+
+import (
+	"math"
+
+	"utcq/internal/traj"
+)
+
+// SED returns the synchronized Euclidean distance of p from the segment
+// a→b: the distance between p and the point an object moving linearly
+// from a (at a.T) to b (at b.T) occupies at time p.T.  With a.T == b.T
+// (degenerate for valid trajectories, whose timestamps strictly increase)
+// it falls back to the distance from a.
+func SED(p, a, b traj.RawPoint) float64 {
+	if b.T == a.T {
+		return math.Hypot(p.X-a.X, p.Y-a.Y)
+	}
+	r := float64(p.T-a.T) / float64(b.T-a.T)
+	return math.Hypot(p.X-(a.X+r*(b.X-a.X)), p.Y-(a.Y+r*(b.Y-a.Y)))
+}
+
+// Trajectory returns raw reduced under the SED budget eps.  eps <= 0
+// disables simplification and returns raw unchanged (same backing array:
+// the ε=0 path is a true passthrough, pinned byte-identical by test).
+// The first and last points are always kept, and the kept points are a
+// subsequence of the input, so a valid submission (>= 2 points, strictly
+// increasing timestamps) stays valid.
+func Trajectory(raw traj.RawTrajectory, eps float64) traj.RawTrajectory {
+	return traj.RawTrajectory{Points: Points(raw.Points, eps)}
+}
+
+// Points reduces one point sequence under the SED budget eps; see
+// Trajectory.  Every dropped point has SED <= eps against the segment of
+// the two kept points bracketing it in the output.
+func Points(pts []traj.RawPoint, eps float64) []traj.RawPoint {
+	// NaN disables like 0 does: a budget that cannot certify any drop
+	// must not drop anything (every `d > eps` below would be false,
+	// which without this guard would discard ALL interior points).
+	if eps <= 0 || math.IsNaN(eps) || len(pts) <= 2 {
+		return pts
+	}
+	keep := make([]bool, len(pts))
+	keep[0], keep[len(pts)-1] = true, true
+
+	// Iterative Douglas-Peucker over SED: split each span at its first
+	// maximum-SED interior point while that maximum exceeds eps.  An
+	// explicit stack keeps adversarial (fuzzed) inputs from exhausting the
+	// goroutine stack on deep recursions.
+	type span struct{ lo, hi int }
+	stack := make([]span, 1, 32)
+	stack[0] = span{0, len(pts) - 1}
+	for len(stack) > 0 {
+		sp := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if sp.hi-sp.lo < 2 {
+			continue
+		}
+		split, maxDev := -1, eps
+		for i := sp.lo + 1; i < sp.hi; i++ {
+			d := SED(pts[i], pts[sp.lo], pts[sp.hi])
+			if math.IsNaN(d) {
+				// Non-finite geometry cannot be certified within budget;
+				// treat it as infinitely far so the point is kept.
+				d = math.Inf(1)
+			}
+			// Strict > keeps the FIRST maximum: the deterministic
+			// tie-break the idempotence guarantee rests on.
+			if d > maxDev {
+				split, maxDev = i, d
+			}
+		}
+		if split < 0 {
+			continue // every interior point fits the budget: drop them all
+		}
+		keep[split] = true
+		stack = append(stack, span{sp.lo, split}, span{split, sp.hi})
+	}
+
+	out := make([]traj.RawPoint, 0, len(pts))
+	for i, k := range keep {
+		if k {
+			out = append(out, pts[i])
+		}
+	}
+	return out
+}
+
+// MaxSEDOfDropped returns the largest SED of any original point against
+// the segment of the two simplified points bracketing it — the realized
+// error of a simplification (0 when nothing was dropped).  simplified
+// must be a subsequence of original sharing its first and last points,
+// as produced by Points; the second return value is false otherwise.
+func MaxSEDOfDropped(original, simplified []traj.RawPoint) (float64, bool) {
+	if len(original) == 0 || len(simplified) == 0 {
+		return 0, len(original) == len(simplified)
+	}
+	maxDev := 0.0
+	k := 0 // index into simplified
+	if original[0] != simplified[0] {
+		return 0, false
+	}
+	for i := 1; i < len(original); i++ {
+		if k+1 < len(simplified) && original[i] == simplified[k+1] {
+			k++
+			continue
+		}
+		if k+1 >= len(simplified) {
+			return 0, false // original points after the last kept point
+		}
+		if d := SED(original[i], simplified[k], simplified[k+1]); d > maxDev || math.IsNaN(d) {
+			maxDev = d
+		}
+	}
+	if k != len(simplified)-1 {
+		return 0, false // simplified holds points the walk never consumed
+	}
+	return maxDev, true
+}

@@ -1,0 +1,194 @@
+package simplify
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"utcq/internal/gen"
+	"utcq/internal/traj"
+)
+
+// epsSweep covers sub-noise budgets through budgets far past the GPS
+// noise scale (profiles use SigmaGPS ~= 15 map units).
+var epsSweep = []float64{0.5, 2, 5, 10, 25, 60, 150}
+
+// testTraces gathers the property-test population: synthetic fleet traces
+// from all three paper profiles plus crafted adversarial shapes.
+func testTraces(t testing.TB) []traj.RawTrajectory {
+	var traces []traj.RawTrajectory
+	for _, p := range gen.Profiles() {
+		p.Network.Cols, p.Network.Rows = 24, 24
+		_, _, raws, err := gen.Raws(p, 16, 43)
+		if err != nil {
+			t.Fatal(err)
+		}
+		traces = append(traces, raws...)
+	}
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 40; i++ {
+		traces = append(traces, fuzzedTrace(rng))
+	}
+	// Crafted shapes: collinear run (everything drops), a single spike
+	// (the spike must survive small budgets), a stationary burst
+	// (duplicate coordinates at distinct times), and a minimal pair.
+	line := traj.RawTrajectory{}
+	for i := 0; i < 20; i++ {
+		line.Points = append(line.Points, traj.RawPoint{X: float64(i) * 10, Y: float64(i) * 5, T: int64(i * 10)})
+	}
+	spike := traj.RawTrajectory{Points: append([]traj.RawPoint(nil), line.Points...)}
+	spike.Points[10].Y += 500
+	still := traj.RawTrajectory{}
+	for i := 0; i < 8; i++ {
+		still.Points = append(still.Points, traj.RawPoint{X: 100, Y: 200, T: int64(i + 1)})
+	}
+	pair := traj.RawTrajectory{Points: []traj.RawPoint{{X: 1, Y: 2, T: 3}, {X: 4, Y: 5, T: 6}}}
+	return append(traces, line, spike, still, pair)
+}
+
+// fuzzedTrace builds a random walk with bursts, reversals and speed
+// changes — shapes the road-network generator never produces.
+func fuzzedTrace(rng *rand.Rand) traj.RawTrajectory {
+	n := 2 + rng.Intn(120)
+	raw := traj.RawTrajectory{Points: make([]traj.RawPoint, n)}
+	x, y := rng.Float64()*1000, rng.Float64()*1000
+	ts := int64(rng.Intn(1000))
+	for i := range raw.Points {
+		raw.Points[i] = traj.RawPoint{X: x, Y: y, T: ts}
+		step := math.Pow(10, rng.Float64()*3-1) // 0.1 .. 100 map units
+		x += rng.NormFloat64() * step
+		y += rng.NormFloat64() * step
+		ts += 1 + int64(rng.Intn(120))
+	}
+	return raw
+}
+
+// validSubsequence asserts the structural contract: endpoints kept, kept
+// points a subsequence of the input (so timestamps stay strictly
+// increasing), at least two points out.
+func validSubsequence(t *testing.T, in, out traj.RawTrajectory) {
+	t.Helper()
+	if len(out.Points) < 2 && len(in.Points) >= 2 {
+		t.Fatalf("simplification left %d points", len(out.Points))
+	}
+	if out.Points[0] != in.Points[0] || out.Points[len(out.Points)-1] != in.Points[len(in.Points)-1] {
+		t.Fatal("simplification moved an endpoint")
+	}
+	k := 0
+	for _, p := range in.Points {
+		if k < len(out.Points) && p == out.Points[k] {
+			k++
+		}
+	}
+	if k != len(out.Points) {
+		t.Fatal("output is not a subsequence of the input")
+	}
+}
+
+// TestSimplifySEDBound is the central property: for every trace and every
+// swept ε, the max SED of the dropped points — measured against the kept
+// points that bracket them in the OUTPUT, i.e. the final segments — is
+// within ε.  No compounding, no exceptions.
+func TestSimplifySEDBound(t *testing.T) {
+	for _, raw := range testTraces(t) {
+		for _, eps := range epsSweep {
+			out := Trajectory(raw, eps)
+			validSubsequence(t, raw, out)
+			dev, ok := MaxSEDOfDropped(raw.Points, out.Points)
+			if !ok {
+				t.Fatalf("eps=%v: output is not a bracketing subsequence", eps)
+			}
+			if !(dev <= eps) {
+				t.Fatalf("eps=%v: dropped point deviates %v (n=%d -> %d)", eps, dev, len(raw.Points), len(out.Points))
+			}
+		}
+	}
+}
+
+// TestSimplifyZeroEpsPassthrough pins ε=0 as a true no-op: the output
+// aliases the input's backing array (byte-identical, not a copy).
+func TestSimplifyZeroEpsPassthrough(t *testing.T) {
+	for _, raw := range testTraces(t) {
+		out := Trajectory(raw, 0)
+		if !reflect.DeepEqual(out, raw) {
+			t.Fatal("eps=0 altered the trajectory")
+		}
+		if len(raw.Points) > 0 && &out.Points[0] != &raw.Points[0] {
+			t.Fatal("eps=0 copied the points instead of passing them through")
+		}
+		if neg := Trajectory(raw, -5); !reflect.DeepEqual(neg, raw) {
+			t.Fatal("negative eps altered the trajectory")
+		}
+		if nan := Trajectory(raw, math.NaN()); !reflect.DeepEqual(nan, raw) {
+			t.Fatal("NaN eps altered the trajectory")
+		}
+	}
+}
+
+// TestSimplifyIdempotent is the metamorphic pin: simplifying an already
+// simplified trace under the same budget changes nothing.  This is a
+// theorem for first-argmax Douglas-Peucker (the split points of a run
+// are reproduced exactly on the kept subset) and the reason the package
+// uses it rather than an opening-window scan, whose decisions depend on
+// points that are no longer present the second time.
+func TestSimplifyIdempotent(t *testing.T) {
+	for _, raw := range testTraces(t) {
+		for _, eps := range epsSweep {
+			once := Trajectory(raw, eps)
+			twice := Trajectory(once, eps)
+			if !reflect.DeepEqual(once, twice) {
+				t.Fatalf("eps=%v: second pass dropped %d more points (%d -> %d)",
+					eps, len(once.Points)-len(twice.Points), len(once.Points), len(twice.Points))
+			}
+		}
+	}
+}
+
+// TestSimplifyMonotoneBudget sanity-checks the budget's direction: a
+// larger ε never keeps more points on the same trace.
+func TestSimplifyMonotoneBudget(t *testing.T) {
+	for _, raw := range testTraces(t) {
+		prev := len(raw.Points) + 1
+		for _, eps := range epsSweep {
+			n := len(Trajectory(raw, eps).Points)
+			if n > prev {
+				t.Fatalf("eps=%v kept %d points, smaller budget kept %d", eps, n, prev)
+			}
+			prev = n
+		}
+	}
+}
+
+// TestSEDDefinition pins the metric itself on hand-computed cases.
+func TestSEDDefinition(t *testing.T) {
+	a := traj.RawPoint{X: 0, Y: 0, T: 0}
+	b := traj.RawPoint{X: 10, Y: 0, T: 10}
+	// Halfway in time = halfway along the segment.
+	if d := SED(traj.RawPoint{X: 5, Y: 3, T: 5}, a, b); math.Abs(d-3) > 1e-12 {
+		t.Fatalf("SED = %v, want 3", d)
+	}
+	// Same spatial position but early in time: the synchronized position
+	// is x=2, so the distance is 3 even though the point is ON the segment.
+	if d := SED(traj.RawPoint{X: 5, Y: 0, T: 2}, a, b); math.Abs(d-3) > 1e-12 {
+		t.Fatalf("time-shifted SED = %v, want 3", d)
+	}
+	// Degenerate zero-duration segment falls back to distance from a.
+	if d := SED(traj.RawPoint{X: 3, Y: 4, T: 0}, a, traj.RawPoint{X: 9, Y: 9, T: 0}); math.Abs(d-5) > 1e-12 {
+		t.Fatalf("degenerate SED = %v, want 5", d)
+	}
+}
+
+// TestMaxSEDOfDroppedRejectsNonSubsequence guards the test oracle itself.
+func TestMaxSEDOfDroppedRejectsNonSubsequence(t *testing.T) {
+	orig := []traj.RawPoint{{X: 0, Y: 0, T: 0}, {X: 1, Y: 0, T: 1}, {X: 2, Y: 0, T: 2}}
+	if _, ok := MaxSEDOfDropped(orig, []traj.RawPoint{{X: 9, Y: 9, T: 9}, orig[2]}); ok {
+		t.Fatal("accepted a sequence not sharing the first point")
+	}
+	if _, ok := MaxSEDOfDropped(orig, []traj.RawPoint{orig[0], orig[1]}); ok {
+		t.Fatal("accepted a sequence missing the last point")
+	}
+	if dev, ok := MaxSEDOfDropped(orig, orig); !ok || dev != 0 {
+		t.Fatalf("identity walk: dev=%v ok=%v", dev, ok)
+	}
+}

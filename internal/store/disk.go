@@ -171,7 +171,7 @@ func (s *Store) Save(dir string) error {
 	if err := writeManifestFile(s.fsys(), dir, man); err != nil {
 		return err
 	}
-	s.v.Store(newView(man, v.shards))
+	s.swap(newView(man, v.shards))
 	s.dir.Store(&dir)
 	return nil
 }
@@ -243,7 +243,7 @@ func Open(dir string, g *roadnet.Graph, opts OpenOptions) (*Store, error) {
 	}
 	s.dir.Store(&dir)
 	v := newView(man, buildShards(man))
-	s.v.Store(v)
+	s.swap(v)
 	if opts.Eager {
 		// Fan the cold start out across shards (each rebuild stays serial
 		// inside — the same shape as Build).

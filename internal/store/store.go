@@ -246,6 +246,13 @@ type Store struct {
 	mu sync.Mutex
 	v  atomic.Pointer[view]
 
+	// retained holds the previous generation's view (retention 1, matching
+	// deferred tombstone GC) for generation-pinned reads; sig is the
+	// current generation's change signal watch subscriptions block on.
+	// Both are maintained by swap (snapshot.go).
+	retained atomic.Pointer[[]*view]
+	sig      atomic.Pointer[genSignal]
+
 	// dir is the backing directory ("" for a purely in-memory store).
 	// Mutations on a backed store persist the new shard and manifest
 	// before the in-memory swap.  Atomic because lazy shard opens read it
@@ -338,7 +345,7 @@ func Build(g *roadnet.Graph, tus []*traj.Uncertain, opts Options) (*Store, error
 	if err != nil {
 		return nil, err
 	}
-	s.v.Store(newView(man, shards))
+	s.swap(newView(man, shards))
 	return s, nil
 }
 
@@ -636,7 +643,7 @@ func (s *Store) When(j int, loc roadnet.Position, alpha float64) ([]query.WhenRe
 // Under spatial assignment small rectangles touch few shards; under hash
 // assignment the bounds overlap and every shard is queried.
 func (s *Store) Range(re roadnet.Rect, t int64, alpha float64) ([]int, error) {
-	out, _, err := s.rangeImpl(re, t, alpha, false)
+	out, _, err := s.rangeView(s.v.Load(), re, t, alpha, false, 0)
 	return out, err
 }
 
@@ -646,11 +653,16 @@ func (s *Store) Range(re roadnet.Rect, t int64, alpha float64) ([]int, error) {
 // consulted (0 means the result is complete).  Servers use it to keep
 // answering range queries — flagged degraded — while a shard is broken.
 func (s *Store) RangeDegraded(re roadnet.Rect, t int64, alpha float64) ([]int, int, error) {
-	return s.rangeImpl(re, t, alpha, true)
+	return s.rangeView(s.v.Load(), re, t, alpha, true, 0)
 }
 
-func (s *Store) rangeImpl(re roadnet.Rect, t int64, alpha float64, skipQuarantined bool) ([]int, int, error) {
-	v := s.v.Load()
+// rangeView runs the scatter-gather range query against one specific view
+// (the current one for Range, a pinned one for Snapshot queries).  sinceID
+// restricts the scan to shards with id >= sinceID — the incremental
+// re-evaluation path of watch subscriptions (Snapshot.RangeSince): shard
+// ids are monotonic, so everything older than a recorded watermark is
+// already in the subscriber's hands and need not be consulted again.
+func (s *Store) rangeView(v *view, re roadnet.Rect, t int64, alpha float64, skipQuarantined bool, sinceID uint32) ([]int, int, error) {
 	gs := s.getGather(len(v.shards))
 	defer s.putGather(gs)
 	var skipped atomic.Int32
@@ -658,6 +670,9 @@ func (s *Store) rangeImpl(re roadnet.Rect, t int64, alpha float64, skipQuarantin
 		sh := v.shards[slot]
 		if sh == nil {
 			return nil // tombstoned entry
+		}
+		if sh.id < sinceID {
+			return nil // predates the subscriber's watermark: already seen
 		}
 		b := v.man.entries[slot].bounds
 		if b.MinX > b.MaxX {
@@ -817,7 +832,7 @@ func (s *Store) ApplyDelta(tus []*traj.Uncertain, walApplied uint64) (uint64, er
 			return 0, err
 		}
 	}
-	s.v.Store(newView(man, shards))
+	s.swap(newView(man, shards))
 	s.deltasApplied.Add(1)
 	return man.generation, nil
 }
@@ -961,7 +976,7 @@ func (s *Store) Compact() (int, error) {
 			_ = s.fsys().Remove(filepath.Join(dir, sidecarFile(gid)))
 		}
 	}
-	s.v.Store(newView(man, shards))
+	s.swap(newView(man, shards))
 	s.compactionsRun.Add(1)
 	return len(slots), nil
 }

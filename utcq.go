@@ -33,6 +33,7 @@ import (
 	"utcq/internal/query"
 	"utcq/internal/roadnet"
 	"utcq/internal/server"
+	"utcq/internal/simplify"
 	"utcq/internal/stiu"
 	"utcq/internal/store"
 	"utcq/internal/ted"
@@ -174,6 +175,9 @@ type (
 	// WAL is the append-only log of raw trajectories with crash-recovery
 	// replay.
 	WAL = ingest.WAL
+	// WALRecord is one replayed WAL entry: the raw trajectory and the
+	// simplification error budget (SED ε) it was admitted under.
+	WALRecord = ingest.Record
 )
 
 // NewIngester opens (or creates) the WAL at walPath and attaches it to the
@@ -192,8 +196,24 @@ func NewEdgeIndex(g *Graph, cellSize float64) *EdgeIndex {
 
 // OpenWAL opens (or creates) a write-ahead log, replaying and returning
 // every intact record; a torn tail from a crash mid-append is truncated.
-func OpenWAL(path string) (*WAL, []RawTrajectory, error) {
+func OpenWAL(path string) (*WAL, []WALRecord, error) {
 	return ingest.OpenWAL(path)
+}
+
+// Simplify reduces a raw trajectory under the SED error budget eps (map
+// units): every dropped point is within eps of the moving position
+// interpolated between the kept points bracketing it at its own
+// timestamp.  eps <= 0 returns the input unchanged.  This is the same
+// reduction IngestOptions.SimplifyEps applies at submission.
+func Simplify(raw RawTrajectory, eps float64) RawTrajectory {
+	return simplify.Trajectory(raw, eps)
+}
+
+// GenerateRaws synthesizes a road network and raw (pre-match) GPS
+// trajectories for a profile — the fleet feed for ingestion demos and
+// load generation (numRaw 0 uses the profile default).
+func GenerateRaws(p Profile, numRaw int, seed int64) (*Graph, *EdgeIndex, []RawTrajectory, error) {
+	return gen.Raws(p, numRaw, seed)
 }
 
 // Dataset generation and matching types.
