@@ -1,24 +1,23 @@
 package main
 
 import (
-	"bytes"
-	"encoding/json"
+	"context"
+	"errors"
 	"fmt"
-	"io"
 	"math/rand"
 	"net/http"
 	"sort"
-	"strconv"
-	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
-	"utcq/internal/server"
+	"utcq/pkg/client"
 )
 
 // loadgenConfig drives the load-generator mode: a closed-loop pool of
-// workers firing a where/when/range mix at a running utcqd.
+// workers firing a where/when/range mix at a running utcqd (or a utcqr
+// router — the wire API is identical, so pointing -addr at a router
+// load-tests the whole cluster).
 type loadgenConfig struct {
 	addr     string
 	duration time.Duration
@@ -47,64 +46,69 @@ type retryCounters struct {
 	giveups atomic.Int64
 }
 
-// Retry policy for transient failures: a server shedding load (429), in
-// transient degradation (5xx) or dropping connections gets a bounded
-// number of re-sends with capped exponential backoff and jitter, so a
-// blip degrades throughput instead of inflating the failure count — and
-// a thundering herd of synchronized workers cannot form.
+// Retry policy for transient failures, enforced by pkg/client: a server
+// shedding load (429), in transient degradation (5xx) or dropping
+// connections gets a bounded number of re-sends with capped exponential
+// backoff and jitter, so a blip degrades throughput instead of inflating
+// the failure count — and a thundering herd of synchronized workers
+// cannot form.
 const (
 	retryAttempts = 5
 	retryBase     = 50 * time.Millisecond
 	retryCap      = 2 * time.Second
 )
 
-// retryableStatus reports whether an HTTP status is worth re-sending:
-// explicit shedding and server-side transients, never other 4xx (the
-// request itself is wrong and will fail identically).
-func retryableStatus(code int) bool {
-	return code == http.StatusTooManyRequests || code >= 500
+// newLoadgenClient builds the shared API client: the pool's retry policy
+// plus an OnRetry hook feeding the backoff counters.
+func newLoadgenClient(addr string, rc *retryCounters) *client.Client {
+	return client.New(addr, client.Options{
+		HTTPClient:    &http.Client{Timeout: 30 * time.Second},
+		RetryAttempts: retryAttempts,
+		RetryBase:     retryBase,
+		RetryCap:      retryCap,
+		OnRetry: func(attempt int, err error, delay time.Duration) {
+			rc.retries.Add(1)
+		},
+	})
 }
 
-// backoffDelay returns the attempt's sleep: exponential from retryBase,
-// capped, with uniform jitter in [delay/2, delay).  A server-provided
-// Retry-After (whole seconds) takes precedence when longer.
-func backoffDelay(attempt int, retryAfter time.Duration, rng *rand.Rand) time.Duration {
-	delay := retryBase << attempt
-	if delay > retryCap {
-		delay = retryCap
-	}
-	delay = delay/2 + time.Duration(rng.Int63n(int64(delay/2)+1))
-	if retryAfter > delay {
-		delay = retryAfter
-	}
-	return delay
-}
-
-// runLoadgen discovers the served dataset's shape from /stats, then drives
-// the query mix for the configured duration and prints a latency report.
+// runLoadgen discovers the served dataset's shape from /v1/stats, then
+// drives the query mix for the configured duration and prints a latency
+// report.
 func runLoadgen(cfg loadgenConfig) error {
-	stats, err := fetchStats(cfg.addr)
+	var rc retryCounters
+	c := newLoadgenClient(cfg.addr, &rc)
+	ctx := context.Background()
+	stats, err := fetchStats(ctx, c, cfg.addr)
 	if err != nil {
-		return fmt.Errorf("fetch /stats (is utcqd running at %s?): %w", cfg.addr, err)
+		return fmt.Errorf("fetch /v1/stats (is utcqd running at %s?): %w", cfg.addr, err)
 	}
 	if stats.Trajectories == 0 {
 		return fmt.Errorf("server at %s serves no trajectories", cfg.addr)
 	}
 	fmt.Printf("target %s: %d trajectories, %d shards (%s), span [%d, %d]\n",
 		cfg.addr, stats.Trajectories, stats.Shards, stats.Assignment, stats.TimeMin, stats.TimeMax)
+	if stats.Cluster != nil {
+		fmt.Printf("cluster: %d nodes, %d partitions, %d holes\n",
+			len(stats.Cluster.Nodes), stats.Cluster.Partitions, stats.Cluster.Holes)
+		if cfg.watchers > 0 {
+			// Routers answer /v1/watch/range with 501 unsupported; holding
+			// watchers against one would only log errors.
+			fmt.Printf("note: watch subscriptions are not routed; dropping -watchers (subscribe to a member node directly)\n")
+			cfg.watchers = 0
+		}
+	}
 
 	var (
 		requests atomic.Int64
 		queries  atomic.Int64
 		failures atomic.Int64
-		rc       retryCounters
 		mu       sync.Mutex
 		lats     []time.Duration
 	)
-	client := &http.Client{Timeout: 30 * time.Second}
 	deadline := time.Now().Add(cfg.duration)
 	start := time.Now()
-	mem := newMemSampler(cfg.addr)
+	mem := newMemSampler(c, cfg.addr)
 	defer mem.stop()
 	var ws watcherStats
 	var wwg sync.WaitGroup
@@ -122,16 +126,19 @@ func runLoadgen(cfg loadgenConfig) error {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(cfg.seed + int64(w)))
 			var local []time.Duration
-			var lastLoc *server.PositionJSON
+			var lastLoc *client.Position
 			for time.Now().Before(deadline) {
 				t0 := time.Now()
-				n, failed, loc, err := fireOne(client, cfg, stats, rng, lastLoc, &rc)
+				n, failed, loc, err := fireOne(ctx, c, cfg, stats, rng, lastLoc, &rc)
 				lat := time.Since(t0)
 				requests.Add(1)
 				queries.Add(int64(n))
 				switch {
 				case err != nil:
 					failures.Add(int64(n)) // whole request failed
+					if errors.Is(err, client.ErrRetriesExhausted) {
+						rc.giveups.Add(1)
+					}
 				default:
 					failures.Add(int64(failed)) // in-band batch failures
 					local = append(local, lat)
@@ -163,9 +170,9 @@ func runLoadgen(cfg loadgenConfig) error {
 	}
 	mem.stop()
 
-	after, err := fetchStats(cfg.addr)
+	after, err := fetchStats(ctx, c, cfg.addr)
 	if err != nil {
-		fmt.Printf("warning: post-run /stats fetch failed: %v\n", err)
+		fmt.Printf("warning: post-run /v1/stats fetch failed: %v\n", err)
 		return nil
 	}
 	mem.observe(after)
@@ -189,49 +196,41 @@ func runLoadgen(cfg loadgenConfig) error {
 // 1) and returns the number of queries it carried, how many of them the
 // server failed in-band, and a visited location to seed future
 // when-queries.
-func fireOne(client *http.Client, cfg loadgenConfig, stats *server.StatsResponse, rng *rand.Rand, lastLoc *server.PositionJSON, rc *retryCounters) (n, failed int, loc *server.PositionJSON, err error) {
+func fireOne(ctx context.Context, c *client.Client, cfg loadgenConfig, stats *client.StatsResponse, rng *rand.Rand, lastLoc *client.Position, rc *retryCounters) (n, failed int, loc *client.Position, err error) {
 	if cfg.batch > 1 {
-		req := server.BatchRequest{}
+		var qs []client.BatchQuery
 		for i := 0; i < cfg.batch; i++ {
-			req.Queries = append(req.Queries, randomQuery(cfg, stats, rng, lastLoc))
+			qs = append(qs, randomQuery(cfg, stats, rng, lastLoc))
 		}
-		var resp struct {
-			Results []server.BatchResult `json:"results"`
-		}
-		if err := postJSON(client, cfg.addr+"/v1/batch", req, &resp, rng, rc); err != nil {
+		results, err := c.Batch(ctx, client.BatchRequest{Queries: qs})
+		if err != nil {
 			return cfg.batch, 0, nil, err
 		}
-		for _, r := range resp.Results {
+		for _, r := range results {
 			if r.Error != "" {
 				failed++
 			}
 		}
-		return cfg.batch, failed, firstLocation(resp.Results), nil
+		return cfg.batch, failed, firstLocation(results), nil
 	}
 	q := randomQuery(cfg, stats, rng, lastLoc)
 	switch q.Kind {
 	case "where":
-		var resp struct {
-			Results []server.WhereResultJSON `json:"results"`
-		}
-		if err := postJSON(client, cfg.addr+"/v1/where", q.Where, &resp, rng, rc); err != nil {
+		results, err := c.Where(ctx, *q.Where)
+		if err != nil {
 			return 1, 0, nil, err
 		}
-		if len(resp.Results) > 0 {
-			r := resp.Results[rng.Intn(len(resp.Results))]
-			return 1, 0, &server.PositionJSON{Edge: r.Edge, NDist: r.NDist}, nil
+		if len(results) > 0 {
+			r := results[rng.Intn(len(results))]
+			return 1, 0, &client.Position{Edge: r.Edge, NDist: r.NDist}, nil
 		}
 		return 1, 0, nil, nil
 	case "when":
-		var resp struct {
-			Results []server.WhenResultJSON `json:"results"`
-		}
-		return 1, 0, nil, postJSON(client, cfg.addr+"/v1/when", q.When, &resp, rng, rc)
+		_, err := c.When(ctx, *q.When)
+		return 1, 0, nil, err
 	default:
-		var resp struct {
-			Trajs []int `json:"trajs"`
-		}
-		return 1, 0, nil, postJSON(client, cfg.addr+"/v1/range", q.Range, &resp, rng, rc)
+		_, err := c.Range(ctx, *q.Range)
+		return 1, 0, nil, err
 	}
 }
 
@@ -247,11 +246,12 @@ type watcherStats struct {
 
 // runWatcher holds one live /v1/watch/range subscription until the
 // deadline: an initial full-set exchange, then incremental long-polls
-// resumed with the last update's {gen, cursor}.  Transient failures (a
-// server shedding load or restarting mid-run) back off and resubscribe
-// from the same cursor — the watch protocol is stateless server-side, so
-// nothing is lost.
-func runWatcher(cfg loadgenConfig, stats *server.StatsResponse, rng *rand.Rand, deadline time.Time, ws *watcherStats) {
+// resumed with the last update's {gen, cursor} — client.Watcher keeps
+// that cursor.  Transient failures (a server shedding load or restarting
+// mid-run) are retried inside the client and, past its budget, surface
+// here where the loop resubscribes from the same cursor — the watch
+// protocol is stateless server-side, so nothing is lost.
+func runWatcher(cfg loadgenConfig, stats *client.StatsResponse, rng *rand.Rand, deadline time.Time, ws *watcherStats) {
 	// One fixed district per watcher, 20-60% of each axis.
 	b := stats.Bounds
 	w, h := b.MaxX-b.MinX, b.MaxY-b.MinY
@@ -264,59 +264,53 @@ func runWatcher(cfg loadgenConfig, stats *server.StatsResponse, rng *rand.Rand, 
 	}
 	t := stats.TimeMin + rng.Int63n(span)
 
-	// Short poll windows keep the loop responsive to the run deadline; the
-	// client timeout sits above the window so held polls are not cut off.
-	client := &http.Client{Timeout: 10 * time.Second}
-	base := fmt.Sprintf("%s/v1/watch/range?minX=%g&minY=%g&maxX=%g&maxY=%g&t=%d&alpha=%g&timeout=2",
-		cfg.addr, x, y, x+fw*w, y+fh*h, t, cfg.alpha)
-	var gen uint64
-	var cursor uint32
+	// Watchers get their own client: short poll windows keep the loop
+	// responsive to the run deadline, and the transport timeout sits above
+	// the window so held polls are not cut off.
+	c := client.New(cfg.addr, client.Options{
+		HTTPClient:    &http.Client{Timeout: 10 * time.Second},
+		RetryAttempts: retryAttempts,
+		RetryBase:     retryBase,
+		RetryCap:      retryCap,
+	})
+	watcher := c.Watch(client.WatchRequest{
+		Rect:        client.Rect{MinX: x, MinY: y, MaxX: x + fw*w, MaxY: y + fh*h},
+		T:           t,
+		Alpha:       cfg.alpha,
+		PollSeconds: 2,
+	})
+	var lastGen uint64
 	subscribed := false
-	for attempt := 0; time.Now().Before(deadline); {
-		url := base
-		if subscribed {
-			url = fmt.Sprintf("%s&gen=%d&cursor=%d", base, gen, cursor)
-		}
-		resp, err := client.Get(url)
+	for time.Now().Before(deadline) {
+		ctx, cancel := context.WithDeadline(context.Background(), deadline)
+		upd, err := watcher.Next(ctx)
+		cancel()
 		if err != nil {
+			if !time.Now().Before(deadline) {
+				return // run deadline reached mid-poll
+			}
 			ws.errors.Add(1)
-			time.Sleep(backoffDelay(attempt, 0, rng))
-			attempt++
-			continue
-		}
-		if resp.StatusCode != http.StatusOK {
-			retryAfter, _ := strconv.Atoi(resp.Header.Get("Retry-After"))
-			resp.Body.Close()
-			ws.errors.Add(1)
-			if !retryableStatus(resp.StatusCode) {
+			var ae *client.APIError
+			if errors.As(err, &ae) && !ae.Temporary() {
 				return // the subscription itself is wrong; retrying reproduces it
 			}
-			time.Sleep(backoffDelay(attempt, time.Duration(retryAfter)*time.Second, rng))
-			attempt++
+			time.Sleep(retryBase + time.Duration(rng.Int63n(int64(retryBase))))
 			continue
 		}
-		var wr server.WatchResponse
-		err = json.NewDecoder(resp.Body).Decode(&wr)
-		resp.Body.Close()
-		if err != nil {
-			ws.errors.Add(1)
-			continue
-		}
-		attempt = 0
-		if !subscribed || wr.Gen > gen {
+		if !subscribed || upd.Gen > lastGen {
 			ws.updates.Add(1)
-			ws.trajs.Add(int64(len(wr.Added)))
+			ws.trajs.Add(int64(len(upd.Added)))
 		} else {
 			ws.heartbeats.Add(1)
 		}
-		gen, cursor, subscribed = wr.Gen, wr.Watermark, true
+		lastGen, subscribed = upd.Gen, true
 	}
 }
 
 // randomQuery synthesizes one query against the served dataset: where and
 // range uniformly over the time span and network bounds, when at the last
 // location a where-query returned (falling back to where until one exists).
-func randomQuery(cfg loadgenConfig, stats *server.StatsResponse, rng *rand.Rand, lastLoc *server.PositionJSON) server.BatchQuery {
+func randomQuery(cfg loadgenConfig, stats *client.StatsResponse, rng *rand.Rand, lastLoc *client.Position) client.BatchQuery {
 	span := stats.TimeMax - stats.TimeMin
 	if span < 1 {
 		span = 1
@@ -324,15 +318,15 @@ func randomQuery(cfg loadgenConfig, stats *server.StatsResponse, rng *rand.Rand,
 	t := stats.TimeMin + rng.Int63n(span)
 	switch k := rng.Float64(); {
 	case k < 0.5: // where
-		return server.BatchQuery{Kind: "where", Where: &server.WhereRequest{
+		return client.BatchQuery{Kind: "where", Where: &client.WhereRequest{
 			Traj: rng.Intn(stats.Trajectories), T: t, Alpha: cfg.alpha,
 		}}
 	case k < 0.75 && lastLoc != nil: // when
-		return server.BatchQuery{Kind: "when", When: &server.WhenRequest{
+		return client.BatchQuery{Kind: "when", When: &client.WhenRequest{
 			Traj: rng.Intn(stats.Trajectories), Loc: *lastLoc, Alpha: cfg.alpha,
 		}}
 	case k < 0.75: // no visited location yet: fall back to where
-		return server.BatchQuery{Kind: "where", Where: &server.WhereRequest{
+		return client.BatchQuery{Kind: "where", Where: &client.WhereRequest{
 			Traj: rng.Intn(stats.Trajectories), T: t, Alpha: cfg.alpha,
 		}}
 	default: // range over 5-40% of each axis
@@ -341,14 +335,14 @@ func randomQuery(cfg loadgenConfig, stats *server.StatsResponse, rng *rand.Rand,
 		fw, fh := 0.05+rng.Float64()*0.35, 0.05+rng.Float64()*0.35
 		x := b.MinX + rng.Float64()*(1-fw)*w
 		y := b.MinY + rng.Float64()*(1-fh)*h
-		return server.BatchQuery{Kind: "range", Range: &server.RangeRequest{
-			Rect: server.RectJSON{MinX: x, MinY: y, MaxX: x + fw*w, MaxY: y + fh*h},
+		return client.BatchQuery{Kind: "range", Range: &client.RangeRequest{
+			Rect: client.Rect{MinX: x, MinY: y, MaxX: x + fw*w, MaxY: y + fh*h},
 			T:    t, Alpha: cfg.alpha,
 		}}
 	}
 }
 
-// memSampler polls /stats in the background during a run and keeps the
+// memSampler polls /v1/stats in the background during a run and keeps the
 // peak RSS and mapped-bytes gauges, so the report shows the memory cost
 // of serving the workload (with mmap most of it is evictable page cache).
 type memSampler struct {
@@ -358,7 +352,7 @@ type memSampler struct {
 	once       sync.Once
 }
 
-func newMemSampler(addr string) *memSampler {
+func newMemSampler(c *client.Client, addr string) *memSampler {
 	ms := &memSampler{done: make(chan struct{})}
 	go func() {
 		tick := time.NewTicker(500 * time.Millisecond)
@@ -368,7 +362,7 @@ func newMemSampler(addr string) *memSampler {
 			case <-ms.done:
 				return
 			case <-tick.C:
-				if st, err := fetchStats(addr); err == nil {
+				if st, err := fetchStats(context.Background(), c, addr); err == nil {
 					ms.observe(st)
 				}
 			}
@@ -377,7 +371,7 @@ func newMemSampler(addr string) *memSampler {
 	return ms
 }
 
-func (ms *memSampler) observe(st *server.StatsResponse) {
+func (ms *memSampler) observe(st *client.StatsResponse) {
 	if st.RSSBytes > ms.peakRSS.Load() {
 		ms.peakRSS.Store(st.RSSBytes)
 	}
@@ -402,85 +396,29 @@ func fmtBytes(n int64) string {
 	}
 }
 
-func firstLocation(results []server.BatchResult) *server.PositionJSON {
+func firstLocation(results []client.BatchResult) *client.Position {
 	for _, r := range results {
 		if len(r.Where) > 0 {
-			return &server.PositionJSON{Edge: r.Where[0].Edge, NDist: r.Where[0].NDist}
+			return &client.Position{Edge: r.Where[0].Edge, NDist: r.Where[0].NDist}
 		}
 	}
 	return nil
 }
 
-// postJSON round-trips one JSON request with the retry policy above:
-// connection-level errors (reset, refused), 429 and 5xx are re-sent with
-// backoff until the attempt budget runs out; other statuses fail
-// immediately (re-sending a 400 reproduces it).
-func postJSON(client *http.Client, url string, body, out any, rng *rand.Rand, rc *retryCounters) error {
-	b, err := json.Marshal(body)
-	if err != nil {
-		return err
-	}
-	var lastErr error
-	for attempt := 0; attempt < retryAttempts; attempt++ {
-		if attempt > 0 {
-			rc.retries.Add(1)
-		}
-		resp, err := client.Post(url, "application/json", bytes.NewReader(b))
-		if err != nil {
-			// Transport-level failure (connection reset/refused, timeout):
-			// always worth a retry.
-			lastErr = err
-			if attempt+1 < retryAttempts {
-				time.Sleep(backoffDelay(attempt, 0, rng))
-			}
-			continue
-		}
-		if resp.StatusCode == http.StatusOK {
-			err := json.NewDecoder(resp.Body).Decode(out)
-			resp.Body.Close()
-			return err
-		}
-		retryAfter, _ := strconv.Atoi(resp.Header.Get("Retry-After"))
-		resp.Body.Close()
-		lastErr = fmt.Errorf("%s: status %d", url, resp.StatusCode)
-		if !retryableStatus(resp.StatusCode) {
-			return lastErr
-		}
-		if attempt+1 < retryAttempts {
-			time.Sleep(backoffDelay(attempt, time.Duration(retryAfter)*time.Second, rng))
-		}
-	}
-	rc.giveups.Add(1)
-	return fmt.Errorf("giving up after %d attempts: %w", retryAttempts, lastErr)
-}
-
-// statsClient bounds the discovery fetches the same way per-query
-// requests are bounded, so loadgen cannot hang on an unresponsive server.
-var statsClient = &http.Client{Timeout: 30 * time.Second}
-
 // fetchStats discovers the served dataset's shape.  Every failure mode is
-// surfaced explicitly — a non-200 status (with the response body, which
-// carries the server's error JSON), a malformed payload, or a degenerate
-// shape — because silently proceeding would synthesize queries from
-// zero-valued bounds and report nonsense throughput against them.
-func fetchStats(addr string) (*server.StatsResponse, error) {
-	resp, err := statsClient.Get(addr + "/stats")
+// surfaced explicitly — a server-side error (whose envelope code the
+// client decodes), a malformed payload, or a degenerate shape — because
+// silently proceeding would synthesize queries from zero-valued bounds
+// and report nonsense throughput against them.
+func fetchStats(ctx context.Context, c *client.Client, addr string) (*client.StatsResponse, error) {
+	sr, err := c.Stats(ctx)
 	if err != nil {
-		return nil, err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		snippet, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
-		return nil, fmt.Errorf("%s/stats: status %d (%s): %s", addr, resp.StatusCode, http.StatusText(resp.StatusCode), strings.TrimSpace(string(snippet)))
-	}
-	var sr server.StatsResponse
-	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
-		return nil, fmt.Errorf("%s/stats: decoding response: %w (is this a utcqd server?)", addr, err)
+		return nil, fmt.Errorf("%s/v1/stats: %w", addr, err)
 	}
 	// <= also rejects the all-zero bounds a non-utcqd endpoint's unrelated
 	// JSON decodes to (a real network always has positive extent).
 	if sr.Bounds.MaxX <= sr.Bounds.MinX || sr.Bounds.MaxY <= sr.Bounds.MinY {
-		return nil, fmt.Errorf("%s/stats: degenerate network bounds %+v", addr, sr.Bounds)
+		return nil, fmt.Errorf("%s/v1/stats: degenerate network bounds %+v", addr, sr.Bounds)
 	}
 	return &sr, nil
 }

@@ -14,11 +14,20 @@
 // POST /v1/compact or automatically every -compact-after delta shards.
 // After a crash, acknowledged-but-unapplied records replay from the WAL.
 //
+// Cluster modes (see docs/ARCHITECTURE.md §10): -cluster-node/-cluster-nodes
+// filter the built dataset down to the trajectories a placement assigns this
+// member, so N members behind a cmd/utcqr router jointly serve the full
+// dataset; -follow runs the process as a replication follower that
+// bootstraps a snapshot from a leader and replays its WAL (reads only —
+// /v1/ingest answers 503 not_leader).
+//
 // Usage:
 //
 //	utcqd -addr :8723 -profile CD -n 500 -shards 4
 //	utcqd -addr :8723 -profile CD -n 500 -shards 4 -dir /var/lib/utcq/cd500
 //	utcqd -addr :8723 -profile CD -dir /var/lib/utcq/cd500 -wal /var/lib/utcq/cd500/ingest.wal
+//	utcqd -addr :8724 -profile CD -n 500 -cluster-node 1 -cluster-nodes 3
+//	utcqd -addr :8725 -profile CD -dir /var/lib/utcq/replica -follow http://leader:8723
 //
 // Endpoints (see README "Serving" for request/response bodies):
 //
@@ -41,6 +50,7 @@ import (
 	"syscall"
 	"time"
 
+	"utcq/internal/cluster"
 	"utcq/internal/gen"
 	"utcq/internal/ingest"
 	"utcq/internal/query"
@@ -70,6 +80,10 @@ func main() {
 	compactAfter := flag.Int("compact-after", 8, "fold delta shards into a base shard past this count (0 = default 8, <0 disables)")
 	flushEvery := flag.Duration("flush-every", time.Second, "background drain interval for partial ingest batches")
 	simplifyEps := flag.Float64("simplify-eps", 0, "online simplification SED budget in map units applied at ingest admission (0 disables)")
+	follow := flag.String("follow", "", "leader base URL: run as a replication follower of that utcqd (requires -dir; clients get reads only)")
+	clusterNode := flag.Int("cluster-node", -1, "this member's index in a cluster placement: keep only the trajectories the placement assigns it (requires -cluster-nodes)")
+	clusterNodes := flag.Int("cluster-nodes", 0, "total cluster member count for -cluster-node filtering (0 = not a cluster member)")
+	clusterPartitions := flag.Int("cluster-partitions", cluster.DefaultPartitions, "cluster placement partitions (must match the router's -partitions)")
 	flag.Parse()
 
 	p, err := gen.ProfileByName(*profile)
@@ -81,6 +95,43 @@ func main() {
 		log.Fatal(err)
 	}
 	engOpts := query.EngineOptions{CacheEntries: *cacheEntries}
+
+	if *follow != "" {
+		if *dir == "" {
+			log.Fatal("-follow requires -dir (the follower's snapshot directory)")
+		}
+		g := roadnetFor(p)
+		log.Printf("following %s into %s (profile %s network)", *follow, *dir, p.Name)
+		fol, err := cluster.StartFollower(*follow, cluster.FollowerOptions{
+			Dir:       *dir,
+			Graph:     g,
+			EdgeIndex: roadnet.NewEdgeIndex(g, 4*p.Network.Spacing),
+			Ingest: ingest.Options{
+				BatchSize:    *ingestBatch,
+				FlushEvery:   *flushEvery,
+				Match:        p.Match,
+				Parallelism:  *parallel,
+				CompactEvery: *compactAfter,
+			},
+			Open: store.OpenOptions{Engine: engOpts, Parallelism: *parallel},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		srv := server.New(fol.Store(), server.Options{
+			MaxBatch:         *maxBatch,
+			BatchParallelism: *parallel,
+			QueryTimeout:     *queryTimeout,
+			Ingester:         fol.Ingester(),
+			Follower:         true,
+		})
+		serveUntilSignal(srv, *addr, *drain, func() {
+			if err := fol.Close(); err != nil {
+				log.Printf("warning: follower close: %v", err)
+			}
+		})
+		return
+	}
 
 	var st *store.Store
 	var g *roadnet.Graph
@@ -107,6 +158,24 @@ func main() {
 			log.Fatal(err)
 		}
 		g = ds.Graph
+		if *clusterNodes > 0 {
+			// Cluster member: keep only the trajectories the shared placement
+			// assigns this node.  Global id order is preserved, so a member's
+			// local id k is the k-th global id it owns — exactly the map the
+			// router (cmd/utcqr) rebuilds at sync.
+			if *clusterNode < 0 || *clusterNode >= *clusterNodes {
+				log.Fatalf("-cluster-node %d out of range [0, %d)", *clusterNode, *clusterNodes)
+			}
+			place := cluster.NewPlacement(cluster.NodeNames(*clusterNodes), *clusterPartitions, 0)
+			kept := ds.Trajectories[:0]
+			for gid, tu := range ds.Trajectories {
+				if place.Owner(gid) == *clusterNode {
+					kept = append(kept, tu)
+				}
+			}
+			log.Printf("cluster member %d of %d: placement keeps %d of %d trajectories", *clusterNode, *clusterNodes, len(kept), len(ds.Trajectories))
+			ds.Trajectories = kept
+		}
 		opts := store.DefaultOptions(p.Ts)
 		opts.NumShards = *shards
 		opts.Assignment = assignment
@@ -156,30 +225,7 @@ func main() {
 		MaxPending:       *maxPending,
 		Ingester:         ing,
 	})
-
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
-	done := make(chan error, 1)
-	go func() {
-		log.Printf("listening on %s", *addr)
-		done <- srv.ListenAndServe(*addr)
-	}()
-
-	select {
-	case err := <-done:
-		if err != nil {
-			log.Fatal(err)
-		}
-	case <-ctx.Done():
-		log.Printf("shutting down (drain %s)", *drain)
-		sctx, cancel := context.WithTimeout(context.Background(), *drain)
-		defer cancel()
-		if err := srv.Shutdown(sctx); err != nil {
-			log.Fatalf("shutdown: %v", err)
-		}
-		if err := <-done; err != nil {
-			log.Fatal(err)
-		}
+	serveUntilSignal(srv, *addr, *drain, func() {
 		if ing != nil {
 			// A failed final drain is reported, not fatal: the records it
 			// could not apply are still durable in the WAL and replay on
@@ -191,6 +237,37 @@ func main() {
 				log.Printf("ingestion drained")
 			}
 		}
+	})
+}
+
+// serveUntilSignal runs the server until SIGINT/SIGTERM, drains in-flight
+// requests within the budget, then runs cleanup (WAL drain, follower
+// shutdown).
+func serveUntilSignal(srv *server.Server, addr string, drain time.Duration, cleanup func()) {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	done := make(chan error, 1)
+	go func() {
+		log.Printf("listening on %s", addr)
+		done <- srv.ListenAndServe(addr)
+	}()
+
+	select {
+	case err := <-done:
+		if err != nil {
+			log.Fatal(err)
+		}
+	case <-ctx.Done():
+		log.Printf("shutting down (drain %s)", drain)
+		sctx, cancel := context.WithTimeout(context.Background(), drain)
+		defer cancel()
+		if err := srv.Shutdown(sctx); err != nil {
+			log.Fatalf("shutdown: %v", err)
+		}
+		if err := <-done; err != nil {
+			log.Fatal(err)
+		}
+		cleanup()
 		log.Printf("bye")
 	}
 }

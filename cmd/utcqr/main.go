@@ -1,0 +1,113 @@
+// Command utcqr routes the utcqd HTTP API across a cluster of member
+// nodes: point queries (where/when) go to the member a consistent-hash
+// placement assigns the trajectory, range queries scatter-gather across
+// members (pruned by each member's data bounds, merged deterministically),
+// and ingest splits a batch by placement so every member stays the owner
+// of exactly its share of the global id space.
+//
+// Members are plain utcqd processes started with matching
+// -cluster-node/-cluster-nodes/-cluster-partitions flags; the router holds
+// no durable state of its own — it rebuilds the id maps from member stats
+// at startup and refuses to serve until every member is reachable, idle
+// and consistent with the placement.
+//
+// Usage:
+//
+//	utcqd -addr :8801 -profile CD -n 900 -cluster-node 0 -cluster-nodes 3 -wal w0.wal &
+//	utcqd -addr :8802 -profile CD -n 900 -cluster-node 1 -cluster-nodes 3 -wal w1.wal &
+//	utcqd -addr :8803 -profile CD -n 900 -cluster-node 2 -cluster-nodes 3 -wal w2.wal &
+//	utcqr -addr :8800 -members http://localhost:8801,http://localhost:8802,http://localhost:8803
+//
+// Clients speak to the router exactly as to a single utcqd (same
+// endpoints, same bodies, same error envelope); /v1/stats additionally
+// carries a "cluster" section with per-node detail, and /healthz reports
+// "degraded" while any member is quarantined.
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"utcq/internal/cluster"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("utcqr: ")
+	addr := flag.String("addr", ":8800", "listen address")
+	members := flag.String("members", "", "comma-separated member base URLs in placement order (required)")
+	partitions := flag.Int("partitions", cluster.DefaultPartitions, "placement partitions (must match the members' -cluster-partitions)")
+	parallel := flag.Int("parallel", 0, "scatter-gather worker count (0 = one per CPU)")
+	maxBatch := flag.Int("max-batch", 0, "maximum queries per /v1/batch request (0 = default)")
+	syncTimeout := flag.Duration("sync-timeout", 60*time.Second, "how long to wait for all members to come up at startup")
+	refresh := flag.Duration("refresh", 2*time.Second, "member stats refresh cadence (bounds pruning, quarantine healing)")
+	drain := flag.Duration("drain", 10*time.Second, "graceful shutdown drain budget")
+	flag.Parse()
+
+	var ms []cluster.Member
+	for i, u := range strings.Split(*members, ",") {
+		u = strings.TrimSpace(u)
+		if u == "" {
+			continue
+		}
+		ms = append(ms, cluster.Member{Name: cluster.NodeNames(i + 1)[i], URL: u})
+	}
+	if len(ms) == 0 {
+		log.Fatal("-members is required (comma-separated base URLs)")
+	}
+
+	rt := cluster.NewRouter(ms, cluster.RouterOptions{
+		Partitions:   *partitions,
+		Parallelism:  *parallel,
+		MaxBatch:     *maxBatch,
+		RefreshEvery: *refresh,
+	})
+
+	// Members may still be building their datasets; retry the sync until
+	// the budget runs out so "start everything at once" just works.
+	sctx, scancel := context.WithTimeout(context.Background(), *syncTimeout)
+	for {
+		err := rt.Sync(sctx)
+		if err == nil {
+			break
+		}
+		select {
+		case <-sctx.Done():
+			log.Fatalf("cluster sync: %v", err)
+		case <-time.After(time.Second):
+		}
+	}
+	scancel()
+	log.Printf("synced %d members, %d trajectories, %d partitions", len(ms), rt.NumTrajectories(), *partitions)
+	rt.Start()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	done := make(chan error, 1)
+	go func() {
+		log.Printf("routing on %s", *addr)
+		done <- rt.ListenAndServe(*addr)
+	}()
+
+	select {
+	case err := <-done:
+		if err != nil {
+			log.Fatal(err)
+		}
+	case <-ctx.Done():
+		log.Printf("shutting down (drain %s)", *drain)
+		dctx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := rt.Shutdown(dctx); err != nil {
+			log.Fatalf("shutdown: %v", err)
+		}
+		<-done
+		log.Printf("bye")
+	}
+}

@@ -1,34 +1,25 @@
 // Range monitor, live edition: "which vehicles were probably inside this
 // district at time t — and tell me when that changes?"  The monitor runs
 // the whole streaming stack in one process: a store with a WAL-backed
-// ingester behind the HTTP query server, and a watch client subscribed
-// to GET /v1/watch/range.  Each ingested batch advances the store's
-// generation; the subscription answers with only the trajectories that
-// entered the result set since the client's cursor, and the client-side
-// union always equals a full range query at that generation.
+// ingester behind the HTTP query server, and a pkg/client Watcher
+// subscribed to GET /v1/watch/range.  Each ingested batch advances the
+// store's generation; the subscription answers with only the trajectories
+// that entered the result set since the client's cursor, and the
+// client-side union always equals a full range query at that generation.
 package main
 
 import (
 	"context"
-	"encoding/json"
 	"fmt"
 	"log"
 	"net"
-	"net/http"
 	"os"
 	"path/filepath"
 	"sort"
 
 	"utcq"
+	"utcq/pkg/client"
 )
-
-// watchUpdate mirrors the /v1/watch/range response payload.
-type watchUpdate struct {
-	Gen       uint64 `json:"gen"`
-	Watermark uint32 `json:"watermark"`
-	Added     []int  `json:"added"`
-	Reset     bool   `json:"reset"`
-}
 
 func main() {
 	log.SetFlags(0)
@@ -76,7 +67,6 @@ func main() {
 	}
 	go func() { _ = srv.Serve(l) }()
 	defer srv.Shutdown(context.Background())
-	baseURL := "http://" + l.Addr().String()
 
 	// The district: the central two thirds of the network.  The probe
 	// time is the instant most fleet traces cover, so the monitor
@@ -86,26 +76,22 @@ func main() {
 	half := (b.MaxX - b.MinX) / 3
 	tq := busiestInstant(raws)
 
-	watch := func(extra string) watchUpdate {
-		url := fmt.Sprintf("%s/v1/watch/range?minX=%g&minY=%g&maxX=%g&maxY=%g&t=%d&alpha=0.2%s",
-			baseURL, cx-half, cy-half, cx+half, cy+half, tq, extra)
-		resp, err := http.Get(url)
-		if err != nil {
-			log.Fatal(err)
-		}
-		defer resp.Body.Close()
-		if resp.StatusCode != http.StatusOK {
-			log.Fatalf("watch: HTTP %d", resp.StatusCode)
-		}
-		var wu watchUpdate
-		if err := json.NewDecoder(resp.Body).Decode(&wu); err != nil {
-			log.Fatal(err)
-		}
-		return wu
+	ctx := context.Background()
+	c := client.New("http://"+l.Addr().String(), client.Options{})
+	req := client.WatchRequest{
+		Rect:        client.Rect{MinX: cx - half, MinY: cy - half, MaxX: cx + half, MaxY: cy + half},
+		T:           tq,
+		Alpha:       0.2,
+		PollSeconds: 5,
 	}
 
-	// Subscribe: the first exchange delivers the full result set.
-	cur := watch("")
+	// Subscribe: the first exchange delivers the full result set; the
+	// Watcher keeps the {gen, cursor} resume state from then on.
+	watcher := c.Watch(req)
+	cur, err := watcher.Next(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
 	inside := map[int]bool{}
 	for _, j := range cur.Added {
 		inside[j] = true
@@ -126,18 +112,23 @@ func main() {
 		if _, err := ing.Flush(); err != nil {
 			log.Fatal(err)
 		}
-		upd := watch(fmt.Sprintf("&gen=%d&cursor=%d&timeout=5", cur.Gen, cur.Watermark))
+		upd, err := watcher.Next(ctx)
+		if err != nil {
+			log.Fatal(err)
+		}
 		for _, j := range upd.Added {
 			inside[j] = true
 		}
 		updates++
 		fmt.Printf("generation %d: +%d arrivals, %d vehicles inside\n", upd.Gen, len(upd.Added), len(inside))
-		cur = upd
 	}
 
 	// The streaming invariant: the union of incremental updates equals a
 	// fresh full subscription at the final generation.
-	full := watch("")
+	full, err := c.Watch(req).Next(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
 	want := append([]int(nil), full.Added...)
 	have := make([]int, 0, len(inside))
 	for j := range inside {

@@ -1,0 +1,448 @@
+package cluster
+
+// Cluster chaos: kill the follower and the leader mid-ingest (power-cut
+// filesystems, abandoned processes) and assert the replication contract —
+// no fsync-acked trajectory is ever lost, and a caught-up follower
+// answers every query identically to the leader.
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"utcq/internal/faultfs"
+	"utcq/internal/gen"
+	"utcq/internal/ingest"
+	"utcq/internal/mapmatch"
+	"utcq/internal/roadnet"
+	"utcq/internal/server"
+	"utcq/internal/store"
+	"utcq/internal/traj"
+	"utcq/pkg/client"
+)
+
+// swapHandler gives a stable URL whose behavior the test can change:
+// the follower keeps one leader address across leader "restarts".
+type swapHandler struct{ h atomic.Pointer[http.Handler] }
+
+func (s *swapHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	(*s.h.Load()).ServeHTTP(w, r)
+}
+func (s *swapHandler) set(h http.Handler) { s.h.Store(&h) }
+
+var downHandler http.Handler = http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+	http.Error(w, `{"code":"internal","error":"leader is down"}`, http.StatusServiceUnavailable)
+})
+
+// replFixture is one leader (MemFS A) + one follower (MemFS B) sharing a
+// deterministic road network, with every raw pre-verified matchable so
+// acked == queryable.
+type replFixture struct {
+	t    *testing.T
+	p    gen.Profile
+	g    *roadnet.Graph
+	eix  *roadnet.EdgeIndex
+	base []*traj.Uncertain
+	live []traj.RawTrajectory
+
+	fsA, fsB *faultfs.MemFS
+	leader   *swapHandler
+	leaderTS *httptest.Server
+	st       *store.Store
+	ing      *ingest.Ingester
+	fol      *Follower
+	acked    int // live records fsync-acked by the leader WAL
+}
+
+func newReplFixture(t *testing.T) *replFixture {
+	t.Helper()
+	p := gen.CD()
+	p.Network.Cols, p.Network.Rows = 16, 16
+	g, eix, raws, err := gen.Raws(p, 30, 29)
+	if err != nil {
+		t.Fatal(err)
+	}
+	matcher := mapmatch.New(g, eix, p.Match)
+	f := &replFixture{t: t, p: p, g: g, eix: eix, fsA: faultfs.NewMemFS(), fsB: faultfs.NewMemFS()}
+	for _, raw := range raws {
+		u, err := matcher.Match(raw)
+		if err != nil {
+			continue
+		}
+		if len(f.base) < 6 {
+			f.base = append(f.base, u)
+		} else {
+			f.live = append(f.live, raw)
+		}
+	}
+	if len(f.base) < 6 || len(f.live) < 12 {
+		t.Fatalf("need 6 base + 12 live matchable raws, have %d + %d", len(f.base), len(f.live))
+	}
+
+	sopts := store.DefaultOptions(p.Ts)
+	sopts.NumShards = 2
+	sopts.FS = f.fsA
+	sopts.Parallelism = 1
+	st, err := store.Build(g, f.base, sopts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Save("leader"); err != nil {
+		t.Fatal(err)
+	}
+	f.st = st
+	f.openLeaderIngester()
+
+	f.leader = &swapHandler{}
+	f.leader.set(server.New(f.st, server.Options{Ingester: f.ing}).Handler())
+	f.leaderTS = httptest.NewServer(f.leader)
+	t.Cleanup(f.leaderTS.Close)
+
+	f.startFollower()
+	return f
+}
+
+// openLeaderIngester (re)opens the leader WAL.  The background drain is
+// never started: flushes are explicit, so a "kill" (PowerCut + abandon)
+// leaves no zombie writer behind.
+func (f *replFixture) openLeaderIngester() {
+	f.t.Helper()
+	ing, err := ingest.New(f.st, f.eix, "leader/ingest.wal", ingest.Options{
+		FS: f.fsA, Match: f.p.Match, BatchSize: 4, Parallelism: 1, CompactEvery: -1,
+	})
+	if err != nil {
+		f.t.Fatal(err)
+	}
+	f.ing = ing
+}
+
+func (f *replFixture) startFollower() {
+	f.t.Helper()
+	fol, err := StartFollower(f.leaderTS.URL, FollowerOptions{
+		Dir:       "follower",
+		Graph:     f.g,
+		EdgeIndex: f.eix,
+		Ingest:    ingest.Options{Match: f.p.Match, BatchSize: 4, Parallelism: 1, CompactEvery: -1},
+		Open:      store.OpenOptions{FS: f.fsB, Eager: true, Parallelism: 1},
+		PollWait:  time.Second,
+		PollMax:   64,
+		RetryBase: 20 * time.Millisecond,
+	})
+	if err != nil {
+		f.t.Fatal(err)
+	}
+	f.fol = fol
+	f.t.Cleanup(func() { _ = fol.Close() })
+}
+
+// submit acks live[from:to) on the leader (fsync per group commit) and
+// optionally folds them.
+func (f *replFixture) submit(from, to int, flush bool) {
+	f.t.Helper()
+	if _, err := f.ing.SubmitBatch(f.live[from:to]); err != nil {
+		f.t.Fatalf("submit live[%d:%d): %v", from, to, err)
+	}
+	f.acked = to
+	if flush {
+		if _, err := f.ing.Flush(); err != nil {
+			f.t.Fatal(err)
+		}
+	}
+}
+
+// waitCaughtUp blocks until the follower has replayed every acked record
+// into its store.
+func (f *replFixture) waitCaughtUp() {
+	f.t.Helper()
+	want := uint64(f.acked)
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		ing := f.fol.Ingester()
+		if ing != nil {
+			s := ing.Stats()
+			if s.Applied >= want && s.Pending == 0 {
+				return
+			}
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	f.t.Fatalf("follower never caught up to %d acked records (last error: %v)", f.acked, f.fol.Err())
+}
+
+// assertReplicaIdentical is the replication acceptance criterion: the
+// follower's store answers every Where and Range exactly like the
+// leader's.  Served through real servers so the read path is the one
+// clients use (the follower's in Follower mode).
+func (f *replFixture) assertReplicaIdentical(phase string) {
+	f.t.Helper()
+	lts := httptest.NewServer(server.New(f.st, server.Options{Ingester: f.ing}).Handler())
+	defer lts.Close()
+	fts := httptest.NewServer(server.New(f.fol.Store(), server.Options{Follower: true}).Handler())
+	defer fts.Close()
+	lc, fc := client.New(lts.URL, client.Options{}), client.New(fts.URL, client.Options{})
+
+	ctx := context.Background()
+	ls, err := lc.Stats(ctx)
+	if err != nil {
+		f.t.Fatal(err)
+	}
+	fs, err := fc.Stats(ctx)
+	if err != nil {
+		f.t.Fatal(err)
+	}
+	if fs.Trajectories != ls.Trajectories {
+		f.t.Fatalf("%s: follower holds %d trajectories, leader %d", phase, fs.Trajectories, ls.Trajectories)
+	}
+	if want := len(f.base) + f.acked; ls.Trajectories != want {
+		f.t.Fatalf("%s: leader holds %d trajectories, want %d (%d base + %d acked): an acked record was lost",
+			phase, ls.Trajectories, want, len(f.base), f.acked)
+	}
+	span := max(ls.TimeMax-ls.TimeMin, 1)
+	for gid := 0; gid < ls.Trajectories; gid++ {
+		tq := ls.TimeMin + span/2
+		lw, err := lc.Where(ctx, client.WhereRequest{Traj: gid, T: tq, Alpha: 0.1})
+		if err != nil {
+			f.t.Fatalf("%s: leader where(%d): %v", phase, gid, err)
+		}
+		fw, err := fc.Where(ctx, client.WhereRequest{Traj: gid, T: tq, Alpha: 0.1})
+		if err != nil {
+			f.t.Fatalf("%s: follower where(%d): %v", phase, gid, err)
+		}
+		if !reflect.DeepEqual(fw, lw) {
+			f.t.Fatalf("%s: where(%d) diverged:\n follower %+v\n leader   %+v", phase, gid, fw, lw)
+		}
+	}
+	for k := int64(0); k < 4; k++ {
+		tq := ls.TimeMin + k*span/4
+		lr, err := lc.Range(ctx, client.RangeRequest{Rect: ls.Bounds, T: tq, Alpha: 0.1})
+		if err != nil {
+			f.t.Fatal(err)
+		}
+		fr, err := fc.Range(ctx, client.RangeRequest{Rect: ls.Bounds, T: tq, Alpha: 0.1})
+		if err != nil {
+			f.t.Fatal(err)
+		}
+		if !eqInts(fr.Trajs, lr.Trajs) {
+			f.t.Fatalf("%s: range(t=%d) diverged:\n follower %v\n leader   %v", phase, tq, fr.Trajs, lr.Trajs)
+		}
+	}
+}
+
+// TestReplicationChaos drives the full kill matrix on one cluster:
+// steady-state replication, a follower power-cut, a leader power-cut
+// with acked-but-unapplied records in its WAL, and a WAL checkpoint
+// that forces the restarted follower through the 410 re-snapshot path.
+func TestReplicationChaos(t *testing.T) {
+	f := newReplFixture(t)
+
+	// Steady state: the bootstrap snapshot alone must already be
+	// identical.
+	f.waitCaughtUp()
+	f.assertReplicaIdentical("bootstrap")
+
+	f.submit(0, 4, true)
+	f.waitCaughtUp()
+	f.assertReplicaIdentical("steady-state")
+
+	// Follower killed mid-ingest: power-cut its filesystem, restart,
+	// keep ingesting on the leader.  The restart re-attaches to whatever
+	// snapshot survived and re-pulls the rest of the log.
+	if err := f.fol.Close(); err != nil {
+		t.Fatal(err)
+	}
+	f.fsB.PowerCut()
+	f.startFollower()
+	f.submit(4, 7, true)
+	f.waitCaughtUp()
+	f.assertReplicaIdentical("follower-restart")
+
+	// Leader killed mid-ingest: three records are acked (fsynced into
+	// the WAL) but NOT yet folded when the power goes.  The restarted
+	// leader must recover all of them from the log — the fsync ack is
+	// the commit point — and the follower must converge to the same
+	// store without ever having seen the dead process again.
+	f.submit(7, 10, false) // acked, unapplied
+	f.leader.set(downHandler)
+	f.fsA.PowerCut()
+	st, err := store.Open("leader", f.g, store.OpenOptions{FS: f.fsA, Eager: true, Parallelism: 1})
+	if err != nil {
+		t.Fatalf("reopen leader store after power cut: %v", err)
+	}
+	f.st = st
+	f.openLeaderIngester()
+	if got := f.ing.Stats().Acked; got < uint64(f.acked) {
+		t.Fatalf("leader WAL recovered %d acked records, want >= %d", got, f.acked)
+	}
+	if _, err := f.ing.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	f.leader.set(server.New(f.st, server.Options{Ingester: f.ing}).Handler())
+	f.waitCaughtUp()
+	f.assertReplicaIdentical("leader-restart")
+
+	// Checkpoint the leader WAL (compaction folds everything, the
+	// applied prefix is dropped), then kill the follower once more: its
+	// next pull starts below the log's new start, the leader answers 410
+	// wal_truncated, and the follower re-snapshots from the manifest.
+	if _, err := f.ing.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.ing.ShipFrom(0, 1); !errors.Is(err, ingest.ErrWALTruncated) {
+		t.Fatalf("compaction did not checkpoint the leader WAL (ShipFrom(0): %v); the re-snapshot path is untested", err)
+	}
+	if err := f.fol.Close(); err != nil {
+		t.Fatal(err)
+	}
+	f.fsB.PowerCut()
+	f.startFollower()
+	f.submit(10, 12, true)
+	f.waitCaughtUp()
+	f.assertReplicaIdentical("resnapshot")
+}
+
+// TestRouterDegradedMemberKill pins the degradation contract at the
+// router: a member dying mid-flight is quarantined after its first
+// transport failure; ranges keep answering (degraded, lower-bound) with
+// the dead member's shard skipped, point queries to its trajectories
+// answer 503 node_quarantined with Retry-After, /healthz turns
+// "degraded", and the member heals automatically once it is back.
+func TestRouterDegradedMemberKill(t *testing.T) {
+	p := gen.CD()
+	p.Network.Cols, p.Network.Rows = 20, 20
+	ds, err := gen.Build(p, 18, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	place := NewPlacement(NodeNames(3), DefaultPartitions, DefaultVNodes)
+
+	var killed atomic.Bool
+	var members []Member
+	var deadGid = -1
+	for i := 0; i < 3; i++ {
+		var sub []*traj.Uncertain
+		for gid, tu := range ds.Trajectories {
+			if place.Owner(gid) == i {
+				sub = append(sub, tu)
+				if i == 0 && deadGid < 0 {
+					deadGid = gid
+				}
+			}
+		}
+		sopts := store.DefaultOptions(p.Ts)
+		sopts.NumShards = 2
+		st, err := store.Build(ds.Graph, sub, sopts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h := server.New(st, server.Options{}).Handler()
+		if i == 0 {
+			inner := h
+			h = http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+				if killed.Load() {
+					conn, _, err := w.(http.Hijacker).Hijack()
+					if err == nil {
+						_ = conn.Close()
+					}
+					return
+				}
+				inner.ServeHTTP(w, r)
+			})
+		}
+		ts := httptest.NewServer(h)
+		t.Cleanup(ts.Close)
+		members = append(members, Member{Name: NodeNames(3)[i], URL: ts.URL})
+	}
+	if deadGid < 0 {
+		t.Fatal("placement gave node-0 no trajectories")
+	}
+
+	rt := NewRouter(members, RouterOptions{QuarantineBackoff: 30 * time.Millisecond})
+	ctx := context.Background()
+	if err := rt.Sync(ctx); err != nil {
+		t.Fatal(err)
+	}
+	rts := httptest.NewServer(rt.Handler())
+	t.Cleanup(rts.Close)
+	c := client.New(rts.URL, client.Options{RetryAttempts: 1})
+
+	st, err := c.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Probe at the dead-node trajectory's own mid-time so the healthy
+	// result is guaranteed to include node-0 traffic.
+	dT := ds.Trajectories[deadGid].T
+	probeT := (dT[0] + dT[len(dT)-1]) / 2
+	full, err := c.Range(ctx, client.RangeRequest{Rect: st.Bounds, T: probeT, Alpha: 0})
+	if err != nil || full.Degraded {
+		t.Fatalf("healthy range: %v degraded=%v", err, full.Degraded)
+	}
+	hasNode0 := false
+	for _, gid := range full.Trajs {
+		if place.Owner(gid) == 0 {
+			hasNode0 = true
+		}
+	}
+	if !hasNode0 {
+		t.Fatalf("healthy range at t=%d misses node-0 traffic: %v", probeT, full.Trajs)
+	}
+
+	// Kill node-0.  The first range both discovers the death (transport
+	// error mid scatter-gather) and already degrades around it.
+	killed.Store(true)
+	deg, err := c.Range(ctx, client.RangeRequest{Rect: st.Bounds, T: probeT, Alpha: 0})
+	if err != nil {
+		t.Fatalf("range with dead member: %v", err)
+	}
+	if !deg.Degraded || deg.NodesSkipped != 1 {
+		t.Fatalf("range with dead member: degraded=%v nodesSkipped=%d, want degraded with 1 node skipped", deg.Degraded, deg.NodesSkipped)
+	}
+	if len(deg.Trajs) >= len(full.Trajs) {
+		t.Fatalf("degraded range returned %d trajs, healthy %d: node-0's share did not drop out", len(deg.Trajs), len(full.Trajs))
+	}
+
+	// Point query to the dead member: 503 node_quarantined, Retry-After.
+	_, err = c.Where(ctx, client.WhereRequest{Traj: deadGid, T: st.TimeMin, Alpha: 0.1})
+	var ae *client.APIError
+	if !errors.As(err, &ae) || ae.Code != client.CodeNodeQuarantined || ae.Status != http.StatusServiceUnavailable {
+		t.Fatalf("where on dead member: %v, want 503 %s", err, client.CodeNodeQuarantined)
+	}
+	if ae.RetryAfter <= 0 {
+		t.Fatalf("node_quarantined without Retry-After: %+v", ae)
+	}
+
+	// Health reflects it.
+	resp, err := http.Get(rts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hb [256]byte
+	n, _ := resp.Body.Read(hb[:])
+	resp.Body.Close()
+	if body := string(hb[:n]); !strings.Contains(body, "degraded") {
+		t.Fatalf("healthz with dead member: %s", body)
+	}
+
+	// Revive the member; after the backoff one probing query heals it.
+	killed.Store(false)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		r, err := c.Range(ctx, client.RangeRequest{Rect: st.Bounds, T: probeT, Alpha: 0})
+		if err == nil && !r.Degraded && eqInts(r.Trajs, full.Trajs) {
+			break
+		}
+		if !time.Now().Before(deadline) {
+			t.Fatalf("member never healed: err=%v result=%+v", err, r)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if _, err := c.Where(ctx, client.WhereRequest{Traj: deadGid, T: st.TimeMin, Alpha: 0.1}); err != nil {
+		t.Fatalf("where after heal: %v", err)
+	}
+}

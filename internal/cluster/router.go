@@ -1,0 +1,995 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"utcq/internal/par"
+	"utcq/pkg/client"
+)
+
+// Member names one cluster node and where to reach it.
+type Member struct {
+	Name string
+	URL  string
+}
+
+// RouterOptions configure a Router.  The zero value selects defaults.
+type RouterOptions struct {
+	// Partitions and VNodes parameterize the placement; they must match
+	// whatever the members' datasets were filtered with
+	// (utcqd -cluster-partitions).
+	Partitions int
+	VNodes     int
+	// Parallelism bounds the scatter-gather workers (<1: one per CPU).
+	Parallelism int
+	// MaxBatch bounds /v1/batch like the single-node server (default 256).
+	MaxBatch int
+	// QuarantineBackoff is the base fail-fast window after a member
+	// stops answering; it doubles per consecutive failure up to 60x
+	// (default 1s), mirroring the store's shard quarantine.
+	QuarantineBackoff time.Duration
+	// RefreshEvery is the background member-stats refresh cadence
+	// (default 2s); refreshed bounds drive Range fan-out pruning and
+	// quarantine healing.
+	RefreshEvery time.Duration
+	// HTTPClient overrides the transport to members (tests).
+	HTTPClient *http.Client
+}
+
+func (o RouterOptions) withDefaults() RouterOptions {
+	if o.Partitions <= 0 {
+		o.Partitions = DefaultPartitions
+	}
+	if o.VNodes <= 0 {
+		o.VNodes = DefaultVNodes
+	}
+	if o.MaxBatch < 1 {
+		o.MaxBatch = 256
+	}
+	if o.QuarantineBackoff <= 0 {
+		o.QuarantineBackoff = time.Second
+	}
+	if o.RefreshEvery <= 0 {
+		o.RefreshEvery = 2 * time.Second
+	}
+	return o
+}
+
+// member is one node's runtime state inside the router.
+type member struct {
+	name string
+	url  string
+	c    *client.Client
+
+	// Quarantine latch, mirroring the store's per-shard quarantine:
+	// consecutive transport failures back off exponentially (base
+	// RouterOptions.QuarantineBackoff, cap 60x); any success heals.
+	fails   atomic.Uint32
+	retryAt atomic.Int64 // unix nanos; quarantined while in the future
+
+	// Cached stats, refreshed by Sync/RefreshStats/the background
+	// refresher.  dirty marks the cache stale after a routed ingest so
+	// bounds pruning never trusts pre-ingest geometry.
+	mu      sync.Mutex
+	gen     uint64
+	trajs   int
+	pending uint64
+	bounds  client.Rect
+	dirty   bool
+	statErr string
+}
+
+func (m *member) quarantined() bool {
+	return time.Now().UnixNano() < m.retryAt.Load()
+}
+
+func (m *member) quarantine(base time.Duration) {
+	n := m.fails.Add(1)
+	d := base
+	for i := uint32(1); i < n && d < 60*base; i++ {
+		d *= 2
+	}
+	d = min(d, 60*base)
+	m.retryAt.Store(time.Now().Add(d).UnixNano())
+}
+
+func (m *member) heal() {
+	m.fails.Store(0)
+	m.retryAt.Store(0)
+}
+
+// Router owns the cluster's global trajectory id space and serves the
+// single-node HTTP API over N members.  Where/When route point queries
+// to the owner; Range scatter-gathers with per-member bounds pruning
+// and a deterministic (sorted) merge; Ingest splits a batch by
+// placement and forwards each slice to its owner.  All routing state is
+// soft: Sync rebuilds it from member stats.
+type Router struct {
+	place   *Placement
+	members []*member
+	opts    RouterOptions
+	mux     *http.ServeMux
+	hs      *http.Server
+	started time.Time
+
+	// mu guards the id maps.  node[gid] is the owning member ordinal
+	// (-1: a hole burned by a partially failed routed ingest),
+	// local[gid] the member-local id, perNode[m][local] the gid — the
+	// inverse, used to translate Range results back to global ids.
+	mu      sync.RWMutex
+	node    []int32
+	local   []int32
+	perNode [][]int32
+
+	// ingestMu serializes routed ingest end to end: gid assignment must
+	// match the order sub-batches land on members, and members number
+	// records in arrival order.
+	ingestMu sync.Mutex
+
+	requests atomic.Int64
+	failures atomic.Int64
+	degraded atomic.Int64
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+// NewRouter builds a router over the members.  Call Sync before
+// serving; Start launches the background stats refresher.
+func NewRouter(members []Member, opts RouterOptions) *Router {
+	opts = opts.withDefaults()
+	names := make([]string, len(members))
+	for i, m := range members {
+		names[i] = m.Name
+	}
+	rt := &Router{
+		place:   NewPlacement(names, opts.Partitions, opts.VNodes),
+		opts:    opts,
+		mux:     http.NewServeMux(),
+		started: time.Now(),
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	for _, m := range members {
+		rt.members = append(rt.members, &member{
+			name: m.Name,
+			url:  m.URL,
+			// Fail fast per call: the router's quarantine — not deep
+			// per-request retry — is the degradation mechanism.
+			c: client.New(m.URL, client.Options{HTTPClient: opts.HTTPClient, RetryAttempts: 2}),
+		})
+	}
+	rt.mux.HandleFunc("GET /healthz", rt.handleHealthz)
+	rt.mux.HandleFunc("GET /v1/stats", rt.handleStats)
+	rt.mux.HandleFunc("GET /stats", rt.handleStats)
+	rt.mux.HandleFunc("POST /v1/where", rt.handleWhere)
+	rt.mux.HandleFunc("POST /v1/when", rt.handleWhen)
+	rt.mux.HandleFunc("POST /v1/range", rt.handleRange)
+	rt.mux.HandleFunc("POST /v1/batch", rt.handleBatch)
+	rt.mux.HandleFunc("POST /v1/ingest", rt.handleIngest)
+	rt.mux.HandleFunc("POST /v1/compact", rt.handleCompact)
+	rt.mux.HandleFunc("GET /v1/watch/range", rt.handleWatch)
+	rt.hs = &http.Server{Handler: rt.mux, ReadTimeout: 10 * time.Second, WriteTimeout: 30 * time.Second}
+	return rt
+}
+
+// Handler returns the route table (tests, embedding).
+func (rt *Router) Handler() http.Handler { return rt.mux }
+
+// Serve accepts connections on l until Shutdown.
+func (rt *Router) Serve(l net.Listener) error {
+	err := rt.hs.Serve(l)
+	if err == http.ErrServerClosed {
+		return nil
+	}
+	return err
+}
+
+// ListenAndServe binds addr and serves until Shutdown.
+func (rt *Router) ListenAndServe(addr string) error {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return rt.Serve(l)
+}
+
+// Shutdown stops the listener, drains in-flight requests and stops the
+// background refresher.
+func (rt *Router) Shutdown(ctx context.Context) error {
+	rt.Close()
+	return rt.hs.Shutdown(ctx)
+}
+
+// Start launches the background stats refresher (quarantine healing and
+// bounds pruning freshness).  Close stops it.
+func (rt *Router) Start() {
+	go func() {
+		defer close(rt.done)
+		t := time.NewTicker(rt.opts.RefreshEvery)
+		defer t.Stop()
+		for {
+			select {
+			case <-rt.stop:
+				return
+			case <-t.C:
+				ctx, cancel := context.WithTimeout(context.Background(), rt.opts.RefreshEvery)
+				rt.RefreshStats(ctx)
+				cancel()
+			}
+		}
+	}()
+}
+
+// Close stops the background refresher (idempotent; safe without Start
+// — Shutdown calls it unconditionally).
+func (rt *Router) Close() {
+	rt.stopOnce.Do(func() { close(rt.stop) })
+}
+
+// refreshMember re-fetches one member's stats, healing its quarantine
+// on success and arming it on transport failure.
+func (rt *Router) refreshMember(ctx context.Context, m *member) error {
+	st, err := m.c.Stats(ctx)
+	if err != nil {
+		m.mu.Lock()
+		m.statErr = err.Error()
+		m.mu.Unlock()
+		var ae *client.APIError
+		if !errors.As(err, &ae) {
+			m.quarantine(rt.opts.QuarantineBackoff)
+		}
+		return err
+	}
+	m.mu.Lock()
+	m.gen = st.Generation
+	m.trajs = st.Trajectories
+	m.bounds = st.DataBounds
+	if st.Ingest != nil {
+		m.pending = st.Ingest.Pending
+	} else {
+		m.pending = 0
+	}
+	m.dirty = false
+	m.statErr = ""
+	m.mu.Unlock()
+	m.heal()
+	return nil
+}
+
+// RefreshStats refreshes every member's cached stats in parallel
+// (members already quarantined are probed too — a success heals them).
+func (rt *Router) RefreshStats(ctx context.Context) {
+	_ = par.Do(par.Workers(rt.opts.Parallelism), len(rt.members), func(i int) error {
+		_ = rt.refreshMember(ctx, rt.members[i])
+		return nil
+	})
+}
+
+// Sync builds the global id maps from the members' current contents.
+// Every member must be reachable and idle (no pending ingest): the maps
+// assume gids were placed by this router's Placement, so the per-member
+// trajectory counts derived from walking gid 0..total-1 must equal what
+// the members report — a mismatch means the members were loaded with a
+// different placement (or not filtered at all) and routing would return
+// wrong-trajectory answers.
+func (rt *Router) Sync(ctx context.Context) error {
+	var firstErr error
+	var errMu sync.Mutex
+	_ = par.Do(par.Workers(rt.opts.Parallelism), len(rt.members), func(i int) error {
+		if err := rt.refreshMember(ctx, rt.members[i]); err != nil {
+			errMu.Lock()
+			if firstErr == nil {
+				firstErr = fmt.Errorf("member %s (%s): %w", rt.members[i].name, rt.members[i].url, err)
+			}
+			errMu.Unlock()
+		}
+		return nil
+	})
+	if firstErr != nil {
+		return firstErr
+	}
+	total := 0
+	for _, m := range rt.members {
+		m.mu.Lock()
+		trajs, pending := m.trajs, m.pending
+		m.mu.Unlock()
+		if pending > 0 {
+			return fmt.Errorf("member %s has %d pending ingest records; flush before sync", m.name, pending)
+		}
+		total += trajs
+	}
+	node := make([]int32, total)
+	local := make([]int32, total)
+	perNode := make([][]int32, len(rt.members))
+	for gid := 0; gid < total; gid++ {
+		owner := rt.place.Owner(gid)
+		node[gid] = int32(owner)
+		local[gid] = int32(len(perNode[owner]))
+		perNode[owner] = append(perNode[owner], int32(gid))
+	}
+	for i, m := range rt.members {
+		m.mu.Lock()
+		trajs := m.trajs
+		m.mu.Unlock()
+		if got, want := trajs, len(perNode[i]); got != want {
+			return fmt.Errorf("member %s holds %d trajectories but the placement assigns it %d of %d: members must be loaded with the same placement (utcqd -cluster-node/-cluster-nodes/-cluster-partitions)",
+				m.name, got, want, total)
+		}
+	}
+	rt.mu.Lock()
+	rt.node, rt.local, rt.perNode = node, local, perNode
+	rt.mu.Unlock()
+	return nil
+}
+
+// NumTrajectories returns the global id space size (holes included).
+func (rt *Router) NumTrajectories() int {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	return len(rt.node)
+}
+
+// locate resolves a gid to (member, member-local id).
+func (rt *Router) locate(gid int) (*member, int, error) {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	if gid < 0 || gid >= len(rt.node) {
+		return nil, 0, fmt.Errorf("unknown trajectory %d (have %d)", gid, len(rt.node))
+	}
+	if rt.node[gid] < 0 {
+		return nil, 0, fmt.Errorf("trajectory %d was lost to a failed ingest (hole)", gid)
+	}
+	return rt.members[rt.node[gid]], int(rt.local[gid]), nil
+}
+
+// routeErr is an error the router answers with verbatim: either a
+// member's own classified failure forwarded through, or the router's
+// own condition (node quarantined, unknown trajectory, bad request).
+type routeErr struct {
+	status     int
+	code       string
+	msg        string
+	retryAfter int
+}
+
+func (e *routeErr) Error() string { return e.msg }
+
+func errUnknownGID(gid int, detail string) *routeErr {
+	return &routeErr{status: http.StatusBadRequest, code: client.CodeUnknownTrajectory,
+		msg: fmt.Sprintf("unknown trajectory: %s", detail)}
+}
+
+func errNodeDown(m *member, err error) *routeErr {
+	return &routeErr{status: http.StatusServiceUnavailable, code: client.CodeNodeQuarantined,
+		msg: fmt.Sprintf("node %s is quarantined: %v", m.name, err), retryAfter: 2}
+}
+
+// memberErr classifies a failed member call: a classified APIError is
+// forwarded verbatim (the member's 400/404/410/500 is the truth about
+// that data); a transport-level failure quarantines the member and
+// answers node_quarantined so clients back off while the router fails
+// fast.
+func (rt *Router) memberErr(m *member, err error) *routeErr {
+	var ae *client.APIError
+	if errors.As(err, &ae) {
+		return &routeErr{status: ae.Status, code: ae.Code, msg: ae.Message,
+			retryAfter: int(ae.RetryAfter / time.Second)}
+	}
+	m.quarantine(rt.opts.QuarantineBackoff)
+	return errNodeDown(m, err)
+}
+
+// decode mirrors the single-node server: bounded body, unknown fields
+// rejected.
+func (rt *Router) decode(w http.ResponseWriter, r *http.Request, dst any) bool {
+	rt.requests.Add(1)
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 4<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		rt.fail(w, &routeErr{status: http.StatusBadRequest, code: client.CodeBadRequest,
+			msg: fmt.Sprintf("decode request: %v", err)})
+		return false
+	}
+	return true
+}
+
+// noGenPin rejects ?gen= on routed queries: generations are per-member
+// state, so a pin is only meaningful against one node.
+func (rt *Router) noGenPin(w http.ResponseWriter, r *http.Request) bool {
+	if r.URL.Query().Get("gen") == "" {
+		return true
+	}
+	rt.fail(w, &routeErr{status: http.StatusBadRequest, code: client.CodeBadRequest,
+		msg: "generation pins are per-node state; pin against a member node directly"})
+	return false
+}
+
+func (rt *Router) reply(w http.ResponseWriter, payload any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(payload); err != nil {
+		rt.failures.Add(1)
+	}
+}
+
+func (rt *Router) fail(w http.ResponseWriter, re *routeErr) {
+	rt.failures.Add(1)
+	w.Header().Set("Content-Type", "application/json")
+	if re.retryAfter > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(re.retryAfter))
+	}
+	w.WriteHeader(re.status)
+	env := client.ErrorResponse{Code: re.code, Error: re.msg, RetryAfter: re.retryAfter}
+	if err := json.NewEncoder(w).Encode(env); err != nil {
+		rt.failures.Add(1)
+	}
+}
+
+// whereGlobal evaluates one where-query by ownership.
+func (rt *Router) whereGlobal(ctx context.Context, req client.WhereRequest) ([]client.WhereResult, *routeErr) {
+	m, local, err := rt.locate(req.Traj)
+	if err != nil {
+		return nil, errUnknownGID(req.Traj, err.Error())
+	}
+	if m.quarantined() {
+		return nil, errNodeDown(m, errors.New("recent failures, backing off"))
+	}
+	sub := req
+	sub.Traj, sub.Gen = local, 0
+	rs, cerr := m.c.Where(ctx, sub)
+	if cerr != nil {
+		return nil, rt.memberErr(m, cerr)
+	}
+	return rs, nil
+}
+
+// whenGlobal evaluates one when-query by ownership.
+func (rt *Router) whenGlobal(ctx context.Context, req client.WhenRequest) ([]client.WhenResult, *routeErr) {
+	m, local, err := rt.locate(req.Traj)
+	if err != nil {
+		return nil, errUnknownGID(req.Traj, err.Error())
+	}
+	if m.quarantined() {
+		return nil, errNodeDown(m, errors.New("recent failures, backing off"))
+	}
+	sub := req
+	sub.Traj, sub.Gen = local, 0
+	rs, cerr := m.c.When(ctx, sub)
+	if cerr != nil {
+		return nil, rt.memberErr(m, cerr)
+	}
+	return rs, nil
+}
+
+// rangeGlobal scatter-gathers a range query: members that cannot hold a
+// matching trajectory (empty, or fresh bounds disjoint from the query
+// rectangle — the same geometry pruning the store applies per shard)
+// are never contacted; quarantined or failing members are skipped and
+// counted, degrading the result to a lower bound instead of failing it.
+// The merge translates member-local ids to gids and sorts, so the
+// answer is deterministic and ≡ a single-node store over the same data.
+func (rt *Router) rangeGlobal(ctx context.Context, req client.RangeRequest) (client.RangeResult, *routeErr) {
+	req.Gen = 0
+	rt.mu.RLock()
+	perNode := rt.perNode
+	rt.mu.RUnlock()
+
+	type nodeOut struct {
+		res     client.RangeResult
+		skipped bool
+		err     error
+	}
+	outs := make([]nodeOut, len(rt.members))
+	_ = par.Do(par.Workers(rt.opts.Parallelism), len(rt.members), func(i int) error {
+		m := rt.members[i]
+		if len(perNode) > i && len(perNode[i]) == 0 {
+			return nil // owns nothing; nothing to ask
+		}
+		m.mu.Lock()
+		bounds, dirty := m.bounds, m.dirty
+		m.mu.Unlock()
+		// Geometry pruning mirrors store.rangeView: only with alpha > 0
+		// (a zero threshold admits zero-probability presence), only
+		// against fresh bounds (dirty means un-refreshed post-ingest
+		// geometry), and never against the empty inverted marker.
+		if req.Alpha > 0 && !dirty && bounds.MinX <= bounds.MaxX && !req.Rect.Intersects(bounds) {
+			return nil
+		}
+		if m.quarantined() {
+			outs[i] = nodeOut{skipped: true, err: errors.New("quarantined")}
+			return nil
+		}
+		res, err := m.c.Range(ctx, req)
+		if err != nil {
+			var ae *client.APIError
+			if !errors.As(err, &ae) {
+				m.quarantine(rt.opts.QuarantineBackoff)
+			}
+			outs[i] = nodeOut{skipped: true, err: err}
+			return nil
+		}
+		outs[i] = nodeOut{res: res}
+		return nil
+	})
+
+	out := client.RangeResult{Trajs: []int{}}
+	for i, o := range outs {
+		if o.skipped {
+			out.NodesSkipped++
+			continue
+		}
+		out.ShardsSkipped += o.res.ShardsSkipped
+		if o.res.Degraded {
+			out.Degraded = true
+		}
+		for _, localID := range o.res.Trajs {
+			if len(perNode) <= i || localID < 0 || localID >= len(perNode[i]) {
+				// A member answered with records the router has not
+				// mapped (out-of-band ingest); surface loudly rather
+				// than mistranslate.
+				return client.RangeResult{}, &routeErr{status: http.StatusInternalServerError,
+					code: client.CodeInternal,
+					msg:  fmt.Sprintf("member %s returned unmapped local id %d", rt.members[i].name, localID)}
+			}
+			out.Trajs = append(out.Trajs, int(perNode[i][localID]))
+		}
+	}
+	if out.NodesSkipped > 0 || out.ShardsSkipped > 0 {
+		out.Degraded = true
+		rt.degraded.Add(1)
+	}
+	sort.Ints(out.Trajs)
+	return out, nil
+}
+
+func (rt *Router) handleWhere(w http.ResponseWriter, r *http.Request) {
+	var req client.WhereRequest
+	if !rt.decode(w, r, &req) || !rt.noGenPin(w, r) {
+		return
+	}
+	rs, rerr := rt.whereGlobal(r.Context(), req)
+	if rerr != nil {
+		rt.fail(w, rerr)
+		return
+	}
+	rt.reply(w, map[string]any{"results": rs})
+}
+
+func (rt *Router) handleWhen(w http.ResponseWriter, r *http.Request) {
+	var req client.WhenRequest
+	if !rt.decode(w, r, &req) || !rt.noGenPin(w, r) {
+		return
+	}
+	rs, rerr := rt.whenGlobal(r.Context(), req)
+	if rerr != nil {
+		rt.fail(w, rerr)
+		return
+	}
+	rt.reply(w, map[string]any{"results": rs})
+}
+
+func (rt *Router) handleRange(w http.ResponseWriter, r *http.Request) {
+	var req client.RangeRequest
+	if !rt.decode(w, r, &req) || !rt.noGenPin(w, r) {
+		return
+	}
+	res, rerr := rt.rangeGlobal(r.Context(), req)
+	if rerr != nil {
+		rt.fail(w, rerr)
+		return
+	}
+	rt.reply(w, res)
+}
+
+// handleBatch decomposes a batch onto the scatter workers; per-query
+// failures stay in-band with their codes, exactly like the single-node
+// server.
+func (rt *Router) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req client.BatchRequest
+	if !rt.decode(w, r, &req) || !rt.noGenPin(w, r) {
+		return
+	}
+	if len(req.Queries) > rt.opts.MaxBatch {
+		rt.fail(w, &routeErr{status: http.StatusRequestEntityTooLarge, code: client.CodeTooLarge,
+			msg: fmt.Sprintf("batch of %d exceeds limit %d", len(req.Queries), rt.opts.MaxBatch)})
+		return
+	}
+	results := make([]client.BatchResult, len(req.Queries))
+	_ = par.Do(par.Workers(rt.opts.Parallelism), len(req.Queries), func(i int) error {
+		q := req.Queries[i]
+		switch {
+		case q.Kind == "where" && q.Where != nil:
+			rs, rerr := rt.whereGlobal(r.Context(), *q.Where)
+			if rerr != nil {
+				results[i].Error, results[i].Code = rerr.msg, rerr.code
+				return nil
+			}
+			results[i].Where = rs
+		case q.Kind == "when" && q.When != nil:
+			rs, rerr := rt.whenGlobal(r.Context(), *q.When)
+			if rerr != nil {
+				results[i].Error, results[i].Code = rerr.msg, rerr.code
+				return nil
+			}
+			results[i].When = rs
+		case q.Kind == "range" && q.Range != nil:
+			res, rerr := rt.rangeGlobal(r.Context(), *q.Range)
+			if rerr != nil {
+				results[i].Error, results[i].Code = rerr.msg, rerr.code
+				return nil
+			}
+			results[i].Trajs = res.Trajs
+			results[i].Degraded = res.Degraded
+		default:
+			results[i].Error = fmt.Sprintf("query %d: kind %q without a matching body", i, q.Kind)
+			results[i].Code = client.CodeBadRequest
+		}
+		return nil
+	})
+	rt.reply(w, map[string]any{"results": results})
+}
+
+// handleIngest splits the batch by placement over freshly assigned gids
+// and forwards each slice to its owner.  The global assignment is
+// provisional until the owner acknowledges: a slice whose owner fails
+// burns its gids as holes (they answer unknown_trajectory until
+// re-ingested) rather than shifting every later assignment — routed
+// ingest is at-most-once per node, and the response's nodes section
+// tells the client exactly which slices need resubmitting.
+func (rt *Router) handleIngest(w http.ResponseWriter, r *http.Request) {
+	var req client.IngestRequest
+	if !rt.decode(w, r, &req) {
+		return
+	}
+	if len(req.Trajectories) == 0 {
+		rt.fail(w, &routeErr{status: http.StatusBadRequest, code: client.CodeBadRequest,
+			msg: "invalid request: no trajectories"})
+		return
+	}
+	rt.ingestMu.Lock()
+	defer rt.ingestMu.Unlock()
+
+	rt.mu.RLock()
+	base := len(rt.node)
+	rt.mu.RUnlock()
+
+	// Slice the batch by owner, preserving submission order per member
+	// (members number records in arrival order, and ingestMu keeps
+	// concurrent routed batches from interleaving).
+	type slice struct {
+		gids  []int
+		trajs []client.RawTrajectory
+	}
+	slices := make([]slice, len(rt.members))
+	owners := make([]int, len(req.Trajectories))
+	for i, tr := range req.Trajectories {
+		gid := base + i
+		owner := rt.place.Owner(gid)
+		owners[i] = owner
+		slices[owner].gids = append(slices[owner].gids, gid)
+		slices[owner].trajs = append(slices[owner].trajs, tr)
+	}
+
+	type nodeAck struct {
+		resp client.IngestResponse
+		err  error
+	}
+	acks := make([]nodeAck, len(rt.members))
+	_ = par.Do(par.Workers(rt.opts.Parallelism), len(rt.members), func(i int) error {
+		if len(slices[i].trajs) == 0 {
+			return nil
+		}
+		m := rt.members[i]
+		if m.quarantined() {
+			acks[i].err = errNodeDown(m, errors.New("recent failures, backing off"))
+			return nil
+		}
+		// Routed ingest always flushes, whatever the client asked: the
+		// fold outcome (which records the matcher dropped) is the only
+		// way to keep the router's id maps exact, and it is only
+		// reported on synchronous flushes.
+		resp, err := m.c.Ingest(r.Context(), slices[i].trajs, true)
+		if err != nil {
+			var ae *client.APIError
+			if !errors.As(err, &ae) {
+				m.quarantine(rt.opts.QuarantineBackoff)
+			}
+			acks[i].err = err
+			return nil
+		}
+		acks[i].resp = resp
+		return nil
+	})
+
+	// Commit the assignment: acknowledged slices extend the maps; failed
+	// slices — and individual records the member's matcher dropped at
+	// fold — burn their gids as holes, so every later record keeps the
+	// exact member-local id its store actually assigned.
+	rt.mu.Lock()
+	okNode := make([]bool, len(rt.members))
+	dropSet := make([]map[int]bool, len(rt.members))
+	for i := range rt.members {
+		okNode[i] = len(slices[i].trajs) > 0 && acks[i].err == nil
+		if okNode[i] && len(acks[i].resp.Dropped) > 0 {
+			dropSet[i] = make(map[int]bool, len(acks[i].resp.Dropped))
+			for _, j := range acks[i].resp.Dropped {
+				dropSet[i][j] = true
+			}
+		}
+	}
+	posIn := make([]int, len(rt.members))
+	var droppedGlobal []int
+	for i := range req.Trajectories {
+		owner := owners[i]
+		j := posIn[owner]
+		posIn[owner]++
+		switch {
+		case okNode[owner] && !dropSet[owner][j]:
+			rt.node = append(rt.node, int32(owner))
+			rt.local = append(rt.local, int32(len(rt.perNode[owner])))
+			rt.perNode[owner] = append(rt.perNode[owner], int32(base+i))
+		case okNode[owner]: // matcher dropped it: sequence burned, no id
+			droppedGlobal = append(droppedGlobal, i)
+			rt.node = append(rt.node, -1)
+			rt.local = append(rt.local, -1)
+		default:
+			rt.node = append(rt.node, -1)
+			rt.local = append(rt.local, -1)
+		}
+	}
+	rt.mu.Unlock()
+
+	out := client.IngestResponse{}
+	anyOK, allBacklog := false, true
+	var firstErr *routeErr
+	for i, m := range rt.members {
+		if len(slices[i].trajs) == 0 {
+			continue
+		}
+		n := client.NodeIngestResult{Name: m.name}
+		if acks[i].err != nil {
+			rerr := rt.memberErr(m, acks[i].err)
+			if re, ok := acks[i].err.(*routeErr); ok {
+				rerr = re
+			}
+			n.Error, n.Code = rerr.msg, rerr.code
+			if firstErr == nil {
+				firstErr = rerr
+			}
+			if rerr.code != client.CodeBacklog {
+				allBacklog = false
+			}
+		} else {
+			anyOK = true
+			allBacklog = false
+			n.Accepted = acks[i].resp.Accepted
+			n.FirstSeq = acks[i].resp.FirstSeq
+			out.Accepted += acks[i].resp.Accepted
+			out.Pending += acks[i].resp.Pending
+			out.Generation = max(out.Generation, acks[i].resp.Generation)
+			if acks[i].resp.FlushError != "" {
+				out.FlushError = acks[i].resp.FlushError
+			}
+			m.mu.Lock()
+			m.dirty = true
+			m.mu.Unlock()
+		}
+		out.Nodes = append(out.Nodes, n)
+	}
+	if !anyOK {
+		if allBacklog && firstErr != nil {
+			rt.fail(w, firstErr)
+			return
+		}
+		if firstErr == nil {
+			firstErr = &routeErr{status: http.StatusInternalServerError, code: client.CodeInternal, msg: "no member accepted the batch"}
+		}
+		rt.fail(w, firstErr)
+		return
+	}
+	out.FirstSeq = uint64(base)
+	out.Dropped = droppedGlobal
+	rt.reply(w, out)
+}
+
+// handleCompact fans compaction out to every member.
+func (rt *Router) handleCompact(w http.ResponseWriter, r *http.Request) {
+	rt.requests.Add(1)
+	resps := make([]client.CompactResponse, len(rt.members))
+	errs := make([]error, len(rt.members))
+	_ = par.Do(par.Workers(rt.opts.Parallelism), len(rt.members), func(i int) error {
+		resps[i], errs[i] = rt.members[i].c.Compact(r.Context())
+		return nil
+	})
+	out := client.CompactResponse{}
+	for i, m := range rt.members {
+		if errs[i] != nil {
+			rt.fail(w, rt.memberErr(m, errs[i]))
+			return
+		}
+		out.Folded += resps[i].Folded
+		out.Generation = max(out.Generation, resps[i].Generation)
+	}
+	rt.reply(w, out)
+}
+
+// handleWatch: subscriptions need per-member cursor state the router
+// does not hold; clients subscribe to members directly.
+func (rt *Router) handleWatch(w http.ResponseWriter, r *http.Request) {
+	rt.requests.Add(1)
+	rt.fail(w, &routeErr{status: http.StatusNotImplemented, code: client.CodeUnsupported,
+		msg: "watch subscriptions are not routed; subscribe to a member node directly"})
+}
+
+// handleHealthz reports the cluster's aggregate liveness: always 200
+// (the router itself is alive), "degraded" when any member is
+// quarantined or unreachable, with a per-node breakdown.
+func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	rt.requests.Add(1)
+	resp := client.Health{Status: "ok"}
+	for _, m := range rt.members {
+		nh := client.NodeHealth{Name: m.name, Status: "ok"}
+		m.mu.Lock()
+		statErr := m.statErr
+		m.mu.Unlock()
+		if m.quarantined() {
+			nh.Status, nh.Error = "quarantined", statErr
+			resp.Status = "degraded"
+		} else if statErr != "" {
+			nh.Status, nh.Error = "unreachable", statErr
+			resp.Status = "degraded"
+		}
+		resp.Nodes = append(resp.Nodes, nh)
+	}
+	rt.reply(w, resp)
+}
+
+// handleStats aggregates member stats (fetched live, in parallel) into
+// the single-node shape plus a cluster section, so loadgen and
+// dashboards work unchanged against a router.
+func (rt *Router) handleStats(w http.ResponseWriter, r *http.Request) {
+	rt.requests.Add(1)
+	stats := make([]client.StatsResponse, len(rt.members))
+	errs := make([]error, len(rt.members))
+	_ = par.Do(par.Workers(rt.opts.Parallelism), len(rt.members), func(i int) error {
+		stats[i], errs[i] = rt.members[i].c.Stats(r.Context())
+		if errs[i] == nil {
+			m := rt.members[i]
+			m.mu.Lock()
+			m.gen = stats[i].Generation
+			m.trajs = stats[i].Trajectories
+			m.bounds = stats[i].DataBounds
+			m.dirty = false
+			m.statErr = ""
+			m.mu.Unlock()
+			m.heal()
+		}
+		return nil
+	})
+
+	rt.mu.RLock()
+	total := len(rt.node)
+	holes := 0
+	for _, n := range rt.node {
+		if n < 0 {
+			holes++
+		}
+	}
+	rt.mu.RUnlock()
+
+	out := client.StatsResponse{
+		Assignment:      fmt.Sprintf("cluster(%d nodes x %d partitions)", len(rt.members), rt.place.Partitions()),
+		Trajectories:    total,
+		Bounds:          client.Rect{MinX: 1, MinY: 1, MaxX: 0, MaxY: 0},
+		DataBounds:      client.Rect{MinX: 1, MinY: 1, MaxX: 0, MaxY: 0},
+		Cluster:         &client.ClusterStats{Partitions: rt.place.Partitions(), Holes: holes},
+		Requests:        rt.requests.Load(),
+		Failures:        rt.failures.Load(),
+		DegradedQueries: rt.degraded.Load(),
+		UptimeSeconds:   time.Since(rt.started).Seconds(),
+	}
+	firstSpan := true
+	var ingestAgg client.IngestStats
+	anyIngest := false
+	for i, m := range rt.members {
+		ns := client.NodeStats{Name: m.name, URL: m.url}
+		if errs[i] != nil {
+			ns.Error = errs[i].Error()
+			ns.Quarantined = m.quarantined()
+			out.Cluster.Nodes = append(out.Cluster.Nodes, ns)
+			continue
+		}
+		st := stats[i]
+		ns.Trajectories = st.Trajectories
+		ns.Generation = st.Generation
+		if st.Ingest != nil {
+			ns.Pending = st.Ingest.Pending
+		}
+		out.Cluster.Nodes = append(out.Cluster.Nodes, ns)
+
+		out.Shards += st.Shards
+		out.BaseShards += st.BaseShards
+		out.DeltaShards += st.DeltaShards
+		out.Tombstones += st.Tombstones
+		out.OpenShards += st.OpenShards
+		out.Generation = max(out.Generation, st.Generation)
+		out.Compactions += st.Compactions
+		if firstSpan || st.TimeMin < out.TimeMin {
+			out.TimeMin = st.TimeMin
+		}
+		if firstSpan || st.TimeMax > out.TimeMax {
+			out.TimeMax = st.TimeMax
+		}
+		firstSpan = false
+		out.Bounds = unionRect(out.Bounds, st.Bounds)
+		out.DataBounds = unionRect(out.DataBounds, st.DataBounds)
+
+		out.Engine.PathsDecoded += st.Engine.PathsDecoded
+		out.Engine.InstancesSkipped += st.Engine.InstancesSkipped
+		out.Engine.TrajsPruned += st.Engine.TrajsPruned
+		out.Engine.TrajsAccepted += st.Engine.TrajsAccepted
+		out.Engine.CacheHits += st.Engine.CacheHits
+		out.Engine.CacheMisses += st.Engine.CacheMisses
+		out.Engine.CachedViews += st.Engine.CachedViews
+		out.Engine.CachedPaths += st.Engine.CachedPaths
+		out.Engine.CacheBudget += st.Engine.CacheBudget
+
+		out.SidecarLoads += st.SidecarLoads
+		out.SidecarRebuilds += st.SidecarRebuilds
+		out.MappedBytes += st.MappedBytes
+		out.RSSBytes += st.RSSBytes
+		out.QuarantinedShards += st.QuarantinedShards
+		out.ShardOpenFailures += st.ShardOpenFailures
+		out.Rejected += st.Rejected
+		out.Timeouts += st.Timeouts
+		out.Watchers += st.Watchers
+		out.WatchNotifies += st.WatchNotifies
+
+		if st.Ingest != nil {
+			anyIngest = true
+			ingestAgg.Acked += st.Ingest.Acked
+			ingestAgg.Applied += st.Ingest.Applied
+			ingestAgg.Pending += st.Ingest.Pending
+			ingestAgg.PendingLimit += st.Ingest.PendingLimit
+			ingestAgg.Matched += st.Ingest.Matched
+			ingestAgg.Dropped += st.Ingest.Dropped
+			ingestAgg.Batches += st.Ingest.Batches
+			ingestAgg.Compactions += st.Ingest.Compactions
+			ingestAgg.WALBytes += st.Ingest.WALBytes
+			ingestAgg.ReadOnly = ingestAgg.ReadOnly || st.Ingest.ReadOnly
+			ingestAgg.SimplifyEps = st.Ingest.SimplifyEps
+			ingestAgg.PointsIn += st.Ingest.PointsIn
+			ingestAgg.PointsKept += st.Ingest.PointsKept
+		}
+	}
+	if anyIngest {
+		out.Ingest = &ingestAgg
+	}
+	rt.reply(w, out)
+}
+
+// unionRect merges two rectangles, treating the inverted marker as
+// empty.
+func unionRect(a, b client.Rect) client.Rect {
+	if a.MinX > a.MaxX {
+		return b
+	}
+	if b.MinX > b.MaxX {
+		return a
+	}
+	return client.Rect{
+		MinX: min(a.MinX, b.MinX), MinY: min(a.MinY, b.MinY),
+		MaxX: max(a.MaxX, b.MaxX), MaxY: max(a.MaxY, b.MaxY),
+	}
+}

@@ -137,6 +137,15 @@ type Ingester struct {
 	pointsIn    atomic.Int64
 	pointsKept  atomic.Int64
 
+	// dropMu guards droppedSeqs: the WAL sequences of the most recent
+	// records the matcher rejected at fold time.  A dropped record
+	// consumed a WAL sequence but no store id, so callers that map
+	// sequences to trajectory ids (the synchronous-flush ingest response,
+	// and through it the cluster router's placement maps) need to know
+	// exactly which ones vanished.
+	dropMu      sync.Mutex
+	droppedSeqs []uint64
+
 	stop chan struct{}
 	done chan struct{}
 	wake chan struct{}
@@ -356,10 +365,16 @@ func (ing *Ingester) drainOne() (int, error) {
 		return nil // match failures drop the record, they do not abort the batch
 	})
 	var tus []*traj.Uncertain
-	for _, u := range us {
+	var droppedNow []uint64
+	for i, u := range us {
 		if u != nil {
 			tus = append(tus, u)
+		} else {
+			droppedNow = append(droppedNow, applyTo-uint64(n)+uint64(i))
 		}
+	}
+	if len(droppedNow) > 0 {
+		ing.noteDropped(droppedNow)
 	}
 	if _, err := ing.st.ApplyDelta(tus, applyTo); err != nil {
 		return 0, err
@@ -384,6 +399,40 @@ func (ing *Ingester) drainOne() (int, error) {
 		}
 	}
 	return n, nil
+}
+
+// maxDroppedSeqs bounds the retained drop history.  Drops are rare
+// (structurally valid GPS that the matcher cannot place on the network),
+// and the only caller that needs them — the synchronous-flush ingest
+// response — asks immediately after its own batch folded, so a small
+// recent window is always enough.
+const maxDroppedSeqs = 4096
+
+// noteDropped records fold-time drops (ascending, fold order).
+func (ing *Ingester) noteDropped(seqs []uint64) {
+	ing.dropMu.Lock()
+	ing.droppedSeqs = append(ing.droppedSeqs, seqs...)
+	if excess := len(ing.droppedSeqs) - maxDroppedSeqs; excess > 0 {
+		ing.droppedSeqs = append(ing.droppedSeqs[:0], ing.droppedSeqs[excess:]...)
+	}
+	ing.dropMu.Unlock()
+}
+
+// DroppedIn returns the WAL sequences in [from, to) whose records were
+// acknowledged but rejected by the map matcher at fold time.  Only the
+// most recent maxDroppedSeqs drops are retained, so the answer is exact
+// for a batch queried right after its own flush and best-effort for
+// ancient history.
+func (ing *Ingester) DroppedIn(from, to uint64) []uint64 {
+	ing.dropMu.Lock()
+	defer ing.dropMu.Unlock()
+	var out []uint64
+	for _, s := range ing.droppedSeqs {
+		if s >= from && s < to {
+			out = append(out, s)
+		}
+	}
+	return out
 }
 
 // checkpointWAL drops the WAL prefix the manifest confirms applied, so

@@ -152,7 +152,7 @@ func TestIngestEndpoint(t *testing.T) {
 	// invalid trajectory acknowledges nothing, even when other members
 	// are valid, so a client retry cannot duplicate records.
 	ackedBefore := sr.Ingest.Acked
-	var errResp map[string]string
+	var errResp ErrorResponse
 	f.post(t, "/v1/ingest", IngestRequest{}, http.StatusBadRequest, &errResp)
 	one := IngestRequest{Trajectories: []RawTrajectoryJSON{{Points: []RawPointJSON{{X: 1, Y: 2, T: 3}}}}}
 	f.post(t, "/v1/ingest", one, http.StatusBadRequest, &errResp)
@@ -170,7 +170,7 @@ func TestIngestEndpoint(t *testing.T) {
 // but still compacts (no-op on a store without deltas).
 func TestIngestDisabled(t *testing.T) {
 	f := newFixture(t)
-	var errResp map[string]string
+	var errResp ErrorResponse
 	f.post(t, "/v1/ingest", IngestRequest{Trajectories: toJSON([]traj.RawTrajectory{
 		{Points: []traj.RawPoint{{X: 0, Y: 0, T: 1}, {X: 1, Y: 1, T: 2}}},
 	})}, http.StatusServiceUnavailable, &errResp)

@@ -27,10 +27,10 @@ import (
 
 	"utcq/internal/ingest"
 	"utcq/internal/par"
-	"utcq/internal/query"
 	"utcq/internal/roadnet"
 	"utcq/internal/store"
 	"utcq/internal/traj"
+	"utcq/pkg/client"
 )
 
 // Options configure a Server.
@@ -60,6 +60,10 @@ type Options struct {
 	// (compaction is maintenance over data already in the store, useful
 	// after offline bulk loads).
 	Ingester *ingest.Ingester
+	// Follower marks this node a replication follower: its ingester
+	// only accepts records shipped from the leader, so /v1/ingest
+	// answers 503 not_leader — clients must write to the leader.
+	Follower bool
 }
 
 // DefaultOptions returns the server defaults.
@@ -118,6 +122,9 @@ func New(st *store.Store, opts Options) *Server {
 	}
 	s := &Server{st: st, ing: opts.Ingester, opts: opts, mux: http.NewServeMux(), started: time.Now()}
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	// Deprecated alias: /stats predates the versioned prefix.  Kept for
+	// old scrapers; new clients (pkg/client) use /v1/stats.
 	s.mux.HandleFunc("GET /stats", s.handleStats)
 	s.mux.HandleFunc("POST /v1/where", s.handleWhere)
 	s.mux.HandleFunc("POST /v1/when", s.handleWhen)
@@ -126,6 +133,9 @@ func New(st *store.Store, opts Options) *Server {
 	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	s.mux.HandleFunc("POST /v1/ingest", s.handleIngest)
 	s.mux.HandleFunc("POST /v1/compact", s.handleCompact)
+	s.mux.HandleFunc("GET /v1/repl/wal", s.handleReplWAL)
+	s.mux.HandleFunc("GET /v1/repl/manifest", s.handleReplManifest)
+	s.mux.HandleFunc("GET /v1/repl/file/{name}", s.handleReplFile)
 	// The http.Server exists from construction so Shutdown is effective
 	// even if it races server start (a Serve call after Shutdown returns
 	// ErrServerClosed immediately instead of leaking a live listener).
@@ -165,233 +175,112 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	return s.hs.Shutdown(ctx)
 }
 
-// Wire types.  Field names are part of the HTTP API; see the README
-// "Serving" section for the endpoint reference.
+// Wire types.  The canonical definitions live in pkg/client — the
+// repo's outward-facing typed API — and the server aliases them so the
+// two sides of the wire cannot drift.  The historical *JSON names stay
+// as aliases for in-tree callers and tests.
 type (
-	// PositionJSON is a network-constrained location.
-	PositionJSON struct {
-		Edge  int     `json:"edge"`
-		NDist float64 `json:"ndist"`
-	}
-
-	// RectJSON is an axis-aligned query rectangle.
-	RectJSON struct {
-		MinX float64 `json:"minX"`
-		MinY float64 `json:"minY"`
-		MaxX float64 `json:"maxX"`
-		MaxY float64 `json:"maxY"`
-	}
-
-	// WhereRequest asks where trajectory Traj's instances with
-	// probability >= Alpha were at time T.
-	WhereRequest struct {
-		Traj  int     `json:"traj"`
-		T     int64   `json:"t"`
-		Alpha float64 `json:"alpha"`
-	}
-
-	// WhereResultJSON is one instance's location, with the grid
-	// coordinates resolved for convenience.
-	WhereResultJSON struct {
-		Inst  int     `json:"inst"`
-		P     float64 `json:"p"`
-		Edge  int     `json:"edge"`
-		NDist float64 `json:"ndist"`
-		X     float64 `json:"x"`
-		Y     float64 `json:"y"`
-	}
-
-	// WhenRequest asks when trajectory Traj's instances with probability
-	// >= Alpha passed Loc.
-	WhenRequest struct {
-		Traj  int          `json:"traj"`
-		Loc   PositionJSON `json:"loc"`
-		Alpha float64      `json:"alpha"`
-	}
-
-	// WhenResultJSON is one instance's passage time.
-	WhenResultJSON struct {
-		Inst int     `json:"inst"`
-		P    float64 `json:"p"`
-		T    int64   `json:"t"`
-	}
-
-	// RangeRequest asks which trajectories were inside Rect at time T
-	// with total probability >= Alpha.
-	RangeRequest struct {
-		Rect  RectJSON `json:"rect"`
-		T     int64    `json:"t"`
-		Alpha float64  `json:"alpha"`
-	}
-
-	// BatchQuery is one query of a batch; exactly one of Where, When and
-	// Range must be set, matching Kind ("where", "when" or "range").
-	BatchQuery struct {
-		Kind  string        `json:"kind"`
-		Where *WhereRequest `json:"where,omitempty"`
-		When  *WhenRequest  `json:"when,omitempty"`
-		Range *RangeRequest `json:"range,omitempty"`
-	}
-
-	// BatchRequest carries up to Options.MaxBatch queries.
-	BatchRequest struct {
-		Queries []BatchQuery `json:"queries"`
-	}
-
-	// BatchResult is the outcome of one batch query, in request order.
-	// On success the field matching the query kind holds the results and
-	// Error is empty; a query with zero results serializes as {} (empty
-	// payloads are omitted).  Error carries the failure otherwise.
-	// Degraded marks a range result that skipped quarantined shards and
-	// is therefore a lower bound.
-	BatchResult struct {
-		Where    []WhereResultJSON `json:"where,omitempty"`
-		When     []WhenResultJSON  `json:"when,omitempty"`
-		Trajs    []int             `json:"trajs,omitempty"`
-		Degraded bool              `json:"degraded,omitempty"`
-		Error    string            `json:"error,omitempty"`
-	}
-
-	// RawPointJSON is one GPS fix of an ingested trajectory.
-	RawPointJSON struct {
-		X float64 `json:"x"`
-		Y float64 `json:"y"`
-		T int64   `json:"t"`
-	}
-
-	// RawTrajectoryJSON is one raw trajectory submitted for ingestion.
-	RawTrajectoryJSON struct {
-		Points []RawPointJSON `json:"points"`
-	}
-
-	// IngestRequest carries raw trajectories for the WAL.  With Flush set
-	// the response is only sent after the batch has been map-matched and
-	// folded into the store (synchronous ingestion; otherwise the records
-	// are acknowledged durable and become queryable at the next drain).
-	IngestRequest struct {
-		Trajectories []RawTrajectoryJSON `json:"trajectories"`
-		Flush        bool                `json:"flush,omitempty"`
-	}
-
-	// IngestResponse reports the acknowledged batch.  FlushError is set
-	// (with HTTP 202) when the batch was durably acknowledged but a
-	// requested synchronous flush failed afterwards: the records are NOT
-	// lost — they apply on a later drain or after a restart — and the
-	// client MUST NOT resubmit them.
-	IngestResponse struct {
-		Accepted   int    `json:"accepted"`
-		FirstSeq   uint64 `json:"firstSeq"`
-		Pending    uint64 `json:"pending"`
-		Generation uint64 `json:"generation"`
-		FlushError string `json:"flushError,omitempty"`
-	}
-
-	// CompactResponse reports a compaction run.
-	CompactResponse struct {
-		Folded     int    `json:"folded"`
-		Generation uint64 `json:"generation"`
-	}
-
-	// IngestStatsJSON mirrors ingest.Stats on /stats.  PendingLimit is
-	// the server's admission bound (0 = unbounded); ReadOnly reports the
-	// write path latched off after a WAL failure.
-	IngestStatsJSON struct {
-		Acked        uint64 `json:"acked"`
-		Applied      uint64 `json:"applied"`
-		Pending      uint64 `json:"pending"`
-		PendingLimit int    `json:"pendingLimit"`
-		Matched      int64  `json:"matched"`
-		Dropped      int64  `json:"dropped"`
-		Batches      int64  `json:"batches"`
-		Compactions  int64  `json:"compactions"`
-		WALBytes     int64  `json:"walBytes"`
-		ReadOnly     bool   `json:"readOnly"`
-		// Admission-time simplification: the configured SED budget (0:
-		// off) and the raw points submitted vs surviving it.
-		SimplifyEps float64 `json:"simplifyEps"`
-		PointsIn    int64   `json:"pointsIn"`
-		PointsKept  int64   `json:"pointsKept"`
-	}
-
-	// StatsResponse is the /stats payload: store shape, aggregated engine
-	// counters, ingestion state, and server request totals.  Bounds and
-	// the time span let load generators synthesize valid queries without
-	// a side channel.
-	StatsResponse struct {
-		Shards       int      `json:"shards"`
-		BaseShards   int      `json:"baseShards"`
-		DeltaShards  int      `json:"deltaShards"`
-		Tombstones   int      `json:"tombstones"`
-		OpenShards   int      `json:"openShards"`
-		Trajectories int      `json:"trajectories"`
-		Assignment   string   `json:"assignment"`
-		Generation   uint64   `json:"generation"`
-		Compactions  int64    `json:"compactions"`
-		TimeMin      int64    `json:"timeMin"`
-		TimeMax      int64    `json:"timeMax"`
-		Bounds       RectJSON `json:"bounds"`
-
-		Engine query.EngineStats `json:"engine"`
-
-		// Memory-serving gauges (PR6): sidecar cache effectiveness and
-		// process residency, so operators can see zero-copy working.
-		SidecarLoads    int64 `json:"sidecarLoads"`
-		SidecarRebuilds int64 `json:"sidecarRebuilds"`
-		MappedBytes     int64 `json:"mappedBytes"`
-		RSSBytes        int64 `json:"rssBytes"`
-
-		// Degradation state (PR7): shards currently served around
-		// (quarantined after open failures), total open failures observed,
-		// and the server's shed/abandon/degrade counters.
-		QuarantinedShards int   `json:"quarantinedShards"`
-		ShardOpenFailures int64 `json:"shardOpenFailures"`
-		Rejected          int64 `json:"rejected"`
-		Timeouts          int64 `json:"timeouts"`
-		DegradedQueries   int64 `json:"degradedQueries"`
-
-		// Streaming state (PR8): live watch subscriptions and the update
-		// payloads delivered to them.
-		Watchers      int64 `json:"watchers"`
-		WatchNotifies int64 `json:"watchNotifies"`
-
-		// Ingest is present only when the server was started with an
-		// ingester attached.
-		Ingest *IngestStatsJSON `json:"ingest,omitempty"`
-
-		Requests      int64   `json:"requests"`
-		Failures      int64   `json:"failures"`
-		UptimeSeconds float64 `json:"uptimeSeconds"`
-	}
+	PositionJSON      = client.Position
+	RectJSON          = client.Rect
+	WhereRequest      = client.WhereRequest
+	WhereResultJSON   = client.WhereResult
+	WhenRequest       = client.WhenRequest
+	WhenResultJSON    = client.WhenResult
+	RangeRequest      = client.RangeRequest
+	RangeResult       = client.RangeResult
+	BatchQuery        = client.BatchQuery
+	BatchRequest      = client.BatchRequest
+	BatchResult       = client.BatchResult
+	RawPointJSON      = client.RawPoint
+	RawTrajectoryJSON = client.RawTrajectory
+	IngestRequest     = client.IngestRequest
+	IngestResponse    = client.IngestResponse
+	CompactResponse   = client.CompactResponse
+	IngestStatsJSON   = client.IngestStats
+	StatsResponse     = client.StatsResponse
+	ErrorResponse     = client.ErrorResponse
+	Health            = client.Health
 )
 
-// errBadInput marks request-validation failures so handlers report them
-// as 400s; errQueryTimeout marks a query abandoned at Options.QueryTimeout.
+// Sentinels the handlers wrap so statusFor/codeFor can classify
+// failures without string matching.  errBadInput marks
+// request-validation failures (400); errQueryTimeout a query abandoned
+// at Options.QueryTimeout (504); errTooLarge an oversized batch (413);
+// errBacklog admission shedding (429); errIngestDisabled a server
+// without a WAL (503); errNotLeader a replication follower refusing a
+// direct write (503).
 var (
-	errBadInput     = errors.New("invalid request")
-	errQueryTimeout = errors.New("query timed out")
+	errBadInput       = errors.New("invalid request")
+	errQueryTimeout   = errors.New("query timed out")
+	errTooLarge       = errors.New("request too large")
+	errBacklog        = errors.New("ingest backlog full")
+	errIngestDisabled = errors.New("ingestion disabled")
+	errNotLeader      = errors.New("not the leader")
 )
 
 // statusFor classifies a query error: caller mistakes (unknown
 // trajectory, invalid location) are 400; transient degradation — a
-// quarantined shard or a read-only write path — is 503 so well-behaved
-// clients back off and retry; an abandoned slow query is 504.  A
+// quarantined shard, a read-only write path, a follower refusing a
+// write — is 503 so well-behaved clients back off and retry (or
+// redirect to the leader); an abandoned slow query is 504.  A
 // generation pin outside the retention window is 410 Gone (permanent:
 // re-query at the current generation, do not retry) and a pin the store
-// never reached is 404.  Everything else is a server-side 500.
+// never reached is 404; a replication cursor checkpointed away is also
+// 410 (the follower must re-snapshot).  Everything else is a
+// server-side 500.
 func statusFor(err error) int {
 	switch {
-	case errors.Is(err, errBadInput) || errors.Is(err, store.ErrUnknownTrajectory):
+	case errors.Is(err, errBadInput) || errors.Is(err, store.ErrUnknownTrajectory) ||
+		errors.Is(err, ingest.ErrRejected):
 		return http.StatusBadRequest
-	case errors.Is(err, store.ErrShardQuarantined) || errors.Is(err, ingest.ErrReadOnly):
+	case errors.Is(err, errTooLarge):
+		return http.StatusRequestEntityTooLarge
+	case errors.Is(err, errBacklog):
+		return http.StatusTooManyRequests
+	case errors.Is(err, store.ErrShardQuarantined) || errors.Is(err, ingest.ErrReadOnly) ||
+		errors.Is(err, errIngestDisabled) || errors.Is(err, errNotLeader):
 		return http.StatusServiceUnavailable
 	case errors.Is(err, errQueryTimeout):
 		return http.StatusGatewayTimeout
-	case errors.Is(err, store.ErrGenerationRetired):
+	case errors.Is(err, store.ErrGenerationRetired) || errors.Is(err, ingest.ErrWALTruncated):
 		return http.StatusGone
 	case errors.Is(err, store.ErrGenerationUnknown):
 		return http.StatusNotFound
 	}
 	return http.StatusInternalServerError
+}
+
+// codeFor classifies an error for the v1 envelope — the machine-readable
+// twin of statusFor.  Clients switch on these codes, never on message
+// text (pkg/client's APIError.Temporary encodes the retry semantics).
+func codeFor(err error) string {
+	switch {
+	case errors.Is(err, store.ErrUnknownTrajectory):
+		return client.CodeUnknownTrajectory
+	case errors.Is(err, errBadInput) || errors.Is(err, ingest.ErrRejected):
+		return client.CodeBadRequest
+	case errors.Is(err, errTooLarge):
+		return client.CodeTooLarge
+	case errors.Is(err, errBacklog):
+		return client.CodeBacklog
+	case errors.Is(err, store.ErrShardQuarantined):
+		return client.CodeShardQuarantined
+	case errors.Is(err, ingest.ErrReadOnly):
+		return client.CodeReadOnly
+	case errors.Is(err, errIngestDisabled):
+		return client.CodeIngestDisabled
+	case errors.Is(err, errNotLeader):
+		return client.CodeNotLeader
+	case errors.Is(err, errQueryTimeout):
+		return client.CodeTimeout
+	case errors.Is(err, store.ErrGenerationRetired):
+		return client.CodeGenRetired
+	case errors.Is(err, ingest.ErrWALTruncated):
+		return client.CodeWALTruncated
+	case errors.Is(err, store.ErrGenerationUnknown):
+		return client.CodeGenUnknown
+	}
+	return client.CodeInternal
 }
 
 // snapshotFor resolves the store view a query request runs against: the
@@ -554,12 +443,7 @@ func (s *Server) handleRange(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, statusFor(err), err)
 		return
 	}
-	resp := map[string]any{"trajs": out.trajs}
-	if out.skipped > 0 {
-		resp["degraded"] = true
-		resp["shardsSkipped"] = out.skipped
-	}
-	s.reply(w, resp)
+	s.reply(w, RangeResult{Trajs: out.trajs, Degraded: out.skipped > 0, ShardsSkipped: out.skipped})
 }
 
 // handleBatch evaluates the request's queries on a bounded worker pool and
@@ -571,8 +455,8 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if len(req.Queries) > s.opts.MaxBatch {
-		s.fail(w, http.StatusRequestEntityTooLarge,
-			fmt.Errorf("batch of %d exceeds limit %d", len(req.Queries), s.opts.MaxBatch))
+		err := fmt.Errorf("%w: batch of %d exceeds limit %d", errTooLarge, len(req.Queries), s.opts.MaxBatch)
+		s.fail(w, statusFor(err), err)
 		return
 	}
 	// One snapshot for the whole batch: every query answers at the same
@@ -591,27 +475,28 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			case q.Kind == "where" && q.Where != nil:
 				rs, err := s.whereJSON(sn, *q.Where)
 				if err != nil {
-					results[i].Error = err.Error()
+					results[i].Error, results[i].Code = err.Error(), codeFor(err)
 					return nil
 				}
 				results[i].Where = rs
 			case q.Kind == "when" && q.When != nil:
 				rs, err := s.whenJSON(sn, *q.When)
 				if err != nil {
-					results[i].Error = err.Error()
+					results[i].Error, results[i].Code = err.Error(), codeFor(err)
 					return nil
 				}
 				results[i].When = rs
 			case q.Kind == "range" && q.Range != nil:
 				trajs, skipped, err := s.rangeJSON(sn, *q.Range)
 				if err != nil {
-					results[i].Error = err.Error()
+					results[i].Error, results[i].Code = err.Error(), codeFor(err)
 					return nil
 				}
 				results[i].Trajs = trajs
 				results[i].Degraded = skipped > 0
 			default:
 				results[i].Error = fmt.Sprintf("query %d: kind %q without a matching body", i, q.Kind)
+				results[i].Code = client.CodeBadRequest
 			}
 			return nil
 		})
@@ -635,7 +520,13 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if s.ing == nil {
-		s.fail(w, http.StatusServiceUnavailable, errors.New("ingestion disabled: utcqd started without -wal"))
+		err := fmt.Errorf("%w: utcqd started without -wal", errIngestDisabled)
+		s.fail(w, statusFor(err), err)
+		return
+	}
+	if s.opts.Follower {
+		err := fmt.Errorf("%w: this node is a replication follower; submit writes to the leader", errNotLeader)
+		s.fail(w, statusFor(err), err)
 		return
 	}
 	if len(req.Trajectories) == 0 {
@@ -648,8 +539,8 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	if limit := s.opts.MaxPending; limit > 0 {
 		if pending := s.ing.Pending(); pending >= limit {
 			s.rejected.Add(1)
-			s.fail(w, http.StatusTooManyRequests,
-				fmt.Errorf("ingest backlog full: %d acknowledged records pending (limit %d)", pending, limit))
+			err := fmt.Errorf("%w: %d acknowledged records pending (limit %d)", errBacklog, pending, limit)
+			s.fail(w, statusFor(err), err)
 			return
 		}
 	}
@@ -663,16 +554,10 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	}
 	first, err := s.ing.SubmitBatch(raws)
 	if err != nil {
-		code := http.StatusInternalServerError
-		switch {
-		case errors.Is(err, ingest.ErrRejected):
-			code = http.StatusBadRequest
-		case errors.Is(err, ingest.ErrReadOnly):
-			// A WAL failure latched the write path read-only; reads keep
-			// working, writes answer 503 until the operator intervenes.
-			code = http.StatusServiceUnavailable
-		}
-		s.fail(w, code, err)
+		// ErrRejected is the client's mistake (400); ErrReadOnly is the
+		// WAL failure latch — reads keep working, writes answer 503 until
+		// the operator intervenes.
+		s.fail(w, statusFor(err), err)
 		return
 	}
 	resp := IngestResponse{Accepted: len(raws), FirstSeq: first}
@@ -691,12 +576,16 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 			resp.Generation = s.st.Generation()
 			resp.Pending = uint64(s.ing.Pending())
 			resp.FlushError = err.Error()
-			w.Header().Set("Content-Type", "application/json")
-			w.WriteHeader(http.StatusAccepted)
-			_ = json.NewEncoder(w).Encode(resp)
+			s.replyStatus(w, http.StatusAccepted, resp)
 			return
 		}
 		resp.Generation = gen
+		// The batch has folded; report which records the matcher dropped
+		// so sequence-to-id mapping callers (the cluster router) can
+		// account for the ids that were never created.
+		for _, seq := range s.ing.DroppedIn(first, first+uint64(len(raws))) {
+			resp.Dropped = append(resp.Dropped, int(seq-first))
+		}
 	} else {
 		resp.Generation = s.st.Generation()
 	}
@@ -732,14 +621,14 @@ func (s *Server) handleCompact(w http.ResponseWriter, r *http.Request) {
 // operators and load balancers see partial failure without scraping
 // /stats.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	resp := map[string]any{"status": "ok"}
+	resp := Health{Status: "ok"}
 	if q := s.st.QuarantinedShards(); q > 0 {
-		resp["status"] = "degraded"
-		resp["quarantinedShards"] = q
+		resp.Status = "degraded"
+		resp.QuarantinedShards = q
 	}
 	if s.ing != nil && s.ing.ReadOnly() != nil {
-		resp["status"] = "degraded"
-		resp["readOnly"] = true
+		resp.Status = "degraded"
+		resp.ReadOnly = true
 	}
 	s.reply(w, resp)
 }
@@ -747,6 +636,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	st := s.st.Stats()
 	b := s.st.Bounds()
+	db := s.st.DataBounds()
 	resp := StatsResponse{
 		Shards:            st.Shards,
 		BaseShards:        st.BaseShards,
@@ -760,7 +650,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		TimeMin:           st.TimeMin,
 		TimeMax:           st.TimeMax,
 		Bounds:            RectJSON{MinX: b.MinX, MinY: b.MinY, MaxX: b.MaxX, MaxY: b.MaxY},
-		Engine:            st.Engine,
+		DataBounds:        RectJSON{MinX: db.MinX, MinY: db.MinY, MaxX: db.MaxX, MaxY: db.MaxY},
+		Engine:            client.EngineStats(st.Engine),
 		SidecarLoads:      st.SidecarLoads,
 		SidecarRebuilds:   st.SidecarRebuilds,
 		MappedBytes:       st.MappedBytes,
@@ -811,24 +702,52 @@ func (s *Server) decode(w http.ResponseWriter, r *http.Request, dst any) bool {
 }
 
 func (s *Server) reply(w http.ResponseWriter, payload any) {
+	s.replyStatus(w, http.StatusOK, payload)
+}
+
+// replyStatus writes a JSON payload under an explicit status.  An
+// encode failure (the client went away mid-body, typically) counts in
+// the failures gauge — nothing else can be done at that point, but it
+// must not vanish from the counters.
+func (s *Server) replyStatus(w http.ResponseWriter, status int, payload any) {
 	w.Header().Set("Content-Type", "application/json")
+	if status != http.StatusOK {
+		w.WriteHeader(status)
+	}
 	if err := json.NewEncoder(w).Encode(payload); err != nil {
 		s.failures.Add(1)
 	}
 }
 
-func (s *Server) fail(w http.ResponseWriter, code int, err error) {
+// fail answers with the v1 error envelope {code, error, retryAfter?}.
+// Transient conditions carry a Retry-After header (duplicated in the
+// envelope for clients that cannot reach headers) so off-the-shelf
+// clients back off: admission rejections clear as soon as the drain
+// catches up; quarantined shards and read-only mode take operator time.
+func (s *Server) fail(w http.ResponseWriter, status int, err error) {
+	s.failWith(w, status, codeFor(err), err)
+}
+
+// failWith is fail with an explicit envelope code, for the few places
+// (the replication file endpoint's not_found) where the code is not a
+// sentinel classification.
+func (s *Server) failWith(w http.ResponseWriter, status int, code string, err error) {
 	s.failures.Add(1)
-	w.Header().Set("Content-Type", "application/json")
-	// Transient conditions carry a Retry-After so off-the-shelf clients
-	// back off: admission rejections clear as soon as the drain catches
-	// up; quarantined shards and read-only mode take operator time.
-	switch code {
+	env := ErrorResponse{Code: code, Error: err.Error()}
+	switch status {
 	case http.StatusTooManyRequests:
-		w.Header().Set("Retry-After", "1")
+		env.RetryAfter = 1
 	case http.StatusServiceUnavailable:
-		w.Header().Set("Retry-After", "2")
+		env.RetryAfter = 2
 	}
-	w.WriteHeader(code)
-	_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+	w.Header().Set("Content-Type", "application/json")
+	if env.RetryAfter > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(env.RetryAfter))
+	}
+	w.WriteHeader(status)
+	if eerr := json.NewEncoder(w).Encode(env); eerr != nil {
+		// The envelope itself failed to reach the client; count it so
+		// the drop is visible (this was silently ignored before).
+		s.failures.Add(1)
+	}
 }

@@ -28,6 +28,7 @@ import (
 
 	"utcq/internal/roadnet"
 	"utcq/internal/store"
+	"utcq/pkg/client"
 )
 
 // watchDefaultWait is the long-poll hold when the client sends no
@@ -39,16 +40,9 @@ const (
 	sseHeartbeat     = 15 * time.Second
 )
 
-// WatchResponse is one watch update.  Added holds the trajectories newly
-// eligible since the client's cursor (the full result set when Reset is
-// true); the client unions them into its set.  Gen and Watermark are the
-// next request's ?gen and ?cursor.
-type WatchResponse struct {
-	Gen       uint64 `json:"gen"`
-	Watermark uint32 `json:"watermark"`
-	Added     []int  `json:"added"`
-	Reset     bool   `json:"reset,omitempty"`
-}
+// WatchResponse is one watch update; the canonical definition is
+// client.WatchUpdate (see server.go on the wire-type aliasing).
+type WatchResponse = client.WatchUpdate
 
 // watchRequest is the parsed query string of a watch subscription.
 type watchRequest struct {

@@ -1,0 +1,126 @@
+package store
+
+// Cluster-facing exports: the replication/catch-up protocol
+// (internal/cluster) needs to read a durable store's artifacts over
+// HTTP, parse a manifest shipped as bytes, and reuse the store's hash
+// mix and geometry bounds for placement and fan-out pruning.  This file
+// is that narrow surface — nothing here adds mutation paths.
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"strings"
+
+	"utcq/internal/roadnet"
+)
+
+// Mix64 is the splitmix64 finalizer used for hash shard assignment,
+// exported so the cluster placement ring hashes identically to the
+// store's own AssignHash.
+func Mix64(x uint64) uint64 { return mix64(x) }
+
+// Dir returns the store's backing directory ("" for in-memory stores).
+func (s *Store) Dir() string { return s.dirPath() }
+
+// DataBounds returns the union of the live shards' recorded geometry
+// bounds — the rectangle the stored data actually covers, as opposed to
+// Bounds() (the road network's full extent).  Returns the inverted
+// empty marker (MinX > MaxX) when no live shard holds geometry.  The
+// cluster router uses it to skip members whose data cannot intersect a
+// range query.
+func (s *Store) DataBounds() roadnet.Rect {
+	out := roadnet.Rect{MinX: 1, MinY: 1, MaxX: 0, MaxY: 0}
+	first := true
+	for _, e := range s.v.Load().man.entries {
+		if e.dead || e.bounds.MinX > e.bounds.MaxX {
+			continue
+		}
+		if first {
+			out, first = e.bounds, false
+			continue
+		}
+		out.MinX = min(out.MinX, e.bounds.MinX)
+		out.MinY = min(out.MinY, e.bounds.MinY)
+		out.MaxX = max(out.MaxX, e.bounds.MaxX)
+		out.MaxY = max(out.MaxY, e.bounds.MaxY)
+	}
+	return out
+}
+
+// IsArtifactName reports whether name is a well-formed store artifact
+// file name: the manifest, a shard archive or a StIU sidecar.  The
+// replication file endpoint validates requested names with it so a
+// follower can only ever read store artifacts.
+func IsArtifactName(name string) bool {
+	if name == ManifestName {
+		return true
+	}
+	digits, ok := strings.CutPrefix(name, "shard-")
+	if !ok {
+		return false
+	}
+	if d, ok := strings.CutSuffix(digits, ".utcq"); ok {
+		digits = d
+	} else if d, ok := strings.CutSuffix(digits, ".stiu"); ok {
+		digits = d
+	} else {
+		return false
+	}
+	if len(digits) < 4 {
+		return false
+	}
+	for _, c := range digits {
+		if c < '0' || c > '9' {
+			return false
+		}
+	}
+	return true
+}
+
+// ReadArtifact returns the raw bytes of one store artifact (manifest,
+// shard archive or sidecar) from the backing directory.  Only durable
+// stores have artifacts to serve.
+func (s *Store) ReadArtifact(name string) ([]byte, error) {
+	if !IsArtifactName(name) {
+		return nil, fmt.Errorf("store: %q is not a store artifact name", name)
+	}
+	dir := s.dirPath()
+	if dir == "" {
+		return nil, errors.New("store: not durable (no backing directory)")
+	}
+	return s.fsys().ReadFile(filepath.Join(dir, name))
+}
+
+// ManifestInfo is the catch-up view of a manifest shipped as bytes: the
+// generation/WAL position it pins and the artifact files a follower
+// must fetch to materialize it.
+type ManifestInfo struct {
+	Generation uint64
+	WALApplied uint64
+	// Files lists the live artifacts (shard archives, plus sidecars
+	// where recorded) — everything needed alongside the manifest bytes
+	// themselves.
+	Files []string
+}
+
+// ParseManifestInfo decodes manifest bytes (as served by ReadArtifact)
+// without touching disk.
+func ParseManifestInfo(data []byte) (ManifestInfo, error) {
+	man, err := readManifest(bytes.NewReader(data))
+	if err != nil {
+		return ManifestInfo{}, err
+	}
+	info := ManifestInfo{Generation: man.generation, WALApplied: man.walApplied}
+	for _, e := range man.entries {
+		if e.dead {
+			continue
+		}
+		info.Files = append(info.Files, shardFile(e.id))
+		if e.sidecarCRC != 0 {
+			info.Files = append(info.Files, sidecarFile(e.id))
+		}
+	}
+	return info, nil
+}

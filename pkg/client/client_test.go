@@ -1,0 +1,447 @@
+package client_test
+
+// The client is tested against a live in-process utcqd server (the real
+// handler stack, not a mock), so every assertion covers the wire contract
+// end to end: request encoding, the v1 error envelope, retry/backoff
+// behavior and the watch resume protocol.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"utcq"
+	"utcq/pkg/client"
+)
+
+// fixture is one live server over a small CD-profile store, with a
+// reference engine for expected query answers.
+type fixture struct {
+	ds      *utcq.Dataset
+	eng     *utcq.Engine
+	handler http.Handler
+	ts      *httptest.Server
+	c       *client.Client
+}
+
+func newFixture(t *testing.T) *fixture {
+	t.Helper()
+	p := utcq.ProfileCD()
+	p.Network.Cols, p.Network.Rows = 24, 24
+	ds, err := utcq.BuildDataset(p, 25, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arch, err := utcq.Compress(ds.Graph, ds.Trajectories, utcq.DefaultOptions(p.Ts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := utcq.BuildIndex(arch, utcq.DefaultIndexOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := utcq.BuildStore(ds.Graph, ds.Trajectories, utcq.DefaultStoreOptions(p.Ts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := utcq.NewQueryServer(st, utcq.QueryServerOptions{MaxBatch: 8})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return &fixture{ds: ds, eng: utcq.NewEngine(arch, idx), handler: srv.Handler(), ts: ts,
+		c: client.New(ts.URL, client.Options{})}
+}
+
+func (f *fixture) midTime(j int) int64 {
+	T := f.ds.Trajectories[j].T
+	return (T[0] + T[len(T)-1]) / 2
+}
+
+func TestWhereWhenRangeRoundTrip(t *testing.T) {
+	f := newFixture(t)
+	ctx := context.Background()
+	j, tq := 0, f.midTime(0)
+
+	got, err := f.c.Where(ctx, client.WhereRequest{Traj: j, T: tq, Alpha: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := f.eng.Where(j, tq, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("where: %d results, want %d", len(got), len(want))
+	}
+	for i, r := range got {
+		if r.Inst != want[i].Inst || r.P != want[i].P ||
+			r.Edge != int(want[i].Loc.Edge) || r.NDist != want[i].Loc.NDist {
+			t.Fatalf("where result %d = %+v, want %+v", i, r, want[i])
+		}
+	}
+	if len(got) == 0 {
+		t.Fatal("where returned nothing; pick a better fixture time")
+	}
+
+	loc := client.Position{Edge: got[0].Edge, NDist: got[0].NDist}
+	gw, err := f.c.When(ctx, client.WhenRequest{Traj: j, Loc: loc, Alpha: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ww, err := f.eng.When(j, utcq.Position{Edge: utcq.EdgeID(loc.Edge), NDist: loc.NDist}, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gw) != len(ww) {
+		t.Fatalf("when: %d results, want %d", len(gw), len(ww))
+	}
+
+	b := f.ds.Graph.Bounds()
+	rect := client.Rect{MinX: b.MinX, MinY: b.MinY, MaxX: b.MaxX, MaxY: b.MaxY}
+	rr, err := f.c.Range(ctx, client.RangeRequest{Rect: rect, T: tq, Alpha: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rr.Degraded {
+		t.Fatal("healthy store answered degraded")
+	}
+	if len(rr.Trajs) == 0 {
+		t.Fatal("full-bounds range at a covered instant returned nothing")
+	}
+
+	// The batch endpoint answers each query exactly like its dedicated
+	// endpoint.
+	results, err := f.c.Batch(ctx, client.BatchRequest{Queries: []client.BatchQuery{
+		{Kind: "where", Where: &client.WhereRequest{Traj: j, T: tq, Alpha: 0.1}},
+		{Kind: "range", Range: &client.RangeRequest{Rect: rect, T: tq, Alpha: 0.01}},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("batch: %d results, want 2", len(results))
+	}
+	if len(results[0].Where) != len(got) {
+		t.Fatalf("batch where: %d results, want %d", len(results[0].Where), len(got))
+	}
+	if len(results[1].Trajs) != len(rr.Trajs) {
+		t.Fatalf("batch range: %d trajs, want %d", len(results[1].Trajs), len(rr.Trajs))
+	}
+}
+
+func TestStatsAndHealth(t *testing.T) {
+	f := newFixture(t)
+	ctx := context.Background()
+	st, err := f.c.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Trajectories != 25 {
+		t.Fatalf("stats: %d trajectories, want 25", st.Trajectories)
+	}
+	if st.DataBounds.MinX > st.DataBounds.MaxX {
+		t.Fatalf("stats: empty dataBounds %+v on a populated store", st.DataBounds)
+	}
+	if st.Cluster != nil {
+		t.Fatal("single-node stats carries a cluster section")
+	}
+	h, err := f.c.Health(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" {
+		t.Fatalf("health: %q, want ok", h.Status)
+	}
+}
+
+func TestErrorEnvelopeCodes(t *testing.T) {
+	f := newFixture(t)
+	ctx := context.Background()
+
+	// Unknown trajectory: 400, machine-readable code, not retried.
+	_, err := f.c.Where(ctx, client.WhereRequest{Traj: 10_000, T: f.midTime(0)})
+	var ae *client.APIError
+	if !errors.As(err, &ae) {
+		t.Fatalf("want *client.APIError, got %v", err)
+	}
+	if ae.Status != http.StatusBadRequest || ae.Code != client.CodeUnknownTrajectory {
+		t.Fatalf("got status %d code %q, want 400 %q", ae.Status, ae.Code, client.CodeUnknownTrajectory)
+	}
+	if ae.Temporary() {
+		t.Fatal("unknown_trajectory claims to be temporary")
+	}
+
+	// Oversized batch: 413 too_large.
+	big := make([]client.BatchQuery, 9)
+	for i := range big {
+		big[i] = client.BatchQuery{Kind: "where", Where: &client.WhereRequest{Traj: 0, T: f.midTime(0)}}
+	}
+	_, err = f.c.Batch(ctx, client.BatchRequest{Queries: big})
+	if !errors.As(err, &ae) || ae.Status != http.StatusRequestEntityTooLarge || ae.Code != client.CodeTooLarge {
+		t.Fatalf("oversized batch: got %v, want 413 %s", err, client.CodeTooLarge)
+	}
+
+	// Ingest against a server without a WAL: 503 ingest_disabled — a
+	// deployment mistake, not a transient, so the client must not retry.
+	_, err = f.c.Ingest(ctx, []client.RawTrajectory{{Points: []client.RawPoint{{T: 1}, {T: 2}}}}, false)
+	if !errors.As(err, &ae) || ae.Status != http.StatusServiceUnavailable || ae.Code != client.CodeIngestDisabled {
+		t.Fatalf("ingest without WAL: got %v, want 503 %s", err, client.CodeIngestDisabled)
+	}
+	if ae.Temporary() {
+		t.Fatal("ingest_disabled claims to be temporary")
+	}
+}
+
+// flakyProxy fails the first n matching requests with status (and a v1
+// envelope), then forwards everything to the inner handler.
+type flakyProxy struct {
+	inner     http.Handler
+	status    int
+	code      string
+	remaining atomic.Int32
+	hits      atomic.Int32
+}
+
+func (p *flakyProxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	p.hits.Add(1)
+	if p.remaining.Add(-1) >= 0 {
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Retry-After", "0")
+		w.WriteHeader(p.status)
+		json.NewEncoder(w).Encode(client.ErrorResponse{Code: p.code, Error: "injected"})
+		return
+	}
+	p.inner.ServeHTTP(w, r)
+}
+
+func TestRetriesTransientFailures(t *testing.T) {
+	f := newFixture(t)
+	ctx := context.Background()
+	for _, tc := range []struct {
+		name   string
+		status int
+		code   string
+	}{
+		{"backlog-429", http.StatusTooManyRequests, client.CodeBacklog},
+		{"quarantine-503", http.StatusServiceUnavailable, client.CodeShardQuarantined},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			proxy := &flakyProxy{inner: f.handler, status: tc.status, code: tc.code}
+			proxy.remaining.Store(2)
+			ts := httptest.NewServer(proxy)
+			defer ts.Close()
+
+			var retries atomic.Int32
+			c := client.New(ts.URL, client.Options{
+				RetryAttempts: 5,
+				RetryBase:     time.Millisecond,
+				RetryCap:      5 * time.Millisecond,
+				OnRetry:       func(int, error, time.Duration) { retries.Add(1) },
+			})
+			got, err := c.Where(ctx, client.WhereRequest{Traj: 0, T: f.midTime(0), Alpha: 0.1})
+			if err != nil {
+				t.Fatalf("query through flaky proxy: %v", err)
+			}
+			if len(got) == 0 {
+				t.Fatal("flaky proxy eventually answered, but with nothing")
+			}
+			if r := retries.Load(); r != 2 {
+				t.Fatalf("client retried %d times, want 2", r)
+			}
+		})
+	}
+}
+
+func TestGivesUpAfterRetryBudget(t *testing.T) {
+	always := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		json.NewEncoder(w).Encode(client.ErrorResponse{Code: client.CodeShardQuarantined, Error: "injected"})
+	}))
+	defer always.Close()
+	c := client.New(always.URL, client.Options{
+		RetryAttempts: 3, RetryBase: time.Millisecond, RetryCap: 2 * time.Millisecond,
+	})
+	_, err := c.Where(context.Background(), client.WhereRequest{Traj: 0, T: 1})
+	if !errors.Is(err, client.ErrRetriesExhausted) {
+		t.Fatalf("want ErrRetriesExhausted, got %v", err)
+	}
+	var ae *client.APIError
+	if !errors.As(err, &ae) || ae.Code != client.CodeShardQuarantined {
+		t.Fatalf("exhausted error should still carry the last APIError, got %v", err)
+	}
+}
+
+func TestIngestNotRetriedOnServerError(t *testing.T) {
+	var hits atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusInternalServerError)
+		json.NewEncoder(w).Encode(client.ErrorResponse{Code: client.CodeInternal, Error: "injected"})
+	}))
+	defer srv.Close()
+	c := client.New(srv.URL, client.Options{RetryAttempts: 5, RetryBase: time.Millisecond})
+	_, err := c.Ingest(context.Background(),
+		[]client.RawTrajectory{{Points: []client.RawPoint{{T: 1}, {T: 2}}}}, false)
+	if err == nil {
+		t.Fatal("ingest against a 500 server succeeded")
+	}
+	// A 500 mid-ingest may or may not have durably acknowledged the batch;
+	// blind re-send would double-ingest, so exactly one attempt is allowed.
+	if h := hits.Load(); h != 1 {
+		t.Fatalf("non-idempotent ingest was sent %d times, want 1", h)
+	}
+}
+
+// TestWatchResumeAcrossFailure drives the full streaming path: subscribe,
+// ingest through the client, receive the incremental update — with an
+// injected 503 on the resume poll, which the client must absorb by
+// retrying from the same cursor.
+func TestWatchResumeAcrossFailure(t *testing.T) {
+	p := utcq.ProfileCD()
+	p.Network.Cols, p.Network.Rows = 24, 24
+	g, eix, raws, err := utcq.GenerateRaws(p, 18, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	matcher := utcq.NewMatcher(g, p.Match)
+	var base []*utcq.Uncertain
+	for _, raw := range raws[:6] {
+		if u, err := matcher.Match(raw); err == nil {
+			base = append(base, u)
+		}
+	}
+	if len(base) == 0 {
+		t.Fatal("no seed trajectories matched")
+	}
+	st, err := utcq.BuildStore(g, base, utcq.DefaultStoreOptions(p.Ts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ing, err := utcq.NewIngester(st, eix, filepath.Join(t.TempDir(), "ingest.wal"),
+		utcq.IngestOptions{Match: p.Match, BatchSize: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ing.Close()
+	srv := utcq.NewQueryServer(st, utcq.QueryServerOptions{Ingester: ing})
+
+	// failNext arms a one-shot 503 on the next watch request.
+	var failNext atomic.Bool
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/v1/watch/range" && failNext.CompareAndSwap(true, false) {
+			w.Header().Set("Content-Type", "application/json")
+			w.Header().Set("Retry-After", "0")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			json.NewEncoder(w).Encode(client.ErrorResponse{Code: client.CodeShardQuarantined, Error: "injected"})
+			return
+		}
+		srv.Handler().ServeHTTP(w, r)
+	}))
+	defer ts.Close()
+
+	var retries atomic.Int32
+	c := client.New(ts.URL, client.Options{
+		RetryAttempts: 4,
+		RetryBase:     time.Millisecond,
+		RetryCap:      5 * time.Millisecond,
+		OnRetry:       func(int, error, time.Duration) { retries.Add(1) },
+	})
+	ctx := context.Background()
+	b := g.Bounds()
+	req := client.WatchRequest{
+		Rect:        client.Rect{MinX: b.MinX, MinY: b.MinY, MaxX: b.MaxX, MaxY: b.MaxY},
+		T:           raws[0].Points[len(raws[0].Points)/2].T,
+		Alpha:       0.1,
+		PollSeconds: 5,
+	}
+	w := c.Watch(req)
+	first, err := w.Next(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !first.Reset {
+		t.Fatal("first watch exchange was not a reset")
+	}
+	union := map[int]bool{}
+	for _, j := range first.Added {
+		union[j] = true
+	}
+
+	// Feed the rest of the fleet through the client's own ingest call.
+	var batch []client.RawTrajectory
+	for _, raw := range raws[6:] {
+		ct := client.RawTrajectory{}
+		for _, pt := range raw.Points {
+			ct.Points = append(ct.Points, client.RawPoint{X: pt.X, Y: pt.Y, T: pt.T})
+		}
+		batch = append(batch, ct)
+	}
+	resp, err := c.Ingest(ctx, batch, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Accepted != len(batch) {
+		t.Fatalf("ingest accepted %d of %d", resp.Accepted, len(batch))
+	}
+
+	// The resume poll rides through an injected 503 without losing the
+	// cursor: the next successful exchange is incremental, not a reset.
+	failNext.Store(true)
+	upd, err := w.Next(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if retries.Load() == 0 {
+		t.Fatal("watch resume never saw the injected failure")
+	}
+	if upd.Reset {
+		t.Fatal("resume after failure lost the cursor (got a reset)")
+	}
+	if upd.Gen <= first.Gen {
+		t.Fatalf("update generation %d did not advance past %d", upd.Gen, first.Gen)
+	}
+	for _, j := range upd.Added {
+		union[j] = true
+	}
+
+	// Streaming invariant: union of updates == fresh full subscription.
+	full, err := c.Watch(req).Next(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full.Added) != len(union) {
+		t.Fatalf("union has %d trajs, full requery %d", len(union), len(full.Added))
+	}
+	for _, j := range full.Added {
+		if !union[j] {
+			t.Fatalf("full requery has traj %d the union is missing", j)
+		}
+	}
+}
+
+// TestGenPinnedQuery exercises the ?gen= query parameter end to end: a
+// pinned request to a live generation succeeds, a future generation is
+// 404 gen_unknown.
+func TestGenPinnedQuery(t *testing.T) {
+	f := newFixture(t)
+	ctx := context.Background()
+	st, err := f.c.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.c.Where(ctx, client.WhereRequest{Traj: 0, T: f.midTime(0), Alpha: 0.1, Gen: st.Generation}); err != nil {
+		t.Fatalf("pin to current generation: %v", err)
+	}
+	_, err = f.c.Where(ctx, client.WhereRequest{Traj: 0, T: f.midTime(0), Gen: st.Generation + 100})
+	var ae *client.APIError
+	if !errors.As(err, &ae) || ae.Code != client.CodeGenUnknown {
+		t.Fatalf("future generation pin: got %v, want %s", err, client.CodeGenUnknown)
+	}
+}

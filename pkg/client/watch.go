@@ -1,0 +1,77 @@
+package client
+
+import (
+	"context"
+	"net/url"
+	"strconv"
+)
+
+// WatchRequest subscribes to /v1/watch/range: which trajectories are
+// inside Rect at time T with probability >= Alpha, delivered as
+// incremental updates.
+type WatchRequest struct {
+	Rect  Rect
+	T     int64
+	Alpha float64
+	// PollSeconds bounds each long-poll on the server (0 = server
+	// default of ~25s, capped server-side at 120s).
+	PollSeconds int
+}
+
+// Watcher is a resumable range subscription.  Next long-polls for the
+// next update and advances the (gen, cursor) position on success, so a
+// failed poll can simply be retried — the server's cursor protocol is
+// stateless and at-least-once.  Not safe for concurrent use.
+type Watcher struct {
+	c          *Client
+	req        WatchRequest
+	gen        uint64
+	cursor     uint32
+	subscribed bool
+}
+
+// Watch builds a Watcher.  The first Next performs the initial full
+// evaluation (Reset=true); later calls resume from the cursor.
+func (c *Client) Watch(req WatchRequest) *Watcher {
+	return &Watcher{c: c, req: req}
+}
+
+// Gen returns the generation of the last update (0 before the first).
+func (w *Watcher) Gen() uint64 { return w.gen }
+
+// Reset drops the cursor so the next poll re-evaluates from scratch —
+// e.g. after the server reported gen_unknown following a restart.
+func (w *Watcher) Reset() {
+	w.gen, w.cursor, w.subscribed = 0, 0, false
+}
+
+// Next long-polls once.  An empty Added with Reset false is a
+// heartbeat: the subscription is alive, nothing new arrived inside the
+// poll window.  On error the cursor is NOT advanced; transient errors
+// (see APIError.Temporary) can be retried by calling Next again.
+func (w *Watcher) Next(ctx context.Context) (WatchUpdate, error) {
+	q := url.Values{}
+	q.Set("minX", formatFloat(w.req.Rect.MinX))
+	q.Set("minY", formatFloat(w.req.Rect.MinY))
+	q.Set("maxX", formatFloat(w.req.Rect.MaxX))
+	q.Set("maxY", formatFloat(w.req.Rect.MaxY))
+	q.Set("t", strconv.FormatInt(w.req.T, 10))
+	q.Set("alpha", formatFloat(w.req.Alpha))
+	if w.req.PollSeconds > 0 {
+		q.Set("timeout", strconv.Itoa(w.req.PollSeconds))
+	}
+	if w.subscribed {
+		q.Set("gen", strconv.FormatUint(w.gen, 10))
+		q.Set("cursor", strconv.FormatUint(uint64(w.cursor), 10))
+	}
+	var upd WatchUpdate
+	if err := w.c.do(ctx, "GET", "/v1/watch/range", q, nil, &upd, true); err != nil {
+		return WatchUpdate{}, err
+	}
+	w.gen, w.cursor, w.subscribed = upd.Gen, upd.Watermark, true
+	return upd, nil
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
