@@ -289,6 +289,29 @@ func (f *Follower) setCurrent(sub string) error {
 	return f.fs.SyncDir(f.opts.Dir)
 }
 
+// maxFetchBytes bounds one replication response body (snapshot artifact
+// or WAL batch).
+const maxFetchBytes = 256 << 20
+
+// readBody drains a replication response body under maxFetchBytes,
+// failing loudly on an over-limit body: silently truncating a snapshot
+// artifact would write a corrupt file durably and surface only as an
+// unexplained store.Open failure at bootstrap.
+func readBody(resp *http.Response) ([]byte, error) {
+	return readBodyLimit(resp.Body, maxFetchBytes)
+}
+
+func readBodyLimit(r io.Reader, limit int64) ([]byte, error) {
+	body, err := io.ReadAll(io.LimitReader(r, limit+1))
+	if err != nil {
+		return nil, err
+	}
+	if int64(len(body)) > limit {
+		return nil, fmt.Errorf("cluster: response body exceeds the %d byte replication fetch limit", limit)
+	}
+	return body, nil
+}
+
 // fetch GETs a leader replication endpoint and returns the body; non-2xx
 // answers decode into *client.APIError when the envelope parses.
 func (f *Follower) fetch(path string) ([]byte, error) {
@@ -301,7 +324,7 @@ func (f *Follower) fetch(path string) ([]byte, error) {
 		return nil, err
 	}
 	defer resp.Body.Close()
-	body, err := io.ReadAll(io.LimitReader(resp.Body, 256<<20))
+	body, err := readBody(resp)
 	if err != nil {
 		return nil, err
 	}
@@ -373,7 +396,7 @@ func (f *Follower) pullOnce() error {
 		return err
 	}
 	defer resp.Body.Close()
-	body, err := io.ReadAll(io.LimitReader(resp.Body, 256<<20))
+	body, err := readBody(resp)
 	if err != nil {
 		return err
 	}

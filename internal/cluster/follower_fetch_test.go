@@ -1,0 +1,18 @@
+package cluster
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestReadBodyLimit: a replication body at the limit passes, one past
+// it fails loudly — never a silent truncation written durably.
+func TestReadBodyLimit(t *testing.T) {
+	body, err := readBodyLimit(strings.NewReader("12345678"), 8)
+	if err != nil || string(body) != "12345678" {
+		t.Fatalf("at-limit body: %q, %v", body, err)
+	}
+	if _, err := readBodyLimit(strings.NewReader("123456789"), 8); err == nil || !strings.Contains(err.Error(), "exceeds") {
+		t.Fatalf("over-limit body: got %v, want an explicit over-limit error", err)
+	}
+}

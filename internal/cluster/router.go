@@ -69,6 +69,7 @@ func (o RouterOptions) withDefaults() RouterOptions {
 type member struct {
 	name string
 	url  string
+	ord  int // ordinal in Router.members / perNode
 	c    *client.Client
 
 	// Quarantine latch, mirroring the store's per-shard quarantine:
@@ -87,6 +88,21 @@ type member struct {
 	bounds  client.Rect
 	dirty   bool
 	statErr string
+
+	// desync is the ingest-desync latch (reason; "" = in sync).  It arms
+	// when the router can no longer prove the member's trajectory
+	// numbering matches its id maps: an ingest call failed at the
+	// transport after the slice may have been durably applied, a flush
+	// failed after acknowledgement (fold outcome unknown), or a count
+	// verification caught records the router never mapped.  A desynced
+	// member keeps serving already-mapped ids (numbering is append-only,
+	// so existing translations stay correct) but receives no further
+	// routed ingest — mapping past an unknown offset would silently
+	// answer point queries with a different trajectory's data.  The latch
+	// clears when a reconcile proves the member's count equals exactly
+	// the ids the router has mapped (the ambiguous slice never applied),
+	// or when a full Sync rebuilds the maps.
+	desync string
 }
 
 func (m *member) quarantined() bool {
@@ -106,6 +122,24 @@ func (m *member) quarantine(base time.Duration) {
 func (m *member) heal() {
 	m.fails.Store(0)
 	m.retryAt.Store(0)
+}
+
+// markDesynced arms the ingest-desync latch (first reason wins: it
+// names the original ambiguity, later failures are its consequences).
+func (m *member) markDesynced(reason string) {
+	m.mu.Lock()
+	if m.desync == "" {
+		m.desync = reason
+	}
+	m.mu.Unlock()
+}
+
+// desynced returns the desync reason, or "" while the member's
+// numbering is proven consistent with the router's maps.
+func (m *member) desynced() string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.desync
 }
 
 // Router owns the cluster's global trajectory id space and serves the
@@ -161,10 +195,11 @@ func NewRouter(members []Member, opts RouterOptions) *Router {
 		stop:    make(chan struct{}),
 		done:    make(chan struct{}),
 	}
-	for _, m := range members {
+	for i, m := range members {
 		rt.members = append(rt.members, &member{
 			name: m.Name,
 			url:  m.URL,
+			ord:  i,
 			// Fail fast per call: the router's quarantine — not deep
 			// per-request retry — is the degradation mechanism.
 			c: client.New(m.URL, client.Options{HTTPClient: opts.HTTPClient, RetryAttempts: 2}),
@@ -265,7 +300,41 @@ func (rt *Router) refreshMember(ctx context.Context, m *member) error {
 	m.statErr = ""
 	m.mu.Unlock()
 	m.heal()
+	rt.reconcile(m, st)
 	return nil
+}
+
+// reconcile clears a member's ingest-desync latch when fresh stats
+// prove its numbering still matches the router's maps: nothing pending
+// (every acknowledged record has folded, so the count is final) and a
+// trajectory count equal to exactly the ids the router has mapped —
+// i.e. the ambiguous slice never applied.  A count that stays ahead
+// means the member holds records the router cannot map; the latch
+// stays armed until an operator rebuilds the maps (restart + Sync).
+// Serialized against routed ingest via ingestMu so a slice applied but
+// not yet committed is never mistaken for proof either way.
+func (rt *Router) reconcile(m *member, st client.StatsResponse) {
+	if m.desynced() == "" {
+		return
+	}
+	if st.Ingest != nil && st.Ingest.Pending > 0 {
+		return
+	}
+	if !rt.ingestMu.TryLock() {
+		return // an ingest is in flight; reconcile on the next refresh
+	}
+	defer rt.ingestMu.Unlock()
+	rt.mu.RLock()
+	mapped := 0
+	if m.ord < len(rt.perNode) {
+		mapped = len(rt.perNode[m.ord])
+	}
+	rt.mu.RUnlock()
+	if st.Trajectories == mapped {
+		m.mu.Lock()
+		m.desync = ""
+		m.mu.Unlock()
+	}
 }
 
 // RefreshStats refreshes every member's cached stats in parallel
@@ -331,6 +400,13 @@ func (rt *Router) Sync(ctx context.Context) error {
 	rt.mu.Lock()
 	rt.node, rt.local, rt.perNode = node, local, perNode
 	rt.mu.Unlock()
+	// The maps were just proven against every member's actual count, so
+	// any ingest-desync latch is stale by construction.
+	for _, m := range rt.members {
+		m.mu.Lock()
+		m.desync = ""
+		m.mu.Unlock()
+	}
 	return nil
 }
 
@@ -374,6 +450,12 @@ func errUnknownGID(gid int, detail string) *routeErr {
 func errNodeDown(m *member, err error) *routeErr {
 	return &routeErr{status: http.StatusServiceUnavailable, code: client.CodeNodeQuarantined,
 		msg: fmt.Sprintf("node %s is quarantined: %v", m.name, err), retryAfter: 2}
+}
+
+func errNodeDesynced(m *member, reason string) *routeErr {
+	return &routeErr{status: http.StatusServiceUnavailable, code: client.CodeNodeDesynced,
+		msg:        fmt.Sprintf("node %s is desynced (%s); ingest refused until a reconcile — do not blindly resubmit, records may already be durable there", m.name, reason),
+		retryAfter: 5}
 }
 
 // memberErr classifies a failed member call: a classified APIError is
@@ -534,19 +616,31 @@ func (rt *Router) rangeGlobal(ctx context.Context, req client.RangeRequest) (cli
 			out.Degraded = true
 		}
 		for _, localID := range o.res.Trajs {
-			if len(perNode) <= i || localID < 0 || localID >= len(perNode[i]) {
-				// A member answered with records the router has not
-				// mapped (out-of-band ingest); surface loudly rather
-				// than mistranslate.
+			if localID < 0 {
+				// Negative ids cannot come from a store; surface loudly
+				// rather than mistranslate.
 				return client.RangeResult{}, &routeErr{status: http.StatusInternalServerError,
 					code: client.CodeInternal,
-					msg:  fmt.Sprintf("member %s returned unmapped local id %d", rt.members[i].name, localID)}
+					msg:  fmt.Sprintf("member %s returned invalid local id %d", rt.members[i].name, localID)}
+			}
+			if len(perNode) <= i || localID >= len(perNode[i]) {
+				// The member holds records newer than this query's map
+				// snapshot: a routed ingest it has applied but the router
+				// has not committed yet (queries deliberately do not take
+				// ingestMu), or an orphan slice on a desynced member.
+				// Either way the id has no global translation here —
+				// skip it and degrade the answer to a lower bound, the
+				// same contract as a skipped node.
+				out.Degraded = true
+				continue
 			}
 			out.Trajs = append(out.Trajs, int(perNode[i][localID]))
 		}
 	}
 	if out.NodesSkipped > 0 || out.ShardsSkipped > 0 {
 		out.Degraded = true
+	}
+	if out.Degraded {
 		rt.degraded.Add(1)
 	}
 	sort.Ints(out.Trajs)
@@ -691,6 +785,10 @@ func (rt *Router) handleIngest(w http.ResponseWriter, r *http.Request) {
 			return nil
 		}
 		m := rt.members[i]
+		if reason := m.desynced(); reason != "" {
+			acks[i].err = errNodeDesynced(m, reason)
+			return nil
+		}
 		if m.quarantined() {
 			acks[i].err = errNodeDown(m, errors.New("recent failures, backing off"))
 			return nil
@@ -703,7 +801,17 @@ func (rt *Router) handleIngest(w http.ResponseWriter, r *http.Request) {
 		if err != nil {
 			var ae *client.APIError
 			if !errors.As(err, &ae) {
+				// A transport-level failure after the slice went out is
+				// ambiguous: the member may have durably acknowledged and
+				// applied every record even though we never saw the
+				// response.  Assuming "not applied" and burning holes
+				// would leave the member's numbering ahead of the maps
+				// and silently mistranslate every later ingest to it, so
+				// latch the member desynced until a count reconcile (the
+				// background refresher) proves which way it went.
 				m.quarantine(rt.opts.QuarantineBackoff)
+				m.markDesynced(fmt.Sprintf(
+					"ingest of %d records failed in transit (%v); the member may have applied the slice", len(slices[i].trajs), err))
 			}
 			acks[i].err = err
 			return nil
@@ -712,22 +820,93 @@ func (rt *Router) handleIngest(w http.ResponseWriter, r *http.Request) {
 		return nil
 	})
 
-	// Commit the assignment: acknowledged slices extend the maps; failed
-	// slices — and individual records the member's matcher dropped at
-	// fold — burn their gids as holes, so every later record keeps the
-	// exact member-local id its store actually assigned.
-	rt.mu.Lock()
-	okNode := make([]bool, len(rt.members))
-	dropSet := make([]map[int]bool, len(rt.members))
+	// Classify each ack before touching the maps: a slice is committed
+	// only when the member's flush succeeded AND its post-flush count
+	// proves the numbering still lines up with the router's maps.
+	rt.mu.RLock()
+	mappedBefore := make([]int, len(rt.members))
 	for i := range rt.members {
-		okNode[i] = len(slices[i].trajs) > 0 && acks[i].err == nil
-		if okNode[i] && len(acks[i].resp.Dropped) > 0 {
-			dropSet[i] = make(map[int]bool, len(acks[i].resp.Dropped))
-			for _, j := range acks[i].resp.Dropped {
+		if i < len(rt.perNode) {
+			mappedBefore[i] = len(rt.perNode[i])
+		}
+	}
+	rt.mu.RUnlock()
+
+	okNode := make([]bool, len(rt.members))
+	nodeErr := make([]*routeErr, len(rt.members))
+	dropSet := make([]map[int]bool, len(rt.members))
+	for i, m := range rt.members {
+		if len(slices[i].trajs) == 0 {
+			continue
+		}
+		if acks[i].err != nil {
+			if re, ok := acks[i].err.(*routeErr); ok {
+				nodeErr[i] = re
+			} else {
+				nodeErr[i] = rt.memberErr(m, acks[i].err)
+			}
+			continue
+		}
+		resp := acks[i].resp
+		if resp.FlushError != "" {
+			// Acked but not folded (202): the records are durable on the
+			// member and WILL fold later, but which of them the matcher
+			// drops is unknown — committing the mapping now would guess
+			// the member's numbering.  Latch desynced; the reconcile can
+			// only clear it if every record ends up dropped, otherwise an
+			// operator re-sync rebuilds the maps.
+			reason := fmt.Sprintf("flush failed after %d records were acknowledged (%s); fold outcome unknown", resp.Accepted, resp.FlushError)
+			m.markDesynced(reason)
+			nodeErr[i] = errNodeDesynced(m, reason)
+			continue
+		}
+		if want := mappedBefore[i] + resp.Accepted - len(resp.Dropped); resp.Trajectories != want {
+			// The member folded records the router never mapped (a lost
+			// ack that nonetheless applied, or out-of-band ingest): every
+			// local id past the map is unattributable, so refuse the
+			// commit loudly instead of mistranslating.
+			reason := fmt.Sprintf("post-flush count %d, expected %d: the member holds records the router never mapped", resp.Trajectories, want)
+			m.markDesynced(reason)
+			nodeErr[i] = errNodeDesynced(m, reason)
+			continue
+		}
+		okNode[i] = true
+		if len(resp.Dropped) > 0 {
+			dropSet[i] = make(map[int]bool, len(resp.Dropped))
+			for _, j := range resp.Dropped {
 				dropSet[i][j] = true
 			}
 		}
 	}
+
+	anyOK := false
+	var firstErr *routeErr
+	for i := range rt.members {
+		if len(slices[i].trajs) == 0 {
+			continue
+		}
+		if okNode[i] {
+			anyOK = true
+		} else if firstErr == nil {
+			firstErr = nodeErr[i]
+		}
+	}
+	if !anyOK {
+		// Nothing was accepted anywhere: leave the id space untouched so
+		// a retried batch (e.g. after backlog shedding) does not burn a
+		// fresh gid range as holes on every attempt.
+		if firstErr == nil {
+			firstErr = &routeErr{status: http.StatusInternalServerError, code: client.CodeInternal, msg: "no member accepted the batch"}
+		}
+		rt.fail(w, firstErr)
+		return
+	}
+
+	// Commit the assignment: verified slices extend the maps; failed
+	// slices — and individual records the member's matcher dropped at
+	// fold — burn their gids as holes, so every later record keeps the
+	// exact member-local id its store actually assigned.
+	rt.mu.Lock()
 	posIn := make([]int, len(rt.members))
 	var droppedGlobal []int
 	for i := range req.Trajectories {
@@ -748,58 +927,34 @@ func (rt *Router) handleIngest(w http.ResponseWriter, r *http.Request) {
 			rt.local = append(rt.local, -1)
 		}
 	}
+	total := len(rt.node)
 	rt.mu.Unlock()
 
-	out := client.IngestResponse{}
-	anyOK, allBacklog := false, true
-	var firstErr *routeErr
+	out := client.IngestResponse{FirstSeq: uint64(base), Trajectories: total, Dropped: droppedGlobal}
 	for i, m := range rt.members {
 		if len(slices[i].trajs) == 0 {
 			continue
 		}
 		n := client.NodeIngestResult{Name: m.name}
-		if acks[i].err != nil {
-			rerr := rt.memberErr(m, acks[i].err)
-			if re, ok := acks[i].err.(*routeErr); ok {
-				rerr = re
-			}
-			n.Error, n.Code = rerr.msg, rerr.code
-			if firstErr == nil {
-				firstErr = rerr
-			}
-			if rerr.code != client.CodeBacklog {
-				allBacklog = false
-			}
+		if !okNode[i] {
+			n.Error, n.Code = nodeErr[i].msg, nodeErr[i].code
 		} else {
-			anyOK = true
-			allBacklog = false
 			n.Accepted = acks[i].resp.Accepted
 			n.FirstSeq = acks[i].resp.FirstSeq
 			out.Accepted += acks[i].resp.Accepted
 			out.Pending += acks[i].resp.Pending
 			out.Generation = max(out.Generation, acks[i].resp.Generation)
-			if acks[i].resp.FlushError != "" {
-				out.FlushError = acks[i].resp.FlushError
-			}
+		}
+		// Any member that might hold new records — committed, flush
+		// pending, or ambiguous — has stale cached geometry; dirty
+		// disables bounds pruning against it until the next refresh.
+		if okNode[i] || m.desynced() != "" {
 			m.mu.Lock()
 			m.dirty = true
 			m.mu.Unlock()
 		}
 		out.Nodes = append(out.Nodes, n)
 	}
-	if !anyOK {
-		if allBacklog && firstErr != nil {
-			rt.fail(w, firstErr)
-			return
-		}
-		if firstErr == nil {
-			firstErr = &routeErr{status: http.StatusInternalServerError, code: client.CodeInternal, msg: "no member accepted the batch"}
-		}
-		rt.fail(w, firstErr)
-		return
-	}
-	out.FirstSeq = uint64(base)
-	out.Dropped = droppedGlobal
 	rt.reply(w, out)
 }
 
@@ -841,13 +996,16 @@ func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	for _, m := range rt.members {
 		nh := client.NodeHealth{Name: m.name, Status: "ok"}
 		m.mu.Lock()
-		statErr := m.statErr
+		statErr, desync := m.statErr, m.desync
 		m.mu.Unlock()
 		if m.quarantined() {
 			nh.Status, nh.Error = "quarantined", statErr
 			resp.Status = "degraded"
 		} else if statErr != "" {
 			nh.Status, nh.Error = "unreachable", statErr
+			resp.Status = "degraded"
+		} else if desync != "" {
+			nh.Status, nh.Error = "desynced", desync
 			resp.Status = "degraded"
 		}
 		resp.Nodes = append(resp.Nodes, nh)
@@ -903,7 +1061,7 @@ func (rt *Router) handleStats(w http.ResponseWriter, r *http.Request) {
 	var ingestAgg client.IngestStats
 	anyIngest := false
 	for i, m := range rt.members {
-		ns := client.NodeStats{Name: m.name, URL: m.url}
+		ns := client.NodeStats{Name: m.name, URL: m.url, Desynced: m.desynced() != ""}
 		if errs[i] != nil {
 			ns.Error = errs[i].Error()
 			ns.Quarantined = m.quarantined()

@@ -582,10 +582,13 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		resp.Generation = gen
 		// The batch has folded; report which records the matcher dropped
 		// so sequence-to-id mapping callers (the cluster router) can
-		// account for the ids that were never created.
+		// account for the ids that were never created, and the post-flush
+		// trajectory count so those callers can verify their id maps
+		// before committing an assignment.
 		for _, seq := range s.ing.DroppedIn(first, first+uint64(len(raws))) {
 			resp.Dropped = append(resp.Dropped, int(seq-first))
 		}
+		resp.Trajectories = s.st.NumTrajectories()
 	} else {
 		resp.Generation = s.st.Generation()
 	}

@@ -150,16 +150,22 @@ type IngestRequest struct {
 // acknowledged but rejected by the map matcher at fold time — they
 // consumed a WAL sequence but produced no queryable trajectory, so the
 // next accepted record's trajectory id is NOT FirstSeq-relative when the
-// list is non-empty.  Nodes is present only on routed (cluster) ingest,
-// one entry per member that received a sub-batch.
+// list is non-empty.  Trajectories (synchronous flush only) is the
+// store's post-flush trajectory count — the cluster router verifies its
+// id maps against it before committing an assignment, so a member that
+// silently holds records the router never mapped (a lost ack that
+// nonetheless applied) is detected instead of mistranslated.  Nodes is
+// present only on routed (cluster) ingest, one entry per member that
+// received a sub-batch.
 type IngestResponse struct {
-	Accepted   int                `json:"accepted"`
-	FirstSeq   uint64             `json:"firstSeq"`
-	Pending    uint64             `json:"pending"`
-	Generation uint64             `json:"generation"`
-	FlushError string             `json:"flushError,omitempty"`
-	Dropped    []int              `json:"dropped,omitempty"`
-	Nodes      []NodeIngestResult `json:"nodes,omitempty"`
+	Accepted     int                `json:"accepted"`
+	FirstSeq     uint64             `json:"firstSeq"`
+	Pending      uint64             `json:"pending"`
+	Generation   uint64             `json:"generation"`
+	Trajectories int                `json:"trajectories,omitempty"`
+	FlushError   string             `json:"flushError,omitempty"`
+	Dropped      []int              `json:"dropped,omitempty"`
+	Nodes        []NodeIngestResult `json:"nodes,omitempty"`
 }
 
 // NodeIngestResult is one member's share of a routed ingest batch.
@@ -224,7 +230,11 @@ type NodeStats struct {
 	Generation   uint64 `json:"generation"`
 	Pending      uint64 `json:"pending"`
 	Quarantined  bool   `json:"quarantined,omitempty"`
-	Error        string `json:"error,omitempty"`
+	// Desynced reports the router's ingest-desync latch (see
+	// CodeNodeDesynced): reads of mapped ids keep working, routed ingest
+	// to this member is refused until a reconcile clears it.
+	Desynced bool   `json:"desynced,omitempty"`
+	Error    string `json:"error,omitempty"`
 }
 
 // ClusterStats is the router's placement/topology section of /v1/stats.
@@ -352,6 +362,14 @@ const (
 	// CodeNodeQuarantined: the owning cluster member is unreachable and
 	// quarantined by the router; retry after backoff.
 	CodeNodeQuarantined = "node_quarantined"
+	// CodeNodeDesynced: the router cannot prove the member's trajectory
+	// numbering still matches its id maps (an ingest ack was lost, or a
+	// flush failed after acknowledgement, leaving the fold outcome
+	// unknown).  The member keeps serving already-mapped trajectories,
+	// but routed ingest to it is refused until a count reconcile (or an
+	// operator re-sync) clears the latch.  Do NOT blindly resubmit the
+	// affected slice: its records may already be durable on the member.
+	CodeNodeDesynced = "node_desynced"
 	// CodeReadOnly: the write path latched read-only after a WAL
 	// failure; reads keep working.
 	CodeReadOnly = "read_only"
