@@ -184,6 +184,10 @@ func runLoadgen(cfg loadgenConfig) error {
 	fmt.Printf("server memory: peak RSS %s, peak mapped %s, sidecars %d loaded / %d rebuilt\n",
 		fmtBytes(mem.peakRSS.Load()), fmtBytes(mem.peakMapped.Load()),
 		after.SidecarLoads, after.SidecarRebuilds)
+	sx := after.Succinct
+	fmt.Printf("succinct index: %d region blocks decoded, %d probes pruned without touch, %d temporal sections forced, %s resident\n",
+		sx.RegionBlocksDecoded, sx.RegionPrunedNoTouch, sx.TemporalSectionsForced,
+		fmtBytes(sx.SuccinctBytes))
 	if after.Ingest != nil {
 		fmt.Printf("ingest counters: %d acked, %d applied (%d pending), %d matched / %d dropped, %d compactions, generation %d\n",
 			after.Ingest.Acked, after.Ingest.Applied, after.Ingest.Pending,

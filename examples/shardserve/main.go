@@ -123,9 +123,9 @@ func main() {
 	fmt.Printf("HTTP batch: %d results, range matched %d trajectories\n",
 		len(batchResp.Results), len(batchResp.Results[1].Trajs))
 
-	// 6. /stats shows the aggregated engine counters, then drain and stop.
+	// 6. /v1/stats shows the aggregated engine counters, then drain and stop.
 	var stats server.StatsResponse
-	getJSON(base+"/stats", &stats)
+	getJSON(base+"/v1/stats", &stats)
 	fmt.Printf("stats: %d/%d shards open, %d requests, %d paths decoded\n",
 		stats.OpenShards, stats.Shards, stats.Requests, stats.Engine.PathsDecoded)
 

@@ -207,7 +207,9 @@ func NewRouter(members []Member, opts RouterOptions) *Router {
 	}
 	rt.mux.HandleFunc("GET /healthz", rt.handleHealthz)
 	rt.mux.HandleFunc("GET /v1/stats", rt.handleStats)
-	rt.mux.HandleFunc("GET /stats", rt.handleStats)
+	rt.mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
+		http.Redirect(w, r, "/v1/stats", http.StatusMovedPermanently)
+	})
 	rt.mux.HandleFunc("POST /v1/where", rt.handleWhere)
 	rt.mux.HandleFunc("POST /v1/when", rt.handleWhen)
 	rt.mux.HandleFunc("POST /v1/range", rt.handleRange)
@@ -1105,6 +1107,10 @@ func (rt *Router) handleStats(w http.ResponseWriter, r *http.Request) {
 
 		out.SidecarLoads += st.SidecarLoads
 		out.SidecarRebuilds += st.SidecarRebuilds
+		out.Succinct.RegionBlocksDecoded += st.Succinct.RegionBlocksDecoded
+		out.Succinct.RegionPrunedNoTouch += st.Succinct.RegionPrunedNoTouch
+		out.Succinct.TemporalSectionsForced += st.Succinct.TemporalSectionsForced
+		out.Succinct.SuccinctBytes += st.Succinct.SuccinctBytes
 		out.MappedBytes += st.MappedBytes
 		out.RSSBytes += st.RSSBytes
 		out.QuarantinedShards += st.QuarantinedShards

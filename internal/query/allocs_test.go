@@ -18,7 +18,9 @@ type whenWorkload struct {
 	locs []roadnet.Position
 }
 
-func buildWhenWorkload(tb testing.TB) *whenWorkload {
+// succinct selects an index decoded from a v2 sidecar instead of the
+// built one, so the assertion also covers the rank/select read path.
+func buildWhenWorkload(tb testing.TB, succinct bool) *whenWorkload {
 	tb.Helper()
 	p := gen.CD()
 	p.Network.Cols, p.Network.Rows = 24, 24
@@ -38,6 +40,16 @@ func buildWhenWorkload(tb testing.TB) *whenWorkload {
 	ix, err := stiu.Build(a, stiu.Options{GridNX: 16, GridNY: 16, IntervalDur: 1800})
 	if err != nil {
 		tb.Fatal(err)
+	}
+	if succinct {
+		enc, err := ix.EncodeSidecar(1)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		ix, err = stiu.DecodeSidecar(enc, a.Graph, len(a.Trajs), 1, stiu.Options{GridNX: 16, GridNY: 16, IntervalDur: 1800})
+		if err != nil {
+			tb.Fatal(err)
+		}
 	}
 	w := &whenWorkload{eng: NewEngine(a, ix)}
 	oracle := NewOracle(ds.Graph, ds.Trajectories)
@@ -73,25 +85,35 @@ func TestAppendWhenAllocationFree(t *testing.T) {
 	if raceEnabled {
 		t.Skip("race instrumentation allocates")
 	}
-	w := buildWhenWorkload(t)
-	buf, err := w.run(nil) // warm path/ref caches and the scratch pool
-	if err != nil {
-		t.Fatal(err)
-	}
-	allocs := testing.AllocsPerRun(20, func() {
-		var err error
-		buf, err = w.run(buf)
-		if err != nil {
-			t.Fatal(err)
-		}
-	})
-	if allocs != 0 {
-		t.Fatalf("AppendWhen allocates %.1f times per %d queries, want 0", allocs, len(w.js))
+	for _, tc := range []struct {
+		name     string
+		succinct bool
+	}{
+		{"built", false},
+		{"v2sidecar", true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			w := buildWhenWorkload(t, tc.succinct)
+			buf, err := w.run(nil) // warm path/ref caches and the scratch pool
+			if err != nil {
+				t.Fatal(err)
+			}
+			allocs := testing.AllocsPerRun(20, func() {
+				var err error
+				buf, err = w.run(buf)
+				if err != nil {
+					t.Fatal(err)
+				}
+			})
+			if allocs != 0 {
+				t.Fatalf("AppendWhen allocates %.1f times per %d queries, want 0", allocs, len(w.js))
+			}
+		})
 	}
 }
 
 func BenchmarkQueryWhen(b *testing.B) {
-	w := buildWhenWorkload(b)
+	w := buildWhenWorkload(b, false)
 	buf, err := w.run(nil)
 	if err != nil {
 		b.Fatal(err)

@@ -247,8 +247,8 @@ func NewEngineWithOptions(a *core.Archive, ix *stiu.Index, o EngineOptions) *Eng
 // re-running the binary search.  The hint is advisory — a failed
 // verification falls back to the search — so concurrent updates are safe.
 func (e *Engine) findTemporal(j int, t int64) (stiu.TemporalEntry, bool) {
-	entries := e.Ix.Temporal[j]
-	if len(entries) == 0 {
+	entries, err := e.Ix.TemporalEntries(j)
+	if err != nil || len(entries) == 0 {
 		return stiu.TemporalEntry{}, false
 	}
 	h := int(e.tempHint[j].Load())
@@ -623,7 +623,11 @@ func (e *Engine) AppendRange(dst []int, re roadnet.Rect, t int64, alpha float64)
 		}
 	}
 
-	for _, j32 := range e.Ix.CandidateTrajs(interval) {
+	cands, err := e.Ix.Candidates(interval)
+	if err != nil {
+		return dst, err
+	}
+	for _, j32 := range cands {
 		j := int(j32)
 		rec := e.Arch.Trajs[j]
 

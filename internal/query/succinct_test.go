@@ -1,0 +1,167 @@
+package query
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"utcq/internal/core"
+	"utcq/internal/gen"
+	"utcq/internal/roadnet"
+	"utcq/internal/stiu"
+)
+
+// succinctVariants builds three engines over the same archive whose StIU
+// indexes differ only in provenance: built in memory (no sidecar), decoded
+// from a v1 sidecar (eager temporal, monolithic lazy blocks), and decoded
+// from a v2 sidecar (rank/select + lazy temporal sections).
+func succinctVariants(t *testing.T, p gen.Profile, n int, seed int64) (*gen.Dataset, []struct {
+	name string
+	eng  *Engine
+}) {
+	t.Helper()
+	p.Network.Cols, p.Network.Rows = 24, 24
+	ds, err := gen.Build(p, n, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := core.NewCompressor(ds.Graph, core.DefaultOptions(p.Ts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := c.Compress(ds.Trajectories)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sopts := stiu.Options{GridNX: 16, GridNY: 16, IntervalDur: 1800}
+	built, err := stiu.Build(a, sopts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	encV1, err := built.EncodeSidecarV1(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	encV2, err := built.EncodeSidecar(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1, err := stiu.DecodeSidecar(encV1, a.Graph, len(a.Trajs), 1, sopts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := stiu.DecodeSidecar(encV2, a.Graph, len(a.Trajs), 1, sopts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds, []struct {
+		name string
+		eng  *Engine
+	}{
+		{"built", NewEngine(a, built)},
+		{"v1", NewEngine(a, v1)},
+		{"v2", NewEngine(a, v2)},
+	}
+}
+
+// TestSuccinctPruningEquivalence pins succinct pruning ≡ materialized
+// pruning on all three synthetic road networks: the same query workload
+// must return identical results from a built index, a v1-sidecar index
+// and a v2-sidecar index — and take identical pruning decisions, observed
+// through the TrajsPruned / InstancesSkipped counters.
+func TestSuccinctPruningEquivalence(t *testing.T) {
+	profiles := []struct {
+		name string
+		p    gen.Profile
+		seed int64
+	}{
+		{"DK", gen.DK(), 31},
+		{"CD", gen.CD(), 32},
+		{"HZ", gen.HZ(), 33},
+	}
+	for _, pr := range profiles {
+		t.Run(pr.name, func(t *testing.T) {
+			ds, variants := succinctVariants(t, pr.p, 25, pr.seed)
+			oracle := NewOracle(ds.Graph, ds.Trajectories)
+			rng := rand.New(rand.NewSource(pr.seed * 7))
+			bounds := ds.Graph.Bounds()
+
+			for trial := 0; trial < 80; trial++ {
+				j := rng.Intn(len(ds.Trajectories))
+				T := ds.Trajectories[j].T
+				tq := T[0] + rng.Int63n(T[len(T)-1]-T[0]+1)
+				alpha := rng.Float64() * 0.6
+
+				// Where: identical instance sets and positions.
+				base, err := variants[0].eng.Where(j, tq, alpha)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, v := range variants[1:] {
+					got, err := v.eng.Where(j, tq, alpha)
+					if err != nil {
+						t.Fatalf("%s Where: %v", v.name, err)
+					}
+					if !reflect.DeepEqual(base, got) {
+						t.Fatalf("%s Where(%d, %d, %g) diverged", v.name, j, tq, alpha)
+					}
+				}
+
+				// When: a location the trajectory actually visits.
+				inst := rng.Intn(len(ds.Trajectories[j].Instances))
+				pi, err := oracle.path(j, inst)
+				if err != nil {
+					t.Fatal(err)
+				}
+				edge := pi.Edges[rng.Intn(len(pi.Edges))]
+				loc := ds.Graph.PositionAtRD(edge, rng.Float64())
+				baseWhen, err := variants[0].eng.When(j, loc, alpha)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, v := range variants[1:] {
+					got, err := v.eng.When(j, loc, alpha)
+					if err != nil {
+						t.Fatalf("%s When: %v", v.name, err)
+					}
+					if !reflect.DeepEqual(baseWhen, got) {
+						t.Fatalf("%s When(%d, %g) diverged", v.name, j, alpha)
+					}
+				}
+
+				// Range: random window, shared across variants.
+				w := (bounds.MaxX - bounds.MinX) * 0.15
+				x := bounds.MinX + rng.Float64()*(bounds.MaxX-bounds.MinX-w)
+				y := bounds.MinY + rng.Float64()*(bounds.MaxY-bounds.MinY-w)
+				re := roadnet.Rect{MinX: x, MinY: y, MaxX: x + w, MaxY: y + w}
+				baseRange, err := variants[0].eng.Range(re, tq, alpha)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, v := range variants[1:] {
+					got, err := v.eng.Range(re, tq, alpha)
+					if err != nil {
+						t.Fatalf("%s Range: %v", v.name, err)
+					}
+					if !reflect.DeepEqual(baseRange, got) {
+						t.Fatalf("%s Range(%+v, %d, %g) diverged", v.name, re, tq, alpha)
+					}
+				}
+			}
+
+			// Identical answers must come from identical pruning decisions,
+			// not compensating errors.
+			base := variants[0].eng.Stats()
+			if base.TrajsPruned == 0 {
+				t.Error("pruning never fired across the workload")
+			}
+			for _, v := range variants[1:] {
+				st := v.eng.Stats()
+				if st.TrajsPruned != base.TrajsPruned || st.InstancesSkipped != base.InstancesSkipped {
+					t.Fatalf("%s pruning counters (pruned=%d skipped=%d) != built (pruned=%d skipped=%d)",
+						v.name, st.TrajsPruned, st.InstancesSkipped, base.TrajsPruned, base.InstancesSkipped)
+				}
+			}
+		})
+	}
+}

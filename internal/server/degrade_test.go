@@ -59,7 +59,7 @@ func getJSON(t *testing.T, ts *httptest.Server, path string, out any) {
 // TestShardQuarantineServesDegraded breaks every shard archive on disk
 // and asserts the contract from the issue: point queries answer 503 (not
 // a 500 per request retrying the broken open), scatter queries keep
-// answering with a degraded flag, and /healthz + /stats surface the
+// answering with a degraded flag, and /healthz + /v1/stats surface the
 // quarantine.
 func TestShardQuarantineServesDegraded(t *testing.T) {
 	p := gen.CD()
@@ -143,7 +143,7 @@ func TestShardQuarantineServesDegraded(t *testing.T) {
 		t.Fatalf("healthz should report the quarantine: %+v", health)
 	}
 	var stats StatsResponse
-	getJSON(t, ts, "/stats", &stats)
+	getJSON(t, ts, "/v1/stats", &stats)
 	if stats.QuarantinedShards == 0 || stats.ShardOpenFailures == 0 {
 		t.Fatalf("stats should count quarantined shards and open failures: %+v", stats)
 	}
@@ -223,7 +223,7 @@ func TestIngestAdmissionBoundedQueue(t *testing.T) {
 		t.Fatal("429 should carry Retry-After")
 	}
 	var stats StatsResponse
-	getJSON(t, ts, "/stats", &stats)
+	getJSON(t, ts, "/v1/stats", &stats)
 	if stats.Rejected != 1 {
 		t.Fatalf("rejected counter = %d, want 1", stats.Rejected)
 	}
@@ -234,7 +234,7 @@ func TestIngestAdmissionBoundedQueue(t *testing.T) {
 
 // TestWALFaultTripsReadOnlyOverHTTP drives the read-only latch end to
 // end: an injected WAL sync failure turns later ingestion into 503s with
-// Retry-After while queries keep answering, and /healthz + /stats report
+// Retry-After while queries keep answering, and /healthz + /v1/stats report
 // the degraded write path.
 func TestWALFaultTripsReadOnlyOverHTTP(t *testing.T) {
 	ts, inj, raws := degradeIngestFixture(t, Options{})
@@ -270,7 +270,7 @@ func TestWALFaultTripsReadOnlyOverHTTP(t *testing.T) {
 		t.Fatalf("healthz should report read-only mode: %+v", health)
 	}
 	var stats StatsResponse
-	getJSON(t, ts, "/stats", &stats)
+	getJSON(t, ts, "/v1/stats", &stats)
 	if stats.Ingest == nil || !stats.Ingest.ReadOnly {
 		t.Fatalf("stats should report read-only mode: %+v", stats.Ingest)
 	}

@@ -126,7 +126,7 @@ func TestIngestEndpoint(t *testing.T) {
 
 	// Stats reflect ingestion.
 	var sr StatsResponse
-	f.get(t, "/stats", &sr)
+	f.get(t, "/v1/stats", &sr)
 	if sr.Ingest == nil {
 		t.Fatal("stats missing ingest section")
 	}
@@ -143,7 +143,7 @@ func TestIngestEndpoint(t *testing.T) {
 	if cr.Folded == 0 {
 		t.Fatal("compaction folded nothing")
 	}
-	f.get(t, "/stats", &sr)
+	f.get(t, "/v1/stats", &sr)
 	if sr.DeltaShards != 0 || sr.Tombstones == 0 {
 		t.Fatalf("after compact: deltas %d tombstones %d", sr.DeltaShards, sr.Tombstones)
 	}
@@ -160,7 +160,7 @@ func TestIngestEndpoint(t *testing.T) {
 		{X: 1, Y: 2, T: 30}, {X: 2, Y: 3, T: 30}, // non-increasing timestamps
 	}})}
 	f.post(t, "/v1/ingest", mixed, http.StatusBadRequest, &errResp)
-	f.get(t, "/stats", &sr)
+	f.get(t, "/v1/stats", &sr)
 	if sr.Ingest.Acked != ackedBefore {
 		t.Fatalf("rejected batches acknowledged records: %d -> %d", ackedBefore, sr.Ingest.Acked)
 	}

@@ -123,9 +123,9 @@ func New(st *store.Store, opts Options) *Server {
 	s := &Server{st: st, ing: opts.Ingester, opts: opts, mux: http.NewServeMux(), started: time.Now()}
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
-	// Deprecated alias: /stats predates the versioned prefix.  Kept for
-	// old scrapers; new clients (pkg/client) use /v1/stats.
-	s.mux.HandleFunc("GET /stats", s.handleStats)
+	// Deprecated alias: /stats predates the versioned prefix.  Old
+	// scrapers get a permanent redirect; new clients use /v1/stats.
+	s.mux.HandleFunc("GET /stats", redirectStats)
 	s.mux.HandleFunc("POST /v1/where", s.handleWhere)
 	s.mux.HandleFunc("POST /v1/when", s.handleWhen)
 	s.mux.HandleFunc("POST /v1/range", s.handleRange)
@@ -636,6 +636,11 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s.reply(w, resp)
 }
 
+// redirectStats 301s the pre-versioning /stats alias to /v1/stats.
+func redirectStats(w http.ResponseWriter, r *http.Request) {
+	http.Redirect(w, r, "/v1/stats", http.StatusMovedPermanently)
+}
+
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	st := s.st.Stats()
 	b := s.st.Bounds()
@@ -655,6 +660,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Bounds:            RectJSON{MinX: b.MinX, MinY: b.MinY, MaxX: b.MaxX, MaxY: b.MaxY},
 		DataBounds:        RectJSON{MinX: db.MinX, MinY: db.MinY, MaxX: db.MaxX, MaxY: db.MaxY},
 		Engine:            client.EngineStats(st.Engine),
+		Succinct:          client.SuccinctStats(st.Succinct),
 		SidecarLoads:      st.SidecarLoads,
 		SidecarRebuilds:   st.SidecarRebuilds,
 		MappedBytes:       st.MappedBytes,

@@ -266,7 +266,7 @@ func TestStatsEndpoint(t *testing.T) {
 	// Issue one query so counters move.
 	f.post(t, "/v1/where", WhereRequest{Traj: 0, T: f.midTime(0), Alpha: 0.1}, http.StatusOK, nil)
 
-	resp, err := http.Get(f.ts.URL + "/stats")
+	resp, err := http.Get(f.ts.URL + "/v1/stats")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -286,6 +286,27 @@ func TestStatsEndpoint(t *testing.T) {
 	}
 	if sr.TimeMin <= 0 || sr.TimeMax < sr.TimeMin {
 		t.Fatalf("time span (%d, %d)", sr.TimeMin, sr.TimeMax)
+	}
+}
+
+// TestStatsAliasRedirects pins the deprecated bare /stats alias to a
+// permanent redirect at /v1/stats (old scrapers keep working; the
+// versioned path is the API).
+func TestStatsAliasRedirects(t *testing.T) {
+	f := newFixture(t)
+	c := &http.Client{CheckRedirect: func(*http.Request, []*http.Request) error {
+		return http.ErrUseLastResponse
+	}}
+	resp, err := c.Get(f.ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusMovedPermanently {
+		t.Fatalf("GET /stats = %d, want 301", resp.StatusCode)
+	}
+	if loc := resp.Header.Get("Location"); loc != "/v1/stats" {
+		t.Fatalf("Location = %q, want /v1/stats", loc)
 	}
 }
 

@@ -1,0 +1,74 @@
+package stiu
+
+import (
+	"testing"
+
+	"utcq/internal/core"
+	"utcq/internal/gen"
+	"utcq/internal/roadnet"
+)
+
+// FuzzSidecarDecode throws arbitrary bytes at the sidecar decoder —
+// seeded with real v1 and v2 encodings so mutations explore the rank
+// directories, offset tables and lazy temporal sections rather than dying
+// at the header.  Whatever decodes must also survive full materialization
+// and the lazy point accessors without panicking; errors are fine.
+func FuzzSidecarDecode(f *testing.F) {
+	opts := Options{GridNX: 8, GridNY: 8, IntervalDur: 1800}
+	p := gen.CD()
+	p.Network.Cols, p.Network.Rows = 12, 12
+	ds, err := gen.Build(p, 12, 7)
+	if err != nil {
+		f.Fatal(err)
+	}
+	c, err := core.NewCompressor(ds.Graph, core.DefaultOptions(p.Ts))
+	if err != nil {
+		f.Fatal(err)
+	}
+	a, err := c.Compress(ds.Trajectories)
+	if err != nil {
+		f.Fatal(err)
+	}
+	ix, err := Build(a, opts)
+	if err != nil {
+		f.Fatal(err)
+	}
+	const archiveSize = 7
+	v2, err := ix.EncodeSidecar(archiveSize)
+	if err != nil {
+		f.Fatal(err)
+	}
+	v1, err := ix.EncodeSidecarV1(archiveSize)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(v2)
+	f.Add(v1)
+	f.Add(v2[:len(v2)/2])
+	f.Add([]byte("UTCI"))
+
+	numTrajs := len(a.Trajs)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dec, err := DecodeSidecar(data, a.Graph, numTrajs, archiveSize, opts)
+		if err != nil {
+			return
+		}
+		// Lazy accessors on hostile layouts: bounds failures must surface
+		// as errors, never as panics or out-of-range ranks.
+		for j := 0; j < numTrajs; j++ {
+			_, _ = dec.TemporalEntries(j)
+		}
+		for id := range dec.Intervals {
+			_, _ = dec.Candidates(id)
+			for re := 0; re < opts.GridNX*opts.GridNY; re += 5 {
+				_, _ = dec.Buckets(id, roadnet.RegionID(re))
+			}
+		}
+		for j := 0; j < numTrajs; j++ {
+			for re := 0; re < opts.GridNX*opts.GridNY; re += 7 {
+				_, _ = dec.TrajRegion(j, roadnet.RegionID(re))
+			}
+		}
+		_ = dec.Materialize()
+	})
+}

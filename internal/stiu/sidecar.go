@@ -28,18 +28,19 @@ import (
 )
 
 const (
-	sidecarMagic   = "UTCI"
-	sidecarVersion = 1
-	sidecarHdrLen  = 35
+	sidecarMagic     = "UTCI"
+	sidecarVersion   = 2
+	sidecarVersionV1 = 1
+	sidecarHdrLen    = 35
 )
 
 // ErrSidecarMismatch reports a sidecar that is well-formed but was written
 // for a different archive or index geometry.
 var ErrSidecarMismatch = fmt.Errorf("stiu: sidecar does not match archive")
 
-// EncodeSidecar serializes the index for an archive of archiveSize bytes.
-// An index decoded from a sidecar for the same archive size returns its
-// original buffer unchanged.
+// EncodeSidecar serializes the index for an archive of archiveSize bytes
+// in the current (v2) layout.  An index decoded from a sidecar — v1 or
+// v2 — for the same archive size returns its original buffer unchanged.
 func (ix *Index) EncodeSidecar(archiveSize int64) ([]byte, error) {
 	if ix.raw != nil {
 		if sz, ok := sidecarArchiveSize(ix.raw); ok && sz == archiveSize {
@@ -49,39 +50,68 @@ func (ix *Index) EncodeSidecar(archiveSize int64) ([]byte, error) {
 	if err := ix.Materialize(); err != nil {
 		return nil, err
 	}
+	return ix.encodeSidecarV2(archiveSize)
+}
 
-	buf := make([]byte, 0, 1<<16)
+// appendSidecarHeader emits the 35-byte header shared by both versions.
+func (ix *Index) appendSidecarHeader(buf []byte, version uint16, archiveSize int64) []byte {
 	buf = append(buf, sidecarMagic...)
-	buf = binary.LittleEndian.AppendUint16(buf, sidecarVersion)
+	buf = binary.LittleEndian.AppendUint16(buf, version)
 	buf = append(buf, 0) // flags
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(ix.Opts.GridNX))
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(ix.Opts.GridNY))
 	buf = binary.LittleEndian.AppendUint64(buf, uint64(ix.Opts.IntervalDur))
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(ix.Temporal)))
 	buf = binary.LittleEndian.AppendUint64(buf, uint64(archiveSize))
+	return buf
+}
 
-	// Temporal section.
-	for _, entries := range ix.Temporal {
-		buf = binary.AppendUvarint(buf, uint64(len(entries)))
-		prev := int64(0)
-		for i, e := range entries {
-			if i == 0 {
-				buf = binary.AppendVarint(buf, e.Start)
-			} else {
-				buf = binary.AppendUvarint(buf, uint64(e.Start-prev))
-			}
-			prev = e.Start
-			buf = binary.AppendVarint(buf, int64(e.No))
-			buf = binary.AppendVarint(buf, int64(e.Pos))
+// appendTemporalEntries emits one trajectory's temporal section: a
+// uvarint count, then (delta-coded start, no, pos) per entry.
+func appendTemporalEntries(buf []byte, entries []TemporalEntry) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(entries)))
+	prev := int64(0)
+	for i, e := range entries {
+		if i == 0 {
+			buf = binary.AppendVarint(buf, e.Start)
+		} else {
+			buf = binary.AppendUvarint(buf, uint64(e.Start-prev))
 		}
+		prev = e.Start
+		buf = binary.AppendVarint(buf, int64(e.No))
+		buf = binary.AppendVarint(buf, int64(e.Pos))
 	}
+	return buf
+}
 
-	// Interval section, ascending id order.
+// sortedIntervalIDs returns the interval ids in ascending order, the
+// deterministic emission order of both encoders.
+func (ix *Index) sortedIntervalIDs() []int {
 	ids := make([]int, 0, len(ix.Intervals))
 	for id := range ix.Intervals {
 		ids = append(ids, id)
 	}
 	sort.Ints(ids)
+	return ids
+}
+
+// EncodeSidecarV1 serializes the index in the legacy v1 layout (eager
+// temporal section, per-interval monolithic region blocks).  Kept so the
+// compatibility tests can mint v1 sidecars; the write path uses v2.
+func (ix *Index) EncodeSidecarV1(archiveSize int64) ([]byte, error) {
+	if err := ix.Materialize(); err != nil {
+		return nil, err
+	}
+	buf := make([]byte, 0, 1<<16)
+	buf = ix.appendSidecarHeader(buf, sidecarVersionV1, archiveSize)
+
+	// Temporal section.
+	for _, entries := range ix.Temporal {
+		buf = appendTemporalEntries(buf, entries)
+	}
+
+	// Interval section, ascending id order.
+	ids := ix.sortedIntervalIDs()
 	buf = binary.AppendUvarint(buf, uint64(len(ids)))
 	prevID := 0
 	for i, id := range ids {
@@ -115,10 +145,11 @@ func sidecarArchiveSize(data []byte) (int64, bool) {
 	return int64(binary.LittleEndian.Uint64(data[27:35])), true
 }
 
-// DecodeSidecar rebuilds an index from sidecar bytes.  The buffer may be a
-// read-only memory mapping; decoded structures alias it, so it must stay
-// valid for the index's lifetime.  Any mismatch with the expected geometry
-// or archive returns an error — callers fall back to Build.
+// DecodeSidecar rebuilds an index from sidecar bytes (v1 or v2).  The
+// buffer may be a read-only memory mapping; decoded structures alias it,
+// so it must stay valid for the index's lifetime.  Any mismatch with the
+// expected geometry or archive returns an error — callers fall back to
+// Build.
 func DecodeSidecar(data []byte, g *roadnet.Graph, numTrajs int, archiveSize int64, opts Options) (*Index, error) {
 	if len(data) < sidecarHdrLen {
 		return nil, fmt.Errorf("stiu: sidecar too short (%d bytes)", len(data))
@@ -126,8 +157,9 @@ func DecodeSidecar(data []byte, g *roadnet.Graph, numTrajs int, archiveSize int6
 	if string(data[:4]) != sidecarMagic {
 		return nil, fmt.Errorf("stiu: bad sidecar magic %q", data[:4])
 	}
-	if v := binary.LittleEndian.Uint16(data[4:6]); v != sidecarVersion {
-		return nil, fmt.Errorf("stiu: unsupported sidecar version %d", v)
+	version := binary.LittleEndian.Uint16(data[4:6])
+	if version != sidecarVersionV1 && version != sidecarVersion {
+		return nil, fmt.Errorf("stiu: unsupported sidecar version %d", version)
 	}
 	if data[6] != 0 {
 		return nil, fmt.Errorf("stiu: unsupported sidecar flags %#x", data[6])
@@ -144,75 +176,114 @@ func DecodeSidecar(data []byte, g *roadnet.Graph, numTrajs int, archiveSize int6
 			opts.GridNX, opts.GridNY, opts.IntervalDur, numTrajs, archiveSize)
 	}
 
-	r := &sidecarReader{data: data, off: sidecarHdrLen}
 	ix := &Index{
 		Opts:         opts,
 		Grid:         roadnet.NewGrid(g, opts.GridNX, opts.GridNY),
 		Temporal:     make([][]TemporalEntry, numTrajs),
 		Intervals:    make(map[int]*Interval),
 		byTrajRegion: make([]map[roadnet.RegionID]*RegionBucket, numTrajs),
-		lazyTR:       make([]lazyBlock, numTrajs),
 		raw:          data,
 	}
+	r := &sidecarReader{data: data, off: sidecarHdrLen}
+	if version == sidecarVersionV1 {
+		return decodeSidecarV1(r, ix, numTrajs)
+	}
+	return decodeSidecarV2(r, ix, numTrajs)
+}
+
+// decodeTemporalEntries reads one trajectory's temporal section (count +
+// delta-coded entries), the format shared by v1 and v2.
+func decodeTemporalEntries(r *sidecarReader) ([]TemporalEntry, error) {
+	n, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(r.remaining()) {
+		return nil, fmt.Errorf("count %d overflows buffer", n)
+	}
+	entries := make([]TemporalEntry, n)
+	prev := int64(0)
+	for i := range entries {
+		var start int64
+		if i == 0 {
+			start, err = r.varint()
+		} else {
+			var d uint64
+			d, err = r.uvarint()
+			start = prev + int64(d)
+		}
+		if err == nil {
+			prev = start
+			var no, pos int64
+			no, err = r.varint()
+			if err == nil {
+				pos, err = r.varint()
+			}
+			entries[i] = TemporalEntry{Start: start, No: int32(no), Pos: int32(pos)}
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	return entries, nil
+}
+
+// intervalCount reads the interval-section count with an overflow guard.
+func (r *sidecarReader) intervalCount() (int, error) {
+	n, err := r.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	if n > uint64(r.remaining()) {
+		return 0, fmt.Errorf("count %d overflows buffer", n)
+	}
+	return int(n), nil
+}
+
+// intervalID decodes the next id of the interleaved ascending interval-id
+// stream: a varint for the first interval, uvarint deltas after.
+func (r *sidecarReader) intervalID(first bool, prev *int64) (int, error) {
+	var id int64
+	var err error
+	if first {
+		id, err = r.varint()
+	} else {
+		var d uint64
+		d, err = r.uvarint()
+		id = *prev + int64(d)
+	}
+	if err != nil {
+		return 0, err
+	}
+	*prev = id
+	return int(id), nil
+}
+
+// decodeSidecarV1 parses the legacy layout: eager temporal entries and
+// per-interval EF candidate sets, monolithic lazy region blocks.
+func decodeSidecarV1(r *sidecarReader, ix *Index, numTrajs int) (*Index, error) {
+	ix.lazyTR = make([]lazyBlock, numTrajs)
 
 	// Temporal section.
 	for j := 0; j < numTrajs; j++ {
-		n, err := r.uvarint()
+		entries, err := decodeTemporalEntries(r)
 		if err != nil {
 			return nil, fmt.Errorf("stiu: sidecar temporal[%d]: %w", j, err)
-		}
-		if n > uint64(r.remaining()) {
-			return nil, fmt.Errorf("stiu: sidecar temporal[%d]: count %d overflows buffer", j, n)
-		}
-		entries := make([]TemporalEntry, n)
-		prev := int64(0)
-		for i := range entries {
-			var start int64
-			if i == 0 {
-				start, err = r.varint()
-			} else {
-				var d uint64
-				d, err = r.uvarint()
-				start = prev + int64(d)
-			}
-			if err == nil {
-				prev = start
-				var no, pos int64
-				no, err = r.varint()
-				if err == nil {
-					pos, err = r.varint()
-				}
-				entries[i] = TemporalEntry{Start: start, No: int32(no), Pos: int32(pos)}
-			}
-			if err != nil {
-				return nil, fmt.Errorf("stiu: sidecar temporal[%d]: %w", j, err)
-			}
 		}
 		ix.Temporal[j] = entries
 	}
 
 	// Interval section.
-	nIv, err := r.uvarint()
+	nIv, err := r.intervalCount()
 	if err != nil {
 		return nil, fmt.Errorf("stiu: sidecar intervals: %w", err)
 	}
-	if nIv > uint64(r.remaining()) {
-		return nil, fmt.Errorf("stiu: sidecar intervals: count %d overflows buffer", nIv)
-	}
 	prevID := int64(0)
-	for i := uint64(0); i < nIv; i++ {
-		var id int64
-		if i == 0 {
-			id, err = r.varint()
-		} else {
-			var d uint64
-			d, err = r.uvarint()
-			id = prevID + int64(d)
-		}
+	for i := 0; i < nIv; i++ {
+		id, err := r.intervalID(i == 0, &prevID)
 		if err != nil {
-			return nil, fmt.Errorf("stiu: sidecar interval ids: %w", err)
+			return nil, fmt.Errorf("stiu: sidecar intervals: %w", err)
 		}
-		prevID = id
 		trajs, err := r.efSet(numTrajs)
 		if err != nil {
 			return nil, fmt.Errorf("stiu: sidecar interval %d trajs: %w", id, err)
@@ -223,7 +294,7 @@ func DecodeSidecar(data []byte, g *roadnet.Graph, numTrajs int, archiveSize int6
 		}
 		iv := &Interval{Trajs: trajs}
 		iv.lazy.data = block
-		ix.Intervals[int(id)] = iv
+		ix.Intervals[id] = iv
 	}
 
 	// Trajectory-region section.
@@ -240,8 +311,17 @@ func DecodeSidecar(data []byte, g *roadnet.Graph, numTrajs int, archiveSize int6
 	return ix, nil
 }
 
-// Materialize decodes every lazy block.  Built indexes are no-ops.
+// Materialize decodes every lazy block and temporal section.  Built
+// indexes are no-ops.
 func (ix *Index) Materialize() error {
+	for j := range ix.Temporal {
+		if _, err := ix.TemporalEntries(j); err != nil {
+			return err
+		}
+	}
+	if ix.succinct {
+		return ix.materializeV2()
+	}
 	for id, iv := range ix.Intervals {
 		if err := iv.force(); err != nil {
 			return fmt.Errorf("stiu: interval %d: %w", id, err)
@@ -272,28 +352,47 @@ func encodeRegionBlock(m map[roadnet.RegionID]*RegionBucket) []byte {
 			buf = binary.AppendUvarint(buf, uint64(int64(id)-prev))
 		}
 		prev = int64(id)
-		b := m[id]
-		buf = binary.AppendUvarint(buf, uint64(len(b.Refs)))
-		for _, rt := range b.Refs {
-			buf = binary.AppendVarint(buf, int64(rt.Traj))
-			buf = binary.AppendVarint(buf, int64(rt.Orig))
-			buf = binary.AppendVarint(buf, int64(rt.FV))
-			buf = binary.AppendVarint(buf, int64(rt.FVNo))
-			buf = binary.AppendVarint(buf, int64(rt.DPos))
-			buf = binary.LittleEndian.AppendUint32(buf, math.Float32bits(rt.PTotal))
-			buf = binary.LittleEndian.AppendUint32(buf, math.Float32bits(rt.PMax))
-		}
-		buf = binary.AppendUvarint(buf, uint64(len(b.NonRefs)))
-		for _, nt := range b.NonRefs {
-			buf = binary.AppendVarint(buf, int64(nt.Traj))
-			buf = binary.AppendVarint(buf, int64(nt.Orig))
-			buf = binary.AppendVarint(buf, int64(nt.RefOrig))
-			buf = binary.AppendVarint(buf, int64(nt.RV))
-			buf = binary.AppendVarint(buf, int64(nt.RVNo))
-			buf = binary.AppendVarint(buf, int64(nt.MaPos))
-		}
+		buf = appendBucket(buf, m[id])
 	}
 	return buf
+}
+
+// appendBucket emits one region bucket (refs then non-refs), the unit the
+// v2 layout addresses individually through its offset tables.
+func appendBucket(buf []byte, b *RegionBucket) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(b.Refs)))
+	for _, rt := range b.Refs {
+		buf = binary.AppendVarint(buf, int64(rt.Traj))
+		buf = binary.AppendVarint(buf, int64(rt.Orig))
+		buf = binary.AppendVarint(buf, int64(rt.FV))
+		buf = binary.AppendVarint(buf, int64(rt.FVNo))
+		buf = binary.AppendVarint(buf, int64(rt.DPos))
+		buf = binary.LittleEndian.AppendUint32(buf, math.Float32bits(rt.PTotal))
+		buf = binary.LittleEndian.AppendUint32(buf, math.Float32bits(rt.PMax))
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(b.NonRefs)))
+	for _, nt := range b.NonRefs {
+		buf = binary.AppendVarint(buf, int64(nt.Traj))
+		buf = binary.AppendVarint(buf, int64(nt.Orig))
+		buf = binary.AppendVarint(buf, int64(nt.RefOrig))
+		buf = binary.AppendVarint(buf, int64(nt.RV))
+		buf = binary.AppendVarint(buf, int64(nt.RVNo))
+		buf = binary.AppendVarint(buf, int64(nt.MaPos))
+	}
+	return buf
+}
+
+// decodeBucket decodes one region bucket from exactly data.
+func decodeBucket(data []byte) (*RegionBucket, error) {
+	r := &sidecarReader{data: data}
+	b, err := r.bucket()
+	if err != nil {
+		return nil, err
+	}
+	if r.remaining() != 0 {
+		return nil, fmt.Errorf("bucket has %d trailing bytes", r.remaining())
+	}
+	return b, nil
 }
 
 func decodeRegionBlock(data []byte) (map[roadnet.RegionID]*RegionBucket, error) {
@@ -320,72 +419,9 @@ func decodeRegionBlock(data []byte) (map[roadnet.RegionID]*RegionBucket, error) 
 			return nil, err
 		}
 		prev = id
-		b := &RegionBucket{}
-		nr, err := r.uvarint()
+		b, err := r.bucket()
 		if err != nil {
 			return nil, err
-		}
-		if nr > uint64(r.remaining()) {
-			return nil, fmt.Errorf("ref count %d overflows block", nr)
-		}
-		if nr > 0 {
-			b.Refs = make([]RefTuple, nr)
-		}
-		for k := range b.Refs {
-			var traj, orig, fv, fvNo, dPos int64
-			var pt, pm uint32
-			if traj, err = r.varint(); err == nil {
-				if orig, err = r.varint(); err == nil {
-					if fv, err = r.varint(); err == nil {
-						if fvNo, err = r.varint(); err == nil {
-							if dPos, err = r.varint(); err == nil {
-								if pt, err = r.u32(); err == nil {
-									pm, err = r.u32()
-								}
-							}
-						}
-					}
-				}
-			}
-			if err != nil {
-				return nil, err
-			}
-			b.Refs[k] = RefTuple{
-				Traj: int32(traj), Orig: int32(orig),
-				FV: roadnet.VertexID(fv), FVNo: int32(fvNo), DPos: int32(dPos),
-				PTotal: math.Float32frombits(pt), PMax: math.Float32frombits(pm),
-			}
-		}
-		nn, err := r.uvarint()
-		if err != nil {
-			return nil, err
-		}
-		if nn > uint64(r.remaining()) {
-			return nil, fmt.Errorf("nonref count %d overflows block", nn)
-		}
-		if nn > 0 {
-			b.NonRefs = make([]NonRefTuple, nn)
-		}
-		for k := range b.NonRefs {
-			var traj, orig, refOrig, rv, rvNo, maPos int64
-			if traj, err = r.varint(); err == nil {
-				if orig, err = r.varint(); err == nil {
-					if refOrig, err = r.varint(); err == nil {
-						if rv, err = r.varint(); err == nil {
-							if rvNo, err = r.varint(); err == nil {
-								maPos, err = r.varint()
-							}
-						}
-					}
-				}
-			}
-			if err != nil {
-				return nil, err
-			}
-			b.NonRefs[k] = NonRefTuple{
-				Traj: int32(traj), Orig: int32(orig), RefOrig: int32(refOrig),
-				RV: roadnet.VertexID(rv), RVNo: int32(rvNo), MaPos: int32(maPos),
-			}
 		}
 		m[roadnet.RegionID(id)] = b
 	}
@@ -393,6 +429,78 @@ func decodeRegionBlock(data []byte) (map[roadnet.RegionID]*RegionBucket, error) 
 		return nil, fmt.Errorf("region block has %d trailing bytes", r.remaining())
 	}
 	return m, nil
+}
+
+// bucket decodes one region bucket at the reader's position.
+func (r *sidecarReader) bucket() (*RegionBucket, error) {
+	b := &RegionBucket{}
+	nr, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if nr > uint64(r.remaining()) {
+		return nil, fmt.Errorf("ref count %d overflows block", nr)
+	}
+	if nr > 0 {
+		b.Refs = make([]RefTuple, nr)
+	}
+	for k := range b.Refs {
+		var traj, orig, fv, fvNo, dPos int64
+		var pt, pm uint32
+		if traj, err = r.varint(); err == nil {
+			if orig, err = r.varint(); err == nil {
+				if fv, err = r.varint(); err == nil {
+					if fvNo, err = r.varint(); err == nil {
+						if dPos, err = r.varint(); err == nil {
+							if pt, err = r.u32(); err == nil {
+								pm, err = r.u32()
+							}
+						}
+					}
+				}
+			}
+		}
+		if err != nil {
+			return nil, err
+		}
+		b.Refs[k] = RefTuple{
+			Traj: int32(traj), Orig: int32(orig),
+			FV: roadnet.VertexID(fv), FVNo: int32(fvNo), DPos: int32(dPos),
+			PTotal: math.Float32frombits(pt), PMax: math.Float32frombits(pm),
+		}
+	}
+	nn, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if nn > uint64(r.remaining()) {
+		return nil, fmt.Errorf("nonref count %d overflows block", nn)
+	}
+	if nn > 0 {
+		b.NonRefs = make([]NonRefTuple, nn)
+	}
+	for k := range b.NonRefs {
+		var traj, orig, refOrig, rv, rvNo, maPos int64
+		if traj, err = r.varint(); err == nil {
+			if orig, err = r.varint(); err == nil {
+				if refOrig, err = r.varint(); err == nil {
+					if rv, err = r.varint(); err == nil {
+						if rvNo, err = r.varint(); err == nil {
+							maPos, err = r.varint()
+						}
+					}
+				}
+			}
+		}
+		if err != nil {
+			return nil, err
+		}
+		b.NonRefs[k] = NonRefTuple{
+			Traj: int32(traj), Orig: int32(orig), RefOrig: int32(refOrig),
+			RV: roadnet.VertexID(rv), RVNo: int32(rvNo), MaPos: int32(maPos),
+		}
+	}
+	return b, nil
 }
 
 // --- Elias–Fano sorted-set codec ---
@@ -513,6 +621,35 @@ func (r *sidecarReader) u32() (uint32, error) {
 	v := binary.LittleEndian.Uint32(r.data[r.off:])
 	r.off += 4
 	return v, nil
+}
+
+// take returns the next n bytes as a capacity-clamped subslice.
+func (r *sidecarReader) take(n int) ([]byte, error) {
+	if n < 0 || r.remaining() < n {
+		return nil, fmt.Errorf("block of %d bytes overflows buffer at offset %d", n, r.off)
+	}
+	b := r.data[r.off : r.off+n : r.off+n]
+	r.off += n
+	return b, nil
+}
+
+// efSlice returns the raw bytes of one Elias–Fano set without decoding
+// it, so a v2 candidate set can stay on the mapping until first touch.
+func (r *sidecarReader) efSlice() ([]byte, error) {
+	start := r.off
+	n, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n > 0 {
+		if _, err := r.uvarint(); err != nil { // max value
+			return nil, err
+		}
+		if _, err := r.lenPrefixed(); err != nil { // unary/low-bit blob
+			return nil, err
+		}
+	}
+	return r.data[start:r.off:r.off], nil
 }
 
 // lenPrefixed returns a subslice for a uvarint-length-prefixed block.

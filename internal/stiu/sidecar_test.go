@@ -2,11 +2,13 @@ package stiu
 
 import (
 	"bytes"
+	"encoding/binary"
 	"reflect"
 	"testing"
 
 	"utcq/internal/core"
 	"utcq/internal/gen"
+	"utcq/internal/roadnet"
 )
 
 func buildGeneratedIndex(t *testing.T, opts Options) (*core.Archive, *Index) {
@@ -222,5 +224,165 @@ func TestEFSetRoundTrip(t *testing.T) {
 		if !reflect.DeepEqual(vals, got) {
 			t.Fatalf("round trip %v -> %v", vals, got)
 		}
+	}
+}
+
+// TestSidecarV1RoundTrip pins the legacy layout: a v1 encoding (as every
+// pre-v2 store wrote) still decodes to the same index, and its header
+// carries version 1.
+func TestSidecarV1RoundTrip(t *testing.T) {
+	opts := Options{GridNX: 16, GridNY: 16, IntervalDur: 1800}
+	a, ix := buildGeneratedIndex(t, opts)
+	const archiveSize = 123456
+	enc, err := ix.EncodeSidecarV1(archiveSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := binary.LittleEndian.Uint16(enc[4:]); v != 1 {
+		t.Fatalf("v1 header version = %d", v)
+	}
+	dec, err := DecodeSidecar(enc, a.Graph, len(a.Trajs), archiveSize, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.succinct {
+		t.Fatal("v1 decode took the succinct path")
+	}
+	requireSameIndex(t, ix, dec)
+
+	// The default encoder writes v2.
+	enc2, err := ix.EncodeSidecar(archiveSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := binary.LittleEndian.Uint16(enc2[4:]); v != 2 {
+		t.Fatalf("default header version = %d", v)
+	}
+}
+
+// TestSidecarV1CorruptionIsAnError mirrors the main corruption sweep for
+// the legacy decoder, which must stay robust as long as v1 files load.
+func TestSidecarV1CorruptionIsAnError(t *testing.T) {
+	opts := Options{GridNX: 8, GridNY: 8, IntervalDur: 1800}
+	a, ix := buildGeneratedIndex(t, opts)
+	enc, err := ix.EncodeSidecarV1(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 0; cut < len(enc); cut += 7 {
+		if _, err := DecodeSidecar(enc[:cut], a.Graph, len(a.Trajs), 7, opts); err == nil {
+			t.Fatalf("truncation at %d decoded cleanly", cut)
+		}
+	}
+	for off := 0; off < len(enc); off += 11 {
+		mut := bytes.Clone(enc)
+		mut[off] ^= 0x40
+		dec, err := DecodeSidecar(mut, a.Graph, len(a.Trajs), 7, opts)
+		if err != nil {
+			continue
+		}
+		_ = dec.Materialize() // must not panic; errors are acceptable
+	}
+}
+
+// TestSidecarV2LazyTemporal pins the tentpole behavior: decoding a v2
+// sidecar touches no temporal section, each section decodes exactly once
+// on first touch, and the entries match the built index.
+func TestSidecarV2LazyTemporal(t *testing.T) {
+	opts := Options{GridNX: 16, GridNY: 16, IntervalDur: 1800}
+	a, ix := buildGeneratedIndex(t, opts)
+	enc, err := ix.EncodeSidecar(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := DecodeSidecar(enc, a.Graph, len(a.Trajs), 1, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := dec.Stats().TemporalSectionsForced; got != 0 {
+		t.Fatalf("open forced %d temporal sections, want 0", got)
+	}
+	for j := range ix.Temporal {
+		if dec.Temporal[j] != nil {
+			t.Fatalf("Temporal[%d] eagerly decoded", j)
+		}
+		got, err := dec.TemporalEntries(j)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(ix.Temporal[j], got) {
+			t.Fatalf("temporal entries for trajectory %d differ", j)
+		}
+	}
+	if got := dec.Stats().TemporalSectionsForced; got != int64(len(ix.Temporal)) {
+		t.Fatalf("forced %d sections, want %d", got, len(ix.Temporal))
+	}
+	// Warm touches are free: the counter stays put.
+	if _, err := dec.TemporalEntries(0); err != nil {
+		t.Fatal(err)
+	}
+	if got := dec.Stats().TemporalSectionsForced; got != int64(len(ix.Temporal)) {
+		t.Fatalf("warm touch re-forced a section (%d)", got)
+	}
+}
+
+// TestSidecarV2SuccinctStats pins the observability counters: pruning an
+// unoccupied (interval, region) pair is counted and decodes nothing,
+// hitting an occupied pair decodes exactly one block, and the succinct
+// directories report a nonzero resident footprint.
+func TestSidecarV2SuccinctStats(t *testing.T) {
+	opts := Options{GridNX: 16, GridNY: 16, IntervalDur: 1800}
+	a, ix := buildGeneratedIndex(t, opts)
+	enc, err := ix.EncodeSidecar(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := DecodeSidecar(enc, a.Graph, len(a.Trajs), 1, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Stats().SuccinctBytes == 0 {
+		t.Fatal("SuccinctBytes = 0 after v2 decode")
+	}
+
+	// Find an occupied pair and an unoccupied region in the same interval.
+	var id int
+	var hit, miss roadnet.RegionID = -1, -1
+	for iid, iv := range ix.Intervals {
+		for re := roadnet.RegionID(0); int(re) < opts.GridNX*opts.GridNY; re++ {
+			if _, ok := iv.Regions[re]; ok && hit < 0 {
+				id, hit = iid, re
+			} else if !ok && miss < 0 {
+				miss = re
+			}
+		}
+		if hit >= 0 && miss >= 0 {
+			break
+		}
+	}
+	if hit < 0 || miss < 0 {
+		t.Skip("degenerate fixture: no (hit, miss) pair")
+	}
+
+	if b, err := dec.Buckets(id, miss); err != nil || b != nil {
+		t.Fatalf("Buckets(miss) = %v, %v", b, err)
+	}
+	st := dec.Stats()
+	if st.RegionPrunedNoTouch != 1 || st.RegionBlocksDecoded != 0 {
+		t.Fatalf("after miss: pruned=%d decoded=%d", st.RegionPrunedNoTouch, st.RegionBlocksDecoded)
+	}
+	if b, err := dec.Buckets(id, hit); err != nil || b == nil {
+		t.Fatalf("Buckets(hit) = %v, %v", b, err)
+	}
+	st = dec.Stats()
+	if st.RegionBlocksDecoded != 1 {
+		t.Fatalf("after hit: decoded=%d, want 1", st.RegionBlocksDecoded)
+	}
+	// Warm re-read comes from the pointer cache.
+	if _, err := dec.Buckets(id, hit); err != nil {
+		t.Fatal(err)
+	}
+	if st := dec.Stats(); st.RegionBlocksDecoded != 1 {
+		t.Fatalf("warm hit re-decoded (%d)", st.RegionBlocksDecoded)
 	}
 }

@@ -1,0 +1,269 @@
+// UTCI v2 sidecar codec (FORMAT.md §5): the succinct layout that answers
+// Lemma-1/2 pruning straight off the mapped bytes.
+//
+// Where v1 decoded every trajectory's temporal entries at open and kept
+// each interval's region tuples as one monolithic lazy block, v2 stores
+//
+//   - a fixed-width u32 offset directory over per-trajectory temporal
+//     sections, so opening a shard decodes no temporal entry at all and
+//     trajectory j's section decodes on its first When/FindTemporal touch;
+//   - per interval, a rank bitvector over the grid's region occupancy
+//     plus a u32 offset table into individually encoded region buckets,
+//     so a Range probe of an absent (interval, region) pair is a bit test
+//     and a present pair decodes only its own bucket;
+//   - the same bitvector + offset-table shape per trajectory for the
+//     When path's Lemma-1 gate, behind a per-trajectory directory.
+//
+// All directories are fixed-width and verified at open (monotone span
+// checks happen lazily per section), so DecodeSidecar's work is O(header
+// + interval count), independent of temporal-entry and tuple counts.
+package stiu
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+	"sync/atomic"
+
+	"utcq/internal/roadnet"
+)
+
+// encodeSidecarV2 serializes a materialized index in the v2 layout.
+func (ix *Index) encodeSidecarV2(archiveSize int64) ([]byte, error) {
+	buf := make([]byte, 0, 1<<16)
+	buf = ix.appendSidecarHeader(buf, sidecarVersion, archiveSize)
+	nbits := ix.Opts.GridNX * ix.Opts.GridNY
+
+	// Temporal section: (numTrajs+1) u32 offsets, then the blobs.
+	var err error
+	if buf, err = appendDirectory(buf, len(ix.Temporal), func(blob []byte, j int) ([]byte, error) {
+		return appendTemporalEntries(blob, ix.Temporal[j]), nil
+	}); err != nil {
+		return nil, fmt.Errorf("stiu: temporal section: %w", err)
+	}
+
+	// Interval section, ascending id order.
+	ids := ix.sortedIntervalIDs()
+	buf = binary.AppendUvarint(buf, uint64(len(ids)))
+	prevID := 0
+	for i, id := range ids {
+		if i == 0 {
+			buf = binary.AppendVarint(buf, int64(id))
+		} else {
+			buf = binary.AppendUvarint(buf, uint64(id-prevID))
+		}
+		prevID = id
+		iv := ix.Intervals[id]
+		buf = appendEFSet(buf, iv.Trajs)
+		if buf, err = appendBucketLayout(buf, nbits, iv.Regions); err != nil {
+			return nil, fmt.Errorf("stiu: interval %d: %w", id, err)
+		}
+	}
+
+	// Trajectory-region section: directory + per-trajectory layouts.
+	if buf, err = appendDirectory(buf, len(ix.byTrajRegion), func(blob []byte, j int) ([]byte, error) {
+		return appendBucketLayout(blob, nbits, ix.byTrajRegion[j])
+	}); err != nil {
+		return nil, fmt.Errorf("stiu: trajRegion section: %w", err)
+	}
+	return buf, nil
+}
+
+// appendDirectory emits n fixed-width u32 offsets plus a terminator over
+// the blobs produced by emit, then the concatenated blobs themselves.
+func appendDirectory(buf []byte, n int, emit func(blob []byte, i int) ([]byte, error)) ([]byte, error) {
+	blob := make([]byte, 0, 1<<12)
+	offs := make([]uint32, 1, n+1)
+	var err error
+	for i := 0; i < n; i++ {
+		if blob, err = emit(blob, i); err != nil {
+			return nil, err
+		}
+		if len(blob) > math.MaxUint32 {
+			return nil, fmt.Errorf("section exceeds u32 offset space (%d bytes)", len(blob))
+		}
+		offs = append(offs, uint32(len(blob)))
+	}
+	for _, o := range offs {
+		buf = binary.LittleEndian.AppendUint32(buf, o)
+	}
+	return append(buf, blob...), nil
+}
+
+// appendBucketLayout emits one succinct bucket group: occupancy bitvector
+// over nbits regions, (npop+1) u32 offsets, and the concatenated bucket
+// encodings in ascending region-id (= rank) order.
+func appendBucketLayout(buf []byte, nbits int, m map[roadnet.RegionID]*RegionBucket) ([]byte, error) {
+	ids := make([]int32, 0, len(m))
+	for id := range m {
+		if id < 0 || int(id) >= nbits {
+			return nil, fmt.Errorf("region id %d outside %d-cell grid", id, nbits)
+		}
+		ids = append(ids, int32(id))
+	}
+	sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+	buf = appendBitvec(buf, nbits, ids)
+	blob := make([]byte, 0, 64*len(ids))
+	offs := make([]uint32, 1, len(ids)+1)
+	for _, id := range ids {
+		blob = appendBucket(blob, m[roadnet.RegionID(id)])
+		if len(blob) > math.MaxUint32 {
+			return nil, fmt.Errorf("bucket blob exceeds u32 offset space (%d bytes)", len(blob))
+		}
+		offs = append(offs, uint32(len(blob)))
+	}
+	for _, o := range offs {
+		buf = binary.LittleEndian.AppendUint32(buf, o)
+	}
+	return append(buf, blob...), nil
+}
+
+// directory slices one fixed-width u32 offset directory and the blob it
+// spans; per-entry monotonicity is checked lazily at force time.
+func (r *sidecarReader) directory(n int) (dir, blob []byte, err error) {
+	dir, err = r.take((n + 1) * 4)
+	if err != nil {
+		return nil, nil, err
+	}
+	if binary.LittleEndian.Uint32(dir) != 0 {
+		return nil, nil, fmt.Errorf("directory does not start at offset 0")
+	}
+	blob, err = r.take(int(binary.LittleEndian.Uint32(dir[4*n:])))
+	if err != nil {
+		return nil, nil, err
+	}
+	return dir, blob, nil
+}
+
+// bucketLayout parses one succinct bucket group: verified bitvector,
+// offset table, bucket blob.  Slicing and verification only — buckets
+// stay encoded.
+func (r *sidecarReader) bucketLayout(universe int) (bitvec, []byte, []byte, error) {
+	occ, err := r.bitvec(universe)
+	if err != nil {
+		return bitvec{}, nil, nil, err
+	}
+	offs, err := r.take((occ.npop + 1) * 4)
+	if err != nil {
+		return bitvec{}, nil, nil, err
+	}
+	if binary.LittleEndian.Uint32(offs) != 0 {
+		return bitvec{}, nil, nil, fmt.Errorf("bucket offsets do not start at 0")
+	}
+	blob, err := r.take(int(binary.LittleEndian.Uint32(offs[4*occ.npop:])))
+	if err != nil {
+		return bitvec{}, nil, nil, err
+	}
+	return occ, offs, blob, nil
+}
+
+// decodeSidecarV2 parses the succinct layout.  Temporal sections,
+// candidate sets, per-trajectory region layouts and every region bucket
+// stay on the buffer; only the interval skeleton is materialized here.
+func decodeSidecarV2(r *sidecarReader, ix *Index, numTrajs int) (*Index, error) {
+	ix.succinct = true
+	nbits := ix.Opts.GridNX * ix.Opts.GridNY
+	resident := 0
+
+	var err error
+	if ix.tempDir, ix.tempBlob, err = r.directory(numTrajs); err != nil {
+		return nil, fmt.Errorf("stiu: sidecar temporal directory: %w", err)
+	}
+	ix.lazyTemporal = make([]lazyBlock, numTrajs)
+	resident += len(ix.tempDir)
+
+	nIv, err := r.intervalCount()
+	if err != nil {
+		return nil, fmt.Errorf("stiu: sidecar intervals: %w", err)
+	}
+	prevID := int64(0)
+	for i := 0; i < nIv; i++ {
+		id, err := r.intervalID(i == 0, &prevID)
+		if err != nil {
+			return nil, fmt.Errorf("stiu: sidecar intervals: %w", err)
+		}
+		iv := &Interval{}
+		if iv.cand.data, err = r.efSlice(); err != nil {
+			return nil, fmt.Errorf("stiu: sidecar interval %d trajs: %w", id, err)
+		}
+		if iv.occ, iv.offs, iv.buckets, err = r.bucketLayout(nbits); err != nil {
+			return nil, fmt.Errorf("stiu: sidecar interval %d regions: %w", id, err)
+		}
+		iv.decoded = make([]atomic.Pointer[RegionBucket], iv.occ.npop)
+		resident += iv.occ.sizeBytes() + len(iv.offs)
+		ix.Intervals[id] = iv
+	}
+
+	if ix.trDir, ix.trBlob, err = r.directory(numTrajs); err != nil {
+		return nil, fmt.Errorf("stiu: sidecar trajRegion directory: %w", err)
+	}
+	ix.trV2 = make([]trSuccinct, numTrajs)
+	resident += len(ix.trDir)
+
+	if r.remaining() != 0 {
+		return nil, fmt.Errorf("stiu: sidecar has %d trailing bytes", r.remaining())
+	}
+	ix.succinctBytes.Store(int64(resident))
+	return ix, nil
+}
+
+// materializeV2 rebuilds the eager maps (Interval.Regions, byTrajRegion)
+// from the succinct layout, decoding every bucket.  Idempotent and safe
+// against concurrent queries: the query paths never read the maps of a
+// succinct index, and the bucket cache tolerates duplicate decodes.
+func (ix *Index) materializeV2() error {
+	ix.matMu.Lock()
+	defer ix.matMu.Unlock()
+	if ix.materialized || ix.matErr != nil {
+		return ix.matErr
+	}
+	fail := func(err error) error {
+		ix.matErr = err
+		return err
+	}
+	for id, iv := range ix.Intervals {
+		if _, err := ix.Candidates(id); err != nil {
+			return fail(err)
+		}
+		m, err := ix.materializeLayout(&iv.occ, iv.offs, iv.buckets, iv.decoded)
+		if err != nil {
+			return fail(fmt.Errorf("stiu: interval %d: %w", id, err))
+		}
+		iv.Regions = m
+	}
+	for j := range ix.trV2 {
+		tr := &ix.trV2[j]
+		if !tr.hdr.done.Load() {
+			if err := ix.forceTRHeader(j); err != nil {
+				return fail(err)
+			}
+		} else if tr.hdr.err != nil {
+			return fail(tr.hdr.err)
+		}
+		m, err := ix.materializeLayout(&tr.occ, tr.offs, tr.buckets, tr.decoded)
+		if err != nil {
+			return fail(fmt.Errorf("stiu: trajRegion[%d]: %w", j, err))
+		}
+		ix.byTrajRegion[j] = m
+	}
+	ix.materialized = true
+	return nil
+}
+
+// materializeLayout decodes every occupied bucket of one layout into a
+// region map, reusing already-cached decodes.
+func (ix *Index) materializeLayout(occ *bitvec, offs, blob []byte, cache []atomic.Pointer[RegionBucket]) (map[roadnet.RegionID]*RegionBucket, error) {
+	m := make(map[roadnet.RegionID]*RegionBucket, occ.npop)
+	for k, re := range occ.appendOnes(nil) {
+		b := cache[k].Load()
+		if b == nil {
+			var err error
+			if b, err = ix.decodeBucketAt(offs, blob, cache, k); err != nil {
+				return nil, err
+			}
+		}
+		m[roadnet.RegionID(re)] = b
+	}
+	return m, nil
+}

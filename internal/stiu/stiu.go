@@ -14,6 +14,7 @@
 package stiu
 
 import (
+	"encoding/binary"
 	"fmt"
 	"sort"
 	"sync"
@@ -78,15 +79,35 @@ type RegionBucket struct {
 }
 
 // Interval is one time partition.  For a built index Regions is populated
-// eagerly; for an index decoded from a sidecar (DecodeSidecar) the region
-// buckets stay as an encoded block inside the sidecar buffer until the
-// first query touches the interval — Lemma-1/2 pruning over untouched
-// intervals never materializes their tuples.
+// eagerly; for an index decoded from a v1 sidecar the region buckets stay
+// as one encoded block until the first query touches the interval.  A v2
+// sidecar is finer-grained still: occupancy is a rank bitvector over the
+// grid cells, so a query probing an absent region answers straight off
+// the (possibly mapped) sidecar bytes, and a present region decodes just
+// its own bucket into the decoded cache — untouched buckets never page in.
 type Interval struct {
 	Trajs   []int32 // trajectories whose time span intersects the interval
 	Regions map[roadnet.RegionID]*RegionBucket
 
-	lazy lazyBlock
+	lazy lazyBlock // v1: the whole region block; v2: unused (mu guards Materialize)
+
+	// v2 succinct layout, aliasing the sidecar buffer.
+	occ     bitvec // region occupancy over the grid cells
+	offs    []byte // (npop+1) × u32 offsets into buckets
+	buckets []byte // concatenated per-region bucket encodings, rank order
+	decoded []atomic.Pointer[RegionBucket]
+	cand    lazyBlock // data = EF candidate-set bytes; force fills Trajs
+}
+
+// trSuccinct is the v2 per-trajectory region layout: the same
+// bitvector + offset-table shape as an interval, parsed from the
+// trajectory-region directory on the trajectory's first When touch.
+type trSuccinct struct {
+	hdr     lazyBlock // data = the trajectory's blob; force parses the views
+	occ     bitvec
+	offs    []byte
+	buckets []byte
+	decoded []atomic.Pointer[RegionBucket]
 }
 
 // lazyBlock defers decoding of one sidecar block.  data is nil for built
@@ -106,29 +127,137 @@ type Index struct {
 	Grid *roadnet.Grid
 
 	// Temporal[j] is trajectory j's interval entries, sorted by Start.
+	// For a v2 sidecar the slice is nil until the trajectory's first
+	// temporal touch — use TemporalEntries.
 	Temporal [][]TemporalEntry
 
 	Intervals map[int]*Interval
 
 	// byTrajRegion[j][re] aggregates, across intervals, the tuple presence
-	// used by the when-query and Lemma 1.  nil entries of lazyTR (sidecar
-	// decode) materialize into it on first touch.
+	// used by the when-query and Lemma 1.  nil entries of lazyTR (v1
+	// sidecar decode) materialize into it on first touch; v2 sidecars use
+	// trV2 instead and only fill the maps under Materialize.
 	byTrajRegion []map[roadnet.RegionID]*RegionBucket
-	lazyTR       []lazyBlock // parallel to byTrajRegion; empty for built indexes
+	lazyTR       []lazyBlock // parallel to byTrajRegion; v1 sidecars only
+
+	// v2 succinct state: the per-trajectory temporal offset directory and
+	// the per-trajectory region layouts.  succinct marks the index as
+	// v2-decoded so the query accessors take the rank/select paths.
+	succinct     bool
+	tempDir      []byte // (numTrajs+1) × u32 offsets into tempBlob
+	tempBlob     []byte
+	lazyTemporal []lazyBlock // parallel to Temporal; data unused, mu/err/done only
+	trDir        []byte      // (numTrajs+1) × u32 offsets into trBlob
+	trBlob       []byte
+	trV2         []trSuccinct
 
 	// raw retains the sidecar buffer an index was decoded from: the lazy
 	// blocks alias it, and EncodeSidecar can return it verbatim instead of
 	// re-encoding a partially materialized index.
 	raw []byte
+
+	// Succinct-index observability (Stats): how often the rank/select
+	// layer answered without materializing anything vs. how many bucket
+	// blocks and temporal sections were actually decoded, plus the
+	// resident footprint of the succinct structures themselves.
+	regionsDecoded atomic.Int64
+	prunedNoTouch  atomic.Int64
+	temporalForced atomic.Int64
+	succinctBytes  atomic.Int64
+
+	// Materialization state for v2 indexes: Materialize rebuilds the eager
+	// maps exactly once, guarded here rather than per-block so concurrent
+	// callers observe either nothing or the whole rebuild.
+	matMu        sync.Mutex
+	materialized bool
+	matErr       error
+}
+
+// IndexStats is a snapshot of the succinct-layer counters.
+type IndexStats struct {
+	// RegionBlocksDecoded counts (interval,region) and (trajectory,region)
+	// buckets materialized from sidecar bytes; RegionPrunedNoTouch counts
+	// probes the occupancy bitvectors answered empty without decoding.
+	RegionBlocksDecoded int64
+	RegionPrunedNoTouch int64
+	// TemporalSectionsForced counts per-trajectory temporal sections
+	// decoded on first touch (always 0 right after a v2 open).
+	TemporalSectionsForced int64
+	// SuccinctBytes is the static footprint of the rank/select directories
+	// (bitvector words + superblocks + offset tables); 0 unless the index
+	// was decoded from a v2 sidecar.
+	SuccinctBytes int64
+}
+
+// Stats returns the succinct-layer counters.  Safe to call concurrently
+// with queries; built and v1-decoded indexes report zeros.
+func (ix *Index) Stats() IndexStats {
+	return IndexStats{
+		RegionBlocksDecoded:    ix.regionsDecoded.Load(),
+		RegionPrunedNoTouch:    ix.prunedNoTouch.Load(),
+		TemporalSectionsForced: ix.temporalForced.Load(),
+		SuccinctBytes:          ix.succinctBytes.Load(),
+	}
 }
 
 // IntervalOf returns the time-partition id of t.
 func (ix *Index) IntervalOf(t int64) int { return int(t / ix.Opts.IntervalDur) }
 
+// TemporalEntries returns trajectory j's interval entries, decoding them
+// from a v2 sidecar's temporal section on first touch.  Built and
+// v1-decoded indexes return the eager slice; warm calls are a single
+// atomic load and never allocate.
+func (ix *Index) TemporalEntries(j int) ([]TemporalEntry, error) {
+	if ix.lazyTemporal != nil {
+		lz := &ix.lazyTemporal[j]
+		if !lz.done.Load() {
+			if err := ix.forceTemporal(j); err != nil {
+				return nil, err
+			}
+		} else if lz.err != nil {
+			return nil, lz.err
+		}
+	}
+	return ix.Temporal[j], nil
+}
+
+// forceTemporal decodes trajectory j's temporal section from the v2
+// offset directory.
+func (ix *Index) forceTemporal(j int) error {
+	lz := &ix.lazyTemporal[j]
+	lz.mu.Lock()
+	defer lz.mu.Unlock()
+	if lz.done.Load() {
+		return lz.err
+	}
+	lo := int(binary.LittleEndian.Uint32(ix.tempDir[4*j:]))
+	hi := int(binary.LittleEndian.Uint32(ix.tempDir[4*j+4:]))
+	if lo > hi || hi > len(ix.tempBlob) {
+		lz.err = fmt.Errorf("stiu: temporal directory [%d,%d) overflows blob of %d bytes", lo, hi, len(ix.tempBlob))
+	} else {
+		r := &sidecarReader{data: ix.tempBlob[lo:hi:hi]}
+		entries, err := decodeTemporalEntries(r)
+		if err == nil && r.remaining() != 0 {
+			err = fmt.Errorf("temporal section has %d trailing bytes", r.remaining())
+		}
+		if err != nil {
+			lz.err = fmt.Errorf("stiu: sidecar temporal[%d]: %w", j, err)
+		} else {
+			ix.Temporal[j] = entries
+			ix.temporalForced.Add(1)
+		}
+	}
+	lz.done.Store(true)
+	return lz.err
+}
+
 // FindTemporal returns trajectory j's entry with the greatest Start <= t
 // (the binary search of Example 3).
 func (ix *Index) FindTemporal(j int, t int64) (TemporalEntry, bool) {
-	entries := ix.Temporal[j]
+	entries, err := ix.TemporalEntries(j)
+	if err != nil {
+		return TemporalEntry{}, false
+	}
 	lo := sort.Search(len(entries), func(i int) bool { return entries[i].Start > t })
 	if lo == 0 {
 		return TemporalEntry{}, false
@@ -138,11 +267,24 @@ func (ix *Index) FindTemporal(j int, t int64) (TemporalEntry, bool) {
 
 // Buckets returns the bucket of (interval, region), or nil.  The only
 // error source is a corrupt lazily-decoded sidecar block; built indexes
-// never fail.
+// never fail.  Under a v2 sidecar an absent region answers from the
+// occupancy bitvector without decoding anything, and a present region
+// decodes only its own bucket (cached behind an atomic pointer).
 func (ix *Index) Buckets(interval int, re roadnet.RegionID) (*RegionBucket, error) {
 	iv := ix.Intervals[interval]
 	if iv == nil {
 		return nil, nil
+	}
+	if ix.succinct {
+		if int(re) >= iv.occ.nbits || !iv.occ.get(int(re)) {
+			ix.prunedNoTouch.Add(1)
+			return nil, nil
+		}
+		k := iv.occ.rank1(int(re))
+		if b := iv.decoded[k].Load(); b != nil {
+			return b, nil
+		}
+		return ix.decodeBucketAt(iv.offs, iv.buckets, iv.decoded, k)
 	}
 	if iv.lazy.data != nil && !iv.lazy.done.Load() {
 		if err := iv.force(); err != nil {
@@ -150,6 +292,24 @@ func (ix *Index) Buckets(interval int, re roadnet.RegionID) (*RegionBucket, erro
 		}
 	}
 	return iv.Regions[re], nil
+}
+
+// decodeBucketAt materializes the k-th occupied bucket of a v2 layout and
+// publishes it.  Concurrent decoders may duplicate the work; both results
+// are identical and the last store wins.
+func (ix *Index) decodeBucketAt(offs, blob []byte, cache []atomic.Pointer[RegionBucket], k int) (*RegionBucket, error) {
+	lo := int(binary.LittleEndian.Uint32(offs[4*k:]))
+	hi := int(binary.LittleEndian.Uint32(offs[4*k+4:]))
+	if lo > hi || hi > len(blob) {
+		return nil, fmt.Errorf("stiu: bucket offsets [%d,%d) overflow blob of %d bytes", lo, hi, len(blob))
+	}
+	b, err := decodeBucket(blob[lo:hi:hi])
+	if err != nil {
+		return nil, fmt.Errorf("stiu: bucket %d: %w", k, err)
+	}
+	cache[k].Store(b)
+	ix.regionsDecoded.Add(1)
+	return b, nil
 }
 
 // force materializes the interval's region map from its sidecar block.
@@ -167,7 +327,28 @@ func (iv *Interval) force() error {
 }
 
 // TrajRegion returns the aggregated bucket of trajectory j and region re.
+// Under a v2 sidecar the trajectory's bitvector answers absent regions
+// without decoding, giving the When path's Lemma-1 gate a zero-cost miss.
 func (ix *Index) TrajRegion(j int, re roadnet.RegionID) (*RegionBucket, error) {
+	if ix.trV2 != nil {
+		tr := &ix.trV2[j]
+		if !tr.hdr.done.Load() {
+			if err := ix.forceTRHeader(j); err != nil {
+				return nil, err
+			}
+		} else if tr.hdr.err != nil {
+			return nil, tr.hdr.err
+		}
+		if int(re) >= tr.occ.nbits || !tr.occ.get(int(re)) {
+			ix.prunedNoTouch.Add(1)
+			return nil, nil
+		}
+		k := tr.occ.rank1(int(re))
+		if b := tr.decoded[k].Load(); b != nil {
+			return b, nil
+		}
+		return ix.decodeBucketAt(tr.offs, tr.buckets, tr.decoded, k)
+	}
 	if len(ix.lazyTR) > 0 {
 		lz := &ix.lazyTR[j]
 		if lz.data != nil && !lz.done.Load() {
@@ -180,6 +361,40 @@ func (ix *Index) TrajRegion(j int, re roadnet.RegionID) (*RegionBucket, error) {
 	}
 	return ix.byTrajRegion[j][re], nil
 }
+
+// forceTRHeader parses trajectory j's v2 region layout (bitvector, offset
+// table, bucket blob) from its slot in the trajectory-region directory.
+// Slicing only — no bucket decodes.
+func (ix *Index) forceTRHeader(j int) error {
+	tr := &ix.trV2[j]
+	tr.hdr.mu.Lock()
+	defer tr.hdr.mu.Unlock()
+	if tr.hdr.done.Load() {
+		return tr.hdr.err
+	}
+	lo := int(binary.LittleEndian.Uint32(ix.trDirAt(j)))
+	hi := int(binary.LittleEndian.Uint32(ix.trDirAt(j + 1)))
+	if lo > hi || hi > len(ix.trBlob) {
+		tr.hdr.err = fmt.Errorf("stiu: trajRegion directory [%d,%d) overflows blob of %d bytes", lo, hi, len(ix.trBlob))
+	} else {
+		r := &sidecarReader{data: ix.trBlob[lo:hi:hi]}
+		occ, offs, blob, err := r.bucketLayout(ix.Opts.GridNX * ix.Opts.GridNY)
+		if err == nil && r.remaining() != 0 {
+			err = fmt.Errorf("%d trailing bytes", r.remaining())
+		}
+		if err != nil {
+			tr.hdr.err = fmt.Errorf("stiu: sidecar trajRegion[%d]: %w", j, err)
+		} else {
+			tr.occ, tr.offs, tr.buckets = occ, offs, blob
+			tr.decoded = make([]atomic.Pointer[RegionBucket], occ.npop)
+			ix.succinctBytes.Add(int64(occ.sizeBytes() + len(offs)))
+		}
+	}
+	tr.hdr.done.Store(true)
+	return tr.hdr.err
+}
+
+func (ix *Index) trDirAt(j int) []byte { return ix.trDir[4*j:] }
 
 // forceTR materializes trajectory j's region map from its sidecar block.
 func (ix *Index) forceTR(j int) error {
@@ -196,13 +411,49 @@ func (ix *Index) forceTR(j int) error {
 	return lz.err
 }
 
-// CandidateTrajs returns the trajectories active in the interval.
-func (ix *Index) CandidateTrajs(interval int) []int32 {
+// Candidates returns the trajectories active in the interval, decoding a
+// v2 sidecar's Elias–Fano candidate set on the interval's first touch.
+func (ix *Index) Candidates(interval int) ([]int32, error) {
 	iv := ix.Intervals[interval]
 	if iv == nil {
-		return nil
+		return nil, nil
 	}
-	return iv.Trajs
+	if iv.cand.data != nil && !iv.cand.done.Load() {
+		if err := ix.forceCandidates(interval, iv); err != nil {
+			return nil, err
+		}
+	} else if iv.cand.err != nil {
+		return nil, iv.cand.err
+	}
+	return iv.Trajs, nil
+}
+
+func (ix *Index) forceCandidates(interval int, iv *Interval) error {
+	iv.cand.mu.Lock()
+	defer iv.cand.mu.Unlock()
+	if iv.cand.done.Load() {
+		return iv.cand.err
+	}
+	r := &sidecarReader{data: iv.cand.data}
+	trajs, err := r.efSet(len(ix.Temporal))
+	if err == nil && r.remaining() != 0 {
+		err = fmt.Errorf("%d trailing bytes", r.remaining())
+	}
+	if err != nil {
+		iv.cand.err = fmt.Errorf("stiu: sidecar interval %d trajs: %w", interval, err)
+	} else {
+		iv.Trajs = trajs
+	}
+	iv.cand.done.Store(true)
+	return iv.cand.err
+}
+
+// CandidateTrajs returns the trajectories active in the interval.
+// Decode errors (unreachable behind the sidecar CRC) yield nil; callers
+// that need them use Candidates.
+func (ix *Index) CandidateTrajs(interval int) []int32 {
+	trajs, _ := ix.Candidates(interval)
+	return trajs
 }
 
 // Tuple bit widths used for index size accounting (Fig 9): temporal
@@ -216,10 +467,15 @@ const (
 	probBits  = 16
 )
 
-// TemporalSizeBits returns the temporal index size.
+// TemporalSizeBits returns the temporal index size.  Lazy sections are
+// forced first so the accounting covers untouched trajectories.
 func (ix *Index) TemporalSizeBits() int64 {
 	n := int64(0)
-	for _, entries := range ix.Temporal {
+	for j := range ix.Temporal {
+		entries, err := ix.TemporalEntries(j)
+		if err != nil {
+			return 0
+		}
 		n += int64(len(entries)) * (startBits + noBits + posBits)
 	}
 	return n
@@ -366,7 +622,10 @@ func dedupInt32(xs []int32) []int32 {
 // FindTemporalByNo returns trajectory j's entry with the greatest No <= k,
 // used to resume timestamp decoding near point index k.
 func (ix *Index) FindTemporalByNo(j, k int) (TemporalEntry, bool) {
-	entries := ix.Temporal[j]
+	entries, err := ix.TemporalEntries(j)
+	if err != nil {
+		return TemporalEntry{}, false
+	}
 	lo := sort.Search(len(entries), func(i int) bool { return int(entries[i].No) > k })
 	if lo == 0 {
 		return TemporalEntry{}, false

@@ -166,6 +166,40 @@ func BenchmarkStoreFirstQuery(b *testing.B) {
 	}
 }
 
+// BenchmarkStoreWhenCold measures the first When on a freshly opened
+// store: lazy Open, then one temporal-section-touching query.  With a v2
+// sidecar the open decodes no temporal entries, so this is the pin that
+// keeps the per-trajectory lazy path from regressing back to eager
+// decode-at-open.
+func BenchmarkStoreWhenCold(b *testing.B) {
+	dir, ds := coldDir(b, 120)
+	T := ds.Trajectories[0].T
+	tq := (T[0] + T[len(T)-1]) / 2
+	// A location trajectory 0 actually visits, from a throwaway store.
+	s0, err := Open(dir, ds.Graph, OpenOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	wr, err := s0.Where(0, tq, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if len(wr) == 0 {
+		b.Fatal("no Where results to derive a When location from")
+	}
+	loc := wr[0].Loc
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := Open(dir, ds.Graph, OpenOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := s.When(0, loc, 0.05); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkStoreRangeParallel drives Range from many goroutines, the
 // serving shape utcqd exposes.
 func BenchmarkStoreRangeParallel(b *testing.B) {

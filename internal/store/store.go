@@ -1045,6 +1045,10 @@ type Stats struct {
 	// Engine is the sum of the open shards' engine counters; CacheBudget is
 	// summed across shards (total entry budget of the store).
 	Engine query.EngineStats
+
+	// Succinct is the sum of the open shards' StIU succinct-layer counters
+	// (v2 sidecars only; zeros for v1/rebuilt indexes).
+	Succinct stiu.IndexStats
 }
 
 // Stats returns a point-in-time aggregate over all open shards.  Shards not
@@ -1096,6 +1100,11 @@ func (s *Store) Stats() Stats {
 		st.Engine.CachedViews += es.CachedViews
 		st.Engine.CachedPaths += es.CachedPaths
 		st.Engine.CacheBudget += es.CacheBudget
+		is := eng.Ix.Stats()
+		st.Succinct.RegionBlocksDecoded += is.RegionBlocksDecoded
+		st.Succinct.RegionPrunedNoTouch += is.RegionPrunedNoTouch
+		st.Succinct.TemporalSectionsForced += is.TemporalSectionsForced
+		st.Succinct.SuccinctBytes += is.SuccinctBytes
 	}
 	return st
 }

@@ -1,0 +1,92 @@
+package store
+
+import (
+	"encoding/binary"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"utcq/internal/gen"
+)
+
+// TestColdOpenTemporalLaziness pins the v2 scaling property: an eager
+// open decodes zero temporal sections regardless of how many records the
+// store holds (4x the trajectories, still zero), and a single query
+// forces exactly the one section it touches.  This is the counter-level
+// assertion behind "cold open no longer scales with temporal-entry
+// count" — the open-time work is independent of temporal volume.
+func TestColdOpenTemporalLaziness(t *testing.T) {
+	for _, n := range []int{30, 120} {
+		bc := buildReference(t, gen.CD(), n, 61)
+		dir := saveStore(t, buildStore(t, bc, 3, AssignHash))
+		s, err := Open(dir, bc.ds.Graph, OpenOptions{Eager: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := s.Stats()
+		if st.SidecarRebuilds != 0 {
+			t.Fatalf("n=%d: eager open rebuilt %d sidecars", n, st.SidecarRebuilds)
+		}
+		if st.Succinct.TemporalSectionsForced != 0 {
+			t.Fatalf("n=%d: eager open forced %d temporal sections, want 0", n, st.Succinct.TemporalSectionsForced)
+		}
+		if st.Succinct.SuccinctBytes == 0 {
+			t.Fatalf("n=%d: no resident succinct bytes after a v2 open", n)
+		}
+
+		// One Where touches exactly one trajectory's temporal section,
+		// independent of store size.
+		T := bc.ds.Trajectories[0].T
+		if _, err := s.Where(0, (T[0]+T[len(T)-1])/2, 0); err != nil {
+			t.Fatal(err)
+		}
+		if got := s.Stats().Succinct.TemporalSectionsForced; got != 1 {
+			t.Fatalf("n=%d: one query forced %d temporal sections, want 1", n, got)
+		}
+	}
+}
+
+// TestSidecarV2CorruptionSweepRebuilds sweeps byte flips and truncations
+// across a v2 sidecar file: every mutation must be caught (manifest CRC
+// or section bounds), silently rebuilt from the archive, and answer the
+// full query workload identically to the reference engine.
+func TestSidecarV2CorruptionSweepRebuilds(t *testing.T) {
+	bc := buildReference(t, gen.CD(), 24, 43)
+	dir := saveStore(t, buildStore(t, bc, 2, AssignHash))
+	path := filepath.Join(dir, sidecarFile(0))
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := binary.LittleEndian.Uint16(raw[4:]); v != 2 {
+		t.Fatalf("persisted sidecar version = %d, want 2", v)
+	}
+
+	check := func(t *testing.T, mut []byte) {
+		t.Helper()
+		if err := os.WriteFile(path, mut, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		s, err := Open(dir, bc.ds.Graph, OpenOptions{Eager: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st := s.Stats(); st.SidecarRebuilds != 1 {
+			t.Fatalf("rebuilds = %d, want 1 (loads=%d)", st.SidecarRebuilds, st.SidecarLoads)
+		}
+		checkStoreMatchesEngine(t, bc, s, 47)
+	}
+
+	// Byte flips spread across the file: header, temporal directory,
+	// bitvector/offset sections, bucket blobs.
+	step := len(raw)/6 + 1
+	for off := 0; off < len(raw); off += step {
+		mut := append([]byte(nil), raw...)
+		mut[off] ^= 0x20
+		check(t, mut)
+	}
+	// Truncations, including mid-directory and mid-blob cuts.
+	for _, keep := range []int{0, 10, 35 /* header boundary */, len(raw) / 3, len(raw) - 1} {
+		check(t, append([]byte(nil), raw[:keep]...))
+	}
+}

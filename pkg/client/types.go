@@ -246,6 +246,23 @@ type ClusterStats struct {
 	Holes int `json:"holes"`
 }
 
+// SuccinctStats mirrors the StIU succinct-index counters
+// (internal/stiu.IndexStats) summed across a store's open shards.
+// Zeros when every shard's index is v1 or rebuilt.
+type SuccinctStats struct {
+	// RegionBlocksDecoded counts region buckets materialized from
+	// sidecar bytes; RegionPrunedNoTouch counts pruning probes the
+	// occupancy bitvectors answered without decoding anything.
+	RegionBlocksDecoded int64 `json:"regionBlocksDecoded"`
+	RegionPrunedNoTouch int64 `json:"regionPrunedNoTouch"`
+	// TemporalSectionsForced counts per-trajectory temporal sections
+	// decoded on first touch.
+	TemporalSectionsForced int64 `json:"temporalSectionsForced"`
+	// SuccinctBytes is the resident footprint of the rank/select
+	// directories themselves.
+	SuccinctBytes int64 `json:"succinctBytes"`
+}
+
 // StatsResponse is the /v1/stats payload: store shape, aggregated
 // engine counters, ingestion state, and server request totals.  Bounds
 // and the time span let load generators synthesize valid queries
@@ -279,6 +296,11 @@ type StatsResponse struct {
 	SidecarRebuilds int64 `json:"sidecarRebuilds"`
 	MappedBytes     int64 `json:"mappedBytes"`
 	RSSBytes        int64 `json:"rssBytes"`
+
+	// Succinct reports the v2 sidecars' rank/select layer (PR10): how
+	// often pruning answered without decoding anything vs. the blocks
+	// and temporal sections actually materialized.
+	Succinct SuccinctStats `json:"succinct"`
 
 	// Degradation state (PR7).
 	QuarantinedShards int   `json:"quarantinedShards"`
